@@ -1,0 +1,92 @@
+// Command gquery indexes a GFD dataset with one of the six methods and
+// processes subgraph queries against it, reporting per-query candidates,
+// answers, timings, and the workload false positive ratio.
+//
+// Usage:
+//
+//	gquery -data molecules.gfd -queries q.gfd -method Grapes
+//	gquery -data molecules.gfd -queries q.gfd -method gIndex -v
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		dataPath  = flag.String("data", "", "GFD dataset file (required)")
+		queryPath = flag.String("queries", "", "GFD query file (required)")
+		methodStr = flag.String("method", "Grapes", "method: Grapes, GGSX, CTindex, gIndex, tree+delta, gCode")
+		timeout   = flag.Duration("timeout", 8*time.Hour, "per-stage time budget")
+		verbose   = flag.Bool("v", false, "per-query output")
+	)
+	flag.Parse()
+
+	if err := run(*dataPath, *queryPath, *methodStr, *timeout, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "gquery:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataPath, queryPath, methodStr string, timeout time.Duration, verbose bool) error {
+	if dataPath == "" || queryPath == "" {
+		return fmt.Errorf("-data and -queries are required")
+	}
+	ds, err := graph.LoadDatasetFile(dataPath)
+	if err != nil {
+		return fmt.Errorf("loading dataset: %w", err)
+	}
+	qds, err := graph.LoadDatasetFile(queryPath)
+	if err != nil {
+		return fmt.Errorf("loading queries: %w", err)
+	}
+	m, err := bench.NewMethod(bench.MethodID(methodStr), bench.MethodLimits{})
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	st, err := core.BuildTimed(ctx, m, ds)
+	if err != nil {
+		return fmt.Errorf("indexing: %w", err)
+	}
+	fmt.Printf("indexed %d graphs with %s in %v (index size %.2f MB)\n",
+		ds.Len(), m.Name(), st.Elapsed.Round(time.Millisecond), float64(st.SizeBytes)/(1<<20))
+
+	proc := core.NewProcessor(m, ds)
+	var cands, answers []graph.IDSet
+	var totalTime time.Duration
+	for i, q := range qds.Graphs {
+		res, err := proc.QueryCtx(ctx, q)
+		if err != nil {
+			return fmt.Errorf("query %d: %w", i, err)
+		}
+		cands = append(cands, res.Candidates)
+		answers = append(answers, res.Answers)
+		totalTime += res.TotalTime()
+		if verbose {
+			fmt.Printf("query %3d (%d edges): %4d candidates, %4d answers, %v (filter %v, verify %v)\n",
+				i, q.NumEdges(), len(res.Candidates), len(res.Answers),
+				res.TotalTime().Round(time.Microsecond),
+				res.FilterTime.Round(time.Microsecond), res.VerifyTime.Round(time.Microsecond))
+		}
+	}
+	n := len(qds.Graphs)
+	if n == 0 {
+		return fmt.Errorf("no queries in %s", queryPath)
+	}
+	fmt.Printf("%d queries: avg time %v, false positive ratio %.4f\n",
+		n, (totalTime / time.Duration(n)).Round(time.Microsecond),
+		workload.FalsePositiveRatio(cands, answers))
+	return nil
+}

@@ -1,0 +1,161 @@
+// Command sqbench regenerates the tables and figures of "Performance and
+// Scalability of Indexed Subgraph Query Processing Methods" (PVLDB 2015).
+//
+// Usage:
+//
+//	sqbench -exp fig2 -scale default
+//	sqbench -exp all -scale bench -o results.txt
+//	sqbench -exp fig3 -methods Grapes,GGSX,CTindex
+//
+// Experiments: table1, fig1, fig2, fig3, fig4, fig5, fig6, all. Figure 4 is
+// the per-query-size view of Figure 3's runs and reuses its sweep.
+// Scales: bench (seconds), default (minutes), paper (the full grid — days).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1, fig1, fig2, fig3, fig4, fig5, fig6, ablation, all")
+	scaleName := flag.String("scale", "default", "scale: bench, default, paper")
+	methodsFlag := flag.String("methods", "", "comma-separated method subset (default: all six)")
+	out := flag.String("o", "", "write the report to this file (default stdout)")
+	csvPath := flag.String("csv", "", "also write tidy CSV rows to this file")
+	quiet := flag.Bool("q", false, "suppress progress logging")
+	flag.Parse()
+
+	if err := run(*exp, *scaleName, *methodsFlag, *out, *csvPath, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "sqbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(expName, scaleName, methodsFlag, outPath, csvPath string, quiet bool) error {
+	scale, err := bench.ScaleByName(scaleName)
+	if err != nil {
+		return err
+	}
+	methods, err := parseMethods(methodsFlag)
+	if err != nil {
+		return err
+	}
+
+	var w io.Writer = os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	var log io.Writer
+	if !quiet {
+		log = os.Stderr
+	}
+	var csvW io.Writer
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		csvW = f
+	}
+
+	ctx := context.Background()
+	want := func(name string) bool { return expName == "all" || expName == name }
+	ran := false
+
+	if want("table1") {
+		names, stats := bench.Table1Stats(scale)
+		bench.WriteTable1(w, names, stats)
+		ran = true
+	}
+	figures := []struct {
+		name string
+		exp  bench.Experiment
+	}{
+		{"fig1", bench.Fig1(scale)},
+		{"fig2", bench.Fig2(scale)},
+		{"fig3", bench.Fig3(scale)},
+		{"fig5", bench.Fig5(scale)},
+		{"fig6", bench.Fig6(scale)},
+	}
+	fig4 := want("fig4")
+	for _, f := range figures {
+		runThis := want(f.name)
+		// Figure 4 is derived from Figure 3's sweep.
+		if f.name == "fig3" && fig4 {
+			runThis = true
+		}
+		if !runThis {
+			continue
+		}
+		e := f.exp
+		e.Methods = methods
+		results, err := bench.Run(ctx, e, log)
+		if err != nil {
+			return fmt.Errorf("%s: %w", f.name, err)
+		}
+		if want(f.name) {
+			bench.WriteReport(w, e, results)
+			if csvW != nil {
+				if err := bench.WriteCSV(csvW, e, results); err != nil {
+					return fmt.Errorf("%s csv: %w", f.name, err)
+				}
+			}
+		}
+		if f.name == "fig3" && (fig4 || expName == "all") {
+			e4 := e
+			e4.Title = "Figure 4: query time per query size, varying density"
+			bench.WritePerSizeReport(w, e4, results)
+		}
+		ran = true
+	}
+	if want("ablation") {
+		ds := bench.AblationDataset(scale)
+		for _, ab := range bench.Ablations() {
+			results, err := bench.RunAblation(ctx, ab, ds, scale, log)
+			if err != nil {
+				return fmt.Errorf("ablation %s: %w", ab.Name, err)
+			}
+			bench.WriteAblationReport(w, ab, results)
+		}
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", expName)
+	}
+	return nil
+}
+
+func parseMethods(s string) ([]bench.MethodID, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []bench.MethodID
+	for _, part := range strings.Split(s, ",") {
+		id := bench.MethodID(strings.TrimSpace(part))
+		found := false
+		for _, known := range bench.AllMethods {
+			if id == known {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown method %q (known: %v)", id, bench.AllMethods)
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}

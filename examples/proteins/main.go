@@ -1,0 +1,69 @@
+// Proteins: motif search over a PPI-like dataset of few, large,
+// medium-degree interaction networks — the regime where the paper finds
+// exhaustive path indexes (GGSX, Grapes) still standing while richer
+// feature extraction gets expensive. The example indexes the dataset with
+// both GGSX and Grapes, runs the same random-walk motif workload through
+// each, and reports how the location information changes the work done.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	// Simulated PPI dataset: 10 networks of ~250 proteins, average degree
+	// ~5.5, 46 protein families (labels); all networks disconnected, as in
+	// Table 1.
+	cfg := repro.PPI.Scaled(2, 20)
+	cfg.AvgEdges = cfg.AvgNodes * 2.75
+	cfg.Seed = 17
+	ds := repro.NewRealisticDataset(cfg)
+	st := ds.ComputeStats()
+	fmt.Printf("interactomes: %d networks, avg %.0f proteins / %.0f interactions, %d disconnected\n",
+		st.NumGraphs, st.AvgNodes, st.AvgEdges, st.NumDisconnected)
+
+	// Motif workload: 16-edge connected subnetworks.
+	queries, err := repro.GenerateQueries(ds, repro.WorkloadConfig{
+		NumQueries: 10, QueryEdges: 16, Seed: 18,
+	})
+	if err != nil {
+		log.Fatalf("workload: %v", err)
+	}
+
+	ctx := context.Background()
+	for _, id := range []repro.MethodID{repro.GGSX, repro.Grapes} {
+		idx := repro.NewIndex(id)
+		t0 := time.Now()
+		if err := idx.Build(ctx, ds); err != nil {
+			fmt.Printf("%-8s DNF during indexing: %v\n", id, err)
+			continue
+		}
+		buildTime := time.Since(t0)
+
+		proc := repro.NewProcessor(idx, ds)
+		var queryTime time.Duration
+		var cands, answers []repro.IDSet
+		for _, q := range queries {
+			res, err := proc.Query(q)
+			if err != nil {
+				log.Fatalf("%s: %v", id, err)
+			}
+			queryTime += res.TotalTime()
+			cands = append(cands, res.Candidates)
+			answers = append(answers, res.Answers)
+		}
+		fmt.Printf("%-8s index %8v (%6.1f MB) | %d motif queries in %8v | FP ratio %.3f\n",
+			id, buildTime.Round(time.Millisecond), float64(idx.SizeBytes())/(1<<20),
+			len(queries), queryTime.Round(time.Millisecond),
+			repro.FalsePositiveRatio(cands, answers))
+	}
+
+	fmt.Println("\nGrapes pays more memory for start-vertex locations, letting it verify")
+	fmt.Println("against single connected components of these disconnected networks;")
+	fmt.Println("GGSX keeps only occurrence counts and verifies whole graphs.")
+}

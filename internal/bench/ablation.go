@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/ctindex"
+	"repro/internal/gen"
+	"repro/internal/ggsx"
+	"repro/internal/gindex"
+	"repro/internal/grapes"
+	"repro/internal/graph"
+)
+
+// Variant is one configuration of a method in an ablation study.
+type Variant struct {
+	Name string
+	Make func() core.Method
+}
+
+// Ablation studies one design-space axis the paper's §6 analysis attributes
+// the methods' behaviour to, by sweeping a single parameter of a single
+// method over the sane-defaults dataset.
+type Ablation struct {
+	Name     string
+	Title    string
+	Variants []Variant
+}
+
+// Ablations returns the ablation studies for the design decisions called
+// out in DESIGN.md:
+//
+//   - path feature length (Grapes/GGSX): filtering power vs index size;
+//   - CT-Index feature size: the paper's §4.1 note that size-4 features
+//     trade a little filtering power for much lower times than the
+//     original's size-6;
+//   - CT-Index fingerprint width: hash saturation vs memory;
+//   - Grapes build parallelism: the paper credits Grapes's indexing lead
+//     to its multi-threaded construction;
+//   - gIndex discriminative gate: index size vs filtering power.
+func Ablations() []Ablation {
+	return []Ablation{
+		{
+			Name:  "pathlen",
+			Title: "Path feature length (GGSX)",
+			Variants: []Variant{
+				{"paths<=2", func() core.Method { return ggsx.New(ggsx.Options{MaxPathLen: 2}) }},
+				{"paths<=3", func() core.Method { return ggsx.New(ggsx.Options{MaxPathLen: 3}) }},
+				{"paths<=4", func() core.Method { return ggsx.New(ggsx.Options{MaxPathLen: 4}) }},
+				{"paths<=5", func() core.Method { return ggsx.New(ggsx.Options{MaxPathLen: 5}) }},
+			},
+		},
+		{
+			Name:  "ctfeature",
+			Title: "CT-Index feature size (trees/cycles)",
+			Variants: []Variant{
+				{"size<=3", func() core.Method {
+					return ctindex.New(ctindex.Options{MaxTreeSize: 3, MaxCycleSize: 3})
+				}},
+				{"size<=4", func() core.Method {
+					return ctindex.New(ctindex.Options{MaxTreeSize: 4, MaxCycleSize: 4})
+				}},
+				{"size<=5", func() core.Method {
+					return ctindex.New(ctindex.Options{MaxTreeSize: 5, MaxCycleSize: 5})
+				}},
+			},
+		},
+		{
+			Name:  "fingerprint",
+			Title: "CT-Index fingerprint width (bits)",
+			Variants: []Variant{
+				{"512b", func() core.Method { return ctindex.New(ctindex.Options{FingerprintBits: 512}) }},
+				{"1024b", func() core.Method { return ctindex.New(ctindex.Options{FingerprintBits: 1024}) }},
+				{"4096b", func() core.Method { return ctindex.New(ctindex.Options{FingerprintBits: 4096}) }},
+				{"16384b", func() core.Method { return ctindex.New(ctindex.Options{FingerprintBits: 16384}) }},
+			},
+		},
+		{
+			Name:  "workers",
+			Title: "Grapes build parallelism (threads)",
+			Variants: []Variant{
+				{"1 thread", func() core.Method { return grapes.New(grapes.Options{Workers: 1}) }},
+				{"2 threads", func() core.Method { return grapes.New(grapes.Options{Workers: 2}) }},
+				{"6 threads", func() core.Method { return grapes.New(grapes.Options{Workers: 6}) }},
+				{"12 threads", func() core.Method { return grapes.New(grapes.Options{Workers: 12}) }},
+			},
+		},
+		{
+			Name:  "discgate",
+			Title: "gIndex discriminative gate",
+			Variants: []Variant{
+				{"gate=1.0", func() core.Method {
+					return gindex.New(gindex.Options{DiscriminativeGate: 1.0001, MaxFeatureSize: 6, MaxPatterns: 50000})
+				}},
+				{"gate=2.0", func() core.Method {
+					return gindex.New(gindex.Options{DiscriminativeGate: 2.0, MaxFeatureSize: 6, MaxPatterns: 50000})
+				}},
+				{"gate=4.0", func() core.Method {
+					return gindex.New(gindex.Options{DiscriminativeGate: 4.0, MaxFeatureSize: 6, MaxPatterns: 50000})
+				}},
+			},
+		},
+	}
+}
+
+// AblationDataset is the sane-defaults dataset the ablations run on.
+func AblationDataset(s Scale) *graph.Dataset {
+	return gen.Synthetic(gen.SynthConfig{
+		NumGraphs: s.Graphs, MeanNodes: s.Nodes, MeanDensity: s.Density,
+		NumLabels: s.Labels, Seed: s.Seed + 999,
+	})
+}
+
+// RunAblation executes one ablation study over ds and returns a result per
+// variant, in order.
+func RunAblation(ctx context.Context, ab Ablation, ds *graph.Dataset, s Scale, log io.Writer) ([]MethodResult, error) {
+	exp := Experiment{
+		Name:           "ablation/" + ab.Name,
+		Title:          ab.Title,
+		XAxis:          "variant",
+		QuerySizes:     s.QuerySizes,
+		QueriesPerSize: s.QueriesPerSize,
+		BuildTimeout:   s.BuildTimeout,
+		QueryTimeout:   s.QueryTimeout,
+		Seed:           s.Seed,
+	}
+	queries, err := buildWorkload(ds, exp)
+	if err != nil {
+		return nil, fmt.Errorf("bench: ablation %s: %w", ab.Name, err)
+	}
+	var out []MethodResult
+	for _, v := range ab.Variants {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		mr := runMethodInstance(ctx, MethodID(v.Name), v.Make(), ds, queries, exp)
+		if log != nil {
+			fmt.Fprintf(log, "[ablation/%s] %-12s build=%v size=%s query=%v fp=%.3f%s\n",
+				ab.Name, v.Name, mr.BuildTime.Round(1000), fmtBytes(mr.IndexSize),
+				mr.AvgQueryTime, mr.FPRatio, dnfSuffix(mr))
+		}
+		out = append(out, mr)
+	}
+	return out, nil
+}
+
+// WriteAblationReport renders one ablation study's results.
+func WriteAblationReport(w io.Writer, ab Ablation, results []MethodResult) {
+	fmt.Fprintf(w, "\n# Ablation: %s\n", ab.Title)
+	fmt.Fprintf(w, "%-12s %12s %12s %14s %10s\n", "variant", "build(s)", "size(MB)", "query(s)", "FP ratio")
+	for _, mr := range results {
+		if mr.DNF {
+			fmt.Fprintf(w, "%-12s %12s\n", mr.Method, "DNF")
+			continue
+		}
+		fmt.Fprintf(w, "%-12s %12.3f %12.3f %14.5f %10.3f\n",
+			mr.Method, mr.BuildTime.Seconds(), float64(mr.IndexSize)/(1<<20),
+			mr.AvgQueryTime.Seconds(), mr.FPRatio)
+	}
+}

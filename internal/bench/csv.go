@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV renders an experiment's results as tidy CSV (one row per
+// x-point × method, one column per metric), the format plotting pipelines
+// ingest directly.
+func WriteCSV(w io.Writer, exp Experiment, results []PointResult) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"experiment", exp.XAxis, "method", "dnf", "build_seconds",
+		"index_bytes", "avg_query_seconds", "fp_ratio",
+		"avg_candidates", "avg_answers", "queries",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, pr := range results {
+		for _, mr := range pr.Methods {
+			row := []string{
+				exp.Name,
+				pr.Spec.Label,
+				string(mr.Method),
+				strconv.FormatBool(mr.DNF),
+				fmt.Sprintf("%.6f", mr.BuildTime.Seconds()),
+				strconv.FormatInt(mr.IndexSize, 10),
+				fmt.Sprintf("%.6f", mr.AvgQueryTime.Seconds()),
+				fmt.Sprintf("%.4f", mr.FPRatio),
+				fmt.Sprintf("%.2f", mr.AvgCandidates),
+				fmt.Sprintf("%.2f", mr.AvgAnswers),
+				strconv.Itoa(mr.QueriesRun),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,90 @@
+// Package bench is the experiment harness that regenerates every table and
+// figure of the paper's evaluation (§5): it builds datasets, runs all six
+// methods under a per-point time budget (the analogue of the paper's 8-hour
+// kill switch), and reports indexing time, index size, query processing
+// time, and false positive ratio as gnuplot-style series.
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ctindex"
+	"repro/internal/gcode"
+	"repro/internal/ggsx"
+	"repro/internal/gindex"
+	"repro/internal/grapes"
+	"repro/internal/scan"
+	"repro/internal/treedelta"
+)
+
+// MethodID names one of the six compared methods, spelled as in the paper's
+// figure legends.
+type MethodID string
+
+// The six methods of §3, plus the naive no-index baseline of §1.
+const (
+	Grapes    MethodID = "Grapes"
+	GGSX      MethodID = "GGSX"
+	CTIndex   MethodID = "CTindex"
+	GIndex    MethodID = "gIndex"
+	TreeDelta MethodID = "tree+delta"
+	GCode     MethodID = "gCode"
+	// NoIndex is the sequential VF2 scan the paper's introduction motivates
+	// against. It is not part of AllMethods (the paper's figures exclude
+	// it); select it explicitly with -methods NoIndex.
+	NoIndex MethodID = "NoIndex"
+)
+
+// AllMethods lists the six compared methods in the paper's legend order.
+var AllMethods = []MethodID{Grapes, GGSX, CTIndex, GIndex, TreeDelta, GCode}
+
+// MethodLimits bounds the work of the unbounded-cost methods so that a
+// stress point degenerates into a DNF instead of hanging forever. The zero
+// value means "paper defaults with the harness's standard budgets".
+type MethodLimits struct {
+	// MaxPatterns caps gSpan pattern emission for gIndex and Tree+Δ
+	// (0 = harness default).
+	MaxPatterns int
+}
+
+// DefaultMaxPatterns is the standard mining budget; exceeding it marks the
+// run DNF, mirroring the frequent-mining methods' 8-hour timeouts in the
+// paper.
+const DefaultMaxPatterns = 200000
+
+// NewMethod instantiates a method with the paper's §4.1 parameter defaults.
+func NewMethod(id MethodID, lim MethodLimits) (core.Method, error) {
+	maxPatterns := lim.MaxPatterns
+	if maxPatterns == 0 {
+		maxPatterns = DefaultMaxPatterns
+	}
+	switch id {
+	case Grapes:
+		return grapes.New(grapes.Options{MaxPathLen: 4, Workers: 6}), nil
+	case GGSX:
+		return ggsx.New(ggsx.Options{MaxPathLen: 4}), nil
+	case CTIndex:
+		return ctindex.New(ctindex.Options{FingerprintBits: 4096, MaxTreeSize: 4, MaxCycleSize: 4}), nil
+	case GIndex:
+		return gindex.New(gindex.Options{
+			MaxFeatureSize:     10,
+			SupportRatio:       0.1,
+			DiscriminativeGate: 2.0,
+			MaxPatterns:        maxPatterns,
+		}), nil
+	case TreeDelta:
+		return treedelta.New(treedelta.Options{
+			MaxFeatureSize:      10,
+			SupportRatio:        0.1,
+			DiscriminativeRatio: 0.1,
+			QuerySupportToAdd:   0.8,
+			MaxPatterns:         maxPatterns,
+		}), nil
+	case GCode:
+		return gcode.New(gcode.Options{PathLen: 2, NumEigenvalues: 2}), nil
+	case NoIndex:
+		return scan.New(), nil
+	}
+	return nil, fmt.Errorf("bench: unknown method %q", id)
+}

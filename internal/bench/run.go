@@ -1,0 +1,366 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+// DatasetSpec is one x-axis point of an experiment: a labelled dataset
+// constructor. Construction is deferred so a sweep doesn't hold every
+// dataset in memory at once.
+type DatasetSpec struct {
+	// X is the x-axis value (number of nodes, density, ...).
+	X float64
+	// Label renders X for the report ("50", "0.025", "AIDS").
+	Label string
+	// Make constructs the dataset.
+	Make func() *graph.Dataset
+}
+
+// Experiment describes one figure-generating run.
+type Experiment struct {
+	// Name identifies the experiment ("fig2", ...).
+	Name string
+	// Title is the human-readable description.
+	Title string
+	// XAxis names the swept parameter.
+	XAxis string
+	// Points are the x-axis dataset specs.
+	Points []DatasetSpec
+	// QuerySizes are the query edge counts (paper: 4, 8, 16, 32).
+	QuerySizes []int
+	// QueriesPerSize is the number of queries per size.
+	QueriesPerSize int
+	// Methods are the compared methods (default: all six).
+	Methods []MethodID
+	// BuildTimeout and QueryTimeout bound each method's build and whole
+	// query phase per point; exceeding one marks the cell DNF, mirroring
+	// the paper's 8-hour limit. Zero means no limit.
+	BuildTimeout time.Duration
+	QueryTimeout time.Duration
+	// Limits bounds the unbounded-cost methods.
+	Limits MethodLimits
+	// Seed makes query workloads reproducible.
+	Seed int64
+}
+
+// MethodResult is one (method, dataset point) cell of an experiment.
+type MethodResult struct {
+	Method MethodID
+	// DNF is set when the method could not finish within its budget; Reason
+	// explains which stage gave up.
+	DNF    bool
+	Reason string
+
+	BuildTime time.Duration
+	IndexSize int64
+
+	// Query metrics, overall and per query size.
+	AvgQueryTime  time.Duration
+	FPRatio       float64
+	TimeBySize    map[int]time.Duration
+	FPBySize      map[int]float64
+	QueriesRun    int
+	AvgCandidates float64
+	AvgAnswers    float64
+}
+
+// PointResult aggregates all methods at one x-axis point.
+type PointResult struct {
+	Spec    DatasetSpec
+	Stats   graph.Stats
+	Methods []MethodResult
+}
+
+// Run executes the experiment, streaming progress to log (if non-nil), and
+// returns all point results.
+func Run(ctx context.Context, exp Experiment, log io.Writer) ([]PointResult, error) {
+	if len(exp.Methods) == 0 {
+		exp.Methods = AllMethods
+	}
+	if exp.QueriesPerSize == 0 {
+		exp.QueriesPerSize = 10
+	}
+	if len(exp.QuerySizes) == 0 {
+		exp.QuerySizes = []int{4, 8, 16, 32}
+	}
+	logf := func(format string, args ...any) {
+		if log != nil {
+			fmt.Fprintf(log, format, args...)
+		}
+	}
+	var out []PointResult
+	for _, spec := range exp.Points {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		logf("[%s] %s=%s: generating dataset...\n", exp.Name, exp.XAxis, spec.Label)
+		ds := spec.Make()
+		pr := PointResult{Spec: spec, Stats: ds.ComputeStats()}
+
+		queries, err := buildWorkload(ds, exp)
+		if err != nil {
+			return out, fmt.Errorf("bench: %s point %s: %w", exp.Name, spec.Label, err)
+		}
+
+		for _, id := range exp.Methods {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
+			mr := runMethod(ctx, id, ds, queries, exp)
+			logf("[%s] %s=%s %-10s build=%v size=%s query=%v fp=%.3f%s\n",
+				exp.Name, exp.XAxis, spec.Label, id,
+				mr.BuildTime.Round(time.Millisecond), fmtBytes(mr.IndexSize),
+				mr.AvgQueryTime.Round(time.Microsecond), mr.FPRatio, dnfSuffix(mr))
+			pr.Methods = append(pr.Methods, mr)
+		}
+		out = append(out, pr)
+	}
+	return out, nil
+}
+
+func dnfSuffix(mr MethodResult) string {
+	if mr.DNF {
+		return " DNF(" + mr.Reason + ")"
+	}
+	return ""
+}
+
+// sizedQuery pairs a query with its workload size bucket.
+type sizedQuery struct {
+	q    *graph.Graph
+	size int
+}
+
+func buildWorkload(ds *graph.Dataset, exp Experiment) ([]sizedQuery, error) {
+	var out []sizedQuery
+	for _, size := range exp.QuerySizes {
+		qs, err := workload.Generate(ds, workload.Config{
+			NumQueries: exp.QueriesPerSize,
+			QueryEdges: size,
+			Seed:       exp.Seed + int64(size),
+		})
+		if err != nil {
+			// Datasets whose graphs are too small for a query size skip
+			// that size, as the paper does for its smallest datasets.
+			continue
+		}
+		for _, q := range qs {
+			out = append(out, sizedQuery{q: q, size: size})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no query size in %v is feasible", exp.QuerySizes)
+	}
+	return out, nil
+}
+
+func runMethod(ctx context.Context, id MethodID, ds *graph.Dataset, queries []sizedQuery, exp Experiment) MethodResult {
+	m, err := NewMethod(id, exp.Limits)
+	if err != nil {
+		return MethodResult{Method: id, DNF: true, Reason: err.Error()}
+	}
+	return runMethodInstance(ctx, id, m, ds, queries, exp)
+}
+
+// runMethodInstance measures one prebuilt method instance; ablations use it
+// to measure non-default configurations.
+func runMethodInstance(ctx context.Context, id MethodID, m core.Method, ds *graph.Dataset, queries []sizedQuery, exp Experiment) MethodResult {
+	mr := MethodResult{
+		Method:     id,
+		TimeBySize: map[int]time.Duration{},
+		FPBySize:   map[int]float64{},
+	}
+
+	buildCtx, cancel := withOptionalTimeout(ctx, exp.BuildTimeout)
+	st, err := core.BuildTimed(buildCtx, m, ds)
+	cancel()
+	mr.BuildTime = st.Elapsed
+	if err != nil {
+		mr.DNF, mr.Reason = true, "indexing: "+err.Error()
+		return mr
+	}
+	mr.IndexSize = m.SizeBytes()
+
+	proc := core.NewProcessor(m, ds)
+	queryCtx, cancel := withOptionalTimeout(ctx, exp.QueryTimeout)
+	defer cancel()
+
+	type bucket struct {
+		n     int
+		time  time.Duration
+		fpSum float64
+	}
+	buckets := map[int]*bucket{}
+	var total time.Duration
+	var fpTotal, candTotal, ansTotal float64
+	for _, sq := range queries {
+		res, err := proc.QueryCtx(queryCtx, sq.q)
+		if err != nil {
+			mr.DNF, mr.Reason = true, "query processing: "+err.Error()
+			break
+		}
+		b := buckets[sq.size]
+		if b == nil {
+			b = &bucket{}
+			buckets[sq.size] = b
+		}
+		b.n++
+		b.time += res.TotalTime()
+		b.fpSum += res.FalsePositiveRatio()
+		total += res.TotalTime()
+		fpTotal += res.FalsePositiveRatio()
+		candTotal += float64(len(res.Candidates))
+		ansTotal += float64(len(res.Answers))
+		mr.QueriesRun++
+	}
+	if mr.QueriesRun > 0 {
+		mr.AvgQueryTime = total / time.Duration(mr.QueriesRun)
+		mr.FPRatio = fpTotal / float64(mr.QueriesRun)
+		mr.AvgCandidates = candTotal / float64(mr.QueriesRun)
+		mr.AvgAnswers = ansTotal / float64(mr.QueriesRun)
+		for size, b := range buckets {
+			mr.TimeBySize[size] = b.time / time.Duration(b.n)
+			mr.FPBySize[size] = b.fpSum / float64(b.n)
+		}
+	}
+	return mr
+}
+
+func withOptionalTimeout(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return context.WithCancel(ctx)
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
+}
+
+// WriteReport renders the four panels of a figure (indexing time, index
+// size, query time, false positive ratio) as gnuplot-style series: one line
+// per x point, one column per method, DNF for missing cells.
+func WriteReport(w io.Writer, exp Experiment, results []PointResult) {
+	methods := exp.Methods
+	if len(methods) == 0 {
+		methods = AllMethods
+	}
+	panel := func(title string, cell func(MethodResult) string) {
+		fmt.Fprintf(w, "\n# %s — %s (x: %s)\n", exp.Title, title, exp.XAxis)
+		fmt.Fprintf(w, "%-12s", exp.XAxis)
+		for _, id := range methods {
+			fmt.Fprintf(w, " %12s", id)
+		}
+		fmt.Fprintln(w)
+		for _, pr := range results {
+			fmt.Fprintf(w, "%-12s", pr.Spec.Label)
+			for _, id := range methods {
+				mr, ok := findMethod(pr.Methods, id)
+				if !ok || mr.DNF {
+					fmt.Fprintf(w, " %12s", "DNF")
+					continue
+				}
+				fmt.Fprintf(w, " %12s", cell(mr))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	panel("(a) Indexing Time (s)", func(mr MethodResult) string {
+		return fmt.Sprintf("%.3f", mr.BuildTime.Seconds())
+	})
+	panel("(b) Index Size (MB)", func(mr MethodResult) string {
+		return fmt.Sprintf("%.3f", float64(mr.IndexSize)/(1<<20))
+	})
+	panel("(c) Query Processing Time (s)", func(mr MethodResult) string {
+		return fmt.Sprintf("%.5f", mr.AvgQueryTime.Seconds())
+	})
+	panel("(d) Avg False Positive Ratio", func(mr MethodResult) string {
+		return fmt.Sprintf("%.3f", mr.FPRatio)
+	})
+}
+
+// WritePerSizeReport renders per-query-size query time panels (Figure 4).
+func WritePerSizeReport(w io.Writer, exp Experiment, results []PointResult) {
+	methods := exp.Methods
+	if len(methods) == 0 {
+		methods = AllMethods
+	}
+	sizes := append([]int(nil), exp.QuerySizes...)
+	sort.Ints(sizes)
+	for _, size := range sizes {
+		fmt.Fprintf(w, "\n# %s — Query Size: %d (query time s, x: %s)\n", exp.Title, size, exp.XAxis)
+		fmt.Fprintf(w, "%-12s", exp.XAxis)
+		for _, id := range methods {
+			fmt.Fprintf(w, " %12s", id)
+		}
+		fmt.Fprintln(w)
+		for _, pr := range results {
+			fmt.Fprintf(w, "%-12s", pr.Spec.Label)
+			for _, id := range methods {
+				mr, ok := findMethod(pr.Methods, id)
+				if !ok || mr.DNF {
+					fmt.Fprintf(w, " %12s", "DNF")
+					continue
+				}
+				t, ok := mr.TimeBySize[size]
+				if !ok {
+					fmt.Fprintf(w, " %12s", "-")
+					continue
+				}
+				fmt.Fprintf(w, " %12.5f", t.Seconds())
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+func findMethod(ms []MethodResult, id MethodID) (MethodResult, bool) {
+	for _, mr := range ms {
+		if mr.Method == id {
+			return mr, true
+		}
+	}
+	return MethodResult{}, false
+}
+
+// WriteTable1 renders the dataset characteristics table.
+func WriteTable1(w io.Writer, names []string, stats []graph.Stats) {
+	fmt.Fprintf(w, "\n# Table 1: Characteristics of (simulated) real datasets\n")
+	fmt.Fprintf(w, "%-22s", "metric")
+	for _, n := range names {
+		fmt.Fprintf(w, " %10s", n)
+	}
+	fmt.Fprintln(w)
+	row := func(name string, f func(graph.Stats) string) {
+		fmt.Fprintf(w, "%-22s", name)
+		for _, s := range stats {
+			fmt.Fprintf(w, " %10s", f(s))
+		}
+		fmt.Fprintln(w)
+	}
+	row("# graphs", func(s graph.Stats) string { return fmt.Sprintf("%d", s.NumGraphs) })
+	row("# disconnected", func(s graph.Stats) string { return fmt.Sprintf("%d", s.NumDisconnected) })
+	row("# labels", func(s graph.Stats) string { return fmt.Sprintf("%d", s.NumLabels) })
+	row("avg nodes", func(s graph.Stats) string { return fmt.Sprintf("%.1f", s.AvgNodes) })
+	row("stddev nodes", func(s graph.Stats) string { return fmt.Sprintf("%.1f", s.StdDevNodes) })
+	row("avg edges", func(s graph.Stats) string { return fmt.Sprintf("%.1f", s.AvgEdges) })
+	row("avg density", func(s graph.Stats) string { return fmt.Sprintf("%.4f", s.AvgDensity) })
+	row("avg degree", func(s graph.Stats) string { return fmt.Sprintf("%.2f", s.AvgDegree) })
+	row("avg labels/graph", func(s graph.Stats) string { return fmt.Sprintf("%.1f", s.AvgLabelsPerGraph) })
+}

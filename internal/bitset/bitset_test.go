@@ -1,0 +1,119 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGetClear(t *testing.T) {
+	b := New(130)
+	if b.Len() != 130 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Get(i) {
+			t.Fatalf("bit %d set in fresh bitset", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if b.OnesCount() != 8 {
+		t.Fatalf("OnesCount = %d, want 8", b.OnesCount())
+	}
+	b.Clear(64)
+	if b.Get(64) || b.OnesCount() != 7 {
+		t.Fatalf("Clear failed")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	a := New(256)
+	b := New(256)
+	for _, i := range []int{3, 70, 200} {
+		a.Set(i)
+		b.Set(i)
+	}
+	b.Set(100)
+	if !a.IsSubsetOf(b) {
+		t.Fatalf("a should be subset of b")
+	}
+	if b.IsSubsetOf(a) {
+		t.Fatalf("b should not be subset of a")
+	}
+	if !a.IsSubsetOf(a) {
+		t.Fatalf("a should be subset of itself")
+	}
+	empty := New(256)
+	if !empty.IsSubsetOf(a) {
+		t.Fatalf("empty should be subset of anything")
+	}
+}
+
+func TestOrEqualClone(t *testing.T) {
+	a := New(100)
+	b := New(100)
+	a.Set(5)
+	b.Set(99)
+	c := a.Clone()
+	c.Or(b)
+	if !c.Get(5) || !c.Get(99) {
+		t.Fatalf("Or missing bits")
+	}
+	if a.Get(99) {
+		t.Fatalf("Or mutated source clone origin")
+	}
+	if a.Equal(b) || !a.Equal(a.Clone()) {
+		t.Fatalf("Equal broken")
+	}
+	if a.Equal(New(101)) {
+		t.Fatalf("different lengths reported equal")
+	}
+}
+
+func TestSubsetProperty(t *testing.T) {
+	// If a's bits are a subset of b's by construction, IsSubsetOf holds, and
+	// the union of a and b equals b.
+	f := func(bits []uint16, extra []uint16) bool {
+		a := New(1 << 16)
+		b := New(1 << 16)
+		for _, i := range bits {
+			a.Set(int(i))
+			b.Set(int(i))
+		}
+		for _, i := range extra {
+			b.Set(int(i))
+		}
+		if !a.IsSubsetOf(b) {
+			return false
+		}
+		u := a.Clone()
+		u.Or(b)
+		return u.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnesCountMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	b := New(1000)
+	set := map[int]bool{}
+	for i := 0; i < 300; i++ {
+		k := rng.Intn(1000)
+		b.Set(k)
+		set[k] = true
+	}
+	if b.OnesCount() != len(set) {
+		t.Fatalf("OnesCount = %d, want %d", b.OnesCount(), len(set))
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	if New(4096).SizeBytes() < 512 {
+		t.Fatalf("4096-bit bitset smaller than 512 bytes")
+	}
+}

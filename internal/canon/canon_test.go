@@ -1,0 +1,265 @@
+package canon
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func path(labels ...graph.Label) *graph.Graph {
+	g := graph.New(0)
+	for _, l := range labels {
+		g.AddVertex(l)
+	}
+	for i := 1; i < len(labels); i++ {
+		g.MustAddEdge(int32(i-1), int32(i))
+	}
+	return g
+}
+
+func TestPathKeyReversalInvariance(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		seq := make([]graph.Label, len(raw))
+		rev := make([]graph.Label, len(raw))
+		for i, b := range raw {
+			seq[i] = graph.Label(b % 5)
+			rev[len(raw)-1-i] = graph.Label(b % 5)
+		}
+		return PathKey(seq) == PathKey(rev)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathKeyDistinguishes(t *testing.T) {
+	a := PathKey([]graph.Label{1, 2, 3})
+	b := PathKey([]graph.Label{1, 3, 2})
+	if a == b {
+		t.Fatalf("distinct paths share key")
+	}
+	if PathKey(nil) != "" {
+		t.Fatalf("empty path key not empty")
+	}
+	// Length matters: [1] vs [1,1].
+	if PathKey([]graph.Label{1}) == PathKey([]graph.Label{1, 1}) {
+		t.Fatalf("paths of different length share key")
+	}
+}
+
+func TestCycleKeyRotationReflectionInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := 3 + rng.Intn(6)
+		seq := make([]graph.Label, n)
+		for i := range seq {
+			seq[i] = graph.Label(rng.Intn(4))
+		}
+		want := CycleKey(seq)
+		// Any rotation.
+		r := rng.Intn(n)
+		rot := append(append([]graph.Label{}, seq[r:]...), seq[:r]...)
+		if CycleKey(rot) != want {
+			t.Fatalf("rotation changed key: %v vs %v", seq, rot)
+		}
+		// Reflection.
+		ref := make([]graph.Label, n)
+		for i := range seq {
+			ref[i] = seq[n-1-i]
+		}
+		if CycleKey(ref) != want {
+			t.Fatalf("reflection changed key: %v vs %v", seq, ref)
+		}
+	}
+}
+
+func TestCycleVsPathKeysDisjoint(t *testing.T) {
+	seq := []graph.Label{1, 2, 3}
+	if Key(CycleKey(seq)) == PathKey(seq) {
+		t.Fatalf("cycle and path of same labels share key")
+	}
+}
+
+// permuteGraph returns g with vertices renamed by a random permutation.
+func permuteGraph(g *graph.Graph, rng *rand.Rand) *graph.Graph {
+	n := g.NumVertices()
+	perm := rng.Perm(n)
+	out := graph.New(0)
+	inv := make([]int32, n)
+	for newV, oldV := range perm {
+		inv[oldV] = int32(newV)
+	}
+	// add in new order
+	labels := make([]graph.Label, n)
+	for oldV := 0; oldV < n; oldV++ {
+		labels[inv[oldV]] = g.Label(int32(oldV))
+	}
+	for _, l := range labels {
+		out.AddVertex(l)
+	}
+	for _, e := range g.Edges() {
+		out.MustAddEdge(inv[e[0]], inv[e[1]])
+	}
+	return out
+}
+
+func randomTree(rng *rand.Rand, n, nlab int) *graph.Graph {
+	g := graph.New(0)
+	for i := 0; i < n; i++ {
+		g.AddVertex(graph.Label(rng.Intn(nlab)))
+	}
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(int32(rng.Intn(i)), int32(i))
+	}
+	return g
+}
+
+func TestTreeKeyPermutationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 120; trial++ {
+		n := 1 + rng.Intn(12)
+		tr := randomTree(rng, n, 3)
+		k1, ok := TreeKey(tr)
+		if !ok {
+			t.Fatalf("TreeKey rejected a tree")
+		}
+		p := permuteGraph(tr, rng)
+		k2, ok := TreeKey(p)
+		if !ok || k1 != k2 {
+			t.Fatalf("trial %d: permutation changed tree key", trial)
+		}
+	}
+}
+
+func TestTreeKeyDistinguishesShapes(t *testing.T) {
+	// Star S3 vs path P4, same label multiset.
+	star := graph.New(0)
+	c := star.AddVertex(1)
+	for i := 0; i < 3; i++ {
+		v := star.AddVertex(1)
+		star.MustAddEdge(c, v)
+	}
+	p := path(1, 1, 1, 1)
+	k1, _ := TreeKey(star)
+	k2, _ := TreeKey(p)
+	if k1 == k2 {
+		t.Fatalf("star and path share tree key")
+	}
+}
+
+func TestTreeKeyRejectsNonTrees(t *testing.T) {
+	tri := path(1, 2, 3)
+	tri.MustAddEdge(2, 0)
+	if _, ok := TreeKey(tri); ok {
+		t.Fatalf("cycle accepted as tree")
+	}
+	dis := graph.New(0)
+	dis.AddVertex(1)
+	dis.AddVertex(2)
+	if _, ok := TreeKey(dis); ok {
+		t.Fatalf("forest accepted as tree")
+	}
+	if _, ok := TreeKey(graph.New(0)); ok {
+		t.Fatalf("empty graph accepted as tree")
+	}
+}
+
+func TestGraphKeyPermutationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 80; trial++ {
+		n := 2 + rng.Intn(7)
+		g := randomTree(rng, n, 2)
+		for k := 0; k < rng.Intn(4); k++ {
+			u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if u != v && !g.HasEdge(u, v) {
+				g.MustAddEdge(u, v)
+			}
+		}
+		k1, ok := GraphKey(g)
+		if !ok {
+			t.Fatalf("GraphKey failed on connected graph")
+		}
+		p := permuteGraph(g, rng)
+		k2, ok := GraphKey(p)
+		if !ok || k1 != k2 {
+			t.Fatalf("trial %d: permutation changed graph key", trial)
+		}
+	}
+}
+
+func TestGraphKeyDistinguishes(t *testing.T) {
+	// Triangle vs path with same labels.
+	tri := path(1, 1, 1)
+	tri.MustAddEdge(2, 0)
+	p3 := path(1, 1, 1)
+	k1, _ := GraphKey(tri)
+	k2, _ := GraphKey(p3)
+	if k1 == k2 {
+		t.Fatalf("triangle and P3 share graph key")
+	}
+	// Different labels on the same shape.
+	a := path(1, 2)
+	b := path(1, 3)
+	ka, _ := GraphKey(a)
+	kb, _ := GraphKey(b)
+	if ka == kb {
+		t.Fatalf("different labels share graph key")
+	}
+}
+
+func TestGraphKeySingleVertexAndErrors(t *testing.T) {
+	v := graph.New(0)
+	v.AddVertex(7)
+	if _, ok := GraphKey(v); !ok {
+		t.Fatalf("single vertex rejected")
+	}
+	if _, ok := GraphKey(graph.New(0)); ok {
+		t.Fatalf("empty graph accepted")
+	}
+	dis := graph.New(0)
+	dis.AddVertex(1)
+	dis.AddVertex(1)
+	if _, ok := GraphKey(dis); ok {
+		t.Fatalf("disconnected graph accepted")
+	}
+}
+
+func TestFeatureKeyConsistentWithSpecializedKeys(t *testing.T) {
+	// A path feature keyed via FeatureKey must equal PathKey of its labels.
+	p := path(2, 1, 3)
+	got, ok := FeatureKey(p)
+	if !ok || got != PathKey([]graph.Label{2, 1, 3}) {
+		t.Fatalf("FeatureKey(path) != PathKey")
+	}
+	// A cycle feature keyed via FeatureKey must equal CycleKey.
+	c := path(1, 2, 3, 4)
+	c.MustAddEdge(3, 0)
+	gotC, ok := FeatureKey(c)
+	if !ok || gotC != CycleKey([]graph.Label{1, 2, 3, 4}) {
+		t.Fatalf("FeatureKey(cycle) != CycleKey")
+	}
+}
+
+func TestFeatureKeyIsomorphismInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 80; trial++ {
+		n := 2 + rng.Intn(6)
+		g := randomTree(rng, n, 2)
+		for k := 0; k < rng.Intn(3); k++ {
+			u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if u != v && !g.HasEdge(u, v) {
+				g.MustAddEdge(u, v)
+			}
+		}
+		k1, ok1 := FeatureKey(g)
+		k2, ok2 := FeatureKey(permuteGraph(g, rng))
+		if !ok1 || !ok2 || k1 != k2 {
+			t.Fatalf("trial %d: FeatureKey not invariant", trial)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package canon
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// FuzzPathKey checks reversal invariance and length discrimination on
+// arbitrary label sequences.
+func FuzzPathKey(f *testing.F) {
+	f.Add([]byte{1, 2, 3})
+	f.Add([]byte{})
+	f.Add([]byte{7, 7, 7, 7})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		seq := make([]graph.Label, len(raw))
+		rev := make([]graph.Label, len(raw))
+		for i, b := range raw {
+			seq[i] = graph.Label(b)
+			rev[len(raw)-1-i] = graph.Label(b)
+		}
+		if PathKey(seq) != PathKey(rev) {
+			t.Fatalf("reversal changed key: %v", seq)
+		}
+		if len(seq) > 0 && PathKey(seq) == PathKey(seq[:len(seq)-1]) {
+			t.Fatalf("prefix shares key: %v", seq)
+		}
+	})
+}
+
+// FuzzCycleKey checks rotation and reflection invariance.
+func FuzzCycleKey(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, uint8(1))
+	f.Add([]byte{5, 5, 5, 5}, uint8(2))
+	f.Fuzz(func(t *testing.T, raw []byte, rot uint8) {
+		if len(raw) == 0 || len(raw) > 32 {
+			return
+		}
+		n := len(raw)
+		seq := make([]graph.Label, n)
+		for i, b := range raw {
+			seq[i] = graph.Label(b % 7)
+		}
+		want := CycleKey(seq)
+		r := int(rot) % n
+		rotated := append(append([]graph.Label{}, seq[r:]...), seq[:r]...)
+		if CycleKey(rotated) != want {
+			t.Fatalf("rotation changed key: %v rot %d", seq, r)
+		}
+		ref := make([]graph.Label, n)
+		for i := range seq {
+			ref[i] = seq[n-1-i]
+		}
+		if CycleKey(ref) != want {
+			t.Fatalf("reflection changed key: %v", seq)
+		}
+	})
+}
+
+// FuzzTreeKeyEdgesAgainstReference cross-checks the fast canonizer against
+// the reference on fuzz-built trees.
+func FuzzTreeKeyEdgesAgainstReference(f *testing.F) {
+	f.Add([]byte{0, 1, 2}, []byte{1, 2, 0, 1})
+	f.Fuzz(func(t *testing.T, parents []byte, labels []byte) {
+		n := len(parents) + 1
+		if n < 2 || n > 11 || len(labels) == 0 {
+			return
+		}
+		g := graph.New(0)
+		for i := 0; i < n; i++ {
+			g.AddVertex(graph.Label(labels[i%len(labels)] % 5))
+		}
+		for i := 1; i < n; i++ {
+			g.MustAddEdge(int32(int(parents[i-1])%i), int32(i))
+		}
+		want, ok := TreeKey(g)
+		if !ok {
+			t.Fatalf("reference rejected tree")
+		}
+		ts := NewTreeScratch(n)
+		got, ok := ts.TreeKeyEdges(g.Edges(), func(v int32) graph.Label { return g.Label(v) })
+		if !ok || got != want {
+			t.Fatalf("fast canonizer diverged: %q vs %q", got, want)
+		}
+	})
+}

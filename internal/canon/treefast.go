@@ -1,0 +1,143 @@
+package canon
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// TreeScratch holds reusable buffers for TreeKeyEdges, the allocation-free
+// variant of TreeKey used on CT-Index's hot path (millions of small subtree
+// canonizations per dataset).
+type TreeScratch struct {
+	verts   []int32 // local -> original vertex
+	local   map[int32]int32
+	adj     [][]int32 // local adjacency
+	deg     []int
+	removed []bool
+	leaves  []int32
+	next    []int32
+	labels  []graph.Label
+	enc     []string
+}
+
+// NewTreeScratch returns scratch space for trees of up to maxEdges edges.
+func NewTreeScratch(maxEdges int) *TreeScratch {
+	n := maxEdges + 1
+	ts := &TreeScratch{
+		verts:   make([]int32, 0, n),
+		local:   make(map[int32]int32, n),
+		adj:     make([][]int32, n),
+		deg:     make([]int, n),
+		removed: make([]bool, n),
+		leaves:  make([]int32, 0, n),
+		next:    make([]int32, 0, n),
+		labels:  make([]graph.Label, n),
+		enc:     make([]string, 0, n),
+	}
+	for i := range ts.adj {
+		ts.adj[i] = make([]int32, 0, 4)
+	}
+	return ts
+}
+
+// TreeKeyEdges computes the canonical tree label of the structure given by
+// the edge list, with vertex labels supplied by labelOf. It returns ok =
+// false when the edge set is not a tree (has a repeated vertex count
+// mismatch). The result is identical to TreeKey on the materialized graph.
+func (ts *TreeScratch) TreeKeyEdges(edges [][2]int32, labelOf func(int32) graph.Label) (Key, bool) {
+	// Reset and localize.
+	ts.verts = ts.verts[:0]
+	clear(ts.local)
+	mapV := func(v int32) int32 {
+		if lv, ok := ts.local[v]; ok {
+			return lv
+		}
+		lv := int32(len(ts.verts))
+		if int(lv) >= len(ts.adj) {
+			return -1
+		}
+		ts.local[v] = lv
+		ts.verts = append(ts.verts, v)
+		ts.adj[lv] = ts.adj[lv][:0]
+		ts.labels[lv] = labelOf(v)
+		return lv
+	}
+	for _, e := range edges {
+		u, v := mapV(e[0]), mapV(e[1])
+		if u < 0 || v < 0 {
+			return "", false // exceeds scratch capacity
+		}
+		ts.adj[u] = append(ts.adj[u], v)
+		ts.adj[v] = append(ts.adj[v], u)
+	}
+	n := len(ts.verts)
+	if n != len(edges)+1 {
+		return "", false // not a tree (enumerators pass connected sets)
+	}
+	if n == 1 {
+		return Key("T(" + string(EncodeLabels([]graph.Label{ts.labels[0]})) + ")"), true
+	}
+
+	// Centers by leaf peeling.
+	remaining := n
+	ts.leaves = ts.leaves[:0]
+	for v := 0; v < n; v++ {
+		ts.deg[v] = len(ts.adj[v])
+		ts.removed[v] = false
+		if ts.deg[v] <= 1 {
+			ts.leaves = append(ts.leaves, int32(v))
+		}
+	}
+	leaves := ts.leaves
+	for remaining > 2 {
+		ts.next = ts.next[:0]
+		for _, v := range leaves {
+			ts.removed[v] = true
+			remaining--
+			for _, w := range ts.adj[v] {
+				if ts.removed[w] {
+					continue
+				}
+				ts.deg[w]--
+				if ts.deg[w] == 1 {
+					ts.next = append(ts.next, w)
+				}
+			}
+		}
+		leaves, ts.next = ts.next, leaves
+	}
+
+	best := ""
+	first := true
+	for v := 0; v < n; v++ {
+		if ts.removed[v] {
+			continue
+		}
+		enc := ts.ahu(int32(v), -1)
+		if first || enc < best {
+			best, first = enc, false
+		}
+	}
+	return Key("T" + best), true
+}
+
+// ahu is the AHU encoding on the localized tree; it mirrors ahuEncode in
+// canon.go so fast and slow paths produce identical keys.
+func (ts *TreeScratch) ahu(v, p int32) string {
+	var children []string
+	for _, w := range ts.adj[v] {
+		if w != p {
+			children = append(children, ts.ahu(w, v))
+		}
+	}
+	sort.Strings(children)
+	buf := make([]byte, 0, 8+16*len(children))
+	buf = append(buf, '(')
+	buf = appendLabel(buf, ts.labels[v])
+	for _, c := range children {
+		buf = append(buf, c...)
+	}
+	buf = append(buf, ')')
+	return string(buf)
+}

@@ -1,0 +1,65 @@
+package canon
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestTreeKeyEdgesMatchesTreeKey checks the fast path produces byte-for-byte
+// the same keys as the reference implementation on random trees.
+func TestTreeKeyEdgesMatchesTreeKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	ts := NewTreeScratch(12)
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(12)
+		tr := randomTree(rng, n, 3)
+		want, ok := TreeKey(tr)
+		if !ok {
+			t.Fatalf("reference rejected a tree")
+		}
+		edges := tr.Edges()
+		got, ok := ts.TreeKeyEdges(edges, func(v int32) graph.Label { return tr.Label(v) })
+		if n == 1 {
+			// The edge-list form cannot express a single isolated vertex;
+			// skip (CT-Index never needs it: features have >= 1 edge).
+			continue
+		}
+		if !ok {
+			t.Fatalf("trial %d: fast path rejected a tree", trial)
+		}
+		if got != want {
+			t.Fatalf("trial %d: fast %q != reference %q", trial, got, want)
+		}
+	}
+}
+
+func TestTreeKeyEdgesRejectsCycles(t *testing.T) {
+	ts := NewTreeScratch(4)
+	// Triangle.
+	edges := [][2]int32{{0, 1}, {1, 2}, {2, 0}}
+	if _, ok := ts.TreeKeyEdges(edges, func(v int32) graph.Label { return 1 }); ok {
+		t.Fatalf("cycle accepted as tree")
+	}
+}
+
+func TestTreeKeyEdgesScratchReuse(t *testing.T) {
+	// Consecutive calls with different trees must not leak state.
+	ts := NewTreeScratch(6)
+	lab := func(v int32) graph.Label { return graph.Label(v % 3) }
+	a1, _ := ts.TreeKeyEdges([][2]int32{{5, 9}, {9, 7}}, lab)
+	_, _ = ts.TreeKeyEdges([][2]int32{{0, 1}, {1, 2}, {2, 3}}, lab)
+	a2, _ := ts.TreeKeyEdges([][2]int32{{5, 9}, {9, 7}}, lab)
+	if a1 != a2 {
+		t.Fatalf("scratch reuse changed key: %q vs %q", a1, a2)
+	}
+}
+
+func TestTreeKeyEdgesCapacityGuard(t *testing.T) {
+	ts := NewTreeScratch(2)                     // up to 3 vertices
+	edges := [][2]int32{{0, 1}, {1, 2}, {2, 3}} // 4 vertices
+	if _, ok := ts.TreeKeyEdges(edges, func(v int32) graph.Label { return 0 }); ok {
+		t.Fatalf("over-capacity edge set accepted")
+	}
+}

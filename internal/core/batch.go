@@ -1,0 +1,111 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// BatchOptions configures QueryBatch.
+type BatchOptions struct {
+	// Workers is the query-level parallelism (default: GOMAXPROCS).
+	// Methods whose query processing mutates the index (Tree+Δ) serialize
+	// internally; batching remains correct, only less parallel.
+	Workers int
+}
+
+// BatchResult pairs one query's result with its position in the batch.
+type BatchResult struct {
+	Query  int
+	Result *QueryResult
+	Err    error
+}
+
+// QueryBatch processes a workload of queries concurrently and returns the
+// per-query results in input order. The first error is returned after all
+// workers stop; individual failures are also available per entry.
+func (p *Processor) QueryBatch(ctx context.Context, queries []*graph.Graph, opts BatchOptions) ([]BatchResult, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	results := make([]BatchResult, len(queries))
+	if len(queries) == 0 {
+		return results, nil
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				res, err := p.QueryCtx(ctx, queries[i])
+				results[i] = BatchResult{Query: i, Result: res, Err: err}
+			}
+		}()
+	}
+	for i := range queries {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			// Stop feeding; record cancellation for unprocessed queries.
+			for j := i; j < len(queries); j++ {
+				if results[j].Result == nil && results[j].Err == nil {
+					results[j] = BatchResult{Query: j, Err: ctx.Err()}
+				}
+			}
+			close(next)
+			wg.Wait()
+			return results, ctx.Err()
+		}
+	}
+	close(next)
+	wg.Wait()
+	for i := range results {
+		if results[i].Err != nil {
+			return results, fmt.Errorf("core: query %d: %w", i, results[i].Err)
+		}
+	}
+	return results, nil
+}
+
+// WorkloadSummary aggregates a processed batch into the workload-level
+// metrics the paper reports.
+type WorkloadSummary struct {
+	Queries       int
+	AvgQueryTime  float64 // seconds
+	FPRatio       float64 // equation (3)
+	AvgCandidates float64
+	AvgAnswers    float64
+}
+
+// Summarize aggregates successful batch results.
+func Summarize(results []BatchResult) WorkloadSummary {
+	var s WorkloadSummary
+	var totalTime float64
+	for _, br := range results {
+		if br.Err != nil || br.Result == nil {
+			continue
+		}
+		s.Queries++
+		totalTime += br.Result.TotalTime().Seconds()
+		s.FPRatio += br.Result.FalsePositiveRatio()
+		s.AvgCandidates += float64(len(br.Result.Candidates))
+		s.AvgAnswers += float64(len(br.Result.Answers))
+	}
+	if s.Queries > 0 {
+		n := float64(s.Queries)
+		s.AvgQueryTime = totalTime / n
+		s.FPRatio /= n
+		s.AvgCandidates /= n
+		s.AvgAnswers /= n
+	}
+	return s
+}

@@ -1,0 +1,120 @@
+package core_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ggsx"
+	"repro/internal/treedelta"
+)
+
+func TestQueryBatchMatchesSequential(t *testing.T) {
+	ds := testDataset(t)
+	queries := generateQueries(t, ds, 5, []int{3, 6})
+	m := ggsx.New(ggsx.Options{})
+	if err := m.Build(context.Background(), ds); err != nil {
+		t.Fatal(err)
+	}
+	proc := core.NewProcessor(m, ds)
+	batch, err := proc.QueryBatch(context.Background(), queries, core.BatchOptions{Workers: 4})
+	if err != nil {
+		t.Fatalf("QueryBatch: %v", err)
+	}
+	if len(batch) != len(queries) {
+		t.Fatalf("batch size %d, want %d", len(batch), len(queries))
+	}
+	for i, q := range queries {
+		seq, err := proc.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i].Err != nil {
+			t.Fatalf("batch query %d: %v", i, batch[i].Err)
+		}
+		if !batch[i].Result.Answers.Equal(seq.Answers) {
+			t.Errorf("query %d: batch answers diverge from sequential", i)
+		}
+	}
+}
+
+func TestQueryBatchMutatingMethodIsSafe(t *testing.T) {
+	// Tree+Δ mutates its index during queries; the batch must stay correct
+	// under the race detector.
+	ds := testDataset(t)
+	queries := generateQueries(t, ds, 8, []int{4, 6})
+	m := treedelta.New(treedelta.Options{MaxFeatureSize: 5, QuerySupportToAdd: 0.3})
+	if err := m.Build(context.Background(), ds); err != nil {
+		t.Fatal(err)
+	}
+	proc := core.NewProcessor(m, ds)
+	batch, err := proc.QueryBatch(context.Background(), queries, core.BatchOptions{Workers: 6})
+	if err != nil {
+		t.Fatalf("QueryBatch: %v", err)
+	}
+	for i, br := range batch {
+		truth, err := core.BruteForceAnswers(context.Background(), ds, queries[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !br.Result.Answers.Equal(truth) {
+			t.Errorf("query %d: wrong answers under concurrent Δ admission", i)
+		}
+	}
+}
+
+func TestQueryBatchCancellation(t *testing.T) {
+	ds := testDataset(t)
+	queries := generateQueries(t, ds, 10, []int{4})
+	m := ggsx.New(ggsx.Options{})
+	if err := m.Build(context.Background(), ds); err != nil {
+		t.Fatal(err)
+	}
+	proc := core.NewProcessor(m, ds)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := proc.QueryBatch(ctx, queries, core.BatchOptions{Workers: 2})
+	if err == nil {
+		t.Fatalf("cancelled batch should error")
+	}
+}
+
+func TestQueryBatchEmpty(t *testing.T) {
+	ds := testDataset(t)
+	m := ggsx.New(ggsx.Options{})
+	if err := m.Build(context.Background(), ds); err != nil {
+		t.Fatal(err)
+	}
+	proc := core.NewProcessor(m, ds)
+	out, err := proc.QueryBatch(context.Background(), nil, core.BatchOptions{})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: %v %v", out, err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	ds := testDataset(t)
+	queries := generateQueries(t, ds, 4, []int{4})
+	m := ggsx.New(ggsx.Options{})
+	if err := m.Build(context.Background(), ds); err != nil {
+		t.Fatal(err)
+	}
+	proc := core.NewProcessor(m, ds)
+	batch, err := proc.QueryBatch(context.Background(), queries, core.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := core.Summarize(batch)
+	if s.Queries != len(queries) {
+		t.Errorf("Queries = %d", s.Queries)
+	}
+	if s.AvgAnswers <= 0 || s.AvgCandidates < s.AvgAnswers {
+		t.Errorf("summary inconsistent: %+v", s)
+	}
+	if s.FPRatio < 0 || s.FPRatio > 1 {
+		t.Errorf("FP = %v", s.FPRatio)
+	}
+	if empty := core.Summarize(nil); empty.Queries != 0 {
+		t.Errorf("empty summary: %+v", empty)
+	}
+}

@@ -1,0 +1,210 @@
+// Package core defines the common contract of the six indexed subgraph
+// query processing methods and the filter-and-verify query pipeline wrapped
+// around them. It is the primary public surface of the reproduction: all
+// methods are built, queried, and measured through this package.
+//
+// All methods operate in the three stages described in §2.2 of the paper:
+//
+//  1. index construction — features are extracted from the dataset graphs
+//     and organized in a method-specific structure;
+//  2. filtering — the query graph's features are matched against the index,
+//     producing a candidate set of graphs possibly containing the query;
+//  3. verification — each candidate is tested for subgraph isomorphism
+//     against the query (VF2 by default).
+//
+// Filtering may produce false positives but never false negatives: the
+// answer set is always a subset of the candidate set.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/subiso"
+)
+
+// ErrNotBuilt is returned when querying a method before Build.
+var ErrNotBuilt = errors.New("core: index not built")
+
+// BuildStats reports on an index construction run.
+type BuildStats struct {
+	Elapsed   time.Duration
+	SizeBytes int64 // estimated in-memory size of the index structure
+	Features  int   // number of distinct features indexed (0 if n/a)
+}
+
+// Method is one indexed subgraph query processing method. Implementations
+// are Grapes, GraphGrepSX, CT-Index, gIndex, Tree+Δ, and gCode.
+//
+// Build must be called exactly once before Candidates/Verify. Methods are
+// safe for concurrent queries after Build unless documented otherwise
+// (Tree+Δ mutates its index during query processing and serializes
+// internally).
+type Method interface {
+	// Name returns the method's display name as used in the paper's figures.
+	Name() string
+	// Build constructs the index over ds. The context's deadline or
+	// cancellation is honored at feature-extraction granularity: Build
+	// returns ctx.Err() as soon as practical after cancellation, mirroring
+	// the paper's 8-hour experiment kill switch.
+	Build(ctx context.Context, ds *graph.Dataset) error
+	// Candidates returns the candidate set for query q: the IDs of all
+	// dataset graphs that pass the filtering stage. The result is sorted.
+	Candidates(q *graph.Graph) (graph.IDSet, error)
+	// SizeBytes estimates the in-memory size of the built index.
+	SizeBytes() int64
+}
+
+// Verifier is implemented by methods that replace the default VF2
+// verification with their own stateless test (CT-Index's tuned matcher).
+type Verifier interface {
+	VerifyCandidate(q *graph.Graph, id graph.ID) bool
+}
+
+// Planner is implemented by methods whose verification depends on
+// query-scoped filtering state (Grapes uses the matched path locations to
+// verify against individual connected components). PlanQuery subsumes
+// Candidates for such methods.
+type Planner interface {
+	PlanQuery(q *graph.Graph) (QueryPlan, error)
+}
+
+// QueryPlan carries one query's filtering outcome plus the state needed to
+// verify its candidates.
+type QueryPlan interface {
+	// Candidates returns the sorted candidate set.
+	Candidates() graph.IDSet
+	// Verify tests the query against candidate id.
+	Verify(id graph.ID) bool
+}
+
+// Persistable is implemented by methods whose built index can be saved to
+// and restored from a byte stream, so an expensive build can be paid once.
+// LoadIndex must be given the same dataset the index was built over (the
+// index stores graph IDs and, for some methods, vertex IDs into it);
+// implementations validate what they can and reject obvious mismatches.
+type Persistable interface {
+	SaveIndex(w io.Writer) error
+	LoadIndex(r io.Reader, ds *graph.Dataset) error
+}
+
+// QueryResult captures one query's outcome and per-stage accounting.
+type QueryResult struct {
+	Candidates graph.IDSet
+	Answers    graph.IDSet
+	FilterTime time.Duration
+	VerifyTime time.Duration
+}
+
+// FalsePositiveRatio returns (|C| - |A|) / |C| for this query, the
+// per-query term of equation (3) of the paper. Queries with an empty
+// candidate set contribute 0.
+func (r *QueryResult) FalsePositiveRatio() float64 {
+	if len(r.Candidates) == 0 {
+		return 0
+	}
+	return float64(len(r.Candidates)-len(r.Answers)) / float64(len(r.Candidates))
+}
+
+// TotalTime returns filtering plus verification time.
+func (r *QueryResult) TotalTime() time.Duration { return r.FilterTime + r.VerifyTime }
+
+// Processor runs the filter-and-verify pipeline of a built Method over a
+// dataset.
+type Processor struct {
+	Method Method
+	DS     *graph.Dataset
+}
+
+// NewProcessor returns a Processor for a built method over ds.
+func NewProcessor(m Method, ds *graph.Dataset) *Processor {
+	return &Processor{Method: m, DS: ds}
+}
+
+// Query processes one subgraph query end to end.
+func (p *Processor) Query(q *graph.Graph) (*QueryResult, error) {
+	return p.QueryCtx(context.Background(), q)
+}
+
+// QueryCtx is Query with cancellation applied to the verification stage.
+func (p *Processor) QueryCtx(ctx context.Context, q *graph.Graph) (*QueryResult, error) {
+	res := &QueryResult{}
+	var plan QueryPlan
+	t0 := time.Now()
+	if planner, ok := p.Method.(Planner); ok {
+		pl, err := planner.PlanQuery(q)
+		if err != nil {
+			return nil, fmt.Errorf("core: planning with %s: %w", p.Method.Name(), err)
+		}
+		plan = pl
+		res.Candidates = pl.Candidates()
+	} else {
+		cands, err := p.Method.Candidates(q)
+		if err != nil {
+			return nil, fmt.Errorf("core: filtering with %s: %w", p.Method.Name(), err)
+		}
+		res.Candidates = cands
+	}
+	res.FilterTime = time.Since(t0)
+
+	verifier, hasOwn := p.Method.(Verifier)
+	t1 := time.Now()
+	for _, id := range res.Candidates {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var ok bool
+		switch {
+		case plan != nil:
+			ok = plan.Verify(id)
+		case hasOwn:
+			ok = verifier.VerifyCandidate(q, id)
+		default:
+			g := p.DS.Graph(id)
+			if g == nil {
+				return nil, fmt.Errorf("core: candidate %d not in dataset", id)
+			}
+			m := subiso.NewMatcher(q, g, subiso.Options{Ctx: ctx})
+			ok = m.Run(nil)
+		}
+		if ok {
+			res.Answers = append(res.Answers, id)
+		}
+	}
+	res.VerifyTime = time.Since(t1)
+	return res, nil
+}
+
+// BruteForceAnswers returns the exact answer set by running VF2 against
+// every graph in the dataset — the "naive method" of the paper's
+// introduction, used as ground truth in tests and as the no-index baseline
+// in benchmarks.
+func BruteForceAnswers(ctx context.Context, ds *graph.Dataset, q *graph.Graph) (graph.IDSet, error) {
+	var out graph.IDSet
+	for _, g := range ds.Graphs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		m := subiso.NewMatcher(q, g, subiso.Options{Ctx: ctx})
+		if m.Run(nil) {
+			out = append(out, g.ID())
+		}
+	}
+	return out, nil
+}
+
+// BuildTimed runs Build and returns its stats.
+func BuildTimed(ctx context.Context, m Method, ds *graph.Dataset) (BuildStats, error) {
+	t0 := time.Now()
+	err := m.Build(ctx, ds)
+	st := BuildStats{Elapsed: time.Since(t0)}
+	if err != nil {
+		return st, err
+	}
+	st.SizeBytes = m.SizeBytes()
+	return st, nil
+}

@@ -1,0 +1,99 @@
+package core_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// TestPersistenceRoundTrip builds each method, saves it, loads it into a
+// fresh instance, and checks the loaded index answers identically.
+func TestPersistenceRoundTrip(t *testing.T) {
+	ds := testDataset(t)
+	queries := generateQueries(t, ds, 4, []int{3, 6})
+	ctx := context.Background()
+
+	fresh := allMethods()
+	for i, m := range allMethods() {
+		m := m
+		target := fresh[i]
+		t.Run(m.Name(), func(t *testing.T) {
+			p, ok := m.(core.Persistable)
+			if !ok {
+				t.Fatalf("%s does not implement Persistable", m.Name())
+			}
+			if err := p.SaveIndex(&bytes.Buffer{}); err == nil {
+				t.Errorf("save before Build should error")
+			}
+			if err := m.Build(ctx, ds); err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			var buf bytes.Buffer
+			if err := p.SaveIndex(&buf); err != nil {
+				t.Fatalf("SaveIndex: %v", err)
+			}
+			lp := target.(core.Persistable)
+			if err := lp.LoadIndex(bytes.NewReader(buf.Bytes()), ds); err != nil {
+				t.Fatalf("LoadIndex: %v", err)
+			}
+			procA := core.NewProcessor(m, ds)
+			procB := core.NewProcessor(target, ds)
+			for qi, q := range queries {
+				ra, err := procA.Query(q)
+				if err != nil {
+					t.Fatalf("original query %d: %v", qi, err)
+				}
+				rb, err := procB.Query(q)
+				if err != nil {
+					t.Fatalf("loaded query %d: %v", qi, err)
+				}
+				if !ra.Answers.Equal(rb.Answers) {
+					t.Errorf("query %d: answers diverge after round trip", qi)
+				}
+				if !ra.Candidates.Equal(rb.Candidates) {
+					t.Errorf("query %d: candidates diverge after round trip", qi)
+				}
+			}
+		})
+	}
+}
+
+// TestPersistenceRejectsWrongDataset checks the dataset-mismatch guard.
+func TestPersistenceRejectsWrongDataset(t *testing.T) {
+	ds := testDataset(t)
+	other := gen.Synthetic(gen.SynthConfig{
+		NumGraphs: ds.Len() + 5, MeanNodes: 10, MeanDensity: 0.3, NumLabels: 3, Seed: 99,
+	})
+	ctx := context.Background()
+	for _, m := range allMethods() {
+		p := m.(core.Persistable)
+		if err := m.Build(ctx, ds); err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		var buf bytes.Buffer
+		if err := p.SaveIndex(&buf); err != nil {
+			t.Fatalf("%s save: %v", m.Name(), err)
+		}
+		if err := p.LoadIndex(bytes.NewReader(buf.Bytes()), other); err == nil {
+			t.Errorf("%s: load over a different-size dataset should fail", m.Name())
+		}
+	}
+}
+
+// TestPersistenceRejectsGarbage checks corrupted-stream handling.
+func TestPersistenceRejectsGarbage(t *testing.T) {
+	ds := testDataset(t)
+	for _, m := range allMethods() {
+		p := m.(core.Persistable)
+		err := p.LoadIndex(strings.NewReader("not a gob stream"), ds)
+		if err == nil {
+			t.Errorf("%s: garbage accepted", m.Name())
+		}
+	}
+	_ = graph.ID(0)
+}

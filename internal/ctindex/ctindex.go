@@ -1,0 +1,162 @@
+// Package ctindex implements CT-Index (Klein, Kriege, Mutzel, ICDE 2011):
+// for every graph, all subtrees and simple cycles up to a size limit are
+// exhaustively enumerated; the canonical label of each feature is hashed into
+// a fixed-size bit-array fingerprint. Filtering is a bitwise subset test of
+// the query fingerprint against each graph fingerprint, and verification uses
+// a tuned subgraph isomorphism matcher — the combination the paper credits
+// for CT-Index's fast query processing despite its weak filtering power.
+package ctindex
+
+import (
+	"context"
+	"hash/fnv"
+
+	"repro/internal/bitset"
+	"repro/internal/canon"
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/graph"
+	"repro/internal/subiso"
+)
+
+// Defaults from §4.1 of the paper: 4096-bit fingerprints over trees and
+// cycles of up to 4 edges (the original CT-Index paper used 6/8; the study
+// adopts 4/4 after Grapes's finding that it trades a little filtering power
+// for much lower times).
+const (
+	DefaultFingerprintBits = 4096
+	DefaultMaxTreeSize     = 4
+	DefaultMaxCycleSize    = 4
+	// hashFunctions is the number of bits set per feature (Bloom-style).
+	hashFunctions = 2
+)
+
+// Options configures a CT-Index.
+type Options struct {
+	FingerprintBits int
+	MaxTreeSize     int // maximum tree feature size in edges
+	MaxCycleSize    int // maximum cycle feature size in edges
+}
+
+func (o *Options) fill() {
+	if o.FingerprintBits <= 0 {
+		o.FingerprintBits = DefaultFingerprintBits
+	}
+	if o.MaxTreeSize <= 0 {
+		o.MaxTreeSize = DefaultMaxTreeSize
+	}
+	if o.MaxCycleSize <= 0 {
+		o.MaxCycleSize = DefaultMaxCycleSize
+	}
+}
+
+// Index is a built CT-Index. Create with New, then Build.
+type Index struct {
+	opts  Options
+	ds    *graph.Dataset
+	fps   []*bitset.Bitset // fingerprint per graph
+	built bool
+}
+
+// New returns an unbuilt CT-Index.
+func New(opts Options) *Index {
+	opts.fill()
+	return &Index{opts: opts}
+}
+
+// Name implements core.Method.
+func (ix *Index) Name() string { return "CT-Index" }
+
+// Build implements core.Method.
+func (ix *Index) Build(ctx context.Context, ds *graph.Dataset) error {
+	ix.ds = ds
+	ix.fps = make([]*bitset.Bitset, ds.Len())
+	for i, g := range ds.Graphs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		ix.fps[i] = ix.fingerprint(g)
+	}
+	ix.built = true
+	return nil
+}
+
+// fingerprint enumerates the tree and cycle features of g and hashes their
+// canonical labels into a fresh fingerprint. The subtree canonization runs
+// on canon's allocation-free fast path: this loop visits millions of edge
+// sets on dense graphs and dominates CT-Index's build time.
+func (ix *Index) fingerprint(g *graph.Graph) *bitset.Bitset {
+	fp := bitset.New(ix.opts.FingerprintBits)
+	es := features.NewEdgeSet(g)
+	scratch := canon.NewTreeScratch(ix.opts.MaxTreeSize)
+	edgeBuf := make([][2]int32, 0, ix.opts.MaxTreeSize)
+	labelOf := func(v int32) graph.Label { return g.Label(v) }
+	es.VisitConnectedEdgeSets(ix.opts.MaxTreeSize, func(edgeIDs []int) bool {
+		edgeBuf = edgeBuf[:0]
+		for _, id := range edgeIDs {
+			edgeBuf = append(edgeBuf, es.Edge(id))
+		}
+		key, ok := scratch.TreeKeyEdges(edgeBuf, labelOf)
+		if ok {
+			ix.setBits(fp, string(key))
+		}
+		return true
+	})
+	var labelBuf []graph.Label
+	features.VisitCycles(g, ix.opts.MaxCycleSize, func(vs []int32) bool {
+		labelBuf = features.CycleLabels(g, vs, labelBuf)
+		ix.setBits(fp, string(canon.CycleKey(labelBuf)))
+		return true
+	})
+	return fp
+}
+
+// setBits hashes the canonical key into hashFunctions bit positions.
+func (ix *Index) setBits(fp *bitset.Bitset, key string) {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	v := h.Sum64()
+	n := uint64(ix.opts.FingerprintBits)
+	for k := 0; k < hashFunctions; k++ {
+		fp.Set(int(v % n))
+		// Derive the next position by mixing (splitmix-style step).
+		v ^= v >> 33
+		v *= 0xff51afd7ed558ccd
+		v ^= v >> 33
+	}
+}
+
+// Candidates implements core.Method: graphs whose fingerprint covers the
+// query's.
+func (ix *Index) Candidates(q *graph.Graph) (graph.IDSet, error) {
+	if !ix.built {
+		return nil, core.ErrNotBuilt
+	}
+	qfp := ix.fingerprint(q)
+	var out graph.IDSet
+	for i, fp := range ix.fps {
+		if qfp.IsSubsetOf(fp) {
+			out = append(out, graph.ID(i))
+		}
+	}
+	return out, nil
+}
+
+// VerifyCandidate implements core.Verifier using the tuned matcher.
+func (ix *Index) VerifyCandidate(q *graph.Graph, id graph.ID) bool {
+	g := ix.ds.Graph(id)
+	if g == nil {
+		return false
+	}
+	return subiso.ExistsTuned(q, g)
+}
+
+// SizeBytes implements core.Method: CT-Index stores one fixed-size
+// fingerprint per graph.
+func (ix *Index) SizeBytes() int64 {
+	var sz int64
+	for _, fp := range ix.fps {
+		sz += fp.SizeBytes()
+	}
+	return sz
+}

@@ -1,0 +1,210 @@
+package dfscode
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func path(labels ...graph.Label) *graph.Graph {
+	g := graph.New(0)
+	for _, l := range labels {
+		g.AddVertex(l)
+	}
+	for i := 1; i < len(labels); i++ {
+		g.MustAddEdge(int32(i-1), int32(i))
+	}
+	return g
+}
+
+func TestMinimumSingleEdge(t *testing.T) {
+	g := path(2, 1)
+	c := Minimum(g)
+	if len(c) != 1 {
+		t.Fatalf("code length %d", len(c))
+	}
+	// Smaller label first.
+	if c[0].LI != 1 || c[0].LJ != 2 {
+		t.Fatalf("code %v: want labels (1,2)", c[0])
+	}
+	if c[0].I != 0 || c[0].J != 1 {
+		t.Fatalf("code %v: want indices (0,1)", c[0])
+	}
+}
+
+func TestMinimumTriangle(t *testing.T) {
+	g := path(1, 1, 1)
+	g.MustAddEdge(2, 0)
+	c := Minimum(g)
+	if len(c) != 3 {
+		t.Fatalf("code length %d", len(c))
+	}
+	// Triangle: (0,1)(1,2)(2,0); last edge backward.
+	if c[0].Forward() != true || c[1].Forward() != true || c[2].Forward() != false {
+		t.Fatalf("triangle structure wrong: %v", c)
+	}
+}
+
+func TestCompareEntryOrder(t *testing.T) {
+	// Backward edge from vertex 2 sorts before forward edge from vertex 2.
+	back := Entry{I: 2, J: 0, LI: 1, LJ: 1}
+	fwd := Entry{I: 2, J: 3, LI: 1, LJ: 1}
+	if Compare(back, fwd) >= 0 {
+		t.Errorf("backward should sort before forward from same vertex")
+	}
+	// Forward edge discovered earlier sorts first.
+	f1 := Entry{I: 0, J: 1, LI: 1, LJ: 1}
+	f2 := Entry{I: 1, J: 2, LI: 1, LJ: 1}
+	if Compare(f1, f2) >= 0 {
+		t.Errorf("earlier forward edge should sort first")
+	}
+	// Same structure: labels decide.
+	a := Entry{I: 0, J: 1, LI: 1, LJ: 2}
+	b := Entry{I: 0, J: 1, LI: 1, LJ: 3}
+	if Compare(a, b) >= 0 {
+		t.Errorf("smaller labels should sort first")
+	}
+	if Compare(a, a) != 0 {
+		t.Errorf("entry not equal to itself")
+	}
+}
+
+func permuteGraph(g *graph.Graph, rng *rand.Rand) *graph.Graph {
+	n := g.NumVertices()
+	perm := rng.Perm(n)
+	inv := make([]int32, n)
+	for newV, oldV := range perm {
+		inv[oldV] = int32(newV)
+	}
+	labels := make([]graph.Label, n)
+	for oldV := 0; oldV < n; oldV++ {
+		labels[inv[oldV]] = g.Label(int32(oldV))
+	}
+	out := graph.New(0)
+	for _, l := range labels {
+		out.AddVertex(l)
+	}
+	for _, e := range g.Edges() {
+		out.MustAddEdge(inv[e[0]], inv[e[1]])
+	}
+	return out
+}
+
+func randomConnected(rng *rand.Rand, n, extra, nlab int) *graph.Graph {
+	g := graph.New(0)
+	for i := 0; i < n; i++ {
+		g.AddVertex(graph.Label(rng.Intn(nlab)))
+	}
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(int32(rng.Intn(i)), int32(i))
+	}
+	for k := 0; k < extra; k++ {
+		u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if u != v && !g.HasEdge(u, v) {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return g
+}
+
+func TestMinimumInvariantUnderPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		g := randomConnected(rng, 2+rng.Intn(6), rng.Intn(5), 1+rng.Intn(3))
+		c1 := Minimum(g)
+		c2 := Minimum(permuteGraph(g, rng))
+		if CompareCodes(c1, c2) != 0 {
+			t.Fatalf("trial %d: canonical codes differ\n%v\n%v", trial, c1, c2)
+		}
+	}
+}
+
+func TestGraphRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 60; trial++ {
+		g := randomConnected(rng, 2+rng.Intn(6), rng.Intn(4), 2)
+		c := Minimum(g)
+		h := c.Graph()
+		if h.NumVertices() != g.NumVertices() || h.NumEdges() != g.NumEdges() {
+			t.Fatalf("round-trip changed size")
+		}
+		// Canonical code of the reconstruction must match.
+		if CompareCodes(Minimum(h), c) != 0 {
+			t.Fatalf("round-trip changed canonical code")
+		}
+	}
+}
+
+func TestIsMinimal(t *testing.T) {
+	// Minimum code is minimal.
+	g := randomConnected(rand.New(rand.NewSource(8)), 5, 3, 2)
+	c := Minimum(g)
+	if !IsMinimal(c) {
+		t.Fatalf("Minimum produced non-minimal code")
+	}
+	// A deliberately non-canonical code for a labelled path 0-1-2 with
+	// labels 3,1,2: starting from the larger end.
+	bad := Code{
+		{I: 0, J: 1, LI: 3, LJ: 1},
+		{I: 1, J: 2, LI: 1, LJ: 2},
+	}
+	if IsMinimal(bad) {
+		t.Fatalf("non-canonical code accepted as minimal")
+	}
+	if !IsMinimal(Code{}) {
+		t.Fatalf("empty code should be minimal")
+	}
+}
+
+func TestKeyUniqueness(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	keys := map[string]Code{}
+	for trial := 0; trial < 60; trial++ {
+		g := randomConnected(rng, 2+rng.Intn(5), rng.Intn(4), 2)
+		c := Minimum(g)
+		k := c.Key()
+		if prev, ok := keys[k]; ok {
+			if CompareCodes(prev, c) != 0 {
+				t.Fatalf("key collision between distinct codes")
+			}
+		}
+		keys[k] = c
+	}
+}
+
+func TestNumVertices(t *testing.T) {
+	c := Code{{I: 0, J: 1}, {I: 1, J: 2}, {I: 2, J: 0}}
+	if c.NumVertices() != 3 {
+		t.Fatalf("NumVertices = %d", c.NumVertices())
+	}
+	if (Code{}).NumVertices() != 0 {
+		t.Fatalf("empty code has vertices")
+	}
+}
+
+func TestMinimumPanicsOnBadInput(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: want panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("no edges", func() {
+		g := graph.New(0)
+		g.AddVertex(1)
+		Minimum(g)
+	})
+	assertPanics("disconnected", func() {
+		g := graph.New(0)
+		g.AddVertex(1)
+		g.AddVertex(1)
+		g.AddVertex(1)
+		g.AddVertex(1)
+		g.MustAddEdge(0, 1)
+		g.MustAddEdge(2, 3)
+		Minimum(g)
+	})
+}

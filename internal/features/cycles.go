@@ -1,0 +1,58 @@
+package features
+
+import "repro/internal/graph"
+
+// VisitCycles enumerates every simple cycle of g with 3..maxLen edges exactly
+// once. fn receives the cycle's vertex sequence (v0, v1, ..., vk-1) where v0
+// is the smallest vertex on the cycle and v1 < vk-1 fixes the orientation.
+// The slice is reused — copy to retain. fn returning false aborts; the return
+// value reports whether the enumeration completed.
+func VisitCycles(g *graph.Graph, maxLen int, fn func(vertices []int32) bool) bool {
+	if maxLen < 3 {
+		return true
+	}
+	n := g.NumVertices()
+	onPath := make([]bool, n)
+	path := make([]int32, 0, maxLen)
+
+	var dfs func(v int32) bool
+	dfs = func(v int32) bool {
+		path = append(path, v)
+		onPath[v] = true
+		defer func() {
+			onPath[v] = false
+			path = path[:len(path)-1]
+		}()
+		start := path[0]
+		for _, w := range g.Neighbors(v) {
+			if w == start && len(path) >= 3 {
+				// Close the cycle; emit only in the canonical orientation.
+				if path[1] < path[len(path)-1] {
+					if !fn(path) {
+						return false
+					}
+				}
+				continue
+			}
+			if w <= start || onPath[w] || len(path) >= maxLen {
+				continue
+			}
+			if !dfs(w) {
+				return false
+			}
+		}
+		return true
+	}
+
+	for v := int32(0); int(v) < n; v++ {
+		if !dfs(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// CycleLabels writes the labels around the cycle's vertex sequence into dst.
+func CycleLabels(g *graph.Graph, vertices []int32, dst []graph.Label) []graph.Label {
+	return PathLabels(g, vertices, dst)
+}

@@ -1,0 +1,164 @@
+package features
+
+import "repro/internal/graph"
+
+// EdgeSet indexes the edges of a graph for connected-edge-set enumeration.
+type EdgeSet struct {
+	g     *graph.Graph
+	edges [][2]int32 // edge id -> endpoints (u < v)
+	byID  map[[2]int32]int
+	inc   [][]int // vertex -> incident edge ids
+}
+
+// NewEdgeSet prepares the edge index of g.
+func NewEdgeSet(g *graph.Graph) *EdgeSet {
+	es := &EdgeSet{
+		g:     g,
+		edges: g.Edges(),
+		byID:  make(map[[2]int32]int, g.NumEdges()),
+		inc:   make([][]int, g.NumVertices()),
+	}
+	for id, e := range es.edges {
+		es.byID[e] = id
+		es.inc[e[0]] = append(es.inc[e[0]], id)
+		es.inc[e[1]] = append(es.inc[e[1]], id)
+	}
+	return es
+}
+
+// Edge returns the endpoints of edge id.
+func (es *EdgeSet) Edge(id int) [2]int32 { return es.edges[id] }
+
+// NumEdges returns the number of edges.
+func (es *EdgeSet) NumEdges() int { return len(es.edges) }
+
+// VisitConnectedEdgeSets enumerates every connected set of 1..maxEdges edges
+// of g exactly once, in the style of the ESU algorithm applied to the line
+// graph. fn receives the edge-id set (reused; copy to retain). fn returning
+// false aborts; the return value reports whether enumeration completed.
+func (es *EdgeSet) VisitConnectedEdgeSets(maxEdges int, fn func(edgeIDs []int) bool) bool {
+	m := len(es.edges)
+	inSet := make([]bool, m)
+	inExt := make([]bool, m)
+	seen := make([]bool, m) // edges ever added to an extension at this root
+	set := make([]int, 0, maxEdges)
+
+	var recurse func(ext []int) bool
+	recurse = func(ext []int) bool {
+		if !fn(set) {
+			return false
+		}
+		if len(set) == maxEdges {
+			return true
+		}
+		for i := 0; i < len(ext); i++ {
+			e := ext[i]
+			inExt[e] = false
+			// New extension candidates: edges adjacent to e, beyond the
+			// root, never seen before at this root.
+			newExt := ext[i+1:]
+			added := 0
+			u, v := es.edges[e][0], es.edges[e][1]
+			for _, end := range [2]int32{u, v} {
+				for _, f := range es.inc[end] {
+					if f <= set[0] || inSet[f] || inExt[f] || seen[f] {
+						continue
+					}
+					newExt = append(newExt, f)
+					inExt[f] = true
+					seen[f] = true
+					added++
+				}
+			}
+			set = append(set, e)
+			inSet[e] = true
+			ok := recurse(newExt)
+			inSet[e] = false
+			set = set[:len(set)-1]
+			for k := 0; k < added; k++ {
+				f := newExt[len(newExt)-1-k]
+				inExt[f] = false
+				seen[f] = false
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+
+	ext := make([]int, 0, m)
+	for root := 0; root < m; root++ {
+		set = append(set[:0], root)
+		inSet[root] = true
+		ext = ext[:0]
+		u, v := es.edges[root][0], es.edges[root][1]
+		for _, end := range [2]int32{u, v} {
+			for _, f := range es.inc[end] {
+				if f > root && !inExt[f] {
+					ext = append(ext, f)
+					inExt[f] = true
+					seen[f] = true
+				}
+			}
+		}
+		ok := recurse(ext)
+		inSet[root] = false
+		for _, f := range ext {
+			inExt[f] = false
+			seen[f] = false
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Subgraph materializes the pattern graph of an edge-id set, together with
+// the original vertex of each pattern vertex.
+func (es *EdgeSet) Subgraph(edgeIDs []int) (*graph.Graph, []int32) {
+	sub := graph.NewWithCapacity(0, len(edgeIDs)+1)
+	old2new := make(map[int32]int32, len(edgeIDs)+1)
+	var new2old []int32
+	mapV := func(v int32) int32 {
+		if nv, ok := old2new[v]; ok {
+			return nv
+		}
+		nv := sub.AddVertex(es.g.Label(v))
+		old2new[v] = nv
+		new2old = append(new2old, v)
+		return nv
+	}
+	for _, id := range edgeIDs {
+		e := es.edges[id]
+		u, v := mapV(e[0]), mapV(e[1])
+		sub.MustAddEdge(u, v)
+	}
+	return sub, new2old
+}
+
+// IsTree reports whether the edge-id set forms a tree (connected and
+// acyclic). The enumerator guarantees connectivity, so the acyclicity test
+// |V| == |E|+1 suffices.
+func (es *EdgeSet) IsTree(edgeIDs []int) bool {
+	vertices := make(map[int32]struct{}, len(edgeIDs)+1)
+	for _, id := range edgeIDs {
+		vertices[es.edges[id][0]] = struct{}{}
+		vertices[es.edges[id][1]] = struct{}{}
+	}
+	return len(vertices) == len(edgeIDs)+1
+}
+
+// VisitSubtrees enumerates every subtree (connected acyclic edge set) of g
+// with 1..maxEdges edges exactly once. It is VisitConnectedEdgeSets with a
+// treeness filter pushed into the recursion: growth that closes a cycle is
+// emitted by the general enumerator but never yielded here.
+func (es *EdgeSet) VisitSubtrees(maxEdges int, fn func(edgeIDs []int) bool) bool {
+	return es.VisitConnectedEdgeSets(maxEdges, func(edgeIDs []int) bool {
+		if !es.IsTree(edgeIDs) {
+			return true // skip but continue
+		}
+		return fn(edgeIDs)
+	})
+}

@@ -1,0 +1,305 @@
+// Package gcode implements gCode (Zou, Chen, Yu, Lu, EDBT 2008): every
+// vertex receives a signature built from exhaustively enumerated paths of
+// bounded length — a bit-string of the labels seen on those paths, a
+// bit-string of neighbor labels, and the top eigenvalues of the adjacency
+// matrix of the vertex's level-N path tree. The per-graph combination of
+// vertex signatures (the graph code) is kept in a sorted structure; queries
+// are filtered in two phases: graph-code dominance first, then a
+// vertex-signature matching test requiring every query vertex signature to
+// be dominated by a distinct data vertex signature.
+package gcode
+
+import (
+	"context"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/spectral"
+)
+
+// Defaults from §4.1 of the paper: paths of up to size 2 for the signatures,
+// top 2 eigenvalues, 32-bit label and neighbor bit-strings.
+const (
+	DefaultPathLen        = 2
+	DefaultNumEigenvalues = 2
+	signatureBits         = 32
+	// eigenSlack absorbs numeric error in eigenvalue dominance comparisons.
+	eigenSlack = 1e-9
+)
+
+// Options configures a gCode index.
+type Options struct {
+	// PathLen is the level of the per-vertex path tree (paper: 2).
+	PathLen int
+	// NumEigenvalues is the number of top eigenvalues kept (paper: 2).
+	NumEigenvalues int
+}
+
+func (o *Options) fill() {
+	if o.PathLen <= 0 {
+		o.PathLen = DefaultPathLen
+	}
+	if o.NumEigenvalues <= 0 {
+		o.NumEigenvalues = DefaultNumEigenvalues
+	}
+}
+
+// vertexSignature is the per-vertex code.
+type vertexSignature struct {
+	label     graph.Label
+	labelBits uint32 // labels on paths of length <= PathLen from the vertex
+	nbrBits   uint32 // labels of direct neighbors
+	degree    int32
+	eig       []float64 // top eigenvalues of the level-N path tree
+}
+
+// dominates reports whether data signature d can host query signature q:
+// same label, bit containment, degree and spectral dominance. Spectral
+// dominance is sound because the query's path tree embeds into the data
+// vertex's path tree, and adding rows/columns to a nonnegative symmetric
+// matrix cannot decrease its top eigenvalues (Cauchy interlacing).
+func (d *vertexSignature) dominatesQ(q *vertexSignature) bool {
+	if d.label != q.label || d.degree < q.degree {
+		return false
+	}
+	if q.labelBits&^d.labelBits != 0 || q.nbrBits&^d.nbrBits != 0 {
+		return false
+	}
+	for i := range q.eig {
+		if q.eig[i] > d.eig[i]+eigenSlack {
+			return false
+		}
+	}
+	return true
+}
+
+// graphCode is the per-graph aggregation used in filtering phase 1.
+type graphCode struct {
+	id        graph.ID
+	nVertices int32
+	nEdges    int32
+	labelBits uint32
+	nbrBits   uint32
+	maxEig    []float64 // component-wise max over vertex signatures
+	sigs      []vertexSignature
+}
+
+// dominatesQ is the phase-1 test.
+func (d *graphCode) dominatesQ(q *graphCode) bool {
+	if d.nVertices < q.nVertices || d.nEdges < q.nEdges {
+		return false
+	}
+	if q.labelBits&^d.labelBits != 0 || q.nbrBits&^d.nbrBits != 0 {
+		return false
+	}
+	for i := range q.maxEig {
+		if q.maxEig[i] > d.maxEig[i]+eigenSlack {
+			return false
+		}
+	}
+	return true
+}
+
+// Index is a built gCode index. Create with New, then Build.
+type Index struct {
+	opts  Options
+	codes []graphCode // sorted by (labelBits, id): the "balanced search tree"
+	built bool
+}
+
+// New returns an unbuilt gCode index.
+func New(opts Options) *Index {
+	opts.fill()
+	return &Index{opts: opts}
+}
+
+// Name implements core.Method.
+func (ix *Index) Name() string { return "gCode" }
+
+// Build implements core.Method.
+func (ix *Index) Build(ctx context.Context, ds *graph.Dataset) error {
+	ix.codes = make([]graphCode, 0, ds.Len())
+	for _, g := range ds.Graphs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		ix.codes = append(ix.codes, ix.encode(g))
+	}
+	sort.Slice(ix.codes, func(a, b int) bool {
+		if ix.codes[a].labelBits != ix.codes[b].labelBits {
+			return ix.codes[a].labelBits < ix.codes[b].labelBits
+		}
+		return ix.codes[a].id < ix.codes[b].id
+	})
+	ix.built = true
+	return nil
+}
+
+func labelBit(l graph.Label) uint32 { return 1 << (uint32(l) % signatureBits) }
+
+// encode computes the graph code of g.
+func (ix *Index) encode(g *graph.Graph) graphCode {
+	n := g.NumVertices()
+	gc := graphCode{
+		id:        g.ID(),
+		nVertices: int32(n),
+		nEdges:    int32(g.NumEdges()),
+		maxEig:    make([]float64, ix.opts.NumEigenvalues),
+		sigs:      make([]vertexSignature, n),
+	}
+	for v := int32(0); int(v) < n; v++ {
+		sig := ix.vertexSig(g, v)
+		gc.sigs[v] = sig
+		gc.labelBits |= labelBit(sig.label)
+		gc.nbrBits |= sig.nbrBits
+		for i, e := range sig.eig {
+			if e > gc.maxEig[i] {
+				gc.maxEig[i] = e
+			}
+		}
+	}
+	return gc
+}
+
+// vertexSig computes the signature of one vertex: the label/neighbor
+// bit-strings over paths of length <= PathLen, and the top eigenvalues of
+// the level-PathLen path tree rooted at the vertex.
+func (ix *Index) vertexSig(g *graph.Graph, v int32) vertexSignature {
+	sig := vertexSignature{
+		label:  g.Label(v),
+		degree: int32(g.Degree(v)),
+		eig:    make([]float64, ix.opts.NumEigenvalues),
+	}
+	sig.labelBits |= labelBit(g.Label(v))
+	for _, w := range g.Neighbors(v) {
+		sig.nbrBits |= labelBit(g.Label(w))
+	}
+
+	// Build the level-N path tree: nodes are simple paths from v; children
+	// extend by one edge. Collect the tree's adjacency matrix.
+	type node struct {
+		vertex int32
+		parent int
+	}
+	tree := []node{{vertex: v, parent: -1}}
+	onPath := make([]bool, g.NumVertices())
+	var walk func(cur int32, depth int, parent int, path []int32)
+	walk = func(cur int32, depth int, parent int, path []int32) {
+		sig.labelBits |= labelBit(g.Label(cur))
+		if depth == ix.opts.PathLen {
+			return
+		}
+		for _, w := range g.Neighbors(cur) {
+			if onPath[w] {
+				continue
+			}
+			tree = append(tree, node{vertex: w, parent: parent})
+			child := len(tree) - 1
+			onPath[w] = true
+			walk(w, depth+1, child, append(path, w))
+			onPath[w] = false
+		}
+	}
+	onPath[v] = true
+	walk(v, 0, 0, []int32{v})
+	onPath[v] = false
+
+	m := spectral.NewSymmetric(len(tree))
+	for i := 1; i < len(tree); i++ {
+		m.Set(i, tree[i].parent, 1)
+	}
+	copy(sig.eig, m.TopEigenvalues(ix.opts.NumEigenvalues))
+	// Clamp tiny negatives from numeric noise: path trees are bipartite,
+	// their spectra are symmetric, top eigenvalues are >= 0.
+	for i, e := range sig.eig {
+		if e < 0 && e > -1e-9 {
+			sig.eig[i] = 0
+		} else if math.IsNaN(e) {
+			sig.eig[i] = 0
+		}
+	}
+	return sig
+}
+
+// Candidates implements core.Method: phase 1 graph-code dominance, phase 2
+// vertex-signature bipartite matching.
+func (ix *Index) Candidates(q *graph.Graph) (graph.IDSet, error) {
+	if !ix.built {
+		return nil, core.ErrNotBuilt
+	}
+	qc := ix.encode(q)
+	var out graph.IDSet
+	for i := range ix.codes {
+		gc := &ix.codes[i]
+		if !gc.dominatesQ(&qc) {
+			continue
+		}
+		if !signatureMatch(qc.sigs, gc.sigs) {
+			continue
+		}
+		out = append(out, gc.id)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out, nil
+}
+
+// signatureMatch reports whether every query vertex signature can be
+// assigned a distinct dominating data vertex signature — a maximum bipartite
+// matching (Kuhn's augmenting paths). If the query embeds in the data graph,
+// a perfect matching exists, so failure proves non-containment and the test
+// produces no false negatives.
+func signatureMatch(qs, gs []vertexSignature) bool {
+	if len(qs) > len(gs) {
+		return false
+	}
+	// adjacency: query vertex -> candidate data vertices
+	adj := make([][]int32, len(qs))
+	for i := range qs {
+		for j := range gs {
+			if gs[j].dominatesQ(&qs[i]) {
+				adj[i] = append(adj[i], int32(j))
+			}
+		}
+		if len(adj[i]) == 0 {
+			return false
+		}
+	}
+	matchG := make([]int32, len(gs))
+	for i := range matchG {
+		matchG[i] = -1
+	}
+	var try func(int, []bool) bool
+	try = func(qi int, visited []bool) bool {
+		for _, gj := range adj[qi] {
+			if visited[gj] {
+				continue
+			}
+			visited[gj] = true
+			if matchG[gj] < 0 || try(int(matchG[gj]), visited) {
+				matchG[gj] = int32(qi)
+				return true
+			}
+		}
+		return false
+	}
+	for i := range qs {
+		visited := make([]bool, len(gs))
+		if !try(i, visited) {
+			return false
+		}
+	}
+	return true
+}
+
+// SizeBytes implements core.Method.
+func (ix *Index) SizeBytes() int64 {
+	var sz int64
+	for i := range ix.codes {
+		gc := &ix.codes[i]
+		sz += 40 + int64(len(gc.maxEig))*8
+		sz += int64(len(gc.sigs)) * (16 + int64(len(gc.maxEig))*8)
+	}
+	return sz
+}

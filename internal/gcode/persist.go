@@ -1,0 +1,99 @@
+package gcode
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+)
+
+// sigDTO is one vertex signature's serialized form.
+type sigDTO struct {
+	Label     int32
+	LabelBits uint32
+	NbrBits   uint32
+	Degree    int32
+	Eig       []float64
+}
+
+// codeDTO is one graph code's serialized form.
+type codeDTO struct {
+	ID        int32
+	NVertices int32
+	NEdges    int32
+	LabelBits uint32
+	NbrBits   uint32
+	MaxEig    []float64
+	Sigs      []sigDTO
+}
+
+// indexDTO is the serialized form of a gCode index.
+type indexDTO struct {
+	PathLen        int
+	NumEigenvalues int
+	Codes          []codeDTO
+}
+
+// SaveIndex implements core.Persistable.
+func (ix *Index) SaveIndex(w io.Writer) error {
+	if !ix.built {
+		return fmt.Errorf("gcode: save before Build")
+	}
+	dto := indexDTO{PathLen: ix.opts.PathLen, NumEigenvalues: ix.opts.NumEigenvalues}
+	for i := range ix.codes {
+		gc := &ix.codes[i]
+		cd := codeDTO{
+			ID:        int32(gc.id),
+			NVertices: gc.nVertices,
+			NEdges:    gc.nEdges,
+			LabelBits: gc.labelBits,
+			NbrBits:   gc.nbrBits,
+			MaxEig:    gc.maxEig,
+		}
+		for _, s := range gc.sigs {
+			cd.Sigs = append(cd.Sigs, sigDTO{
+				Label: int32(s.label), LabelBits: s.labelBits, NbrBits: s.nbrBits,
+				Degree: s.degree, Eig: s.eig,
+			})
+		}
+		dto.Codes = append(dto.Codes, cd)
+	}
+	return gob.NewEncoder(w).Encode(&dto)
+}
+
+// LoadIndex implements core.Persistable.
+func (ix *Index) LoadIndex(r io.Reader, ds *graph.Dataset) error {
+	var dto indexDTO
+	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
+		return fmt.Errorf("gcode: load: %w", err)
+	}
+	if len(dto.Codes) != ds.Len() {
+		return fmt.Errorf("gcode: load: index covers %d graphs, dataset has %d", len(dto.Codes), ds.Len())
+	}
+	ix.opts = Options{PathLen: dto.PathLen, NumEigenvalues: dto.NumEigenvalues}
+	ix.opts.fill()
+	ix.codes = make([]graphCode, len(dto.Codes))
+	for i, cd := range dto.Codes {
+		gc := graphCode{
+			id:        graph.ID(cd.ID),
+			nVertices: cd.NVertices,
+			nEdges:    cd.NEdges,
+			labelBits: cd.LabelBits,
+			nbrBits:   cd.NbrBits,
+			maxEig:    cd.MaxEig,
+		}
+		if int(cd.ID) < 0 || int(cd.ID) >= ds.Len() {
+			return fmt.Errorf("gcode: load: graph id %d out of range", cd.ID)
+		}
+		for _, s := range cd.Sigs {
+			gc.sigs = append(gc.sigs, vertexSignature{
+				label: graph.Label(s.Label), labelBits: s.LabelBits,
+				nbrBits: s.NbrBits, degree: s.Degree, eig: s.Eig,
+			})
+		}
+		ix.codes[i] = gc
+	}
+	ix.built = true
+	return nil
+}

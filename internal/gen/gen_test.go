@@ -1,0 +1,231 @@
+package gen
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSyntheticBasicShape(t *testing.T) {
+	cfg := SynthConfig{NumGraphs: 50, MeanNodes: 40, MeanDensity: 0.05, NumLabels: 8, Seed: 1}
+	ds := Synthetic(cfg)
+	if ds.Len() != 50 {
+		t.Fatalf("graphs = %d", ds.Len())
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatalf("invalid dataset: %v", err)
+	}
+	s := ds.ComputeStats()
+	if math.Abs(s.AvgNodes-40) > 8 {
+		t.Errorf("AvgNodes = %v, want about 40", s.AvgNodes)
+	}
+	if math.Abs(s.AvgDensity-0.05) > 0.02 {
+		t.Errorf("AvgDensity = %v, want about 0.05", s.AvgDensity)
+	}
+	if s.NumLabels > 8 {
+		t.Errorf("NumLabels = %d > 8", s.NumLabels)
+	}
+	if s.NumDisconnected != 0 {
+		t.Errorf("synthetic graphs should be connected, got %d disconnected", s.NumDisconnected)
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	cfg := SynthConfig{NumGraphs: 10, MeanNodes: 20, MeanDensity: 0.1, NumLabels: 4, Seed: 7}
+	a := Synthetic(cfg)
+	b := Synthetic(cfg)
+	if a.Len() != b.Len() {
+		t.Fatalf("nondeterministic graph count")
+	}
+	for i := range a.Graphs {
+		ga, gb := a.Graphs[i], b.Graphs[i]
+		if ga.NumVertices() != gb.NumVertices() || ga.NumEdges() != gb.NumEdges() {
+			t.Fatalf("graph %d differs between runs", i)
+		}
+		for v := int32(0); int(v) < ga.NumVertices(); v++ {
+			if ga.Label(v) != gb.Label(v) {
+				t.Fatalf("labels differ at graph %d vertex %d", i, v)
+			}
+		}
+	}
+	c := Synthetic(SynthConfig{NumGraphs: 10, MeanNodes: 20, MeanDensity: 0.1, NumLabels: 4, Seed: 8})
+	same := true
+	for i := range a.Graphs {
+		if a.Graphs[i].NumEdges() != c.Graphs[i].NumEdges() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Errorf("different seeds produced identical edge counts everywhere")
+	}
+}
+
+func TestSyntheticDensitySweep(t *testing.T) {
+	// Feasible densities at 30 nodes (d >= 2/30 for a connected graph).
+	for _, d := range []float64{0.1, 0.2, 0.3} {
+		ds := Synthetic(SynthConfig{NumGraphs: 30, MeanNodes: 30, MeanDensity: d, NumLabels: 5, Seed: 3})
+		s := ds.ComputeStats()
+		if math.Abs(s.AvgDensity-d) > d*0.5+0.01 {
+			t.Errorf("density %v: measured %v", d, s.AvgDensity)
+		}
+	}
+}
+
+func TestSyntheticNodeCountHeld(t *testing.T) {
+	// The node count is the x-axis of Figure 2 and must be exact even when
+	// the requested density is infeasible for a connected graph.
+	ds := Synthetic(SynthConfig{NumGraphs: 10, MeanNodes: 50, MeanDensity: 0.005, NumLabels: 4, Seed: 4})
+	trees := 0
+	for _, g := range ds.Graphs {
+		if g.NumVertices() != 50 {
+			t.Fatalf("node count %d, want 50", g.NumVertices())
+		}
+		if g.NumEdges() == g.NumVertices()-1 {
+			trees++
+		}
+	}
+	// Infeasible density floors the edge count: tree-dominated regime.
+	if trees < 8 {
+		t.Errorf("low-density graphs: %d/10 trees, want most", trees)
+	}
+}
+
+func TestSyntheticTinyGraphs(t *testing.T) {
+	// Degenerate parameters must not hang or produce invalid graphs.
+	ds := Synthetic(SynthConfig{NumGraphs: 5, MeanNodes: 2, MeanDensity: 0.9, NumLabels: 1, Seed: 2})
+	if err := ds.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	for _, g := range ds.Graphs {
+		if g.NumVertices() < 2 {
+			t.Errorf("graph with < 2 vertices")
+		}
+	}
+}
+
+func TestRealisticPresetsMatchTable1(t *testing.T) {
+	// Scaled-down versions keep the statistical regime; verify against the
+	// scaled targets with generous tolerances (they are random draws).
+	cases := []struct {
+		cfg    RealConfig
+		gDiv   float64
+		nDiv   float64
+		minDeg float64
+		maxDeg float64
+	}{
+		{AIDS, 100, 1, 1.2, 3.0}, // sparse: avg degree ~2
+		{PDBS, 10, 10, 1.2, 3.0}, // avg degree ~2
+		{PCM, 4, 4, 10, 40},      // dense: avg degree ~23
+		{PPI, 1, 20, 4, 20},      // medium degree ~10.9
+	}
+	for _, c := range cases {
+		cfg := c.cfg.Scaled(c.gDiv, c.nDiv)
+		cfg.Seed = 5
+		ds := Realistic(cfg)
+		if err := ds.Validate(); err != nil {
+			t.Fatalf("%s: invalid: %v", cfg.Name, err)
+		}
+		s := ds.ComputeStats()
+		if s.NumGraphs != cfg.NumGraphs {
+			t.Errorf("%s: graphs = %d, want %d", cfg.Name, s.NumGraphs, cfg.NumGraphs)
+		}
+		if math.Abs(s.AvgNodes-cfg.AvgNodes) > cfg.AvgNodes*0.5 {
+			t.Errorf("%s: AvgNodes = %v, want about %v", cfg.Name, s.AvgNodes, cfg.AvgNodes)
+		}
+		if s.AvgDegree < c.minDeg || s.AvgDegree > c.maxDeg {
+			t.Errorf("%s: AvgDegree = %v, want in [%v,%v]", cfg.Name, s.AvgDegree, c.minDeg, c.maxDeg)
+		}
+		if s.NumLabels > cfg.NumLabels {
+			t.Errorf("%s: labels = %d > %d", cfg.Name, s.NumLabels, cfg.NumLabels)
+		}
+	}
+}
+
+func TestRealisticDisconnectedFraction(t *testing.T) {
+	cfg := PCM.Scaled(4, 4) // DisconnectedPct = 1.0
+	cfg.Seed = 9
+	ds := Realistic(cfg)
+	s := ds.ComputeStats()
+	if s.NumDisconnected < ds.Len()*8/10 {
+		t.Errorf("PCM: %d/%d disconnected, want nearly all", s.NumDisconnected, ds.Len())
+	}
+	// AIDS has a small disconnected fraction.
+	acfg := AIDS.Scaled(200, 1)
+	acfg.Seed = 9
+	ads := Realistic(acfg)
+	as := ads.ComputeStats()
+	if as.NumDisconnected > ads.Len()/2 {
+		t.Errorf("AIDS: %d/%d disconnected, want a small fraction", as.NumDisconnected, ads.Len())
+	}
+}
+
+func TestScaledKeepsDegree(t *testing.T) {
+	orig := PPI
+	scaled := PPI.Scaled(1, 20)
+	degOrig := 2 * orig.AvgEdges / orig.AvgNodes
+	degScaled := 2 * scaled.AvgEdges / scaled.AvgNodes
+	if math.Abs(degOrig-degScaled) > degOrig*0.2 {
+		t.Errorf("scaling changed avg degree: %v -> %v", degOrig, degScaled)
+	}
+	if scaled.AvgNodes >= orig.AvgNodes {
+		t.Errorf("scaling did not reduce node count")
+	}
+	if scaled.NumGraphs != orig.NumGraphs {
+		t.Errorf("graphDiv 1 changed graph count")
+	}
+}
+
+func TestLabelSkewConcentratesFrequencies(t *testing.T) {
+	// With a strong Zipf skew, the most frequent label should dominate;
+	// uniform (skew 0) should spread mass evenly.
+	base := RealConfig{
+		Name: "skew", NumGraphs: 60, NumLabels: 20,
+		AvgNodes: 30, StdDevNodes: 2, AvgEdges: 32,
+		LabelsPerGraph: 6, Seed: 77,
+	}
+	topShare := func(skew float64) float64 {
+		cfg := base
+		cfg.LabelSkew = skew
+		ds := Realistic(cfg)
+		counts := map[int]int{}
+		total := 0
+		for _, g := range ds.Graphs {
+			for _, l := range g.Labels() {
+				counts[int(l)]++
+				total++
+			}
+		}
+		best := 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+		}
+		return float64(best) / float64(total)
+	}
+	uniform := topShare(0)
+	skewed := topShare(1.5)
+	if skewed < 2*uniform {
+		t.Errorf("skew 1.5 top-label share %.3f not clearly above uniform %.3f", skewed, uniform)
+	}
+}
+
+func TestZipfWeights(t *testing.T) {
+	w := zipfWeights(4, 1)
+	if w[0] != 1 || w[1] != 0.5 || w[3] != 0.25 {
+		t.Fatalf("zipf s=1 weights = %v", w)
+	}
+	u := zipfWeights(3, 0)
+	if u[0] != 1 || u[1] != 1 || u[2] != 1 {
+		t.Fatalf("zipf s=0 weights = %v", u)
+	}
+}
+
+func TestLabelName(t *testing.T) {
+	if labelName(0) != "A" || labelName(25) != "Z" {
+		t.Fatalf("single letter names wrong")
+	}
+	if labelName(26) != "AA" || labelName(27) != "AB" {
+		t.Fatalf("double letter names wrong: %s %s", labelName(26), labelName(27))
+	}
+}

@@ -1,0 +1,231 @@
+// Package ggsx implements GraphGrepSX (Bonnici et al., PRIB 2010): all label
+// paths up to a maximum length are enumerated by depth-first search and
+// organized in a suffix-tree-like trie; each trie node stores, per graph, the
+// number of occurrences of the corresponding label path. Filtering matches
+// the query's path trie against the index trie and keeps graphs whose
+// occurrence counts dominate the query's on every path.
+package ggsx
+
+import (
+	"context"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/graph"
+)
+
+// DefaultMaxPathLen is the paper's §4.1 setting for GGSX.
+const DefaultMaxPathLen = 4
+
+// Options configures a GGSX index.
+type Options struct {
+	// MaxPathLen is the maximum path feature size in edges (paper: 4).
+	MaxPathLen int
+}
+
+func (o *Options) fill() {
+	if o.MaxPathLen <= 0 {
+		o.MaxPathLen = DefaultMaxPathLen
+	}
+}
+
+// node is one trie node: the label path from the root to the node is the
+// feature; postings count its occurrences per graph.
+type node struct {
+	children map[graph.Label]*node
+	// During build: counts by graph id. Finalized into sorted parallel
+	// slices for query-time merging.
+	building map[graph.ID]int32
+	ids      graph.IDSet
+	counts   []int32
+}
+
+func newNode() *node {
+	return &node{children: make(map[graph.Label]*node), building: make(map[graph.ID]int32)}
+}
+
+func (n *node) child(l graph.Label) *node {
+	c := n.children[l]
+	if c == nil {
+		c = newNode()
+		n.children[l] = c
+	}
+	return c
+}
+
+func (n *node) finalize() {
+	n.ids = make(graph.IDSet, 0, len(n.building))
+	for id := range n.building {
+		n.ids = append(n.ids, id)
+	}
+	sort.Slice(n.ids, func(a, b int) bool { return n.ids[a] < n.ids[b] })
+	n.counts = make([]int32, len(n.ids))
+	for i, id := range n.ids {
+		n.counts[i] = n.building[id]
+	}
+	n.building = nil
+	for _, c := range n.children {
+		c.finalize()
+	}
+}
+
+// Index is a built GraphGrepSX index. Create with New, then Build.
+type Index struct {
+	opts  Options
+	root  *node
+	nGr   int
+	built bool
+}
+
+// New returns an unbuilt GGSX index.
+func New(opts Options) *Index {
+	opts.fill()
+	return &Index{opts: opts}
+}
+
+// Name implements core.Method.
+func (ix *Index) Name() string { return "GGSX" }
+
+// Build implements core.Method: DFS path enumeration per graph, inserted
+// into the shared trie with occurrence counting.
+func (ix *Index) Build(ctx context.Context, ds *graph.Dataset) error {
+	ix.root = newNode()
+	ix.nGr = ds.Len()
+	for _, g := range ds.Graphs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		insertPaths(ix.root, g, ix.opts.MaxPathLen)
+	}
+	ix.root.finalize()
+	ix.built = true
+	return nil
+}
+
+// insertPaths walks the path enumeration of g keeping a trie cursor stack in
+// lockstep with the DFS, so each emitted path costs one child lookup.
+func insertPaths(root *node, g *graph.Graph, maxLen int) {
+	id := g.ID()
+	stack := make([]*node, 1, maxLen+2)
+	stack[0] = root
+	features.VisitPaths(g, maxLen, func(vs []int32) bool {
+		depth := len(vs) // trie depth of this path (one level per vertex)
+		stack = stack[:depth]
+		parent := stack[depth-1]
+		cur := parent.child(g.Label(vs[depth-1]))
+		cur.building[id]++
+		stack = append(stack, cur)
+		return true
+	})
+}
+
+// queryTrie accumulates the query's path counts in the same trie shape.
+type queryTrie struct {
+	children map[graph.Label]*queryTrie
+	count    int32
+}
+
+func buildQueryTrie(q *graph.Graph, maxLen int) *queryTrie {
+	root := &queryTrie{children: make(map[graph.Label]*queryTrie)}
+	stack := make([]*queryTrie, 1, maxLen+2)
+	stack[0] = root
+	features.VisitPaths(q, maxLen, func(vs []int32) bool {
+		depth := len(vs)
+		stack = stack[:depth]
+		parent := stack[depth-1]
+		l := q.Label(vs[depth-1])
+		cur := parent.children[l]
+		if cur == nil {
+			cur = &queryTrie{children: make(map[graph.Label]*queryTrie)}
+			parent.children[l] = cur
+		}
+		cur.count++
+		stack = append(stack, cur)
+		return true
+	})
+	return root
+}
+
+// Candidates implements core.Method: graphs whose counts dominate the
+// query's on every query trie node. A query path absent from the index
+// empties the candidate set.
+func (ix *Index) Candidates(q *graph.Graph) (graph.IDSet, error) {
+	if !ix.built {
+		return nil, core.ErrNotBuilt
+	}
+	qt := buildQueryTrie(q, ix.opts.MaxPathLen)
+	cands := graph.UniverseIDSet(ix.nGr)
+	ok := matchTries(qt, ix.root, &cands)
+	if !ok {
+		return graph.IDSet{}, nil
+	}
+	return cands, nil
+}
+
+// matchTries intersects, into cands, the dominating-graph set of every query
+// trie node. It returns false as soon as a query path is missing from the
+// index (no graph can contain the query).
+func matchTries(qt *queryTrie, ixn *node, cands *graph.IDSet) bool {
+	for l, qc := range qt.children {
+		ic, ok := ixn.children[l]
+		if !ok {
+			return false
+		}
+		*cands = intersectDominating(*cands, ic, qc.count)
+		if len(*cands) == 0 {
+			return false
+		}
+		if !matchTries(qc, ic, cands) {
+			return false
+		}
+	}
+	return true
+}
+
+// intersectDominating keeps the ids in cands whose count in n is >= need.
+func intersectDominating(cands graph.IDSet, n *node, need int32) graph.IDSet {
+	out := cands[:0]
+	j := 0
+	for _, id := range cands {
+		for j < len(n.ids) && n.ids[j] < id {
+			j++
+		}
+		if j < len(n.ids) && n.ids[j] == id && n.counts[j] >= need {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// SizeBytes implements core.Method.
+func (ix *Index) SizeBytes() int64 {
+	var walk func(n *node) int64
+	walk = func(n *node) int64 {
+		sz := int64(len(n.ids))*4 + int64(len(n.counts))*4 + 64
+		for _, c := range n.children {
+			sz += 8 + walk(c)
+		}
+		return sz
+	}
+	if ix.root == nil {
+		return 0
+	}
+	return walk(ix.root)
+}
+
+// NumNodes returns the number of trie nodes (excluding the root).
+func (ix *Index) NumNodes() int {
+	var walk func(n *node) int
+	walk = func(n *node) int {
+		total := 0
+		for _, c := range n.children {
+			total += 1 + walk(c)
+		}
+		return total
+	}
+	if ix.root == nil {
+		return 0
+	}
+	return walk(ix.root)
+}

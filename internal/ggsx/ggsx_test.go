@@ -1,0 +1,130 @@
+package ggsx
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/subiso"
+	"repro/internal/workload"
+)
+
+func pathGraph(labels ...graph.Label) *graph.Graph {
+	g := graph.New(0)
+	for _, l := range labels {
+		g.AddVertex(l)
+	}
+	for i := 1; i < len(labels); i++ {
+		g.MustAddEdge(int32(i-1), int32(i))
+	}
+	return g
+}
+
+func build(t *testing.T, ds *graph.Dataset) *Index {
+	t.Helper()
+	ix := New(Options{})
+	if err := ix.Build(context.Background(), ds); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return ix
+}
+
+func TestCandidatesBasic(t *testing.T) {
+	ds := graph.NewDataset("t")
+	ds.Add(pathGraph(1, 2, 3))
+	ds.Add(pathGraph(3, 2, 1))
+	ds.Add(pathGraph(4, 5))
+	ix := build(t, ds)
+	cands, err := ix.Candidates(pathGraph(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paths are direction-symmetric: both graphs 0 and 1 contain 1-2.
+	if !cands.Equal(graph.IDSet{0, 1}) {
+		t.Errorf("candidates = %v, want [0 1]", cands)
+	}
+	cands, _ = ix.Candidates(pathGraph(9))
+	if len(cands) != 0 {
+		t.Errorf("unknown label produced candidates: %v", cands)
+	}
+}
+
+func TestOccurrenceCountFiltering(t *testing.T) {
+	ds := graph.NewDataset("t")
+	ds.Add(pathGraph(1, 1))    // one 1-1 edge
+	ds.Add(pathGraph(1, 1, 1)) // two 1-1 edges
+	ix := build(t, ds)
+	cands, err := ix.Candidates(pathGraph(1, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cands.Equal(graph.IDSet{1}) {
+		t.Errorf("count filtering: candidates = %v, want [1]", cands)
+	}
+}
+
+func TestNoFalseNegativesRandom(t *testing.T) {
+	ds := gen.Synthetic(gen.SynthConfig{NumGraphs: 25, MeanNodes: 14, MeanDensity: 0.2, NumLabels: 3, Seed: 6})
+	ix := build(t, ds)
+	qs, err := workload.Generate(ds, workload.Config{NumQueries: 10, QueryEdges: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		cands, err := ix.Candidates(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, g := range ds.Graphs {
+			if subiso.Exists(q, g) && !cands.Contains(g.ID()) {
+				t.Errorf("query %d: false negative for graph %d", i, g.ID())
+			}
+		}
+	}
+}
+
+func TestTrieShape(t *testing.T) {
+	ds := graph.NewDataset("t")
+	ds.Add(pathGraph(1, 2))
+	ix := build(t, ds)
+	// Paths: [1],[2],[1 2],[2 1] -> trie nodes: 1, 2, 1->2, 2->1 = 4 nodes.
+	if got := ix.NumNodes(); got != 4 {
+		t.Errorf("NumNodes = %d, want 4", got)
+	}
+	if ix.SizeBytes() <= 0 {
+		t.Errorf("SizeBytes = %d", ix.SizeBytes())
+	}
+}
+
+func TestUnbuiltAndEmpty(t *testing.T) {
+	ix := New(Options{})
+	if _, err := ix.Candidates(pathGraph(1)); err == nil {
+		t.Errorf("want error before Build")
+	}
+	empty := graph.NewDataset("e")
+	built := build(t, empty)
+	cands, err := built.Candidates(pathGraph(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 0 {
+		t.Errorf("empty dataset produced candidates")
+	}
+}
+
+func TestMaxPathLenOption(t *testing.T) {
+	ds := graph.NewDataset("t")
+	ds.Add(pathGraph(1, 2, 3, 4, 5, 6))
+	short := New(Options{MaxPathLen: 2})
+	if err := short.Build(context.Background(), ds); err != nil {
+		t.Fatal(err)
+	}
+	long := New(Options{MaxPathLen: 5})
+	if err := long.Build(context.Background(), ds); err != nil {
+		t.Fatal(err)
+	}
+	if short.NumNodes() >= long.NumNodes() {
+		t.Errorf("longer path limit should index more nodes: %d vs %d", short.NumNodes(), long.NumNodes())
+	}
+}

@@ -1,0 +1,99 @@
+package ggsx
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+)
+
+// nodeDTO is the serialized form of one trie node: depth-first flattened,
+// children addressed by edge label.
+type nodeDTO struct {
+	Labels   []int32 // edge labels to children, parallel to Children
+	Children []nodeDTO
+	IDs      []int32
+	Counts   []int32
+}
+
+// indexDTO is the serialized form of a GGSX index.
+type indexDTO struct {
+	MaxPathLen int
+	NumGraphs  int
+	Root       nodeDTO
+}
+
+func encodeNode(n *node) nodeDTO {
+	dto := nodeDTO{
+		IDs:    make([]int32, len(n.ids)),
+		Counts: append([]int32(nil), n.counts...),
+	}
+	for i, id := range n.ids {
+		dto.IDs[i] = int32(id)
+	}
+	for l, c := range n.children {
+		dto.Labels = append(dto.Labels, int32(l))
+		dto.Children = append(dto.Children, encodeNode(c))
+	}
+	return dto
+}
+
+func decodeNode(dto *nodeDTO) (*node, error) {
+	if len(dto.Labels) != len(dto.Children) {
+		return nil, fmt.Errorf("ggsx: corrupt trie node (label/child mismatch)")
+	}
+	if len(dto.IDs) != len(dto.Counts) {
+		return nil, fmt.Errorf("ggsx: corrupt trie node (id/count mismatch)")
+	}
+	n := &node{
+		children: make(map[graph.Label]*node, len(dto.Labels)),
+		ids:      make(graph.IDSet, len(dto.IDs)),
+		counts:   append([]int32(nil), dto.Counts...),
+	}
+	for i, id := range dto.IDs {
+		n.ids[i] = graph.ID(id)
+	}
+	for i, l := range dto.Labels {
+		c, err := decodeNode(&dto.Children[i])
+		if err != nil {
+			return nil, err
+		}
+		n.children[graph.Label(l)] = c
+	}
+	return n, nil
+}
+
+// SaveIndex implements core.Persistable.
+func (ix *Index) SaveIndex(w io.Writer) error {
+	if !ix.built {
+		return fmt.Errorf("ggsx: save before Build")
+	}
+	dto := indexDTO{
+		MaxPathLen: ix.opts.MaxPathLen,
+		NumGraphs:  ix.nGr,
+		Root:       encodeNode(ix.root),
+	}
+	return gob.NewEncoder(w).Encode(&dto)
+}
+
+// LoadIndex implements core.Persistable.
+func (ix *Index) LoadIndex(r io.Reader, ds *graph.Dataset) error {
+	var dto indexDTO
+	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
+		return fmt.Errorf("ggsx: load: %w", err)
+	}
+	if dto.NumGraphs != ds.Len() {
+		return fmt.Errorf("ggsx: load: index covers %d graphs, dataset has %d", dto.NumGraphs, ds.Len())
+	}
+	root, err := decodeNode(&dto.Root)
+	if err != nil {
+		return err
+	}
+	ix.opts = Options{MaxPathLen: dto.MaxPathLen}
+	ix.opts.fill()
+	ix.root = root
+	ix.nGr = dto.NumGraphs
+	ix.built = true
+	return nil
+}

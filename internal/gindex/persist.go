@@ -1,0 +1,76 @@
+package gindex
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/canon"
+	"repro/internal/graph"
+)
+
+// indexDTO is the serialized form of a gIndex.
+type indexDTO struct {
+	MaxFeatureSize     int
+	SupportRatio       float64
+	DiscriminativeGate float64
+	FragmentBudget     int
+	NumGraphs          int
+	Keys               []string
+	Postings           [][]int32
+}
+
+// SaveIndex implements core.Persistable.
+func (ix *Index) SaveIndex(w io.Writer) error {
+	if !ix.built {
+		return fmt.Errorf("gindex: save before Build")
+	}
+	dto := indexDTO{
+		MaxFeatureSize:     ix.opts.MaxFeatureSize,
+		SupportRatio:       ix.opts.SupportRatio,
+		DiscriminativeGate: ix.opts.DiscriminativeGate,
+		FragmentBudget:     ix.opts.FragmentBudget,
+		NumGraphs:          ix.nGraphs,
+	}
+	for key, post := range ix.postings {
+		dto.Keys = append(dto.Keys, string(key))
+		ids := make([]int32, len(post))
+		for i, id := range post {
+			ids[i] = int32(id)
+		}
+		dto.Postings = append(dto.Postings, ids)
+	}
+	return gob.NewEncoder(w).Encode(&dto)
+}
+
+// LoadIndex implements core.Persistable.
+func (ix *Index) LoadIndex(r io.Reader, ds *graph.Dataset) error {
+	var dto indexDTO
+	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
+		return fmt.Errorf("gindex: load: %w", err)
+	}
+	if dto.NumGraphs != ds.Len() {
+		return fmt.Errorf("gindex: load: index covers %d graphs, dataset has %d", dto.NumGraphs, ds.Len())
+	}
+	if len(dto.Keys) != len(dto.Postings) {
+		return fmt.Errorf("gindex: load: corrupt postings")
+	}
+	ix.opts = Options{
+		MaxFeatureSize:     dto.MaxFeatureSize,
+		SupportRatio:       dto.SupportRatio,
+		DiscriminativeGate: dto.DiscriminativeGate,
+		FragmentBudget:     dto.FragmentBudget,
+	}
+	ix.opts.fill()
+	ix.nGraphs = dto.NumGraphs
+	ix.postings = make(map[canon.Key]graph.IDSet, len(dto.Keys))
+	for i, key := range dto.Keys {
+		post := make(graph.IDSet, len(dto.Postings[i]))
+		for j, id := range dto.Postings[i] {
+			post[j] = graph.ID(id)
+		}
+		ix.postings[canon.Key(key)] = post
+	}
+	ix.built = true
+	return nil
+}

@@ -1,0 +1,437 @@
+// Package grapes implements the GRAPES index (Giugno et al., PLoS One 2013):
+// exhaustive enumeration of label paths up to a maximum length, organized in
+// a trie whose postings carry location information — for every (path, graph)
+// pair, the set of start vertices and the occurrence count. Both indexing and
+// verification are parallelized across a configurable number of workers, and
+// verification runs VF2 against individual connected components selected via
+// the location information, rather than whole graphs.
+package grapes
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/canon"
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/graph"
+	"repro/internal/subiso"
+)
+
+// Defaults from §4.1 of the paper.
+const (
+	DefaultMaxPathLen = 4
+	DefaultWorkers    = 6
+)
+
+// Options configures a Grapes index.
+type Options struct {
+	// MaxPathLen is the maximum path feature size in edges (paper: 4).
+	MaxPathLen int
+	// Workers is the build/verify parallelism (paper: 6 threads).
+	Workers int
+}
+
+func (o *Options) fill() {
+	if o.MaxPathLen <= 0 {
+		o.MaxPathLen = DefaultMaxPathLen
+	}
+	if o.Workers <= 0 {
+		o.Workers = DefaultWorkers
+	}
+	if o.Workers > runtime.NumCPU()*4 {
+		o.Workers = runtime.NumCPU() * 4
+	}
+}
+
+// location is one (graph, path feature) posting entry.
+type location struct {
+	count  int32
+	starts []int32 // sorted vertex ids where the path starts
+}
+
+// posting maps graph IDs to their location entry for one path feature.
+type posting struct {
+	ids  graph.IDSet
+	locs []location // parallel to ids
+}
+
+// Index is a built Grapes index. Create with New, then Build.
+type Index struct {
+	opts Options
+	ds   *graph.Dataset
+	// features maps canonical path keys to postings.
+	features map[canon.Key]*posting
+	// comps[g] are the connected components of dataset graph g, as a
+	// vertex -> component id array, with compCount[g] components.
+	comps     [][]int32
+	compCount []int
+	built     bool
+}
+
+// New returns an unbuilt Grapes index.
+func New(opts Options) *Index {
+	opts.fill()
+	return &Index{opts: opts}
+}
+
+// Name implements core.Method.
+func (ix *Index) Name() string { return "Grapes" }
+
+// buildShard is the per-worker accumulation of postings.
+type buildShard struct {
+	features map[canon.Key]map[graph.ID]*location
+}
+
+// Build implements core.Method. Graphs are partitioned across workers, each
+// of which builds a private feature map; shards are merged at the end,
+// mirroring the paper's synchronization-free parallel trie construction.
+func (ix *Index) Build(ctx context.Context, ds *graph.Dataset) error {
+	ix.ds = ds
+	n := ds.Len()
+	ix.comps = make([][]int32, n)
+	ix.compCount = make([]int, n)
+
+	workers := ix.opts.Workers
+	if workers > n && n > 0 {
+		workers = n
+	}
+	if workers == 0 {
+		workers = 1
+	}
+	shards := make([]*buildShard, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			shard := &buildShard{features: make(map[canon.Key]map[graph.ID]*location)}
+			shards[w] = shard
+			for i := w; i < n; i += workers {
+				if err := ctx.Err(); err != nil {
+					errs[w] = err
+					return
+				}
+				ix.indexGraph(shard, ds.Graphs[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	// Merge shards into sorted postings.
+	ix.features = make(map[canon.Key]*posting)
+	for _, shard := range shards {
+		for key, byGraph := range shard.features {
+			p := ix.features[key]
+			if p == nil {
+				p = &posting{}
+				ix.features[key] = p
+			}
+			for id, loc := range byGraph {
+				p.ids = append(p.ids, id)
+				p.locs = append(p.locs, *loc)
+			}
+		}
+	}
+	for _, p := range ix.features {
+		sortPosting(p)
+	}
+	ix.built = true
+	return nil
+}
+
+func sortPosting(p *posting) {
+	idx := make([]int, len(p.ids))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return p.ids[idx[a]] < p.ids[idx[b]] })
+	ids := make(graph.IDSet, len(idx))
+	locs := make([]location, len(idx))
+	for i, j := range idx {
+		ids[i] = p.ids[j]
+		locs[i] = p.locs[j]
+	}
+	p.ids, p.locs = ids, locs
+}
+
+// indexGraph extracts all path features of one graph into the shard, and
+// records the graph's connected components for verification.
+func (ix *Index) indexGraph(shard *buildShard, g *graph.Graph) {
+	id := g.ID()
+	var labelBuf []graph.Label
+	features.VisitPaths(g, ix.opts.MaxPathLen, func(vs []int32) bool {
+		labelBuf = features.PathLabels(g, vs, labelBuf)
+		key := canon.PathKey(labelBuf)
+		byGraph := shard.features[key]
+		if byGraph == nil {
+			byGraph = make(map[graph.ID]*location)
+			shard.features[key] = byGraph
+		}
+		loc := byGraph[id]
+		if loc == nil {
+			loc = &location{}
+			byGraph[id] = loc
+		}
+		loc.count++
+		start := vs[0]
+		i := sort.Search(len(loc.starts), func(i int) bool { return loc.starts[i] >= start })
+		if i == len(loc.starts) || loc.starts[i] != start {
+			loc.starts = append(loc.starts, 0)
+			copy(loc.starts[i+1:], loc.starts[i:])
+			loc.starts[i] = start
+		}
+		return true
+	})
+
+	comp := make([]int32, g.NumVertices())
+	comps := g.ConnectedComponents()
+	for ci, members := range comps {
+		for _, v := range members {
+			comp[v] = int32(ci)
+		}
+	}
+	ix.comps[id] = comp
+	ix.compCount[id] = len(comps)
+}
+
+// queryFeature is one distinct path feature of the query.
+type queryFeature struct {
+	key   canon.Key
+	count int32
+}
+
+// extractQueryFeatures enumerates the query's path features with counts.
+func (ix *Index) extractQueryFeatures(q *graph.Graph) []queryFeature {
+	acc := make(map[canon.Key]int32)
+	var labelBuf []graph.Label
+	features.VisitPaths(q, ix.opts.MaxPathLen, func(vs []int32) bool {
+		labelBuf = features.PathLabels(q, vs, labelBuf)
+		acc[canon.PathKey(labelBuf)]++
+		return true
+	})
+	out := make([]queryFeature, 0, len(acc))
+	for k, c := range acc {
+		out = append(out, queryFeature{key: k, count: c})
+	}
+	// Deterministic order, rarest feature first for cheap intersections.
+	sort.Slice(out, func(a, b int) bool {
+		pa, pb := ix.features[out[a].key], ix.features[out[b].key]
+		la, lb := 0, 0
+		if pa != nil {
+			la = len(pa.ids)
+		}
+		if pb != nil {
+			lb = len(pb.ids)
+		}
+		if la != lb {
+			return la < lb
+		}
+		return out[a].key < out[b].key
+	})
+	return out
+}
+
+// Candidates implements core.Method (used when the caller does not go
+// through PlanQuery).
+func (ix *Index) Candidates(q *graph.Graph) (graph.IDSet, error) {
+	plan, err := ix.PlanQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Candidates(), nil
+}
+
+// PlanQuery implements core.Planner: it filters with count dominance and
+// retains, per candidate, the components touched by matched path locations.
+func (ix *Index) PlanQuery(q *graph.Graph) (core.QueryPlan, error) {
+	if !ix.built {
+		return nil, core.ErrNotBuilt
+	}
+	qf := ix.extractQueryFeatures(q)
+	plan := &queryPlan{ix: ix, q: q}
+	if len(qf) == 0 {
+		return plan, nil
+	}
+	// Intersect postings with count dominance; collect viable components:
+	// a component of a candidate graph is viable if it contains at least
+	// one start location of every query feature.
+	type candState struct {
+		// viable[c] is true while component c contains starts of all
+		// features processed so far.
+		viable []bool
+	}
+	var cands graph.IDSet
+	states := make(map[graph.ID]*candState)
+
+	first := ix.features[qf[0].key]
+	if first == nil {
+		return plan, nil // some feature absent everywhere: no candidates
+	}
+	for i, id := range first.ids {
+		if first.locs[i].count < qf[0].count {
+			continue
+		}
+		st := &candState{viable: make([]bool, ix.compCount[id])}
+		markComponents(st.viable, ix.comps[id], first.locs[i].starts)
+		if anyTrue(st.viable) {
+			cands = append(cands, id)
+			states[id] = st
+		}
+	}
+	for _, f := range qf[1:] {
+		if len(cands) == 0 {
+			break
+		}
+		p := ix.features[f.key]
+		if p == nil {
+			cands = nil
+			break
+		}
+		kept := cands[:0]
+		touched := make([]bool, 0, 16)
+		j := 0
+		for _, id := range cands {
+			for j < len(p.ids) && p.ids[j] < id {
+				j++
+			}
+			if j >= len(p.ids) || p.ids[j] != id || p.locs[j].count < f.count {
+				delete(states, id)
+				continue
+			}
+			st := states[id]
+			touched = touched[:0]
+			touched = append(touched, make([]bool, ix.compCount[id])...)
+			markComponents(touched, ix.comps[id], p.locs[j].starts)
+			still := false
+			for c := range st.viable {
+				st.viable[c] = st.viable[c] && touched[c]
+				still = still || st.viable[c]
+			}
+			if still {
+				kept = append(kept, id)
+			} else {
+				delete(states, id)
+			}
+		}
+		cands = kept
+	}
+	plan.cands = cands
+	plan.states = make(map[graph.ID][]bool, len(states))
+	for id, st := range states {
+		plan.states[id] = st.viable
+	}
+	return plan, nil
+}
+
+func markComponents(dst []bool, comp []int32, starts []int32) {
+	for _, v := range starts {
+		dst[comp[v]] = true
+	}
+}
+
+func anyTrue(bs []bool) bool {
+	for _, b := range bs {
+		if b {
+			return true
+		}
+	}
+	return false
+}
+
+// queryPlan holds one query's candidates and viable components.
+type queryPlan struct {
+	ix     *Index
+	q      *graph.Graph
+	cands  graph.IDSet
+	states map[graph.ID][]bool
+}
+
+// Candidates implements core.QueryPlan.
+func (p *queryPlan) Candidates() graph.IDSet { return p.cands }
+
+// Verify implements core.QueryPlan: the query is tested against each viable
+// connected component of the candidate, in parallel when there are several,
+// first match wins.
+func (p *queryPlan) Verify(id graph.ID) bool {
+	g := p.ix.ds.Graph(id)
+	if g == nil {
+		return false
+	}
+	viable := p.states[id]
+	comp := p.ix.comps[id]
+	var targets []int
+	for c, ok := range viable {
+		if ok {
+			targets = append(targets, c)
+		}
+	}
+	if len(targets) == 0 {
+		return false
+	}
+	if len(targets) == 1 {
+		return p.verifyComponent(g, comp, targets[0])
+	}
+	// Parallel per-component verification, first match wins.
+	workers := p.ix.opts.Workers
+	if workers > len(targets) {
+		workers = len(targets)
+	}
+	found := make(chan bool, len(targets))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for _, c := range targets {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			found <- p.verifyComponent(g, comp, c)
+		}(c)
+	}
+	wg.Wait()
+	close(found)
+	for ok := range found {
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *queryPlan) verifyComponent(g *graph.Graph, comp []int32, c int) bool {
+	allowed := make([]bool, g.NumVertices())
+	for v := range comp {
+		if comp[v] == int32(c) {
+			allowed[v] = true
+		}
+	}
+	return subiso.ExistsRestricted(p.q, g, allowed)
+}
+
+// SizeBytes implements core.Method.
+func (ix *Index) SizeBytes() int64 {
+	var sz int64
+	for key, p := range ix.features {
+		sz += int64(len(key)) + 48
+		sz += int64(len(p.ids)) * 4
+		for _, loc := range p.locs {
+			sz += 4 + int64(len(loc.starts))*4 + 24
+		}
+	}
+	for _, comp := range ix.comps {
+		sz += int64(len(comp)) * 4
+	}
+	return sz
+}
+
+// NumFeatures returns the number of distinct indexed path features.
+func (ix *Index) NumFeatures() int { return len(ix.features) }

@@ -1,0 +1,92 @@
+package grapes
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/canon"
+	"repro/internal/graph"
+)
+
+// postingDTO is one feature's serialized posting list.
+type postingDTO struct {
+	Key    string
+	IDs    []int32
+	Counts []int32
+	Starts [][]int32
+}
+
+// indexDTO is the serialized form of a Grapes index.
+type indexDTO struct {
+	MaxPathLen int
+	Workers    int
+	NumGraphs  int
+	Postings   []postingDTO
+	Comps      [][]int32
+	CompCount  []int
+}
+
+// SaveIndex implements core.Persistable.
+func (ix *Index) SaveIndex(w io.Writer) error {
+	if !ix.built {
+		return fmt.Errorf("grapes: save before Build")
+	}
+	dto := indexDTO{
+		MaxPathLen: ix.opts.MaxPathLen,
+		Workers:    ix.opts.Workers,
+		NumGraphs:  len(ix.comps),
+		Comps:      ix.comps,
+		CompCount:  ix.compCount,
+	}
+	for key, p := range ix.features {
+		pd := postingDTO{Key: string(key)}
+		for i, id := range p.ids {
+			pd.IDs = append(pd.IDs, int32(id))
+			pd.Counts = append(pd.Counts, p.locs[i].count)
+			pd.Starts = append(pd.Starts, p.locs[i].starts)
+		}
+		dto.Postings = append(dto.Postings, pd)
+	}
+	return gob.NewEncoder(w).Encode(&dto)
+}
+
+// LoadIndex implements core.Persistable; ds must be the dataset the saved
+// index was built over (the location info stores its vertex ids).
+func (ix *Index) LoadIndex(r io.Reader, ds *graph.Dataset) error {
+	var dto indexDTO
+	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
+		return fmt.Errorf("grapes: load: %w", err)
+	}
+	if dto.NumGraphs != ds.Len() {
+		return fmt.Errorf("grapes: load: index covers %d graphs, dataset has %d", dto.NumGraphs, ds.Len())
+	}
+	if len(dto.Comps) != dto.NumGraphs || len(dto.CompCount) != dto.NumGraphs {
+		return fmt.Errorf("grapes: load: corrupt component tables")
+	}
+	for i, comp := range dto.Comps {
+		if len(comp) != ds.Graphs[i].NumVertices() {
+			return fmt.Errorf("grapes: load: graph %d has %d vertices, index recorded %d",
+				i, ds.Graphs[i].NumVertices(), len(comp))
+		}
+	}
+	ix.opts = Options{MaxPathLen: dto.MaxPathLen, Workers: dto.Workers}
+	ix.opts.fill()
+	ix.features = make(map[canon.Key]*posting, len(dto.Postings))
+	for _, pd := range dto.Postings {
+		if len(pd.IDs) != len(pd.Counts) || len(pd.IDs) != len(pd.Starts) {
+			return fmt.Errorf("grapes: load: corrupt posting for key %q", pd.Key)
+		}
+		p := &posting{}
+		for i, id := range pd.IDs {
+			p.ids = append(p.ids, graph.ID(id))
+			p.locs = append(p.locs, location{count: pd.Counts[i], starts: pd.Starts[i]})
+		}
+		ix.features[canon.Key(pd.Key)] = p
+	}
+	ix.comps = dto.Comps
+	ix.compCount = dto.CompCount
+	ix.ds = ds
+	ix.built = true
+	return nil
+}

@@ -1,0 +1,256 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Dictionary interns string vertex labels to dense Label values. It is used
+// when loading external data; synthetic generators produce Labels directly.
+// The zero value is ready for use.
+type Dictionary struct {
+	byName map[string]Label
+	names  []string
+}
+
+// Intern returns the Label for name, assigning the next dense id on first use.
+func (d *Dictionary) Intern(name string) Label {
+	if d.byName == nil {
+		d.byName = make(map[string]Label)
+	}
+	if l, ok := d.byName[name]; ok {
+		return l
+	}
+	l := Label(len(d.names))
+	d.byName[name] = l
+	d.names = append(d.names, name)
+	return l
+}
+
+// Lookup returns the Label for name if it has been interned.
+func (d *Dictionary) Lookup(name string) (Label, bool) {
+	l, ok := d.byName[name]
+	return l, ok
+}
+
+// Name returns the string for a Label; Labels never interned map to "".
+func (d *Dictionary) Name(l Label) string {
+	if int(l) < 0 || int(l) >= len(d.names) {
+		return ""
+	}
+	return d.names[l]
+}
+
+// Len returns the number of interned labels.
+func (d *Dictionary) Len() int { return len(d.names) }
+
+// Dataset is an ordered collection of graphs sharing one label space.
+type Dataset struct {
+	Name   string
+	Graphs []*Graph
+	Dict   Dictionary
+}
+
+// NewDataset returns an empty dataset with the given name.
+func NewDataset(name string) *Dataset {
+	return &Dataset{Name: name}
+}
+
+// Add appends g to the dataset, assigning it the next dataset-local ID.
+func (ds *Dataset) Add(g *Graph) ID {
+	id := ID(len(ds.Graphs))
+	g.SetID(id)
+	ds.Graphs = append(ds.Graphs, g)
+	return id
+}
+
+// Len returns the number of graphs.
+func (ds *Dataset) Len() int { return len(ds.Graphs) }
+
+// Graph returns the graph with the given dataset-local ID, or nil.
+func (ds *Dataset) Graph(id ID) *Graph {
+	if int(id) < 0 || int(id) >= len(ds.Graphs) {
+		return nil
+	}
+	return ds.Graphs[id]
+}
+
+// MaxLabel returns the largest label value used by any graph, or -1 for an
+// empty dataset. Index structures use it to size label-keyed arrays.
+func (ds *Dataset) MaxLabel() Label {
+	max := Label(-1)
+	for _, g := range ds.Graphs {
+		for _, l := range g.Labels() {
+			if l > max {
+				max = l
+			}
+		}
+	}
+	return max
+}
+
+// Validate validates every member graph.
+func (ds *Dataset) Validate() error {
+	for i, g := range ds.Graphs {
+		if g.ID() != ID(i) {
+			return fmt.Errorf("dataset %q: graph at position %d has id %d", ds.Name, i, g.ID())
+		}
+		if err := g.Validate(); err != nil {
+			return fmt.Errorf("dataset %q graph %d: %w", ds.Name, i, err)
+		}
+	}
+	return nil
+}
+
+// Stats summarizes a dataset with the characteristics reported in Table 1 of
+// the paper.
+type Stats struct {
+	NumGraphs         int
+	NumDisconnected   int
+	NumLabels         int     // distinct labels across the dataset
+	AvgNodes          float64 // mean vertices per graph
+	StdDevNodes       float64
+	AvgEdges          float64
+	AvgDensity        float64
+	AvgDegree         float64
+	AvgLabelsPerGraph float64 // mean distinct labels per graph
+}
+
+// ComputeStats scans the dataset and returns its Table 1-style summary.
+func (ds *Dataset) ComputeStats() Stats {
+	s := Stats{NumGraphs: len(ds.Graphs)}
+	if s.NumGraphs == 0 {
+		return s
+	}
+	labels := make(map[Label]struct{})
+	var sumN, sumN2, sumE, sumD, sumDeg, sumLG float64
+	for _, g := range ds.Graphs {
+		n := float64(g.NumVertices())
+		sumN += n
+		sumN2 += n * n
+		sumE += float64(g.NumEdges())
+		sumD += g.Density()
+		sumDeg += g.AvgDegree()
+		gl := g.DistinctLabels()
+		sumLG += float64(len(gl))
+		for _, l := range gl {
+			labels[l] = struct{}{}
+		}
+		if !g.IsConnected() {
+			s.NumDisconnected++
+		}
+	}
+	n := float64(s.NumGraphs)
+	s.NumLabels = len(labels)
+	s.AvgNodes = sumN / n
+	variance := sumN2/n - s.AvgNodes*s.AvgNodes
+	if variance > 0 {
+		s.StdDevNodes = math.Sqrt(variance)
+	}
+	s.AvgEdges = sumE / n
+	s.AvgDensity = sumD / n
+	s.AvgDegree = sumDeg / n
+	s.AvgLabelsPerGraph = sumLG / n
+	return s
+}
+
+// SizeBytes estimates the in-memory footprint of all graphs.
+func (ds *Dataset) SizeBytes() int64 {
+	var sz int64
+	for _, g := range ds.Graphs {
+		sz += g.SizeBytes()
+	}
+	return sz
+}
+
+// IDSet is a sorted set of graph IDs, the currency of filtering: postings
+// lists, candidate sets, and answer sets are all IDSets.
+type IDSet []ID
+
+// NewIDSet returns a sorted, deduplicated IDSet from ids.
+func NewIDSet(ids ...ID) IDSet {
+	s := append(IDSet(nil), ids...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	out := s[:0]
+	var prev ID = -1
+	for _, id := range s {
+		if id != prev {
+			out = append(out, id)
+			prev = id
+		}
+	}
+	return out
+}
+
+// UniverseIDSet returns {0, 1, ..., n-1}.
+func UniverseIDSet(n int) IDSet {
+	s := make(IDSet, n)
+	for i := range s {
+		s[i] = ID(i)
+	}
+	return s
+}
+
+// Contains reports whether id is in the set.
+func (s IDSet) Contains(id ID) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
+	return i < len(s) && s[i] == id
+}
+
+// Intersect returns the intersection of two sorted IDSets.
+func (s IDSet) Intersect(t IDSet) IDSet {
+	// Iterate the smaller, binary-search or merge the larger.
+	if len(s) > len(t) {
+		s, t = t, s
+	}
+	out := make(IDSet, 0, len(s))
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] == t[j]:
+			out = append(out, s[i])
+			i++
+			j++
+		case s[i] < t[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// Union returns the union of two sorted IDSets.
+func (s IDSet) Union(t IDSet) IDSet {
+	out := make(IDSet, 0, len(s)+len(t))
+	i, j := 0, 0
+	for i < len(s) || j < len(t) {
+		switch {
+		case j >= len(t) || (i < len(s) && s[i] < t[j]):
+			out = append(out, s[i])
+			i++
+		case i >= len(s) || t[j] < s[i]:
+			out = append(out, t[j])
+			j++
+		default:
+			out = append(out, s[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Equal reports whether two IDSets hold the same ids.
+func (s IDSet) Equal(t IDSet) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,45 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadDataset checks the GFD parser never panics and that everything it
+// accepts is structurally valid and round-trips.
+func FuzzReadDataset(f *testing.F) {
+	f.Add("#g\n3\nA\nB\nC\n2\n0 1\n1 2\n")
+	f.Add("#g\n1\nA\n0\n")
+	f.Add("#g\n2\nA\nB\n1\n0 1\n#h\n1\nC\n0\n")
+	f.Add("")
+	f.Add("#\n0\n0\n")
+	f.Add("#g\n-1\n")
+	f.Add("#g\n2\nA\nB\n1\n1 1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		ds, err := ReadDataset(strings.NewReader(in), "fuzz")
+		if err != nil {
+			return
+		}
+		if verr := ds.Validate(); verr != nil {
+			t.Fatalf("accepted dataset fails validation: %v\ninput: %q", verr, in)
+		}
+		var buf bytes.Buffer
+		if werr := WriteDataset(&buf, ds); werr != nil {
+			t.Fatalf("write-back failed: %v", werr)
+		}
+		ds2, rerr := ReadDataset(&buf, "fuzz2")
+		if rerr != nil {
+			t.Fatalf("round trip failed: %v\nserialized: %q", rerr, buf.String())
+		}
+		if ds2.Len() != ds.Len() {
+			t.Fatalf("round trip changed graph count")
+		}
+		for i := range ds.Graphs {
+			a, b := ds.Graphs[i], ds2.Graphs[i]
+			if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+				t.Fatalf("round trip changed graph %d shape", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,316 @@
+// Package graph provides the labelled undirected graph model shared by all
+// indexing methods in this repository: graphs, datasets, structural
+// statistics, and (de)serialization.
+//
+// Graphs follow Definition 1 of the paper: a set of vertices, a set of
+// undirected edges, and a labelling function assigning exactly one label to
+// each vertex. Vertices are identified by dense non-negative integers local
+// to their graph; labels are small integers interned through a dataset-level
+// dictionary so the index structures can treat them as array offsets.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Label is a vertex label identifier, interned via Dictionary.
+type Label int32
+
+// ID identifies a graph within a Dataset (its position in Dataset.Graphs).
+type ID int32
+
+// Graph is a labelled undirected graph. The zero value is an empty graph
+// ready for use via AddVertex / AddEdge.
+type Graph struct {
+	id     ID
+	labels []Label
+	adj    [][]int32
+	edges  int
+}
+
+// New returns an empty graph with the given dataset-local id.
+func New(id ID) *Graph {
+	return &Graph{id: id}
+}
+
+// NewWithCapacity returns an empty graph preallocated for n vertices.
+func NewWithCapacity(id ID, n int) *Graph {
+	return &Graph{
+		id:     id,
+		labels: make([]Label, 0, n),
+		adj:    make([][]int32, 0, n),
+	}
+}
+
+// ID returns the dataset-local identifier of the graph.
+func (g *Graph) ID() ID { return g.id }
+
+// SetID updates the dataset-local identifier of the graph.
+func (g *Graph) SetID(id ID) { g.id = id }
+
+// NumVertices returns the number of vertices in the graph.
+func (g *Graph) NumVertices() int { return len(g.labels) }
+
+// NumEdges returns the number of undirected edges in the graph.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// Label returns the label of vertex v.
+func (g *Graph) Label(v int32) Label { return g.labels[v] }
+
+// Labels returns the label slice indexed by vertex. The caller must not
+// modify the returned slice.
+func (g *Graph) Labels() []Label { return g.labels }
+
+// Degree returns the number of edges incident to vertex v.
+func (g *Graph) Degree(v int32) int { return len(g.adj[v]) }
+
+// Neighbors returns the adjacency list of vertex v, sorted ascending.
+// The caller must not modify the returned slice.
+func (g *Graph) Neighbors(v int32) []int32 { return g.adj[v] }
+
+// AddVertex appends a vertex with the given label and returns its id.
+func (g *Graph) AddVertex(l Label) int32 {
+	g.labels = append(g.labels, l)
+	g.adj = append(g.adj, nil)
+	return int32(len(g.labels) - 1)
+}
+
+// HasEdge reports whether the undirected edge {u, v} exists.
+func (g *Graph) HasEdge(u, v int32) bool {
+	if u < 0 || v < 0 || int(u) >= len(g.adj) || int(v) >= len(g.adj) {
+		return false
+	}
+	// Search the shorter adjacency list.
+	a := g.adj[u]
+	if len(g.adj[v]) < len(a) {
+		a, v = g.adj[v], u
+	}
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= v })
+	return i < len(a) && a[i] == v
+}
+
+// AddEdge inserts the undirected edge {u, v}. It returns an error if either
+// endpoint is out of range, if u == v (self-loops are not part of the model),
+// or if the edge already exists.
+func (g *Graph) AddEdge(u, v int32) error {
+	n := int32(len(g.labels))
+	switch {
+	case u < 0 || u >= n || v < 0 || v >= n:
+		return fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", u, v, n)
+	case u == v:
+		return fmt.Errorf("graph: self-loop on vertex %d", u)
+	case g.HasEdge(u, v):
+		return fmt.Errorf("graph: duplicate edge {%d,%d}", u, v)
+	}
+	g.adj[u] = insertSorted(g.adj[u], v)
+	g.adj[v] = insertSorted(g.adj[v], u)
+	g.edges++
+	return nil
+}
+
+// MustAddEdge is AddEdge for construction code paths where the edge is known
+// valid; it panics on error.
+func (g *Graph) MustAddEdge(u, v int32) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+func insertSorted(a []int32, v int32) []int32 {
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= v })
+	a = append(a, 0)
+	copy(a[i+1:], a[i:])
+	a[i] = v
+	return a
+}
+
+// Density returns the graph density of Definition 4:
+// 2|E| / (|V|(|V|-1)), in [0,1]. Graphs with fewer than two vertices have
+// density 0.
+func (g *Graph) Density() float64 {
+	n := len(g.labels)
+	if n < 2 {
+		return 0
+	}
+	return 2 * float64(g.edges) / (float64(n) * float64(n-1))
+}
+
+// AvgDegree returns the average vertex degree of Definition 5: 2|E|/|V|.
+func (g *Graph) AvgDegree() float64 {
+	if len(g.labels) == 0 {
+		return 0
+	}
+	return 2 * float64(g.edges) / float64(len(g.labels))
+}
+
+// DistinctLabels returns the sorted set of labels used in the graph.
+func (g *Graph) DistinctLabels() []Label {
+	seen := make(map[Label]struct{}, 16)
+	for _, l := range g.labels {
+		seen[l] = struct{}{}
+	}
+	out := make([]Label, 0, len(seen))
+	for l := range seen {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Edges returns all undirected edges as (u, v) pairs with u < v, in
+// deterministic order.
+func (g *Graph) Edges() [][2]int32 {
+	out := make([][2]int32, 0, g.edges)
+	for u := int32(0); int(u) < len(g.adj); u++ {
+		for _, v := range g.adj[u] {
+			if u < v {
+				out = append(out, [2]int32{u, v})
+			}
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		id:     g.id,
+		labels: append([]Label(nil), g.labels...),
+		adj:    make([][]int32, len(g.adj)),
+		edges:  g.edges,
+	}
+	for i, a := range g.adj {
+		c.adj[i] = append([]int32(nil), a...)
+	}
+	return c
+}
+
+// ConnectedComponents returns the vertex sets of the connected components of
+// the graph, each sorted ascending, ordered by smallest contained vertex.
+func (g *Graph) ConnectedComponents() [][]int32 {
+	n := len(g.labels)
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var comps [][]int32
+	stack := make([]int32, 0, n)
+	for s := int32(0); int(s) < n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		c := int32(len(comps))
+		members := []int32{}
+		stack = append(stack[:0], s)
+		comp[s] = c
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			members = append(members, v)
+			for _, w := range g.adj[v] {
+				if comp[w] < 0 {
+					comp[w] = c
+					stack = append(stack, w)
+				}
+			}
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		comps = append(comps, members)
+	}
+	return comps
+}
+
+// IsConnected reports whether the graph has exactly one connected component.
+// The empty graph is considered connected.
+func (g *Graph) IsConnected() bool {
+	if len(g.labels) == 0 {
+		return true
+	}
+	return len(g.ConnectedComponents()) == 1
+}
+
+// InducedSubgraph returns the subgraph induced by the given vertices together
+// with the mapping from new vertex ids to original ids. Vertices may be given
+// in any order; duplicates are an error.
+func (g *Graph) InducedSubgraph(vertices []int32) (*Graph, []int32, error) {
+	sub := NewWithCapacity(g.id, len(vertices))
+	old2new := make(map[int32]int32, len(vertices))
+	new2old := make([]int32, 0, len(vertices))
+	for _, v := range vertices {
+		if v < 0 || int(v) >= len(g.labels) {
+			return nil, nil, fmt.Errorf("graph: vertex %d out of range", v)
+		}
+		if _, dup := old2new[v]; dup {
+			return nil, nil, fmt.Errorf("graph: duplicate vertex %d", v)
+		}
+		old2new[v] = sub.AddVertex(g.labels[v])
+		new2old = append(new2old, v)
+	}
+	for _, v := range vertices {
+		for _, w := range g.adj[v] {
+			nw, ok := old2new[w]
+			if !ok {
+				continue
+			}
+			nv := old2new[v]
+			if nv < nw {
+				sub.MustAddEdge(nv, nw)
+			}
+		}
+	}
+	return sub, new2old, nil
+}
+
+// Validate checks internal consistency (sorted symmetric adjacency, edge
+// count, no self-loops) and returns a descriptive error on the first
+// violation. It is intended for tests and for data loaded from disk.
+func (g *Graph) Validate() error {
+	if len(g.labels) != len(g.adj) {
+		return errors.New("graph: label/adjacency length mismatch")
+	}
+	count := 0
+	for u := int32(0); int(u) < len(g.adj); u++ {
+		prev := int32(-1)
+		for _, v := range g.adj[u] {
+			if v < 0 || int(v) >= len(g.labels) {
+				return fmt.Errorf("graph: neighbor %d of %d out of range", v, u)
+			}
+			if v == u {
+				return fmt.Errorf("graph: self-loop on %d", u)
+			}
+			if v <= prev {
+				return fmt.Errorf("graph: adjacency of %d not strictly sorted", u)
+			}
+			prev = v
+			if !contains(g.adj[v], u) {
+				return fmt.Errorf("graph: edge {%d,%d} not symmetric", u, v)
+			}
+			count++
+		}
+	}
+	if count != 2*g.edges {
+		return fmt.Errorf("graph: edge count %d inconsistent with adjacency (%d half-edges)", g.edges, count)
+	}
+	return nil
+}
+
+func contains(a []int32, v int32) bool {
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= v })
+	return i < len(a) && a[i] == v
+}
+
+// String returns a compact human-readable rendering, mainly for tests.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph %d: %d vertices, %d edges", g.id, len(g.labels), g.edges)
+}
+
+// SizeBytes estimates the in-memory footprint of the graph structure.
+func (g *Graph) SizeBytes() int64 {
+	sz := int64(len(g.labels)) * 4
+	for _, a := range g.adj {
+		sz += int64(len(a))*4 + 24
+	}
+	return sz + 48
+}

@@ -1,0 +1,150 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// The text serialization follows the GFD format used by the Grapes and
+// GraphGrepSX distributions, one graph after another:
+//
+//	#<graph name>
+//	<number of vertices>
+//	<label of vertex 0>
+//	...
+//	<label of vertex n-1>
+//	<number of edges>
+//	<u> <v>
+//	...
+//
+// Labels are arbitrary whitespace-free strings interned into the dataset
+// Dictionary; edges are undirected vertex-id pairs.
+
+// WriteDataset serializes the dataset in GFD text form.
+func WriteDataset(w io.Writer, ds *Dataset) error {
+	bw := bufio.NewWriter(w)
+	for _, g := range ds.Graphs {
+		if _, err := fmt.Fprintf(bw, "#%d\n%d\n", g.ID(), g.NumVertices()); err != nil {
+			return err
+		}
+		for v := int32(0); int(v) < g.NumVertices(); v++ {
+			name := ds.Dict.Name(g.Label(v))
+			if name == "" {
+				name = strconv.Itoa(int(g.Label(v)))
+			}
+			if _, err := fmt.Fprintln(bw, name); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw, g.NumEdges()); err != nil {
+			return err
+		}
+		for _, e := range g.Edges() {
+			if _, err := fmt.Fprintf(bw, "%d %d\n", e[0], e[1]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadDataset parses a GFD text stream into a dataset named name.
+func ReadDataset(r io.Reader, name string) (*Dataset, error) {
+	ds := NewDataset(name)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			line++
+			s := strings.TrimSpace(sc.Text())
+			if s != "" {
+				return s, true
+			}
+		}
+		return "", false
+	}
+	for {
+		header, ok := next()
+		if !ok {
+			break
+		}
+		if !strings.HasPrefix(header, "#") {
+			return nil, fmt.Errorf("graph: line %d: expected #<name> header, got %q", line, header)
+		}
+		ns, ok := next()
+		if !ok {
+			return nil, fmt.Errorf("graph: line %d: missing vertex count", line)
+		}
+		n, err := strconv.Atoi(ns)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("graph: line %d: bad vertex count %q", line, ns)
+		}
+		g := NewWithCapacity(ID(ds.Len()), n)
+		for i := 0; i < n; i++ {
+			ls, ok := next()
+			if !ok {
+				return nil, fmt.Errorf("graph: line %d: missing label %d/%d", line, i+1, n)
+			}
+			g.AddVertex(ds.Dict.Intern(ls))
+		}
+		es, ok := next()
+		if !ok {
+			return nil, fmt.Errorf("graph: line %d: missing edge count", line)
+		}
+		m, err := strconv.Atoi(es)
+		if err != nil || m < 0 {
+			return nil, fmt.Errorf("graph: line %d: bad edge count %q", line, es)
+		}
+		for i := 0; i < m; i++ {
+			el, ok := next()
+			if !ok {
+				return nil, fmt.Errorf("graph: line %d: missing edge %d/%d", line, i+1, m)
+			}
+			fields := strings.Fields(el)
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: bad edge %q", line, el)
+			}
+			u, err1 := strconv.Atoi(fields[0])
+			v, err2 := strconv.Atoi(fields[1])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("graph: line %d: bad edge %q", line, el)
+			}
+			if err := g.AddEdge(int32(u), int32(v)); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %w", line, err)
+			}
+		}
+		ds.Add(g)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: read: %w", err)
+	}
+	return ds, nil
+}
+
+// LoadDatasetFile reads a GFD dataset from path.
+func LoadDatasetFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadDataset(f, path)
+}
+
+// SaveDatasetFile writes the dataset in GFD text form to path.
+func SaveDatasetFile(path string, ds *Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteDataset(f, ds); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

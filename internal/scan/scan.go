@@ -1,0 +1,47 @@
+// Package scan implements the paper's naive baseline: no index at all,
+// every query is tested for subgraph isomorphism against every graph in the
+// dataset. The introduction motivates the six indexing methods against
+// exactly this method; the benchmark harness includes it so the speedups
+// the indexes buy are visible in every figure.
+package scan
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Index is the no-op "index" of the sequential-scan baseline.
+type Index struct {
+	n     int
+	built bool
+}
+
+// New returns the baseline method.
+func New() *Index { return &Index{} }
+
+// Name implements core.Method.
+func (ix *Index) Name() string { return "NoIndex" }
+
+// Build implements core.Method; the scan baseline has no build work.
+func (ix *Index) Build(ctx context.Context, ds *graph.Dataset) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	ix.n = ds.Len()
+	ix.built = true
+	return nil
+}
+
+// Candidates implements core.Method: every graph is a candidate, so the
+// verification stage performs the full scan.
+func (ix *Index) Candidates(q *graph.Graph) (graph.IDSet, error) {
+	if !ix.built {
+		return nil, core.ErrNotBuilt
+	}
+	return graph.UniverseIDSet(ix.n), nil
+}
+
+// SizeBytes implements core.Method: the baseline stores nothing.
+func (ix *Index) SizeBytes() int64 { return 0 }

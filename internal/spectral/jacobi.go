@@ -1,0 +1,106 @@
+// Package spectral computes eigenvalues of small symmetric matrices with the
+// cyclic Jacobi rotation method. gCode uses it to derive the spectral
+// component of vertex signatures: the top eigenvalues of the adjacency matrix
+// of each vertex's level-N path tree.
+package spectral
+
+import (
+	"math"
+	"sort"
+)
+
+// Symmetric is a dense symmetric matrix of order N stored in full.
+type Symmetric struct {
+	N int
+	A []float64 // row-major N*N
+}
+
+// NewSymmetric returns a zero symmetric matrix of order n.
+func NewSymmetric(n int) *Symmetric {
+	return &Symmetric{N: n, A: make([]float64, n*n)}
+}
+
+// Set assigns A[i][j] = A[j][i] = v.
+func (m *Symmetric) Set(i, j int, v float64) {
+	m.A[i*m.N+j] = v
+	m.A[j*m.N+i] = v
+}
+
+// At returns A[i][j].
+func (m *Symmetric) At(i, j int) float64 { return m.A[i*m.N+j] }
+
+// Eigenvalues returns all eigenvalues of the matrix, sorted descending.
+// The method is the cyclic Jacobi algorithm: repeatedly zero the largest
+// off-diagonal entries with Givens rotations until the off-diagonal norm is
+// below tolerance. The input matrix is not modified.
+func (m *Symmetric) Eigenvalues() []float64 {
+	n := m.N
+	if n == 0 {
+		return nil
+	}
+	if n == 1 {
+		return []float64{m.A[0]}
+	}
+	a := append([]float64(nil), m.A...)
+	at := func(i, j int) float64 { return a[i*n+j] }
+	set := func(i, j int, v float64) { a[i*n+j] = v; a[j*n+i] = v }
+
+	const maxSweeps = 64
+	const eps = 1e-12
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += at(i, j) * at(i, j)
+			}
+		}
+		if off < eps {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := at(p, q)
+				if math.Abs(apq) < eps/float64(n*n) {
+					continue
+				}
+				app, aqq := at(p, p), at(q, q)
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				// Apply the rotation to rows/columns p and q.
+				for k := 0; k < n; k++ {
+					if k == p || k == q {
+						continue
+					}
+					akp, akq := at(k, p), at(k, q)
+					set(k, p, c*akp-s*akq)
+					set(k, q, s*akp+c*akq)
+				}
+				set(p, p, app-t*apq)
+				set(q, q, aqq+t*apq)
+				set(p, q, 0)
+			}
+		}
+	}
+	eig := make([]float64, n)
+	for i := 0; i < n; i++ {
+		eig[i] = at(i, i)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(eig)))
+	return eig
+}
+
+// TopEigenvalues returns the k largest eigenvalues (padded with zeros when
+// the matrix order is below k).
+func (m *Symmetric) TopEigenvalues(k int) []float64 {
+	eig := m.Eigenvalues()
+	out := make([]float64, k)
+	copy(out, eig)
+	return out
+}

@@ -1,0 +1,141 @@
+package spectral
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-8 }
+
+func TestEigenvaluesDiagonal(t *testing.T) {
+	m := NewSymmetric(3)
+	m.Set(0, 0, 5)
+	m.Set(1, 1, -2)
+	m.Set(2, 2, 7)
+	eig := m.Eigenvalues()
+	want := []float64{7, 5, -2}
+	for i := range want {
+		if !almost(eig[i], want[i]) {
+			t.Fatalf("eig = %v, want %v", eig, want)
+		}
+	}
+}
+
+func TestEigenvalues2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	m := NewSymmetric(2)
+	m.Set(0, 0, 2)
+	m.Set(1, 1, 2)
+	m.Set(0, 1, 1)
+	eig := m.Eigenvalues()
+	if !almost(eig[0], 3) || !almost(eig[1], 1) {
+		t.Fatalf("eig = %v, want [3 1]", eig)
+	}
+}
+
+func TestEigenvaluesPathGraph(t *testing.T) {
+	// Adjacency matrix of P3 has eigenvalues sqrt(2), 0, -sqrt(2).
+	m := NewSymmetric(3)
+	m.Set(0, 1, 1)
+	m.Set(1, 2, 1)
+	eig := m.Eigenvalues()
+	s2 := math.Sqrt(2)
+	if !almost(eig[0], s2) || !almost(eig[1], 0) || !almost(eig[2], -s2) {
+		t.Fatalf("eig = %v, want [√2 0 -√2]", eig)
+	}
+}
+
+func TestEigenvaluesCompleteGraph(t *testing.T) {
+	// K_n adjacency: eigenvalues n-1 (once) and -1 (n-1 times).
+	n := 6
+	m := NewSymmetric(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m.Set(i, j, 1)
+		}
+	}
+	eig := m.Eigenvalues()
+	if !almost(eig[0], float64(n-1)) {
+		t.Fatalf("largest eig = %v, want %d", eig[0], n-1)
+	}
+	for i := 1; i < n; i++ {
+		if !almost(eig[i], -1) {
+			t.Fatalf("eig[%d] = %v, want -1", i, eig[i])
+		}
+	}
+}
+
+func TestTraceAndNormInvariants(t *testing.T) {
+	// Sum of eigenvalues = trace; sum of squares = Frobenius norm^2.
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(10)
+		m := NewSymmetric(n)
+		trace, frob := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.NormFloat64()
+				m.Set(i, j, v)
+				if i == j {
+					trace += v
+					frob += v * v
+				} else {
+					frob += 2 * v * v
+				}
+			}
+		}
+		eig := m.Eigenvalues()
+		sum, sq := 0.0, 0.0
+		for _, e := range eig {
+			sum += e
+			sq += e * e
+		}
+		if math.Abs(sum-trace) > 1e-6 {
+			t.Fatalf("trial %d: eig sum %v != trace %v", trial, sum, trace)
+		}
+		if math.Abs(sq-frob) > 1e-6 {
+			t.Fatalf("trial %d: eig square sum %v != frob %v", trial, sq, frob)
+		}
+		// Sorted descending.
+		for i := 1; i < len(eig); i++ {
+			if eig[i] > eig[i-1] {
+				t.Fatalf("trial %d: eigenvalues not sorted", trial)
+			}
+		}
+	}
+}
+
+func TestTopEigenvaluesPadding(t *testing.T) {
+	m := NewSymmetric(2)
+	m.Set(0, 0, 3)
+	m.Set(1, 1, 1)
+	top := m.TopEigenvalues(4)
+	if len(top) != 4 || !almost(top[0], 3) || !almost(top[1], 1) || top[2] != 0 || top[3] != 0 {
+		t.Fatalf("TopEigenvalues = %v", top)
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	if eig := NewSymmetric(0).Eigenvalues(); len(eig) != 0 {
+		t.Fatalf("empty matrix eigenvalues = %v", eig)
+	}
+	m := NewSymmetric(1)
+	m.Set(0, 0, -4)
+	if eig := m.Eigenvalues(); len(eig) != 1 || !almost(eig[0], -4) {
+		t.Fatalf("1x1 eigenvalues = %v", eig)
+	}
+}
+
+func TestInputNotModified(t *testing.T) {
+	m := NewSymmetric(3)
+	m.Set(0, 1, 2)
+	m.Set(1, 2, -1)
+	before := append([]float64(nil), m.A...)
+	m.Eigenvalues()
+	for i := range before {
+		if m.A[i] != before[i] {
+			t.Fatalf("Eigenvalues modified the input matrix")
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package subiso
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// buildFromBytes deterministically decodes a small graph from fuzz bytes:
+// the first byte is the vertex count, subsequent byte pairs become edges,
+// labels cycle through a 3-letter alphabet.
+func buildFromBytes(data []byte, maxN int) *graph.Graph {
+	if len(data) == 0 {
+		return nil
+	}
+	n := int(data[0])%maxN + 1
+	g := graph.New(0)
+	for i := 0; i < n; i++ {
+		g.AddVertex(graph.Label(i % 3))
+	}
+	for i := 1; i+1 < len(data); i += 2 {
+		u := int32(int(data[i]) % n)
+		v := int32(int(data[i+1]) % n)
+		if u != v && !g.HasEdge(u, v) {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// FuzzTunedAgreesWithVF2 checks the two matchers agree on arbitrary
+// query/data pairs — the tuned heuristics must change performance only,
+// never semantics.
+func FuzzTunedAgreesWithVF2(f *testing.F) {
+	f.Add([]byte{3, 0, 1, 1, 2}, []byte{5, 0, 1, 1, 2, 2, 3, 3, 4})
+	f.Add([]byte{1}, []byte{1})
+	f.Fuzz(func(t *testing.T, qb []byte, gb []byte) {
+		q := buildFromBytes(qb, 6)
+		g := buildFromBytes(gb, 9)
+		if q == nil || g == nil {
+			return
+		}
+		want := Exists(q, g)
+		if got := ExistsTuned(q, g); got != want {
+			t.Fatalf("matchers disagree: tuned=%v vf2=%v\nq=%v\ng=%v", got, want, q, g)
+		}
+	})
+}

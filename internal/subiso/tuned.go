@@ -1,0 +1,207 @@
+package subiso
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// ExistsTuned is the "modified VF2 with additional heuristics" used by
+// CT-Index's verification stage. On top of plain VF2 it adds:
+//
+//   - query vertex ordering by label rarity in the data graph (rare labels
+//     first, ties broken by higher degree), so the search fails fast;
+//   - per-vertex neighbor-label composition pruning: a data vertex is only a
+//     candidate for a query vertex if, for every label, it has at least as
+//     many neighbors with that label as the query vertex does.
+//
+// Semantics are identical to Exists; only the search order and pruning
+// differ.
+func ExistsTuned(q, g *graph.Graph) bool {
+	if q.NumVertices() == 0 {
+		return true
+	}
+	if q.NumVertices() > g.NumVertices() || q.NumEdges() > g.NumEdges() {
+		return false
+	}
+	t := &tunedMatcher{q: q, g: g}
+	if !t.prepare() {
+		return false
+	}
+	return t.match(0)
+}
+
+type tunedMatcher struct {
+	q, g   *graph.Graph
+	order  []int32
+	parent []int32
+	// nlabQ[v] is the sorted neighbor-label slice of query vertex v;
+	// compared against the data vertex's sorted neighbor labels by multiset
+	// dominance.
+	nlabQ [][]graph.Label
+	coreQ []int32
+	coreG []int32
+	nlabG [][]graph.Label // lazily computed per data vertex; nil = not yet
+}
+
+// prepare computes label frequencies in g, the rarity-driven order, and the
+// per-query-vertex neighbor label multisets. It returns false if some query
+// label does not occur in g at all.
+func (t *tunedMatcher) prepare() bool {
+	freq := make(map[graph.Label]int)
+	for _, l := range t.g.Labels() {
+		freq[l]++
+	}
+	for _, l := range t.q.Labels() {
+		if freq[l] == 0 {
+			return false
+		}
+	}
+	n := t.q.NumVertices()
+	// Order query vertices by (freq asc, degree desc) but preserving
+	// connectivity: after the first vertex, only vertices adjacent to the
+	// already-ordered set are eligible (falling back to any vertex for
+	// disconnected queries).
+	t.order = make([]int32, 0, n)
+	t.parent = make([]int32, 0, n)
+	inOrder := make([]bool, n)
+	adjacent := make([]bool, n)
+	for len(t.order) < n {
+		best := int32(-1)
+		bestAdj := false
+		for v := int32(0); int(v) < n; v++ {
+			if inOrder[v] {
+				continue
+			}
+			if best < 0 {
+				best, bestAdj = v, adjacent[v]
+				continue
+			}
+			// Prefer adjacency to the partial mapping, then rarity, then degree.
+			cand := adjacent[v]
+			switch {
+			case cand != bestAdj:
+				if cand {
+					best, bestAdj = v, cand
+				}
+			case freq[t.q.Label(v)] != freq[t.q.Label(best)]:
+				if freq[t.q.Label(v)] < freq[t.q.Label(best)] {
+					best, bestAdj = v, cand
+				}
+			case t.q.Degree(v) > t.q.Degree(best):
+				best, bestAdj = v, cand
+			}
+		}
+		inOrder[best] = true
+		anchor := int32(-1)
+		for _, w := range t.q.Neighbors(best) {
+			if inOrder[w] && w != best {
+				anchor = w
+				break
+			}
+			adjacent[w] = true
+		}
+		// The loop above may exit before marking all neighbors; finish it.
+		for _, w := range t.q.Neighbors(best) {
+			adjacent[w] = true
+		}
+		t.order = append(t.order, best)
+		t.parent = append(t.parent, anchor)
+	}
+	t.nlabQ = make([][]graph.Label, n)
+	for v := int32(0); int(v) < n; v++ {
+		t.nlabQ[v] = sortedNeighborLabels(t.q, v)
+	}
+	t.coreQ = make([]int32, n)
+	t.coreG = make([]int32, t.g.NumVertices())
+	for i := range t.coreQ {
+		t.coreQ[i] = -1
+	}
+	for i := range t.coreG {
+		t.coreG[i] = -1
+	}
+	t.nlabG = make([][]graph.Label, t.g.NumVertices())
+	return true
+}
+
+func sortedNeighborLabels(g *graph.Graph, v int32) []graph.Label {
+	out := make([]graph.Label, 0, g.Degree(v))
+	for _, w := range g.Neighbors(v) {
+		out = append(out, g.Label(w))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// dominates reports whether multiset b contains multiset a (both sorted).
+func dominates(b, a []graph.Label) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	i := 0
+	for _, x := range a {
+		for i < len(b) && b[i] < x {
+			i++
+		}
+		if i >= len(b) || b[i] != x {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+func (t *tunedMatcher) neighborLabels(gv int32) []graph.Label {
+	if t.nlabG[gv] == nil {
+		t.nlabG[gv] = sortedNeighborLabels(t.g, gv)
+		if t.nlabG[gv] == nil { // degree-0 vertex: mark computed
+			t.nlabG[gv] = []graph.Label{}
+		}
+	}
+	return t.nlabG[gv]
+}
+
+func (t *tunedMatcher) match(depth int) bool {
+	if depth == len(t.order) {
+		return true
+	}
+	qu := t.order[depth]
+	if anchor := t.parent[depth]; anchor >= 0 {
+		for _, gv := range t.g.Neighbors(t.coreQ[anchor]) {
+			if t.feasible(qu, gv) && t.extend(depth, qu, gv) {
+				return true
+			}
+		}
+		return false
+	}
+	for gv := int32(0); int(gv) < t.g.NumVertices(); gv++ {
+		if t.feasible(qu, gv) && t.extend(depth, qu, gv) {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *tunedMatcher) extend(depth int, qu, gv int32) bool {
+	t.coreQ[qu] = gv
+	t.coreG[gv] = qu
+	ok := t.match(depth + 1)
+	t.coreQ[qu] = -1
+	t.coreG[gv] = -1
+	return ok
+}
+
+func (t *tunedMatcher) feasible(qu, gv int32) bool {
+	if t.coreG[gv] >= 0 || t.q.Label(qu) != t.g.Label(gv) || t.q.Degree(qu) > t.g.Degree(gv) {
+		return false
+	}
+	if !dominates(t.neighborLabels(gv), t.nlabQ[qu]) {
+		return false
+	}
+	for _, qw := range t.q.Neighbors(qu) {
+		if gw := t.coreQ[qw]; gw >= 0 && !t.g.HasEdge(gv, gw) {
+			return false
+		}
+	}
+	return true
+}

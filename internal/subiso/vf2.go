@@ -1,0 +1,276 @@
+// Package subiso implements subgraph isomorphism testing in the sense of
+// Definition 3 of the paper: an injective mapping of query vertices to data
+// vertices preserving labels and query edges (a subgraph monomorphism; data
+// graphs may have extra edges between mapped vertices).
+//
+// The core matcher is VF2 (Cordella, Foggia, Sansone, Vento, TPAMI 2004) with
+// label and degree feasibility pruning. A tuned variant with rarity-driven
+// vertex ordering and neighborhood-composition pruning is provided for
+// CT-Index, which the paper credits with a "modified VF2 with additional
+// heuristics".
+package subiso
+
+import (
+	"context"
+
+	"repro/internal/graph"
+)
+
+// Options configures a match run.
+type Options struct {
+	// Restrict, when non-nil, limits the data vertices the query may map to;
+	// Restrict[v] must be true for every used data vertex v. Grapes uses this
+	// to verify against single connected components.
+	Restrict []bool
+	// Limit stops the search after this many embeddings (0 means 1, the
+	// filter-and-verify default; use -1 for all embeddings).
+	Limit int
+	// Ctx, when non-nil, aborts the search when cancelled.
+	Ctx context.Context
+}
+
+// Exists reports whether q is subgraph-isomorphic to g (first match wins).
+func Exists(q, g *graph.Graph) bool {
+	m := NewMatcher(q, g, Options{})
+	return m.Run(nil)
+}
+
+// ExistsRestricted is Exists with the data-vertex restriction of Options.
+func ExistsRestricted(q, g *graph.Graph, allowed []bool) bool {
+	m := NewMatcher(q, g, Options{Restrict: allowed})
+	return m.Run(nil)
+}
+
+// Count returns the number of embeddings of q in g, up to limit
+// (limit <= 0 counts all).
+func Count(q, g *graph.Graph, limit int) int {
+	n := 0
+	m := NewMatcher(q, g, Options{Limit: -1})
+	m.Run(func(mapping []int32) bool {
+		n++
+		return limit <= 0 || n < limit
+	})
+	return n
+}
+
+// FindOne returns one embedding (query vertex -> data vertex) or nil.
+func FindOne(q, g *graph.Graph) []int32 {
+	var out []int32
+	m := NewMatcher(q, g, Options{})
+	m.Run(func(mapping []int32) bool {
+		out = append([]int32(nil), mapping...)
+		return false
+	})
+	return out
+}
+
+// Matcher holds the reusable state of a VF2 search between one query and one
+// data graph. It is not safe for concurrent use.
+type Matcher struct {
+	q, g  *graph.Graph
+	opts  Options
+	order []int32 // query vertices in match order
+	// parent[i] is a previously-matched query neighbor of order[i], or -1
+	// when order[i] starts a new connected component of the query.
+	parent []int32
+	coreQ  []int32 // query vertex -> data vertex or -1
+	coreG  []int32 // data vertex -> query vertex or -1
+	found  int
+	ticks  int
+}
+
+// NewMatcher prepares a matcher; Run performs the search.
+func NewMatcher(q, g *graph.Graph, opts Options) *Matcher {
+	m := &Matcher{q: q, g: g, opts: opts}
+	m.order, m.parent = matchOrder(q)
+	m.coreQ = make([]int32, q.NumVertices())
+	m.coreG = make([]int32, g.NumVertices())
+	return m
+}
+
+// matchOrder returns a connectivity-preserving ordering of query vertices
+// (greedy: start at the max-degree vertex, then always pick the unvisited
+// vertex with the most already-ordered neighbors, ties by degree).
+func matchOrder(q *graph.Graph) (order, parent []int32) {
+	n := q.NumVertices()
+	order = make([]int32, 0, n)
+	parent = make([]int32, 0, n)
+	visited := make([]bool, n)
+	connections := make([]int, n)
+	for len(order) < n {
+		best := int32(-1)
+		for v := int32(0); int(v) < n; v++ {
+			if visited[v] {
+				continue
+			}
+			if best < 0 {
+				best = v
+				continue
+			}
+			if connections[v] > connections[best] ||
+				(connections[v] == connections[best] && q.Degree(v) > q.Degree(best)) {
+				best = v
+			}
+		}
+		visited[best] = true
+		// Find an already-ordered neighbor to anchor the new vertex.
+		anchor := int32(-1)
+		for _, w := range q.Neighbors(best) {
+			if visited[w] && w != best {
+				if idx := indexOf(order, w); idx >= 0 {
+					anchor = w
+					break
+				}
+			}
+		}
+		order = append(order, best)
+		parent = append(parent, anchor)
+		for _, w := range q.Neighbors(best) {
+			connections[w]++
+		}
+	}
+	return order, parent
+}
+
+func indexOf(a []int32, v int32) int {
+	for i, x := range a {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// Run executes the search. For every embedding found it invokes yield (if
+// non-nil) with the query->data mapping; returning false stops the search.
+// Run returns true if at least one embedding was found. With a nil yield it
+// stops after the first embedding.
+func (m *Matcher) Run(yield func(mapping []int32) bool) bool {
+	if m.q.NumVertices() == 0 {
+		// The empty query is contained in every graph.
+		if yield != nil {
+			yield(nil)
+		}
+		return true
+	}
+	if m.q.NumVertices() > m.g.NumVertices() || m.q.NumEdges() > m.g.NumEdges() {
+		return false
+	}
+	for i := range m.coreQ {
+		m.coreQ[i] = -1
+	}
+	for i := range m.coreG {
+		m.coreG[i] = -1
+	}
+	m.found = 0
+	m.ticks = 0
+	m.match(0, yield)
+	return m.found > 0
+}
+
+func (m *Matcher) cancelled() bool {
+	if m.opts.Ctx == nil {
+		return false
+	}
+	m.ticks++
+	if m.ticks&1023 != 0 {
+		return false
+	}
+	select {
+	case <-m.opts.Ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+// match extends the partial mapping by query vertex order[depth].
+// It returns false to abort the whole search.
+func (m *Matcher) match(depth int, yield func([]int32) bool) bool {
+	if depth == len(m.order) {
+		m.found++
+		if yield != nil && !yield(m.coreQ) {
+			return false
+		}
+		if yield == nil {
+			return false // first match wins
+		}
+		if m.opts.Limit > 0 && m.found >= m.opts.Limit {
+			return false
+		}
+		return true
+	}
+	if m.cancelled() {
+		return false
+	}
+	qu := m.order[depth]
+	anchor := m.parent[depth]
+	if anchor >= 0 {
+		// Candidates are neighbors of the image of the anchor vertex.
+		gAnchor := m.coreQ[anchor]
+		for _, gv := range m.g.Neighbors(gAnchor) {
+			if m.feasible(qu, gv) {
+				if !m.extend(depth, qu, gv, yield) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	// New query component: try every data vertex.
+	for gv := int32(0); int(gv) < m.g.NumVertices(); gv++ {
+		if m.feasible(qu, gv) {
+			if !m.extend(depth, qu, gv, yield) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (m *Matcher) extend(depth int, qu, gv int32, yield func([]int32) bool) bool {
+	m.coreQ[qu] = gv
+	m.coreG[gv] = qu
+	ok := m.match(depth+1, yield)
+	m.coreQ[qu] = -1
+	m.coreG[gv] = -1
+	return ok
+}
+
+// feasible applies the VF2 feasibility rules for the candidate pair (qu, gv)
+// under subgraph monomorphism semantics.
+func (m *Matcher) feasible(qu, gv int32) bool {
+	if m.coreG[gv] >= 0 {
+		return false
+	}
+	if m.opts.Restrict != nil && !m.opts.Restrict[gv] {
+		return false
+	}
+	if m.q.Label(qu) != m.g.Label(gv) {
+		return false
+	}
+	if m.q.Degree(qu) > m.g.Degree(gv) {
+		return false
+	}
+	// Every already-mapped neighbor of qu must map to a neighbor of gv;
+	// count unmapped query neighbors for the lookahead rule.
+	unmappedQ := 0
+	for _, qw := range m.q.Neighbors(qu) {
+		if gw := m.coreQ[qw]; gw >= 0 {
+			if !m.g.HasEdge(gv, gw) {
+				return false
+			}
+		} else {
+			unmappedQ++
+		}
+	}
+	// Lookahead: gv must have at least as many unmapped (and unrestricted)
+	// neighbors as qu has unmapped neighbors.
+	unmappedG := 0
+	for _, gw := range m.g.Neighbors(gv) {
+		if m.coreG[gw] < 0 && (m.opts.Restrict == nil || m.opts.Restrict[gw]) {
+			unmappedG++
+		}
+	}
+	return unmappedG >= unmappedQ
+}

@@ -1,0 +1,111 @@
+package treedelta
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/canon"
+	"repro/internal/graph"
+)
+
+// indexDTO is the serialized form of a Tree+Δ index: the frequent tree
+// features plus the Δ features admitted so far (with their full postings).
+// The transient Δ admission statistics (query counts, prototype graphs) are
+// workload state, not index content, and are reset on load.
+type indexDTO struct {
+	MaxFeatureSize      int
+	SupportRatio        float64
+	DiscriminativeRatio float64
+	QuerySupportToAdd   float64
+	MaxCycleLen         int
+	NumGraphs           int
+	TreeKeys            []string
+	TreePostings        [][]int32
+	DeltaKeys           []string
+	DeltaPostings       [][]int32
+}
+
+func packPostings(m map[canon.Key]graph.IDSet) (keys []string, postings [][]int32) {
+	for key, post := range m {
+		keys = append(keys, string(key))
+		ids := make([]int32, len(post))
+		for i, id := range post {
+			ids[i] = int32(id)
+		}
+		postings = append(postings, ids)
+	}
+	return keys, postings
+}
+
+func unpackPostings(keys []string, postings [][]int32) (map[canon.Key]graph.IDSet, error) {
+	if len(keys) != len(postings) {
+		return nil, fmt.Errorf("treedelta: corrupt postings")
+	}
+	m := make(map[canon.Key]graph.IDSet, len(keys))
+	for i, key := range keys {
+		post := make(graph.IDSet, len(postings[i]))
+		for j, id := range postings[i] {
+			post[j] = graph.ID(id)
+		}
+		m[canon.Key(key)] = post
+	}
+	return m, nil
+}
+
+// SaveIndex implements core.Persistable.
+func (ix *Index) SaveIndex(w io.Writer) error {
+	if !ix.built {
+		return fmt.Errorf("treedelta: save before Build")
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	dto := indexDTO{
+		MaxFeatureSize:      ix.opts.MaxFeatureSize,
+		SupportRatio:        ix.opts.SupportRatio,
+		DiscriminativeRatio: ix.opts.DiscriminativeRatio,
+		QuerySupportToAdd:   ix.opts.QuerySupportToAdd,
+		MaxCycleLen:         ix.opts.MaxCycleLen,
+		NumGraphs:           ix.ds.Len(),
+	}
+	dto.TreeKeys, dto.TreePostings = packPostings(ix.trees)
+	dto.DeltaKeys, dto.DeltaPostings = packPostings(ix.deltas)
+	return gob.NewEncoder(w).Encode(&dto)
+}
+
+// LoadIndex implements core.Persistable.
+func (ix *Index) LoadIndex(r io.Reader, ds *graph.Dataset) error {
+	var dto indexDTO
+	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
+		return fmt.Errorf("treedelta: load: %w", err)
+	}
+	if dto.NumGraphs != ds.Len() {
+		return fmt.Errorf("treedelta: load: index covers %d graphs, dataset has %d", dto.NumGraphs, ds.Len())
+	}
+	trees, err := unpackPostings(dto.TreeKeys, dto.TreePostings)
+	if err != nil {
+		return err
+	}
+	deltas, err := unpackPostings(dto.DeltaKeys, dto.DeltaPostings)
+	if err != nil {
+		return err
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.opts = Options{
+		MaxFeatureSize:      dto.MaxFeatureSize,
+		SupportRatio:        dto.SupportRatio,
+		DiscriminativeRatio: dto.DiscriminativeRatio,
+		QuerySupportToAdd:   dto.QuerySupportToAdd,
+		MaxCycleLen:         dto.MaxCycleLen,
+	}
+	ix.opts.fill()
+	ix.ds = ds
+	ix.trees = trees
+	ix.deltas = deltas
+	ix.seen = make(map[canon.Key]int)
+	ix.protos = make(map[canon.Key]*graph.Graph)
+	ix.queries = 0
+	ix.built = true
+	return nil
+}

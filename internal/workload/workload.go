@@ -1,0 +1,120 @@
+// Package workload generates subgraph query workloads by the random-walk
+// procedure of §4.3 of the paper, and computes the workload-level false
+// positive ratio metric of equation (3).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Config parameterizes a query workload.
+type Config struct {
+	// NumQueries is the number of query graphs to extract.
+	NumQueries int
+	// QueryEdges is the desired query size in edges (paper: 4, 8, 16, 32).
+	QueryEdges int
+	Seed       int64
+}
+
+// Generate extracts NumQueries query graphs from ds:
+//
+//  1. select a graph uniformly at random;
+//  2. select a start vertex uniformly at random;
+//  3. random-walk from it, keeping the union of visited vertices and
+//     travelled edges;
+//  4. stop when the desired edge count is reached.
+//
+// Walks landing in components too small to yield the requested size are
+// retried on a fresh graph, so every returned query has exactly
+// cfg.QueryEdges edges and is contained in at least one dataset graph by
+// construction.
+func Generate(ds *graph.Dataset, cfg Config) ([]*graph.Graph, error) {
+	if ds.Len() == 0 {
+		return nil, fmt.Errorf("workload: empty dataset")
+	}
+	if cfg.QueryEdges < 1 {
+		return nil, fmt.Errorf("workload: query size %d < 1", cfg.QueryEdges)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := make([]*graph.Graph, 0, cfg.NumQueries)
+	const maxAttemptsPerQuery = 1000
+	for len(out) < cfg.NumQueries {
+		var q *graph.Graph
+		for attempt := 0; attempt < maxAttemptsPerQuery; attempt++ {
+			src := ds.Graphs[rng.Intn(ds.Len())]
+			if q = walkQuery(rng, src, cfg.QueryEdges); q != nil {
+				break
+			}
+		}
+		if q == nil {
+			return nil, fmt.Errorf("workload: no graph in %q supports %d-edge queries", ds.Name, cfg.QueryEdges)
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+// walkQuery performs one random walk on src, returning the union subgraph
+// with exactly edges edges, or nil if the walk's component is too small.
+func walkQuery(rng *rand.Rand, src *graph.Graph, edges int) *graph.Graph {
+	if src.NumVertices() == 0 || src.NumEdges() < edges {
+		return nil
+	}
+	start := int32(rng.Intn(src.NumVertices()))
+	q := graph.New(0)
+	old2new := map[int32]int32{start: q.AddVertex(src.Label(start))}
+	cur := start
+	used := map[[2]int32]bool{}
+	// The walk can stall if its component has fewer than `edges` edges;
+	// bound the steps.
+	maxSteps := 50 * (edges + 1) * (edges + 1)
+	for steps := 0; q.NumEdges() < edges; steps++ {
+		if steps > maxSteps {
+			return nil
+		}
+		nb := src.Neighbors(cur)
+		if len(nb) == 0 {
+			return nil
+		}
+		next := nb[rng.Intn(len(nb))]
+		key := [2]int32{cur, next}
+		if next < cur {
+			key = [2]int32{next, cur}
+		}
+		nv, ok := old2new[next]
+		if !ok {
+			nv = q.AddVertex(src.Label(next))
+			old2new[next] = nv
+		}
+		if !used[key] {
+			used[key] = true
+			q.MustAddEdge(old2new[cur], nv)
+		}
+		cur = next
+	}
+	return q
+}
+
+// FalsePositiveRatio computes equation (3): the mean over queries of
+// (|C| - |A|) / |C|, where C is the candidate set and A the answer set.
+// Queries with empty candidate sets contribute zero.
+func FalsePositiveRatio(candidates, answers []graph.IDSet) float64 {
+	if len(candidates) != len(answers) {
+		panic("workload: candidate/answer workload length mismatch")
+	}
+	if len(candidates) == 0 {
+		return 0
+	}
+	total := 0.0
+	for i := range candidates {
+		c := len(candidates[i])
+		if c == 0 {
+			continue
+		}
+		total += float64(c-len(answers[i])) / float64(c)
+	}
+	return total / float64(len(candidates))
+}

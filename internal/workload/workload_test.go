@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/subiso"
+)
+
+func testDS() *graph.Dataset {
+	return gen.Synthetic(gen.SynthConfig{
+		NumGraphs: 20, MeanNodes: 20, MeanDensity: 0.15, NumLabels: 3, Seed: 4,
+	})
+}
+
+func TestGenerateSizesAndContainment(t *testing.T) {
+	ds := testDS()
+	for _, size := range []int{1, 4, 8, 16} {
+		qs, err := Generate(ds, Config{NumQueries: 8, QueryEdges: size, Seed: 11})
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if len(qs) != 8 {
+			t.Fatalf("size %d: got %d queries", size, len(qs))
+		}
+		for i, q := range qs {
+			if q.NumEdges() != size {
+				t.Errorf("size %d query %d: %d edges", size, i, q.NumEdges())
+			}
+			if err := q.Validate(); err != nil {
+				t.Errorf("size %d query %d invalid: %v", size, i, err)
+			}
+			if !q.IsConnected() {
+				t.Errorf("size %d query %d disconnected", size, i)
+			}
+			// Contained in at least one dataset graph.
+			found := false
+			for _, g := range ds.Graphs {
+				if subiso.Exists(q, g) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("size %d query %d not contained in any dataset graph", size, i)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	ds := testDS()
+	a, err := Generate(ds, Config{NumQueries: 5, QueryEdges: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(ds, Config{NumQueries: 5, QueryEdges: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].NumVertices() != b[i].NumVertices() {
+			t.Fatalf("nondeterministic workload")
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	empty := graph.NewDataset("empty")
+	if _, err := Generate(empty, Config{NumQueries: 1, QueryEdges: 2}); err == nil {
+		t.Errorf("empty dataset should error")
+	}
+	ds := testDS()
+	if _, err := Generate(ds, Config{NumQueries: 1, QueryEdges: 0}); err == nil {
+		t.Errorf("zero-size queries should error")
+	}
+	// Queries larger than any graph's edge count are impossible.
+	tiny := graph.NewDataset("tiny")
+	g := graph.New(0)
+	g.AddVertex(1)
+	g.AddVertex(2)
+	g.MustAddEdge(0, 1)
+	tiny.Add(g)
+	if _, err := Generate(tiny, Config{NumQueries: 1, QueryEdges: 5}); err == nil {
+		t.Errorf("oversized queries should error")
+	}
+}
+
+func TestFalsePositiveRatio(t *testing.T) {
+	cands := []graph.IDSet{{1, 2, 3, 4}, {1, 2}, {}}
+	ans := []graph.IDSet{{1, 2}, {1, 2}, {}}
+	// Query 1: (4-2)/4 = 0.5; query 2: 0; query 3 (empty candidates): 0.
+	got := FalsePositiveRatio(cands, ans)
+	want := 0.5 / 3
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("FP = %v, want %v", got, want)
+	}
+	if FalsePositiveRatio(nil, nil) != 0 {
+		t.Fatalf("empty workload FP != 0")
+	}
+}
+
+func TestFalsePositiveRatioPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("want panic on length mismatch")
+		}
+	}()
+	FalsePositiveRatio([]graph.IDSet{{1}}, nil)
+}
+
+func TestQueriesOnDisconnectedDataset(t *testing.T) {
+	cfg := gen.PCM.Scaled(8, 8)
+	cfg.Seed = 13
+	ds := gen.Realistic(cfg)
+	qs, err := Generate(ds, Config{NumQueries: 5, QueryEdges: 8, Seed: 1})
+	if err != nil {
+		t.Fatalf("Generate on disconnected dataset: %v", err)
+	}
+	for _, q := range qs {
+		if !q.IsConnected() {
+			t.Errorf("random-walk query disconnected")
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	Katsarou, Ntarmos, Triantafillou:
+//	"Performance and Scalability of Indexed Subgraph Query Processing
+//	Methods", PVLDB 8(12), 2015.
+//
+// It implements the six filter-and-verify subgraph query indexing methods
+// the paper compares — Grapes, GraphGrepSX, CT-Index, gIndex, Tree+Δ, and
+// gCode — together with every substrate they need (VF2 subgraph
+// isomorphism, canonical labels, gSpan mining, spectral codes), the paper's
+// dataset generators and query workloads, and a benchmark harness that
+// regenerates every table and figure of the evaluation.
+//
+// # Quick start
+//
+//	ds := repro.NewSyntheticDataset(repro.SynthConfig{
+//		NumGraphs: 100, MeanNodes: 50, MeanDensity: 0.05, NumLabels: 10,
+//	})
+//	idx := repro.NewIndex(repro.Grapes)
+//	if err := idx.Build(context.Background(), ds); err != nil { ... }
+//	proc := repro.NewProcessor(idx, ds)
+//	res, err := proc.Query(q) // res.Answers holds the matching graph IDs
+//
+// The underlying packages remain importable for finer control:
+// internal/core defines the Method contract, internal/bench the experiment
+// harness, and one package per indexing method holds its implementation.
+package repro
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/subiso"
+	"repro/internal/workload"
+)
+
+// Re-exported model types.
+type (
+	// Graph is a vertex-labelled undirected graph.
+	Graph = graph.Graph
+	// Dataset is an ordered collection of graphs with a shared label space.
+	Dataset = graph.Dataset
+	// Label is an interned vertex label.
+	Label = graph.Label
+	// ID identifies a graph within a dataset.
+	ID = graph.ID
+	// IDSet is a sorted set of graph IDs (candidate/answer sets).
+	IDSet = graph.IDSet
+	// Stats summarizes a dataset (Table 1 characteristics).
+	Stats = graph.Stats
+
+	// Method is one indexed subgraph query processing method.
+	Method = core.Method
+	// Processor runs the filter-and-verify pipeline over a built Method.
+	Processor = core.Processor
+	// QueryResult reports one query's candidates, answers, and timings.
+	QueryResult = core.QueryResult
+	// BuildStats reports on index construction.
+	BuildStats = core.BuildStats
+	// BatchOptions configures Processor.QueryBatch, the parallel workload
+	// runner.
+	BatchOptions = core.BatchOptions
+	// BatchResult is one entry of a QueryBatch outcome.
+	BatchResult = core.BatchResult
+	// WorkloadSummary aggregates a batch into the paper's workload metrics.
+	WorkloadSummary = core.WorkloadSummary
+
+	// SynthConfig parameterizes the GraphGen-style synthetic generator.
+	SynthConfig = gen.SynthConfig
+	// RealConfig parameterizes the real-dataset simulators.
+	RealConfig = gen.RealConfig
+	// WorkloadConfig parameterizes random-walk query generation.
+	WorkloadConfig = workload.Config
+
+	// MethodID names one of the six methods.
+	MethodID = bench.MethodID
+	// Experiment describes one figure-regenerating benchmark run.
+	Experiment = bench.Experiment
+	// Scale selects the bench/default/paper grid sizes.
+	Scale = bench.Scale
+)
+
+// The six methods compared by the paper.
+const (
+	Grapes    = bench.Grapes
+	GGSX      = bench.GGSX
+	CTIndex   = bench.CTIndex
+	GIndex    = bench.GIndex
+	TreeDelta = bench.TreeDelta
+	GCode     = bench.GCode
+)
+
+// Table 1 dataset simulator presets.
+var (
+	AIDS = gen.AIDS
+	PDBS = gen.PDBS
+	PCM  = gen.PCM
+	PPI  = gen.PPI
+)
+
+// NewIndex returns an unbuilt index of the given method with the paper's
+// §4.1 default parameters. It panics on an unknown method id; use
+// bench.NewMethod for error-returning construction or per-method Options.
+func NewIndex(id MethodID) Method {
+	m, err := bench.NewMethod(id, bench.MethodLimits{})
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// NewProcessor wraps a built method and its dataset into a query processor.
+func NewProcessor(m Method, ds *Dataset) *Processor {
+	return core.NewProcessor(m, ds)
+}
+
+// NewSyntheticDataset generates a synthetic dataset per §4.2.
+func NewSyntheticDataset(cfg SynthConfig) *Dataset {
+	return gen.Synthetic(cfg)
+}
+
+// NewRealisticDataset generates a simulated real dataset matched to Table 1
+// statistics; see the AIDS, PDBS, PCM, PPI presets and RealConfig.Scaled.
+func NewRealisticDataset(cfg RealConfig) *Dataset {
+	return gen.Realistic(cfg)
+}
+
+// GenerateQueries extracts a random-walk query workload per §4.3.
+func GenerateQueries(ds *Dataset, cfg WorkloadConfig) ([]*Graph, error) {
+	return workload.Generate(ds, cfg)
+}
+
+// IsSubgraph tests q ⊆ g directly with VF2 — the naive no-index baseline.
+func IsSubgraph(q, g *Graph) bool {
+	return subiso.Exists(q, g)
+}
+
+// BruteForceAnswers scans the whole dataset with VF2, the paper's naive
+// method and this repository's ground truth.
+func BruteForceAnswers(ctx context.Context, ds *Dataset, q *Graph) (IDSet, error) {
+	return core.BruteForceAnswers(ctx, ds, q)
+}
+
+// FalsePositiveRatio computes equation (3) over a workload's candidate and
+// answer sets.
+func FalsePositiveRatio(candidates, answers []IDSet) float64 {
+	return workload.FalsePositiveRatio(candidates, answers)
+}
+
+// Summarize aggregates a QueryBatch outcome into workload-level metrics.
+func Summarize(results []BatchResult) WorkloadSummary {
+	return core.Summarize(results)
+}
+
+// SaveIndex persists a built index to a file. All six methods implement
+// core.Persistable, so an expensive build can be paid once per dataset.
+func SaveIndex(path string, m Method) error {
+	p, ok := m.(core.Persistable)
+	if !ok {
+		return fmt.Errorf("repro: %s does not support persistence", m.Name())
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := p.SaveIndex(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadIndex restores a previously saved index of the given method over the
+// dataset it was built from.
+func LoadIndex(path string, id MethodID, ds *Dataset) (Method, error) {
+	m := NewIndex(id)
+	p, ok := m.(core.Persistable)
+	if !ok {
+		return nil, fmt.Errorf("repro: %s does not support persistence", m.Name())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if err := p.LoadIndex(f, ds); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// LoadDataset reads a GFD text dataset from a file.
+func LoadDataset(path string) (*Dataset, error) {
+	return graph.LoadDatasetFile(path)
+}
+
+// SaveDataset writes a dataset in GFD text form.
+func SaveDataset(path string, ds *Dataset) error {
+	return graph.SaveDatasetFile(path, ds)
+}

@@ -1,0 +1,131 @@
+package repro_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro"
+)
+
+func exampleDataset() *repro.Dataset {
+	return repro.NewSyntheticDataset(repro.SynthConfig{
+		NumGraphs: 30, MeanNodes: 15, MeanDensity: 0.2, NumLabels: 4, Seed: 5,
+	})
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	ds := exampleDataset()
+	queries, err := repro.GenerateQueries(ds, repro.WorkloadConfig{
+		NumQueries: 5, QueryEdges: 6, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []repro.MethodID{repro.Grapes, repro.GGSX, repro.CTIndex,
+		repro.GIndex, repro.TreeDelta, repro.GCode} {
+		idx := repro.NewIndex(id)
+		if err := idx.Build(context.Background(), ds); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		proc := repro.NewProcessor(idx, ds)
+		for i, q := range queries {
+			res, err := proc.Query(q)
+			if err != nil {
+				t.Fatalf("%s query %d: %v", id, i, err)
+			}
+			truth, err := repro.BruteForceAnswers(context.Background(), ds, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Answers.Equal(truth) {
+				t.Errorf("%s query %d: answers diverge from brute force", id, i)
+			}
+		}
+	}
+}
+
+func TestNewIndexPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("want panic for unknown method")
+		}
+	}()
+	repro.NewIndex(repro.MethodID("nope"))
+}
+
+func TestIsSubgraph(t *testing.T) {
+	g := &repro.Graph{}
+	a := g.AddVertex(1)
+	b := g.AddVertex(2)
+	g.MustAddEdge(a, b)
+	q := &repro.Graph{}
+	q.AddVertex(2)
+	if !repro.IsSubgraph(q, g) {
+		t.Errorf("single vertex not found")
+	}
+	q2 := &repro.Graph{}
+	q2.AddVertex(3)
+	if repro.IsSubgraph(q2, g) {
+		t.Errorf("absent label matched")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ds := exampleDataset()
+	path := filepath.Join(t.TempDir(), "ds.gfd")
+	if err := repro.SaveDataset(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := repro.LoadDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != ds.Len() {
+		t.Fatalf("round trip lost graphs: %d vs %d", got.Len(), ds.Len())
+	}
+	s1, s2 := ds.ComputeStats(), got.ComputeStats()
+	if s1.AvgEdges != s2.AvgEdges || s1.AvgNodes != s2.AvgNodes {
+		t.Fatalf("round trip changed stats")
+	}
+}
+
+func TestFalsePositiveRatioFacade(t *testing.T) {
+	cands := []repro.IDSet{{1, 2}, {3}}
+	ans := []repro.IDSet{{1}, {3}}
+	if got := repro.FalsePositiveRatio(cands, ans); got != 0.25 {
+		t.Fatalf("FP = %v, want 0.25", got)
+	}
+}
+
+// Example demonstrates the basic index-and-query flow; it doubles as the
+// package documentation example.
+func Example() {
+	ds := repro.NewSyntheticDataset(repro.SynthConfig{
+		NumGraphs: 20, MeanNodes: 12, MeanDensity: 0.25, NumLabels: 3, Seed: 9,
+	})
+	idx := repro.NewIndex(repro.GGSX)
+	if err := idx.Build(context.Background(), ds); err != nil {
+		log.Fatal(err)
+	}
+	queries, err := repro.GenerateQueries(ds, repro.WorkloadConfig{
+		NumQueries: 1, QueryEdges: 4, Seed: 10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	proc := repro.NewProcessor(idx, ds)
+	res, err := proc.Query(queries[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(res.Answers) > 0 && len(res.Candidates) >= len(res.Answers))
+	// Output: true
+}
+
+func TestMain(m *testing.M) {
+	os.Exit(m.Run())
+}
