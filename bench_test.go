@@ -21,6 +21,12 @@ import (
 	"repro/internal/workload"
 )
 
+// newBudgetedMethod constructs id with a tight mining budget on the methods
+// that have one, via the registry-backed bench shim.
+func newBudgetedMethod(id bench.MethodID) (core.Method, error) {
+	return bench.NewMethod(id, bench.MethodLimits{MaxPatterns: 20000})
+}
+
 // runFigure executes one experiment per iteration and logs the report once.
 func runFigure(b *testing.B, exp bench.Experiment, perSize bool) {
 	b.Helper()
@@ -100,7 +106,7 @@ func BenchmarkIndexBuild(b *testing.B) {
 		id := id
 		b.Run(string(id), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				m, err := bench.NewMethod(id, bench.MethodLimits{MaxPatterns: 20000})
+				m, err := newBudgetedMethod(id)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -123,7 +129,7 @@ func BenchmarkQuery(b *testing.B) {
 	for _, id := range bench.AllMethods {
 		id := id
 		b.Run(string(id), func(b *testing.B) {
-			m, err := bench.NewMethod(id, bench.MethodLimits{MaxPatterns: 20000})
+			m, err := newBudgetedMethod(id)
 			if err != nil {
 				b.Fatal(err)
 			}

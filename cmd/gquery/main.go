@@ -2,10 +2,15 @@
 // processes subgraph queries against it, reporting per-query candidates,
 // answers, timings, and the workload false positive ratio.
 //
+// Methods are selected by engine spec: a registered name or alias,
+// optionally with typed parameter overrides.
+//
 // Usage:
 //
 //	gquery -data molecules.gfd -queries q.gfd -method Grapes
-//	gquery -data molecules.gfd -queries q.gfd -method gIndex -v
+//	gquery -data molecules.gfd -queries q.gfd -method grapes:maxPathLen=3,workers=8 -v
+//	gquery -data molecules.gfd -queries q.gfd -method gIndex -ix gindex.idx
+//	gquery -list
 package main
 
 import (
@@ -15,8 +20,8 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/bench"
-	"repro/internal/core"
+	"repro/internal/engine"
+	_ "repro/internal/engine/std"
 	"repro/internal/graph"
 	"repro/internal/workload"
 )
@@ -25,19 +30,26 @@ func main() {
 	var (
 		dataPath  = flag.String("data", "", "GFD dataset file (required)")
 		queryPath = flag.String("queries", "", "GFD query file (required)")
-		methodStr = flag.String("method", "Grapes", "method: Grapes, GGSX, CTindex, gIndex, tree+delta, gCode")
+		methodStr = flag.String("method", "Grapes", "method spec: name[:key=value,...]; see -list")
+		indexPath = flag.String("ix", "", "persist/restore the built index at this path")
+		workers   = flag.Int("workers", 0, "per-query verification parallelism (0 = GOMAXPROCS)")
 		timeout   = flag.Duration("timeout", 8*time.Hour, "per-stage time budget")
 		verbose   = flag.Bool("v", false, "per-query output")
+		list      = flag.Bool("list", false, "list registered methods and their parameters")
 	)
 	flag.Parse()
 
-	if err := run(*dataPath, *queryPath, *methodStr, *timeout, *verbose); err != nil {
+	if *list {
+		engine.FprintMethods(os.Stdout)
+		return
+	}
+	if err := run(*dataPath, *queryPath, *methodStr, *indexPath, *workers, *timeout, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "gquery:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataPath, queryPath, methodStr string, timeout time.Duration, verbose bool) error {
+func run(dataPath, queryPath, methodStr, indexPath string, workers int, timeout time.Duration, verbose bool) error {
 	if dataPath == "" || queryPath == "" {
 		return fmt.Errorf("-data and -queries are required")
 	}
@@ -45,29 +57,40 @@ func run(dataPath, queryPath, methodStr string, timeout time.Duration, verbose b
 	if err != nil {
 		return fmt.Errorf("loading dataset: %w", err)
 	}
-	qds, err := graph.LoadDatasetFile(queryPath)
+	// Queries share the dataset's label dictionary so label IDs agree
+	// across the two files.
+	qds, err := graph.LoadDatasetFileWithDict(queryPath, &ds.Dict)
 	if err != nil {
 		return fmt.Errorf("loading queries: %w", err)
-	}
-	m, err := bench.NewMethod(bench.MethodID(methodStr), bench.MethodLimits{})
-	if err != nil {
-		return err
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
-	st, err := core.BuildTimed(ctx, m, ds)
-	if err != nil {
-		return fmt.Errorf("indexing: %w", err)
+	opts := []engine.Option{engine.WithSpec(methodStr)}
+	if indexPath != "" {
+		opts = append(opts, engine.WithIndexPath(indexPath))
 	}
-	fmt.Printf("indexed %d graphs with %s in %v (index size %.2f MB)\n",
-		ds.Len(), m.Name(), st.Elapsed.Round(time.Millisecond), float64(st.SizeBytes)/(1<<20))
+	if workers > 0 {
+		opts = append(opts, engine.WithVerifyWorkers(workers))
+	}
+	eng, err := engine.Open(ctx, ds, opts...)
+	if err != nil {
+		return err
+	}
+	m := eng.Method()
+	if eng.Restored() {
+		fmt.Printf("restored %s index for %d graphs from %s (%.2f MB)\n",
+			m.Name(), ds.Len(), indexPath, float64(m.SizeBytes())/(1<<20))
+	} else {
+		st := eng.BuildStats()
+		fmt.Printf("indexed %d graphs with %s in %v (index size %.2f MB)\n",
+			ds.Len(), m.Name(), st.Elapsed.Round(time.Millisecond), float64(st.SizeBytes)/(1<<20))
+	}
 
-	proc := core.NewProcessor(m, ds)
 	var cands, answers []graph.IDSet
 	var totalTime time.Duration
 	for i, q := range qds.Graphs {
-		res, err := proc.QueryCtx(ctx, q)
+		res, err := eng.Query(ctx, q)
 		if err != nil {
 			return fmt.Errorf("query %d: %w", i, err)
 		}

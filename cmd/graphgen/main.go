@@ -7,13 +7,23 @@
 //	graphgen -graphs 1000 -nodes 200 -density 0.025 -labels 20 -o data.gfd
 //	graphgen -preset PCM -graphdiv 4 -nodediv 4 -o pcm.gfd
 //	graphgen -preset AIDS -queries 20 -qsize 8 -qo queries.gfd
+//
+// With -index, the generated dataset is additionally indexed with the given
+// engine method spec and the built index persisted next to the data, ready
+// for gquery -ix:
+//
+//	graphgen -preset AIDS -o aids.gfd -index grapes:workers=8 -ixo aids.idx
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"repro/internal/engine"
+	_ "repro/internal/engine/std"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/workload"
@@ -33,18 +43,32 @@ func main() {
 		queries  = flag.Int("queries", 0, "also generate this many random-walk queries")
 		qsize    = flag.Int("qsize", 8, "query size in edges")
 		qout     = flag.String("qo", "", "query output file (required with -queries)")
+		index    = flag.String("index", "", "also build an index with this method spec (e.g. grapes:workers=8)")
+		ixout    = flag.String("ixo", "", "index output file (required with -index)")
 	)
 	flag.Parse()
 
 	if err := run(*preset, *graphDiv, *nodeDiv, *graphs, *nodes, *density, *labels,
-		*seed, *out, *queries, *qsize, *qout); err != nil {
+		*seed, *out, *queries, *qsize, *qout, *index, *ixout); err != nil {
 		fmt.Fprintln(os.Stderr, "graphgen:", err)
 		os.Exit(1)
 	}
 }
 
 func run(preset string, graphDiv, nodeDiv float64, graphs, nodes int, density float64,
-	labels int, seed int64, out string, queries, qsize int, qout string) error {
+	labels int, seed int64, out string, queries, qsize int, qout, index, ixout string) error {
+	if index != "" {
+		if ixout == "" {
+			return fmt.Errorf("-index requires -ixo")
+		}
+		if out == "" {
+			return fmt.Errorf("-index requires -o (the index must pair with a dataset file)")
+		}
+		// Fail on a bad method spec before spending time generating.
+		if _, err := engine.New(index); err != nil {
+			return err
+		}
+	}
 	var ds *graph.Dataset
 	switch preset {
 	case "":
@@ -86,6 +110,30 @@ func run(preset string, graphDiv, nodeDiv float64, graphs, nodes int, density fl
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "generated %d %d-edge queries to %s\n", queries, qsize, qout)
+	}
+
+	if index != "" {
+		// Build over the dataset as reloaded from the file, not the
+		// in-memory original: loading interns labels in file order, and the
+		// persisted index must agree with what gquery -ix will load. Always
+		// build fresh and save explicitly — WithIndexPath would restore a
+		// stale index left at ixout by a previous run.
+		reloaded, err := graph.LoadDatasetFile(out)
+		if err != nil {
+			return err
+		}
+		t0 := time.Now()
+		eng, err := engine.Open(context.Background(), reloaded, engine.WithSpec(index))
+		if err != nil {
+			return err
+		}
+		if err := eng.Save(ixout); err != nil {
+			return err
+		}
+		m := eng.Method()
+		fmt.Fprintf(os.Stderr, "indexed with %s in %v (%.2f MB) to %s\n",
+			m.Name(), time.Since(t0).Round(time.Millisecond),
+			float64(m.SizeBytes())/(1<<20), ixout)
 	}
 	return nil
 }

@@ -6,6 +6,13 @@
 //	sqbench -exp fig2 -scale default
 //	sqbench -exp all -scale bench -o results.txt
 //	sqbench -exp fig3 -methods Grapes,GGSX,CTindex
+//	sqbench -exp fig2 -methods "grapes:workers=12 ggsx:maxPathLen=3"
+//	sqbench -list
+//
+// Methods are engine specs: a registered name or alias, optionally with
+// ":key=value,..." parameter overrides. Plain names may be separated by
+// commas; specs carrying parameters are separated by spaces or semicolons
+// (commas belong to the parameter list).
 //
 // Experiments: table1, fig1, fig2, fig3, fig4, fig5, fig6, all. Figure 4 is
 // the per-query-size view of Figure 3's runs and reuses its sweep.
@@ -21,17 +28,24 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/engine"
+	_ "repro/internal/engine/std"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: table1, fig1, fig2, fig3, fig4, fig5, fig6, ablation, all")
 	scaleName := flag.String("scale", "default", "scale: bench, default, paper")
-	methodsFlag := flag.String("methods", "", "comma-separated method subset (default: all six)")
+	methodsFlag := flag.String("methods", "", "method spec subset (default: all six); see -list")
 	out := flag.String("o", "", "write the report to this file (default stdout)")
 	csvPath := flag.String("csv", "", "also write tidy CSV rows to this file")
 	quiet := flag.Bool("q", false, "suppress progress logging")
+	list := flag.Bool("list", false, "list registered methods and their parameters")
 	flag.Parse()
 
+	if *list {
+		engine.FprintMethods(os.Stdout)
+		return
+	}
 	if err := run(*exp, *scaleName, *methodsFlag, *out, *csvPath, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "sqbench:", err)
 		os.Exit(1)
@@ -43,7 +57,7 @@ func run(expName, scaleName, methodsFlag, outPath, csvPath string, quiet bool) e
 	if err != nil {
 		return err
 	}
-	methods, err := parseMethods(methodsFlag)
+	methods, specs, err := parseMethods(methodsFlag)
 	if err != nil {
 		return err
 	}
@@ -102,6 +116,7 @@ func run(expName, scaleName, methodsFlag, outPath, csvPath string, quiet bool) e
 		}
 		e := f.exp
 		e.Methods = methods
+		e.MethodSpecs = specs
 		results, err := bench.Run(ctx, e, log)
 		if err != nil {
 			return fmt.Errorf("%s: %w", f.name, err)
@@ -138,24 +153,41 @@ func run(expName, scaleName, methodsFlag, outPath, csvPath string, quiet bool) e
 	return nil
 }
 
-func parseMethods(s string) ([]bench.MethodID, error) {
-	if s == "" {
-		return nil, nil
+// parseMethods resolves the -methods flag through the engine registry. Each
+// entry is a method spec; entries are separated by whitespace or
+// semicolons, and — for plain names without parameters — also by commas, so
+// the documented "Grapes,GGSX,CTindex" form keeps working.
+func parseMethods(s string) ([]bench.MethodID, map[bench.MethodID]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil, nil
 	}
-	var out []bench.MethodID
-	for _, part := range strings.Split(s, ",") {
-		id := bench.MethodID(strings.TrimSpace(part))
-		found := false
-		for _, known := range bench.AllMethods {
-			if id == known {
-				found = true
-				break
+	tokens := strings.FieldsFunc(s, func(r rune) bool {
+		return r == ' ' || r == '\t' || r == ';'
+	})
+	var entries []string
+	for _, tok := range tokens {
+		if strings.ContainsAny(tok, ":=") {
+			entries = append(entries, tok)
+			continue
+		}
+		for _, name := range strings.Split(tok, ",") {
+			if name != "" {
+				entries = append(entries, name)
 			}
 		}
-		if !found {
-			return nil, fmt.Errorf("unknown method %q (known: %v)", id, bench.AllMethods)
+	}
+	var out []bench.MethodID
+	specs := map[bench.MethodID]string{}
+	for _, entry := range entries {
+		id, spec, err := bench.ResolveMethod(entry)
+		if err != nil {
+			return nil, nil, err
 		}
+		if _, dup := specs[id]; dup {
+			return nil, nil, fmt.Errorf("method %s selected twice", id)
+		}
+		specs[id] = spec
 		out = append(out, id)
 	}
-	return out, nil
+	return out, specs, nil
 }

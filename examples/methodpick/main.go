@@ -1,9 +1,10 @@
 // Methodpick: "choosing the right index method for user needs" (§6 of the
-// paper) as a runnable decision aid. All six methods are built over the
-// same dataset and measured on the same workload; the resulting table shows
-// the trade-offs the paper's conclusions describe — exhaustive path methods
-// win on time but spend memory, fingerprint methods stay tiny but filter
-// weakly, frequent-mining methods pay heavy indexing for moderate gains.
+// paper) as a runnable decision aid. Every method in the engine registry is
+// built over the same dataset and measured on the same workload; the
+// resulting table shows the trade-offs the paper's conclusions describe —
+// exhaustive path methods win on time but spend memory, fingerprint methods
+// stay tiny but filter weakly, frequent-mining methods pay heavy indexing
+// for moderate gains.
 package main
 
 import (
@@ -40,28 +41,27 @@ func main() {
 
 	fmt.Printf("%-12s %12s %12s %14s %10s\n",
 		"method", "build", "index size", "avg query", "FP ratio")
-	methods := []repro.MethodID{
-		repro.Grapes, repro.GGSX, repro.CTIndex,
-		repro.GIndex, repro.TreeDelta, repro.GCode,
-	}
-	for _, id := range methods {
-		idx := repro.NewIndex(id)
+	// The registry knows every constructible method; skip the NoIndex
+	// baseline, which the paper's figures exclude.
+	for _, info := range repro.Methods() {
+		if info.Name == "noindex" {
+			continue
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 		t0 := time.Now()
-		err := idx.Build(ctx, ds)
+		eng, err := repro.Open(ctx, ds, repro.WithSpec(info.Name))
 		buildTime := time.Since(t0)
 		if err != nil {
-			fmt.Printf("%-12s %12s (DNF: %v)\n", id, "-", err)
+			fmt.Printf("%-12s %12s (DNF: %v)\n", info.Display, "-", err)
 			cancel()
 			continue
 		}
-		proc := repro.NewProcessor(idx, ds)
 		var total time.Duration
 		var cands, answers []repro.IDSet
 		for _, q := range queries {
-			res, err := proc.QueryCtx(ctx, q)
+			res, err := eng.Query(ctx, q)
 			if err != nil {
-				log.Fatalf("%s: %v", id, err)
+				log.Fatalf("%s: %v", info.Display, err)
 			}
 			total += res.TotalTime()
 			cands = append(cands, res.Candidates)
@@ -69,8 +69,8 @@ func main() {
 		}
 		cancel()
 		fmt.Printf("%-12s %12v %11.2fMB %14v %10.3f\n",
-			id, buildTime.Round(time.Millisecond),
-			float64(idx.SizeBytes())/(1<<20),
+			info.Display, buildTime.Round(time.Millisecond),
+			float64(eng.Method().SizeBytes())/(1<<20),
 			(total / time.Duration(len(queries))).Round(time.Microsecond),
 			repro.FalsePositiveRatio(cands, answers))
 	}

@@ -25,13 +25,14 @@ func main() {
 	fmt.Printf("compound library: %d molecules, avg %.1f atoms, %d atom types\n",
 		st.NumGraphs, st.AvgNodes, st.NumLabels)
 
-	idx := repro.NewIndex(repro.CTIndex)
+	ctx := context.Background()
 	t0 := time.Now()
-	if err := idx.Build(context.Background(), ds); err != nil {
+	eng, err := repro.Open(ctx, ds, repro.WithSpec("ctindex"))
+	if err != nil {
 		log.Fatalf("indexing: %v", err)
 	}
 	fmt.Printf("CT-Index fingerprints built in %v (%.0f KB total)\n",
-		time.Since(t0).Round(time.Millisecond), float64(idx.SizeBytes())/1024)
+		time.Since(t0).Round(time.Millisecond), float64(eng.Method().SizeBytes())/1024)
 
 	// Treat the two most frequent atom types in the library as "C" and "O".
 	carbon, oxygen := topTwoLabels(ds)
@@ -52,7 +53,6 @@ func main() {
 	tail.MustAddEdge(t1, t2)
 	tail.MustAddEdge(t2, o)
 
-	proc := repro.NewProcessor(idx, ds)
 	for _, q := range []struct {
 		name  string
 		query *repro.Graph
@@ -60,11 +60,11 @@ func main() {
 		{"propane skeleton (C-C-C)", chain},
 		{"alcohol fragment (C-C-O)", tail},
 	} {
-		res, err := proc.Query(q.query)
+		res, err := eng.Query(ctx, q.query)
 		if err != nil {
 			log.Fatalf("%s: %v", q.name, err)
 		}
-		truth, err := repro.BruteForceAnswers(context.Background(), ds, q.query)
+		truth, err := repro.BruteForceAnswers(ctx, ds, q.query)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -36,29 +36,29 @@ func main() {
 	}
 
 	ctx := context.Background()
-	for _, id := range []repro.MethodID{repro.GGSX, repro.Grapes} {
-		idx := repro.NewIndex(id)
+	for _, spec := range []string{"ggsx", "grapes:workers=6"} {
 		t0 := time.Now()
-		if err := idx.Build(ctx, ds); err != nil {
-			fmt.Printf("%-8s DNF during indexing: %v\n", id, err)
+		eng, err := repro.Open(ctx, ds, repro.WithSpec(spec))
+		if err != nil {
+			fmt.Printf("%-8s DNF during indexing: %v\n", spec, err)
 			continue
 		}
 		buildTime := time.Since(t0)
+		name := eng.Method().Name()
 
-		proc := repro.NewProcessor(idx, ds)
 		var queryTime time.Duration
 		var cands, answers []repro.IDSet
 		for _, q := range queries {
-			res, err := proc.Query(q)
+			res, err := eng.Query(ctx, q)
 			if err != nil {
-				log.Fatalf("%s: %v", id, err)
+				log.Fatalf("%s: %v", name, err)
 			}
 			queryTime += res.TotalTime()
 			cands = append(cands, res.Candidates)
 			answers = append(answers, res.Answers)
 		}
 		fmt.Printf("%-8s index %8v (%6.1f MB) | %d motif queries in %8v | FP ratio %.3f\n",
-			id, buildTime.Round(time.Millisecond), float64(idx.SizeBytes())/(1<<20),
+			name, buildTime.Round(time.Millisecond), float64(eng.Method().SizeBytes())/(1<<20),
 			len(queries), queryTime.Round(time.Millisecond),
 			repro.FalsePositiveRatio(cands, answers))
 	}

@@ -1,5 +1,5 @@
-// Quickstart: generate a small dataset, build a Grapes index, and answer a
-// subgraph query through the filter-and-verify pipeline.
+// Quickstart: generate a small dataset, open an engine over it, and answer
+// subgraph queries through the plan-based filter-and-verify pipeline.
 package main
 
 import (
@@ -25,16 +25,19 @@ func main() {
 	fmt.Printf("dataset: %d graphs, avg %.1f nodes / %.1f edges\n",
 		stats.NumGraphs, stats.AvgNodes, stats.AvgEdges)
 
-	// 2. Build a Grapes index (exhaustive paths <= 4 edges, built in
-	//    parallel, with location information for component-wise verify).
-	idx := repro.NewIndex(repro.Grapes)
+	// 2. Open an engine with a Grapes index (exhaustive paths <= 4 edges,
+	//    built in parallel). The method and its parameters are one spec
+	//    string; any registered method works here — try
+	//    "ctindex:fingerprintBits=1024" or "gIndex".
+	ctx := context.Background()
 	t0 := time.Now()
-	if err := idx.Build(context.Background(), ds); err != nil {
-		log.Fatalf("indexing: %v", err)
+	eng, err := repro.Open(ctx, ds, repro.WithSpec("grapes:workers=8"))
+	if err != nil {
+		log.Fatalf("opening engine: %v", err)
 	}
 	fmt.Printf("index:   %s built in %v (%.2f MB)\n",
-		idx.Name(), time.Since(t0).Round(time.Millisecond),
-		float64(idx.SizeBytes())/(1<<20))
+		eng.Method().Name(), time.Since(t0).Round(time.Millisecond),
+		float64(eng.Method().SizeBytes())/(1<<20))
 
 	// 3. A query workload: 8-edge subgraphs extracted by random walks, so
 	//    every query has at least one answer.
@@ -46,9 +49,8 @@ func main() {
 	}
 
 	// 4. Filter and verify.
-	proc := repro.NewProcessor(idx, ds)
 	for i, q := range queries {
-		res, err := proc.Query(q)
+		res, err := eng.Query(ctx, q)
 		if err != nil {
 			log.Fatalf("query %d: %v", i, err)
 		}
@@ -56,4 +58,15 @@ func main() {
 			i, len(res.Candidates), len(res.Answers),
 			res.TotalTime().Round(time.Microsecond), res.FalsePositiveRatio())
 	}
+
+	// 5. Or stream answers as verification confirms them, without
+	//    materializing the answer set.
+	fmt.Printf("query 0 streamed:")
+	for id, err := range eng.Stream(ctx, queries[0]) {
+		if err != nil {
+			log.Fatalf("stream: %v", err)
+		}
+		fmt.Printf(" %d", id)
+	}
+	fmt.Println()
 }

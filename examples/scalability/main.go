@@ -12,7 +12,6 @@ import (
 	"time"
 
 	"repro"
-	"repro/internal/bench"
 )
 
 func main() {
@@ -25,11 +24,18 @@ func main() {
 	}
 	fmt.Println()
 
-	type cell struct{ ok bool }
-	for _, id := range []repro.MethodID{
-		repro.GIndex, repro.TreeDelta, repro.GCode, repro.CTIndex, repro.GGSX, repro.Grapes,
-	} {
-		fmt.Printf("%-12s", id)
+	// Mining methods get a tight pattern budget so a stress point gives up
+	// quickly instead of hanging; the spec syntax carries it per method.
+	specs := []string{
+		"gIndex:maxPatterns=20000", "tree+delta:maxPatterns=20000",
+		"gCode", "CTindex", "GGSX", "Grapes",
+	}
+	for _, spec := range specs {
+		m0, err := repro.New(spec)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-12s", m0.Name())
 		dead := false
 		for _, n := range nodeGrid {
 			if dead {
@@ -40,7 +46,7 @@ func main() {
 				NumGraphs: 40, MeanNodes: n, MeanDensity: 0.06, NumLabels: 10,
 				Seed: int64(n),
 			})
-			m, err := bench.NewMethod(id, bench.MethodLimits{MaxPatterns: 20000})
+			m, err := repro.New(spec)
 			if err != nil {
 				panic(err)
 			}

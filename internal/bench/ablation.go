@@ -5,19 +5,16 @@ import (
 	"fmt"
 	"io"
 
-	"repro/internal/core"
-	"repro/internal/ctindex"
+	"repro/internal/engine"
 	"repro/internal/gen"
-	"repro/internal/ggsx"
-	"repro/internal/gindex"
-	"repro/internal/grapes"
 	"repro/internal/graph"
 )
 
-// Variant is one configuration of a method in an ablation study.
+// Variant is one configuration of a method in an ablation study, expressed
+// as an engine method spec.
 type Variant struct {
 	Name string
-	Make func() core.Method
+	Spec string
 }
 
 // Ablation studies one design-space axis the paper's §6 analysis attributes
@@ -46,60 +43,48 @@ func Ablations() []Ablation {
 			Name:  "pathlen",
 			Title: "Path feature length (GGSX)",
 			Variants: []Variant{
-				{"paths<=2", func() core.Method { return ggsx.New(ggsx.Options{MaxPathLen: 2}) }},
-				{"paths<=3", func() core.Method { return ggsx.New(ggsx.Options{MaxPathLen: 3}) }},
-				{"paths<=4", func() core.Method { return ggsx.New(ggsx.Options{MaxPathLen: 4}) }},
-				{"paths<=5", func() core.Method { return ggsx.New(ggsx.Options{MaxPathLen: 5}) }},
+				{"paths<=2", "ggsx:maxPathLen=2"},
+				{"paths<=3", "ggsx:maxPathLen=3"},
+				{"paths<=4", "ggsx:maxPathLen=4"},
+				{"paths<=5", "ggsx:maxPathLen=5"},
 			},
 		},
 		{
 			Name:  "ctfeature",
 			Title: "CT-Index feature size (trees/cycles)",
 			Variants: []Variant{
-				{"size<=3", func() core.Method {
-					return ctindex.New(ctindex.Options{MaxTreeSize: 3, MaxCycleSize: 3})
-				}},
-				{"size<=4", func() core.Method {
-					return ctindex.New(ctindex.Options{MaxTreeSize: 4, MaxCycleSize: 4})
-				}},
-				{"size<=5", func() core.Method {
-					return ctindex.New(ctindex.Options{MaxTreeSize: 5, MaxCycleSize: 5})
-				}},
+				{"size<=3", "ctindex:maxTreeSize=3,maxCycleSize=3"},
+				{"size<=4", "ctindex:maxTreeSize=4,maxCycleSize=4"},
+				{"size<=5", "ctindex:maxTreeSize=5,maxCycleSize=5"},
 			},
 		},
 		{
 			Name:  "fingerprint",
 			Title: "CT-Index fingerprint width (bits)",
 			Variants: []Variant{
-				{"512b", func() core.Method { return ctindex.New(ctindex.Options{FingerprintBits: 512}) }},
-				{"1024b", func() core.Method { return ctindex.New(ctindex.Options{FingerprintBits: 1024}) }},
-				{"4096b", func() core.Method { return ctindex.New(ctindex.Options{FingerprintBits: 4096}) }},
-				{"16384b", func() core.Method { return ctindex.New(ctindex.Options{FingerprintBits: 16384}) }},
+				{"512b", "ctindex:fingerprintBits=512"},
+				{"1024b", "ctindex:fingerprintBits=1024"},
+				{"4096b", "ctindex:fingerprintBits=4096"},
+				{"16384b", "ctindex:fingerprintBits=16384"},
 			},
 		},
 		{
 			Name:  "workers",
 			Title: "Grapes build parallelism (threads)",
 			Variants: []Variant{
-				{"1 thread", func() core.Method { return grapes.New(grapes.Options{Workers: 1}) }},
-				{"2 threads", func() core.Method { return grapes.New(grapes.Options{Workers: 2}) }},
-				{"6 threads", func() core.Method { return grapes.New(grapes.Options{Workers: 6}) }},
-				{"12 threads", func() core.Method { return grapes.New(grapes.Options{Workers: 12}) }},
+				{"1 thread", "grapes:workers=1"},
+				{"2 threads", "grapes:workers=2"},
+				{"6 threads", "grapes:workers=6"},
+				{"12 threads", "grapes:workers=12"},
 			},
 		},
 		{
 			Name:  "discgate",
 			Title: "gIndex discriminative gate",
 			Variants: []Variant{
-				{"gate=1.0", func() core.Method {
-					return gindex.New(gindex.Options{DiscriminativeGate: 1.0001, MaxFeatureSize: 6, MaxPatterns: 50000})
-				}},
-				{"gate=2.0", func() core.Method {
-					return gindex.New(gindex.Options{DiscriminativeGate: 2.0, MaxFeatureSize: 6, MaxPatterns: 50000})
-				}},
-				{"gate=4.0", func() core.Method {
-					return gindex.New(gindex.Options{DiscriminativeGate: 4.0, MaxFeatureSize: 6, MaxPatterns: 50000})
-				}},
+				{"gate=1.0", "gindex:discriminativeGate=1.0001,maxFeatureSize=6,maxPatterns=50000"},
+				{"gate=2.0", "gindex:discriminativeGate=2.0,maxFeatureSize=6,maxPatterns=50000"},
+				{"gate=4.0", "gindex:discriminativeGate=4.0,maxFeatureSize=6,maxPatterns=50000"},
 			},
 		},
 	}
@@ -135,7 +120,11 @@ func RunAblation(ctx context.Context, ab Ablation, ds *graph.Dataset, s Scale, l
 		if err := ctx.Err(); err != nil {
 			return out, err
 		}
-		mr := runMethodInstance(ctx, MethodID(v.Name), v.Make(), ds, queries, exp)
+		m, err := engine.New(v.Spec)
+		if err != nil {
+			return out, fmt.Errorf("bench: ablation %s variant %s: %w", ab.Name, v.Name, err)
+		}
+		mr := runMethodInstance(ctx, MethodID(v.Name), m, ds, queries, exp)
 		if log != nil {
 			fmt.Fprintf(log, "[ablation/%s] %-12s build=%v size=%s query=%v fp=%.3f%s\n",
 				ab.Name, v.Name, mr.BuildTime.Round(1000), fmtBytes(mr.IndexSize),

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/graph"
 )
@@ -297,8 +298,8 @@ func TestAblationsAreComplete(t *testing.T) {
 			t.Errorf("ablation %q has %d variants", ab.Name, len(ab.Variants))
 		}
 		for _, v := range ab.Variants {
-			if v.Make() == nil {
-				t.Errorf("ablation %q variant %q constructs nil", ab.Name, v.Name)
+			if m, err := engine.New(v.Spec); err != nil || m == nil {
+				t.Errorf("ablation %q variant %q spec %q: %v", ab.Name, v.Name, v.Spec, err)
 			}
 		}
 	}

@@ -3,23 +3,22 @@
 // methods under a per-point time budget (the analogue of the paper's 8-hour
 // kill switch), and reports indexing time, index size, query processing
 // time, and false positive ratio as gnuplot-style series.
+//
+// Methods are constructed through the engine registry (repro/internal/
+// engine); the harness's only method-specific knowledge is the list of
+// figure-legend names below.
 package bench
 
 import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/ctindex"
-	"repro/internal/gcode"
-	"repro/internal/ggsx"
-	"repro/internal/gindex"
-	"repro/internal/grapes"
-	"repro/internal/scan"
-	"repro/internal/treedelta"
+	"repro/internal/engine"
+	_ "repro/internal/engine/std" // link all built-in methods
 )
 
 // MethodID names one of the six compared methods, spelled as in the paper's
-// figure legends.
+// figure legends. Every MethodID doubles as an engine registry name.
 type MethodID string
 
 // The six methods of §3, plus the naive no-index baseline of §1.
@@ -50,41 +49,54 @@ type MethodLimits struct {
 
 // DefaultMaxPatterns is the standard mining budget; exceeding it marks the
 // run DNF, mirroring the frequent-mining methods' 8-hour timeouts in the
-// paper.
+// paper. It equals the engine registry's maxPatterns default.
 const DefaultMaxPatterns = 200000
 
 // NewMethod instantiates a method with the paper's §4.1 parameter defaults.
+//
+// Deprecated: construct methods through the engine registry instead —
+// engine.New("gIndex:maxPatterns=20000") — which accepts every parameter,
+// not just the mining budget. NewMethod remains as a back-compat shim.
 func NewMethod(id MethodID, lim MethodLimits) (core.Method, error) {
-	maxPatterns := lim.MaxPatterns
-	if maxPatterns == 0 {
-		maxPatterns = DefaultMaxPatterns
+	d, ok := engine.Lookup(string(id))
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown method %q", id)
 	}
-	switch id {
-	case Grapes:
-		return grapes.New(grapes.Options{MaxPathLen: 4, Workers: 6}), nil
-	case GGSX:
-		return ggsx.New(ggsx.Options{MaxPathLen: 4}), nil
-	case CTIndex:
-		return ctindex.New(ctindex.Options{FingerprintBits: 4096, MaxTreeSize: 4, MaxCycleSize: 4}), nil
-	case GIndex:
-		return gindex.New(gindex.Options{
-			MaxFeatureSize:     10,
-			SupportRatio:       0.1,
-			DiscriminativeGate: 2.0,
-			MaxPatterns:        maxPatterns,
-		}), nil
-	case TreeDelta:
-		return treedelta.New(treedelta.Options{
-			MaxFeatureSize:      10,
-			SupportRatio:        0.1,
-			DiscriminativeRatio: 0.1,
-			QuerySupportToAdd:   0.8,
-			MaxPatterns:         maxPatterns,
-		}), nil
-	case GCode:
-		return gcode.New(gcode.Options{PathLen: 2, NumEigenvalues: 2}), nil
-	case NoIndex:
-		return scan.New(), nil
+	p := d.Params()
+	if lim.MaxPatterns > 0 && p.Has("maxPatterns") {
+		if err := p.SetInt("maxPatterns", lim.MaxPatterns); err != nil {
+			return nil, err
+		}
 	}
-	return nil, fmt.Errorf("bench: unknown method %q", id)
+	return d.New(p)
+}
+
+// methodFor constructs the method for one experiment cell: an explicit
+// per-method spec override from the experiment wins; otherwise the registry
+// defaults narrowed by the experiment's limits apply.
+func methodFor(id MethodID, exp Experiment) (core.Method, error) {
+	if spec := exp.MethodSpecs[id]; spec != "" {
+		d, p, err := engine.ParseSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		if exp.Limits.MaxPatterns > 0 && p.Has("maxPatterns") && !p.IsSet("maxPatterns") {
+			if err := p.SetInt("maxPatterns", exp.Limits.MaxPatterns); err != nil {
+				return nil, err
+			}
+		}
+		return d.New(p)
+	}
+	return NewMethod(id, exp.Limits)
+}
+
+// ResolveMethod maps a method spec string (name, alias, or full
+// "name:key=value,..." spec) to its figure-legend MethodID and canonical
+// spec, validating the parameters against the registry.
+func ResolveMethod(spec string) (MethodID, string, error) {
+	d, p, err := engine.ParseSpec(spec)
+	if err != nil {
+		return "", "", err
+	}
+	return MethodID(d.Display), p.Spec(), nil
 }

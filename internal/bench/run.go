@@ -47,6 +47,10 @@ type Experiment struct {
 	QueryTimeout time.Duration
 	// Limits bounds the unbounded-cost methods.
 	Limits MethodLimits
+	// MethodSpecs optionally overrides a method's construction parameters
+	// with a full engine spec ("grapes:workers=8"); methods without an
+	// entry use the registry defaults narrowed by Limits.
+	MethodSpecs map[MethodID]string
 	// Seed makes query workloads reproducible.
 	Seed int64
 }
@@ -163,7 +167,7 @@ func buildWorkload(ds *graph.Dataset, exp Experiment) ([]sizedQuery, error) {
 }
 
 func runMethod(ctx context.Context, id MethodID, ds *graph.Dataset, queries []sizedQuery, exp Experiment) MethodResult {
-	m, err := NewMethod(id, exp.Limits)
+	m, err := methodFor(id, exp)
 	if err != nil {
 		return MethodResult{Method: id, DNF: true, Reason: err.Error()}
 	}

@@ -21,6 +21,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"iter"
+	"sync"
 	"time"
 
 	"repro/internal/graph"
@@ -74,12 +76,57 @@ type Planner interface {
 }
 
 // QueryPlan carries one query's filtering outcome plus the state needed to
-// verify its candidates.
+// verify its candidates. It is the pipeline's uniform execution unit: every
+// method — whether it implements Planner, Verifier, or only the base Method
+// contract — is adapted into a QueryPlan by NewPlan, and the Processor only
+// ever executes plans.
 type QueryPlan interface {
 	// Candidates returns the sorted candidate set.
 	Candidates() graph.IDSet
-	// Verify tests the query against candidate id.
+	// Verify tests the query against candidate id. The pipeline may call
+	// Verify concurrently for distinct ids when Processor.VerifyWorkers > 1;
+	// implementations must tolerate that (methods that mutate shared state
+	// serialize internally).
 	Verify(id graph.ID) bool
+}
+
+// genericPlan adapts a method without its own Planner into a QueryPlan: a
+// fixed candidate set plus a stateless per-candidate verification function.
+type genericPlan struct {
+	cands  graph.IDSet
+	verify func(id graph.ID) bool
+}
+
+func (p *genericPlan) Candidates() graph.IDSet { return p.cands }
+func (p *genericPlan) Verify(id graph.ID) bool { return p.verify(id) }
+
+// NewPlan adapts any method into a QueryPlan for one query, regardless of
+// which optional interfaces it implements: a Planner supplies its own plan
+// (filtering state reused during verification); a Verifier pairs its
+// candidate set with its tuned matcher; plain methods fall back to VF2
+// against whole dataset graphs. The context bounds the fallback VF2 runs.
+func NewPlan(ctx context.Context, m Method, ds *graph.Dataset, q *graph.Graph) (QueryPlan, error) {
+	if planner, ok := m.(Planner); ok {
+		return planner.PlanQuery(q)
+	}
+	cands, err := m.Candidates(q)
+	if err != nil {
+		return nil, err
+	}
+	if verifier, ok := m.(Verifier); ok {
+		return &genericPlan{cands: cands, verify: func(id graph.ID) bool {
+			return verifier.VerifyCandidate(q, id)
+		}}, nil
+	}
+	for _, id := range cands {
+		if ds.Graph(id) == nil {
+			return nil, fmt.Errorf("core: candidate %d not in dataset", id)
+		}
+	}
+	return &genericPlan{cands: cands, verify: func(id graph.ID) bool {
+		m := subiso.NewMatcher(q, ds.Graph(id), subiso.Options{Ctx: ctx})
+		return m.Run(nil)
+	}}, nil
 }
 
 // Persistable is implemented by methods whose built index can be saved to
@@ -114,10 +161,17 @@ func (r *QueryResult) FalsePositiveRatio() float64 {
 func (r *QueryResult) TotalTime() time.Duration { return r.FilterTime + r.VerifyTime }
 
 // Processor runs the filter-and-verify pipeline of a built Method over a
-// dataset.
+// dataset. Every query follows the same plan-based path: NewPlan adapts the
+// method into a QueryPlan, then the plan's candidates are verified — either
+// serially or, when VerifyWorkers > 1, by a context-aware worker pool that
+// preserves the sorted answer order.
 type Processor struct {
 	Method Method
 	DS     *graph.Dataset
+	// VerifyWorkers is the per-query verification parallelism. Values <= 1
+	// verify serially (the paper's measurement mode); larger values fan
+	// candidates out across a worker pool.
+	VerifyWorkers int
 }
 
 // NewProcessor returns a Processor for a built method over ds.
@@ -130,53 +184,109 @@ func (p *Processor) Query(q *graph.Graph) (*QueryResult, error) {
 	return p.QueryCtx(context.Background(), q)
 }
 
-// QueryCtx is Query with cancellation applied to the verification stage.
+// QueryCtx is Query with cancellation applied to both stages.
 func (p *Processor) QueryCtx(ctx context.Context, q *graph.Graph) (*QueryResult, error) {
 	res := &QueryResult{}
-	var plan QueryPlan
 	t0 := time.Now()
-	if planner, ok := p.Method.(Planner); ok {
-		pl, err := planner.PlanQuery(q)
-		if err != nil {
-			return nil, fmt.Errorf("core: planning with %s: %w", p.Method.Name(), err)
-		}
-		plan = pl
-		res.Candidates = pl.Candidates()
-	} else {
-		cands, err := p.Method.Candidates(q)
-		if err != nil {
-			return nil, fmt.Errorf("core: filtering with %s: %w", p.Method.Name(), err)
-		}
-		res.Candidates = cands
+	plan, err := NewPlan(ctx, p.Method, p.DS, q)
+	if err != nil {
+		return nil, fmt.Errorf("core: filtering with %s: %w", p.Method.Name(), err)
 	}
+	res.Candidates = plan.Candidates()
 	res.FilterTime = time.Since(t0)
 
-	verifier, hasOwn := p.Method.(Verifier)
 	t1 := time.Now()
-	for _, id := range res.Candidates {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		var ok bool
-		switch {
-		case plan != nil:
-			ok = plan.Verify(id)
-		case hasOwn:
-			ok = verifier.VerifyCandidate(q, id)
-		default:
-			g := p.DS.Graph(id)
-			if g == nil {
-				return nil, fmt.Errorf("core: candidate %d not in dataset", id)
-			}
-			m := subiso.NewMatcher(q, g, subiso.Options{Ctx: ctx})
-			ok = m.Run(nil)
-		}
-		if ok {
-			res.Answers = append(res.Answers, id)
-		}
+	answers, err := VerifyPlan(ctx, plan, p.VerifyWorkers)
+	if err != nil {
+		return nil, err
 	}
+	res.Answers = answers
 	res.VerifyTime = time.Since(t1)
 	return res, nil
+}
+
+// VerifyPlan runs a plan's verification stage and returns the sorted answer
+// set. With workers <= 1 candidates are verified in order with a
+// cancellation check between candidates; otherwise they are fanned out
+// across a worker pool and the answers reassembled in candidate order.
+func VerifyPlan(ctx context.Context, plan QueryPlan, workers int) (graph.IDSet, error) {
+	cands := plan.Candidates()
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers <= 1 {
+		var out graph.IDSet
+		for _, id := range cands {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if plan.Verify(id) {
+				out = append(out, id)
+			}
+		}
+		return out, nil
+	}
+
+	matched := make([]bool, len(cands))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				matched[i] = plan.Verify(cands[i])
+			}
+		}()
+	}
+feed:
+	for i := range cands {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	// Any cancellation voids the parallel result, even one arriving after
+	// the last candidate was handed out: ctx-aware verifiers (the VF2
+	// fallback) abort early with a false negative when cancelled, so a
+	// result that overlapped a cancellation cannot be trusted.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var out graph.IDSet
+	for i, ok := range matched {
+		if ok {
+			out = append(out, cands[i])
+		}
+	}
+	return out, nil
+}
+
+// StreamAnswers processes one query against a built method and yields
+// matching graph IDs as verification confirms them, in candidate (ascending
+// ID) order, without materializing the answer set. A filtering failure or
+// context cancellation is yielded once as a non-nil error, then the
+// sequence ends.
+func StreamAnswers(ctx context.Context, m Method, ds *graph.Dataset, q *graph.Graph) iter.Seq2[graph.ID, error] {
+	return func(yield func(graph.ID, error) bool) {
+		plan, err := NewPlan(ctx, m, ds, q)
+		if err != nil {
+			yield(0, fmt.Errorf("core: filtering with %s: %w", m.Name(), err))
+			return
+		}
+		for _, id := range plan.Candidates() {
+			if err := ctx.Err(); err != nil {
+				yield(0, err)
+				return
+			}
+			if plan.Verify(id) && !yield(id, nil) {
+				return
+			}
+		}
+	}
 }
 
 // BruteForceAnswers returns the exact answer set by running VF2 against

@@ -1,0 +1,27 @@
+package ctindex
+
+import (
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+func init() {
+	engine.Register(engine.Descriptor{
+		Name:    "ctindex",
+		Display: "CTindex",
+		Aliases: []string{"CT-Index"},
+		Help:    "tree+cycle canonical-label fingerprints with tuned verification",
+		Fields: []engine.Field{
+			{Name: "fingerprintBits", Kind: engine.Int, Default: DefaultFingerprintBits, Help: "fingerprint width in bits"},
+			{Name: "maxTreeSize", Kind: engine.Int, Default: DefaultMaxTreeSize, Help: "maximum tree feature size in edges"},
+			{Name: "maxCycleSize", Kind: engine.Int, Default: DefaultMaxCycleSize, Help: "maximum cycle feature size in edges"},
+		},
+		Factory: func(p engine.Params) (core.Method, error) {
+			return New(Options{
+				FingerprintBits: p.Int("fingerprintBits"),
+				MaxTreeSize:     p.Int("maxTreeSize"),
+				MaxCycleSize:    p.Int("maxCycleSize"),
+			}), nil
+		},
+	})
+}

@@ -1,0 +1,220 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"iter"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Option configures Open.
+type Option func(*config)
+
+type config struct {
+	spec          string
+	method        core.Method
+	indexPath     string
+	verifyWorkers int
+}
+
+// WithSpec selects the method by spec string ("grapes",
+// "gIndex:maxPatterns=20000", ...). The default is "grapes".
+func WithSpec(spec string) Option { return func(c *config) { c.spec = spec } }
+
+// WithMethod supplies an already-constructed (unbuilt) method instead of a
+// spec. It overrides WithSpec.
+func WithMethod(m core.Method) Option { return func(c *config) { c.method = m } }
+
+// WithIndexPath enables transparent index persistence: Open restores the
+// index from path when a loadable copy exists there, and otherwise builds it
+// and saves it to path atomically. Corrupt files are rebuilt from a fresh
+// instance and overwritten, never trusted (with WithMethod, where no fresh
+// instance can be constructed, a corrupt file is an error instead). A
+// successfully restored index carries the parameters it was persisted with;
+// they take precedence over the spec's.
+func WithIndexPath(path string) Option { return func(c *config) { c.indexPath = path } }
+
+// WithVerifyWorkers sets the per-query verification parallelism. The
+// default is GOMAXPROCS; pass 1 for the paper's serial measurement mode.
+func WithVerifyWorkers(n int) Option { return func(c *config) { c.verifyWorkers = n } }
+
+// Engine is a built (or restored) index over one dataset, serving subgraph
+// queries through the plan-based filter-and-verify pipeline. It is safe for
+// concurrent queries (Tree+Δ serializes its index mutations internally).
+type Engine struct {
+	method   core.Method
+	ds       *graph.Dataset
+	proc     *core.Processor
+	build    core.BuildStats
+	restored bool
+}
+
+// Open constructs the configured method, then builds its index over ds — or
+// transparently restores a previously persisted one when WithIndexPath names
+// a loadable file — and returns an Engine serving queries over it.
+func Open(ctx context.Context, ds *graph.Dataset, opts ...Option) (*Engine, error) {
+	if ds == nil {
+		return nil, errors.New("engine: nil dataset")
+	}
+	cfg := config{spec: "grapes", verifyWorkers: runtime.GOMAXPROCS(0)}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	m := cfg.method
+	if m == nil {
+		var err error
+		if m, err = New(cfg.spec); err != nil {
+			return nil, err
+		}
+	}
+	e := &Engine{method: m, ds: ds}
+
+	if cfg.indexPath != "" {
+		persist, ok := m.(core.Persistable)
+		if !ok {
+			return nil, fmt.Errorf("engine: %s does not support index persistence", m.Name())
+		}
+		f, ferr := os.Open(cfg.indexPath)
+		if ferr != nil && !errors.Is(ferr, fs.ErrNotExist) {
+			// A present-but-unreadable index is an error, not a silent
+			// multi-hour rebuild.
+			return nil, fmt.Errorf("engine: opening index at %s: %w", cfg.indexPath, ferr)
+		}
+		if ferr == nil {
+			lerr := persist.LoadIndex(f, ds)
+			f.Close()
+			e.restored = lerr == nil
+			if lerr != nil {
+				// A failed load may have left the instance partially
+				// mutated (some implementations overwrite their options
+				// before validating); rebuild from a pristine instance so
+				// the corrupt file's parameters never leak into the build.
+				if cfg.method != nil {
+					return nil, fmt.Errorf("engine: loading %s index from %s: %w",
+						m.Name(), cfg.indexPath, lerr)
+				}
+				fresh, nerr := New(cfg.spec)
+				if nerr != nil {
+					return nil, nerr
+				}
+				m = fresh
+				e.method = m
+			}
+		}
+	}
+	if !e.restored {
+		st, err := core.BuildTimed(ctx, m, ds)
+		if err != nil {
+			return nil, fmt.Errorf("engine: building %s: %w", m.Name(), err)
+		}
+		e.build = st
+		if cfg.indexPath != "" {
+			if err := SaveMethod(cfg.indexPath, m); err != nil {
+				return nil, err
+			}
+		}
+	}
+	e.proc = &core.Processor{Method: m, DS: ds, VerifyWorkers: cfg.verifyWorkers}
+	return e, nil
+}
+
+// Method returns the engine's built method.
+func (e *Engine) Method() core.Method { return e.method }
+
+// Dataset returns the dataset the engine serves queries over.
+func (e *Engine) Dataset() *graph.Dataset { return e.ds }
+
+// BuildStats reports on index construction; its zero value means the index
+// was restored from disk rather than built.
+func (e *Engine) BuildStats() core.BuildStats { return e.build }
+
+// Restored reports whether Open loaded a persisted index instead of
+// building one.
+func (e *Engine) Restored() bool { return e.restored }
+
+// Processor exposes the engine's underlying pipeline for callers that need
+// per-stage control.
+func (e *Engine) Processor() *core.Processor { return e.proc }
+
+// Query processes one subgraph query end to end.
+func (e *Engine) Query(ctx context.Context, q *graph.Graph) (*core.QueryResult, error) {
+	return e.proc.QueryCtx(ctx, q)
+}
+
+// QueryBatch processes a workload concurrently, returning per-query results
+// in input order. Per-query verification runs serially inside the batch:
+// batch-level parallelism already saturates the cores, and compounding it
+// with the engine's per-query worker pool would oversubscribe the scheduler
+// and distort per-query timings.
+func (e *Engine) QueryBatch(ctx context.Context, queries []*graph.Graph, opts core.BatchOptions) ([]core.BatchResult, error) {
+	serial := *e.proc
+	serial.VerifyWorkers = 1
+	return serial.QueryBatch(ctx, queries, opts)
+}
+
+// Stream processes one query and yields matching graph IDs as verification
+// confirms them, in candidate (ascending ID) order, without materializing
+// the answer set. A filtering failure or context cancellation is yielded
+// once as a non-nil error, then the sequence ends.
+func (e *Engine) Stream(ctx context.Context, q *graph.Graph) iter.Seq2[graph.ID, error] {
+	return core.StreamAnswers(ctx, e.method, e.ds, q)
+}
+
+// Save persists the engine's built index to path (atomically, via
+// SaveMethod).
+func (e *Engine) Save(path string) error { return SaveMethod(path, e.method) }
+
+// SaveMethod persists a built method's index to path. The index is written
+// to a temporary file in the same directory and renamed into place, so a
+// mid-stream failure never leaves a partial or corrupt index at path.
+func SaveMethod(path string, m core.Method) error {
+	p, ok := m.(core.Persistable)
+	if !ok {
+		return fmt.Errorf("engine: %s does not support index persistence", m.Name())
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if err := p.SaveIndex(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("engine: saving %s index: %w", m.Name(), err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// LoadMethod restores a method's persisted index from path. The method must
+// be unbuilt and constructed with the same parameters, and ds must be the
+// dataset the index was built over.
+func LoadMethod(path string, m core.Method, ds *graph.Dataset) error {
+	p, ok := m.(core.Persistable)
+	if !ok {
+		return fmt.Errorf("engine: %s does not support index persistence", m.Name())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := p.LoadIndex(f, ds); err != nil {
+		return fmt.Errorf("engine: loading %s index: %w", m.Name(), err)
+	}
+	return nil
+}

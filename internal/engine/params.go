@@ -1,0 +1,248 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind is the type of one method parameter.
+type Kind int
+
+// Parameter kinds. Every parameter of every registered method is one of
+// these; the spec parser converts the textual value accordingly and rejects
+// mismatches up front, so factories never see malformed input.
+const (
+	Int Kind = iota
+	Float
+	Bool
+	String
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case Bool:
+		return "bool"
+	case String:
+		return "string"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Field declares one typed parameter of a method: its canonical name (spec
+// keys match it case-insensitively), kind, default value, and a one-line
+// help string surfaced by CLIs.
+type Field struct {
+	Name    string
+	Kind    Kind
+	Default any // int, float64, bool, or string, matching Kind
+	Help    string
+}
+
+func (f Field) validate() error {
+	if f.Name == "" {
+		return fmt.Errorf("engine: field with empty name")
+	}
+	ok := false
+	switch f.Kind {
+	case Int:
+		_, ok = f.Default.(int)
+	case Float:
+		_, ok = f.Default.(float64)
+	case Bool:
+		_, ok = f.Default.(bool)
+	case String:
+		_, ok = f.Default.(string)
+	default:
+		return fmt.Errorf("engine: field %s: unknown kind %v", f.Name, f.Kind)
+	}
+	if !ok {
+		return fmt.Errorf("engine: field %s: default %v (%T) does not match kind %s",
+			f.Name, f.Default, f.Default, f.Kind)
+	}
+	return nil
+}
+
+// Params is a resolved, typed parameter set for one method: every declared
+// field is present, holding either its default or a spec override. Factories
+// read values with the typed getters; lookups of undeclared names panic,
+// making a typo in a factory a loud programming error rather than a silent
+// default.
+type Params struct {
+	desc *Descriptor
+	vals map[string]any // keyed by canonical field name
+	set  map[string]bool
+}
+
+func newParams(d *Descriptor) Params {
+	p := Params{desc: d, vals: make(map[string]any, len(d.Fields)), set: map[string]bool{}}
+	for _, f := range d.Fields {
+		p.vals[f.Name] = f.Default
+	}
+	return p
+}
+
+// field resolves a case-insensitive name to its declared field.
+func (p Params) field(name string) (Field, bool) {
+	for _, f := range p.desc.Fields {
+		if strings.EqualFold(f.Name, name) {
+			return f, true
+		}
+	}
+	return Field{}, false
+}
+
+func (p Params) get(name string, k Kind) any {
+	f, ok := p.field(name)
+	if !ok {
+		panic(fmt.Sprintf("engine: method %s has no parameter %q", p.desc.Name, name))
+	}
+	if f.Kind != k {
+		panic(fmt.Sprintf("engine: parameter %s.%s is %s, read as %s", p.desc.Name, f.Name, f.Kind, k))
+	}
+	return p.vals[f.Name]
+}
+
+// Int returns the value of an Int field.
+func (p Params) Int(name string) int { return p.get(name, Int).(int) }
+
+// Float returns the value of a Float field.
+func (p Params) Float(name string) float64 { return p.get(name, Float).(float64) }
+
+// Bool returns the value of a Bool field.
+func (p Params) Bool(name string) bool { return p.get(name, Bool).(bool) }
+
+// String returns the value of a String field.
+func (p Params) String(name string) string { return p.get(name, String).(string) }
+
+// Has reports whether the method declares a parameter with this name.
+func (p Params) Has(name string) bool {
+	_, ok := p.field(name)
+	return ok
+}
+
+// IsSet reports whether the parameter was explicitly overridden (by Set or a
+// spec string) rather than left at its default.
+func (p Params) IsSet(name string) bool {
+	f, ok := p.field(name)
+	return ok && p.set[f.Name]
+}
+
+// Set parses value according to the field's declared kind and stores it.
+// Unknown names and unparseable values are errors that name the method and
+// list the declared parameters.
+func (p Params) Set(name, value string) error {
+	f, ok := p.field(name)
+	if !ok {
+		return fmt.Errorf("engine: method %s has no parameter %q (have %s)",
+			p.desc.Name, name, strings.Join(p.desc.fieldNames(), ", "))
+	}
+	switch f.Kind {
+	case Int:
+		v, err := strconv.Atoi(value)
+		if err != nil {
+			return fmt.Errorf("engine: %s.%s: %q is not an int", p.desc.Name, f.Name, value)
+		}
+		p.vals[f.Name] = v
+	case Float:
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return fmt.Errorf("engine: %s.%s: %q is not a float", p.desc.Name, f.Name, value)
+		}
+		p.vals[f.Name] = v
+	case Bool:
+		v, err := strconv.ParseBool(value)
+		if err != nil {
+			return fmt.Errorf("engine: %s.%s: %q is not a bool", p.desc.Name, f.Name, value)
+		}
+		p.vals[f.Name] = v
+	case String:
+		p.vals[f.Name] = value
+	}
+	p.set[f.Name] = true
+	return nil
+}
+
+// SetInt stores an already-typed int override.
+func (p Params) SetInt(name string, v int) error { return p.Set(name, strconv.Itoa(v)) }
+
+// Spec renders the parameter set back into canonical spec form:
+// "name" when everything is at its default, "name:k=v,..." otherwise, with
+// overridden keys in declaration order. ParseSpec(p.Spec()) reproduces p.
+func (p Params) Spec() string {
+	var kv []string
+	for _, f := range p.desc.Fields {
+		if !p.set[f.Name] {
+			continue
+		}
+		kv = append(kv, fmt.Sprintf("%s=%v", f.Name, p.vals[f.Name]))
+	}
+	if len(kv) == 0 {
+		return p.desc.Name
+	}
+	return p.desc.Name + ":" + strings.Join(kv, ",")
+}
+
+// normalize canonicalizes a method name for registry lookup: lower-cased
+// with separators removed, so "tree+delta", "Tree-Delta", and "TreeDelta"
+// all resolve to the same entry.
+func normalize(name string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(strings.TrimSpace(name)) {
+		switch r {
+		case '+', '-', '_', ' ':
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// ParseSpec splits a method spec into its descriptor and resolved
+// parameters. The grammar is
+//
+//	spec   := name | name ":" params
+//	params := key "=" value { "," key "=" value }
+//
+// Names match registered names and aliases case-insensitively, ignoring
+// "+", "-", "_", and spaces; keys match declared parameter names
+// case-insensitively.
+func ParseSpec(spec string) (*Descriptor, Params, error) {
+	name, rest, hasParams := strings.Cut(spec, ":")
+	d, ok := Lookup(name)
+	if !ok {
+		return nil, Params{}, fmt.Errorf("engine: unknown method %q (registered: %s)",
+			strings.TrimSpace(name), strings.Join(Names(), ", "))
+	}
+	p := d.Params()
+	if !hasParams {
+		return d, p, nil
+	}
+	if strings.TrimSpace(rest) == "" {
+		return nil, Params{}, fmt.Errorf("engine: spec %q: empty parameter list after %q", spec, name)
+	}
+	for _, pair := range strings.Split(rest, ",") {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, Params{}, fmt.Errorf("engine: spec %q: parameter %q is not key=value", spec, pair)
+		}
+		if err := p.Set(strings.TrimSpace(k), strings.TrimSpace(v)); err != nil {
+			return nil, Params{}, err
+		}
+	}
+	return d, p, nil
+}
+
+func (d *Descriptor) fieldNames() []string {
+	names := make([]string, len(d.Fields))
+	for i, f := range d.Fields {
+		names[i] = f.Name
+	}
+	sort.Strings(names)
+	return names
+}

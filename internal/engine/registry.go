@@ -1,0 +1,153 @@
+// Package engine is the single front door to the reproduction: a registry
+// of the indexed subgraph query processing methods, a typed spec syntax for
+// constructing them ("grapes:maxPathLen=4,workers=8"), and an Engine type
+// that owns the build/restore/query lifecycle around the core
+// filter-and-verify pipeline.
+//
+// Method packages self-register in their init functions via Register, so
+// importing a method package (directly, or through the convenience package
+// engine/std which links all built-ins) makes it constructible by name:
+//
+//	import _ "repro/internal/engine/std"
+//
+//	m, err := engine.New("gIndex:maxPatterns=20000")
+//	eng, err := engine.Open(ctx, ds, engine.WithSpec("grapes:workers=8"))
+package engine
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Descriptor is the neutral description one method package registers:
+// naming, typed parameters with defaults, and a factory. It carries no
+// method-specific types, so the registry depends only on core.
+type Descriptor struct {
+	// Name is the canonical registry name (conventionally lower-case,
+	// e.g. "grapes", "treedelta").
+	Name string
+	// Display is the paper's figure-legend spelling (e.g. "tree+delta").
+	// It doubles as a lookup alias.
+	Display string
+	// Aliases are extra accepted spellings. Lookup normalizes case and
+	// separators, so "CT-Index" finds "ctindex" without an explicit alias.
+	Aliases []string
+	// Help is a one-line description surfaced by CLIs.
+	Help string
+	// Fields declare the method's typed parameters and defaults.
+	Fields []Field
+	// Factory builds an unbuilt method from a resolved parameter set.
+	Factory func(p Params) (core.Method, error)
+}
+
+// Params returns the descriptor's parameter set with every field at its
+// default.
+func (d *Descriptor) Params() Params { return newParams(d) }
+
+// New constructs the method with the given parameters.
+func (d *Descriptor) New(p Params) (core.Method, error) {
+	if p.desc != d {
+		return nil, fmt.Errorf("engine: params for %s used with %s", p.desc.Name, d.Name)
+	}
+	return d.Factory(p)
+}
+
+var registry = struct {
+	sync.RWMutex
+	byKey map[string]*Descriptor // normalized name/alias -> descriptor
+	order []*Descriptor          // registration order
+}{byKey: map[string]*Descriptor{}}
+
+// Register adds a method descriptor to the registry. It is intended to be
+// called from method package init functions and panics on invalid
+// descriptors or conflicting names — both are programming errors.
+func Register(d Descriptor) {
+	if d.Name == "" || d.Factory == nil {
+		panic("engine: Register requires a Name and a Factory")
+	}
+	if d.Display == "" {
+		d.Display = d.Name
+	}
+	for _, f := range d.Fields {
+		if err := f.validate(); err != nil {
+			panic(fmt.Sprintf("engine: Register(%s): %v", d.Name, err))
+		}
+	}
+	keys := append([]string{d.Name, d.Display}, d.Aliases...)
+	registry.Lock()
+	defer registry.Unlock()
+	desc := &d
+	seen := map[string]bool{}
+	for _, k := range keys {
+		nk := normalize(k)
+		if nk == "" || seen[nk] {
+			continue
+		}
+		seen[nk] = true
+		if prev, ok := registry.byKey[nk]; ok {
+			panic(fmt.Sprintf("engine: method name %q already registered by %s", k, prev.Name))
+		}
+		registry.byKey[nk] = desc
+	}
+	registry.order = append(registry.order, desc)
+}
+
+// Lookup resolves a method name or alias (case- and separator-insensitive)
+// to its descriptor.
+func Lookup(name string) (*Descriptor, bool) {
+	registry.RLock()
+	defer registry.RUnlock()
+	d, ok := registry.byKey[normalize(name)]
+	return d, ok
+}
+
+// Descriptors returns all registered methods in registration order.
+func Descriptors() []*Descriptor {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]*Descriptor, len(registry.order))
+	copy(out, registry.order)
+	return out
+}
+
+// Names returns the canonical names of all registered methods, sorted.
+func Names() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	names := make([]string, 0, len(registry.order))
+	for _, d := range registry.order {
+		names = append(names, d.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FprintMethods writes a human-readable listing of every registered method
+// and its parameters to w — the shared implementation of the CLIs' -list
+// flag.
+func FprintMethods(w io.Writer) {
+	for _, d := range Descriptors() {
+		fmt.Fprintf(w, "%-12s %s\n", d.Display, d.Help)
+		for _, f := range d.Fields {
+			fmt.Fprintf(w, "    %-22s %-6s default %-8v %s\n", f.Name, f.Kind, f.Default, f.Help)
+		}
+	}
+}
+
+// New constructs an unbuilt method from a spec string — a registered name
+// or alias, optionally followed by ":key=value,..." parameter overrides:
+//
+//	engine.New("grapes")
+//	engine.New("grapes:maxPathLen=3,workers=8")
+//	engine.New("tree+delta:supportRatio=0.05")
+func New(spec string) (core.Method, error) {
+	d, p, err := ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return d.New(p)
+}

@@ -1,0 +1,16 @@
+// Package std links every built-in method into the engine registry, in the
+// style of database/sql drivers. Import it for side effects wherever method
+// specs must resolve to all six paper methods plus the NoIndex baseline:
+//
+//	import _ "repro/internal/engine/std"
+package std
+
+import (
+	_ "repro/internal/ctindex"
+	_ "repro/internal/gcode"
+	_ "repro/internal/ggsx"
+	_ "repro/internal/gindex"
+	_ "repro/internal/grapes"
+	_ "repro/internal/scan"
+	_ "repro/internal/treedelta"
+)

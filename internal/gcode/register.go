@@ -1,0 +1,24 @@
+package gcode
+
+import (
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+func init() {
+	engine.Register(engine.Descriptor{
+		Name:    "gcode",
+		Display: "gCode",
+		Help:    "spectral vertex signatures with two-phase dominance filtering",
+		Fields: []engine.Field{
+			{Name: "pathLen", Kind: engine.Int, Default: DefaultPathLen, Help: "level of the per-vertex path tree"},
+			{Name: "numEigenvalues", Kind: engine.Int, Default: DefaultNumEigenvalues, Help: "top eigenvalues kept per signature"},
+		},
+		Factory: func(p engine.Params) (core.Method, error) {
+			return New(Options{
+				PathLen:        p.Int("pathLen"),
+				NumEigenvalues: p.Int("numEigenvalues"),
+			}), nil
+		},
+	})
+}

@@ -1,0 +1,21 @@
+package ggsx
+
+import (
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+func init() {
+	engine.Register(engine.Descriptor{
+		Name:    "ggsx",
+		Display: "GGSX",
+		Aliases: []string{"GraphGrepSX"},
+		Help:    "exhaustive label-path suffix trie with per-graph occurrence counts",
+		Fields: []engine.Field{
+			{Name: "maxPathLen", Kind: engine.Int, Default: DefaultMaxPathLen, Help: "maximum path feature size in edges"},
+		},
+		Factory: func(p engine.Params) (core.Method, error) {
+			return New(Options{MaxPathLen: p.Int("maxPathLen")}), nil
+		},
+	})
+}

@@ -1,0 +1,35 @@
+package gindex
+
+import (
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// DefaultMaxPatterns is the registry default for the mining budget — the
+// harness's analogue of the paper's 8-hour kill switch. Direct gindex.New
+// callers keep Options.MaxPatterns zero = unlimited.
+const DefaultMaxPatterns = 200000
+
+func init() {
+	engine.Register(engine.Descriptor{
+		Name:    "gindex",
+		Display: "gIndex",
+		Help:    "frequent discriminative subgraph features mined with gSpan",
+		Fields: []engine.Field{
+			{Name: "maxFeatureSize", Kind: engine.Int, Default: DefaultMaxFeatureSize, Help: "maximum mined feature size in edges"},
+			{Name: "supportRatio", Kind: engine.Float, Default: DefaultSupportRatio, Help: "frequent-mining support threshold"},
+			{Name: "discriminativeGate", Kind: engine.Float, Default: DefaultDiscriminativeGate, Help: "minimum discriminative ratio to index a feature"},
+			{Name: "fragmentBudget", Kind: engine.Int, Default: DefaultFragmentBudget, Help: "query-time fragment enumeration cap"},
+			{Name: "maxPatterns", Kind: engine.Int, Default: DefaultMaxPatterns, Help: "mining budget; 0 = unlimited"},
+		},
+		Factory: func(p engine.Params) (core.Method, error) {
+			return New(Options{
+				MaxFeatureSize:     p.Int("maxFeatureSize"),
+				SupportRatio:       p.Float("supportRatio"),
+				DiscriminativeGate: p.Float("discriminativeGate"),
+				FragmentBudget:     p.Int("fragmentBudget"),
+				MaxPatterns:        p.Int("maxPatterns"),
+			}), nil
+		},
+	})
+}

@@ -1,0 +1,24 @@
+package grapes
+
+import (
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+func init() {
+	engine.Register(engine.Descriptor{
+		Name:    "grapes",
+		Display: "Grapes",
+		Help:    "exhaustive label-path trie with location info, parallel build and component-wise verification",
+		Fields: []engine.Field{
+			{Name: "maxPathLen", Kind: engine.Int, Default: DefaultMaxPathLen, Help: "maximum path feature size in edges"},
+			{Name: "workers", Kind: engine.Int, Default: DefaultWorkers, Help: "build/verify parallelism"},
+		},
+		Factory: func(p engine.Params) (core.Method, error) {
+			return New(Options{
+				MaxPathLen: p.Int("maxPathLen"),
+				Workers:    p.Int("workers"),
+			}), nil
+		},
+	})
+}

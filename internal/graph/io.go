@@ -52,9 +52,27 @@ func WriteDataset(w io.Writer, ds *Dataset) error {
 	return bw.Flush()
 }
 
-// ReadDataset parses a GFD text stream into a dataset named name.
+// ReadDataset parses a GFD text stream into a dataset named name. Labels
+// are interned into the dataset's own fresh dictionary; use
+// ReadDatasetWithDict when the stream must share a label space with an
+// already-loaded dataset (query files against their data file).
 func ReadDataset(r io.Reader, name string) (*Dataset, error) {
 	ds := NewDataset(name)
+	return ds, readDatasetInto(ds, r)
+}
+
+// ReadDatasetWithDict parses a GFD text stream, interning labels into dict
+// so that label IDs agree with every other dataset loaded through the same
+// dictionary. Labels first seen in this stream are appended to dict.
+func ReadDatasetWithDict(r io.Reader, name string, dict *Dictionary) (*Dataset, error) {
+	ds := NewDataset(name)
+	ds.Dict = *dict
+	err := readDatasetInto(ds, r)
+	*dict = ds.Dict
+	return ds, err
+}
+
+func readDatasetInto(ds *Dataset, r io.Reader) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	line := 0
@@ -74,56 +92,56 @@ func ReadDataset(r io.Reader, name string) (*Dataset, error) {
 			break
 		}
 		if !strings.HasPrefix(header, "#") {
-			return nil, fmt.Errorf("graph: line %d: expected #<name> header, got %q", line, header)
+			return fmt.Errorf("graph: line %d: expected #<name> header, got %q", line, header)
 		}
 		ns, ok := next()
 		if !ok {
-			return nil, fmt.Errorf("graph: line %d: missing vertex count", line)
+			return fmt.Errorf("graph: line %d: missing vertex count", line)
 		}
 		n, err := strconv.Atoi(ns)
 		if err != nil || n < 0 {
-			return nil, fmt.Errorf("graph: line %d: bad vertex count %q", line, ns)
+			return fmt.Errorf("graph: line %d: bad vertex count %q", line, ns)
 		}
 		g := NewWithCapacity(ID(ds.Len()), n)
 		for i := 0; i < n; i++ {
 			ls, ok := next()
 			if !ok {
-				return nil, fmt.Errorf("graph: line %d: missing label %d/%d", line, i+1, n)
+				return fmt.Errorf("graph: line %d: missing label %d/%d", line, i+1, n)
 			}
 			g.AddVertex(ds.Dict.Intern(ls))
 		}
 		es, ok := next()
 		if !ok {
-			return nil, fmt.Errorf("graph: line %d: missing edge count", line)
+			return fmt.Errorf("graph: line %d: missing edge count", line)
 		}
 		m, err := strconv.Atoi(es)
 		if err != nil || m < 0 {
-			return nil, fmt.Errorf("graph: line %d: bad edge count %q", line, es)
+			return fmt.Errorf("graph: line %d: bad edge count %q", line, es)
 		}
 		for i := 0; i < m; i++ {
 			el, ok := next()
 			if !ok {
-				return nil, fmt.Errorf("graph: line %d: missing edge %d/%d", line, i+1, m)
+				return fmt.Errorf("graph: line %d: missing edge %d/%d", line, i+1, m)
 			}
 			fields := strings.Fields(el)
 			if len(fields) != 2 {
-				return nil, fmt.Errorf("graph: line %d: bad edge %q", line, el)
+				return fmt.Errorf("graph: line %d: bad edge %q", line, el)
 			}
 			u, err1 := strconv.Atoi(fields[0])
 			v, err2 := strconv.Atoi(fields[1])
 			if err1 != nil || err2 != nil {
-				return nil, fmt.Errorf("graph: line %d: bad edge %q", line, el)
+				return fmt.Errorf("graph: line %d: bad edge %q", line, el)
 			}
 			if err := g.AddEdge(int32(u), int32(v)); err != nil {
-				return nil, fmt.Errorf("graph: line %d: %w", line, err)
+				return fmt.Errorf("graph: line %d: %w", line, err)
 			}
 		}
 		ds.Add(g)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("graph: read: %w", err)
+		return fmt.Errorf("graph: read: %w", err)
 	}
-	return ds, nil
+	return nil
 }
 
 // LoadDatasetFile reads a GFD dataset from path.
@@ -134,6 +152,19 @@ func LoadDatasetFile(path string) (*Dataset, error) {
 	}
 	defer f.Close()
 	return ReadDataset(f, path)
+}
+
+// LoadDatasetFileWithDict reads a GFD dataset from path, sharing dict with
+// previously loaded data so label IDs agree across files (a query file must
+// be loaded with its data file's dictionary, or its labels filter against
+// the wrong IDs).
+func LoadDatasetFileWithDict(path string, dict *Dictionary) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadDatasetWithDict(f, path, dict)
 }
 
 // SaveDatasetFile writes the dataset in GFD text form to path.

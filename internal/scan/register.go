@@ -1,0 +1,18 @@
+package scan
+
+import (
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+func init() {
+	engine.Register(engine.Descriptor{
+		Name:    "noindex",
+		Display: "NoIndex",
+		Aliases: []string{"scan", "naive"},
+		Help:    "no index at all: every query verified against every graph (the paper's baseline)",
+		Factory: func(p engine.Params) (core.Method, error) {
+			return New(), nil
+		},
+	})
+}

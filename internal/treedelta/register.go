@@ -1,0 +1,40 @@
+package treedelta
+
+import (
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// DefaultMaxPatterns is the registry default for the mining budget — the
+// harness's analogue of the paper's 8-hour kill switch. Direct
+// treedelta.New callers keep Options.MaxPatterns zero = unlimited.
+const DefaultMaxPatterns = 200000
+
+func init() {
+	engine.Register(engine.Descriptor{
+		Name:    "treedelta",
+		Display: "tree+delta",
+		Aliases: []string{"Tree+Δ"},
+		Help:    "frequent tree features plus Δ (non-tree) features learned from the query stream",
+		Fields: []engine.Field{
+			{Name: "maxFeatureSize", Kind: engine.Int, Default: DefaultMaxFeatureSize, Help: "maximum mined feature size in edges"},
+			{Name: "supportRatio", Kind: engine.Float, Default: DefaultSupportRatio, Help: "frequent-mining support threshold"},
+			{Name: "discriminativeRatio", Kind: engine.Float, Default: DefaultDiscriminativeRatio, Help: "pruning fraction for a Δ feature to be discriminative"},
+			{Name: "querySupportToAdd", Kind: engine.Float, Default: DefaultQuerySupportToAdd, Help: "fraction of queries containing a Δ structure before it is indexed"},
+			{Name: "maxCycleLen", Kind: engine.Int, Default: DefaultMaxCycleLen, Help: "maximum simple cycle length considered as a Δ seed"},
+			{Name: "fragmentBudget", Kind: engine.Int, Default: DefaultFragmentBudget, Help: "query-time subtree enumeration cap"},
+			{Name: "maxPatterns", Kind: engine.Int, Default: DefaultMaxPatterns, Help: "mining budget; 0 = unlimited"},
+		},
+		Factory: func(p engine.Params) (core.Method, error) {
+			return New(Options{
+				MaxFeatureSize:      p.Int("maxFeatureSize"),
+				SupportRatio:        p.Float("supportRatio"),
+				DiscriminativeRatio: p.Float("discriminativeRatio"),
+				QuerySupportToAdd:   p.Float("querySupportToAdd"),
+				MaxCycleLen:         p.Int("maxCycleLen"),
+				FragmentBudget:      p.Int("fragmentBudget"),
+				MaxPatterns:         p.Int("maxPatterns"),
+			}), nil
+		},
+	})
+}

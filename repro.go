@@ -13,26 +13,36 @@
 //
 // # Quick start
 //
+// The front door is the engine API: methods are named by spec strings
+// ("grapes", "gIndex:maxPatterns=20000", "ctindex:fingerprintBits=1024"),
+// resolved through a registry the method packages populate, and served
+// through one plan-based filter-and-verify pipeline:
+//
 //	ds := repro.NewSyntheticDataset(repro.SynthConfig{
 //		NumGraphs: 100, MeanNodes: 50, MeanDensity: 0.05, NumLabels: 10,
 //	})
-//	idx := repro.NewIndex(repro.Grapes)
-//	if err := idx.Build(context.Background(), ds); err != nil { ... }
-//	proc := repro.NewProcessor(idx, ds)
-//	res, err := proc.Query(q) // res.Answers holds the matching graph IDs
+//	eng, err := repro.Open(ctx, ds, repro.WithSpec("grapes:workers=8"))
+//	if err != nil { ... }
+//	res, err := eng.Query(ctx, q) // res.Answers holds the matching graph IDs
+//
+// Open transparently persists and restores indexes when given
+// WithIndexPath, so an expensive build is paid once per dataset; Stream
+// yields answers incrementally as verification confirms them.
 //
 // The underlying packages remain importable for finer control:
-// internal/core defines the Method contract, internal/bench the experiment
-// harness, and one package per indexing method holds its implementation.
+// internal/engine defines the registry and lifecycle, internal/core the
+// Method contract and pipeline, internal/bench the experiment harness, and
+// one package per indexing method holds its implementation.
 package repro
 
 import (
 	"context"
-	"fmt"
-	"os"
+	"iter"
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/engine"
+	_ "repro/internal/engine/std" // register all built-in methods
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/subiso"
@@ -70,6 +80,15 @@ type (
 	// WorkloadSummary aggregates a batch into the paper's workload metrics.
 	WorkloadSummary = core.WorkloadSummary
 
+	// Engine is a built (or restored) index over one dataset serving
+	// subgraph queries; construct with Open.
+	Engine = engine.Engine
+	// Option configures Open.
+	Option = engine.Option
+	// MethodInfo describes one registered method: naming, typed parameters,
+	// defaults.
+	MethodInfo = engine.Descriptor
+
 	// SynthConfig parameterizes the GraphGen-style synthetic generator.
 	SynthConfig = gen.SynthConfig
 	// RealConfig parameterizes the real-dataset simulators.
@@ -95,6 +114,18 @@ const (
 	GCode     = bench.GCode
 )
 
+// Engine options, re-exported from internal/engine.
+var (
+	// WithSpec selects the method by spec string (default "grapes").
+	WithSpec = engine.WithSpec
+	// WithMethod supplies an already-constructed unbuilt method.
+	WithMethod = engine.WithMethod
+	// WithIndexPath enables transparent index persistence across runs.
+	WithIndexPath = engine.WithIndexPath
+	// WithVerifyWorkers sets per-query verification parallelism.
+	WithVerifyWorkers = engine.WithVerifyWorkers
+)
+
 // Table 1 dataset simulator presets.
 var (
 	AIDS = gen.AIDS
@@ -103,11 +134,43 @@ var (
 	PPI  = gen.PPI
 )
 
+// Open builds (or, with WithIndexPath, transparently restores) an index
+// over ds and returns an Engine serving queries through the plan-based
+// filter-and-verify pipeline.
+func Open(ctx context.Context, ds *Dataset, opts ...Option) (*Engine, error) {
+	return engine.Open(ctx, ds, opts...)
+}
+
+// New constructs an unbuilt index from a method spec string: a registered
+// name or alias ("grapes", "GGSX", "tree+delta", ...), optionally followed
+// by ":key=value,..." parameter overrides, e.g.
+// "grapes:maxPathLen=4,workers=8". It returns an error for unknown methods,
+// unknown parameters, and malformed values.
+func New(spec string) (Method, error) {
+	return engine.New(spec)
+}
+
+// Methods returns the descriptors of all registered methods, in
+// registration order; each carries the method's names, parameters, and
+// defaults.
+func Methods() []*MethodInfo {
+	return engine.Descriptors()
+}
+
+// Stream processes q against a built method and yields matching graph IDs
+// as verification confirms them. Engine.Stream is the usual entry point;
+// this is the free-function form for a caller holding a bare Method.
+func Stream(ctx context.Context, m Method, ds *Dataset, q *Graph) iter.Seq2[ID, error] {
+	return core.StreamAnswers(ctx, m, ds, q)
+}
+
 // NewIndex returns an unbuilt index of the given method with the paper's
-// §4.1 default parameters. It panics on an unknown method id; use
-// bench.NewMethod for error-returning construction or per-method Options.
+// §4.1 default parameters.
+//
+// Deprecated: NewIndex panics on an unknown method id. Use New, which
+// returns an error and accepts parameter overrides.
 func NewIndex(id MethodID) Method {
-	m, err := bench.NewMethod(id, bench.MethodLimits{})
+	m, err := New(string(id))
 	if err != nil {
 		panic(err)
 	}
@@ -159,36 +222,20 @@ func Summarize(results []BatchResult) WorkloadSummary {
 
 // SaveIndex persists a built index to a file. All six methods implement
 // core.Persistable, so an expensive build can be paid once per dataset.
+// The index is written to a temporary file and renamed into place, so a
+// failure mid-stream never leaves a partial index at path.
 func SaveIndex(path string, m Method) error {
-	p, ok := m.(core.Persistable)
-	if !ok {
-		return fmt.Errorf("repro: %s does not support persistence", m.Name())
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := p.SaveIndex(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return engine.SaveMethod(path, m)
 }
 
 // LoadIndex restores a previously saved index of the given method over the
 // dataset it was built from.
 func LoadIndex(path string, id MethodID, ds *Dataset) (Method, error) {
-	m := NewIndex(id)
-	p, ok := m.(core.Persistable)
-	if !ok {
-		return nil, fmt.Errorf("repro: %s does not support persistence", m.Name())
-	}
-	f, err := os.Open(path)
+	m, err := New(string(id))
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	if err := p.LoadIndex(f, ds); err != nil {
+	if err := engine.LoadMethod(path, m, ds); err != nil {
 		return nil, err
 	}
 	return m, nil

@@ -48,6 +48,56 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 }
 
+func TestEngineFacade(t *testing.T) {
+	ds := exampleDataset()
+	queries, err := repro.GenerateQueries(ds, repro.WorkloadConfig{
+		NumQueries: 3, QueryEdges: 5, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	eng, err := repro.Open(ctx, ds, repro.WithSpec("ctindex:fingerprintBits=1024"))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i, q := range queries {
+		res, err := eng.Query(ctx, q)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		truth, err := repro.BruteForceAnswers(ctx, ds, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Answers.Equal(truth) {
+			t.Errorf("query %d: engine answers diverge from brute force", i)
+		}
+		var streamed repro.IDSet
+		for id, err := range repro.Stream(ctx, eng.Method(), ds, q) {
+			if err != nil {
+				t.Fatalf("stream %d: %v", i, err)
+			}
+			streamed = append(streamed, id)
+		}
+		if !streamed.Equal(truth) {
+			t.Errorf("query %d: streamed answers diverge from brute force", i)
+		}
+	}
+}
+
+func TestNewErrorsOnBadSpec(t *testing.T) {
+	if _, err := repro.New("nope"); err == nil {
+		t.Fatalf("New(nope): want error")
+	}
+	if _, err := repro.New("grapes:bogus=1"); err == nil {
+		t.Fatalf("New(grapes:bogus=1): want error")
+	}
+	if len(repro.Methods()) < 7 {
+		t.Fatalf("Methods() = %d entries, want >= 7", len(repro.Methods()))
+	}
+}
+
 func TestNewIndexPanicsOnUnknown(t *testing.T) {
 	defer func() {
 		if recover() == nil {
