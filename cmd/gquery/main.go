@@ -10,7 +10,13 @@
 //	gquery -data molecules.gfd -queries q.gfd -method Grapes
 //	gquery -data molecules.gfd -queries q.gfd -method grapes:maxPathLen=3,workers=8 -v
 //	gquery -data molecules.gfd -queries q.gfd -method gIndex -ix gindex.idx
+//	gquery -data molecules.gfd -queries q.gfd -method grapes -shards 4 -ix mol.idx
 //	gquery -list
+//
+// With -shards N (N > 1), the dataset is hash-partitioned into N shards,
+// one index per shard is built in parallel (or restored from -ix's
+// per-shard files), and every query fans out across the shards with its
+// results merged.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/engine"
 	_ "repro/internal/engine/std"
 	"repro/internal/graph"
@@ -33,6 +40,7 @@ func main() {
 		methodStr = flag.String("method", "Grapes", "method spec: name[:key=value,...]; see -list")
 		indexPath = flag.String("ix", "", "persist/restore the built index at this path")
 		workers   = flag.Int("workers", 0, "per-query verification parallelism (0 = GOMAXPROCS)")
+		shards    = flag.Int("shards", 0, "hash-partition the dataset into N shards with parallel build and query fan-out (0/1 = unsharded)")
 		timeout   = flag.Duration("timeout", 8*time.Hour, "per-stage time budget")
 		verbose   = flag.Bool("v", false, "per-query output")
 		list      = flag.Bool("list", false, "list registered methods and their parameters")
@@ -43,13 +51,13 @@ func main() {
 		engine.FprintMethods(os.Stdout)
 		return
 	}
-	if err := run(*dataPath, *queryPath, *methodStr, *indexPath, *workers, *timeout, *verbose); err != nil {
+	if err := run(*dataPath, *queryPath, *methodStr, *indexPath, *workers, *shards, *timeout, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "gquery:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataPath, queryPath, methodStr, indexPath string, workers int, timeout time.Duration, verbose bool) error {
+func run(dataPath, queryPath, methodStr, indexPath string, workers, shards int, timeout time.Duration, verbose bool) error {
 	if dataPath == "" || queryPath == "" {
 		return fmt.Errorf("-data and -queries are required")
 	}
@@ -73,24 +81,43 @@ func run(dataPath, queryPath, methodStr, indexPath string, workers int, timeout 
 	if workers > 0 {
 		opts = append(opts, engine.WithVerifyWorkers(workers))
 	}
-	eng, err := engine.Open(ctx, ds, opts...)
-	if err != nil {
-		return err
-	}
-	m := eng.Method()
-	if eng.Restored() {
-		fmt.Printf("restored %s index for %d graphs from %s (%.2f MB)\n",
-			m.Name(), ds.Len(), indexPath, float64(m.SizeBytes())/(1<<20))
+	var query func(context.Context, *graph.Graph) (*core.QueryResult, error)
+	if shards > 1 {
+		s, err := engine.OpenSharded(ctx, ds, shards, opts...)
+		if err != nil {
+			return err
+		}
+		st := s.BuildStats()
+		if s.Restored() {
+			fmt.Printf("restored %s index for %d graphs from %d shards under %s (%.2f MB)\n",
+				s.Name(), ds.Len(), shards, indexPath, float64(s.SizeBytes())/(1<<20))
+		} else {
+			fmt.Printf("indexed %d graphs with %s across %d shards in %v (%d restored, total size %.2f MB)\n",
+				ds.Len(), s.Name(), shards, st.Elapsed.Round(time.Millisecond),
+				s.RestoredShards(), float64(s.SizeBytes())/(1<<20))
+		}
+		query = s.Query
 	} else {
-		st := eng.BuildStats()
-		fmt.Printf("indexed %d graphs with %s in %v (index size %.2f MB)\n",
-			ds.Len(), m.Name(), st.Elapsed.Round(time.Millisecond), float64(st.SizeBytes)/(1<<20))
+		eng, err := engine.Open(ctx, ds, opts...)
+		if err != nil {
+			return err
+		}
+		m := eng.Method()
+		if eng.Restored() {
+			fmt.Printf("restored %s index for %d graphs from %s (%.2f MB)\n",
+				m.Name(), ds.Len(), indexPath, float64(m.SizeBytes())/(1<<20))
+		} else {
+			st := eng.BuildStats()
+			fmt.Printf("indexed %d graphs with %s in %v (index size %.2f MB)\n",
+				ds.Len(), m.Name(), st.Elapsed.Round(time.Millisecond), float64(st.SizeBytes)/(1<<20))
+		}
+		query = eng.Query
 	}
 
 	var cands, answers []graph.IDSet
 	var totalTime time.Duration
 	for i, q := range qds.Graphs {
-		res, err := eng.Query(ctx, q)
+		res, err := query(ctx, q)
 		if err != nil {
 			return fmt.Errorf("query %d: %w", i, err)
 		}

@@ -13,6 +13,13 @@
 // for gquery -ix:
 //
 //	graphgen -preset AIDS -o aids.gfd -index grapes:workers=8 -ixo aids.idx
+//
+// Adding -shards N builds N per-shard indexes in parallel over a
+// hash-partitioned copy of the dataset and persists them as independent
+// files under -ixo (a manifest at the path itself plus one .shard-i file
+// per shard), ready for gquery -ix ... -shards N:
+//
+//	graphgen -preset AIDS -o aids.gfd -index ggsx -shards 4 -ixo aids.idx
 package main
 
 import (
@@ -45,18 +52,22 @@ func main() {
 		qout     = flag.String("qo", "", "query output file (required with -queries)")
 		index    = flag.String("index", "", "also build an index with this method spec (e.g. grapes:workers=8)")
 		ixout    = flag.String("ixo", "", "index output file (required with -index)")
+		shards   = flag.Int("shards", 0, "build the index as N parallel shards persisted as independent files (0/1 = unsharded)")
 	)
 	flag.Parse()
 
 	if err := run(*preset, *graphDiv, *nodeDiv, *graphs, *nodes, *density, *labels,
-		*seed, *out, *queries, *qsize, *qout, *index, *ixout); err != nil {
+		*seed, *out, *queries, *qsize, *qout, *index, *ixout, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "graphgen:", err)
 		os.Exit(1)
 	}
 }
 
 func run(preset string, graphDiv, nodeDiv float64, graphs, nodes int, density float64,
-	labels int, seed int64, out string, queries, qsize int, qout, index, ixout string) error {
+	labels int, seed int64, out string, queries, qsize int, qout, index, ixout string, shards int) error {
+	if shards > 1 && index == "" {
+		return fmt.Errorf("-shards requires -index")
+	}
 	if index != "" {
 		if ixout == "" {
 			return fmt.Errorf("-index requires -ixo")
@@ -123,6 +134,19 @@ func run(preset string, graphDiv, nodeDiv float64, graphs, nodes int, density fl
 			return err
 		}
 		t0 := time.Now()
+		if shards > 1 {
+			s, err := engine.OpenSharded(context.Background(), reloaded, shards, engine.WithSpec(index))
+			if err != nil {
+				return err
+			}
+			if err := s.Save(ixout); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "indexed with %s across %d shards in %v (%.2f MB) to %s{,.shard-*}\n",
+				s.Name(), shards, time.Since(t0).Round(time.Millisecond),
+				float64(s.SizeBytes())/(1<<20), ixout)
+			return nil
+		}
 		eng, err := engine.Open(context.Background(), reloaded, engine.WithSpec(index))
 		if err != nil {
 			return err

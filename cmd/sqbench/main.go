@@ -7,7 +7,9 @@
 //	sqbench -exp all -scale bench -o results.txt
 //	sqbench -exp fig3 -methods Grapes,GGSX,CTindex
 //	sqbench -exp fig2 -methods "grapes:workers=12 ggsx:maxPathLen=3"
+//	sqbench -exp fig2 -shards 4
 //	sqbench -list
+//	sqbench -describe > docs/METHODS.md
 //
 // Methods are engine specs: a registered name or alias, optionally with
 // ":key=value,..." parameter overrides. Plain names may be separated by
@@ -39,20 +41,47 @@ func main() {
 	out := flag.String("o", "", "write the report to this file (default stdout)")
 	csvPath := flag.String("csv", "", "also write tidy CSV rows to this file")
 	quiet := flag.Bool("q", false, "suppress progress logging")
+	shards := flag.Int("shards", 0, "run figure experiments through N-way sharded engines (0/1 = unsharded)")
 	list := flag.Bool("list", false, "list registered methods and their parameters")
+	describe := flag.Bool("describe", false, "emit the registry-generated method reference (docs/METHODS.md) and exit")
 	flag.Parse()
 
 	if *list {
 		engine.FprintMethods(os.Stdout)
 		return
 	}
-	if err := run(*exp, *scaleName, *methodsFlag, *out, *csvPath, *quiet); err != nil {
+	if *describe {
+		if err := describeTo(*out); err != nil {
+			fmt.Fprintln(os.Stderr, "sqbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*exp, *scaleName, *methodsFlag, *out, *csvPath, *quiet, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "sqbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(expName, scaleName, methodsFlag, outPath, csvPath string, quiet bool) error {
+// describeTo writes the registry-generated method reference to path (or
+// stdout when path is empty), surfacing Close errors so a failed flush
+// never exits 0 with a truncated file.
+func describeTo(path string) error {
+	if path == "" {
+		return engine.WriteMethodsMarkdown(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := engine.WriteMethodsMarkdown(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func run(expName, scaleName, methodsFlag, outPath, csvPath string, quiet bool, shards int) error {
 	scale, err := bench.ScaleByName(scaleName)
 	if err != nil {
 		return err
@@ -117,6 +146,7 @@ func run(expName, scaleName, methodsFlag, outPath, csvPath string, quiet bool) e
 		e := f.exp
 		e.Methods = methods
 		e.MethodSpecs = specs
+		e.Shards = shards
 		results, err := bench.Run(ctx, e, log)
 		if err != nil {
 			return fmt.Errorf("%s: %w", f.name, err)

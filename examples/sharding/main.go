@@ -1,0 +1,74 @@
+// Sharding: the engine-level answer to the paper's central finding that
+// index construction cost is what breaks these methods at scale. The
+// example builds the same GGSX index unsharded and as 1/2/4/8 hash-
+// partitioned shards (per-shard builds run concurrently on a
+// GOMAXPROCS-bounded pool), verifies that every configuration returns an
+// identical answer set, and prints the build wall-time, serial-equivalent
+// time, and implied parallel speedup per shard count.
+package main
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	ctx := context.Background()
+	ds := repro.NewSyntheticDataset(repro.SynthConfig{
+		NumGraphs: 120, MeanNodes: 60, MeanDensity: 0.05, NumLabels: 10, Seed: 7,
+	})
+	queries, err := repro.GenerateQueries(ds, repro.WorkloadConfig{
+		NumQueries: 10, QueryEdges: 8, Seed: 8,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	flat, err := repro.Open(ctx, ds, repro.WithSpec("ggsx"))
+	if err != nil {
+		panic(err)
+	}
+	want := make([]repro.IDSet, len(queries))
+	for i, q := range queries {
+		res, err := flat.Query(ctx, q)
+		if err != nil {
+			panic(err)
+		}
+		want[i] = res.Answers
+	}
+	fmt.Printf("unsharded ggsx over %d graphs: build %v (%d cores)\n\n",
+		ds.Len(), flat.BuildStats().Elapsed.Round(time.Millisecond), runtime.GOMAXPROCS(0))
+
+	fmt.Printf("%-8s %12s %12s %9s %8s\n", "shards", "wall", "serial-eq", "speedup", "answers")
+	for _, n := range []int{1, 2, 4, 8} {
+		s, err := repro.OpenSharded(ctx, ds, n, repro.WithSpec("ggsx"))
+		if err != nil {
+			panic(err)
+		}
+		var serial time.Duration
+		for _, st := range s.ShardStats() {
+			serial += st.Elapsed
+		}
+		match := "identical"
+		for i, q := range queries {
+			res, err := s.Query(ctx, q)
+			if err != nil {
+				panic(err)
+			}
+			if !res.Answers.Equal(want[i]) {
+				match = "DIVERGED"
+			}
+		}
+		wall := s.BuildStats().Elapsed
+		fmt.Printf("%-8d %12v %12v %8.2fx %8s\n",
+			n, wall.Round(time.Millisecond), serial.Round(time.Millisecond),
+			float64(serial)/float64(wall), match)
+	}
+
+	fmt.Println("\neach shard persists as an independent file (manifest + .shard-i), so a")
+	fmt.Println("corrupt shard rebuilds alone; see docs/ARCHITECTURE.md for the layout.")
+}

@@ -11,10 +11,13 @@ import (
 )
 
 // Variant is one configuration of a method in an ablation study, expressed
-// as an engine method spec.
+// as an engine method spec. Shards > 0 runs the variant through a sharded
+// engine with that many shards (parallel per-shard build, fan-out queries);
+// 0 keeps the plain unsharded path.
 type Variant struct {
-	Name string
-	Spec string
+	Name   string
+	Spec   string
+	Shards int
 }
 
 // Ablation studies one design-space axis the paper's §6 analysis attributes
@@ -36,55 +39,71 @@ type Ablation struct {
 //   - CT-Index fingerprint width: hash saturation vs memory;
 //   - Grapes build parallelism: the paper credits Grapes's indexing lead
 //     to its multi-threaded construction;
-//   - gIndex discriminative gate: index size vs filtering power.
+//   - gIndex discriminative gate: index size vs filtering power;
+//   - shard count: the engine-level answer to the paper's headline finding
+//     that indexing time is what stops methods from scaling — partitioned
+//     builds with fan-out/merge queries, swept over 1/2/4/8 shards.
 func Ablations() []Ablation {
 	return []Ablation{
 		{
 			Name:  "pathlen",
 			Title: "Path feature length (GGSX)",
 			Variants: []Variant{
-				{"paths<=2", "ggsx:maxPathLen=2"},
-				{"paths<=3", "ggsx:maxPathLen=3"},
-				{"paths<=4", "ggsx:maxPathLen=4"},
-				{"paths<=5", "ggsx:maxPathLen=5"},
+				{Name: "paths<=2", Spec: "ggsx:maxPathLen=2"},
+				{Name: "paths<=3", Spec: "ggsx:maxPathLen=3"},
+				{Name: "paths<=4", Spec: "ggsx:maxPathLen=4"},
+				{Name: "paths<=5", Spec: "ggsx:maxPathLen=5"},
 			},
 		},
 		{
 			Name:  "ctfeature",
 			Title: "CT-Index feature size (trees/cycles)",
 			Variants: []Variant{
-				{"size<=3", "ctindex:maxTreeSize=3,maxCycleSize=3"},
-				{"size<=4", "ctindex:maxTreeSize=4,maxCycleSize=4"},
-				{"size<=5", "ctindex:maxTreeSize=5,maxCycleSize=5"},
+				{Name: "size<=3", Spec: "ctindex:maxTreeSize=3,maxCycleSize=3"},
+				{Name: "size<=4", Spec: "ctindex:maxTreeSize=4,maxCycleSize=4"},
+				{Name: "size<=5", Spec: "ctindex:maxTreeSize=5,maxCycleSize=5"},
 			},
 		},
 		{
 			Name:  "fingerprint",
 			Title: "CT-Index fingerprint width (bits)",
 			Variants: []Variant{
-				{"512b", "ctindex:fingerprintBits=512"},
-				{"1024b", "ctindex:fingerprintBits=1024"},
-				{"4096b", "ctindex:fingerprintBits=4096"},
-				{"16384b", "ctindex:fingerprintBits=16384"},
+				{Name: "512b", Spec: "ctindex:fingerprintBits=512"},
+				{Name: "1024b", Spec: "ctindex:fingerprintBits=1024"},
+				{Name: "4096b", Spec: "ctindex:fingerprintBits=4096"},
+				{Name: "16384b", Spec: "ctindex:fingerprintBits=16384"},
 			},
 		},
 		{
 			Name:  "workers",
 			Title: "Grapes build parallelism (threads)",
 			Variants: []Variant{
-				{"1 thread", "grapes:workers=1"},
-				{"2 threads", "grapes:workers=2"},
-				{"6 threads", "grapes:workers=6"},
-				{"12 threads", "grapes:workers=12"},
+				{Name: "1 thread", Spec: "grapes:workers=1"},
+				{Name: "2 threads", Spec: "grapes:workers=2"},
+				{Name: "6 threads", Spec: "grapes:workers=6"},
+				{Name: "12 threads", Spec: "grapes:workers=12"},
+			},
+		},
+		{
+			// GGSX builds serially, so every speedup here is the shard
+			// pool's; per-method build threads (grapes:workers) would
+			// compound with it and muddy the attribution.
+			Name:  "shards",
+			Title: "Sharded index construction + query fan-out (GGSX)",
+			Variants: []Variant{
+				{Name: "1 shard", Spec: "ggsx", Shards: 1},
+				{Name: "2 shards", Spec: "ggsx", Shards: 2},
+				{Name: "4 shards", Spec: "ggsx", Shards: 4},
+				{Name: "8 shards", Spec: "ggsx", Shards: 8},
 			},
 		},
 		{
 			Name:  "discgate",
 			Title: "gIndex discriminative gate",
 			Variants: []Variant{
-				{"gate=1.0", "gindex:discriminativeGate=1.0001,maxFeatureSize=6,maxPatterns=50000"},
-				{"gate=2.0", "gindex:discriminativeGate=2.0,maxFeatureSize=6,maxPatterns=50000"},
-				{"gate=4.0", "gindex:discriminativeGate=4.0,maxFeatureSize=6,maxPatterns=50000"},
+				{Name: "gate=1.0", Spec: "gindex:discriminativeGate=1.0001,maxFeatureSize=6,maxPatterns=50000"},
+				{Name: "gate=2.0", Spec: "gindex:discriminativeGate=2.0,maxFeatureSize=6,maxPatterns=50000"},
+				{Name: "gate=4.0", Spec: "gindex:discriminativeGate=4.0,maxFeatureSize=6,maxPatterns=50000"},
 			},
 		},
 	}
@@ -120,32 +139,82 @@ func RunAblation(ctx context.Context, ab Ablation, ds *graph.Dataset, s Scale, l
 		if err := ctx.Err(); err != nil {
 			return out, err
 		}
-		m, err := engine.New(v.Spec)
-		if err != nil {
-			return out, fmt.Errorf("bench: ablation %s variant %s: %w", ab.Name, v.Name, err)
+		var mr MethodResult
+		if v.Shards > 0 {
+			// A malformed spec aborts the ablation like in the unsharded
+			// branch below, instead of degrading into a misleading DNF row.
+			if _, _, err := engine.ParseSpec(v.Spec); err != nil {
+				return out, fmt.Errorf("bench: ablation %s variant %s: %w", ab.Name, v.Name, err)
+			}
+			mr = runMethodSharded(ctx, MethodID(v.Name), v.Spec, v.Shards, ds, queries, exp)
+		} else {
+			m, err := engine.New(v.Spec)
+			if err != nil {
+				return out, fmt.Errorf("bench: ablation %s variant %s: %w", ab.Name, v.Name, err)
+			}
+			mr = runMethodInstance(ctx, MethodID(v.Name), m, ds, queries, exp)
 		}
-		mr := runMethodInstance(ctx, MethodID(v.Name), m, ds, queries, exp)
 		if log != nil {
-			fmt.Fprintf(log, "[ablation/%s] %-12s build=%v size=%s query=%v fp=%.3f%s\n",
+			fmt.Fprintf(log, "[ablation/%s] %-12s build=%v size=%s query=%v fp=%.3f%s%s\n",
 				ab.Name, v.Name, mr.BuildTime.Round(1000), fmtBytes(mr.IndexSize),
-				mr.AvgQueryTime, mr.FPRatio, dnfSuffix(mr))
+				mr.AvgQueryTime, mr.FPRatio, speedupSuffix(mr), dnfSuffix(mr))
 		}
 		out = append(out, mr)
 	}
 	return out, nil
 }
 
-// WriteAblationReport renders one ablation study's results.
+// buildSpeedup returns a sharded cell's parallel build speedup —
+// serial-equivalent build time over wall time — and whether the ratio is
+// meaningful (sharded run with nonzero times on both sides).
+func buildSpeedup(mr MethodResult) (float64, bool) {
+	if mr.Shards <= 0 || mr.BuildTime <= 0 || mr.ShardBuildSum <= 0 {
+		return 0, false
+	}
+	return float64(mr.ShardBuildSum) / float64(mr.BuildTime), true
+}
+
+// speedupSuffix renders buildSpeedup for progress logs.
+func speedupSuffix(mr MethodResult) string {
+	sp, ok := buildSpeedup(mr)
+	if !ok {
+		return ""
+	}
+	return fmt.Sprintf(" speedup=%.2fx", sp)
+}
+
+// WriteAblationReport renders one ablation study's results. Sharded studies
+// get two extra columns: the serial-equivalent build time (sum over shards)
+// and the parallel build speedup it implies.
 func WriteAblationReport(w io.Writer, ab Ablation, results []MethodResult) {
+	sharded := false
+	for _, mr := range results {
+		if mr.Shards > 0 {
+			sharded = true
+			break
+		}
+	}
 	fmt.Fprintf(w, "\n# Ablation: %s\n", ab.Title)
-	fmt.Fprintf(w, "%-12s %12s %12s %14s %10s\n", "variant", "build(s)", "size(MB)", "query(s)", "FP ratio")
+	fmt.Fprintf(w, "%-12s %12s %12s %14s %10s", "variant", "build(s)", "size(MB)", "query(s)", "FP ratio")
+	if sharded {
+		fmt.Fprintf(w, " %12s %10s", "buildΣ(s)", "speedup")
+	}
+	fmt.Fprintln(w)
 	for _, mr := range results {
 		if mr.DNF {
 			fmt.Fprintf(w, "%-12s %12s\n", mr.Method, "DNF")
 			continue
 		}
-		fmt.Fprintf(w, "%-12s %12.3f %12.3f %14.5f %10.3f\n",
+		fmt.Fprintf(w, "%-12s %12.3f %12.3f %14.5f %10.3f",
 			mr.Method, mr.BuildTime.Seconds(), float64(mr.IndexSize)/(1<<20),
 			mr.AvgQueryTime.Seconds(), mr.FPRatio)
+		if sharded {
+			if sp, ok := buildSpeedup(mr); ok {
+				fmt.Fprintf(w, " %12.3f %9.2fx", mr.ShardBuildSum.Seconds(), sp)
+			} else {
+				fmt.Fprintf(w, " %12.3f %10s", mr.ShardBuildSum.Seconds(), "-")
+			}
+		}
+		fmt.Fprintln(w)
 	}
 }

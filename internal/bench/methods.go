@@ -75,19 +75,37 @@ func NewMethod(id MethodID, lim MethodLimits) (core.Method, error) {
 // per-method spec override from the experiment wins; otherwise the registry
 // defaults narrowed by the experiment's limits apply.
 func methodFor(id MethodID, exp Experiment) (core.Method, error) {
-	if spec := exp.MethodSpecs[id]; spec != "" {
-		d, p, err := engine.ParseSpec(spec)
-		if err != nil {
-			return nil, err
-		}
-		if exp.Limits.MaxPatterns > 0 && p.Has("maxPatterns") && !p.IsSet("maxPatterns") {
-			if err := p.SetInt("maxPatterns", exp.Limits.MaxPatterns); err != nil {
-				return nil, err
-			}
-		}
-		return d.New(p)
+	spec, err := specFor(id, exp)
+	if err != nil {
+		return nil, err
 	}
-	return NewMethod(id, exp.Limits)
+	return engine.New(spec)
+}
+
+// specFor renders the canonical engine spec for one experiment cell —
+// methodFor's construction parameters in spec form, for runners that need to
+// instantiate the method more than once (one instance per shard).
+func specFor(id MethodID, exp Experiment) (string, error) {
+	var p engine.Params
+	if spec := exp.MethodSpecs[id]; spec != "" {
+		_, parsed, err := engine.ParseSpec(spec)
+		if err != nil {
+			return "", err
+		}
+		p = parsed
+	} else {
+		d, ok := engine.Lookup(string(id))
+		if !ok {
+			return "", fmt.Errorf("bench: unknown method %q", id)
+		}
+		p = d.Params()
+	}
+	if exp.Limits.MaxPatterns > 0 && p.Has("maxPatterns") && !p.IsSet("maxPatterns") {
+		if err := p.SetInt("maxPatterns", exp.Limits.MaxPatterns); err != nil {
+			return "", err
+		}
+	}
+	return p.Spec(), nil
 }
 
 // ResolveMethod maps a method spec string (name, alias, or full

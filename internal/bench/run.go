@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/workload"
 )
@@ -51,6 +52,11 @@ type Experiment struct {
 	// with a full engine spec ("grapes:workers=8"); methods without an
 	// entry use the registry defaults narrowed by Limits.
 	MethodSpecs map[MethodID]string
+	// Shards > 1 runs every method through a sharded engine
+	// (engine.OpenSharded): the dataset is hash-partitioned, shard indexes
+	// build in parallel, and queries fan out and merge. 0 or 1 keeps the
+	// unsharded path.
+	Shards int
 	// Seed makes query workloads reproducible.
 	Seed int64
 }
@@ -65,6 +71,13 @@ type MethodResult struct {
 
 	BuildTime time.Duration
 	IndexSize int64
+
+	// Sharded-run accounting: Shards is the shard count the cell ran with
+	// (0 = unsharded), and ShardBuildSum is the sum of per-shard build
+	// times — the serial-equivalent cost, so ShardBuildSum / BuildTime is
+	// the parallel build speedup.
+	Shards        int
+	ShardBuildSum time.Duration
 
 	// Query metrics, overall and per query size.
 	AvgQueryTime  time.Duration
@@ -167,11 +180,50 @@ func buildWorkload(ds *graph.Dataset, exp Experiment) ([]sizedQuery, error) {
 }
 
 func runMethod(ctx context.Context, id MethodID, ds *graph.Dataset, queries []sizedQuery, exp Experiment) MethodResult {
+	if exp.Shards > 1 {
+		spec, err := specFor(id, exp)
+		if err != nil {
+			return MethodResult{Method: id, DNF: true, Reason: err.Error()}
+		}
+		return runMethodSharded(ctx, id, spec, exp.Shards, ds, queries, exp)
+	}
 	m, err := methodFor(id, exp)
 	if err != nil {
 		return MethodResult{Method: id, DNF: true, Reason: err.Error()}
 	}
 	return runMethodInstance(ctx, id, m, ds, queries, exp)
+}
+
+// runMethodSharded measures one (method spec, shard count) cell through the
+// sharded engine: parallel per-shard build, fan-out/merge queries.
+func runMethodSharded(ctx context.Context, id MethodID, spec string, shards int, ds *graph.Dataset, queries []sizedQuery, exp Experiment) MethodResult {
+	mr := MethodResult{
+		Method:     id,
+		Shards:     shards,
+		TimeBySize: map[int]time.Duration{},
+		FPBySize:   map[int]float64{},
+	}
+	// Verification stays serial per shard (as in every unsharded cell, the
+	// paper's measurement mode), so shard fan-out is the only parallelism
+	// the query timings attribute to sharding.
+	buildCtx, cancel := withOptionalTimeout(ctx, exp.BuildTimeout)
+	s, err := engine.OpenSharded(buildCtx, ds, shards,
+		engine.WithSpec(spec), engine.WithVerifyWorkers(1))
+	cancel()
+	if err != nil {
+		mr.DNF, mr.Reason = true, "indexing: "+err.Error()
+		return mr
+	}
+	mr.BuildTime = s.BuildStats().Elapsed
+	mr.IndexSize = s.SizeBytes()
+	for _, st := range s.ShardStats() {
+		mr.ShardBuildSum += st.Elapsed
+	}
+
+	queryCtx, cancel := withOptionalTimeout(ctx, exp.QueryTimeout)
+	defer cancel()
+	measureQueries(queryCtx, &mr, s.Query, queries)
+	return mr
 }
 
 // runMethodInstance measures one prebuilt method instance; ablations use it
@@ -196,7 +248,15 @@ func runMethodInstance(ctx context.Context, id MethodID, m core.Method, ds *grap
 	proc := core.NewProcessor(m, ds)
 	queryCtx, cancel := withOptionalTimeout(ctx, exp.QueryTimeout)
 	defer cancel()
+	measureQueries(queryCtx, &mr, proc.QueryCtx, queries)
+	return mr
+}
 
+// measureQueries drives a workload through one query function — an
+// unsharded Processor's QueryCtx or a sharded engine's Query — and fills in
+// the result's query metrics, overall and per size bucket.
+func measureQueries(ctx context.Context, mr *MethodResult,
+	query func(context.Context, *graph.Graph) (*core.QueryResult, error), queries []sizedQuery) {
 	type bucket struct {
 		n     int
 		time  time.Duration
@@ -206,7 +266,7 @@ func runMethodInstance(ctx context.Context, id MethodID, m core.Method, ds *grap
 	var total time.Duration
 	var fpTotal, candTotal, ansTotal float64
 	for _, sq := range queries {
-		res, err := proc.QueryCtx(queryCtx, sq.q)
+		res, err := query(ctx, sq.q)
 		if err != nil {
 			mr.DNF, mr.Reason = true, "query processing: "+err.Error()
 			break
@@ -235,7 +295,6 @@ func runMethodInstance(ctx context.Context, id MethodID, m core.Method, ds *grap
 			mr.FPBySize[size] = b.fpSum / float64(b.n)
 		}
 	}
-	return mr
 }
 
 func withOptionalTimeout(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {

@@ -28,6 +28,18 @@ type BatchResult struct {
 // per-query results in input order. The first error is returned after all
 // workers stop; individual failures are also available per entry.
 func (p *Processor) QueryBatch(ctx context.Context, queries []*graph.Graph, opts BatchOptions) ([]BatchResult, error) {
+	return QueryBatchFunc(ctx, queries, opts, p.QueryCtx)
+}
+
+// QueryBatchFunc is the batch runner behind Processor.QueryBatch, shared
+// with the sharded engine: it drives queries through the given query
+// function on a worker pool, returning per-query results in input order. An
+// individual query's failure is recorded on its entry and the rest of the
+// batch still runs, with the first error returned after all workers stop;
+// a context cancellation abandons the remaining queries, marking their
+// entries with ctx.Err().
+func QueryBatchFunc(ctx context.Context, queries []*graph.Graph, opts BatchOptions,
+	query func(context.Context, *graph.Graph) (*QueryResult, error)) ([]BatchResult, error) {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -46,7 +58,7 @@ func (p *Processor) QueryBatch(ctx context.Context, queries []*graph.Graph, opts
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				res, err := p.QueryCtx(ctx, queries[i])
+				res, err := query(ctx, queries[i])
 				results[i] = BatchResult{Query: i, Result: res, Err: err}
 			}
 		}()

@@ -5,6 +5,10 @@
 // the query fingerprint against each graph fingerprint, and verification uses
 // a tuned subgraph isomorphism matcher — the combination the paper credits
 // for CT-Index's fast query processing despite its weak filtering power.
+//
+// CT-Index is one of the six indexed subgraph query processing methods
+// compared in the reproduced paper (Katsarou, Ntarmos, Triantafillou,
+// PVLDB 2015); register.go exposes it to the engine registry as "ctindex".
 package ctindex
 
 import (

@@ -11,6 +11,12 @@ func init() {
 		Display: "CTindex",
 		Aliases: []string{"CT-Index"},
 		Help:    "tree+cycle canonical-label fingerprints with tuned verification",
+		Notes: "Reproduces CT-Index (Klein, Kriege, Mutzel, ICDE 2011). Each graph becomes one " +
+			"fixed-width bit fingerprint (hashed canonical labels of all subtrees and simple cycles up " +
+			"to the size limits), so the index is the smallest of the six and filtering is a bitwise " +
+			"subset test — O(fingerprintBits/64) words per graph. Filtering power is the weakest, but " +
+			"the tuned verifier keeps query times low; the paper runs size-4 features and 4096-bit " +
+			"fingerprints (§4.1), trading a little filtering power against the original's size-6.",
 		Fields: []engine.Field{
 			{Name: "fingerprintBits", Kind: engine.Int, Default: DefaultFingerprintBits, Help: "fingerprint width in bits"},
 			{Name: "maxTreeSize", Kind: engine.Int, Default: DefaultMaxTreeSize, Help: "maximum tree feature size in edges"},

@@ -1,0 +1,83 @@
+package engine
+
+//go:generate sh -c "cd ../.. && go run ./cmd/sqbench -describe > docs/METHODS.md"
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteMethodsMarkdown renders the per-method reference (docs/METHODS.md)
+// from the live registry: every registered method's names, aliases, typed
+// parameters with defaults, and reference notes, in registration order. It
+// is invoked by `sqbench -describe` and by `go generate ./internal/engine`;
+// CI regenerates the file and fails on any diff, so the document cannot
+// drift from the code.
+func WriteMethodsMarkdown(w io.Writer) error {
+	bw := &errWriter{w: w}
+	bw.printf("# Method reference\n\n")
+	bw.printf("<!-- Generated from the engine registry by `sqbench -describe`.\n")
+	bw.printf("     Do not edit by hand: run `go generate ./internal/engine`\n")
+	bw.printf("     (CI regenerates this file and fails on drift). -->\n\n")
+	bw.printf("Every method is constructed from a spec string — a registered name or\n")
+	bw.printf("alias, optionally followed by `:key=value,...` typed parameter\n")
+	bw.printf("overrides (`grapes:maxPathLen=3,workers=8`). Names and keys match\n")
+	bw.printf("case-insensitively, ignoring `+`, `-`, `_`, and spaces.\n\n")
+
+	bw.printf("| Method | Spec name | Parameters | Summary |\n")
+	bw.printf("|---|---|---|---|\n")
+	for _, d := range Descriptors() {
+		bw.printf("| %s | `%s` | %d | %s |\n", d.Display, d.Name, len(d.Fields), d.Help)
+	}
+	bw.printf("\n")
+
+	for _, d := range Descriptors() {
+		bw.printf("## %s — `%s`\n\n", d.Display, d.Name)
+		bw.printf("%s.\n\n", upperFirst(d.Help))
+		names := []string{d.Name}
+		if !strings.EqualFold(d.Display, d.Name) {
+			names = append(names, d.Display)
+		}
+		names = append(names, d.Aliases...)
+		quoted := make([]string, len(names))
+		for i, n := range names {
+			quoted[i] = "`" + n + "`"
+		}
+		bw.printf("**Accepted names:** %s (case- and separator-insensitive).\n\n", strings.Join(quoted, ", "))
+		if len(d.Fields) == 0 {
+			bw.printf("No parameters.\n\n")
+		} else {
+			bw.printf("| Parameter | Type | Default | Description |\n")
+			bw.printf("|---|---|---|---|\n")
+			for _, f := range d.Fields {
+				bw.printf("| `%s` | %s | `%v` | %s |\n", f.Name, f.Kind, f.Default, f.Help)
+			}
+			bw.printf("\n")
+		}
+		if d.Notes != "" {
+			bw.printf("%s\n\n", d.Notes)
+		}
+	}
+	return bw.err
+}
+
+// errWriter latches the first write error so the renderer stays linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+func upperFirst(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"iter"
 	"os"
@@ -179,15 +180,26 @@ func SaveMethod(path string, m core.Method) error {
 	if !ok {
 		return fmt.Errorf("engine: %s does not support index persistence", m.Name())
 	}
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	return atomicWrite(path, func(w io.Writer) error {
+		if err := p.SaveIndex(w); err != nil {
+			return fmt.Errorf("engine: saving %s index: %w", m.Name(), err)
+		}
+		return nil
+	})
+}
+
+// atomicWrite streams write's output into a temporary file next to path and
+// renames it into place, cleaning up on any failure, so path only ever
+// holds a complete file.
+func atomicWrite(path string, write func(w io.Writer) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	if err := p.SaveIndex(tmp); err != nil {
+	if err := write(tmp); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		return fmt.Errorf("engine: saving %s index: %w", m.Name(), err)
+		return err
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())

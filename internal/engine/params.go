@@ -188,6 +188,25 @@ func (p Params) Spec() string {
 	return p.desc.Name + ":" + strings.Join(kv, ",")
 }
 
+// canonicalSpec renders the parameter set like Spec but also omits
+// overrides whose value equals the field's default, so two functionally
+// identical configurations render identically ("grapes:workers=6" and
+// "grapes" when 6 is the default). The sharded index manifest uses it, so
+// that respelling a default never invalidates a restorable index.
+func (p Params) canonicalSpec() string {
+	var kv []string
+	for _, f := range p.desc.Fields {
+		if !p.set[f.Name] || p.vals[f.Name] == f.Default {
+			continue
+		}
+		kv = append(kv, fmt.Sprintf("%s=%v", f.Name, p.vals[f.Name]))
+	}
+	if len(kv) == 0 {
+		return p.desc.Name
+	}
+	return p.desc.Name + ":" + strings.Join(kv, ",")
+}
+
 // normalize canonicalizes a method name for registry lookup: lower-cased
 // with separators removed, so "tree+delta", "Tree-Delta", and "TreeDelta"
 // all resolve to the same entry.

@@ -1,8 +1,9 @@
 // Package engine is the single front door to the reproduction: a registry
 // of the indexed subgraph query processing methods, a typed spec syntax for
-// constructing them ("grapes:maxPathLen=4,workers=8"), and an Engine type
-// that owns the build/restore/query lifecycle around the core
-// filter-and-verify pipeline.
+// constructing them ("grapes:maxPathLen=4,workers=8"), an Engine type that
+// owns the build/restore/query lifecycle around the core filter-and-verify
+// pipeline, and a Sharded variant that hash-partitions the dataset, builds
+// per-shard indexes in parallel, and serves queries by fan-out/merge.
 //
 // Method packages self-register in their init functions via Register, so
 // importing a method package (directly, or through the convenience package
@@ -12,6 +13,11 @@
 //
 //	m, err := engine.New("gIndex:maxPatterns=20000")
 //	eng, err := engine.Open(ctx, ds, engine.WithSpec("grapes:workers=8"))
+//	sh, err := engine.OpenSharded(ctx, ds, 4, engine.WithSpec("grapes"))
+//
+// The registry doubles as the source of truth for documentation:
+// WriteMethodsMarkdown renders docs/METHODS.md from the live descriptors
+// (via sqbench -describe), so the reference can never drift from the code.
 package engine
 
 import (
@@ -38,6 +44,10 @@ type Descriptor struct {
 	Aliases []string
 	// Help is a one-line description surfaced by CLIs.
 	Help string
+	// Notes carries the longer reference prose rendered into docs/METHODS.md:
+	// complexity characteristics, the paper's parameter defaults, and
+	// anything an operator should know before picking the method.
+	Notes string
 	// Fields declare the method's typed parameters and defaults.
 	Fields []Field
 	// Factory builds an unbuilt method from a resolved parameter set.

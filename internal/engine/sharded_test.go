@@ -1,0 +1,348 @@
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	_ "repro/internal/engine/std"
+	"repro/internal/graph"
+)
+
+// TestShardOfDeterministicAndCovering: the hash partition is a pure function
+// of the graph id and spreads a realistic id range over every shard.
+func TestShardOfDeterministicAndCovering(t *testing.T) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		counts := make([]int, shards)
+		for id := graph.ID(0); id < 1000; id++ {
+			s := engine.ShardOf(id, shards)
+			if s != engine.ShardOf(id, shards) {
+				t.Fatalf("ShardOf(%d, %d) not deterministic", id, shards)
+			}
+			if s < 0 || s >= shards {
+				t.Fatalf("ShardOf(%d, %d) = %d out of range", id, shards, s)
+			}
+			counts[s]++
+		}
+		for s, n := range counts {
+			if n == 0 {
+				t.Errorf("shards=%d: shard %d got no graphs out of 1000", shards, s)
+			}
+		}
+	}
+}
+
+// TestShardedParityEveryMethod is the core correctness contract: for every
+// registered method, a sharded engine with N in {1, 2, 4} returns exactly
+// the unsharded engine's answer set, and its candidate set never loses an
+// answer (candidate sets themselves may differ for the frequent-mining
+// methods, whose feature selection is dataset-global).
+// shardParityOverrides swaps in tighter mining bounds for the sharded
+// parity run: support thresholds are ratios, so a quarter-size shard mines
+// with a quarter of the absolute support — on the tiny test dataset that
+// inflates the pattern space past the standard test budget. Bounding the
+// feature size keeps the same code paths while staying inside it.
+var shardParityOverrides = map[string]string{
+	"treedelta:maxPatterns=20000,querySupportToAdd=0.5": "treedelta:maxFeatureSize=5,maxPatterns=20000,querySupportToAdd=0.5",
+}
+
+func TestShardedParityEveryMethod(t *testing.T) {
+	ds := tinyDataset(t)
+	queries := tinyQueries(t, ds)
+	ctx := context.Background()
+
+	for _, tc := range allSpecs {
+		spec := tc.override
+		if spec == "" {
+			spec = tc.def
+		}
+		if o, ok := shardParityOverrides[spec]; ok {
+			spec = o
+		}
+		t.Run(spec, func(t *testing.T) {
+			flat, err := engine.Open(ctx, ds, engine.WithSpec(spec))
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			want := make([]*core.QueryResult, len(queries))
+			for i, q := range queries {
+				if want[i], err = flat.Query(ctx, q); err != nil {
+					t.Fatalf("unsharded query %d: %v", i, err)
+				}
+			}
+			for _, shards := range []int{1, 2, 4} {
+				s, err := engine.OpenSharded(ctx, ds, shards, engine.WithSpec(spec))
+				if err != nil {
+					t.Fatalf("OpenSharded(%d): %v", shards, err)
+				}
+				total := 0
+				for i := 0; i < s.Shards(); i++ {
+					total += s.ShardLen(i)
+				}
+				if total != ds.Len() {
+					t.Fatalf("shards=%d: partition holds %d graphs, dataset %d", shards, total, ds.Len())
+				}
+				for i, q := range queries {
+					got, err := s.Query(ctx, q)
+					if err != nil {
+						t.Fatalf("shards=%d query %d: %v", shards, i, err)
+					}
+					if !got.Answers.Equal(want[i].Answers) {
+						t.Errorf("shards=%d query %d: answers %v != unsharded %v",
+							shards, i, got.Answers, want[i].Answers)
+					}
+					for _, id := range got.Answers {
+						if !got.Candidates.Contains(id) {
+							t.Errorf("shards=%d query %d: answer %d missing from merged candidates", shards, i, id)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardedStreamMatchesQuery: the merged stream yields exactly the
+// fan-out Query's answers, in ascending global id order.
+func TestShardedStreamMatchesQuery(t *testing.T) {
+	ds := tinyDataset(t)
+	queries := tinyQueries(t, ds)
+	ctx := context.Background()
+	s, err := engine.OpenSharded(ctx, ds, 3, engine.WithSpec("grapes:workers=2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		res, err := s.Query(ctx, q)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		var streamed graph.IDSet
+		prev := graph.ID(-1)
+		for id, err := range s.Stream(ctx, q) {
+			if err != nil {
+				t.Fatalf("stream %d: %v", i, err)
+			}
+			if id <= prev {
+				t.Fatalf("stream %d: ids not strictly ascending (%d after %d)", i, id, prev)
+			}
+			prev = id
+			streamed = append(streamed, id)
+		}
+		if !streamed.Equal(res.Answers) {
+			t.Errorf("query %d: streamed %v != answers %v", i, streamed, res.Answers)
+		}
+	}
+}
+
+// TestShardedQueryBatchMatchesQuery: batch results agree with one-by-one
+// fan-out queries and come back in input order.
+func TestShardedQueryBatchMatchesQuery(t *testing.T) {
+	ds := tinyDataset(t)
+	queries := tinyQueries(t, ds)
+	ctx := context.Background()
+	s, err := engine.OpenSharded(ctx, ds, 2, engine.WithSpec("ggsx:maxPathLen=3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := s.QueryBatch(ctx, queries, core.BatchOptions{Workers: 3})
+	if err != nil {
+		t.Fatalf("QueryBatch: %v", err)
+	}
+	if len(batch) != len(queries) {
+		t.Fatalf("batch has %d entries, want %d", len(batch), len(queries))
+	}
+	for i, br := range batch {
+		if br.Err != nil {
+			t.Fatalf("batch entry %d: %v", i, br.Err)
+		}
+		if br.Query != i {
+			t.Fatalf("batch entry %d claims query %d", i, br.Query)
+		}
+		want, err := s.Query(ctx, queries[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !br.Result.Answers.Equal(want.Answers) {
+			t.Errorf("batch entry %d: answers %v != query answers %v", i, br.Result.Answers, want.Answers)
+		}
+	}
+}
+
+// TestShardedCancellation: a cancelled context aborts the parallel build,
+// the fan-out query, and — mid-stream — the merged answer stream, exactly
+// like the unsharded engine.
+func TestShardedCancellation(t *testing.T) {
+	ds := tinyDataset(t)
+	queries := tinyQueries(t, ds)
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := engine.OpenSharded(cancelled, ds, 2, engine.WithSpec("grapes")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("OpenSharded with cancelled ctx: err = %v, want context.Canceled", err)
+	}
+
+	s, err := engine.OpenSharded(context.Background(), ds, 2, engine.WithSpec("noindex"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Query(cancelled, queries[0]); !errors.Is(err, context.Canceled) {
+		t.Errorf("Query with cancelled ctx: err = %v, want context.Canceled", err)
+	}
+
+	// Mid-query: cancel after the stream yields its first answer. Every
+	// later candidate must surface the cancellation (or the stream was
+	// already past its last candidate — then it must have produced the
+	// full, correct answer set).
+	full, err := s.Query(context.Background(), queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Answers) == 0 {
+		t.Fatal("workload query has no answers; pick a different seed")
+	}
+	ctx, cancelMid := context.WithCancel(context.Background())
+	defer cancelMid()
+	var streamed graph.IDSet
+	var streamErr error
+	for id, err := range s.Stream(ctx, queries[0]) {
+		if err != nil {
+			streamErr = err
+			break
+		}
+		streamed = append(streamed, id)
+		cancelMid()
+	}
+	if streamErr != nil {
+		if !errors.Is(streamErr, context.Canceled) {
+			t.Fatalf("mid-stream error = %v, want context.Canceled", streamErr)
+		}
+		for _, id := range streamed {
+			if !full.Answers.Contains(id) {
+				t.Errorf("cancelled stream yielded non-answer %d", id)
+			}
+		}
+	} else if !streamed.Equal(full.Answers) {
+		t.Errorf("uncancelled tail: streamed %v != full answers %v", streamed, full.Answers)
+	}
+}
+
+// TestShardedPersistenceLifecycle: per-shard files restore independently, a
+// corrupt shard rebuilds alone, and a changed shard count invalidates the
+// manifest and rebuilds everything.
+func TestShardedPersistenceLifecycle(t *testing.T) {
+	ds := tinyDataset(t)
+	queries := tinyQueries(t, ds)
+	base := filepath.Join(t.TempDir(), "tiny.idx")
+	ctx := context.Background()
+	const shards = 3
+	open := func() *engine.Sharded {
+		t.Helper()
+		s, err := engine.OpenSharded(ctx, ds, shards,
+			engine.WithSpec("grapes:workers=2"), engine.WithIndexPath(base))
+		if err != nil {
+			t.Fatalf("OpenSharded: %v", err)
+		}
+		return s
+	}
+
+	s1 := open()
+	if s1.Restored() {
+		t.Fatal("first open restored a nonexistent index")
+	}
+	if _, err := os.Stat(base); err != nil {
+		t.Fatalf("manifest not written: %v", err)
+	}
+	for i := 0; i < shards; i++ {
+		if s1.ShardLen(i) == 0 {
+			continue
+		}
+		if _, err := os.Stat(engine.ShardIndexPath(base, i)); err != nil {
+			t.Fatalf("shard file %d not written: %v", i, err)
+		}
+	}
+
+	s2 := open()
+	if !s2.Restored() {
+		t.Fatal("second open rebuilt instead of restoring")
+	}
+	for i, q := range queries {
+		r1, err := s1.Query(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := s2.Query(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r1.Answers.Equal(r2.Answers) {
+			t.Errorf("query %d: restored answers diverge", i)
+		}
+	}
+
+	// Corrupt one shard: only it rebuilds, and the overwrite heals it.
+	victim, nonEmpty := -1, 0
+	for i := 0; i < shards; i++ {
+		if s1.ShardLen(i) > 0 {
+			nonEmpty++
+			if victim < 0 {
+				victim = i
+			}
+		}
+	}
+	if err := os.WriteFile(engine.ShardIndexPath(base, victim), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s3 := open()
+	if s3.Restored() {
+		t.Fatal("open trusted a corrupt shard")
+	}
+	if got, want := s3.RestoredShards(), nonEmpty-1; got != want {
+		t.Fatalf("corrupt shard: restored %d shards, want %d", got, want)
+	}
+	if !open().Restored() {
+		t.Fatal("rebuild did not overwrite the corrupt shard file")
+	}
+
+	// Respelling a default parameter is the same configuration and must
+	// still restore (the manifest stores the default-eliding canonical
+	// spec). maxPathLen=4 is the grapes default.
+	same, err := engine.OpenSharded(ctx, ds, shards,
+		engine.WithSpec("grapes:maxPathLen=4,workers=2"), engine.WithIndexPath(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same.Restored() {
+		t.Fatal("explicitly spelling a default parameter forced a rebuild")
+	}
+
+	// A different shard count must not trust the old shard files.
+	s5, err := engine.OpenSharded(ctx, ds, shards+1,
+		engine.WithSpec("grapes:workers=2"), engine.WithIndexPath(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s5.RestoredShards() != 0 {
+		t.Fatalf("changed shard count restored %d shards, want 0", s5.RestoredShards())
+	}
+}
+
+// TestShardedRejectsWithMethod: a single pre-built instance cannot back N
+// shards.
+func TestShardedRejectsWithMethod(t *testing.T) {
+	ds := tinyDataset(t)
+	m, err := engine.New("noindex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.OpenSharded(context.Background(), ds, 2, engine.WithMethod(m)); err == nil {
+		t.Fatal("OpenSharded accepted WithMethod")
+	}
+	if _, err := engine.OpenSharded(context.Background(), ds, 0); err == nil {
+		t.Fatal("OpenSharded accepted 0 shards")
+	}
+}

@@ -7,6 +7,10 @@
 // are filtered in two phases: graph-code dominance first, then a
 // vertex-signature matching test requiring every query vertex signature to
 // be dominated by a distinct data vertex signature.
+//
+// gCode is one of the six indexed subgraph query processing methods
+// compared in the reproduced paper (Katsarou, Ntarmos, Triantafillou,
+// PVLDB 2015); register.go exposes it to the engine registry as "gcode".
 package gcode
 
 import (

@@ -10,6 +10,11 @@ func init() {
 		Name:    "gcode",
 		Display: "gCode",
 		Help:    "spectral vertex signatures with two-phase dominance filtering",
+		Notes: "Reproduces gCode (Zou, Chen, Yu, Lu, EDBT 2008). Every vertex gets a signature " +
+			"(label bit-strings plus the top `numEigenvalues` eigenvalues of its level-`pathLen` path " +
+			"tree adjacency); per-graph codes are filtered by dominance in two phases. Build cost is " +
+			"per-vertex eigen decomposition — moderate and embarrassingly parallel across graphs — but " +
+			"the paper finds its filtering power weak on dense, label-poor datasets.",
 		Fields: []engine.Field{
 			{Name: "pathLen", Kind: engine.Int, Default: DefaultPathLen, Help: "level of the per-vertex path tree"},
 			{Name: "numEigenvalues", Kind: engine.Int, Default: DefaultNumEigenvalues, Help: "top eigenvalues kept per signature"},

@@ -4,6 +4,10 @@
 // number of occurrences of the corresponding label path. Filtering matches
 // the query's path trie against the index trie and keeps graphs whose
 // occurrence counts dominate the query's on every path.
+//
+// GraphGrepSX is one of the six indexed subgraph query processing methods
+// compared in the reproduced paper (Katsarou, Ntarmos, Triantafillou,
+// PVLDB 2015); register.go exposes it to the engine registry as "ggsx".
 package ggsx
 
 import (

@@ -11,6 +11,11 @@ func init() {
 		Display: "GGSX",
 		Aliases: []string{"GraphGrepSX"},
 		Help:    "exhaustive label-path suffix trie with per-graph occurrence counts",
+		Notes: "Reproduces GraphGrepSX (Bonnici et al., PRIB 2010). Like Grapes it enumerates all " +
+			"label paths of up to `maxPathLen` edges (paper default 4), but stores only per-graph " +
+			"occurrence counts — no locations — so the index is smaller and the build is serial. " +
+			"Filtering keeps graphs whose counts dominate the query's on every path; verification is " +
+			"plain VF2 over whole graphs.",
 		Fields: []engine.Field{
 			{Name: "maxPathLen", Kind: engine.Int, Default: DefaultMaxPathLen, Help: "maximum path feature size in edges"},
 		},

@@ -7,6 +7,11 @@
 // index (a fragment absent from the index never spawns supergraph
 // fragments), and intersecting the postings of the maximal indexed fragments
 // along each expansion path.
+//
+// gIndex is one of the six indexed subgraph query processing methods
+// compared in the reproduced paper (Katsarou, Ntarmos, Triantafillou,
+// PVLDB 2015), where its mining-bound build cost is a central scalability
+// finding; register.go exposes it to the engine registry as "gindex".
 package gindex
 
 import (

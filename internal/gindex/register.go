@@ -15,6 +15,12 @@ func init() {
 		Name:    "gindex",
 		Display: "gIndex",
 		Help:    "frequent discriminative subgraph features mined with gSpan",
+		Notes: "Reproduces gIndex (Yan, Yu, Han, SIGMOD 2004). Indexing mines frequent subgraphs " +
+			"with gSpan and keeps only the discriminative ones, so build time is dominated by mining " +
+			"and — as the paper's scalability experiments stress — can explode on large or dense " +
+			"datasets; `maxPatterns` is this harness's analogue of the paper's 8-hour kill switch " +
+			"(exceeding it fails the build, surfacing as DNF in benchmarks). Strong filtering power " +
+			"per indexed feature; query-time fragment enumeration is capped by `fragmentBudget`.",
 		Fields: []engine.Field{
 			{Name: "maxFeatureSize", Kind: engine.Int, Default: DefaultMaxFeatureSize, Help: "maximum mined feature size in edges"},
 			{Name: "supportRatio", Kind: engine.Float, Default: DefaultSupportRatio, Help: "frequent-mining support threshold"},

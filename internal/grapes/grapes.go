@@ -5,6 +5,11 @@
 // verification are parallelized across a configurable number of workers, and
 // verification runs VF2 against individual connected components selected via
 // the location information, rather than whole graphs.
+//
+// Grapes is one of the six indexed subgraph query processing methods
+// compared in the reproduced paper (Katsarou, Ntarmos, Triantafillou,
+// PVLDB 2015), where its parallel build makes it the fastest indexer;
+// register.go exposes it to the engine registry as "grapes".
 package grapes
 
 import (

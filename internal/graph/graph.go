@@ -173,6 +173,16 @@ func (g *Graph) Edges() [][2]int32 {
 	return out
 }
 
+// ShallowWithID returns a copy of the graph that shares the label and
+// adjacency storage (immutable once construction is done) but carries a
+// different dataset-local id. Sharding uses it to re-home graphs into
+// per-shard sub-datasets without duplicating or mutating the originals.
+func (g *Graph) ShallowWithID(id ID) *Graph {
+	c := *g
+	c.id = id
+	return &c
+}
+
 // Clone returns a deep copy of the graph.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{

@@ -11,6 +11,10 @@ func init() {
 		Display: "NoIndex",
 		Aliases: []string{"scan", "naive"},
 		Help:    "no index at all: every query verified against every graph (the paper's baseline)",
+		Notes: "The naive method of the paper's introduction: zero build cost, zero index size, and " +
+			"every query pays a full VF2 scan of the dataset. Included so the speedup an index buys is " +
+			"visible in every figure; select it explicitly (`-methods NoIndex`), it is not part of the " +
+			"default six.",
 		Factory: func(p engine.Params) (core.Method, error) {
 			return New(), nil
 		},

@@ -2,7 +2,9 @@
 // every query is tested for subgraph isomorphism against every graph in the
 // dataset. The introduction motivates the six indexing methods against
 // exactly this method; the benchmark harness includes it so the speedups
-// the indexes buy are visible in every figure.
+// the indexes buy are visible in every figure. It is the baseline of the
+// reproduced paper (Katsarou, Ntarmos, Triantafillou, PVLDB 2015);
+// register.go exposes it to the engine registry as "noindex".
 package scan
 
 import (

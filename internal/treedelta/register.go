@@ -16,6 +16,12 @@ func init() {
 		Display: "tree+delta",
 		Aliases: []string{"Tree+Δ"},
 		Help:    "frequent tree features plus Δ (non-tree) features learned from the query stream",
+		Notes: "Reproduces Tree+Δ (Zhao, Yu, Yu, VLDB 2007). Build mines frequent trees only " +
+			"(cheaper than gIndex's general subgraphs, same `maxPatterns` kill switch), then grows the " +
+			"index at query time: discriminative non-tree Δ features observed in enough queries " +
+			"(`querySupportToAdd`) are added on the fly. Query processing therefore mutates the index; " +
+			"the implementation serializes those mutations internally, so concurrent use stays " +
+			"correct, just less parallel.",
 		Fields: []engine.Field{
 			{Name: "maxFeatureSize", Kind: engine.Int, Default: DefaultMaxFeatureSize, Help: "maximum mined feature size in edges"},
 			{Name: "supportRatio", Kind: engine.Float, Default: DefaultSupportRatio, Help: "frequent-mining support threshold"},

@@ -7,6 +7,11 @@
 // found sufficiently discriminative against the tree-based candidate set are
 // added to the index on the fly and used like tree features by subsequent
 // queries.
+//
+// Tree+Δ is one of the six indexed subgraph query processing methods
+// compared in the reproduced paper (Katsarou, Ntarmos, Triantafillou,
+// PVLDB 2015); register.go exposes it to the engine registry as
+// "treedelta" (alias "tree+delta").
 package treedelta
 
 import (

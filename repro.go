@@ -83,6 +83,10 @@ type (
 	// Engine is a built (or restored) index over one dataset serving
 	// subgraph queries; construct with Open.
 	Engine = engine.Engine
+	// ShardedEngine is a horizontally partitioned engine: the dataset is
+	// hash-partitioned, per-shard indexes build in parallel, and queries
+	// fan out across the shards and merge; construct with OpenSharded.
+	ShardedEngine = engine.Sharded
 	// Option configures Open.
 	Option = engine.Option
 	// MethodInfo describes one registered method: naming, typed parameters,
@@ -139,6 +143,16 @@ var (
 // filter-and-verify pipeline.
 func Open(ctx context.Context, ds *Dataset, opts ...Option) (*Engine, error) {
 	return engine.Open(ctx, ds, opts...)
+}
+
+// OpenSharded hash-partitions ds into the given number of shards, builds
+// one index of the configured method per shard concurrently (or restores
+// them from independent per-shard files under WithIndexPath), and returns a
+// fan-out engine whose answers are identical to the unsharded Open's for
+// every method. It is the scaling path: build wall-time drops with the
+// shard count, and a corrupt shard file rebuilds alone.
+func OpenSharded(ctx context.Context, ds *Dataset, shards int, opts ...Option) (*ShardedEngine, error) {
+	return engine.OpenSharded(ctx, ds, shards, opts...)
 }
 
 // New constructs an unbuilt index from a method spec string: a registered
