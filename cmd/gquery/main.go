@@ -17,19 +17,31 @@
 // one index per shard is built in parallel (or restored from -ix's
 // per-shard files), and every query fans out across the shards with its
 // results merged.
+//
+// With -remote URL, gquery is a thin client instead: no dataset is loaded
+// and no index is built — each query is POSTed to a running sqserve
+// instance and the server's answers, timings, and cache hits are reported:
+//
+//	gquery -remote http://localhost:7474 -queries q.gfd -v
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
 	_ "repro/internal/engine/std"
 	"repro/internal/graph"
+	"repro/internal/server"
 	"repro/internal/workload"
 )
 
@@ -41,6 +53,7 @@ func main() {
 		indexPath = flag.String("ix", "", "persist/restore the built index at this path")
 		workers   = flag.Int("workers", 0, "per-query verification parallelism (0 = GOMAXPROCS)")
 		shards    = flag.Int("shards", 0, "hash-partition the dataset into N shards with parallel build and query fan-out (0/1 = unsharded)")
+		remote    = flag.String("remote", "", "query a running sqserve at this base URL instead of building a local index")
 		timeout   = flag.Duration("timeout", 8*time.Hour, "per-stage time budget")
 		verbose   = flag.Bool("v", false, "per-query output")
 		list      = flag.Bool("list", false, "list registered methods and their parameters")
@@ -51,10 +64,108 @@ func main() {
 		engine.FprintMethods(os.Stdout)
 		return
 	}
-	if err := run(*dataPath, *queryPath, *methodStr, *indexPath, *workers, *shards, *timeout, *verbose); err != nil {
+	var err error
+	if *remote != "" {
+		// The engine flags belong to the server in client mode; silently
+		// ignoring them would let users attribute the server's numbers to
+		// a method it is not running.
+		if conflict := localOnlyFlags(); len(conflict) > 0 {
+			err = fmt.Errorf("-remote is a client mode and cannot take %s: the method, shards, and index are chosen by the sqserve instance",
+				strings.Join(conflict, ", "))
+		} else {
+			err = runRemote(*remote, *queryPath, *timeout, *verbose)
+		}
+	} else {
+		err = run(*dataPath, *queryPath, *methodStr, *indexPath, *workers, *shards, *timeout, *verbose)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "gquery:", err)
 		os.Exit(1)
 	}
+}
+
+// localOnlyFlags returns the explicitly set flags that only apply when
+// building a local engine.
+func localOnlyFlags() []string {
+	local := map[string]bool{"data": true, "method": true, "ix": true, "workers": true, "shards": true}
+	var set []string
+	flag.Visit(func(f *flag.Flag) {
+		if local[f.Name] {
+			set = append(set, "-"+f.Name)
+		}
+	})
+	return set
+}
+
+// runRemote drives the query workload against a running sqserve instance:
+// each query is serialized with its own label strings (the server resolves
+// them against the dataset dictionary) and the server's answers, timings,
+// and cache hits are aggregated client-side.
+func runRemote(baseURL, queryPath string, timeout time.Duration, verbose bool) error {
+	if queryPath == "" {
+		return fmt.Errorf("-queries is required")
+	}
+	qds, err := graph.LoadDatasetFile(queryPath)
+	if err != nil {
+		return fmt.Errorf("loading queries: %w", err)
+	}
+	if qds.Len() == 0 {
+		return fmt.Errorf("no queries in %s", queryPath)
+	}
+	client := &http.Client{Timeout: timeout}
+	var serverTime, rttTime time.Duration
+	var fpSum float64
+	hits := 0
+	for i, q := range qds.Graphs {
+		body, err := json.Marshal(server.GraphToJSON(q, &qds.Dict))
+		if err != nil {
+			return err
+		}
+		t0 := time.Now()
+		resp, err := client.Post(baseURL+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("query %d: %w", i, err)
+		}
+		var qr server.QueryResponse
+		if resp.StatusCode != http.StatusOK {
+			var e server.ErrorResponse
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			if json.Unmarshal(msg, &e) == nil && e.Error != "" {
+				return fmt.Errorf("query %d: server: %s (%s)", i, e.Error, resp.Status)
+			}
+			return fmt.Errorf("query %d: server: %s", i, resp.Status)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&qr)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("query %d: decoding response: %w", i, err)
+		}
+		rtt := time.Since(t0)
+		serverTime += time.Duration(qr.TotalUs) * time.Microsecond
+		rttTime += rtt
+		if qr.Cached {
+			hits++
+		}
+		if len(qr.Candidates) > 0 {
+			fpSum += float64(len(qr.Candidates)-len(qr.Answers)) / float64(len(qr.Candidates))
+		}
+		if verbose {
+			cached := ""
+			if qr.Cached {
+				cached = " (cached)"
+			}
+			fmt.Printf("query %3d (%d edges): %4d candidates, %4d answers, server %v, rtt %v%s\n",
+				i, q.NumEdges(), len(qr.Candidates), len(qr.Answers),
+				(time.Duration(qr.TotalUs) * time.Microsecond).Round(time.Microsecond),
+				rtt.Round(time.Microsecond), cached)
+		}
+	}
+	n := len(qds.Graphs)
+	fmt.Printf("%d queries via %s: avg server time %v, avg rtt %v, %d cache hits, false positive ratio %.4f\n",
+		n, baseURL, (serverTime / time.Duration(n)).Round(time.Microsecond),
+		(rttTime / time.Duration(n)).Round(time.Microsecond), hits, fpSum/float64(n))
+	return nil
 }
 
 func run(dataPath, queryPath, methodStr, indexPath string, workers, shards int, timeout time.Duration, verbose bool) error {

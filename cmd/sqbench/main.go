@@ -8,6 +8,7 @@
 //	sqbench -exp fig3 -methods Grapes,GGSX,CTindex
 //	sqbench -exp fig2 -methods "grapes:workers=12 ggsx:maxPathLen=3"
 //	sqbench -exp fig2 -shards 4
+//	sqbench -exp fig2 -scale bench -json results.json
 //	sqbench -list
 //	sqbench -describe > docs/METHODS.md
 //
@@ -16,9 +17,15 @@
 // commas; specs carrying parameters are separated by spaces or semicolons
 // (commas belong to the parameter list).
 //
-// Experiments: table1, fig1, fig2, fig3, fig4, fig5, fig6, all. Figure 4 is
-// the per-query-size view of Figure 3's runs and reuses its sweep.
+// Experiments: table1, fig1, fig2, fig3, fig4, fig5, fig6, ablation,
+// cache, all. Figure 4 is the per-query-size view of Figure 3's runs and
+// reuses its sweep; "cache" is the serving-layer result-cache sweep over
+// repeated isomorphic traffic (also included in "ablation").
 // Scales: bench (seconds), default (minutes), paper (the full grid — days).
+//
+// With -json, every experiment and ablation the invocation ran is also
+// written as one machine-readable JSON document (per-variant build/query
+// timings), the format CI trajectory tooling ingests.
 package main
 
 import (
@@ -35,11 +42,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig1, fig2, fig3, fig4, fig5, fig6, ablation, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig1, fig2, fig3, fig4, fig5, fig6, ablation, cache, all")
 	scaleName := flag.String("scale", "default", "scale: bench, default, paper")
 	methodsFlag := flag.String("methods", "", "method spec subset (default: all six); see -list")
 	out := flag.String("o", "", "write the report to this file (default stdout)")
 	csvPath := flag.String("csv", "", "also write tidy CSV rows to this file")
+	jsonPath := flag.String("json", "", "also write machine-readable results (per-variant build/query timings) to this file")
 	quiet := flag.Bool("q", false, "suppress progress logging")
 	shards := flag.Int("shards", 0, "run figure experiments through N-way sharded engines (0/1 = unsharded)")
 	list := flag.Bool("list", false, "list registered methods and their parameters")
@@ -57,7 +65,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*exp, *scaleName, *methodsFlag, *out, *csvPath, *quiet, *shards); err != nil {
+	if err := run(*exp, *scaleName, *methodsFlag, *out, *csvPath, *jsonPath, *quiet, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "sqbench:", err)
 		os.Exit(1)
 	}
@@ -81,7 +89,7 @@ func describeTo(path string) error {
 	return f.Close()
 }
 
-func run(expName, scaleName, methodsFlag, outPath, csvPath string, quiet bool, shards int) error {
+func run(expName, scaleName, methodsFlag, outPath, csvPath, jsonPath string, quiet bool, shards int) error {
 	scale, err := bench.ScaleByName(scaleName)
 	if err != nil {
 		return err
@@ -117,10 +125,26 @@ func run(expName, scaleName, methodsFlag, outPath, csvPath string, quiet bool, s
 	ctx := context.Background()
 	want := func(name string) bool { return expName == "all" || expName == name }
 	ran := false
+	var jr *bench.JSONReport
+	var jsonF *os.File
+	if jsonPath != "" {
+		// Open up front, like -o and -csv: a bad path must fail in
+		// milliseconds, not after a multi-hour sweep.
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		jsonF = f
+		jr = &bench.JSONReport{}
+	}
 
 	if want("table1") {
 		names, stats := bench.Table1Stats(scale)
 		bench.WriteTable1(w, names, stats)
+		if jr != nil {
+			jr.Table1 = bench.Table1JSON(names, stats)
+		}
 		ran = true
 	}
 	figures := []struct {
@@ -158,27 +182,61 @@ func run(expName, scaleName, methodsFlag, outPath, csvPath string, quiet bool, s
 					return fmt.Errorf("%s csv: %w", f.name, err)
 				}
 			}
+			if jr != nil {
+				jr.Experiments = append(jr.Experiments, bench.ExperimentJSON(e, results))
+			}
 		}
 		if f.name == "fig3" && (fig4 || expName == "all") {
 			e4 := e
+			e4.Name = "fig4"
 			e4.Title = "Figure 4: query time per query size, varying density"
 			bench.WritePerSizeReport(w, e4, results)
+			// Figure 4's per-size data rides in the cells'
+			// time_by_size_seconds; serialize the sweep under its own
+			// name only when fig3 itself was not requested (else the
+			// same cells would appear twice).
+			if jr != nil && !want("fig3") {
+				jr.Experiments = append(jr.Experiments, bench.ExperimentJSON(e4, results))
+			}
 		}
 		ran = true
 	}
-	if want("ablation") {
+	if want("ablation") || want("cache") {
 		ds := bench.AblationDataset(scale)
-		for _, ab := range bench.Ablations() {
-			results, err := bench.RunAblation(ctx, ab, ds, scale, log)
-			if err != nil {
-				return fmt.Errorf("ablation %s: %w", ab.Name, err)
+		if want("ablation") {
+			for _, ab := range bench.Ablations() {
+				results, err := bench.RunAblation(ctx, ab, ds, scale, log)
+				if err != nil {
+					return fmt.Errorf("ablation %s: %w", ab.Name, err)
+				}
+				bench.WriteAblationReport(w, ab, results)
+				if jr != nil {
+					jr.Ablations = append(jr.Ablations, bench.AblationJSON(ab, results))
+				}
 			}
-			bench.WriteAblationReport(w, ab, results)
+		}
+		// The serving-layer result-cache sweep runs under both -exp
+		// ablation and -exp cache.
+		results, err := bench.RunCacheAblation(ctx, ds, scale, log)
+		if err != nil {
+			return fmt.Errorf("ablation cache: %w", err)
+		}
+		bench.WriteCacheAblationReport(w, results)
+		if jr != nil {
+			jr.Cache = results
 		}
 		ran = true
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", expName)
+	}
+	if jr != nil {
+		if err := bench.WriteJSONReport(jsonF, jr); err != nil {
+			return fmt.Errorf("json report: %w", err)
+		}
+		if err := jsonF.Close(); err != nil {
+			return fmt.Errorf("json report: %w", err)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,165 @@
+// Command sqserve is the long-lived query service: it indexes (or restores)
+// a GFD dataset once and serves subgraph queries over HTTP/JSON, with an
+// isomorphism-invariant result cache, admission control, and NDJSON
+// streaming.
+//
+// Usage:
+//
+//	sqserve -data molecules.gfd -method grapes:workers=8 -addr :7474
+//	sqserve -data molecules.gfd -method ggsx -shards 4 -ix mol.idx
+//	sqserve -data molecules.gfd -cache-entries 0            # cache disabled
+//
+// Endpoints:
+//
+//	POST /query     one GraphJSON query; ?stream=1 streams NDJSON answers
+//	POST /batch     {"queries": [GraphJSON, ...], "workers": N}
+//	GET  /methods   the live method registry
+//	GET  /stats     cache, admission, and request counters
+//	GET  /healthz   200 serving, 503 draining
+//
+// SIGINT/SIGTERM drains gracefully: health flips to 503, new query work is
+// rejected, and in-flight requests finish (bounded by -drain-timeout).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/engine"
+	_ "repro/internal/engine/std"
+	"repro/internal/graph"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		dataPath  = flag.String("data", "", "GFD dataset file (required)")
+		methodStr = flag.String("method", "grapes", "method spec: name[:key=value,...]; see -list")
+		indexPath = flag.String("ix", "", "persist/restore the built index at this path")
+		shards    = flag.Int("shards", 0, "hash-partition the dataset into N shards (0/1 = unsharded)")
+		verifyW   = flag.Int("workers", 0, "per-query verification parallelism (0 = GOMAXPROCS)")
+		addr      = flag.String("addr", ":7474", "listen address")
+
+		cacheEntries = flag.Int("cache-entries", server.DefaultMaxEntries, "result cache capacity in entries (0 disables the cache)")
+		cacheBytes   = flag.Int64("cache-bytes", server.DefaultMaxBytes, "result cache capacity in bytes")
+		cacheTTL     = flag.Duration("cache-ttl", 0, "result cache entry lifetime (0 = no expiry)")
+
+		concurrency  = flag.Int("concurrency", 0, "max concurrently executing requests (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 0, "max requests queued beyond the executing ones before 429 (0 = 4x concurrency)")
+		reqTimeout   = flag.Duration("req-timeout", 30*time.Second, "per-request execution budget")
+		buildTimeout = flag.Duration("build-timeout", 8*time.Hour, "index construction budget")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for in-flight requests")
+
+		list = flag.Bool("list", false, "list registered methods and their parameters")
+	)
+	flag.Parse()
+
+	if *list {
+		engine.FprintMethods(os.Stdout)
+		return
+	}
+	if err := run(*dataPath, *methodStr, *indexPath, *shards, *verifyW, *addr,
+		*cacheEntries, *cacheBytes, *cacheTTL, *concurrency, *queue,
+		*reqTimeout, *buildTimeout, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "sqserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataPath, methodStr, indexPath string, shards, verifyW int, addr string,
+	cacheEntries int, cacheBytes int64, cacheTTL time.Duration,
+	concurrency, queue int, reqTimeout, buildTimeout, drainTimeout time.Duration) error {
+	if dataPath == "" {
+		return fmt.Errorf("-data is required")
+	}
+	ds, err := graph.LoadDatasetFile(dataPath)
+	if err != nil {
+		return fmt.Errorf("loading dataset: %w", err)
+	}
+	d, p, err := engine.ParseSpec(methodStr)
+	if err != nil {
+		return err
+	}
+	spec := p.Spec()
+
+	buildCtx, cancel := context.WithTimeout(context.Background(), buildTimeout)
+	defer cancel()
+	opts := []engine.Option{engine.WithSpec(methodStr)}
+	if indexPath != "" {
+		opts = append(opts, engine.WithIndexPath(indexPath))
+	}
+	if verifyW > 0 {
+		opts = append(opts, engine.WithVerifyWorkers(verifyW))
+	}
+	var q engine.Querier
+	t0 := time.Now()
+	if shards > 1 {
+		s, err := engine.OpenSharded(buildCtx, ds, shards, opts...)
+		if err != nil {
+			return err
+		}
+		log.Printf("engine ready: %s over %d graphs, %d shards (%d restored) in %v, index %.2f MB",
+			d.Display, ds.Len(), shards, s.RestoredShards(),
+			time.Since(t0).Round(time.Millisecond), float64(s.SizeBytes())/(1<<20))
+		q = s
+	} else {
+		e, err := engine.Open(buildCtx, ds, opts...)
+		if err != nil {
+			return err
+		}
+		verb := "built"
+		if e.Restored() {
+			verb = "restored"
+		}
+		log.Printf("engine ready: %s over %d graphs, index %s in %v (%.2f MB)",
+			d.Display, ds.Len(), verb, time.Since(t0).Round(time.Millisecond),
+			float64(e.Method().SizeBytes())/(1<<20))
+		q = e
+		shards = 0
+	}
+
+	srv := server.New(q, server.Config{
+		Spec:   spec,
+		Shards: shards,
+		Cache: server.CacheConfig{
+			Disabled:   cacheEntries == 0,
+			MaxEntries: cacheEntries,
+			MaxBytes:   cacheBytes,
+			TTL:        cacheTTL,
+		},
+		Workers:        concurrency,
+		MaxQueue:       queue,
+		RequestTimeout: reqTimeout,
+	})
+	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() {
+		<-sigs
+		log.Printf("draining: rejecting new work, waiting up to %v for in-flight requests", drainTimeout)
+		srv.Drain()
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		done <- httpSrv.Shutdown(ctx)
+	}()
+
+	log.Printf("serving %s (%s) on %s", ds.Name, spec, addr)
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if err := <-done; err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	log.Printf("drained cleanly")
+	return nil
+}

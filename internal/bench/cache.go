@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// cacheAblationSpec is the method the cache ablation serves traffic
+// through. GGSX is the cheapest stable build, so the sweep's signal is the
+// cache's, not the index's.
+const cacheAblationSpec = "ggsx"
+
+// cacheRepeats is the swept traffic repetition factor: every base query is
+// replayed this many times (as fresh isomorphic vertex permutations), so
+// the expected steady-state hit ratio at factor r is (r-1)/r — 0%, 50%,
+// 75%, 87.5%.
+var cacheRepeats = []int{1, 2, 4, 8}
+
+// CacheResult is one repeated-traffic cell of the cache ablation.
+type CacheResult struct {
+	Variant  string `json:"variant"`
+	Repeats  int    `json:"repeats"`
+	Requests int    `json:"requests"`
+	Hits     int64  `json:"hits"`
+	Misses   int64  `json:"misses"`
+	// HitRatio is hits over requests; with r repeats it converges to
+	// (r-1)/r since each isomorphism class computes exactly once.
+	HitRatio float64 `json:"hit_ratio"`
+	// AvgServedSeconds is the mean served latency over all requests
+	// (hits and misses); AvgUncachedSeconds is the mean over the misses
+	// alone — the no-cache baseline cost.
+	AvgServedSeconds   float64 `json:"avg_served_seconds"`
+	AvgUncachedSeconds float64 `json:"avg_uncached_seconds"`
+	// Speedup is AvgUncachedSeconds / AvgServedSeconds.
+	Speedup float64 `json:"speedup"`
+}
+
+// RunCacheAblation sweeps the serving layer's result cache over
+// repeated-workload traffic: one engine is built once, then each variant
+// replays the base workload with a different repetition factor — every
+// repeat an isomorphic vertex permutation of its query, shuffled — through
+// a fresh cache, reporting the hit ratio and the latency win.
+func RunCacheAblation(ctx context.Context, ds *graph.Dataset, s Scale, log io.Writer) ([]CacheResult, error) {
+	buildCtx, cancel := withOptionalTimeout(ctx, s.BuildTimeout)
+	eng, err := engine.Open(buildCtx, ds, engine.WithSpec(cacheAblationSpec), engine.WithVerifyWorkers(1))
+	cancel()
+	if err != nil {
+		return nil, fmt.Errorf("bench: cache ablation: building %s: %w", cacheAblationSpec, err)
+	}
+	exp := Experiment{QuerySizes: s.QuerySizes, QueriesPerSize: s.QueriesPerSize, Seed: s.Seed}
+	sized, err := buildWorkload(ds, exp)
+	if err != nil {
+		return nil, fmt.Errorf("bench: cache ablation: %w", err)
+	}
+	base := make([]*graph.Graph, len(sized))
+	for i, sq := range sized {
+		base[i] = sq.q
+	}
+
+	var out []CacheResult
+	for _, repeats := range cacheRepeats {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		traffic := repeatedTraffic(base, repeats, s.Seed)
+		cached := server.NewCached(eng, server.CacheConfig{})
+		var served, uncached time.Duration
+		misses := 0
+		for _, q := range traffic {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
+			res, err := cached.Query(ctx, q)
+			if err != nil {
+				return out, fmt.Errorf("bench: cache ablation x%d: %w", repeats, err)
+			}
+			served += res.TotalTime()
+			if !res.Cached {
+				uncached += res.TotalTime()
+				misses++
+			}
+		}
+		st := cached.CacheStats()
+		row := CacheResult{
+			Variant:          fmt.Sprintf("x%d", repeats),
+			Repeats:          repeats,
+			Requests:         len(traffic),
+			Hits:             st.Hits,
+			Misses:           st.Misses,
+			HitRatio:         float64(st.Hits) / float64(len(traffic)),
+			AvgServedSeconds: served.Seconds() / float64(len(traffic)),
+		}
+		if misses > 0 {
+			row.AvgUncachedSeconds = uncached.Seconds() / float64(misses)
+		}
+		if row.AvgServedSeconds > 0 {
+			row.Speedup = row.AvgUncachedSeconds / row.AvgServedSeconds
+		}
+		if log != nil {
+			fmt.Fprintf(log, "[ablation/cache] %-4s requests=%d hits=%d ratio=%.3f served=%.6fs uncached=%.6fs speedup=%.2fx\n",
+				row.Variant, row.Requests, row.Hits, row.HitRatio,
+				row.AvgServedSeconds, row.AvgUncachedSeconds, row.Speedup)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// repeatedTraffic replays the base workload `repeats` times — every replay
+// of a query a fresh random vertex permutation, so cache hits must come
+// from canonical keying, not byte equality — in a deterministic shuffle.
+func repeatedTraffic(base []*graph.Graph, repeats int, seed int64) []*graph.Graph {
+	rng := rand.New(rand.NewSource(seed + int64(repeats)*7919))
+	traffic := make([]*graph.Graph, 0, len(base)*repeats)
+	for rep := 0; rep < repeats; rep++ {
+		for _, q := range base {
+			if rep == 0 {
+				traffic = append(traffic, q)
+				continue
+			}
+			traffic = append(traffic, workload.Permute(q, rng.Int63()))
+		}
+	}
+	rng.Shuffle(len(traffic), func(i, j int) { traffic[i], traffic[j] = traffic[j], traffic[i] })
+	return traffic
+}
+
+// WriteCacheAblationReport renders the cache ablation sweep.
+func WriteCacheAblationReport(w io.Writer, results []CacheResult) {
+	fmt.Fprintf(w, "\n# Ablation: result cache on repeated isomorphic traffic (%s)\n", cacheAblationSpec)
+	fmt.Fprintf(w, "%-8s %10s %8s %10s %14s %14s %9s\n",
+		"variant", "requests", "hits", "hitratio", "served(s)", "uncached(s)", "speedup")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-8s %10d %8d %10.3f %14.6f %14.6f %8.2fx\n",
+			r.Variant, r.Requests, r.Hits, r.HitRatio,
+			r.AvgServedSeconds, r.AvgUncachedSeconds, r.Speedup)
+	}
+}

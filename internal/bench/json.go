@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+
+	"repro/internal/graph"
+)
+
+// JSONCell is one (method, point) cell in machine-readable form: the
+// MethodResult fields CI trajectory tooling ingests, durations as seconds.
+type JSONCell struct {
+	Method               string             `json:"method"`
+	DNF                  bool               `json:"dnf,omitempty"`
+	Reason               string             `json:"reason,omitempty"`
+	BuildSeconds         float64            `json:"build_seconds"`
+	IndexBytes           int64              `json:"index_bytes"`
+	Shards               int                `json:"shards,omitempty"`
+	ShardBuildSumSeconds float64            `json:"shard_build_sum_seconds,omitempty"`
+	AvgQuerySeconds      float64            `json:"avg_query_seconds"`
+	FPRatio              float64            `json:"fp_ratio"`
+	AvgCandidates        float64            `json:"avg_candidates"`
+	AvgAnswers           float64            `json:"avg_answers"`
+	Queries              int                `json:"queries"`
+	TimeBySizeSeconds    map[string]float64 `json:"time_by_size_seconds,omitempty"`
+	FPBySize             map[string]float64 `json:"fp_by_size,omitempty"`
+}
+
+// JSONPoint is one x-axis point with all its method cells.
+type JSONPoint struct {
+	Label   string     `json:"label"`
+	X       float64    `json:"x"`
+	Methods []JSONCell `json:"methods"`
+}
+
+// JSONExperiment is one experiment or ablation sweep. Ablations render as
+// one point per variant (XAxis "variant") with a single cell each.
+type JSONExperiment struct {
+	Name   string      `json:"name"`
+	Title  string      `json:"title"`
+	XAxis  string      `json:"xaxis"`
+	Points []JSONPoint `json:"points"`
+}
+
+// JSONDataset is one Table 1 column: a dataset's name and characteristics.
+type JSONDataset struct {
+	Dataset string      `json:"dataset"`
+	Stats   graph.Stats `json:"stats"`
+}
+
+// JSONReport is the sqbench -json document: everything the invocation ran.
+type JSONReport struct {
+	Table1      []JSONDataset    `json:"table1,omitempty"`
+	Experiments []JSONExperiment `json:"experiments,omitempty"`
+	Ablations   []JSONExperiment `json:"ablations,omitempty"`
+	Cache       []CacheResult    `json:"cache_ablation,omitempty"`
+}
+
+// Table1JSON converts the Table 1 dataset characteristics.
+func Table1JSON(names []string, stats []graph.Stats) []JSONDataset {
+	out := make([]JSONDataset, len(names))
+	for i, n := range names {
+		out[i] = JSONDataset{Dataset: n, Stats: stats[i]}
+	}
+	return out
+}
+
+func cellJSON(mr MethodResult) JSONCell {
+	c := JSONCell{
+		Method:               string(mr.Method),
+		DNF:                  mr.DNF,
+		Reason:               mr.Reason,
+		BuildSeconds:         mr.BuildTime.Seconds(),
+		IndexBytes:           mr.IndexSize,
+		Shards:               mr.Shards,
+		ShardBuildSumSeconds: mr.ShardBuildSum.Seconds(),
+		AvgQuerySeconds:      mr.AvgQueryTime.Seconds(),
+		FPRatio:              mr.FPRatio,
+		AvgCandidates:        mr.AvgCandidates,
+		AvgAnswers:           mr.AvgAnswers,
+		Queries:              mr.QueriesRun,
+	}
+	if len(mr.TimeBySize) > 0 {
+		c.TimeBySizeSeconds = make(map[string]float64, len(mr.TimeBySize))
+		for size, t := range mr.TimeBySize {
+			c.TimeBySizeSeconds[strconv.Itoa(size)] = t.Seconds()
+		}
+	}
+	if len(mr.FPBySize) > 0 {
+		c.FPBySize = make(map[string]float64, len(mr.FPBySize))
+		for size, fp := range mr.FPBySize {
+			c.FPBySize[strconv.Itoa(size)] = fp
+		}
+	}
+	return c
+}
+
+// ExperimentJSON converts one figure experiment's results.
+func ExperimentJSON(exp Experiment, results []PointResult) JSONExperiment {
+	je := JSONExperiment{Name: exp.Name, Title: exp.Title, XAxis: exp.XAxis}
+	for _, pr := range results {
+		pt := JSONPoint{Label: pr.Spec.Label, X: pr.Spec.X}
+		for _, mr := range pr.Methods {
+			pt.Methods = append(pt.Methods, cellJSON(mr))
+		}
+		je.Points = append(je.Points, pt)
+	}
+	return je
+}
+
+// AblationJSON converts one ablation study's results: one point per
+// variant, in sweep order.
+func AblationJSON(ab Ablation, results []MethodResult) JSONExperiment {
+	je := JSONExperiment{Name: "ablation/" + ab.Name, Title: ab.Title, XAxis: "variant"}
+	for i, mr := range results {
+		je.Points = append(je.Points, JSONPoint{
+			Label:   string(mr.Method),
+			X:       float64(i),
+			Methods: []JSONCell{cellJSON(mr)},
+		})
+	}
+	return je
+}
+
+// WriteJSONReport writes the indented JSON document.
+func WriteJSONReport(w io.Writer, r *JSONReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -36,8 +36,9 @@ func (p *Processor) QueryBatch(ctx context.Context, queries []*graph.Graph, opts
 // function on a worker pool, returning per-query results in input order. An
 // individual query's failure is recorded on its entry and the rest of the
 // batch still runs, with the first error returned after all workers stop;
-// a context cancellation abandons the remaining queries, marking their
-// entries with ctx.Err().
+// a context cancellation stops issuing queries — the feeder stops handing
+// out work and workers refuse items already handed to them — marking every
+// unprocessed entry with ctx.Err() instead of draining the slice.
 func QueryBatchFunc(ctx context.Context, queries []*graph.Graph, opts BatchOptions,
 	query func(context.Context, *graph.Graph) (*QueryResult, error)) ([]BatchResult, error) {
 	workers := opts.Workers
@@ -58,24 +59,39 @@ func QueryBatchFunc(ctx context.Context, queries []*graph.Graph, opts BatchOptio
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				// A query handed out just before cancellation must not
+				// still run: many filter stages are not ctx-aware, so
+				// issuing it would pay its full cost.
+				if err := ctx.Err(); err != nil {
+					results[i] = BatchResult{Query: i, Err: err}
+					continue
+				}
 				res, err := query(ctx, queries[i])
 				results[i] = BatchResult{Query: i, Result: res, Err: err}
 			}
 		}()
 	}
+	canceled := func(from int) ([]BatchResult, error) {
+		close(next)
+		wg.Wait()
+		for j := from; j < len(queries); j++ {
+			if results[j].Result == nil && results[j].Err == nil {
+				results[j] = BatchResult{Query: j, Err: ctx.Err()}
+			}
+		}
+		return results, ctx.Err()
+	}
 	for i := range queries {
+		// Check before the select too: when both cases are ready the
+		// select picks randomly, which would keep feeding a canceled
+		// batch roughly every other query.
+		if ctx.Err() != nil {
+			return canceled(i)
+		}
 		select {
 		case next <- i:
 		case <-ctx.Done():
-			// Stop feeding; record cancellation for unprocessed queries.
-			for j := i; j < len(queries); j++ {
-				if results[j].Result == nil && results[j].Err == nil {
-					results[j] = BatchResult{Query: j, Err: ctx.Err()}
-				}
-			}
-			close(next)
-			wg.Wait()
-			return results, ctx.Err()
+			return canceled(i)
 		}
 	}
 	close(next)

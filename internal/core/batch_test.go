@@ -2,10 +2,12 @@ package core_test
 
 import (
 	"context"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/ggsx"
+	"repro/internal/graph"
 	"repro/internal/treedelta"
 )
 
@@ -76,6 +78,47 @@ func TestQueryBatchCancellation(t *testing.T) {
 	_, err := proc.QueryBatch(ctx, queries, core.BatchOptions{Workers: 2})
 	if err == nil {
 		t.Fatalf("cancelled batch should error")
+	}
+}
+
+// TestQueryBatchStopsIssuingAfterCancel: a cancellation mid-batch must
+// stop per-item queries from being issued — workers refuse items already
+// handed to them and the feeder stops — instead of draining the whole
+// slice through filter stages that are not ctx-aware.
+func TestQueryBatchStopsIssuingAfterCancel(t *testing.T) {
+	const n = 200
+	queries := make([]*graph.Graph, n)
+	for i := range queries {
+		g := graph.New(graph.ID(i))
+		g.AddVertex(1)
+		queries[i] = g
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var issued atomic.Int64
+	query := func(ctx context.Context, q *graph.Graph) (*core.QueryResult, error) {
+		if issued.Add(1) == 1 {
+			cancel() // cancel from inside the very first query
+		}
+		return &core.QueryResult{}, nil
+	}
+	results, err := core.QueryBatchFunc(ctx, queries, core.BatchOptions{Workers: 4}, query)
+	if err == nil {
+		t.Fatal("cancelled batch should return the context error")
+	}
+	// At most the queries already handed out before the cancellation can
+	// have been issued: the first plus up to one in-flight per worker.
+	if got := issued.Load(); got > 8 {
+		t.Errorf("cancelled batch issued %d queries, want <= 8 (not the whole slice)", got)
+	}
+	canceled := 0
+	for _, br := range results {
+		if br.Err != nil {
+			canceled++
+		}
+	}
+	if canceled < n-8 {
+		t.Errorf("only %d/%d entries carry the cancellation error", canceled, n)
 	}
 }
 

@@ -145,6 +145,11 @@ type QueryResult struct {
 	Answers    graph.IDSet
 	FilterTime time.Duration
 	VerifyTime time.Duration
+	// Cached marks a result served from a serving-layer result cache
+	// instead of computed by the pipeline. FilterTime then holds the
+	// canonical-key computation plus lookup latency and VerifyTime is
+	// zero, so TotalTime() remains the query's real served latency.
+	Cached bool
 }
 
 // FalsePositiveRatio returns (|C| - |A|) / |C| for this query, the

@@ -1,0 +1,32 @@
+package engine
+
+import (
+	"context"
+	"iter"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Querier is the query-serving surface Engine and Sharded share: one-shot
+// queries, concurrent batches, and streamed answers over a single dataset.
+// It is the contract a serving layer (repro/internal/server) wraps — a
+// result cache or an RPC fan-out interposes on Querier without caring
+// whether the index behind it is sharded.
+type Querier interface {
+	// Dataset returns the dataset queries are answered over.
+	Dataset() *graph.Dataset
+	// Query processes one subgraph query end to end.
+	Query(ctx context.Context, q *graph.Graph) (*core.QueryResult, error)
+	// QueryBatch processes a workload concurrently, returning per-query
+	// results in input order.
+	QueryBatch(ctx context.Context, queries []*graph.Graph, opts core.BatchOptions) ([]core.BatchResult, error)
+	// Stream yields matching graph IDs as verification confirms them, in
+	// ascending ID order, without materializing the answer set.
+	Stream(ctx context.Context, q *graph.Graph) iter.Seq2[graph.ID, error]
+}
+
+var (
+	_ Querier = (*Engine)(nil)
+	_ Querier = (*Sharded)(nil)
+)

@@ -1,0 +1,168 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Cache bounds, defaults applied by NewCached.
+const (
+	DefaultMaxEntries = 4096
+	DefaultMaxBytes   = 64 << 20
+)
+
+// CacheConfig bounds the result cache.
+type CacheConfig struct {
+	// Disabled switches the cache off entirely: every query computes.
+	Disabled bool
+	// MaxEntries caps the number of cached results (<= 0: DefaultMaxEntries).
+	MaxEntries int
+	// MaxBytes caps the approximate memory held by cached results
+	// (<= 0: DefaultMaxBytes).
+	MaxBytes int64
+	// TTL expires an entry this long after it was stored (0 = no expiry).
+	TTL time.Duration
+}
+
+// CacheStats counts cache and deduplication activity since construction.
+// Hits + Misses + Dedups partitions the keyed queries: served from the
+// cache, computed through the engine, or joined onto an in-flight
+// identical computation — so Misses is exactly the engine's compute count.
+type CacheStats struct {
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Evictions   int64 `json:"evictions"`
+	Expirations int64 `json:"expirations"`
+	// Dedups counts queries that neither hit nor computed: they arrived
+	// while an identical (isomorphic) query was in flight and shared its
+	// result (single-flight).
+	Dedups  int64 `json:"dedups"`
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// cache is a mutex-guarded LRU of canonical query key → QueryResult with
+// optional TTL and approximate byte accounting. Stored results are shared,
+// never copied — callers must treat Candidates/Answers as read-only, as
+// everywhere else in the pipeline.
+type cache struct {
+	maxEntries int
+	maxBytes   int64
+	ttl        time.Duration
+	now        func() time.Time // injectable for TTL tests
+
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+	bytes int64
+
+	hits, misses, evictions, expirations int64
+}
+
+// centry is one cache slot.
+type centry struct {
+	key   string
+	res   *core.QueryResult
+	size  int64
+	added time.Time
+}
+
+func newCache(cfg CacheConfig) *cache {
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = DefaultMaxEntries
+	}
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = DefaultMaxBytes
+	}
+	return &cache{
+		maxEntries: cfg.MaxEntries,
+		maxBytes:   cfg.MaxBytes,
+		ttl:        cfg.TTL,
+		now:        time.Now,
+		ll:         list.New(),
+		items:      make(map[string]*list.Element),
+	}
+}
+
+// entrySize approximates the memory one entry holds: the key, the id sets
+// (4 bytes per graph.ID), and a fixed overhead for the structs, slice
+// headers, and list/map bookkeeping.
+func entrySize(key string, res *core.QueryResult) int64 {
+	const overhead = 160
+	return overhead + int64(len(key)) + 4*int64(len(res.Candidates)+len(res.Answers))
+}
+
+// get returns the live entry for key, expiring it if its TTL has passed.
+// Misses are not counted here but by countMiss at the point a query
+// actually computes, so single-flight joiners show up as Dedups only.
+func (c *cache) get(key string) (*core.QueryResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*centry)
+	if c.ttl > 0 && c.now().Sub(e.added) >= c.ttl {
+		c.remove(el)
+		c.expirations++
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return e.res, true
+}
+
+// countMiss records one query computing through the engine after its
+// cache lookup failed.
+func (c *cache) countMiss() {
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+}
+
+// put stores (or refreshes) key's result and evicts from the LRU tail until
+// both bounds hold again.
+func (c *cache) put(key string, res *core.QueryResult) {
+	size := entrySize(key, res)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*centry)
+		c.bytes += size - e.size
+		e.res, e.size, e.added = res, size, c.now()
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&centry{key: key, res: res, size: size, added: c.now()})
+		c.bytes += size
+	}
+	for c.ll.Len() > 0 && (c.ll.Len() > c.maxEntries || c.bytes > c.maxBytes) {
+		c.remove(c.ll.Back())
+		c.evictions++
+	}
+}
+
+// remove unlinks an element; the caller holds mu and accounts the reason.
+func (c *cache) remove(el *list.Element) {
+	e := el.Value.(*centry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.bytes -= e.size
+}
+
+// stats snapshots the counters (Dedups is tracked by CachedEngine).
+func (c *cache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Evictions:   c.evictions,
+		Expirations: c.expirations,
+		Entries:     c.ll.Len(),
+		Bytes:       c.bytes,
+	}
+}

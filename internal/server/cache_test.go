@@ -1,0 +1,156 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+func resultOf(ids ...graph.ID) *core.QueryResult {
+	return &core.QueryResult{Candidates: graph.NewIDSet(ids...), Answers: graph.NewIDSet(ids...)}
+}
+
+// TestCacheEvictionOrder: the LRU evicts the least recently *used* entry,
+// with gets refreshing recency.
+func TestCacheEvictionOrder(t *testing.T) {
+	c := newCache(CacheConfig{MaxEntries: 2})
+	c.put("a", resultOf(1))
+	c.put("b", resultOf(2))
+	if _, ok := c.get("a"); !ok { // refresh a: b is now LRU
+		t.Fatal("a should be cached")
+	}
+	c.put("c", resultOf(3)) // evicts b
+	if _, ok := c.get("b"); ok {
+		t.Error("b should have been evicted as LRU")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("a should have survived (recently used)")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Error("c should be cached")
+	}
+	st := c.stats()
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Entries != 2 {
+		t.Errorf("entries = %d, want 2", st.Entries)
+	}
+}
+
+// TestCacheTTLExpiry: entries expire TTL after insertion; an expired entry
+// counts as expiration + miss and re-inserting makes it live again.
+func TestCacheTTLExpiry(t *testing.T) {
+	c := newCache(CacheConfig{TTL: time.Minute})
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+
+	c.put("a", resultOf(1))
+	now = now.Add(30 * time.Second)
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a should still be live at TTL/2")
+	}
+	now = now.Add(31 * time.Second)
+	if _, ok := c.get("a"); ok {
+		t.Fatal("a should have expired past TTL")
+	}
+	st := c.stats()
+	if st.Expirations != 1 || st.Entries != 0 {
+		t.Errorf("expirations=%d entries=%d, want 1, 0", st.Expirations, st.Entries)
+	}
+	c.put("a", resultOf(2))
+	if _, ok := c.get("a"); !ok {
+		t.Error("re-inserted a should be live again")
+	}
+	// A put refreshes the clock: the entry's lifetime restarts.
+	now = now.Add(45 * time.Second)
+	c.put("a", resultOf(3))
+	now = now.Add(45 * time.Second)
+	if _, ok := c.get("a"); !ok {
+		t.Error("refreshed a should live TTL past its last put")
+	}
+}
+
+// TestCacheByteBound: the approximate byte budget evicts independently of
+// the entry count.
+func TestCacheByteBound(t *testing.T) {
+	big := make(graph.IDSet, 1000)
+	for i := range big {
+		big[i] = graph.ID(i)
+	}
+	c := newCache(CacheConfig{MaxEntries: 100, MaxBytes: 6000})
+	c.put("a", &core.QueryResult{Candidates: big, Answers: big}) // ~8KB > budget
+	if st := c.stats(); st.Entries != 0 || st.Evictions != 1 {
+		t.Errorf("oversized entry: entries=%d evictions=%d, want 0, 1", st.Entries, st.Evictions)
+	}
+	c.put("b", resultOf(1))
+	c.put("c", resultOf(2))
+	if st := c.stats(); st.Entries != 2 {
+		t.Errorf("small entries should fit: entries=%d, want 2", st.Entries)
+	}
+	if st := c.stats(); st.Bytes <= 0 || st.Bytes > 6000 {
+		t.Errorf("bytes=%d, want within (0, 6000]", st.Bytes)
+	}
+}
+
+// TestQueryKeyIsomorphismInvariance: permuted copies key identically,
+// structurally or label-wise different graphs do not, and disconnected
+// queries key on their component multiset in any component order.
+func TestQueryKeyIsomorphismInvariance(t *testing.T) {
+	tri := func(l0, l1, l2 graph.Label) *graph.Graph {
+		g := graph.New(0)
+		g.AddVertex(l0)
+		g.AddVertex(l1)
+		g.AddVertex(l2)
+		g.MustAddEdge(0, 1)
+		g.MustAddEdge(1, 2)
+		g.MustAddEdge(2, 0)
+		return g
+	}
+	g := tri(1, 2, 3)
+	key, ok := QueryKey(g)
+	if !ok {
+		t.Fatal("QueryKey failed on a triangle")
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		pk, ok := QueryKey(workload.Permute(g, seed))
+		if !ok || pk != key {
+			t.Fatalf("permuted triangle (seed %d) key mismatch", seed)
+		}
+	}
+	if k2, _ := QueryKey(tri(1, 2, 4)); k2 == key {
+		t.Error("different labels must key differently")
+	}
+	path := graph.New(0)
+	path.AddVertex(1)
+	path.AddVertex(2)
+	path.AddVertex(3)
+	path.MustAddEdge(0, 1)
+	path.MustAddEdge(1, 2)
+	if kp, _ := QueryKey(path); kp == key {
+		t.Error("path and triangle must key differently")
+	}
+
+	// Disconnected: edge{1-2} + isolated vertex 3, in both layouts.
+	d1 := graph.New(0)
+	d1.AddVertex(1)
+	d1.AddVertex(2)
+	d1.AddVertex(3)
+	d1.MustAddEdge(0, 1)
+	d2 := graph.New(0)
+	d2.AddVertex(3)
+	d2.AddVertex(2)
+	d2.AddVertex(1)
+	d2.MustAddEdge(1, 2)
+	k1, ok1 := QueryKey(d1)
+	k2, ok2 := QueryKey(d2)
+	if !ok1 || !ok2 || k1 != k2 {
+		t.Errorf("disconnected layouts of the same graph must key identically")
+	}
+	if _, ok := QueryKey(graph.New(0)); ok {
+		t.Error("empty graph must not key")
+	}
+}

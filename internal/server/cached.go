@@ -1,0 +1,157 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"iter"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/graph"
+)
+
+// CachedEngine wraps any engine.Querier — flat or sharded — with an
+// isomorphism-invariant result cache and single-flight deduplication. The
+// cache is keyed by QueryKey, so two queries that are isomorphic as
+// labelled graphs share an entry regardless of vertex ordering; concurrent
+// misses on the same key share one computation instead of racing the
+// pipeline. Cached answers are exactly the underlying engine's: a hit
+// returns the stored Candidates/Answers sets with Cached set and the
+// lookup latency as FilterTime.
+type CachedEngine struct {
+	inner engine.Querier
+	cache *cache // nil when caching is disabled
+
+	mu      sync.Mutex
+	flights map[string]*flight
+	dedups  atomic.Int64
+}
+
+// flight is one in-progress computation shared by all queries with its key.
+type flight struct {
+	done chan struct{} // closed after res/err are set
+	res  *core.QueryResult
+	err  error
+}
+
+var _ engine.Querier = (*CachedEngine)(nil)
+
+// NewCached wraps inner with a result cache bounded by cfg. With
+// cfg.Disabled every call passes straight through (single-flight included),
+// so a CachedEngine can stand in unconditionally.
+func NewCached(inner engine.Querier, cfg CacheConfig) *CachedEngine {
+	c := &CachedEngine{inner: inner, flights: make(map[string]*flight)}
+	if !cfg.Disabled {
+		c.cache = newCache(cfg)
+	}
+	return c
+}
+
+// Dataset returns the dataset the wrapped engine serves queries over.
+func (c *CachedEngine) Dataset() *graph.Dataset { return c.inner.Dataset() }
+
+// CacheStats snapshots cache and deduplication counters.
+func (c *CachedEngine) CacheStats() CacheStats {
+	var s CacheStats
+	if c.cache != nil {
+		s = c.cache.stats()
+	}
+	s.Dedups = c.dedups.Load()
+	return s
+}
+
+// Query serves one query through the cache: a hit returns immediately, a
+// miss computes through the wrapped engine (joining an in-flight identical
+// computation when one exists) and stores the result. Errors are never
+// cached; a waiter whose context ends before the shared computation does
+// returns its own ctx error, and a waiter whose leader died of the
+// leader's own context recomputes rather than inheriting the failure.
+func (c *CachedEngine) Query(ctx context.Context, q *graph.Graph) (*core.QueryResult, error) {
+	if c.cache == nil {
+		return c.inner.Query(ctx, q)
+	}
+	t0 := time.Now()
+	key, ok := QueryKey(q)
+	if !ok {
+		return c.inner.Query(ctx, q)
+	}
+	for {
+		if res, hit := c.cache.get(key); hit {
+			return cachedResult(res, time.Since(t0)), nil
+		}
+		c.mu.Lock()
+		f, inflight := c.flights[key]
+		if !inflight {
+			f = &flight{done: make(chan struct{})}
+			c.flights[key] = f
+			c.mu.Unlock()
+			c.cache.countMiss()
+			res, err := c.inner.Query(ctx, q)
+			// Store before retiring the flight: a query arriving between
+			// the two would otherwise see neither and recompute in full.
+			if err == nil {
+				c.cache.put(key, res)
+			}
+			f.res, f.err = res, err
+			c.mu.Lock()
+			delete(c.flights, key)
+			c.mu.Unlock()
+			close(f.done)
+			return res, err
+		}
+		c.mu.Unlock()
+		c.dedups.Add(1)
+		select {
+		case <-f.done:
+			if f.err == nil {
+				return cachedResult(f.res, time.Since(t0)), nil
+			}
+			if isContextErr(f.err) && ctx.Err() == nil {
+				// The leader died of its *own* canceled context or
+				// deadline; this waiter's budget is still alive, so one
+				// impatient client must not poison the flight — loop and
+				// recompute (or join the next flight).
+				continue
+			}
+			return nil, f.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// isContextErr reports whether err is a context cancellation or deadline,
+// wherever it sits in the chain.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// cachedResult is a hit's surface: the stored answer and candidate sets
+// (shared, read-only by convention), Cached set, and the key+lookup latency
+// as FilterTime so TotalTime() stays the real served latency.
+func cachedResult(res *core.QueryResult, lookup time.Duration) *core.QueryResult {
+	return &core.QueryResult{
+		Candidates: res.Candidates,
+		Answers:    res.Answers,
+		FilterTime: lookup,
+		Cached:     true,
+	}
+}
+
+// QueryBatch runs the batch through the cache item by item on the shared
+// batch pool, so repeated or isomorphic queries inside one batch hit (or
+// single-flight) like they do across requests. Unlike Engine.QueryBatch it
+// does not force per-item verification serial: a serving layer bounds total
+// load through admission control, not by flattening each request.
+func (c *CachedEngine) QueryBatch(ctx context.Context, queries []*graph.Graph, opts core.BatchOptions) ([]core.BatchResult, error) {
+	return core.QueryBatchFunc(ctx, queries, opts, c.Query)
+}
+
+// Stream passes through uncached: streaming exists to avoid materializing
+// answer sets, which is exactly what caching would require.
+func (c *CachedEngine) Stream(ctx context.Context, q *graph.Graph) iter.Seq2[graph.ID, error] {
+	return c.inner.Stream(ctx, q)
+}

@@ -1,0 +1,53 @@
+// Package server is the long-lived serving layer over the query engine: an
+// isomorphism-invariant result cache with single-flight deduplication
+// (CachedEngine) and an HTTP/JSON front end (Server) with admission
+// control, NDJSON streaming, and observable stats — the subsystem behind
+// cmd/sqserve. It wraps any engine.Querier, so the index behind it may be
+// flat or sharded.
+package server
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/canon"
+	"repro/internal/graph"
+)
+
+// QueryKey returns a canonical, isomorphism-invariant cache key for a query
+// graph: two queries receive the same key iff they are isomorphic as
+// labelled graphs, so a cache keyed by it hits regardless of vertex
+// ordering. Connected queries key on their minimum DFS code
+// (canon.GraphKey); disconnected queries on the sorted, length-prefixed
+// multiset of their components' keys. ok is false only for the empty
+// graph, which has no meaningful key — such queries bypass the cache.
+func QueryKey(q *graph.Graph) (key string, ok bool) {
+	if q.NumVertices() == 0 {
+		return "", false
+	}
+	if k, ok := canon.GraphKey(q); ok {
+		return string(k), true
+	}
+	comps := q.ConnectedComponents()
+	keys := make([]string, 0, len(comps))
+	for _, vs := range comps {
+		sub, _, err := q.InducedSubgraph(vs)
+		if err != nil {
+			return "", false
+		}
+		k, ok := canon.GraphKey(sub)
+		if !ok {
+			return "", false
+		}
+		keys = append(keys, string(k))
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(strconv.Itoa(len(k)))
+		b.WriteByte(':')
+		b.WriteString(k)
+	}
+	return b.String(), true
+}

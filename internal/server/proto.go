@@ -1,0 +1,179 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// GraphJSON is the wire form of a query graph: vertex labels by index plus
+// undirected vertex-id edge pairs — the JSON analogue of one GFD record.
+// Labels are the dataset's label strings; a label no dataset graph carries
+// makes the query unsatisfiable and the server answers it empty without
+// touching the engine.
+type GraphJSON struct {
+	Vertices []string   `json:"vertices"`
+	Edges    [][2]int32 `json:"edges"`
+}
+
+// GraphToJSON renders g in wire form, naming labels through dict; labels
+// never interned render as their numeric value, mirroring the GFD writer.
+func GraphToJSON(g *graph.Graph, dict *graph.Dictionary) GraphJSON {
+	gj := GraphJSON{
+		Vertices: make([]string, g.NumVertices()),
+		Edges:    g.Edges(),
+	}
+	if gj.Edges == nil {
+		gj.Edges = [][2]int32{}
+	}
+	for v := int32(0); int(v) < g.NumVertices(); v++ {
+		name := dict.Name(g.Label(v))
+		if name == "" {
+			name = strconv.Itoa(int(g.Label(v)))
+		}
+		gj.Vertices[v] = name
+	}
+	return gj
+}
+
+// toGraph converts a wire graph into a query against dict's label space.
+// unknown reports a vertex label absent from the dictionary: no dataset
+// graph can then contain the query, so the caller short-circuits to an
+// empty result instead of interning a new id (the dictionary is shared
+// across concurrent requests and must not be mutated).
+func toGraph(gj GraphJSON, dict *graph.Dictionary) (q *graph.Graph, unknown bool, err error) {
+	if len(gj.Vertices) == 0 {
+		return nil, false, fmt.Errorf("query has no vertices")
+	}
+	for _, e := range gj.Edges {
+		if e[0] < 0 || int(e[0]) >= len(gj.Vertices) || e[1] < 0 || int(e[1]) >= len(gj.Vertices) {
+			return nil, false, fmt.Errorf("edge (%d,%d) out of range [0,%d)", e[0], e[1], len(gj.Vertices))
+		}
+	}
+	g := graph.NewWithCapacity(0, len(gj.Vertices))
+	for _, name := range gj.Vertices {
+		l, ok := dict.Lookup(name)
+		if !ok {
+			return nil, true, nil
+		}
+		g.AddVertex(l)
+	}
+	for _, e := range gj.Edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			return nil, false, err
+		}
+	}
+	return g, false, nil
+}
+
+// QueryResponse is the non-streaming /query (and per-item /batch) result.
+type QueryResponse struct {
+	Candidates []graph.ID `json:"candidates"`
+	Answers    []graph.ID `json:"answers"`
+	Cached     bool       `json:"cached"`
+	FilterUs   int64      `json:"filter_us"`
+	VerifyUs   int64      `json:"verify_us"`
+	TotalUs    int64      `json:"total_us"`
+}
+
+func queryResponse(res *core.QueryResult) QueryResponse {
+	r := QueryResponse{
+		Candidates: res.Candidates,
+		Answers:    res.Answers,
+		Cached:     res.Cached,
+		FilterUs:   res.FilterTime.Microseconds(),
+		VerifyUs:   res.VerifyTime.Microseconds(),
+		TotalUs:    res.TotalTime().Microseconds(),
+	}
+	// Encode empty sets as [] rather than null.
+	if r.Candidates == nil {
+		r.Candidates = graph.IDSet{}
+	}
+	if r.Answers == nil {
+		r.Answers = graph.IDSet{}
+	}
+	return r
+}
+
+// BatchRequest is the /batch request body.
+type BatchRequest struct {
+	Queries []GraphJSON `json:"queries"`
+	// Workers bounds the batch's internal parallelism; 0 or out-of-range
+	// values are clamped to the server's worker budget.
+	Workers int `json:"workers,omitempty"`
+}
+
+// BatchItem is one query's outcome inside a /batch response: a result or an
+// item-level error (a malformed graph, or the batch's context ending).
+type BatchItem struct {
+	QueryResponse
+	Error string `json:"error,omitempty"`
+}
+
+// BatchResponse is the /batch response body.
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
+}
+
+// StreamLine is one NDJSON line of a streaming /query response: an answer
+// id, a terminal error, or the terminal done marker with the match count.
+type StreamLine struct {
+	ID      *graph.ID `json:"id,omitempty"`
+	Error   string    `json:"error,omitempty"`
+	Done    bool      `json:"done,omitempty"`
+	Matches int       `json:"matches,omitempty"`
+}
+
+// MethodJSON is one registry entry in the /methods listing.
+type MethodJSON struct {
+	Name    string      `json:"name"`
+	Display string      `json:"display"`
+	Help    string      `json:"help,omitempty"`
+	Params  []ParamJSON `json:"params,omitempty"`
+}
+
+// ParamJSON is one typed method parameter in the /methods listing.
+type ParamJSON struct {
+	Name    string `json:"name"`
+	Kind    string `json:"kind"`
+	Default any    `json:"default"`
+	Help    string `json:"help,omitempty"`
+}
+
+// AdmissionStats reports the worker pool and queue state in /stats.
+type AdmissionStats struct {
+	Workers    int   `json:"workers"`
+	QueueLimit int   `json:"queue_limit"`
+	InFlight   int64 `json:"in_flight"`
+	Waiting    int64 `json:"waiting"`
+	Rejected   int64 `json:"rejected"`
+	TimedOut   int64 `json:"timed_out"`
+}
+
+// RequestStats counts requests by endpoint in /stats.
+type RequestStats struct {
+	Query  int64 `json:"query"`
+	Batch  int64 `json:"batch"`
+	Stream int64 `json:"stream"`
+	Errors int64 `json:"errors"`
+}
+
+// StatsResponse is the /stats body.
+type StatsResponse struct {
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Dataset       string         `json:"dataset"`
+	Graphs        int            `json:"graphs"`
+	Method        string         `json:"method"`
+	Shards        int            `json:"shards,omitempty"`
+	Draining      bool           `json:"draining"`
+	Cache         CacheStats     `json:"cache"`
+	Admission     AdmissionStats `json:"admission"`
+	Requests      RequestStats   `json:"requests"`
+}
+
+// ErrorResponse is the body of every non-2xx JSON response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

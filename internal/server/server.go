@@ -1,0 +1,419 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/graph"
+)
+
+// maxBodyBytes bounds request bodies; a query graph is tiny, a batch of a
+// few thousand is comfortably under this.
+const maxBodyBytes = 32 << 20
+
+// Config configures a Server around an opened engine.
+type Config struct {
+	// Spec is the canonical method spec being served, shown in /stats.
+	Spec string
+	// Shards is the engine's shard count (0 = unsharded), shown in /stats.
+	Shards int
+	// Cache bounds the result cache; the zero value takes the defaults.
+	Cache CacheConfig
+	// Workers caps concurrently executing requests (admission control's
+	// worker pool; default GOMAXPROCS).
+	Workers int
+	// MaxQueue caps requests waiting for a worker slot beyond the
+	// executing ones; arrivals past Workers+MaxQueue are rejected with
+	// 429 (default 4×Workers).
+	MaxQueue int
+	// RequestTimeout bounds each request's query execution, admission
+	// wait included (default 30s; negative = unlimited).
+	RequestTimeout time.Duration
+	// MaxBatch caps the queries accepted in one /batch request
+	// (default 1024).
+	MaxBatch int
+}
+
+// Server is the HTTP/JSON front end over a cached engine: /query (one-shot
+// or NDJSON streaming), /batch, /methods, /stats, and /healthz, with a
+// bounded worker pool admitting query work and a drain mode for graceful
+// shutdown.
+type Server struct {
+	eng     *CachedEngine
+	cfg     Config
+	mux     *http.ServeMux
+	slots   chan struct{}
+	started time.Time
+
+	admitted atomic.Int64 // in the system: waiting for a slot or executing
+	inflight atomic.Int64 // executing
+	rejected atomic.Int64
+	timedOut atomic.Int64
+	draining atomic.Bool
+
+	reqQuery, reqBatch, reqStream, reqErrors atomic.Int64
+}
+
+// New wraps an opened engine — *engine.Engine, *engine.Sharded, or any
+// other Querier — in the serving layer.
+func New(q engine.Querier, cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 4 * cfg.Workers
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 1024
+	}
+	s := &Server{
+		eng:     NewCached(q, cfg.Cache),
+		cfg:     cfg,
+		slots:   make(chan struct{}, cfg.Workers),
+		started: time.Now(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /batch", s.handleBatch)
+	mux.HandleFunc("GET /methods", s.handleMethods)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Engine returns the serving layer's cached engine, for in-process use and
+// tests.
+func (s *Server) Engine() *CachedEngine { return s.eng }
+
+// Drain puts the server into drain mode: /healthz flips to 503 so load
+// balancers stop routing here and new query work is rejected, while
+// requests already admitted run to completion. Call it before
+// http.Server.Shutdown, which then waits for the in-flight handlers.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Admission control errors.
+var (
+	errQueueFull = errors.New("admission queue full")
+	errDraining  = errors.New("server draining")
+)
+
+// acquire claims a worker slot, queueing up to the configured depth: at
+// most Workers requests execute and at most MaxQueue more wait; an arrival
+// beyond Workers+MaxQueue in the system is rejected.
+func (s *Server) acquire(ctx context.Context) error {
+	if s.draining.Load() {
+		return errDraining
+	}
+	if s.admitted.Add(1) > int64(s.cfg.Workers+s.cfg.MaxQueue) {
+		s.admitted.Add(-1)
+		s.rejected.Add(1)
+		return errQueueFull
+	}
+	select {
+	case s.slots <- struct{}{}:
+		s.inflight.Add(1)
+		return nil
+	case <-ctx.Done():
+		s.admitted.Add(-1)
+		s.timedOut.Add(1)
+		return ctx.Err()
+	}
+}
+
+func (s *Server) release() {
+	s.inflight.Add(-1)
+	s.admitted.Add(-1)
+	<-s.slots
+}
+
+// tryAcquireExtra opportunistically claims up to n additional worker slots
+// without waiting, returning how many it got. A batch widens its internal
+// pool only with idle capacity, so the Workers bound holds across
+// concurrent requests and partial acquisition can never deadlock.
+func (s *Server) tryAcquireExtra(n int) int {
+	for got := 0; ; got++ {
+		if got == n {
+			return got
+		}
+		select {
+		case s.slots <- struct{}{}:
+		default:
+			return got
+		}
+	}
+}
+
+func (s *Server) releaseExtra(n int) {
+	for i := 0; i < n; i++ {
+		<-s.slots
+	}
+}
+
+// admit applies admission control and the per-request budget: it derives
+// the bounded context and claims a worker slot, writing the rejection
+// response itself on failure. The returned release func is non-nil iff ok;
+// it frees the slot and cancels the context.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (ctx context.Context, release func(), ok bool) {
+	ctx = r.Context()
+	cancel := context.CancelFunc(func() {})
+	if s.cfg.RequestTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+	}
+	if err := s.acquire(ctx); err != nil {
+		cancel()
+		switch {
+		case errors.Is(err, errQueueFull):
+			w.Header().Set("Retry-After", "1")
+			s.fail(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, errDraining):
+			s.fail(w, http.StatusServiceUnavailable, err)
+		default: // admission wait outlived the request budget or the client
+			s.fail(w, http.StatusServiceUnavailable, err)
+		}
+		return nil, nil, false
+	}
+	return ctx, func() { s.release(); cancel() }, true
+}
+
+// fail writes a JSON error body and counts it.
+func (s *Server) fail(w http.ResponseWriter, code int, err error) {
+	s.reqErrors.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func decodeJSON(r *http.Request, w http.ResponseWriter, v any) error {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	return nil
+}
+
+// queryStatusCode maps an engine error to an HTTP status: context ends are
+// the request budget's doing, everything else is the server's.
+func queryStatusCode(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusInternalServerError
+}
+
+// handleQuery serves POST /query: body is one GraphJSON; `?stream=1`
+// switches the response to NDJSON answer ids backed by the engine's Stream
+// iterator (uncached), cancelled mid-stream when the client disconnects or
+// the request budget ends.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	stream := r.URL.Query().Get("stream") != ""
+	if stream {
+		s.reqStream.Add(1)
+	} else {
+		s.reqQuery.Add(1)
+	}
+	var gj GraphJSON
+	if err := decodeJSON(r, w, &gj); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	q, unknown, err := toGraph(gj, &s.eng.Dataset().Dict)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if unknown {
+		// A label absent from the dataset dictionary is in no dataset
+		// graph: the answer is empty, no engine work needed.
+		if stream {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			json.NewEncoder(w).Encode(StreamLine{Done: true})
+			return
+		}
+		writeJSON(w, queryResponse(&core.QueryResult{}))
+		return
+	}
+	ctx, release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	if stream {
+		s.streamQuery(ctx, w, q)
+		return
+	}
+	res, err := s.eng.Query(ctx, q)
+	if err != nil {
+		s.fail(w, queryStatusCode(err), err)
+		return
+	}
+	writeJSON(w, queryResponse(res))
+}
+
+// streamQuery writes NDJSON answer lines as verification confirms them,
+// flushing per line so clients observe answers before the query finishes.
+func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, q *graph.Graph) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	n := 0
+	for id, err := range s.eng.Stream(ctx, q) {
+		if err != nil {
+			s.reqErrors.Add(1)
+			enc.Encode(StreamLine{Error: err.Error()})
+			if fl != nil {
+				fl.Flush()
+			}
+			return
+		}
+		id := id
+		if enc.Encode(StreamLine{ID: &id}) != nil {
+			return // client gone; ctx cancellation stops the iterator next round
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+		n++
+	}
+	enc.Encode(StreamLine{Done: true, Matches: n})
+	if fl != nil {
+		fl.Flush()
+	}
+}
+
+// handleBatch serves POST /batch: each query runs through the cache on the
+// shared batch pool; malformed items fail individually without sinking the
+// batch.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.reqBatch.Add(1)
+	var req BatchRequest
+	if err := decodeJSON(r, w, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.fail(w, http.StatusBadRequest, errors.New("empty batch"))
+		return
+	}
+	if len(req.Queries) > s.cfg.MaxBatch {
+		s.fail(w, http.StatusBadRequest,
+			fmt.Errorf("batch of %d exceeds limit %d", len(req.Queries), s.cfg.MaxBatch))
+		return
+	}
+	items := make([]BatchItem, len(req.Queries))
+	var valid []*graph.Graph
+	var validIdx []int
+	for i, gj := range req.Queries {
+		q, unknown, err := toGraph(gj, &s.eng.Dataset().Dict)
+		switch {
+		case err != nil:
+			items[i] = BatchItem{Error: err.Error()}
+		case unknown:
+			items[i] = BatchItem{QueryResponse: queryResponse(&core.QueryResult{})}
+		default:
+			valid = append(valid, q)
+			validIdx = append(validIdx, i)
+		}
+	}
+	ctx, release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	// The batch runs on its own admission slot plus whatever slots are
+	// idle right now: its internal parallelism never takes the total
+	// executing concurrency past the Workers bound, so batch traffic
+	// cannot tunnel around admission control.
+	want := req.Workers
+	if want <= 0 || want > s.cfg.Workers {
+		want = s.cfg.Workers
+	}
+	extra := s.tryAcquireExtra(want - 1)
+	defer s.releaseExtra(extra)
+	// The per-item errors land in the results; the batch-level first error
+	// is deliberately not a request failure.
+	results, _ := s.eng.QueryBatch(ctx, valid, core.BatchOptions{Workers: 1 + extra})
+	for j, br := range results {
+		i := validIdx[j]
+		if br.Err != nil {
+			items[i] = BatchItem{Error: br.Err.Error()}
+			continue
+		}
+		items[i] = BatchItem{QueryResponse: queryResponse(br.Result)}
+	}
+	writeJSON(w, BatchResponse{Results: items})
+}
+
+// handleMethods serves GET /methods: the live registry listing.
+func (s *Server) handleMethods(w http.ResponseWriter, _ *http.Request) {
+	var out []MethodJSON
+	for _, d := range engine.Descriptors() {
+		m := MethodJSON{Name: d.Name, Display: d.Display, Help: d.Help}
+		for _, f := range d.Fields {
+			m.Params = append(m.Params, ParamJSON{
+				Name: f.Name, Kind: f.Kind.String(), Default: f.Default, Help: f.Help,
+			})
+		}
+		out = append(out, m)
+	}
+	writeJSON(w, out)
+}
+
+// handleStats serves GET /stats.
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	ds := s.eng.Dataset()
+	writeJSON(w, StatsResponse{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Dataset:       ds.Name,
+		Graphs:        ds.Len(),
+		Method:        s.cfg.Spec,
+		Shards:        s.cfg.Shards,
+		Draining:      s.draining.Load(),
+		Cache:         s.eng.CacheStats(),
+		Admission: AdmissionStats{
+			Workers:    s.cfg.Workers,
+			QueueLimit: s.cfg.MaxQueue,
+			InFlight:   s.inflight.Load(),
+			Waiting:    max(s.admitted.Load()-s.inflight.Load(), 0),
+			Rejected:   s.rejected.Load(),
+			TimedOut:   s.timedOut.Load(),
+		},
+		Requests: RequestStats{
+			Query:  s.reqQuery.Load(),
+			Batch:  s.reqBatch.Load(),
+			Stream: s.reqStream.Load(),
+			Errors: s.reqErrors.Load(),
+		},
+	})
+}
+
+// handleHealthz serves GET /healthz: 200 while serving, 503 once draining.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, map[string]string{"status": "ok"})
+}

@@ -57,6 +57,29 @@ func Generate(ds *graph.Dataset, cfg Config) ([]*graph.Graph, error) {
 	return out, nil
 }
 
+// Permute returns an isomorphic copy of g with its vertices renumbered by a
+// seed-determined random permutation (labels and adjacency follow the
+// vertices). Repeated-traffic workloads use it to replay a query as a
+// distinct byte representation of the same isomorphism class, so a
+// canonical-keyed result cache must hit on structure, not on input bytes.
+func Permute(g *graph.Graph, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := g.NumVertices()
+	perm := rng.Perm(n)
+	labels := make([]graph.Label, n)
+	for v := 0; v < n; v++ {
+		labels[perm[v]] = g.Label(int32(v))
+	}
+	ng := graph.NewWithCapacity(g.ID(), n)
+	for _, l := range labels {
+		ng.AddVertex(l)
+	}
+	for _, e := range g.Edges() {
+		ng.MustAddEdge(int32(perm[e[0]]), int32(perm[e[1]]))
+	}
+	return ng
+}
+
 // walkQuery performs one random walk on src, returning the union subgraph
 // with exactly edges edges, or nil if the walk's component is too small.
 func walkQuery(rng *rand.Rand, src *graph.Graph, edges int) *graph.Graph {

@@ -45,6 +45,7 @@ import (
 	_ "repro/internal/engine/std" // register all built-in methods
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/server"
 	"repro/internal/subiso"
 	"repro/internal/workload"
 )
@@ -87,11 +88,27 @@ type (
 	// hash-partitioned, per-shard indexes build in parallel, and queries
 	// fan out across the shards and merge; construct with OpenSharded.
 	ShardedEngine = engine.Sharded
+	// Querier is the query surface Engine, ShardedEngine, and CachedEngine
+	// share: Query, QueryBatch, and Stream over one dataset.
+	Querier = engine.Querier
 	// Option configures Open.
 	Option = engine.Option
 	// MethodInfo describes one registered method: naming, typed parameters,
 	// defaults.
 	MethodInfo = engine.Descriptor
+
+	// CachedEngine wraps any Querier with an isomorphism-invariant result
+	// cache and single-flight deduplication; construct with NewCached.
+	CachedEngine = server.CachedEngine
+	// CacheConfig bounds the serving layer's result cache.
+	CacheConfig = server.CacheConfig
+	// CacheStats counts cache and deduplication activity.
+	CacheStats = server.CacheStats
+	// Server is the HTTP/JSON query service with admission control;
+	// construct with NewServer and serve its Handler.
+	Server = server.Server
+	// ServerConfig configures the HTTP query service.
+	ServerConfig = server.Config
 
 	// SynthConfig parameterizes the GraphGen-style synthetic generator.
 	SynthConfig = gen.SynthConfig
@@ -137,6 +154,16 @@ var (
 	PCM  = gen.PCM
 	PPI  = gen.PPI
 )
+
+// NewCached wraps an opened engine (flat or sharded) with the serving
+// layer's result cache: isomorphic queries hit regardless of vertex
+// ordering, and concurrent identical queries share one computation.
+func NewCached(q Querier, cfg CacheConfig) *CachedEngine { return server.NewCached(q, cfg) }
+
+// NewServer wraps an opened engine in the HTTP/JSON query service —
+// /query, /batch, /methods, /stats, /healthz — with a result cache and
+// admission control; serve its Handler with net/http.
+func NewServer(q Querier, cfg ServerConfig) *Server { return server.New(q, cfg) }
 
 // Open builds (or, with WithIndexPath, transparently restores) an index
 // over ds and returns an Engine serving queries through the plan-based
