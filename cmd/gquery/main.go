@@ -11,7 +11,12 @@
 //	gquery -data molecules.gfd -queries q.gfd -method grapes:maxPathLen=3,workers=8 -v
 //	gquery -data molecules.gfd -queries q.gfd -method gIndex -ix gindex.idx
 //	gquery -data molecules.gfd -queries q.gfd -method grapes -shards 4 -ix mol.idx
+//	gquery -data molecules.gfd -queries q.gfd -method router:methods=grapes+ggsx+gcode -v
 //	gquery -list
+//
+// With -method router:..., several method indexes are co-built and every
+// query is routed to the method predicted cheapest for its features; -v
+// shows which method served each query and a final routing summary.
 //
 // With -shards N (N > 1), the dataset is hash-partitioned into N shards,
 // one index per shard is built in parallel (or restored from -ix's
@@ -37,10 +42,10 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/engine"
 	_ "repro/internal/engine/std"
 	"repro/internal/graph"
+	"repro/internal/router"
 	"repro/internal/server"
 	"repro/internal/workload"
 )
@@ -155,10 +160,14 @@ func runRemote(baseURL, queryPath string, timeout time.Duration, verbose bool) e
 			if qr.Cached {
 				cached = " (cached)"
 			}
-			fmt.Printf("query %3d (%d edges): %4d candidates, %4d answers, server %v, rtt %v%s\n",
+			via := ""
+			if qr.Method != "" {
+				via = " via " + qr.Method
+			}
+			fmt.Printf("query %3d (%d edges): %4d candidates, %4d answers, server %v, rtt %v%s%s\n",
 				i, q.NumEdges(), len(qr.Candidates), len(qr.Answers),
 				(time.Duration(qr.TotalUs) * time.Microsecond).Round(time.Microsecond),
-				rtt.Round(time.Microsecond), cached)
+				rtt.Round(time.Microsecond), via, cached)
 		}
 	}
 	n := len(qds.Graphs)
@@ -192,43 +201,48 @@ func run(dataPath, queryPath, methodStr, indexPath string, workers, shards int, 
 	if workers > 0 {
 		opts = append(opts, engine.WithVerifyWorkers(workers))
 	}
-	var query func(context.Context, *graph.Graph) (*core.QueryResult, error)
-	if shards > 1 {
-		s, err := engine.OpenSharded(ctx, ds, shards, opts...)
-		if err != nil {
-			return err
-		}
-		st := s.BuildStats()
-		if s.Restored() {
+	q, err := engine.OpenAny(ctx, ds, shards, opts...)
+	if err != nil {
+		return err
+	}
+	switch e := q.(type) {
+	case *engine.Sharded:
+		st := e.BuildStats()
+		if e.Restored() {
 			fmt.Printf("restored %s index for %d graphs from %d shards under %s (%.2f MB)\n",
-				s.Name(), ds.Len(), shards, indexPath, float64(s.SizeBytes())/(1<<20))
+				e.Name(), ds.Len(), shards, indexPath, float64(e.SizeBytes())/(1<<20))
 		} else {
 			fmt.Printf("indexed %d graphs with %s across %d shards in %v (%d restored, total size %.2f MB)\n",
-				ds.Len(), s.Name(), shards, st.Elapsed.Round(time.Millisecond),
-				s.RestoredShards(), float64(s.SizeBytes())/(1<<20))
+				ds.Len(), e.Name(), shards, st.Elapsed.Round(time.Millisecond),
+				e.RestoredShards(), float64(e.SizeBytes())/(1<<20))
 		}
-		query = s.Query
-	} else {
-		eng, err := engine.Open(ctx, ds, opts...)
-		if err != nil {
-			return err
-		}
-		m := eng.Method()
-		if eng.Restored() {
+	case *engine.Engine:
+		m := e.Method()
+		if e.Restored() {
 			fmt.Printf("restored %s index for %d graphs from %s (%.2f MB)\n",
 				m.Name(), ds.Len(), indexPath, float64(m.SizeBytes())/(1<<20))
 		} else {
-			st := eng.BuildStats()
+			st := e.BuildStats()
 			fmt.Printf("indexed %d graphs with %s in %v (index size %.2f MB)\n",
 				ds.Len(), m.Name(), st.Elapsed.Round(time.Millisecond), float64(st.SizeBytes)/(1<<20))
 		}
-		query = eng.Query
+	case *router.Multi:
+		st := e.BuildStats()
+		if e.RestoredMethods() == len(e.Methods()) {
+			fmt.Printf("restored router indexes over %s (%s policy) for %d graphs from %s (total size %.2f MB)\n",
+				strings.Join(e.Methods(), "+"), e.Policy(), ds.Len(), indexPath,
+				float64(st.SizeBytes)/(1<<20))
+		} else {
+			fmt.Printf("indexed %d graphs with router over %s (%s policy) in %v (%d restored, total size %.2f MB)\n",
+				ds.Len(), strings.Join(e.Methods(), "+"), e.Policy(),
+				st.Elapsed.Round(time.Millisecond), e.RestoredMethods(), float64(st.SizeBytes)/(1<<20))
+		}
 	}
 
 	var cands, answers []graph.IDSet
 	var totalTime time.Duration
-	for i, q := range qds.Graphs {
-		res, err := query(ctx, q)
+	for i, qg := range qds.Graphs {
+		res, err := q.Query(ctx, qg)
 		if err != nil {
 			return fmt.Errorf("query %d: %w", i, err)
 		}
@@ -236,10 +250,11 @@ func run(dataPath, queryPath, methodStr, indexPath string, workers, shards int, 
 		answers = append(answers, res.Answers)
 		totalTime += res.TotalTime()
 		if verbose {
-			fmt.Printf("query %3d (%d edges): %4d candidates, %4d answers, %v (filter %v, verify %v)\n",
-				i, q.NumEdges(), len(res.Candidates), len(res.Answers),
+			fmt.Printf("query %3d (%d edges): %4d candidates, %4d answers, %v (filter %v, verify %v) via %s\n",
+				i, qg.NumEdges(), len(res.Candidates), len(res.Answers),
 				res.TotalTime().Round(time.Microsecond),
-				res.FilterTime.Round(time.Microsecond), res.VerifyTime.Round(time.Microsecond))
+				res.FilterTime.Round(time.Microsecond), res.VerifyTime.Round(time.Microsecond),
+				res.Method)
 		}
 	}
 	n := len(qds.Graphs)
@@ -249,5 +264,13 @@ func run(dataPath, queryPath, methodStr, indexPath string, workers, shards int, 
 	fmt.Printf("%d queries: avg time %v, false positive ratio %.4f\n",
 		n, (totalTime / time.Duration(n)).Round(time.Microsecond),
 		workload.FalsePositiveRatio(cands, answers))
+	if m, ok := q.(*router.Multi); ok {
+		snap := m.Stats()
+		fmt.Printf("routing (%s):", snap.Policy)
+		for _, ms := range snap.Methods {
+			fmt.Printf(" %s %.0f%%", ms.Method, 100*ms.WinRate)
+		}
+		fmt.Printf(" (raced %d, explored %d)\n", snap.Raced, snap.Explored)
+	}
 	return nil
 }

@@ -18,9 +18,12 @@
 // (commas belong to the parameter list).
 //
 // Experiments: table1, fig1, fig2, fig3, fig4, fig5, fig6, ablation,
-// cache, all. Figure 4 is the per-query-size view of Figure 3's runs and
-// reuses its sweep; "cache" is the serving-layer result-cache sweep over
-// repeated isomorphic traffic (also included in "ablation").
+// cache, router, all. Figure 4 is the per-query-size view of Figure 3's
+// runs and reuses its sweep; "cache" is the serving-layer result-cache
+// sweep over repeated isomorphic traffic, and "router" compares adaptive
+// routing (static, learned, race) against every fixed method and the
+// per-query best-fixed-method oracle on a mixed-shape workload (both also
+// included in "ablation").
 // Scales: bench (seconds), default (minutes), paper (the full grid — days).
 //
 // With -json, every experiment and ablation the invocation ran is also
@@ -42,7 +45,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig1, fig2, fig3, fig4, fig5, fig6, ablation, cache, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig1, fig2, fig3, fig4, fig5, fig6, ablation, cache, router, all")
 	scaleName := flag.String("scale", "default", "scale: bench, default, paper")
 	methodsFlag := flag.String("methods", "", "method spec subset (default: all six); see -list")
 	out := flag.String("o", "", "write the report to this file (default stdout)")
@@ -201,7 +204,7 @@ func run(expName, scaleName, methodsFlag, outPath, csvPath, jsonPath string, qui
 		}
 		ran = true
 	}
-	if want("ablation") || want("cache") {
+	if want("ablation") || want("cache") || want("router") {
 		ds := bench.AblationDataset(scale)
 		if want("ablation") {
 			for _, ab := range bench.Ablations() {
@@ -217,13 +220,27 @@ func run(expName, scaleName, methodsFlag, outPath, csvPath, jsonPath string, qui
 		}
 		// The serving-layer result-cache sweep runs under both -exp
 		// ablation and -exp cache.
-		results, err := bench.RunCacheAblation(ctx, ds, scale, log)
-		if err != nil {
-			return fmt.Errorf("ablation cache: %w", err)
+		if want("ablation") || want("cache") {
+			results, err := bench.RunCacheAblation(ctx, ds, scale, log)
+			if err != nil {
+				return fmt.Errorf("ablation cache: %w", err)
+			}
+			bench.WriteCacheAblationReport(w, results)
+			if jr != nil {
+				jr.Cache = results
+			}
 		}
-		bench.WriteCacheAblationReport(w, results)
-		if jr != nil {
-			jr.Cache = results
+		// The adaptive-routing comparison runs under both -exp ablation
+		// and -exp router: router policies vs fixed methods vs oracle.
+		if want("ablation") || want("router") {
+			results, err := bench.RunRouterAblation(ctx, ds, scale, log)
+			if err != nil {
+				return fmt.Errorf("ablation router: %w", err)
+			}
+			bench.WriteRouterReport(w, results)
+			if jr != nil {
+				jr.Router = results
+			}
 		}
 		ran = true
 	}

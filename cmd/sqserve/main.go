@@ -7,7 +7,14 @@
 //
 //	sqserve -data molecules.gfd -method grapes:workers=8 -addr :7474
 //	sqserve -data molecules.gfd -method ggsx -shards 4 -ix mol.idx
+//	sqserve -data molecules.gfd -method router:methods=grapes+ggsx+gcode -ix mol.idx
 //	sqserve -data molecules.gfd -cache-entries 0            # cache disabled
+//
+// With -method router:..., several method indexes are co-built and every
+// query is routed to the predicted-cheapest method; responses carry the
+// serving method, /stats exposes win rates and the learned cost model, and
+// a clean drain persists the routing state under -ix so the next start
+// routes warm.
 //
 // Endpoints:
 //
@@ -30,12 +37,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/engine"
 	_ "repro/internal/engine/std"
 	"repro/internal/graph"
+	"repro/internal/router"
 	"repro/internal/server"
 )
 
@@ -99,22 +108,17 @@ func run(dataPath, methodStr, indexPath string, shards, verifyW int, addr string
 	if verifyW > 0 {
 		opts = append(opts, engine.WithVerifyWorkers(verifyW))
 	}
-	var q engine.Querier
 	t0 := time.Now()
-	if shards > 1 {
-		s, err := engine.OpenSharded(buildCtx, ds, shards, opts...)
-		if err != nil {
-			return err
-		}
+	q, err := engine.OpenAny(buildCtx, ds, shards, opts...)
+	if err != nil {
+		return err
+	}
+	switch e := q.(type) {
+	case *engine.Sharded:
 		log.Printf("engine ready: %s over %d graphs, %d shards (%d restored) in %v, index %.2f MB",
-			d.Display, ds.Len(), shards, s.RestoredShards(),
-			time.Since(t0).Round(time.Millisecond), float64(s.SizeBytes())/(1<<20))
-		q = s
-	} else {
-		e, err := engine.Open(buildCtx, ds, opts...)
-		if err != nil {
-			return err
-		}
+			d.Display, ds.Len(), shards, e.RestoredShards(),
+			time.Since(t0).Round(time.Millisecond), float64(e.SizeBytes())/(1<<20))
+	case *engine.Engine:
 		verb := "built"
 		if e.Restored() {
 			verb = "restored"
@@ -122,8 +126,14 @@ func run(dataPath, methodStr, indexPath string, shards, verifyW int, addr string
 		log.Printf("engine ready: %s over %d graphs, index %s in %v (%.2f MB)",
 			d.Display, ds.Len(), verb, time.Since(t0).Round(time.Millisecond),
 			float64(e.Method().SizeBytes())/(1<<20))
-		q = e
 		shards = 0
+	case *router.Multi:
+		log.Printf("engine ready: router over %s (%s policy), %d graphs (%d restored) in %v, indexes %.2f MB",
+			strings.Join(e.Methods(), "+"), e.Policy(), ds.Len(), e.RestoredMethods(),
+			time.Since(t0).Round(time.Millisecond), float64(e.BuildStats().SizeBytes)/(1<<20))
+		if shards < 2 {
+			shards = 0
+		}
 	}
 
 	srv := server.New(q, server.Config{
@@ -159,6 +169,15 @@ func run(dataPath, methodStr, indexPath string, shards, verifyW int, addr string
 	}
 	if err := <-done; err != nil {
 		return fmt.Errorf("shutdown: %w", err)
+	}
+	// A routed engine's learned cost model is state worth keeping: persist
+	// it on a clean drain so the next start routes warm.
+	if m, ok := q.(*router.Multi); ok && indexPath != "" {
+		if err := m.Save(indexPath); err != nil {
+			log.Printf("saving routing state: %v", err)
+		} else {
+			log.Printf("routing state saved under %s", indexPath)
+		}
 	}
 	log.Printf("drained cleanly")
 	return nil

@@ -1,0 +1,103 @@
+// Adaptive routing: the paper's headline finding is that no single indexed
+// subgraph query method wins everywhere — the best method flips with query
+// size, shape, and label rarity. This example co-builds three method
+// indexes over one dataset, serves a mixed-shape workload through each
+// routing policy (static heuristics, online-learned cost model, top-2
+// race), and compares their total latency against every fixed method and
+// the per-query best-fixed-method oracle.
+package main
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	ctx := context.Background()
+	ds := repro.NewSyntheticDataset(repro.SynthConfig{
+		NumGraphs: 150, MeanNodes: 50, MeanDensity: 0.06, NumLabels: 12, Seed: 7,
+	})
+	// A mixed workload: small and large queries, every shape, shuffled —
+	// the traffic no fixed method choice is right for.
+	queries, err := repro.GenerateMixedQueries(ds, repro.MixedWorkloadConfig{
+		NumQueries: 60, Sizes: []int{4, 8, 16}, Seed: 9,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	methods := []string{"grapes", "ggsx", "gcode"}
+
+	// Fixed baselines: each method runs the whole workload alone.
+	fixed := make(map[string][]time.Duration, len(methods))
+	for _, name := range methods {
+		eng, err := repro.Open(ctx, ds, repro.WithSpec(name))
+		if err != nil {
+			panic(err)
+		}
+		times := make([]time.Duration, len(queries))
+		for i, q := range queries {
+			res, err := eng.Query(ctx, q)
+			if err != nil {
+				panic(err)
+			}
+			times[i] = res.TotalTime()
+		}
+		fixed[name] = times
+	}
+	var oracle time.Duration
+	for i := range queries {
+		best := fixed[methods[0]][i]
+		for _, name := range methods[1:] {
+			if fixed[name][i] < best {
+				best = fixed[name][i]
+			}
+		}
+		oracle += best
+	}
+
+	fmt.Printf("%-16s %12s %10s\n", "variant", "total", "vs oracle")
+	for _, name := range methods {
+		var total time.Duration
+		for _, t := range fixed[name] {
+			total += t
+		}
+		fmt.Printf("fixed:%-10s %12v %+9.1f%%\n", name, total.Round(time.Microsecond),
+			100*(float64(total)/float64(oracle)-1))
+	}
+
+	// Routed: one router per policy over the same dataset; the learned
+	// policy warms its cost model as the traffic flows.
+	for _, policy := range []string{"static", "learned", "race"} {
+		m, err := repro.OpenRouted(ctx, ds, repro.RouterConfig{
+			Methods: methods,
+			Options: repro.RouterOptions{Policy: policy, Epsilon: 0.1, Seed: 1},
+		})
+		if err != nil {
+			panic(err)
+		}
+		var total time.Duration
+		for _, q := range queries {
+			res, err := m.Query(ctx, q)
+			if err != nil {
+				panic(err)
+			}
+			total += res.TotalTime()
+		}
+		fmt.Printf("router:%-9s %12v %+9.1f%%", policy, total.Round(time.Microsecond),
+			100*(float64(total)/float64(oracle)-1))
+		snap := m.Stats()
+		fmt.Printf("   routed:")
+		for _, ms := range snap.Methods {
+			fmt.Printf(" %s %.0f%%", ms.Method, 100*ms.WinRate)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%-16s %12v %+9.1f%%\n", "oracle", oracle.Round(time.Microsecond), 0.0)
+
+	fmt.Println("\nevery variant returns identical answers; routing only moves latency.")
+	fmt.Println("serve it with: sqserve -data ... -method router:methods=grapes+ggsx+gcode")
+}

@@ -152,7 +152,7 @@ func RunAblation(ctx context.Context, ab Ablation, ds *graph.Dataset, s Scale, l
 			if err != nil {
 				return out, fmt.Errorf("bench: ablation %s variant %s: %w", ab.Name, v.Name, err)
 			}
-			mr = runMethodInstance(ctx, MethodID(v.Name), m, ds, queries, exp)
+			mr = runMethodInstance(ctx, MethodID(v.Name), m, v.Spec, ds, queries, exp)
 		}
 		if log != nil {
 			fmt.Fprintf(log, "[ablation/%s] %-12s build=%v size=%s query=%v fp=%.3f%s%s\n",

@@ -11,7 +11,10 @@ import (
 // JSONCell is one (method, point) cell in machine-readable form: the
 // MethodResult fields CI trajectory tooling ingests, durations as seconds.
 type JSONCell struct {
-	Method               string             `json:"method"`
+	Method string `json:"method"`
+	// Spec is the full engine spec the cell ran with, so ablation and
+	// experiment records are self-describing.
+	Spec                 string             `json:"spec,omitempty"`
 	DNF                  bool               `json:"dnf,omitempty"`
 	Reason               string             `json:"reason,omitempty"`
 	BuildSeconds         float64            `json:"build_seconds"`
@@ -55,6 +58,7 @@ type JSONReport struct {
 	Experiments []JSONExperiment `json:"experiments,omitempty"`
 	Ablations   []JSONExperiment `json:"ablations,omitempty"`
 	Cache       []CacheResult    `json:"cache_ablation,omitempty"`
+	Router      []RouterResult   `json:"router_ablation,omitempty"`
 }
 
 // Table1JSON converts the Table 1 dataset characteristics.
@@ -69,6 +73,7 @@ func Table1JSON(names []string, stats []graph.Stats) []JSONDataset {
 func cellJSON(mr MethodResult) JSONCell {
 	c := JSONCell{
 		Method:               string(mr.Method),
+		Spec:                 mr.Spec,
 		DNF:                  mr.DNF,
 		Reason:               mr.Reason,
 		BuildSeconds:         mr.BuildTime.Seconds(),

@@ -71,20 +71,11 @@ func NewMethod(id MethodID, lim MethodLimits) (core.Method, error) {
 	return d.New(p)
 }
 
-// methodFor constructs the method for one experiment cell: an explicit
-// per-method spec override from the experiment wins; otherwise the registry
-// defaults narrowed by the experiment's limits apply.
-func methodFor(id MethodID, exp Experiment) (core.Method, error) {
-	spec, err := specFor(id, exp)
-	if err != nil {
-		return nil, err
-	}
-	return engine.New(spec)
-}
-
-// specFor renders the canonical engine spec for one experiment cell —
-// methodFor's construction parameters in spec form, for runners that need to
-// instantiate the method more than once (one instance per shard).
+// specFor renders the canonical engine spec for one experiment cell — an
+// explicit per-method override from the experiment wins, otherwise the
+// registry defaults narrowed by the experiment's limits apply — for runners
+// to instantiate (once, or one instance per shard) and to record on the
+// cell's result.
 func specFor(id MethodID, exp Experiment) (string, error) {
 	var p engine.Params
 	if spec := exp.MethodSpecs[id]; spec != "" {

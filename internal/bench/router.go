@@ -1,0 +1,243 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/router"
+	"repro/internal/workload"
+)
+
+// routerAblationMethods are the fixed methods the router ablation routes
+// over and races against: the three cheapest stable builders, spanning the
+// filtering families whose winners the paper's figures show alternating.
+var routerAblationMethods = []string{"grapes", "ggsx", "gcode"}
+
+// RouterResult is one variant of the router ablation: a fixed method, a
+// routing policy over all the fixed methods, or the per-query
+// best-fixed-method oracle.
+type RouterResult struct {
+	// Variant labels the row: "fixed:<method>", "router:<policy>", or
+	// "oracle".
+	Variant string `json:"variant"`
+	// Spec is the engine spec the variant ran with (empty for the oracle,
+	// which is derived, not run).
+	Spec    string `json:"spec,omitempty"`
+	DNF     bool   `json:"dnf,omitempty"`
+	Reason  string `json:"reason,omitempty"`
+	Queries int    `json:"queries,omitempty"`
+	// TotalSeconds is the summed per-query latency over the measured pass;
+	// AvgSeconds the per-query mean.
+	TotalSeconds float64 `json:"total_seconds,omitempty"`
+	AvgSeconds   float64 `json:"avg_seconds,omitempty"`
+	// WinRate is, for a fixed method, the fraction of workload queries it
+	// was the fastest fixed method on — the oracle's choice distribution.
+	WinRate float64 `json:"win_rate,omitempty"`
+	// RegretVsOracle is (TotalSeconds - oracle TotalSeconds) / oracle
+	// TotalSeconds: how far the variant's total latency sits above the
+	// per-query best-fixed-method bound. Independently measured passes make
+	// slightly negative values possible under timing noise.
+	RegretVsOracle float64 `json:"regret_vs_oracle"`
+	// Routing carries the router variants' per-method routing stats (win
+	// rates, exploration, cost-model cells), warmup pass included.
+	Routing *router.Snapshot `json:"routing,omitempty"`
+}
+
+// RunRouterAblation measures adaptive routing against every fixed method
+// and the oracle on a mixed-shape, mixed-size workload:
+//
+//  1. one engine per fixed method is built over ds;
+//  2. each fixed method runs the whole workload, yielding per-query
+//     latencies, the per-query oracle (best fixed method), and each
+//     method's oracle win rate;
+//  3. each routing policy gets a router over the *same* engines, one
+//     warmup pass (so the learned policy's cost model sees every feature
+//     bucket under traffic), and one measured pass.
+//
+// The report answers the tentpole question operationally: how close does
+// feature-based routing get to the oracle, and does it beat the worst —
+// and ideally every — fixed choice.
+func RunRouterAblation(ctx context.Context, ds *graph.Dataset, s Scale, log io.Writer) ([]RouterResult, error) {
+	queries, err := workload.GenerateMixed(ds, workload.MixedConfig{
+		NumQueries: s.QueriesPerSize * len(s.QuerySizes) * len(workload.AllShapes()),
+		Sizes:      s.QuerySizes,
+		Seed:       s.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: router ablation: %w", err)
+	}
+	logf := func(format string, args ...any) {
+		if log != nil {
+			fmt.Fprintf(log, format, args...)
+		}
+	}
+
+	// Build one engine per fixed method; the routers share them, so every
+	// variant measures routing, not rebuild noise.
+	engines := make([]router.Sub, len(routerAblationMethods))
+	for i, name := range routerAblationMethods {
+		buildCtx, cancel := withOptionalTimeout(ctx, s.BuildTimeout)
+		eng, err := engine.Open(buildCtx, ds, engine.WithSpec(name), engine.WithVerifyWorkers(1))
+		cancel()
+		if err != nil {
+			return nil, fmt.Errorf("bench: router ablation: building %s: %w", name, err)
+		}
+		engines[i] = router.Sub{Name: name, Engine: eng}
+	}
+
+	var out []RouterResult
+
+	// Fixed passes: per-query latency per method.
+	times := make([][]float64, len(engines)) // method -> query -> seconds
+	fixedOK := true
+	for i, sub := range engines {
+		res := RouterResult{Variant: "fixed:" + sub.Name, Spec: sub.Name, Queries: len(queries)}
+		times[i], err = measurePass(ctx, s, sub.Engine.Query, queries)
+		if err != nil {
+			res.DNF, res.Reason = true, err.Error()
+			fixedOK = false
+		} else {
+			for _, t := range times[i] {
+				res.TotalSeconds += t
+			}
+			res.AvgSeconds = res.TotalSeconds / float64(len(queries))
+		}
+		logf("[ablation/router] %-16s total=%.4fs avg=%v%s\n", res.Variant,
+			res.TotalSeconds, time.Duration(res.AvgSeconds*float64(time.Second)).Round(time.Microsecond),
+			dnfNote(res))
+		out = append(out, res)
+	}
+
+	// Oracle: per-query minimum over the fixed methods.
+	oracleTotal := 0.0
+	if fixedOK {
+		wins := make([]int, len(engines))
+		for qi := range queries {
+			best, bestT := 0, times[0][qi]
+			for mi := 1; mi < len(engines); mi++ {
+				if times[mi][qi] < bestT {
+					best, bestT = mi, times[mi][qi]
+				}
+			}
+			wins[best]++
+			oracleTotal += bestT
+		}
+		for i := range engines {
+			out[i].WinRate = float64(wins[i]) / float64(len(queries))
+			if oracleTotal > 0 {
+				out[i].RegretVsOracle = (out[i].TotalSeconds - oracleTotal) / oracleTotal
+			}
+		}
+	}
+
+	// Router passes: one router per policy over the shared engines, warmed
+	// by one full pass of the same traffic before measurement.
+	for _, policy := range router.Policies() {
+		res := RouterResult{
+			Variant: "router:" + policy,
+			Spec:    fmt.Sprintf("router:methods=%s,policy=%s", strings.Join(routerAblationMethods, "+"), policy),
+			Queries: len(queries),
+		}
+		m, err := router.New(ds, engines, router.Options{Policy: policy, Epsilon: 0.1, Seed: s.Seed})
+		if err != nil {
+			return out, fmt.Errorf("bench: router ablation: %w", err)
+		}
+		if _, err := measurePass(ctx, s, m.Query, queries); err != nil { // warmup
+			res.DNF, res.Reason = true, err.Error()
+		} else if ts, err := measurePass(ctx, s, m.Query, queries); err != nil {
+			res.DNF, res.Reason = true, err.Error()
+		} else {
+			for _, t := range ts {
+				res.TotalSeconds += t
+			}
+			res.AvgSeconds = res.TotalSeconds / float64(len(queries))
+			if fixedOK && oracleTotal > 0 {
+				res.RegretVsOracle = (res.TotalSeconds - oracleTotal) / oracleTotal
+			}
+			snap := m.Stats()
+			res.Routing = &snap
+		}
+		logf("[ablation/router] %-16s total=%.4fs avg=%v regret=%+.3f%s\n", res.Variant,
+			res.TotalSeconds, time.Duration(res.AvgSeconds*float64(time.Second)).Round(time.Microsecond),
+			res.RegretVsOracle, dnfNote(res))
+		out = append(out, res)
+	}
+
+	if fixedOK {
+		out = append(out, RouterResult{
+			Variant:      "oracle",
+			Queries:      len(queries),
+			TotalSeconds: oracleTotal,
+			AvgSeconds:   oracleTotal / float64(len(queries)),
+		})
+	}
+	return out, nil
+}
+
+// measurePass runs every query serially through query under the scale's
+// query budget, returning per-query latencies (the engine-measured
+// filter+verify time, comparable across engine shapes).
+func measurePass(ctx context.Context, s Scale,
+	query func(context.Context, *graph.Graph) (*core.QueryResult, error), queries []*graph.Graph) ([]float64, error) {
+	qctx, cancel := withOptionalTimeout(ctx, s.QueryTimeout)
+	defer cancel()
+	out := make([]float64, len(queries))
+	for i, q := range queries {
+		res, err := query(qctx, q)
+		if err != nil {
+			return nil, fmt.Errorf("query %d: %w", i, err)
+		}
+		out[i] = res.TotalTime().Seconds()
+	}
+	return out, nil
+}
+
+func dnfNote(r RouterResult) string {
+	if r.DNF {
+		return " DNF(" + r.Reason + ")"
+	}
+	return ""
+}
+
+// WriteRouterReport renders the router ablation: total and average latency
+// per variant, the fixed methods' oracle win rates, each variant's regret
+// versus the oracle, and — for the router variants — where the queries were
+// actually routed.
+func WriteRouterReport(w io.Writer, results []RouterResult) {
+	fmt.Fprintf(w, "\n# Ablation: adaptive method router vs fixed methods (mixed workload)\n")
+	fmt.Fprintf(w, "%-18s %8s %12s %12s %10s %10s\n",
+		"variant", "queries", "total(s)", "avg(ms)", "win rate", "regret")
+	for _, r := range results {
+		if r.DNF {
+			fmt.Fprintf(w, "%-18s %8d %12s  %s\n", r.Variant, r.Queries, "DNF", r.Reason)
+			continue
+		}
+		winRate := "-"
+		if strings.HasPrefix(r.Variant, "fixed:") {
+			winRate = fmt.Sprintf("%.3f", r.WinRate)
+		}
+		regret := "-"
+		if r.Variant != "oracle" {
+			regret = fmt.Sprintf("%+.3f", r.RegretVsOracle)
+		}
+		fmt.Fprintf(w, "%-18s %8d %12.4f %12.4f %10s %10s\n",
+			r.Variant, r.Queries, r.TotalSeconds, r.AvgSeconds*1000, winRate, regret)
+	}
+	for _, r := range results {
+		if r.Routing == nil {
+			continue
+		}
+		fmt.Fprintf(w, "\n%s routing (warmup + measured):", r.Variant)
+		for _, ms := range r.Routing.Methods {
+			fmt.Fprintf(w, " %s won %d/%d", ms.Method, ms.Won, r.Routing.Queries)
+		}
+		fmt.Fprintf(w, "; raced %d, explored %d, model cells %d\n",
+			r.Routing.Raced, r.Routing.Explored, len(r.Routing.Model))
+	}
+}

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestRunRouterAblation smoke-runs the router ablation at tiny scale and
+// pins its deterministic structure: every fixed method, every policy, and
+// the oracle appear; oracle total never exceeds any fixed total (it is the
+// per-query minimum of exactly those measurements); fixed win rates sum to
+// 1; router variants carry routing snapshots with full attribution.
+func TestRunRouterAblation(t *testing.T) {
+	s := tinyScale()
+	ds := AblationDataset(s)
+	var log bytes.Buffer
+	results, err := RunRouterAblation(context.Background(), ds, s, &log)
+	if err != nil {
+		t.Fatalf("RunRouterAblation: %v\n%s", err, log.String())
+	}
+
+	byVariant := map[string]RouterResult{}
+	for _, r := range results {
+		byVariant[r.Variant] = r
+	}
+	oracle, ok := byVariant["oracle"]
+	if !ok {
+		t.Fatalf("no oracle row in %v", variants(results))
+	}
+	var winSum float64
+	for _, name := range routerAblationMethods {
+		r, ok := byVariant["fixed:"+name]
+		if !ok {
+			t.Fatalf("no fixed:%s row", name)
+		}
+		if r.DNF {
+			t.Fatalf("fixed:%s DNF: %s", name, r.Reason)
+		}
+		if r.TotalSeconds < oracle.TotalSeconds {
+			t.Errorf("oracle total %.6f exceeds fixed:%s total %.6f", oracle.TotalSeconds, name, r.TotalSeconds)
+		}
+		if r.RegretVsOracle < 0 {
+			t.Errorf("fixed:%s regret %.4f < 0; fixed regret is min-bounded by construction", name, r.RegretVsOracle)
+		}
+		if r.Spec == "" {
+			t.Errorf("fixed:%s has no spec", name)
+		}
+		winSum += r.WinRate
+	}
+	if winSum < 0.999 || winSum > 1.001 {
+		t.Errorf("fixed win rates sum to %.4f, want 1", winSum)
+	}
+	for _, policy := range []string{"static", "learned", "race"} {
+		r, ok := byVariant["router:"+policy]
+		if !ok {
+			t.Fatalf("no router:%s row", policy)
+		}
+		if r.DNF {
+			t.Fatalf("router:%s DNF: %s", policy, r.Reason)
+		}
+		if !strings.Contains(r.Spec, "policy="+policy) {
+			t.Errorf("router:%s spec %q does not carry its policy", policy, r.Spec)
+		}
+		if r.Routing == nil {
+			t.Fatalf("router:%s has no routing snapshot", policy)
+		}
+		var won int64
+		for _, ms := range r.Routing.Methods {
+			won += ms.Won
+		}
+		if won != r.Routing.Queries {
+			t.Errorf("router:%s: wins %d != served queries %d", policy, won, r.Routing.Queries)
+		}
+		// Warmup + measured pass both routed through the snapshot.
+		if want := int64(2 * r.Queries); r.Routing.Queries != want {
+			t.Errorf("router:%s: snapshot served %d queries, want %d (two passes)", policy, r.Routing.Queries, want)
+		}
+	}
+
+	var report bytes.Buffer
+	WriteRouterReport(&report, results)
+	for _, want := range []string{"oracle", "router:learned", "fixed:grapes", "regret", "routing"} {
+		if !strings.Contains(report.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, report.String())
+		}
+	}
+}
+
+func variants(results []RouterResult) []string {
+	out := make([]string, len(results))
+	for i, r := range results {
+		out[i] = r.Variant
+	}
+	return out
+}

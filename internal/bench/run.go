@@ -64,6 +64,10 @@ type Experiment struct {
 // MethodResult is one (method, dataset point) cell of an experiment.
 type MethodResult struct {
 	Method MethodID
+	// Spec is the full engine spec the cell was constructed from, so every
+	// record — experiment cells and ablation variants alike — is
+	// self-describing without consulting the sweep definition.
+	Spec string
 	// DNF is set when the method could not finish within its budget; Reason
 	// explains which stage gave up.
 	DNF    bool
@@ -180,18 +184,18 @@ func buildWorkload(ds *graph.Dataset, exp Experiment) ([]sizedQuery, error) {
 }
 
 func runMethod(ctx context.Context, id MethodID, ds *graph.Dataset, queries []sizedQuery, exp Experiment) MethodResult {
-	if exp.Shards > 1 {
-		spec, err := specFor(id, exp)
-		if err != nil {
-			return MethodResult{Method: id, DNF: true, Reason: err.Error()}
-		}
-		return runMethodSharded(ctx, id, spec, exp.Shards, ds, queries, exp)
-	}
-	m, err := methodFor(id, exp)
+	spec, err := specFor(id, exp)
 	if err != nil {
 		return MethodResult{Method: id, DNF: true, Reason: err.Error()}
 	}
-	return runMethodInstance(ctx, id, m, ds, queries, exp)
+	if exp.Shards > 1 {
+		return runMethodSharded(ctx, id, spec, exp.Shards, ds, queries, exp)
+	}
+	m, err := engine.New(spec)
+	if err != nil {
+		return MethodResult{Method: id, Spec: spec, DNF: true, Reason: err.Error()}
+	}
+	return runMethodInstance(ctx, id, m, spec, ds, queries, exp)
 }
 
 // runMethodSharded measures one (method spec, shard count) cell through the
@@ -199,6 +203,7 @@ func runMethod(ctx context.Context, id MethodID, ds *graph.Dataset, queries []si
 func runMethodSharded(ctx context.Context, id MethodID, spec string, shards int, ds *graph.Dataset, queries []sizedQuery, exp Experiment) MethodResult {
 	mr := MethodResult{
 		Method:     id,
+		Spec:       spec,
 		Shards:     shards,
 		TimeBySize: map[int]time.Duration{},
 		FPBySize:   map[int]float64{},
@@ -226,11 +231,13 @@ func runMethodSharded(ctx context.Context, id MethodID, spec string, shards int,
 	return mr
 }
 
-// runMethodInstance measures one prebuilt method instance; ablations use it
-// to measure non-default configurations.
-func runMethodInstance(ctx context.Context, id MethodID, m core.Method, ds *graph.Dataset, queries []sizedQuery, exp Experiment) MethodResult {
+// runMethodInstance measures one prebuilt method instance (constructed from
+// spec, recorded on the cell); ablations use it to measure non-default
+// configurations.
+func runMethodInstance(ctx context.Context, id MethodID, m core.Method, spec string, ds *graph.Dataset, queries []sizedQuery, exp Experiment) MethodResult {
 	mr := MethodResult{
 		Method:     id,
+		Spec:       spec,
 		TimeBySize: map[int]time.Duration{},
 		FPBySize:   map[int]float64{},
 	}

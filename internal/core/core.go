@@ -145,6 +145,11 @@ type QueryResult struct {
 	Answers    graph.IDSet
 	FilterTime time.Duration
 	VerifyTime time.Duration
+	// Method names the concrete method that served the query (the method's
+	// display name, e.g. "Grapes"). Layers that choose between methods —
+	// the adaptive router — or replay stored results — the result cache —
+	// preserve it, so routing decisions stay observable end to end.
+	Method string
 	// Cached marks a result served from a serving-layer result cache
 	// instead of computed by the pipeline. FilterTime then holds the
 	// canonical-key computation plus lookup latency and VerifyTime is
@@ -191,7 +196,7 @@ func (p *Processor) Query(q *graph.Graph) (*QueryResult, error) {
 
 // QueryCtx is Query with cancellation applied to both stages.
 func (p *Processor) QueryCtx(ctx context.Context, q *graph.Graph) (*QueryResult, error) {
-	res := &QueryResult{}
+	res := &QueryResult{Method: p.Method.Name()}
 	t0 := time.Now()
 	plan, err := NewPlan(ctx, p.Method, p.DS, q)
 	if err != nil {

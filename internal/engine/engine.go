@@ -180,7 +180,7 @@ func SaveMethod(path string, m core.Method) error {
 	if !ok {
 		return fmt.Errorf("engine: %s does not support index persistence", m.Name())
 	}
-	return atomicWrite(path, func(w io.Writer) error {
+	return AtomicWriteFile(path, func(w io.Writer) error {
 		if err := p.SaveIndex(w); err != nil {
 			return fmt.Errorf("engine: saving %s index: %w", m.Name(), err)
 		}
@@ -188,10 +188,10 @@ func SaveMethod(path string, m core.Method) error {
 	})
 }
 
-// atomicWrite streams write's output into a temporary file next to path and
+// AtomicWriteFile streams write's output into a temporary file next to path and
 // renames it into place, cleaning up on any failure, so path only ever
 // holds a complete file.
-func atomicWrite(path string, write func(w io.Writer) error) error {
+func AtomicWriteFile(path string, write func(w io.Writer) error) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err

@@ -1,0 +1,63 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+
+	"repro/internal/graph"
+)
+
+// OpenConfig carries the engine-lifecycle options OpenAny resolved from its
+// Option list into a composite entry's OpenQuerier: the composite applies
+// them to each sub-engine it opens (per-method index paths derived from
+// IndexPath, verification budget, per-method shard count).
+type OpenConfig struct {
+	// IndexPath is the persistence base path ("" = no persistence). A
+	// composite derives per-component paths from it and writes its own
+	// manifest at the base, mirroring the sharded layout.
+	IndexPath string
+	// VerifyWorkers is the per-query verification parallelism.
+	VerifyWorkers int
+	// Shards is the shard count each sub-engine opens with (0/1 =
+	// unsharded).
+	Shards int
+}
+
+// OpenAny is the spec-driven front door over every engine shape: it parses
+// the spec, then opens a composite entry (the adaptive router) through its
+// own OpenQuerier, a sharded engine when shards > 1, and a plain Engine
+// otherwise. CLIs and the serving layer use it so one -method flag reaches
+// all three without caring which it got.
+func OpenAny(ctx context.Context, ds *graph.Dataset, shards int, opts ...Option) (Querier, error) {
+	if ds == nil {
+		return nil, errors.New("engine: nil dataset")
+	}
+	cfg := config{spec: "grapes", verifyWorkers: runtime.GOMAXPROCS(0)}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.method != nil {
+		// A pre-built instance bypasses the registry, so no composite or
+		// sharded resolution applies.
+		if shards > 1 {
+			return OpenSharded(ctx, ds, shards, opts...)
+		}
+		return Open(ctx, ds, opts...)
+	}
+	d, p, err := ParseSpec(cfg.spec)
+	if err != nil {
+		return nil, err
+	}
+	if d.OpenQuerier != nil {
+		return d.OpenQuerier(ctx, ds, p, OpenConfig{
+			IndexPath:     cfg.indexPath,
+			VerifyWorkers: cfg.verifyWorkers,
+			Shards:        shards,
+		})
+	}
+	if shards > 1 {
+		return OpenSharded(ctx, ds, shards, opts...)
+	}
+	return Open(ctx, ds, opts...)
+}

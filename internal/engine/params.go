@@ -239,18 +239,24 @@ func ParseSpec(spec string) (*Descriptor, Params, error) {
 			strings.TrimSpace(name), strings.Join(Names(), ", "))
 	}
 	p := d.Params()
-	if !hasParams {
-		return d, p, nil
-	}
-	if strings.TrimSpace(rest) == "" {
-		return nil, Params{}, fmt.Errorf("engine: spec %q: empty parameter list after %q", spec, name)
-	}
-	for _, pair := range strings.Split(rest, ",") {
-		k, v, ok := strings.Cut(pair, "=")
-		if !ok {
-			return nil, Params{}, fmt.Errorf("engine: spec %q: parameter %q is not key=value", spec, pair)
+	if hasParams {
+		if strings.TrimSpace(rest) == "" {
+			return nil, Params{}, fmt.Errorf("engine: spec %q: empty parameter list after %q", spec, name)
 		}
-		if err := p.Set(strings.TrimSpace(k), strings.TrimSpace(v)); err != nil {
+		for _, pair := range strings.Split(rest, ",") {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok {
+				return nil, Params{}, fmt.Errorf("engine: spec %q: parameter %q is not key=value", spec, pair)
+			}
+			if err := p.Set(strings.TrimSpace(k), strings.TrimSpace(v)); err != nil {
+				return nil, Params{}, err
+			}
+		}
+	}
+	// Cross-field validation runs on the defaults too: a spec is valid iff
+	// the configuration it resolves to is.
+	if d.Check != nil {
+		if err := d.Check(p); err != nil {
 			return nil, Params{}, err
 		}
 	}

@@ -21,12 +21,14 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/graph"
 )
 
 // Descriptor is the neutral description one method package registers:
@@ -51,7 +53,18 @@ type Descriptor struct {
 	// Fields declare the method's typed parameters and defaults.
 	Fields []Field
 	// Factory builds an unbuilt method from a resolved parameter set.
+	// Composite entries that are not a single indexing method (the adaptive
+	// router) return a descriptive error here and open through OpenQuerier
+	// instead.
 	Factory func(p Params) (core.Method, error)
+	// Check optionally validates a resolved parameter set beyond per-field
+	// typing — cross-field constraints, or values that must resolve against
+	// the registry (the router's method list). ParseSpec runs it, so invalid
+	// composite specs fail at parse time like any other malformed spec.
+	Check func(p Params) error
+	// OpenQuerier, when set, marks the entry as a composite engine: OpenAny
+	// routes construction here instead of the Open/OpenSharded lifecycle.
+	OpenQuerier func(ctx context.Context, ds *graph.Dataset, p Params, cfg OpenConfig) (Querier, error)
 }
 
 // Params returns the descriptor's parameter set with every field at its

@@ -175,7 +175,7 @@ func OpenSharded(ctx context.Context, ds *graph.Dataset, shards int, opts ...Opt
 	}
 
 	t0 := time.Now()
-	err = forEachShard(ctx, len(s.shards), runtime.GOMAXPROCS(0), func(ctx context.Context, i int) error {
+	err = ForEachBounded(ctx, len(s.shards), runtime.GOMAXPROCS(0), func(ctx context.Context, i int) error {
 		sh := s.shards[i]
 		if sh.restored || sh.empty() {
 			return nil
@@ -274,7 +274,7 @@ func (s *Sharded) manifestMatches(base string) (bool, error) {
 // its load and rebuilding alone) or no new manifest (full rebuild) — never a
 // manifest endorsing shard files that were not all written.
 func (s *Sharded) writeManifest(base string) error {
-	return atomicWrite(base, func(w io.Writer) error {
+	return AtomicWriteFile(base, func(w io.Writer) error {
 		_, err := io.WriteString(w, s.manifest())
 		return err
 	})
@@ -289,7 +289,7 @@ func (s *Sharded) saveShardIndex(base string, i int) error {
 	if !ok {
 		return fmt.Errorf("engine: %s does not support index persistence", m.Name())
 	}
-	return atomicWrite(ShardIndexPath(base, i), func(w io.Writer) error {
+	return AtomicWriteFile(ShardIndexPath(base, i), func(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "%s %s\n", shardFileMagic, s.spec); err != nil {
 			return err
 		}
@@ -322,10 +322,10 @@ func (s *Sharded) loadShardIndex(base string, i int) bool {
 	return persist.LoadIndex(br, sh.sub) == nil
 }
 
-// forEachShard runs f(i) for i in [0, n) on a pool of bounded parallelism.
+// ForEachBounded runs f(i) for i in [0, n) on a pool of bounded parallelism.
 // The first error cancels the context passed to the remaining calls and is
 // returned; a parent-context cancellation surfaces as ctx.Err().
-func forEachShard(parent context.Context, n, workers int, f func(ctx context.Context, i int) error) error {
+func ForEachBounded(parent context.Context, n, workers int, f func(ctx context.Context, i int) error) error {
 	if workers > n {
 		workers = n
 	}
@@ -454,7 +454,7 @@ func (s *Sharded) Query(ctx context.Context, q *graph.Graph) (*core.QueryResult,
 	results := make([]*core.QueryResult, len(s.shards))
 	workers := s.perShardWorkers()
 	t0 := time.Now()
-	err := forEachShard(ctx, len(s.shards), s.fanoutWorkers(), func(ctx context.Context, i int) error {
+	err := ForEachBounded(ctx, len(s.shards), s.fanoutWorkers(), func(ctx context.Context, i int) error {
 		sh := s.shards[i]
 		if sh.empty() {
 			results[i] = &core.QueryResult{}
@@ -474,7 +474,7 @@ func (s *Sharded) Query(ctx context.Context, q *graph.Graph) (*core.QueryResult,
 	if err != nil {
 		return nil, err
 	}
-	merged := mergeSets(results)
+	merged := s.mergeSets(results)
 	for _, r := range results {
 		if r.FilterTime > merged.FilterTime {
 			merged.FilterTime = r.FilterTime
@@ -489,8 +489,8 @@ func (s *Sharded) Query(ctx context.Context, q *graph.Graph) (*core.QueryResult,
 // mergeSets folds per-shard candidate and answer sets (already mapped to
 // global ids) into one QueryResult, leaving the timings to the caller —
 // fan-out and serial execution attribute time differently.
-func mergeSets(results []*core.QueryResult) *core.QueryResult {
-	merged := &core.QueryResult{}
+func (s *Sharded) mergeSets(results []*core.QueryResult) *core.QueryResult {
+	merged := &core.QueryResult{Method: s.Name()}
 	for _, r := range results {
 		merged.Candidates = merged.Candidates.Union(r.Candidates)
 		merged.Answers = merged.Answers.Union(r.Answers)
@@ -516,7 +516,7 @@ func (s *Sharded) querySerial(ctx context.Context, q *graph.Graph) (*core.QueryR
 		r.Answers = sh.toGlobal(r.Answers)
 		results = append(results, r)
 	}
-	merged := mergeSets(results)
+	merged := s.mergeSets(results)
 	for _, r := range results {
 		merged.FilterTime += r.FilterTime
 		merged.VerifyTime += r.VerifyTime
@@ -546,7 +546,7 @@ func (s *Sharded) Stream(ctx context.Context, q *graph.Graph) iter.Seq2[graph.ID
 		// The plans outlive the fan-out pool, so they must capture the
 		// caller's ctx (cancellation still reaches the verifiers through
 		// it), not the pool's internally cancelled one.
-		err := forEachShard(ctx, len(s.shards), runtime.GOMAXPROCS(0), func(_ context.Context, i int) error {
+		err := ForEachBounded(ctx, len(s.shards), runtime.GOMAXPROCS(0), func(_ context.Context, i int) error {
 			sh := s.shards[i]
 			if sh.empty() {
 				return nil

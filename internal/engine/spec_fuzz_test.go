@@ -1,0 +1,134 @@
+package engine_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	_ "repro/internal/engine/std"
+)
+
+// TestCompositeSpecParses covers the composite router spec end to end at
+// the parse layer: the default spec, explicit method lists, and policy
+// overrides all resolve; the Factory refuses direct construction (a
+// composite opens through OpenAny).
+func TestCompositeSpecParses(t *testing.T) {
+	valid := []string{
+		"router",
+		"router:methods=grapes+ggsx",
+		"router:methods=grapes+ggsx+gcode,policy=race",
+		// Aliases normalize inside the list ("+" itself is the separator,
+		// so the "tree+delta" display spelling is written separator-free).
+		"router:methods=GGSX+TreeDelta+gcode,policy=static",
+		"router:policy=learned,epsilon=0.25,seed=7",
+		"router:epsilon=0", // explicit zero means greedy-only, not "default"
+	}
+	for _, spec := range valid {
+		d, p, err := engine.ParseSpec(spec)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", spec, err)
+			continue
+		}
+		if d.OpenQuerier == nil {
+			t.Errorf("ParseSpec(%q): descriptor is not composite", spec)
+		}
+		// Canonical re-render parses back to the same descriptor.
+		canon := p.Spec()
+		if d2, _, err := engine.ParseSpec(canon); err != nil || d2 != d {
+			t.Errorf("ParseSpec(canonical %q): %v (descriptor %v)", canon, err, d2)
+		}
+		if _, err := engine.New(spec); err == nil {
+			t.Errorf("New(%q): composite spec must refuse direct construction", spec)
+		}
+	}
+}
+
+// TestCompositeSpecErrors pins the error paths of the composite grammar:
+// unknown methods inside a router:methods= list fail at parse time with the
+// offending name in the message, as do duplicate and too-short lists,
+// nested composites, and bad policy parameters.
+func TestCompositeSpecErrors(t *testing.T) {
+	cases := []struct {
+		spec    string
+		wantSub string
+	}{
+		{"router:methods=grapes+nosuch", `unknown method "nosuch"`},
+		{"router:methods=nosuch+grapes", `unknown method "nosuch"`},
+		{"router:methods=grapes+ggsx+bogus,policy=race", `unknown method "bogus"`},
+		{"router:methods=grapes", "at least two"},
+		{"router:methods=grapes+", `unknown method ""`},
+		{"router:methods=grapes+grapes", "listed twice"},
+		{"router:methods=grapes+Grapes", "listed twice"}, // aliases of one method
+		{"router:methods=grapes+router", "nest composite"},
+		{"router:policy=bogus", "unknown policy"},
+		{"router:epsilon=1.5", "outside [0, 1]"},
+		{"router:epsilon=-0.1", "outside [0, 1]"},
+	}
+	for _, tc := range cases {
+		_, _, err := engine.ParseSpec(tc.spec)
+		if err == nil {
+			t.Errorf("ParseSpec(%q): want error containing %q, got nil", tc.spec, tc.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("ParseSpec(%q): error %q does not mention %q", tc.spec, err, tc.wantSub)
+		}
+	}
+}
+
+// FuzzParseSpec drives the full spec grammar — plain names, typed
+// parameters, and the composite router's nested method list — checking the
+// parser's core invariant: a spec that parses re-renders to a canonical
+// form that parses back to the same descriptor and the same canonical
+// form (idempotence), and never panics on arbitrary input.
+func FuzzParseSpec(f *testing.F) {
+	seeds := []string{
+		// Every method family with and without parameters.
+		"grapes",
+		"grapes:maxPathLen=3,workers=2",
+		"GGSX:maxPathLen=4",
+		"CT-Index:fingerprintBits=512,maxTreeSize=3",
+		"gindex:maxPatterns=20000,supportRatio=0.2",
+		"tree+delta:supportRatio=0.05",
+		"gCode:pathLen=2",
+		"NoIndex",
+		// Composite specs: the router's nested '+'-separated method list.
+		"router",
+		"router:methods=grapes+ggsx",
+		"router:methods=grapes+ggsx+gcode,policy=race,epsilon=0.2",
+		"router:methods=GGSX+CT-Index,policy=static,seed=42",
+		// Error-shaped inputs the parser must reject without panicking.
+		"router:methods=grapes+nosuch",
+		"router:methods=grapes",
+		"router:policy=bogus",
+		"bogus",
+		"grapes:",
+		"grapes:maxPathLen",
+		"grapes:maxPathLen=abc",
+		"grapes:=3",
+		":",
+		"",
+		"router:methods=",
+		"router:methods=+",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		d, p, err := engine.ParseSpec(spec)
+		if err != nil {
+			return
+		}
+		canon := p.Spec()
+		d2, p2, err := engine.ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical spec %q of %q does not parse: %v", canon, spec, err)
+		}
+		if d2 != d {
+			t.Fatalf("canonical spec %q resolved to %s, want %s", canon, d2.Name, d.Name)
+		}
+		if got := p2.Spec(); got != canon {
+			t.Fatalf("canonical form not stable: %q -> %q -> %q", spec, canon, got)
+		}
+	})
+}

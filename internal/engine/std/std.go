@@ -1,6 +1,7 @@
 // Package std links every built-in method into the engine registry, in the
 // style of database/sql drivers. Import it for side effects wherever method
-// specs must resolve to all six paper methods plus the NoIndex baseline:
+// specs must resolve to all six paper methods, the NoIndex baseline, and
+// the composite adaptive router:
 //
 //	import _ "repro/internal/engine/std"
 package std
@@ -11,6 +12,7 @@ import (
 	_ "repro/internal/ggsx"
 	_ "repro/internal/gindex"
 	_ "repro/internal/grapes"
+	_ "repro/internal/router"
 	_ "repro/internal/scan"
 	_ "repro/internal/treedelta"
 )

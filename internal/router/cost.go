@@ -1,0 +1,134 @@
+package router
+
+import (
+	"sort"
+	"sync"
+)
+
+// ewmaAlpha is the weight of the newest observation once a cell is past its
+// warmup: high enough to track drift (a growing dataset, changing machine
+// load), low enough that one noisy query does not flip routing.
+const ewmaAlpha = 0.2
+
+// coldThreshold is the observation count below which a cell's estimate is
+// considered cold: the learned policy then falls back to the static
+// heuristic ranking instead of trusting one or two samples.
+const coldThreshold = 3
+
+// cell accumulates one (bucket, method) pair's latency observations: a
+// plain running mean during warmup, an exponential moving average after.
+type cell struct {
+	n    int64
+	mean float64 // seconds
+}
+
+func (c *cell) observe(seconds float64) {
+	c.n++
+	if c.n <= coldThreshold {
+		c.mean += (seconds - c.mean) / float64(c.n)
+		return
+	}
+	c.mean += ewmaAlpha * (seconds - c.mean)
+}
+
+// model is the per-feature-bucket online cost model: for every bucket it
+// tracks each method's observed end-to-end query latency. It is the shared
+// mutable state of the learned and race policies and is safe for concurrent
+// use.
+type model struct {
+	mu    sync.Mutex
+	cells map[Bucket]map[string]*cell // bucket -> canonical method name
+}
+
+func newModel() *model {
+	return &model{cells: make(map[Bucket]map[string]*cell)}
+}
+
+// observe records one served query's latency for (b, method).
+func (m *model) observe(b Bucket, method string, seconds float64) {
+	if seconds < 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byMethod := m.cells[b]
+	if byMethod == nil {
+		byMethod = make(map[string]*cell)
+		m.cells[b] = byMethod
+	}
+	c := byMethod[method]
+	if c == nil {
+		c = &cell{}
+		byMethod[method] = c
+	}
+	c.observe(seconds)
+}
+
+// estimate returns the current latency estimate for (b, method) and how
+// many observations back it. n == 0 means never observed.
+func (m *model) estimate(b Bucket, method string) (seconds float64, n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c := m.cells[b][method]; c != nil {
+		return c.mean, c.n
+	}
+	return 0, 0
+}
+
+// CellSnapshot is one (bucket, method) cost-model cell in observable form,
+// used by /stats and by model persistence.
+type CellSnapshot struct {
+	Bucket      Bucket  `json:"bucket"`
+	Method      string  `json:"method"`
+	N           int64   `json:"n"`
+	MeanSeconds float64 `json:"mean_seconds"`
+}
+
+// snapshot returns every cell with at least one observation, in a
+// deterministic order (bucket, then method).
+func (m *model) snapshot() []CellSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []CellSnapshot
+	for b, byMethod := range m.cells {
+		for name, c := range byMethod {
+			if c.n == 0 {
+				continue
+			}
+			out = append(out, CellSnapshot{Bucket: b, Method: name, N: c.n, MeanSeconds: c.mean})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		bi, bj := out[i].Bucket, out[j].Bucket
+		if bi != bj {
+			if bi.Size != bj.Size {
+				return bi.Size < bj.Size
+			}
+			if bi.Shape != bj.Shape {
+				return bi.Shape < bj.Shape
+			}
+			return bi.Rarity < bj.Rarity
+		}
+		return out[i].Method < out[j].Method
+	})
+	return out
+}
+
+// restore seeds the model from persisted cells, keeping only methods in
+// known (the router's current method set) — a persisted model from an older
+// configuration must not inject estimates for methods that no longer exist.
+func (m *model) restore(cells []CellSnapshot, known map[string]bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, cs := range cells {
+		if cs.N <= 0 || !known[cs.Method] {
+			continue
+		}
+		byMethod := m.cells[cs.Bucket]
+		if byMethod == nil {
+			byMethod = make(map[string]*cell)
+			m.cells[cs.Bucket] = byMethod
+		}
+		byMethod[cs.Method] = &cell{n: cs.N, mean: cs.MeanSeconds}
+	}
+}

@@ -1,0 +1,165 @@
+package router
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Policy names, in the order Policies returns them.
+const (
+	// PolicyStatic routes purely on the static heuristic ranking distilled
+	// from the paper's figures; no state, no learning.
+	PolicyStatic = "static"
+	// PolicyLearned routes to the method with the lowest learned latency
+	// estimate for the query's feature bucket, exploring epsilon-greedily
+	// and falling back to the static ranking while the bucket is cold.
+	PolicyLearned = "learned"
+	// PolicyRace runs the top two predictions concurrently and cancels the
+	// loser: latency insurance against a wrong prediction, at double the
+	// CPU cost.
+	PolicyRace = "race"
+)
+
+// Policies lists the registered routing policies.
+func Policies() []string { return []string{PolicyStatic, PolicyLearned, PolicyRace} }
+
+// policy is one routing strategy. picks returns the sub-engine indexes to
+// run, in order: one index routes directly, two race with the loser
+// cancelled. explored reports that the front pick came from exploration
+// (forced warmup of a cold cell or an epsilon draw) rather than greedy
+// estimate order.
+type policy struct {
+	kind    string
+	epsilon float64
+}
+
+func newPolicy(kind string, epsilon float64) (policy, error) {
+	switch kind {
+	case PolicyStatic, PolicyLearned, PolicyRace:
+	default:
+		return policy{}, fmt.Errorf("router: unknown policy %q (registered: %s)",
+			kind, strings.Join(Policies(), ", "))
+	}
+	if epsilon < 0 || epsilon > 1 {
+		return policy{}, fmt.Errorf("router: epsilon %g outside [0, 1]", epsilon)
+	}
+	return policy{kind: kind, epsilon: epsilon}, nil
+}
+
+func (p policy) name() string { return p.kind }
+
+func (p policy) picks(f Features, names []string, mdl *model, rng *rand.Rand) (idx []int, explored bool) {
+	var order []int
+	switch p.kind {
+	case PolicyStatic:
+		order = staticRank(f, names)
+	default:
+		order, explored = learnedRank(f, names, mdl, p.epsilon, rng)
+	}
+	if p.kind == PolicyRace && len(order) >= 2 {
+		return order[:2], explored
+	}
+	return order[:1], explored
+}
+
+// learnedRank orders the methods by learned latency estimate for the
+// query's bucket. Cold cells (fewer than coldThreshold observations) rank
+// first, in static-heuristic order, so sustained traffic warms every cell
+// instead of locking onto whichever method happened to be measured first;
+// once all cells are warm an epsilon draw occasionally promotes a random
+// method to keep estimates fresh under drift.
+func learnedRank(f Features, names []string, mdl *model, epsilon float64, rng *rand.Rand) (order []int, explored bool) {
+	b := f.Bucket()
+	type est struct {
+		i    int
+		mean float64
+	}
+	var cold []int
+	var warm []est
+	coldSet := make(map[int]bool)
+	for i, name := range names {
+		mean, n := mdl.estimate(b, name)
+		if n < coldThreshold {
+			cold = append(cold, i)
+			coldSet[i] = true
+			continue
+		}
+		warm = append(warm, est{i: i, mean: mean})
+	}
+	sort.SliceStable(warm, func(a, c int) bool { return warm[a].mean < warm[c].mean })
+	if len(cold) > 0 {
+		// Forced warmup: cold methods first, keeping the static heuristic's
+		// preference among them (the fallback the paper's findings seed).
+		for _, i := range staticRank(f, names) {
+			if coldSet[i] {
+				order = append(order, i)
+			}
+		}
+		for _, e := range warm {
+			order = append(order, e.i)
+		}
+		return order, true
+	}
+	order = make([]int, len(warm))
+	for i, e := range warm {
+		order[i] = e.i
+	}
+	if epsilon > 0 && rng != nil && rng.Float64() < epsilon && len(order) > 1 {
+		// Promote a random non-front method to the front.
+		j := 1 + rng.Intn(len(order)-1)
+		order[0], order[j] = order[j], order[0]
+		return order, true
+	}
+	return order, false
+}
+
+// staticRank orders the sub-engine indexes by the static heuristic: a
+// preference table distilled from the paper's findings, keyed on the
+// query's dominant feature. Methods the table does not mention keep their
+// configuration order at the end, so the ranking is total over any method
+// subset.
+func staticRank(f Features, names []string) []int {
+	var prefer []string
+	switch {
+	case f.MinLabelFreq < 0.25:
+		// A rare label shrinks every method's candidate set to almost the
+		// answer set; the cheapest filter lookup wins (gCode's spectral
+		// signatures, then the path tries).
+		prefer = []string{"gcode", "ggsx", "grapes", "ctindex", "treedelta", "gindex", "noindex"}
+	case f.Shape == ShapeCyclic || f.Edges > 16:
+		// Dense or cyclic queries: Grapes's location-aware verification
+		// dominates the paper's dense sweeps; CT-Index is the only method
+		// indexing cycles directly.
+		prefer = []string{"grapes", "ctindex", "gindex", "ggsx", "gcode", "treedelta", "noindex"}
+	case f.Shape == ShapeTree:
+		// Tree-shaped queries play to the subtree-feature indexes.
+		prefer = []string{"treedelta", "ctindex", "grapes", "ggsx", "gindex", "gcode", "noindex"}
+	default:
+		// Small paths on sparse data: the path-trie methods filter these
+		// almost exactly.
+		prefer = []string{"ggsx", "grapes", "treedelta", "ctindex", "gcode", "gindex", "noindex"}
+	}
+	rank := make(map[string]int, len(prefer))
+	for i, name := range prefer {
+		rank[name] = i
+	}
+	order := make([]int, len(names))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ra, oka := rank[names[order[a]]]
+		rb, okb := rank[names[order[b]]]
+		switch {
+		case oka && okb:
+			return ra < rb
+		case oka:
+			return true
+		default:
+			return false
+		}
+	})
+	return order
+}

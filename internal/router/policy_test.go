@@ -1,0 +1,281 @@
+package router
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// featureDS builds a dataset with a skewed label distribution: label 0 in
+// every graph, label 1 in half, label 2 in one graph out of ten.
+func featureDS() *graph.Dataset {
+	ds := graph.NewDataset("features")
+	for i := 0; i < 10; i++ {
+		g := graph.New(0)
+		a := g.AddVertex(0)
+		l := graph.Label(0)
+		if i%2 == 0 {
+			l = 1
+		}
+		b := g.AddVertex(l)
+		g.MustAddEdge(a, b)
+		if i == 0 {
+			c := g.AddVertex(2)
+			g.MustAddEdge(b, c)
+		}
+		ds.Add(g)
+	}
+	return ds
+}
+
+func line(n int) *graph.Graph {
+	g := graph.New(0)
+	for i := 0; i < n; i++ {
+		g.AddVertex(0)
+	}
+	for i := int32(0); int(i) < n-1; i++ {
+		g.MustAddEdge(i, i+1)
+	}
+	return g
+}
+
+func TestExtractShapes(t *testing.T) {
+	e := NewExtractor(featureDS())
+
+	path := line(4)
+	f := e.Extract(path)
+	if f.Shape != ShapePath || f.Cyclomatic != 0 || f.Components != 1 {
+		t.Errorf("path: %+v", f)
+	}
+
+	star := graph.New(0)
+	c := star.AddVertex(0)
+	for i := 0; i < 3; i++ {
+		star.MustAddEdge(c, star.AddVertex(0))
+	}
+	f = e.Extract(star)
+	if f.Shape != ShapeTree || f.MaxDegree != 3 || f.Cyclomatic != 0 {
+		t.Errorf("star: %+v", f)
+	}
+
+	tri := graph.New(0)
+	a, b, d := tri.AddVertex(0), tri.AddVertex(0), tri.AddVertex(0)
+	tri.MustAddEdge(a, b)
+	tri.MustAddEdge(b, d)
+	tri.MustAddEdge(d, a)
+	f = e.Extract(tri)
+	if f.Shape != ShapeCyclic || f.Cyclomatic != 1 {
+		t.Errorf("triangle: %+v", f)
+	}
+
+	// Two disconnected edges: cyclomatic stays 0 through the component
+	// count.
+	two := graph.New(0)
+	two.MustAddEdge(two.AddVertex(0), two.AddVertex(0))
+	two.MustAddEdge(two.AddVertex(0), two.AddVertex(0))
+	f = e.Extract(two)
+	if f.Components != 2 || f.Cyclomatic != 0 || f.Shape != ShapePath {
+		t.Errorf("two components: %+v", f)
+	}
+}
+
+func TestExtractLabelRarity(t *testing.T) {
+	e := NewExtractor(featureDS())
+	q := graph.New(0)
+	q.MustAddEdge(q.AddVertex(0), q.AddVertex(2)) // common + rare
+	f := e.Extract(q)
+	if f.MinLabelFreq != 0.1 {
+		t.Errorf("MinLabelFreq = %g, want 0.1", f.MinLabelFreq)
+	}
+	if f.AvgLabelFreq != (1.0+0.1)/2 {
+		t.Errorf("AvgLabelFreq = %g, want 0.55", f.AvgLabelFreq)
+	}
+	// A label the dataset never uses has frequency 0.
+	q2 := graph.New(0)
+	q2.MustAddEdge(q2.AddVertex(0), q2.AddVertex(99))
+	if f := e.Extract(q2); f.MinLabelFreq != 0 {
+		t.Errorf("unknown label: MinLabelFreq = %g, want 0", f.MinLabelFreq)
+	}
+}
+
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		edges  int
+		freq   float64
+		shape  Shape
+		bucket Bucket
+	}{
+		{4, 0.5, ShapePath, Bucket{Size: 0, Shape: ShapePath, Rarity: 1}},
+		{5, 0.1, ShapeTree, Bucket{Size: 1, Shape: ShapeTree, Rarity: 0}},
+		{16, 0.9, ShapeCyclic, Bucket{Size: 2, Shape: ShapeCyclic, Rarity: 2}},
+		{17, 0.75, ShapePath, Bucket{Size: 3, Shape: ShapePath, Rarity: 2}},
+	}
+	for _, tc := range cases {
+		f := Features{Edges: tc.edges, MinLabelFreq: tc.freq, Shape: tc.shape}
+		if got := f.Bucket(); got != tc.bucket {
+			t.Errorf("Bucket(%+v) = %+v, want %+v", f, got, tc.bucket)
+		}
+	}
+	if s := (Bucket{Size: 2, Shape: ShapeTree, Rarity: 1}).String(); s != "s2/tree/r1" {
+		t.Errorf("Bucket.String() = %q", s)
+	}
+}
+
+func TestStaticRankPrefersRegime(t *testing.T) {
+	names := []string{"grapes", "ggsx", "ctindex", "gcode", "treedelta"}
+	pick := func(f Features) string { return names[staticRank(f, names)[0]] }
+
+	if got := pick(Features{Edges: 4, MinLabelFreq: 0.1}); got != "gcode" {
+		t.Errorf("rare label routes to %s, want gcode", got)
+	}
+	if got := pick(Features{Edges: 8, MinLabelFreq: 0.9, Shape: ShapeCyclic}); got != "grapes" {
+		t.Errorf("cyclic routes to %s, want grapes", got)
+	}
+	if got := pick(Features{Edges: 8, MinLabelFreq: 0.9, Shape: ShapeTree}); got != "treedelta" {
+		t.Errorf("tree routes to %s, want treedelta", got)
+	}
+	if got := pick(Features{Edges: 4, MinLabelFreq: 0.9, Shape: ShapePath}); got != "ggsx" {
+		t.Errorf("path routes to %s, want ggsx", got)
+	}
+	// A subset without the table's favorite falls through to the next.
+	sub := []string{"ctindex", "gindex"}
+	if got := sub[staticRank(Features{Edges: 8, MinLabelFreq: 0.9, Shape: ShapeTree}, sub)[0]]; got != "ctindex" {
+		t.Errorf("tree subset routes to %s, want ctindex", got)
+	}
+	// The ranking is total: every index appears exactly once.
+	order := staticRank(Features{}, names)
+	if len(order) != len(names) {
+		t.Fatalf("rank has %d entries, want %d", len(order), len(names))
+	}
+	seen := map[int]bool{}
+	for _, i := range order {
+		if seen[i] {
+			t.Fatalf("index %d ranked twice", i)
+		}
+		seen[i] = true
+	}
+}
+
+func TestModelWarmupThenEWMA(t *testing.T) {
+	m := newModel()
+	b := Bucket{Size: 1, Shape: ShapePath, Rarity: 1}
+	// Warmup: plain running mean over the first coldThreshold observations.
+	m.observe(b, "grapes", 1.0)
+	m.observe(b, "grapes", 3.0)
+	if mean, n := m.estimate(b, "grapes"); n != 2 || mean != 2.0 {
+		t.Fatalf("warmup estimate = (%g, %d), want (2, 2)", mean, n)
+	}
+	m.observe(b, "grapes", 2.0)
+	mean, n := m.estimate(b, "grapes")
+	if n != 3 || mean != 2.0 {
+		t.Fatalf("post-warmup estimate = (%g, %d), want (2, 3)", mean, n)
+	}
+	// Past warmup: exponential moving average.
+	m.observe(b, "grapes", 12.0)
+	if mean, _ := m.estimate(b, "grapes"); mean != 2.0+ewmaAlpha*10 {
+		t.Fatalf("EWMA estimate = %g, want %g", mean, 2.0+ewmaAlpha*10)
+	}
+	// Unobserved cells report cold.
+	if _, n := m.estimate(b, "ggsx"); n != 0 {
+		t.Fatalf("unobserved cell has n = %d", n)
+	}
+	// Negative observations are dropped, not absorbed.
+	m.observe(b, "grapes", -1)
+	if _, n := m.estimate(b, "grapes"); n != 4 {
+		t.Fatalf("negative observation changed n to %d", n)
+	}
+}
+
+func TestModelSnapshotRestore(t *testing.T) {
+	m := newModel()
+	b := Bucket{Size: 0, Shape: ShapeTree, Rarity: 2}
+	m.observe(b, "grapes", 1.5)
+	m.observe(b, "gone", 9)
+	snap := m.snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d cells, want 2", len(snap))
+	}
+	restored := newModel()
+	restored.restore(snap, map[string]bool{"grapes": true})
+	if mean, n := restored.estimate(b, "grapes"); n != 1 || mean != 1.5 {
+		t.Errorf("restored grapes = (%g, %d), want (1.5, 1)", mean, n)
+	}
+	if _, n := restored.estimate(b, "gone"); n != 0 {
+		t.Errorf("restore kept a cell for an unknown method")
+	}
+}
+
+func TestLearnedRankColdThenGreedy(t *testing.T) {
+	names := []string{"grapes", "ggsx", "gcode"}
+	f := Features{Edges: 4, MinLabelFreq: 0.9, Shape: ShapePath}
+	b := f.Bucket()
+	mdl := newModel()
+	rng := rand.New(rand.NewSource(1))
+
+	// All cold: exploration is forced and follows the static preference
+	// (ggsx first for small paths).
+	order, explored := learnedRank(f, names, mdl, 0, rng)
+	if !explored || names[order[0]] != "ggsx" {
+		t.Fatalf("cold rank = %v (explored=%v), want ggsx first via static order", order, explored)
+	}
+
+	// Warm every cell with distinct latencies; greedy picks the cheapest.
+	for i, name := range names {
+		for k := 0; k < coldThreshold; k++ {
+			mdl.observe(b, name, float64(3-i)) // gcode cheapest
+		}
+	}
+	order, explored = learnedRank(f, names, mdl, 0, rng)
+	if explored || names[order[0]] != "gcode" {
+		t.Fatalf("warm rank = %v (explored=%v), want greedy gcode", order, explored)
+	}
+
+	// Epsilon 1 always explores once warm.
+	_, explored = learnedRank(f, names, mdl, 1, rng)
+	if !explored {
+		t.Fatal("epsilon=1 did not explore")
+	}
+
+	// Partially cold: the cold method ranks first regardless of estimates.
+	mdl2 := newModel()
+	for k := 0; k < coldThreshold; k++ {
+		mdl2.observe(b, "grapes", 0.001)
+		mdl2.observe(b, "ggsx", 0.002)
+	}
+	order, explored = learnedRank(f, names, mdl2, 0, rng)
+	if !explored || names[order[0]] != "gcode" {
+		t.Fatalf("partial-cold rank = %v, want cold gcode forced first", order)
+	}
+}
+
+func TestPolicyPicks(t *testing.T) {
+	names := []string{"grapes", "ggsx", "gcode"}
+	f := Features{Edges: 4, MinLabelFreq: 0.9, Shape: ShapePath}
+	mdl := newModel()
+	rng := rand.New(rand.NewSource(2))
+
+	for _, kind := range Policies() {
+		p, err := newPolicy(kind, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		picks, _ := p.picks(f, names, mdl, rng)
+		want := 1
+		if kind == PolicyRace {
+			want = 2
+		}
+		if len(picks) != want {
+			t.Errorf("%s picked %d methods, want %d", kind, len(picks), want)
+		}
+		if kind == PolicyRace && picks[0] == picks[1] {
+			t.Errorf("race picked the same method twice")
+		}
+	}
+	if _, err := newPolicy("bogus", 0); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, err := newPolicy(PolicyLearned, 1.5); err == nil {
+		t.Error("epsilon out of range accepted")
+	}
+}

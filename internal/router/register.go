@@ -1,0 +1,83 @@
+package router
+
+import (
+	"context"
+	"errors"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/graph"
+)
+
+// DefaultMethods is the method set the router spec co-builds when none is
+// given: the three cheapest stable builders, spanning the path-trie
+// (Grapes, GGSX) and spectral-signature (gCode) filtering families the
+// paper's winners alternate between.
+const DefaultMethods = "grapes+ggsx+gcode"
+
+func init() {
+	engine.Register(engine.Descriptor{
+		Name:    "router",
+		Display: "router",
+		Help:    "adaptive method router: co-builds several method indexes and routes each query to the predicted cheapest",
+		Notes: "Operationalizes the paper's headline finding that no single method wins everywhere: " +
+			"several method indexes are built concurrently over the same dataset, every query is " +
+			"routed by a cheap feature vector (size, shape, label rarity) through a per-feature-bucket " +
+			"cost model learned online from observed latencies, and the `race` policy runs the top two " +
+			"predictions concurrently, cancelling the loser. Answers are identical to any single " +
+			"method's — routing only moves latency. The spec is composite: construct it with " +
+			"`engine.OpenAny` (or `-method router:...` on the CLIs), not `engine.New`. `methods` is a " +
+			"'+'-separated list of registry names (per-method parameters keep their registry defaults).",
+		Fields: []engine.Field{
+			{Name: "methods", Kind: engine.String, Default: DefaultMethods,
+				Help: "'+'-separated registry names of the methods to co-build (at least two)"},
+			{Name: "policy", Kind: engine.String, Default: PolicyLearned,
+				Help: "routing policy: static, learned, or race"},
+			{Name: "epsilon", Kind: engine.Float, Default: 0.1,
+				Help: "exploration rate of the learned policy, in [0, 1]"},
+			{Name: "seed", Kind: engine.Int, Default: 1,
+				Help: "exploration RNG seed (routing is reproducible for a fixed traffic order)"},
+		},
+		Factory: func(p engine.Params) (core.Method, error) {
+			return nil, errors.New("router: not a single indexing method; open it with engine.OpenAny (or -method router:... on the CLIs)")
+		},
+		Check: func(p engine.Params) error {
+			_, err := configFromParams(p)
+			return err
+		},
+		OpenQuerier: func(ctx context.Context, ds *graph.Dataset, p engine.Params, oc engine.OpenConfig) (engine.Querier, error) {
+			cfg, err := configFromParams(p)
+			if err != nil {
+				return nil, err
+			}
+			cfg.IndexPath = oc.IndexPath
+			cfg.VerifyWorkers = oc.VerifyWorkers
+			cfg.Shards = oc.Shards
+			return Open(ctx, ds, cfg)
+		},
+	})
+}
+
+// configFromParams resolves the router's spec parameters into a Config,
+// validating the method list and policy — ParseSpec runs this through the
+// descriptor's Check hook, so an invalid composite spec fails at parse
+// time like any other malformed spec.
+func configFromParams(p engine.Params) (Config, error) {
+	cfg := Config{
+		Methods: strings.Split(p.String("methods"), "+"),
+		Options: Options{
+			Policy:  p.String("policy"),
+			Epsilon: p.Float("epsilon"),
+			Seed:    int64(p.Int("seed")),
+		},
+	}
+	if _, err := resolveMethods(cfg.Methods); err != nil {
+		return Config{}, err
+	}
+	cfg.Options.fill()
+	if _, err := newPolicy(cfg.Options.Policy, cfg.Options.Epsilon); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}

@@ -1,0 +1,61 @@
+package router
+
+// MethodSnapshot is one routed method's counters in a stats snapshot.
+type MethodSnapshot struct {
+	// Method is the figure-legend display name (matching
+	// QueryResult.Method).
+	Method string `json:"method"`
+	// Name is the canonical registry name — the join key against the
+	// Model cells' CellSnapshot.Method, which persist under canonical
+	// names.
+	Name string `json:"name"`
+	// Routed counts how often the method was chosen to run (a raced query
+	// increments both contenders).
+	Routed int64 `json:"routed"`
+	// Won counts how often the method's result was the one served.
+	Won int64 `json:"won"`
+	// WinRate is Won over all served queries and streams.
+	WinRate float64 `json:"win_rate"`
+}
+
+// Snapshot is the router's observable state: policy, per-method win rates,
+// and the learned cost model's cells. /stats serves it and sqbench's router
+// ablation reports it.
+type Snapshot struct {
+	Policy string `json:"policy"`
+	// Queries counts served one-shot (and batched) queries; Streams counts
+	// routed answer streams.
+	Queries int64 `json:"queries"`
+	Streams int64 `json:"streams,omitempty"`
+	// Raced counts queries served by racing the top two predictions.
+	Raced int64 `json:"raced,omitempty"`
+	// Explored counts queries whose routing came from exploration (cold-
+	// bucket warmup or an epsilon draw) rather than the greedy estimate.
+	Explored int64            `json:"explored,omitempty"`
+	Methods  []MethodSnapshot `json:"methods"`
+	// Model lists every cost-model cell with at least one observation.
+	Model []CellSnapshot `json:"model,omitempty"`
+}
+
+// Stats snapshots the router's counters and cost model.
+func (m *Multi) Stats() Snapshot {
+	m.statsMu.Lock()
+	s := Snapshot{
+		Policy:   m.pol.name(),
+		Queries:  m.queries,
+		Streams:  m.streams,
+		Raced:    m.raced,
+		Explored: m.explored,
+	}
+	served := m.queries + m.streams
+	for i, display := range m.displays {
+		ms := MethodSnapshot{Method: display, Name: m.names[i], Routed: m.routed[i], Won: m.won[i]}
+		if served > 0 {
+			ms.WinRate = float64(ms.Won) / float64(served)
+		}
+		s.Methods = append(s.Methods, ms)
+	}
+	m.statsMu.Unlock()
+	s.Model = m.mdl.snapshot()
+	return s
+}

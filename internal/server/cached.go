@@ -137,6 +137,7 @@ func cachedResult(res *core.QueryResult, lookup time.Duration) *core.QueryResult
 		Candidates: res.Candidates,
 		Answers:    res.Answers,
 		FilterTime: lookup,
+		Method:     res.Method,
 		Cached:     true,
 	}
 }

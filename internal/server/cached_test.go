@@ -216,9 +216,15 @@ func TestCachedParityEveryMethod(t *testing.T) {
 			for _, shards := range []int{0, 1, 4} {
 				var q engine.Querier
 				var err error
-				if shards == 0 {
+				switch {
+				case d.OpenQuerier != nil:
+					// Composite entries (the router) only construct through
+					// OpenAny; with shards > 1 every routed sub-engine is
+					// sharded.
+					q, err = engine.OpenAny(ctx, ds, shards, engine.WithSpec(spec))
+				case shards == 0:
 					q, err = engine.Open(ctx, ds, engine.WithSpec(spec))
-				} else {
+				default:
 					q, err = engine.OpenSharded(ctx, ds, shards, engine.WithSpec(spec))
 				}
 				if err != nil {

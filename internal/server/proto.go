@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/router"
 )
 
 // GraphJSON is the wire form of a query graph: vertex labels by index plus
@@ -72,16 +73,22 @@ func toGraph(gj GraphJSON, dict *graph.Dictionary) (q *graph.Graph, unknown bool
 type QueryResponse struct {
 	Candidates []graph.ID `json:"candidates"`
 	Answers    []graph.ID `json:"answers"`
-	Cached     bool       `json:"cached"`
-	FilterUs   int64      `json:"filter_us"`
-	VerifyUs   int64      `json:"verify_us"`
-	TotalUs    int64      `json:"total_us"`
+	// Method names the concrete method that served the query — under an
+	// adaptive router this is the routing decision, observable per
+	// response. Empty for short-circuited unknown-label queries, which no
+	// method ever saw.
+	Method   string `json:"method,omitempty"`
+	Cached   bool   `json:"cached"`
+	FilterUs int64  `json:"filter_us"`
+	VerifyUs int64  `json:"verify_us"`
+	TotalUs  int64  `json:"total_us"`
 }
 
 func queryResponse(res *core.QueryResult) QueryResponse {
 	r := QueryResponse{
 		Candidates: res.Candidates,
 		Answers:    res.Answers,
+		Method:     res.Method,
 		Cached:     res.Cached,
 		FilterUs:   res.FilterTime.Microseconds(),
 		VerifyUs:   res.VerifyTime.Microseconds(),
@@ -171,6 +178,9 @@ type StatsResponse struct {
 	Cache         CacheStats     `json:"cache"`
 	Admission     AdmissionStats `json:"admission"`
 	Requests      RequestStats   `json:"requests"`
+	// Routing is present when the served engine is the adaptive router:
+	// per-method win rates and the learned cost model's cells.
+	Routing *router.Snapshot `json:"routing,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx JSON response.

@@ -1,0 +1,85 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/engine"
+	_ "repro/internal/engine/std"
+	"repro/internal/workload"
+)
+
+// TestServeRoutedEngine: a server over the adaptive router attributes every
+// response to the concrete method that served it, and /stats carries the
+// routing snapshot — win rates summing to the served queries and a warming
+// cost model.
+func TestServeRoutedEngine(t *testing.T) {
+	ds := testDataset(t)
+	spec := "router:methods=grapes+ggsx+gcode,policy=learned,epsilon=0"
+	q, err := engine.OpenAny(context.Background(), ds, 0, engine.WithSpec(spec))
+	if err != nil {
+		t.Fatalf("OpenAny: %v", err)
+	}
+	srv := New(q, Config{Spec: spec})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	queries := testQueries(t, ds)
+	served := 0
+	for i, query := range queries {
+		// Permute so the cache never swallows the routing decision.
+		resp := postJSON(t, ts.URL+"/query", GraphToJSON(workload.Permute(query, int64(i)), &ds.Dict))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %d: %s", i, resp.Status)
+		}
+		qr := decodeBody[QueryResponse](t, resp)
+		if qr.Method == "" {
+			t.Fatalf("query %d: response carries no serving method", i)
+		}
+		if d, ok := engine.Lookup(qr.Method); !ok || (d.Name != "grapes" && d.Name != "ggsx" && d.Name != "gcode") {
+			t.Fatalf("query %d: served by %q, not a routed method", i, qr.Method)
+		}
+		served++
+	}
+
+	stats := decodeBody[StatsResponse](t, mustGet(t, ts.URL+"/stats"))
+	if stats.Routing == nil {
+		t.Fatal("/stats has no routing section for a routed engine")
+	}
+	if stats.Routing.Policy != "learned" {
+		t.Errorf("routing policy = %q, want learned", stats.Routing.Policy)
+	}
+	if stats.Routing.Queries != int64(served) {
+		t.Errorf("routing served %d queries, want %d", stats.Routing.Queries, served)
+	}
+	var won int64
+	for _, ms := range stats.Routing.Methods {
+		won += ms.Won
+	}
+	if won != stats.Routing.Queries {
+		t.Errorf("routing wins sum to %d, want %d", won, stats.Routing.Queries)
+	}
+	if len(stats.Routing.Model) == 0 {
+		t.Error("routing cost model empty after served traffic")
+	}
+
+	// A cached hit replays the stored attribution rather than rerouting.
+	first := postJSON(t, ts.URL+"/query", GraphToJSON(queries[0], &ds.Dict))
+	fr := decodeBody[QueryResponse](t, first)
+	again := postJSON(t, ts.URL+"/query", GraphToJSON(queries[0], &ds.Dict))
+	ar := decodeBody[QueryResponse](t, again)
+	if !ar.Cached {
+		t.Fatal("identical repeat did not hit the cache")
+	}
+	if ar.Method != fr.Method {
+		t.Errorf("cached hit attributed to %q, computed result to %q", ar.Method, fr.Method)
+	}
+
+	// A plain (non-routed) engine serves no routing section.
+	_, _, plain := newTestService(t, Config{})
+	if s := decodeBody[StatsResponse](t, mustGet(t, plain.URL+"/stats")); s.Routing != nil {
+		t.Error("plain engine /stats carries a routing section")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/graph"
+	"repro/internal/router"
 )
 
 // maxBodyBytes bounds request bodies; a query graph is tiny, a batch of a
@@ -52,6 +53,9 @@ type Server struct {
 	mux     *http.ServeMux
 	slots   chan struct{}
 	started time.Time
+	// routing is the wrapped engine when it is the adaptive router, so
+	// /stats can expose win rates and the learned cost model.
+	routing *router.Multi
 
 	admitted atomic.Int64 // in the system: waiting for a slot or executing
 	inflight atomic.Int64 // executing
@@ -82,6 +86,9 @@ func New(q engine.Querier, cfg Config) *Server {
 		cfg:     cfg,
 		slots:   make(chan struct{}, cfg.Workers),
 		started: time.Now(),
+	}
+	if m, ok := q.(*router.Multi); ok {
+		s.routing = m
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
@@ -382,7 +389,13 @@ func (s *Server) handleMethods(w http.ResponseWriter, _ *http.Request) {
 // handleStats serves GET /stats.
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	ds := s.eng.Dataset()
+	var routing *router.Snapshot
+	if s.routing != nil {
+		snap := s.routing.Stats()
+		routing = &snap
+	}
 	writeJSON(w, StatsResponse{
+		Routing:       routing,
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Dataset:       ds.Name,
 		Graphs:        ds.Len(),

@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// QueryShape selects the extraction procedure of one mixed-workload query.
+type QueryShape string
+
+// The mixed-workload shapes. Each yields a query that is a subgraph of
+// some dataset graph by construction, so every query has at least one
+// answer.
+const (
+	// ShapeWalk is the paper's §4.3 random-walk extraction: the union of
+	// the walked edges, which revisits vertices and closes cycles on
+	// denser graphs.
+	ShapeWalk QueryShape = "walk"
+	// ShapePathQ extracts a simple path: a non-revisiting walk, so the
+	// query's vertices all have degree <= 2 and no cycle exists.
+	ShapePathQ QueryShape = "path"
+	// ShapeTreeQ grows a random tree from a start vertex by repeatedly
+	// attaching an unvisited neighbor of a random tree vertex — acyclic
+	// with branching.
+	ShapeTreeQ QueryShape = "tree"
+)
+
+// AllShapes lists the mixed-workload shapes in generation rotation order.
+func AllShapes() []QueryShape { return []QueryShape{ShapeWalk, ShapePathQ, ShapeTreeQ} }
+
+// MixedConfig parameterizes a mixed-shape, mixed-size query workload.
+type MixedConfig struct {
+	// NumQueries is the total number of queries to extract.
+	NumQueries int
+	// Sizes are the query edge counts to rotate through (default {4, 8, 16}).
+	Sizes []int
+	// Shapes are the extraction shapes to rotate through (default all).
+	Shapes []QueryShape
+	Seed   int64
+}
+
+// GenerateMixed extracts a workload that mixes query sizes and shapes —
+// the traffic an adaptive method router is designed for, where the paper's
+// per-regime winners alternate query by query. The (size, shape) grid is
+// rotated deterministically and the result is shuffled, so any prefix of
+// the workload is itself mixed. A (size, shape) cell the dataset cannot
+// support (graphs too small, or no simple path that long) falls back to
+// the plain walk shape at the same size before giving up, mirroring
+// Generate's retry discipline.
+func GenerateMixed(ds *graph.Dataset, cfg MixedConfig) ([]*graph.Graph, error) {
+	if ds.Len() == 0 {
+		return nil, fmt.Errorf("workload: empty dataset")
+	}
+	if len(cfg.Sizes) == 0 {
+		cfg.Sizes = []int{4, 8, 16}
+	}
+	if len(cfg.Shapes) == 0 {
+		cfg.Shapes = AllShapes()
+	}
+	for _, size := range cfg.Sizes {
+		if size < 1 {
+			return nil, fmt.Errorf("workload: query size %d < 1", size)
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := make([]*graph.Graph, 0, cfg.NumQueries)
+	const maxAttemptsPerQuery = 1000
+	for n := 0; len(out) < cfg.NumQueries; n++ {
+		size := cfg.Sizes[n%len(cfg.Sizes)]
+		shape := cfg.Shapes[(n/len(cfg.Sizes))%len(cfg.Shapes)]
+		var q *graph.Graph
+		for attempt := 0; attempt < maxAttemptsPerQuery; attempt++ {
+			src := ds.Graphs[rng.Intn(ds.Len())]
+			if q = shapedQuery(rng, src, size, shape); q != nil {
+				break
+			}
+			if attempt == maxAttemptsPerQuery/2 && shape != ShapeWalk {
+				// Halfway through the budget, concede the shape: a dataset
+				// of dense blobs may have no simple 16-edge path, but a
+				// 16-edge walk still exists.
+				shape = ShapeWalk
+			}
+		}
+		if q == nil {
+			return nil, fmt.Errorf("workload: no graph in %q supports %d-edge %s queries", ds.Name, size, shape)
+		}
+		out = append(out, q)
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out, nil
+}
+
+// shapedQuery extracts one query of the given shape and size from src, or
+// nil if this extraction attempt failed.
+func shapedQuery(rng *rand.Rand, src *graph.Graph, edges int, shape QueryShape) *graph.Graph {
+	switch shape {
+	case ShapePathQ:
+		return pathQuery(rng, src, edges)
+	case ShapeTreeQ:
+		return treeQuery(rng, src, edges)
+	default:
+		return walkQuery(rng, src, edges)
+	}
+}
+
+// pathQuery extracts a simple path with exactly the requested edge count: a
+// random walk that never revisits a vertex, restarting costs nothing
+// because failures return nil and the caller retries on a fresh graph.
+func pathQuery(rng *rand.Rand, src *graph.Graph, edges int) *graph.Graph {
+	if src.NumVertices() < edges+1 || src.NumEdges() < edges {
+		return nil
+	}
+	cur := int32(rng.Intn(src.NumVertices()))
+	q := graph.New(0)
+	onPath := map[int32]int32{cur: q.AddVertex(src.Label(cur))}
+	for q.NumEdges() < edges {
+		nb := src.Neighbors(cur)
+		// Collect the unvisited extensions; a dead end fails the attempt.
+		var ext []int32
+		for _, w := range nb {
+			if _, seen := onPath[w]; !seen {
+				ext = append(ext, w)
+			}
+		}
+		if len(ext) == 0 {
+			return nil
+		}
+		next := ext[rng.Intn(len(ext))]
+		nv := q.AddVertex(src.Label(next))
+		q.MustAddEdge(onPath[cur], nv)
+		onPath[next] = nv
+		cur = next
+	}
+	return q
+}
+
+// treeQuery grows a random subtree with exactly the requested edge count by
+// frontier expansion: each step attaches an unvisited src-neighbor of a
+// uniformly random tree vertex, so the query branches but never closes a
+// cycle.
+func treeQuery(rng *rand.Rand, src *graph.Graph, edges int) *graph.Graph {
+	if src.NumVertices() < edges+1 || src.NumEdges() < edges {
+		return nil
+	}
+	start := int32(rng.Intn(src.NumVertices()))
+	q := graph.New(0)
+	old2new := map[int32]int32{start: q.AddVertex(src.Label(start))}
+	members := []int32{start}
+	for q.NumEdges() < edges {
+		// Uniform random tree vertex with at least one unvisited neighbor;
+		// vertices without one are dropped from the candidate list.
+		grown := false
+		for len(members) > 0 && !grown {
+			mi := rng.Intn(len(members))
+			v := members[mi]
+			var ext []int32
+			for _, w := range src.Neighbors(v) {
+				if _, seen := old2new[w]; !seen {
+					ext = append(ext, w)
+				}
+			}
+			if len(ext) == 0 {
+				members[mi] = members[len(members)-1]
+				members = members[:len(members)-1]
+				continue
+			}
+			next := ext[rng.Intn(len(ext))]
+			nv := q.AddVertex(src.Label(next))
+			q.MustAddEdge(old2new[v], nv)
+			old2new[next] = nv
+			members = append(members, next)
+			grown = true
+		}
+		if !grown {
+			return nil // the whole reachable component is in the tree
+		}
+	}
+	return q
+}

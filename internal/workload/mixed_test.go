@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/subiso"
+)
+
+func TestGenerateMixedShapesAndContainment(t *testing.T) {
+	ds := testDS()
+	qs, err := GenerateMixed(ds, MixedConfig{NumQueries: 18, Sizes: []int{3, 6, 9}, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 18 {
+		t.Fatalf("got %d queries, want 18", len(qs))
+	}
+	sizes := map[int]int{}
+	for i, q := range qs {
+		if err := q.Validate(); err != nil {
+			t.Errorf("query %d invalid: %v", i, err)
+		}
+		if !q.IsConnected() {
+			t.Errorf("query %d disconnected", i)
+		}
+		sizes[q.NumEdges()]++
+		found := false
+		for _, g := range ds.Graphs {
+			if subiso.Exists(q, g) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("query %d not contained in any dataset graph", i)
+		}
+	}
+	// The (size, shape) grid is rotated, so every size appears equally.
+	for _, size := range []int{3, 6, 9} {
+		if sizes[size] != 6 {
+			t.Errorf("size %d: %d queries, want 6 (got %v)", size, sizes[size], sizes)
+		}
+	}
+}
+
+// TestGenerateMixedShapeInvariants pins the structural guarantees of the
+// dedicated shapes: path queries are simple paths, tree queries are
+// acyclic, walks are whatever the dataset gives.
+func TestGenerateMixedShapeInvariants(t *testing.T) {
+	ds := testDS()
+	paths, err := GenerateMixed(ds, MixedConfig{
+		NumQueries: 8, Sizes: []int{5}, Shapes: []QueryShape{ShapePathQ}, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range paths {
+		if q.NumEdges() != 5 || q.NumVertices() != 6 {
+			t.Errorf("path %d: %d vertices / %d edges, want 6/5", i, q.NumVertices(), q.NumEdges())
+		}
+		for v := int32(0); int(v) < q.NumVertices(); v++ {
+			if q.Degree(v) > 2 {
+				t.Errorf("path %d: vertex %d has degree %d", i, v, q.Degree(v))
+			}
+		}
+	}
+	trees, err := GenerateMixed(ds, MixedConfig{
+		NumQueries: 8, Sizes: []int{6}, Shapes: []QueryShape{ShapeTreeQ}, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	branched := false
+	for i, q := range trees {
+		// A connected graph with |V| = |E|+1 is a tree.
+		if q.NumEdges() != 6 || q.NumVertices() != 7 {
+			t.Errorf("tree %d: %d vertices / %d edges, want 7/6", i, q.NumVertices(), q.NumEdges())
+		}
+		if !q.IsConnected() {
+			t.Errorf("tree %d disconnected", i)
+		}
+		for v := int32(0); int(v) < q.NumVertices(); v++ {
+			if q.Degree(v) > 2 {
+				branched = true
+			}
+		}
+	}
+	if !branched {
+		t.Error("no tree query branched; frontier expansion degenerated to paths")
+	}
+}
+
+func TestGenerateMixedDeterministic(t *testing.T) {
+	ds := testDS()
+	a, err := GenerateMixed(ds, MixedConfig{NumQueries: 9, Sizes: []int{4, 6}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateMixed(ds, MixedConfig{NumQueries: 9, Sizes: []int{4, 6}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() || len(a[i].Edges()) != len(b[i].Edges()) {
+			t.Fatalf("query %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestGenerateMixedErrors(t *testing.T) {
+	ds := testDS()
+	if _, err := GenerateMixed(ds, MixedConfig{NumQueries: 1, Sizes: []int{0}}); err == nil {
+		t.Error("size 0: want error")
+	}
+	if _, err := GenerateMixed(ds, MixedConfig{NumQueries: 1, Sizes: []int{10_000}}); err == nil {
+		t.Error("infeasible size: want error")
+	}
+	empty := testDS()
+	empty.Graphs = nil
+	if _, err := GenerateMixed(empty, MixedConfig{NumQueries: 1}); err == nil {
+		t.Error("empty dataset: want error")
+	}
+}

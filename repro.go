@@ -45,6 +45,7 @@ import (
 	_ "repro/internal/engine/std" // register all built-in methods
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/router"
 	"repro/internal/server"
 	"repro/internal/subiso"
 	"repro/internal/workload"
@@ -97,6 +98,22 @@ type (
 	// defaults.
 	MethodInfo = engine.Descriptor
 
+	// RoutedEngine is the adaptive method router: several co-built method
+	// indexes over one dataset, each query routed to the predicted-cheapest
+	// method by a cost model learned online from observed latencies;
+	// construct with OpenRouted (or OpenAny with a "router:..." spec).
+	RoutedEngine = router.Multi
+	// RouterConfig configures OpenRouted: the method set plus routing
+	// policy, exploration, persistence, and shard options.
+	RouterConfig = router.Config
+	// RouterOptions is the routing-policy part of RouterConfig.
+	RouterOptions = router.Options
+	// RouterStats is the router's observable state: per-method win rates
+	// and the learned cost model's cells.
+	RouterStats = router.Snapshot
+	// QueryFeatures is the cheap per-query feature vector routing keys on.
+	QueryFeatures = router.Features
+
 	// CachedEngine wraps any Querier with an isomorphism-invariant result
 	// cache and single-flight deduplication; construct with NewCached.
 	CachedEngine = server.CachedEngine
@@ -116,6 +133,9 @@ type (
 	RealConfig = gen.RealConfig
 	// WorkloadConfig parameterizes random-walk query generation.
 	WorkloadConfig = workload.Config
+	// MixedWorkloadConfig parameterizes mixed-shape, mixed-size query
+	// generation — the traffic adaptive routing is designed for.
+	MixedWorkloadConfig = workload.MixedConfig
 
 	// MethodID names one of the six methods.
 	MethodID = bench.MethodID
@@ -182,6 +202,24 @@ func OpenSharded(ctx context.Context, ds *Dataset, shards int, opts ...Option) (
 	return engine.OpenSharded(ctx, ds, shards, opts...)
 }
 
+// OpenRouted co-builds one index per configured method over ds —
+// concurrently, on a GOMAXPROCS-bounded pool — and returns the adaptive
+// router over them: every query is served by the method a per-feature-
+// bucket cost model predicts cheapest, learned online from observed
+// latencies (with static heuristics from the paper's findings while cold).
+// Answers are identical to any single method's; only latency moves.
+func OpenRouted(ctx context.Context, ds *Dataset, cfg RouterConfig) (*RoutedEngine, error) {
+	return router.Open(ctx, ds, cfg)
+}
+
+// OpenAny is the spec-driven front door over every engine shape: composite
+// specs ("router:methods=grapes+ggsx+gcode,policy=race") open the adaptive
+// router, shards > 1 opens a sharded engine, and anything else a plain
+// Engine.
+func OpenAny(ctx context.Context, ds *Dataset, shards int, opts ...Option) (Querier, error) {
+	return engine.OpenAny(ctx, ds, shards, opts...)
+}
+
 // New constructs an unbuilt index from a method spec string: a registered
 // name or alias ("grapes", "GGSX", "tree+delta", ...), optionally followed
 // by ":key=value,..." parameter overrides, e.g.
@@ -237,6 +275,13 @@ func NewRealisticDataset(cfg RealConfig) *Dataset {
 // GenerateQueries extracts a random-walk query workload per §4.3.
 func GenerateQueries(ds *Dataset, cfg WorkloadConfig) ([]*Graph, error) {
 	return workload.Generate(ds, cfg)
+}
+
+// GenerateMixedQueries extracts a workload mixing query sizes and shapes
+// (walks, simple paths, random subtrees), shuffled — traffic whose best
+// indexing method flips query by query.
+func GenerateMixedQueries(ds *Dataset, cfg MixedWorkloadConfig) ([]*Graph, error) {
+	return workload.GenerateMixed(ds, cfg)
 }
 
 // IsSubgraph tests q ⊆ g directly with VF2 — the naive no-index baseline.
