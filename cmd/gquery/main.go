@@ -28,6 +28,16 @@
 // instance and the server's answers, timings, and cache hits are reported:
 //
 //	gquery -remote http://localhost:7474 -queries q.gfd -v
+//
+// With -add and/or -remove, gquery mutates the dataset before querying:
+// -remove tombstones graphs by id, -add appends every graph of a GFD file
+// (removals apply first). Locally the engine maintains its index online —
+// incrementally for methods that support it; against -remote the same
+// mutations go through the server's POST /graphs and DELETE /graphs/{id}
+// endpoints. -queries may be omitted when only mutating:
+//
+//	gquery -data molecules.gfd -queries q.gfd -method grapes -add new.gfd -remove 3,17
+//	gquery -remote http://localhost:7474 -add new.gfd -remove 3 -v
 package main
 
 import (
@@ -39,6 +49,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -59,6 +70,8 @@ func main() {
 		workers   = flag.Int("workers", 0, "per-query verification parallelism (0 = GOMAXPROCS)")
 		shards    = flag.Int("shards", 0, "hash-partition the dataset into N shards with parallel build and query fan-out (0/1 = unsharded)")
 		remote    = flag.String("remote", "", "query a running sqserve at this base URL instead of building a local index")
+		addPath   = flag.String("add", "", "add every graph of this GFD file to the dataset before querying (online index maintenance)")
+		removeIDs = flag.String("remove", "", "comma-separated graph ids to tombstone before querying (applied before -add)")
 		timeout   = flag.Duration("timeout", 8*time.Hour, "per-stage time budget")
 		verbose   = flag.Bool("v", false, "per-query output")
 		list      = flag.Bool("list", false, "list registered methods and their parameters")
@@ -69,24 +82,42 @@ func main() {
 		engine.FprintMethods(os.Stdout)
 		return
 	}
-	var err error
-	if *remote != "" {
-		// The engine flags belong to the server in client mode; silently
-		// ignoring them would let users attribute the server's numbers to
-		// a method it is not running.
-		if conflict := localOnlyFlags(); len(conflict) > 0 {
-			err = fmt.Errorf("-remote is a client mode and cannot take %s: the method, shards, and index are chosen by the sqserve instance",
-				strings.Join(conflict, ", "))
+	removals, err := parseRemovals(*removeIDs)
+	if err == nil {
+		if *remote != "" {
+			// The engine flags belong to the server in client mode; silently
+			// ignoring them would let users attribute the server's numbers to
+			// a method it is not running.
+			if conflict := localOnlyFlags(); len(conflict) > 0 {
+				err = fmt.Errorf("-remote is a client mode and cannot take %s: the method, shards, and index are chosen by the sqserve instance",
+					strings.Join(conflict, ", "))
+			} else {
+				err = runRemote(*remote, *queryPath, *addPath, removals, *timeout, *verbose)
+			}
 		} else {
-			err = runRemote(*remote, *queryPath, *timeout, *verbose)
+			err = run(*dataPath, *queryPath, *methodStr, *indexPath, *addPath, removals, *workers, *shards, *timeout, *verbose)
 		}
-	} else {
-		err = run(*dataPath, *queryPath, *methodStr, *indexPath, *workers, *shards, *timeout, *verbose)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gquery:", err)
 		os.Exit(1)
 	}
+}
+
+// parseRemovals parses the -remove id list.
+func parseRemovals(s string) ([]graph.ID, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []graph.ID
+	for _, part := range strings.Split(s, ",") {
+		id, err := strconv.ParseInt(strings.TrimSpace(part), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("-remove: bad graph id %q", part)
+		}
+		out = append(out, graph.ID(id))
+	}
+	return out, nil
 }
 
 // localOnlyFlags returns the explicitly set flags that only apply when
@@ -106,7 +137,16 @@ func localOnlyFlags() []string {
 // each query is serialized with its own label strings (the server resolves
 // them against the dataset dictionary) and the server's answers, timings,
 // and cache hits are aggregated client-side.
-func runRemote(baseURL, queryPath string, timeout time.Duration, verbose bool) error {
+func runRemote(baseURL, queryPath, addPath string, removals []graph.ID, timeout time.Duration, verbose bool) error {
+	client := &http.Client{Timeout: timeout}
+	if len(removals) > 0 || addPath != "" {
+		if err := mutateRemote(client, baseURL, addPath, removals, verbose); err != nil {
+			return err
+		}
+		if queryPath == "" {
+			return nil // mutation-only invocation
+		}
+	}
 	if queryPath == "" {
 		return fmt.Errorf("-queries is required")
 	}
@@ -117,7 +157,6 @@ func runRemote(baseURL, queryPath string, timeout time.Duration, verbose bool) e
 	if qds.Len() == 0 {
 		return fmt.Errorf("no queries in %s", queryPath)
 	}
-	client := &http.Client{Timeout: timeout}
 	var serverTime, rttTime time.Duration
 	var fpSum float64
 	hits := 0
@@ -177,8 +216,106 @@ func runRemote(baseURL, queryPath string, timeout time.Duration, verbose bool) e
 	return nil
 }
 
-func run(dataPath, queryPath, methodStr, indexPath string, workers, shards int, timeout time.Duration, verbose bool) error {
-	if dataPath == "" || queryPath == "" {
+// mutateRemote drives the server's mutation endpoints: DELETE per removal,
+// then POST per graph of the add file.
+func mutateRemote(client *http.Client, baseURL, addPath string, removals []graph.ID, verbose bool) error {
+	do := func(req *http.Request) (server.MutationResponse, error) {
+		var mr server.MutationResponse
+		resp, err := client.Do(req)
+		if err != nil {
+			return mr, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			var e server.ErrorResponse
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			if json.Unmarshal(msg, &e) == nil && e.Error != "" {
+				return mr, fmt.Errorf("server: %s (%s)", e.Error, resp.Status)
+			}
+			return mr, fmt.Errorf("server: %s", resp.Status)
+		}
+		return mr, json.NewDecoder(resp.Body).Decode(&mr)
+	}
+	for _, id := range removals {
+		req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/graphs/%d", baseURL, id), nil)
+		if err != nil {
+			return err
+		}
+		mr, err := do(req)
+		if err != nil {
+			return fmt.Errorf("removing graph %d: %w", id, err)
+		}
+		if verbose {
+			fmt.Printf("removed graph %d (epoch %d, %d live graphs)\n", id, mr.Epoch, mr.Graphs)
+		}
+	}
+	if addPath == "" {
+		return nil
+	}
+	ads, err := graph.LoadDatasetFile(addPath)
+	if err != nil {
+		return fmt.Errorf("loading -add graphs: %w", err)
+	}
+	for i, g := range ads.Graphs {
+		body, err := json.Marshal(server.GraphToJSON(g, &ads.Dict))
+		if err != nil {
+			return err
+		}
+		req, err := http.NewRequest(http.MethodPost, baseURL+"/graphs", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		mr, err := do(req)
+		if err != nil {
+			return fmt.Errorf("adding graph %d of %s: %w", i, addPath, err)
+		}
+		if verbose {
+			fmt.Printf("added graph as id %d (epoch %d, %d live graphs)\n", mr.ID, mr.Epoch, mr.Graphs)
+		}
+	}
+	return nil
+}
+
+// mutateLocal applies the -remove/-add mutations to an opened engine
+// through its Mutable capability, maintaining the index online.
+func mutateLocal(ctx context.Context, q engine.Querier, ds *graph.Dataset, addPath string, removals []graph.ID, verbose bool) error {
+	mut, ok := q.(engine.Mutable)
+	if !ok {
+		return fmt.Errorf("engine does not support -add/-remove")
+	}
+	for _, id := range removals {
+		if err := mut.RemoveGraph(ctx, id); err != nil {
+			return err
+		}
+		if verbose {
+			fmt.Printf("removed graph %d (epoch %d, %d live graphs)\n", id, mut.Epoch(), ds.NumAlive())
+		}
+	}
+	if addPath == "" {
+		return nil
+	}
+	// Added graphs intern their labels into the dataset's dictionary, so a
+	// new label grows the shared label universe.
+	ads, err := graph.LoadDatasetFileWithDict(addPath, &ds.Dict)
+	if err != nil {
+		return fmt.Errorf("loading -add graphs: %w", err)
+	}
+	for _, g := range ads.Graphs {
+		id, err := mut.AddGraph(ctx, g.ShallowWithID(0))
+		if err != nil {
+			return err
+		}
+		if verbose {
+			fmt.Printf("added graph as id %d (epoch %d, %d live graphs)\n", id, mut.Epoch(), ds.NumAlive())
+		}
+	}
+	return nil
+}
+
+func run(dataPath, queryPath, methodStr, indexPath, addPath string, removals []graph.ID, workers, shards int, timeout time.Duration, verbose bool) error {
+	mutating := addPath != "" || len(removals) > 0
+	if dataPath == "" || (queryPath == "" && !mutating) {
 		return fmt.Errorf("-data and -queries are required")
 	}
 	ds, err := graph.LoadDatasetFile(dataPath)
@@ -187,9 +324,11 @@ func run(dataPath, queryPath, methodStr, indexPath string, workers, shards int, 
 	}
 	// Queries share the dataset's label dictionary so label IDs agree
 	// across the two files.
-	qds, err := graph.LoadDatasetFileWithDict(queryPath, &ds.Dict)
-	if err != nil {
-		return fmt.Errorf("loading queries: %w", err)
+	var qds *graph.Dataset
+	if queryPath != "" {
+		if qds, err = graph.LoadDatasetFileWithDict(queryPath, &ds.Dict); err != nil {
+			return fmt.Errorf("loading queries: %w", err)
+		}
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
@@ -236,6 +375,15 @@ func run(dataPath, queryPath, methodStr, indexPath string, workers, shards int, 
 			fmt.Printf("indexed %d graphs with router over %s (%s policy) in %v (%d restored, total size %.2f MB)\n",
 				ds.Len(), strings.Join(e.Methods(), "+"), e.Policy(),
 				st.Elapsed.Round(time.Millisecond), e.RestoredMethods(), float64(st.SizeBytes)/(1<<20))
+		}
+	}
+
+	if mutating {
+		if err := mutateLocal(ctx, q, ds, addPath, removals, verbose); err != nil {
+			return err
+		}
+		if qds == nil {
+			return nil // mutation-only invocation
 		}
 	}
 

@@ -18,12 +18,14 @@
 // (commas belong to the parameter list).
 //
 // Experiments: table1, fig1, fig2, fig3, fig4, fig5, fig6, ablation,
-// cache, router, all. Figure 4 is the per-query-size view of Figure 3's
-// runs and reuses its sweep; "cache" is the serving-layer result-cache
-// sweep over repeated isomorphic traffic, and "router" compares adaptive
-// routing (static, learned, race) against every fixed method and the
-// per-query best-fixed-method oracle on a mixed-shape workload (both also
-// included in "ablation").
+// cache, router, update, all. Figure 4 is the per-query-size view of
+// Figure 3's runs and reuses its sweep; "cache" is the serving-layer
+// result-cache sweep over repeated isomorphic traffic, "router" compares
+// adaptive routing (static, learned, race) against every fixed method and
+// the per-query best-fixed-method oracle on a mixed-shape workload, and
+// "update" measures online index maintenance (incremental add/remove)
+// against a full rebuild per mutation under interleaved query/update
+// traffic (all also included in "ablation").
 // Scales: bench (seconds), default (minutes), paper (the full grid — days).
 //
 // With -json, every experiment and ablation the invocation ran is also
@@ -45,7 +47,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig1, fig2, fig3, fig4, fig5, fig6, ablation, cache, router, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig1, fig2, fig3, fig4, fig5, fig6, ablation, cache, router, update, all")
 	scaleName := flag.String("scale", "default", "scale: bench, default, paper")
 	methodsFlag := flag.String("methods", "", "method spec subset (default: all six); see -list")
 	out := flag.String("o", "", "write the report to this file (default stdout)")
@@ -204,7 +206,7 @@ func run(expName, scaleName, methodsFlag, outPath, csvPath, jsonPath string, qui
 		}
 		ran = true
 	}
-	if want("ablation") || want("cache") || want("router") {
+	if want("ablation") || want("cache") || want("router") || want("update") {
 		ds := bench.AblationDataset(scale)
 		if want("ablation") {
 			for _, ab := range bench.Ablations() {
@@ -240,6 +242,19 @@ func run(expName, scaleName, methodsFlag, outPath, csvPath, jsonPath string, qui
 			bench.WriteRouterReport(w, results)
 			if jr != nil {
 				jr.Router = results
+			}
+		}
+		// The online-mutation comparison runs under both -exp ablation and
+		// -exp update: incremental index maintenance vs full rebuild under
+		// interleaved query/update traffic.
+		if want("ablation") || want("update") {
+			results, err := bench.RunUpdateAblation(ctx, scale, log)
+			if err != nil {
+				return fmt.Errorf("ablation update: %w", err)
+			}
+			bench.WriteUpdateReport(w, results)
+			if jr != nil {
+				jr.Update = results
 			}
 		}
 		ran = true

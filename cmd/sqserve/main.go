@@ -18,11 +18,18 @@
 //
 // Endpoints:
 //
-//	POST /query     one GraphJSON query; ?stream=1 streams NDJSON answers
-//	POST /batch     {"queries": [GraphJSON, ...], "workers": N}
-//	GET  /methods   the live method registry
-//	GET  /stats     cache, admission, and request counters
-//	GET  /healthz   200 serving, 503 draining
+//	POST   /query        one GraphJSON query; ?stream=1 streams NDJSON answers
+//	POST   /batch        {"queries": [GraphJSON, ...], "workers": N}
+//	POST   /graphs       add a graph to the live dataset (online index maintenance)
+//	DELETE /graphs/{id}  tombstone a graph; its id is never reused
+//	GET    /methods      the live method registry
+//	GET    /stats        cache, admission, request, and epoch counters
+//	GET    /healthz      200 serving, 503 draining
+//
+// The dataset is live: mutations maintain every index online
+// (incrementally for methods that support it), bump the dataset epoch,
+// and invalidate cached results from earlier epochs lazily — a stale
+// answer is never replayed.
 //
 // SIGINT/SIGTERM drains gracefully: health flips to 503, new query work is
 // rejected, and in-flight requests finish (bounded by -drain-timeout).

@@ -59,6 +59,7 @@ type JSONReport struct {
 	Ablations   []JSONExperiment `json:"ablations,omitempty"`
 	Cache       []CacheResult    `json:"cache_ablation,omitempty"`
 	Router      []RouterResult   `json:"router_ablation,omitempty"`
+	Update      []UpdateResult   `json:"update_ablation,omitempty"`
 }
 
 // Table1JSON converts the Table 1 dataset characteristics.

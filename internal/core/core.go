@@ -119,14 +119,42 @@ func NewPlan(ctx context.Context, m Method, ds *graph.Dataset, q *graph.Graph) (
 		}}, nil
 	}
 	for _, id := range cands {
-		if ds.Graph(id) == nil {
+		// Tombstoned candidates are legal (a stale posting the liveness
+		// filter drops before verification); an ID past the dataset's
+		// slots means the index was built over a different dataset.
+		if int(id) < 0 || int(id) >= ds.Len() {
 			return nil, fmt.Errorf("core: candidate %d not in dataset", id)
 		}
 	}
 	return &genericPlan{cands: cands, verify: func(id graph.ID) bool {
-		m := subiso.NewMatcher(q, ds.Graph(id), subiso.Options{Ctx: ctx})
+		g := ds.Graph(id)
+		if g == nil {
+			return false
+		}
+		m := subiso.NewMatcher(q, g, subiso.Options{Ctx: ctx})
 		return m.Run(nil)
 	}}, nil
+}
+
+// IncrementalIndexer is implemented by methods that can maintain a built
+// index under dataset mutation without a full rebuild: AddGraphToIndex
+// folds one graph's features in, RemoveGraphFromIndex drops one graph's
+// postings. Methods that do not implement it fall back to a rebuild of the
+// whole index when the engine applies a mutation; removal additionally
+// never *requires* index maintenance at all, because the query pipeline
+// filters every candidate set against the dataset's tombstones.
+//
+// Both calls run under the owning engine's write lock, never concurrently
+// with queries, so implementations need no internal synchronization beyond
+// what their query path already has.
+type IncrementalIndexer interface {
+	// AddGraphToIndex folds g — already added to the dataset the index was
+	// built over, carrying its assigned ID — into the index.
+	AddGraphToIndex(g *graph.Graph) error
+	// RemoveGraphFromIndex drops graph id's postings from the index. It is
+	// an optimization over tombstone filtering (smaller candidate sets,
+	// reclaimed memory), not a correctness requirement.
+	RemoveGraphFromIndex(id graph.ID) error
 }
 
 // Persistable is implemented by methods whose built index can be saved to
@@ -202,11 +230,13 @@ func (p *Processor) QueryCtx(ctx context.Context, q *graph.Graph) (*QueryResult,
 	if err != nil {
 		return nil, fmt.Errorf("core: filtering with %s: %w", p.Method.Name(), err)
 	}
-	res.Candidates = plan.Candidates()
+	// Tombstoned graphs never surface: stale postings left behind by a
+	// remove-without-rebuild are dropped here, before verification.
+	res.Candidates = p.DS.FilterLive(plan.Candidates())
 	res.FilterTime = time.Since(t0)
 
 	t1 := time.Now()
-	answers, err := VerifyPlan(ctx, plan, p.VerifyWorkers)
+	answers, err := VerifyCandidates(ctx, plan, res.Candidates, p.VerifyWorkers)
 	if err != nil {
 		return nil, err
 	}
@@ -215,12 +245,19 @@ func (p *Processor) QueryCtx(ctx context.Context, q *graph.Graph) (*QueryResult,
 	return res, nil
 }
 
-// VerifyPlan runs a plan's verification stage and returns the sorted answer
-// set. With workers <= 1 candidates are verified in order with a
-// cancellation check between candidates; otherwise they are fanned out
-// across a worker pool and the answers reassembled in candidate order.
+// VerifyPlan runs a plan's verification stage over its own candidate set
+// and returns the sorted answer set. Callers that filtered the candidates
+// first (the pipeline's tombstone drop) use VerifyCandidates directly.
 func VerifyPlan(ctx context.Context, plan QueryPlan, workers int) (graph.IDSet, error) {
-	cands := plan.Candidates()
+	return VerifyCandidates(ctx, plan, plan.Candidates(), workers)
+}
+
+// VerifyCandidates verifies cands (a subset of the plan's candidates)
+// and returns the sorted answer set. With workers <= 1 candidates are
+// verified in order with a cancellation check between candidates;
+// otherwise they are fanned out across a worker pool and the answers
+// reassembled in candidate order.
+func VerifyCandidates(ctx context.Context, plan QueryPlan, cands graph.IDSet, workers int) (graph.IDSet, error) {
 	if workers > len(cands) {
 		workers = len(cands)
 	}
@@ -287,7 +324,7 @@ func StreamAnswers(ctx context.Context, m Method, ds *graph.Dataset, q *graph.Gr
 			yield(0, fmt.Errorf("core: filtering with %s: %w", m.Name(), err))
 			return
 		}
-		for _, id := range plan.Candidates() {
+		for _, id := range ds.FilterLive(plan.Candidates()) {
 			if err := ctx.Err(); err != nil {
 				yield(0, err)
 				return
@@ -308,6 +345,9 @@ func BruteForceAnswers(ctx context.Context, ds *graph.Dataset, q *graph.Graph) (
 	for _, g := range ds.Graphs {
 		if err := ctx.Err(); err != nil {
 			return nil, err
+		}
+		if !ds.Alive(g.ID()) {
+			continue
 		}
 		m := subiso.NewMatcher(q, g, subiso.Options{Ctx: ctx})
 		if m.Run(nil) {

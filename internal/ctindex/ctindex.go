@@ -79,6 +79,9 @@ func (ix *Index) Build(ctx context.Context, ds *graph.Dataset) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		if !ds.Alive(graph.ID(i)) {
+			continue // tombstoned slots keep a nil fingerprint
+		}
 		ix.fps[i] = ix.fingerprint(g)
 	}
 	ix.built = true
@@ -139,6 +142,9 @@ func (ix *Index) Candidates(q *graph.Graph) (graph.IDSet, error) {
 	qfp := ix.fingerprint(q)
 	var out graph.IDSet
 	for i, fp := range ix.fps {
+		if fp == nil {
+			continue // tombstoned slot
+		}
 		if qfp.IsSubsetOf(fp) {
 			out = append(out, graph.ID(i))
 		}
@@ -160,7 +166,9 @@ func (ix *Index) VerifyCandidate(q *graph.Graph, id graph.ID) bool {
 func (ix *Index) SizeBytes() int64 {
 	var sz int64
 	for _, fp := range ix.fps {
-		sz += fp.SizeBytes()
+		if fp != nil {
+			sz += fp.SizeBytes()
+		}
 	}
 	return sz
 }

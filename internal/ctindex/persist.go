@@ -31,6 +31,9 @@ func (ix *Index) SaveIndex(w io.Writer) error {
 		Words:           make([][]uint64, len(ix.fps)),
 	}
 	for i, fp := range ix.fps {
+		if fp == nil {
+			continue // tombstoned slot: no fingerprint
+		}
 		dto.Words[i] = fp.Words()
 	}
 	return gob.NewEncoder(w).Encode(&dto)
@@ -54,6 +57,12 @@ func (ix *Index) LoadIndex(r io.Reader, ds *graph.Dataset) error {
 	ix.opts.fill()
 	ix.fps = make([]*bitset.Bitset, dto.NumGraphs)
 	for i, words := range dto.Words {
+		if words == nil {
+			if ds.Alive(graph.ID(i)) {
+				return fmt.Errorf("ctindex: load: live graph %d has no fingerprint", i)
+			}
+			continue // tombstoned slot persisted without a fingerprint
+		}
 		fp := bitset.FromWords(dto.FingerprintBits, words)
 		if fp == nil {
 			return fmt.Errorf("ctindex: load: fingerprint %d has wrong width", i)

@@ -6,7 +6,27 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"repro/internal/core"
 )
+
+// maintenanceOf classifies a descriptor's mutation maintenance: methods
+// implementing core.IncrementalIndexer fold added/removed graphs into the
+// live index; composites route mutations to every sub-index; the rest
+// rebuild the affected structures.
+func maintenanceOf(d *Descriptor) string {
+	if d.OpenQuerier != nil {
+		return "routes to sub-indexes"
+	}
+	m, err := d.Factory(d.Params())
+	if err != nil {
+		return "rebuild"
+	}
+	if _, ok := m.(core.IncrementalIndexer); ok {
+		return "incremental"
+	}
+	return "rebuild"
+}
 
 // WriteMethodsMarkdown renders the per-method reference (docs/METHODS.md)
 // from the live registry: every registered method's names, aliases, typed
@@ -25,10 +45,18 @@ func WriteMethodsMarkdown(w io.Writer) error {
 	bw.printf("overrides (`grapes:maxPathLen=3,workers=8`). Names and keys match\n")
 	bw.printf("case-insensitively, ignoring `+`, `-`, `_`, and spaces.\n\n")
 
-	bw.printf("| Method | Spec name | Parameters | Summary |\n")
-	bw.printf("|---|---|---|---|\n")
+	bw.printf("Engines are mutable: `AddGraph`/`RemoveGraph` maintain a live index\n")
+	bw.printf("under dataset mutation. The **Updates** column shows each method's\n")
+	bw.printf("maintenance regime — *incremental* methods fold a single graph's\n")
+	bw.printf("features into (or out of) the built index; *rebuild* methods fall back\n")
+	bw.printf("to rebuilding the affected structures (one shard under a sharded\n")
+	bw.printf("engine). Removals are tombstone-based either way, so they are cheap\n")
+	bw.printf("for every method.\n\n")
+
+	bw.printf("| Method | Spec name | Parameters | Updates | Summary |\n")
+	bw.printf("|---|---|---|---|---|\n")
 	for _, d := range Descriptors() {
-		bw.printf("| %s | `%s` | %d | %s |\n", d.Display, d.Name, len(d.Fields), d.Help)
+		bw.printf("| %s | `%s` | %d | %s | %s |\n", d.Display, d.Name, len(d.Fields), maintenanceOf(d), d.Help)
 	}
 	bw.printf("\n")
 
@@ -45,6 +73,7 @@ func WriteMethodsMarkdown(w io.Writer) error {
 			quoted[i] = "`" + n + "`"
 		}
 		bw.printf("**Accepted names:** %s (case- and separator-insensitive).\n\n", strings.Join(quoted, ", "))
+		bw.printf("**Mutation maintenance:** %s.\n\n", maintenanceOf(d))
 		if len(d.Fields) == 0 {
 			bw.printf("No parameters.\n\n")
 		} else {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
@@ -10,6 +11,8 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -48,13 +51,39 @@ func WithVerifyWorkers(n int) Option { return func(c *config) { c.verifyWorkers 
 
 // Engine is a built (or restored) index over one dataset, serving subgraph
 // queries through the plan-based filter-and-verify pipeline. It is safe for
-// concurrent queries (Tree+Δ serializes its index mutations internally).
+// concurrent queries (Tree+Δ serializes its index mutations internally),
+// and implements Mutable: AddGraph/RemoveGraph mutate the dataset and
+// maintain the index — incrementally when the method implements
+// core.IncrementalIndexer, by rebuild otherwise — serialized against
+// in-flight queries by an internal reader/writer lock.
 type Engine struct {
+	// mu serializes dataset/index mutations (write side) against queries
+	// (read side).
+	mu       sync.RWMutex
 	method   core.Method
 	ds       *graph.Dataset
 	proc     *core.Processor
 	build    core.BuildStats
 	restored bool
+	// fresh constructs a pristine unbuilt instance for rebuild fallbacks;
+	// nil when the engine was opened with WithMethod, whose mutations then
+	// fail cleanly when they need a rebuild (the live index is never
+	// rebuilt in place — see rebuildLocked).
+	fresh         func() (core.Method, error)
+	indexPath     string
+	verifyWorkers int
+}
+
+// indexFileMagic heads every engine-written index file; the header line
+// also carries the dataset epoch and structural version tag the index was
+// built at, so a file persisted before a mutation — or against a
+// different mutation history of the same length — can never restore
+// silently against the mutated dataset. Raw SaveMethod/LoadMethod streams
+// stay headerless.
+const indexFileMagic = "repro-index v1"
+
+func indexFileHeader(ds *graph.Dataset) string {
+	return fmt.Sprintf("%s epoch %d tag %x", indexFileMagic, ds.Epoch(), ds.VersionTag())
 }
 
 // Open constructs the configured method, then builds its index over ds — or
@@ -75,7 +104,11 @@ func Open(ctx context.Context, ds *graph.Dataset, opts ...Option) (*Engine, erro
 			return nil, err
 		}
 	}
-	e := &Engine{method: m, ds: ds}
+	e := &Engine{method: m, ds: ds, indexPath: cfg.indexPath, verifyWorkers: cfg.verifyWorkers}
+	if cfg.method == nil {
+		spec := cfg.spec
+		e.fresh = func() (core.Method, error) { return New(spec) }
+	}
 
 	if cfg.indexPath != "" {
 		persist, ok := m.(core.Persistable)
@@ -89,25 +122,35 @@ func Open(ctx context.Context, ds *graph.Dataset, opts ...Option) (*Engine, erro
 			return nil, fmt.Errorf("engine: opening index at %s: %w", cfg.indexPath, ferr)
 		}
 		if ferr == nil {
-			lerr := persist.LoadIndex(f, ds)
-			f.Close()
-			e.restored = lerr == nil
-			if lerr != nil {
-				// A failed load may have left the instance partially
-				// mutated (some implementations overwrite their options
-				// before validating); rebuild from a pristine instance so
-				// the corrupt file's parameters never leak into the build.
-				if cfg.method != nil {
-					return nil, fmt.Errorf("engine: loading %s index from %s: %w",
-						m.Name(), cfg.indexPath, lerr)
+			br := bufio.NewReader(f)
+			header, herr := br.ReadString('\n')
+			if herr == nil && strings.TrimSuffix(header, "\n") == indexFileHeader(ds) {
+				lerr := persist.LoadIndex(br, ds)
+				e.restored = lerr == nil
+				if lerr != nil {
+					// A failed load may have left the instance partially
+					// mutated (some implementations overwrite their options
+					// before validating); rebuild from a pristine instance so
+					// the corrupt file's parameters never leak into the build.
+					if cfg.method != nil {
+						f.Close()
+						return nil, fmt.Errorf("engine: loading %s index from %s: %w",
+							m.Name(), cfg.indexPath, lerr)
+					}
+					fresh, nerr := New(cfg.spec)
+					if nerr != nil {
+						f.Close()
+						return nil, nerr
+					}
+					m = fresh
+					e.method = m
 				}
-				fresh, nerr := New(cfg.spec)
-				if nerr != nil {
-					return nil, nerr
-				}
-				m = fresh
-				e.method = m
 			}
+			// A missing or mismatched header — a legacy file, or an index
+			// persisted at another dataset epoch — never reaches LoadIndex:
+			// the instance is untouched and the engine rebuilds over the
+			// current dataset, overwriting the stale file.
+			f.Close()
 		}
 	}
 	if !e.restored {
@@ -117,7 +160,7 @@ func Open(ctx context.Context, ds *graph.Dataset, opts ...Option) (*Engine, erro
 		}
 		e.build = st
 		if cfg.indexPath != "" {
-			if err := SaveMethod(cfg.indexPath, m); err != nil {
+			if err := saveEngineIndex(cfg.indexPath, m, ds); err != nil {
 				return nil, err
 			}
 		}
@@ -126,26 +169,65 @@ func Open(ctx context.Context, ds *graph.Dataset, opts ...Option) (*Engine, erro
 	return e, nil
 }
 
-// Method returns the engine's built method.
-func (e *Engine) Method() core.Method { return e.method }
+// saveEngineIndex persists a built method's index at path in the engine's
+// file format: an epoch+tag-stamped header line, then the method's own
+// persist stream, written atomically.
+func saveEngineIndex(path string, m core.Method, ds *graph.Dataset) error {
+	p, ok := m.(core.Persistable)
+	if !ok {
+		return fmt.Errorf("engine: %s does not support index persistence", m.Name())
+	}
+	return AtomicWriteFile(path, func(w io.Writer) error {
+		if _, err := fmt.Fprintf(w, "%s\n", indexFileHeader(ds)); err != nil {
+			return err
+		}
+		if err := p.SaveIndex(w); err != nil {
+			return fmt.Errorf("engine: saving %s index: %w", m.Name(), err)
+		}
+		return nil
+	})
+}
+
+// Method returns the engine's built method. After a mutation that fell
+// back to a rebuild this is a different instance than before.
+func (e *Engine) Method() core.Method {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.method
+}
 
 // Dataset returns the dataset the engine serves queries over.
 func (e *Engine) Dataset() *graph.Dataset { return e.ds }
 
 // BuildStats reports on index construction; its zero value means the index
 // was restored from disk rather than built.
-func (e *Engine) BuildStats() core.BuildStats { return e.build }
+func (e *Engine) BuildStats() core.BuildStats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.build
+}
 
-// Restored reports whether Open loaded a persisted index instead of
-// building one.
-func (e *Engine) Restored() bool { return e.restored }
+// Restored reports whether the engine's current index was loaded from a
+// persisted file rather than built; a mutation that fell back to a
+// rebuild resets it.
+func (e *Engine) Restored() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.restored
+}
 
 // Processor exposes the engine's underlying pipeline for callers that need
-// per-stage control.
-func (e *Engine) Processor() *core.Processor { return e.proc }
+// per-stage control. The snapshot is not updated by later mutations.
+func (e *Engine) Processor() *core.Processor {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.proc
+}
 
 // Query processes one subgraph query end to end.
 func (e *Engine) Query(ctx context.Context, q *graph.Graph) (*core.QueryResult, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.proc.QueryCtx(ctx, q)
 }
 
@@ -155,6 +237,8 @@ func (e *Engine) Query(ctx context.Context, q *graph.Graph) (*core.QueryResult, 
 // with the engine's per-query worker pool would oversubscribe the scheduler
 // and distort per-query timings.
 func (e *Engine) QueryBatch(ctx context.Context, queries []*graph.Graph, opts core.BatchOptions) ([]core.BatchResult, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	serial := *e.proc
 	serial.VerifyWorkers = 1
 	return serial.QueryBatch(ctx, queries, opts)
@@ -165,12 +249,31 @@ func (e *Engine) QueryBatch(ctx context.Context, queries []*graph.Graph, opts co
 // the answer set. A filtering failure or context cancellation is yielded
 // once as a non-nil error, then the sequence ends.
 func (e *Engine) Stream(ctx context.Context, q *graph.Graph) iter.Seq2[graph.ID, error] {
-	return core.StreamAnswers(ctx, e.method, e.ds, q)
+	return func(yield func(graph.ID, error) bool) {
+		// The read lock is held for the whole iteration: a mutation cannot
+		// swap or modify the index under a partially consumed stream. The
+		// flip side is that a consumer must not park indefinitely inside
+		// the loop body — it would hold the lock and stall pending
+		// mutations (and, behind the queued writer, new queries); the
+		// serving layer bounds its streamed writes with a deadline for
+		// exactly this reason.
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+		for id, err := range core.StreamAnswers(ctx, e.method, e.ds, q) {
+			if !yield(id, err) {
+				return
+			}
+		}
+	}
 }
 
-// Save persists the engine's built index to path (atomically, via
-// SaveMethod).
-func (e *Engine) Save(path string) error { return SaveMethod(path, e.method) }
+// Save persists the engine's built index to path, atomically and stamped
+// with the dataset's current epoch, in the format Open restores from.
+func (e *Engine) Save(path string) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return saveEngineIndex(path, e.method, e.ds)
+}
 
 // SaveMethod persists a built method's index to path. The index is written
 // to a temporary file in the same directory and renamed into place, so a

@@ -43,8 +43,10 @@ func ShardIndexPath(base string, i int) string {
 }
 
 // shardManifestMagic heads the manifest file of a persisted sharded index;
-// bump the version when the layout changes.
-const shardManifestMagic = "repro-shards v1"
+// bump the version when the layout changes. v2 added the dataset epoch, so
+// shard files persisted before a mutation can never restore silently
+// against the mutated dataset.
+const shardManifestMagic = "repro-shards v2"
 
 // shardFileMagic heads every shard index file; the header line also carries
 // the canonical spec the shard was built with, so a shard file overwritten
@@ -90,10 +92,15 @@ func (sh *shard) toGlobal(local graph.IDSet) graph.IDSet {
 // may differ for the frequent-mining methods, whose feature selection is
 // dataset-global).
 type Sharded struct {
+	// mu serializes mutations (write side) against queries (read side),
+	// mirroring Engine.
+	mu            sync.RWMutex
 	ds            *graph.Dataset
 	shards        []*shard
 	desc          *Descriptor
+	params        Params // resolved params fresh shard instances rebuild from
 	spec          string // canonical spec all shards were constructed from
+	indexPath     string // persistence base ("" = none); mutated shards rewrite their file + the manifest
 	build         core.BuildStats
 	restored      int  // non-empty shards restored from disk
 	allRestored   bool // every non-empty shard restored (nothing built)
@@ -136,7 +143,9 @@ func OpenSharded(ctx context.Context, ds *graph.Dataset, shards int, opts ...Opt
 		ds:            ds,
 		shards:        partition(ds, shards),
 		desc:          d,
+		params:        p,
 		spec:          p.canonicalSpec(),
+		indexPath:     cfg.indexPath,
 		verifyWorkers: cfg.verifyWorkers,
 	}
 	for _, sh := range s.shards {
@@ -230,7 +239,10 @@ func OpenSharded(ctx context.Context, ds *graph.Dataset, shards int, opts ...Opt
 
 // partition assigns every graph of ds to its ShardOf shard, re-homing it
 // into the shard's sub-dataset as a shallow copy with a shard-local id. The
-// sub-datasets share the parent's label dictionary.
+// sub-datasets share the parent's label dictionary. Tombstones propagate:
+// a graph the parent has removed is re-homed (so the global mapping stays
+// positional) and immediately tombstoned in its sub-dataset, so opening a
+// sharded engine over an already-mutated dataset never resurrects it.
 func partition(ds *graph.Dataset, n int) []*shard {
 	shards := make([]*shard, n)
 	for i := range shards {
@@ -241,17 +253,20 @@ func partition(ds *graph.Dataset, n int) []*shard {
 	for _, g := range ds.Graphs {
 		sh := shards[ShardOf(g.ID(), n)]
 		sh.global = append(sh.global, g.ID())
-		sh.sub.Add(g.ShallowWithID(0)) // Add assigns the shard-local id
+		local := sh.sub.Add(g.ShallowWithID(0)) // Add assigns the shard-local id
+		if !ds.Alive(g.ID()) {
+			sh.sub.Remove(local)
+		}
 	}
 	return shards
 }
 
-// manifest renders the sharded-index manifest: a short text file binding the
-// shard files to the shard count, dataset size, and canonical method spec
-// they were written for.
+// manifest renders the sharded-index manifest: a short text file binding
+// the shard files to the shard count, dataset size, epoch and structural
+// version tag, and canonical method spec they were written for.
 func (s *Sharded) manifest() string {
-	return fmt.Sprintf("%s\nshards %d\ngraphs %d\nspec %s\n",
-		shardManifestMagic, len(s.shards), s.ds.Len(), s.spec)
+	return fmt.Sprintf("%s\nshards %d\ngraphs %d\nepoch %d\ntag %x\nspec %s\n",
+		shardManifestMagic, len(s.shards), s.ds.Len(), s.ds.Epoch(), s.ds.VersionTag(), s.spec)
 }
 
 // manifestMatches reports whether the manifest at base matches this engine's
@@ -385,7 +400,11 @@ func (s *Sharded) Name() string { return s.desc.Display }
 func (s *Sharded) Spec() string { return s.spec }
 
 // SizeBytes returns the total in-memory size of all shard indexes.
-func (s *Sharded) SizeBytes() int64 { return s.build.SizeBytes }
+func (s *Sharded) SizeBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.build.SizeBytes
+}
 
 // Restored reports whether every non-empty shard was restored from disk
 // (nothing was built). It is false for an empty dataset, where there was
@@ -400,7 +419,11 @@ func (s *Sharded) RestoredShards() int { return s.restored }
 // time of the parallel build phase (zero when every shard was restored),
 // SizeBytes the total size of all shard indexes, and Features the sum over
 // built shards. Per-shard figures are available from ShardStats.
-func (s *Sharded) BuildStats() core.BuildStats { return s.build }
+func (s *Sharded) BuildStats() core.BuildStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.build
+}
 
 // ShardStats returns per-shard build stats, indexed by shard. Restored
 // shards report the zero value, mirroring Engine.BuildStats. Summing the
@@ -451,6 +474,8 @@ func (s *Sharded) fanoutWorkers() int {
 // wall time, so TotalTime() is the query's real wall-clock latency —
 // directly comparable to an unsharded engine's.
 func (s *Sharded) Query(ctx context.Context, q *graph.Graph) (*core.QueryResult, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	results := make([]*core.QueryResult, len(s.shards))
 	workers := s.perShardWorkers()
 	t0 := time.Now()
@@ -502,6 +527,8 @@ func (s *Sharded) mergeSets(results []*core.QueryResult) *core.QueryResult {
 // after another with serial verification, so stage times sum. QueryBatch
 // uses it so batch-level parallelism is the only pool in play.
 func (s *Sharded) querySerial(ctx context.Context, q *graph.Graph) (*core.QueryResult, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	results := make([]*core.QueryResult, 0, len(s.shards))
 	for _, sh := range s.shards {
 		if sh.empty() {
@@ -542,6 +569,10 @@ func (s *Sharded) QueryBatch(ctx context.Context, queries []*graph.Graph, opts c
 // non-nil error, then the sequence ends.
 func (s *Sharded) Stream(ctx context.Context, q *graph.Graph) iter.Seq2[graph.ID, error] {
 	return func(yield func(graph.ID, error) bool) {
+		// Held for the whole iteration, like Engine.Stream: a mutation
+		// cannot touch shard indexes under a partially consumed stream.
+		s.mu.RLock()
+		defer s.mu.RUnlock()
 		plans := make([]core.QueryPlan, len(s.shards))
 		// The plans outlive the fan-out pool, so they must capture the
 		// caller's ctx (cancellation still reaches the verifiers through
@@ -569,8 +600,13 @@ func (s *Sharded) Stream(ctx context.Context, q *graph.Graph) iter.Seq2[graph.ID
 		}
 		cursors := make([]cursor, 0, len(s.shards))
 		for i, p := range plans {
-			if p != nil && len(p.Candidates()) > 0 {
-				cursors = append(cursors, cursor{shard: i, cands: p.Candidates()})
+			if p == nil {
+				continue
+			}
+			// Tombstoned shard-local graphs are filtered here, as the
+			// pipeline does for non-streamed queries.
+			if cands := s.shards[i].sub.FilterLive(p.Candidates()); len(cands) > 0 {
+				cursors = append(cursors, cursor{shard: i, cands: cands})
 			}
 		}
 		for {
@@ -607,6 +643,8 @@ func (s *Sharded) Stream(ctx context.Context, q *graph.Graph) iter.Seq2[graph.ID
 // shard, each written atomically — and then the manifest at base, so a later
 // OpenSharded with WithIndexPath(base) restores instead of rebuilding.
 func (s *Sharded) Save(base string) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	for i, sh := range s.shards {
 		if sh.empty() {
 			continue

@@ -124,10 +124,13 @@ func (ix *Index) Name() string { return "gCode" }
 
 // Build implements core.Method.
 func (ix *Index) Build(ctx context.Context, ds *graph.Dataset) error {
-	ix.codes = make([]graphCode, 0, ds.Len())
+	ix.codes = make([]graphCode, 0, ds.NumAlive())
 	for _, g := range ds.Graphs {
 		if err := ctx.Err(); err != nil {
 			return err
+		}
+		if !ds.Alive(g.ID()) {
+			continue // tombstoned slots index nothing
 		}
 		ix.codes = append(ix.codes, ix.encode(g))
 	}

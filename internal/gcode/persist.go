@@ -68,8 +68,10 @@ func (ix *Index) LoadIndex(r io.Reader, ds *graph.Dataset) error {
 	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
 		return fmt.Errorf("gcode: load: %w", err)
 	}
-	if len(dto.Codes) != ds.Len() {
-		return fmt.Errorf("gcode: load: index covers %d graphs, dataset has %d", len(dto.Codes), ds.Len())
+	// Codes cover exactly the live graphs: removals cut codes out of the
+	// index while the tombstoned dataset slot remains.
+	if len(dto.Codes) != ds.NumAlive() {
+		return fmt.Errorf("gcode: load: index covers %d graphs, dataset has %d live", len(dto.Codes), ds.NumAlive())
 	}
 	ix.opts = Options{PathLen: dto.PathLen, NumEigenvalues: dto.NumEigenvalues}
 	ix.opts.fill()

@@ -100,6 +100,9 @@ func (ix *Index) Build(ctx context.Context, ds *graph.Dataset) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		if !ds.Alive(g.ID()) {
+			continue // tombstoned slots index nothing
+		}
 		insertPaths(ix.root, g, ix.opts.MaxPathLen)
 	}
 	ix.root.finalize()

@@ -1,0 +1,94 @@
+package ggsx
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/graph"
+)
+
+var _ core.IncrementalIndexer = (*Index)(nil)
+
+// AddGraphToIndex implements core.IncrementalIndexer: the graph's label
+// paths are enumerated with the same DFS as Build and folded into the
+// finalized trie. Dataset IDs are append-only, so the sorted-postings
+// insert at each node is an append in practice.
+func (ix *Index) AddGraphToIndex(g *graph.Graph) error {
+	if !ix.built {
+		return core.ErrNotBuilt
+	}
+	id := g.ID()
+	stack := make([]*node, 1, ix.opts.MaxPathLen+2)
+	stack[0] = ix.root
+	features.VisitPaths(g, ix.opts.MaxPathLen, func(vs []int32) bool {
+		depth := len(vs)
+		stack = stack[:depth]
+		parent := stack[depth-1]
+		cur := parent.childFinalized(g.Label(vs[depth-1]))
+		cur.bump(id)
+		stack = append(stack, cur)
+		return true
+	})
+	if int(id) >= ix.nGr {
+		ix.nGr = int(id) + 1
+	}
+	return nil
+}
+
+// RemoveGraphFromIndex implements core.IncrementalIndexer: graph id's
+// postings are cut from every trie node, and subtrees left without any
+// postings are pruned. One trie walk is O(index), far below a rebuild's
+// path re-enumeration over every graph.
+func (ix *Index) RemoveGraphFromIndex(id graph.ID) error {
+	if !ix.built {
+		return core.ErrNotBuilt
+	}
+	pruneID(ix.root, id)
+	return nil
+}
+
+// childFinalized returns (creating if needed) the child for label l in
+// finalized form — sorted id/count slices, no building map — unlike
+// build-time child, whose nodes accumulate in a map first.
+func (n *node) childFinalized(l graph.Label) *node {
+	c := n.children[l]
+	if c == nil {
+		c = &node{children: make(map[graph.Label]*node)}
+		n.children[l] = c
+	}
+	return c
+}
+
+// bump increments id's occurrence count in a finalized node, splicing a
+// new entry in id order when absent.
+func (n *node) bump(id graph.ID) {
+	i := sort.Search(len(n.ids), func(i int) bool { return n.ids[i] >= id })
+	if i < len(n.ids) && n.ids[i] == id {
+		n.counts[i]++
+		return
+	}
+	n.ids = append(n.ids, 0)
+	copy(n.ids[i+1:], n.ids[i:])
+	n.ids[i] = id
+	n.counts = append(n.counts, 0)
+	copy(n.counts[i+1:], n.counts[i:])
+	n.counts[i] = 1
+}
+
+// pruneID removes id from n's postings and recurses, deleting child
+// subtrees that end up empty. It reports whether n itself is now empty
+// (no postings, no children).
+func pruneID(n *node, id graph.ID) bool {
+	i := sort.Search(len(n.ids), func(i int) bool { return n.ids[i] >= id })
+	if i < len(n.ids) && n.ids[i] == id {
+		n.ids = append(n.ids[:i], n.ids[i+1:]...)
+		n.counts = append(n.counts[:i], n.counts[i+1:]...)
+	}
+	for l, c := range n.children {
+		if pruneID(c, id) {
+			delete(n.children, l)
+		}
+	}
+	return len(n.ids) == 0 && len(n.children) == 0
+}

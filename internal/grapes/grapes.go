@@ -120,6 +120,9 @@ func (ix *Index) Build(ctx context.Context, ds *graph.Dataset) error {
 					errs[w] = err
 					return
 				}
+				if !ds.Alive(graph.ID(i)) {
+					continue // tombstoned slots index nothing
+				}
 				ix.indexGraph(shard, ds.Graphs[i])
 			}
 		}(w)

@@ -1,0 +1,83 @@
+package grapes
+
+import (
+	"sort"
+
+	"repro/internal/canon"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+var _ core.IncrementalIndexer = (*Index)(nil)
+
+// AddGraphToIndex implements core.IncrementalIndexer: the graph's path
+// features are enumerated exactly as during Build and merged into the
+// existing postings. Dataset IDs are append-only, so a freshly added
+// graph's id sorts at (or past) the tail of every posting it joins and
+// the sorted-postings invariant is kept by a binary-search insert that is
+// an append in practice.
+func (ix *Index) AddGraphToIndex(g *graph.Graph) error {
+	if !ix.built {
+		return core.ErrNotBuilt
+	}
+	id := g.ID()
+	for int(id) >= len(ix.comps) {
+		ix.comps = append(ix.comps, nil)
+		ix.compCount = append(ix.compCount, 0)
+	}
+	shard := &buildShard{features: make(map[canon.Key]map[graph.ID]*location)}
+	ix.indexGraph(shard, g)
+	for key, byGraph := range shard.features {
+		p := ix.features[key]
+		if p == nil {
+			p = &posting{}
+			ix.features[key] = p
+		}
+		for gid, loc := range byGraph {
+			insertPosting(p, gid, *loc)
+		}
+	}
+	return nil
+}
+
+// RemoveGraphFromIndex implements core.IncrementalIndexer: graph id's
+// entries are cut from every posting (features left with no graphs are
+// dropped) and its component table released. A full posting sweep is
+// O(index), far below a rebuild's feature re-enumeration over every graph.
+func (ix *Index) RemoveGraphFromIndex(id graph.ID) error {
+	if !ix.built {
+		return core.ErrNotBuilt
+	}
+	for key, p := range ix.features {
+		i := sort.Search(len(p.ids), func(i int) bool { return p.ids[i] >= id })
+		if i >= len(p.ids) || p.ids[i] != id {
+			continue
+		}
+		p.ids = append(p.ids[:i], p.ids[i+1:]...)
+		p.locs = append(p.locs[:i], p.locs[i+1:]...)
+		if len(p.ids) == 0 {
+			delete(ix.features, key)
+		}
+	}
+	if int(id) < len(ix.comps) {
+		ix.comps[id] = nil
+		ix.compCount[id] = 0
+	}
+	return nil
+}
+
+// insertPosting splices (id, loc) into p keeping ids sorted; refreshing an
+// existing entry overwrites it.
+func insertPosting(p *posting, id graph.ID, loc location) {
+	i := sort.Search(len(p.ids), func(i int) bool { return p.ids[i] >= id })
+	if i < len(p.ids) && p.ids[i] == id {
+		p.locs[i] = loc
+		return
+	}
+	p.ids = append(p.ids, 0)
+	copy(p.ids[i+1:], p.ids[i:])
+	p.ids[i] = id
+	p.locs = append(p.locs, location{})
+	copy(p.locs[i+1:], p.locs[i:])
+	p.locs[i] = loc
+}

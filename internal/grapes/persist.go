@@ -65,6 +65,9 @@ func (ix *Index) LoadIndex(r io.Reader, ds *graph.Dataset) error {
 		return fmt.Errorf("grapes: load: corrupt component tables")
 	}
 	for i, comp := range dto.Comps {
+		if !ds.Alive(graph.ID(i)) {
+			continue // tombstoned slots carry no component table
+		}
 		if len(comp) != ds.Graphs[i].NumVertices() {
 			return fmt.Errorf("grapes: load: graph %d has %d vertices, index recorded %d",
 				i, ds.Graphs[i].NumVertices(), len(comp))

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 )
 
 // Dictionary interns string vertex labels to dense Label values. It is used
@@ -46,10 +47,23 @@ func (d *Dictionary) Name(l Label) string {
 func (d *Dictionary) Len() int { return len(d.names) }
 
 // Dataset is an ordered collection of graphs sharing one label space.
+//
+// Datasets are mutable: Add appends a graph under a fresh ID and Remove
+// tombstones one in place. IDs are positional and never reused — a removed
+// graph's slot stays occupied (so persisted indexes keyed by ID stay
+// aligned) but Graph returns nil for it and Alive reports false. Every
+// mutation bumps the dataset's monotonically increasing Epoch, the version
+// stamp caches and persisted indexes validate against.
+//
+// Mutating a dataset concurrently with readers is not safe; the engine
+// layer serializes mutations against queries.
 type Dataset struct {
 	Name   string
 	Graphs []*Graph
 	Dict   Dictionary
+
+	removed map[ID]struct{}
+	epoch   atomic.Uint64
 }
 
 // NewDataset returns an empty dataset with the given name.
@@ -57,27 +71,140 @@ func NewDataset(name string) *Dataset {
 	return &Dataset{Name: name}
 }
 
-// Add appends g to the dataset, assigning it the next dataset-local ID.
+// Add appends g to the dataset, assigning it the next dataset-local ID and
+// bumping the epoch.
 func (ds *Dataset) Add(g *Graph) ID {
 	id := ID(len(ds.Graphs))
 	g.SetID(id)
 	ds.Graphs = append(ds.Graphs, g)
+	ds.epoch.Add(1)
 	return id
 }
 
-// Len returns the number of graphs.
+// Remove tombstones the graph with the given ID and bumps the epoch,
+// reporting whether a live graph was removed. The slot is retained — IDs
+// are positional and never reused — but Graph returns nil for it, Alive
+// reports false, and FilterLive drops it from candidate sets.
+func (ds *Dataset) Remove(id ID) bool {
+	if !ds.Alive(id) {
+		return false
+	}
+	if ds.removed == nil {
+		ds.removed = make(map[ID]struct{})
+	}
+	ds.removed[id] = struct{}{}
+	ds.epoch.Add(1)
+	return true
+}
+
+// Alive reports whether id names a live (present and not removed) graph.
+func (ds *Dataset) Alive(id ID) bool {
+	if int(id) < 0 || int(id) >= len(ds.Graphs) {
+		return false
+	}
+	_, dead := ds.removed[id]
+	return !dead
+}
+
+// Epoch returns the dataset's version: a counter bumped by every Add and
+// Remove (loading a dataset counts one Add per graph). Two reads returning
+// the same value bracket an unchanged dataset, which is what the serving
+// layer's result cache and the persisted index files key on.
+func (ds *Dataset) Epoch() uint64 { return ds.epoch.Load() }
+
+// VersionTag returns a content fingerprint of the dataset: an FNV-1a hash
+// over the slot count and, per live slot, the graph's vertex labels and
+// edge list (tombstoned slots hash a sentinel). Persisted indexes store
+// it next to the epoch: the epoch alone is an operation counter, so two
+// different mutation histories of equal length (remove 3 vs remove 5, or
+// adds of different graphs) would collide on it, and a stale index could
+// restore silently against the wrong content. The tag is O(vertices +
+// edges) of integer reads — negligible next to writing the index itself.
+func (ds *Dataset) VersionTag() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime64
+	}
+	mix(uint64(len(ds.Graphs)))
+	for i, g := range ds.Graphs {
+		if _, dead := ds.removed[ID(i)]; dead {
+			mix(^uint64(0))
+			continue
+		}
+		mix(uint64(g.NumVertices()))
+		for _, l := range g.Labels() {
+			mix(uint64(uint32(l)))
+		}
+		for v := int32(0); int(v) < g.NumVertices(); v++ {
+			for _, w := range g.Neighbors(v) {
+				if w > v {
+					mix(uint64(uint32(v))<<32 | uint64(uint32(w)))
+				}
+			}
+		}
+	}
+	return h
+}
+
+// NumRemoved returns the number of tombstoned graphs.
+func (ds *Dataset) NumRemoved() int { return len(ds.removed) }
+
+// NumAlive returns the number of live graphs (Len minus tombstones).
+func (ds *Dataset) NumAlive() int { return len(ds.Graphs) - len(ds.removed) }
+
+// Len returns the number of graph slots, tombstoned ones included; it is
+// also one past the largest ID ever assigned.
 func (ds *Dataset) Len() int { return len(ds.Graphs) }
 
-// Graph returns the graph with the given dataset-local ID, or nil.
+// Graph returns the live graph with the given dataset-local ID, or nil for
+// out-of-range and tombstoned IDs.
 func (ds *Dataset) Graph(id ID) *Graph {
-	if int(id) < 0 || int(id) >= len(ds.Graphs) {
+	if !ds.Alive(id) {
 		return nil
 	}
 	return ds.Graphs[id]
 }
 
-// MaxLabel returns the largest label value used by any graph, or -1 for an
-// empty dataset. Index structures use it to size label-keyed arrays.
+// LiveIDSet returns the sorted IDs of all live graphs.
+func (ds *Dataset) LiveIDSet() IDSet {
+	out := make(IDSet, 0, ds.NumAlive())
+	for i := range ds.Graphs {
+		if _, dead := ds.removed[ID(i)]; !dead {
+			out = append(out, ID(i))
+		}
+	}
+	return out
+}
+
+// FilterLive returns s with tombstoned and out-of-range IDs dropped. With
+// no tombstones it returns s unchanged (no allocation), so the common
+// immutable path pays nothing.
+func (ds *Dataset) FilterLive(s IDSet) IDSet {
+	if len(ds.removed) == 0 {
+		if len(s) == 0 || int(s[len(s)-1]) < len(ds.Graphs) {
+			return s
+		}
+	}
+	out := make(IDSet, 0, len(s))
+	for _, id := range s {
+		if ds.Alive(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// MaxLabel returns the largest label value used by any graph — tombstoned
+// slots included, so the result stays a safe upper bound for label-keyed
+// arrays sized at build time — or -1 for an empty dataset. Labels interned
+// after a structure was sized can still exceed it: consumers must
+// bounds-check (and treat unseen labels as unused/rarest) rather than
+// index blindly.
 func (ds *Dataset) MaxLabel() Label {
 	max := Label(-1)
 	for _, g := range ds.Graphs {
@@ -117,15 +244,19 @@ type Stats struct {
 	AvgLabelsPerGraph float64 // mean distinct labels per graph
 }
 
-// ComputeStats scans the dataset and returns its Table 1-style summary.
+// ComputeStats scans the live graphs and returns their Table 1-style
+// summary; tombstoned graphs are excluded.
 func (ds *Dataset) ComputeStats() Stats {
-	s := Stats{NumGraphs: len(ds.Graphs)}
+	s := Stats{NumGraphs: ds.NumAlive()}
 	if s.NumGraphs == 0 {
 		return s
 	}
 	labels := make(map[Label]struct{})
 	var sumN, sumN2, sumE, sumD, sumDeg, sumLG float64
 	for _, g := range ds.Graphs {
+		if !ds.Alive(g.ID()) {
+			continue
+		}
 		n := float64(g.NumVertices())
 		sumN += n
 		sumN2 += n * n

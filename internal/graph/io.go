@@ -28,6 +28,9 @@ import (
 func WriteDataset(w io.Writer, ds *Dataset) error {
 	bw := bufio.NewWriter(w)
 	for _, g := range ds.Graphs {
+		if !ds.Alive(g.ID()) {
+			continue // tombstoned graphs compact away on save
+		}
 		if _, err := fmt.Fprintf(bw, "#%d\n%d\n", g.ID(), g.NumVertices()); err != nil {
 			return err
 		}

@@ -1,0 +1,83 @@
+package graph
+
+import "testing"
+
+func twoVertexGraph(l Label) *Graph {
+	g := New(0)
+	a := g.AddVertex(l)
+	b := g.AddVertex(l)
+	g.MustAddEdge(a, b)
+	return g
+}
+
+// TestDatasetTombstones pins the mutation model: Remove tombstones in
+// place (slot kept, Graph nil, Alive false), ids are never reused, and
+// every mutation bumps the epoch.
+func TestDatasetTombstones(t *testing.T) {
+	ds := NewDataset("mut")
+	for i := 0; i < 4; i++ {
+		ds.Add(twoVertexGraph(Label(i)))
+	}
+	if got := ds.Epoch(); got != 4 {
+		t.Errorf("epoch after 4 adds = %d", got)
+	}
+	if !ds.Remove(1) {
+		t.Fatal("Remove(1) should succeed")
+	}
+	if ds.Remove(1) {
+		t.Error("double remove must report false")
+	}
+	if ds.Remove(99) || ds.Remove(-1) {
+		t.Error("out-of-range remove must report false")
+	}
+	if got := ds.Epoch(); got != 5 {
+		t.Errorf("epoch after remove = %d", got)
+	}
+	if ds.Alive(1) || ds.Graph(1) != nil {
+		t.Error("tombstoned graph must be dead and nil")
+	}
+	if !ds.Alive(0) || ds.Graph(2) == nil {
+		t.Error("live graphs must stay reachable")
+	}
+	if ds.Len() != 4 || ds.NumAlive() != 3 || ds.NumRemoved() != 1 {
+		t.Errorf("len=%d alive=%d removed=%d, want 4, 3, 1", ds.Len(), ds.NumAlive(), ds.NumRemoved())
+	}
+	if id := ds.Add(twoVertexGraph(9)); id != 4 {
+		t.Errorf("re-add assigned id %d, want fresh id 4 (never reuse 1)", id)
+	}
+	if got, want := ds.LiveIDSet(), (IDSet{0, 2, 3, 4}); !got.Equal(want) {
+		t.Errorf("LiveIDSet = %v, want %v", got, want)
+	}
+}
+
+// TestFilterLive: tombstoned and out-of-range ids drop; the no-tombstone
+// fast path returns the input unchanged.
+func TestFilterLive(t *testing.T) {
+	ds := NewDataset("fl")
+	for i := 0; i < 3; i++ {
+		ds.Add(twoVertexGraph(Label(i)))
+	}
+	in := IDSet{0, 1, 2}
+	if got := ds.FilterLive(in); &got[0] != &in[0] {
+		t.Error("no tombstones: FilterLive should return the input slice")
+	}
+	ds.Remove(1)
+	if got, want := ds.FilterLive(IDSet{0, 1, 2, 7}), (IDSet{0, 2}); !got.Equal(want) {
+		t.Errorf("FilterLive = %v, want %v", got, want)
+	}
+	if got := ds.FilterLive(nil); len(got) != 0 {
+		t.Errorf("FilterLive(nil) = %v", got)
+	}
+}
+
+// TestComputeStatsSkipsTombstones: stats describe the live dataset.
+func TestComputeStatsSkipsTombstones(t *testing.T) {
+	ds := NewDataset("st")
+	for i := 0; i < 3; i++ {
+		ds.Add(twoVertexGraph(Label(i)))
+	}
+	ds.Remove(0)
+	if st := ds.ComputeStats(); st.NumGraphs != 2 {
+		t.Errorf("stats graphs = %d, want 2 live", st.NumGraphs)
+	}
+}

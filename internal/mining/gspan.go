@@ -69,7 +69,7 @@ func Mine(ctx context.Context, ds *graph.Dataset, cfg Config, fn func(p *Pattern
 	if cfg.MaxEdges <= 0 {
 		cfg.MaxEdges = 10
 	}
-	minSup := int(math.Ceil(cfg.MinSupportRatio * float64(ds.Len())))
+	minSup := int(math.Ceil(cfg.MinSupportRatio * float64(ds.NumAlive())))
 	if minSup < 1 {
 		minSup = 1
 	}
@@ -100,6 +100,9 @@ func (m *miner) run() error {
 	for _, g := range m.ds.Graphs {
 		if err := m.ctx.Err(); err != nil {
 			return err
+		}
+		if !m.ds.Alive(g.ID()) {
+			continue // tombstoned graphs seed no embeddings
 		}
 		for _, e := range g.Edges() {
 			lu, lv := g.Label(e[0]), g.Label(e[1])

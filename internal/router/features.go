@@ -70,34 +70,80 @@ type Features struct {
 	AvgLabelFreq float64
 }
 
-// Extractor computes query features against one dataset's label statistics.
-// It is immutable after construction and safe for concurrent use.
+// Extractor computes query features against one dataset's label
+// statistics. It is safe for concurrent readers; the mutation hooks
+// (observeAdd/observeRemove) must be serialized against readers by the
+// owner — the router calls them under its mutation write lock.
 type Extractor struct {
-	freq   []float64 // label -> fraction of dataset graphs containing it
-	graphs int
+	freq   []float64 // label -> fraction of live dataset graphs containing it
+	counts []int     // label -> live graphs containing it
+	graphs int       // live graphs
 }
 
 // NewExtractor scans ds once and returns an extractor bound to its label
-// distribution.
+// distribution. Only live graphs count: a label whose last carrier was
+// tombstoned classifies as rare again, and frequencies are fractions of
+// the live population (the router refreshes its extractor after every
+// mutation so this snapshot tracks the dataset).
 func NewExtractor(ds *graph.Dataset) *Extractor {
-	e := &Extractor{graphs: ds.Len()}
+	e := &Extractor{graphs: ds.NumAlive()}
 	maxLabel := ds.MaxLabel()
 	if maxLabel < 0 {
 		return e
 	}
-	counts := make([]int, int(maxLabel)+1)
+	e.counts = make([]int, int(maxLabel)+1)
 	for _, g := range ds.Graphs {
+		if !ds.Alive(g.ID()) {
+			continue
+		}
 		for _, l := range g.DistinctLabels() {
-			counts[l]++
+			e.counts[l]++
 		}
 	}
-	e.freq = make([]float64, len(counts))
-	if ds.Len() > 0 {
-		for l, c := range counts {
-			e.freq[l] = float64(c) / float64(ds.Len())
-		}
-	}
+	e.recompute()
 	return e
+}
+
+// observeAdd folds one added graph into the label statistics — O(graph),
+// so a router mutation never rescans the dataset.
+func (e *Extractor) observeAdd(g *graph.Graph) {
+	for _, l := range g.DistinctLabels() {
+		for int(l) >= len(e.counts) {
+			e.counts = append(e.counts, 0)
+		}
+		e.counts[l]++
+	}
+	e.graphs++
+	e.recompute()
+}
+
+// observeRemove drops one removed graph from the label statistics; a
+// label whose last carrier leaves classifies as rarest again.
+func (e *Extractor) observeRemove(g *graph.Graph) {
+	for _, l := range g.DistinctLabels() {
+		if int(l) < len(e.counts) && e.counts[l] > 0 {
+			e.counts[l]--
+		}
+	}
+	if e.graphs > 0 {
+		e.graphs--
+	}
+	e.recompute()
+}
+
+// recompute rebuilds the derived frequency table from the counts —
+// O(labels), far below any scan of the graphs.
+func (e *Extractor) recompute() {
+	if len(e.freq) != len(e.counts) {
+		e.freq = make([]float64, len(e.counts))
+	}
+	for l, c := range e.counts {
+		if e.graphs > 0 {
+			e.freq[l] = float64(c) / float64(e.graphs)
+		} else {
+			e.freq[l] = 0
+		}
+	}
 }
 
 // labelFreq returns the dataset frequency of l; labels the dataset never

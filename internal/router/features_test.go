@@ -1,0 +1,42 @@
+package router
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// TestExtractorUnseenLabel is the label-universe-growth regression: a
+// label interned after the extractor snapshotted the dataset's frequency
+// table (a mutation, or a query file with novel labels) must classify as
+// the rarest class instead of indexing out of range.
+func TestExtractorUnseenLabel(t *testing.T) {
+	ds := gen.Synthetic(gen.SynthConfig{
+		NumGraphs: 10, MeanNodes: 8, MeanDensity: 0.3, NumLabels: 3, Seed: 1,
+	})
+	ext := NewExtractor(ds)
+
+	// Simulate a post-build intern: a label id past every frequency slot.
+	fresh := graph.Label(int32(ds.MaxLabel()) + 7)
+	q := graph.New(0)
+	a := q.AddVertex(fresh)
+	b := q.AddVertex(fresh)
+	q.MustAddEdge(a, b)
+
+	f := ext.Extract(q) // must not panic
+	if f.MinLabelFreq != 0 {
+		t.Errorf("unseen label MinLabelFreq = %v, want 0", f.MinLabelFreq)
+	}
+	if f.AvgLabelFreq != 0 {
+		t.Errorf("unseen label AvgLabelFreq = %v, want 0", f.AvgLabelFreq)
+	}
+	if bkt := f.Bucket(); bkt.Rarity != 0 {
+		t.Errorf("unseen label rarity class = %d, want 0 (rarest)", bkt.Rarity)
+	}
+	// Negative labels (never produced, but the table is indexed) are also
+	// out of range, not a panic.
+	if got := ext.labelFreq(graph.Label(-1)); got != 0 {
+		t.Errorf("labelFreq(-1) = %v, want 0", got)
+	}
+}

@@ -76,6 +76,10 @@ type Sub struct {
 //
 // Multi is safe for concurrent queries.
 type Multi struct {
+	// mutMu serializes dataset mutations (write side) against routed
+	// queries (read side): a mutation must not move the shared dataset or
+	// the sub-indexes under an in-flight query.
+	mutMu    sync.RWMutex
 	ds       *graph.Dataset
 	names    []string // canonical registry names
 	displays []string // figure-legend names, parallel to names
@@ -84,8 +88,9 @@ type Multi struct {
 	pol      policy
 	mdl      *model
 
-	build    core.BuildStats
-	restored int // sub-engines restored from disk (Open only)
+	indexPath string // persistence base from Open ("" = none)
+	build     core.BuildStats
+	restored  int // sub-engines restored from disk (Open only)
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -199,7 +204,7 @@ func Open(ctx context.Context, ds *graph.Dataset, cfg Config) (*Multi, error) {
 	}
 	manifestOK := false
 	if cfg.IndexPath != "" {
-		if manifestOK, err = manifestMatches(cfg.IndexPath, names, ds.Len(), cfg.Shards); err != nil {
+		if manifestOK, err = manifestMatches(cfg.IndexPath, names, ds, cfg.Shards); err != nil {
 			return nil, err
 		}
 		if !manifestOK {
@@ -241,6 +246,7 @@ func Open(ctx context.Context, ds *graph.Dataset, cfg Config) (*Multi, error) {
 	if err != nil {
 		return nil, err
 	}
+	m.indexPath = cfg.IndexPath
 	built := false
 	for _, sub := range m.subs {
 		bi, ok := sub.(buildInfo)
@@ -262,7 +268,7 @@ func Open(ctx context.Context, ds *graph.Dataset, cfg Config) (*Multi, error) {
 	}
 	if cfg.IndexPath != "" {
 		if !manifestOK {
-			if err := writeManifest(cfg.IndexPath, names, ds.Len(), cfg.Shards); err != nil {
+			if err := writeManifest(cfg.IndexPath, names, ds, cfg.Shards); err != nil {
 				return nil, err
 			}
 		}
@@ -329,8 +335,13 @@ func (m *Multi) RestoredMethods() int { return m.restored }
 
 // Extract computes the routing feature vector of q against the dataset's
 // label statistics — exported so benchmarks and tests can inspect what the
-// router keys on.
-func (m *Multi) Extract(q *graph.Graph) Features { return m.ext.Extract(q) }
+// router keys on. Mutations refresh those statistics, so the vector always
+// reflects the live dataset.
+func (m *Multi) Extract(q *graph.Graph) Features {
+	m.mutMu.RLock()
+	defer m.mutMu.RUnlock()
+	return m.ext.Extract(q)
+}
 
 // choose runs the policy under the RNG lock and returns the picked
 // sub-engine indexes plus whether the front pick was exploratory.
@@ -345,6 +356,8 @@ func (m *Multi) choose(f Features) ([]int, bool) {
 // latency into the cost model. The result's Method field names the method
 // that actually served it.
 func (m *Multi) Query(ctx context.Context, q *graph.Graph) (*core.QueryResult, error) {
+	m.mutMu.RLock()
+	defer m.mutMu.RUnlock()
 	f := m.ext.Extract(q)
 	picks, explored := m.choose(f)
 	if len(picks) >= 2 {
@@ -393,6 +406,7 @@ func (m *Multi) race(ctx context.Context, q *graph.Graph, f Features, a, b int, 
 		}(i)
 	}
 	var firstErr error
+	var won *outcome
 	for k := 0; k < 2; k++ {
 		o := <-ch
 		if o.err != nil {
@@ -401,27 +415,38 @@ func (m *Multi) race(ctx context.Context, q *graph.Graph, f Features, a, b int, 
 			}
 			continue
 		}
-		cancel() // stop the loser; its goroutine drains into the buffered channel
-		seconds := o.res.TotalTime().Seconds()
-		m.mdl.observe(f.Bucket(), m.names[o.i], seconds)
-		loser := a
-		if o.i == a {
-			loser = b
+		if won == nil {
+			won = &o
+			cancel() // stop the loser; the next loop round reaps it
 		}
-		m.mdl.observe(f.Bucket(), m.names[loser], seconds)
-		m.statsMu.Lock()
-		m.queries++
-		m.raced++
-		m.routed[a]++
-		m.routed[b]++
-		m.won[o.i]++
-		if explored {
-			m.explored++
-		}
-		m.statsMu.Unlock()
-		return o.res, nil
 	}
-	return nil, firstErr
+	// Both goroutines have been joined before returning: the caller holds
+	// the router's mutation read-lock for exactly the duration of the
+	// race, so a dataset mutation can never overlap a straggling loser.
+	// The loser aborts at its next cancellation check, so the join costs
+	// little beyond the winner's latency.
+	if won == nil {
+		return nil, firstErr
+	}
+	o := *won
+	seconds := o.res.TotalTime().Seconds()
+	m.mdl.observe(f.Bucket(), m.names[o.i], seconds)
+	loser := a
+	if o.i == a {
+		loser = b
+	}
+	m.mdl.observe(f.Bucket(), m.names[loser], seconds)
+	m.statsMu.Lock()
+	m.queries++
+	m.raced++
+	m.routed[a]++
+	m.routed[b]++
+	m.won[o.i]++
+	if explored {
+		m.explored++
+	}
+	m.statsMu.Unlock()
+	return o.res, nil
 }
 
 // QueryBatch processes a workload concurrently on the shared batch pool,
@@ -437,13 +462,23 @@ func (m *Multi) QueryBatch(ctx context.Context, queries []*graph.Graph, opts cor
 // routing counters but not the cost model: a client may abandon the stream
 // mid-way, so its wall time is not a comparable latency observation.
 func (m *Multi) Stream(ctx context.Context, q *graph.Graph) iter.Seq2[graph.ID, error] {
-	f := m.ext.Extract(q)
-	picks, _ := m.choose(f)
-	i := picks[0]
-	m.statsMu.Lock()
-	m.streams++
-	m.routed[i]++
-	m.won[i]++
-	m.statsMu.Unlock()
-	return m.subs[i].Stream(ctx, q)
+	return func(yield func(graph.ID, error) bool) {
+		// Held for the whole iteration, like the engines' Stream: a
+		// mutation cannot move the sub-indexes under a consumed stream.
+		m.mutMu.RLock()
+		defer m.mutMu.RUnlock()
+		f := m.ext.Extract(q)
+		picks, _ := m.choose(f)
+		i := picks[0]
+		m.statsMu.Lock()
+		m.streams++
+		m.routed[i]++
+		m.won[i]++
+		m.statsMu.Unlock()
+		for id, err := range m.subs[i].Stream(ctx, q) {
+			if !yield(id, err) {
+				return
+			}
+		}
+	}
 }

@@ -10,11 +10,14 @@ import (
 	"strings"
 
 	"repro/internal/engine"
+	"repro/internal/graph"
 )
 
 // manifestMagic heads the router manifest file; bump the version when the
-// layout changes.
-const manifestMagic = "repro-router v1"
+// layout changes. v2 added the dataset epoch, so per-method files
+// persisted before a mutation can never restore silently against the
+// mutated dataset.
+const manifestMagic = "repro-router v2"
 
 // modelMagic identifies the persisted cost-model document.
 const modelMagic = "repro-router-model v1"
@@ -32,21 +35,21 @@ func MethodIndexPath(base, name string) string {
 func ModelPath(base string) string { return base + ".model" }
 
 // manifest renders the router manifest: a short text file binding the
-// per-method index files to the method set, dataset size, and shard count
-// they were written for.
-func manifest(names []string, graphs, shards int) string {
+// per-method index files to the method set, dataset size, epoch and
+// structural version tag, and shard count they were written for.
+func manifest(names []string, ds *graph.Dataset, shards int) string {
 	if shards < 2 {
 		shards = 0 // 0 and 1 both mean unsharded sub-engines
 	}
-	return fmt.Sprintf("%s\nmethods %s\ngraphs %d\nshards %d\n",
-		manifestMagic, strings.Join(names, "+"), graphs, shards)
+	return fmt.Sprintf("%s\nmethods %s\ngraphs %d\nepoch %d\ntag %x\nshards %d\n",
+		manifestMagic, strings.Join(names, "+"), ds.Len(), ds.Epoch(), ds.VersionTag(), shards)
 }
 
 // manifestMatches reports whether the manifest at base matches this
 // router's configuration. A missing manifest is a mismatch (rebuild
 // everything); a present-but-unreadable one is an error, mirroring the
 // engine's persistence policy.
-func manifestMatches(base string, names []string, graphs, shards int) (bool, error) {
+func manifestMatches(base string, names []string, ds *graph.Dataset, shards int) (bool, error) {
 	data, err := os.ReadFile(base)
 	if errors.Is(err, fs.ErrNotExist) {
 		return false, nil
@@ -54,7 +57,7 @@ func manifestMatches(base string, names []string, graphs, shards int) (bool, err
 	if err != nil {
 		return false, fmt.Errorf("router: opening manifest at %s: %w", base, err)
 	}
-	return string(data) == manifest(names, graphs, shards), nil
+	return string(data) == manifest(names, ds, shards), nil
 }
 
 // writeManifest atomically writes the manifest at base, after every
@@ -62,9 +65,9 @@ func manifestMatches(base string, names []string, graphs, shards int) (bool, err
 // old manifest (stale per-method files fail their own loads and rebuild) or
 // none (full rebuild), never a manifest endorsing files that were not all
 // written.
-func writeManifest(base string, names []string, graphs, shards int) error {
+func writeManifest(base string, names []string, ds *graph.Dataset, shards int) error {
 	return engine.AtomicWriteFile(base, func(w io.Writer) error {
-		_, err := io.WriteString(w, manifest(names, graphs, shards))
+		_, err := io.WriteString(w, manifest(names, ds, shards))
 		return err
 	})
 }
@@ -104,7 +107,7 @@ func (m *Multi) SaveModel(base string) error {
 // at open time) and the learned cost model. Use it on graceful shutdown so
 // the next Open restores both the indexes and the warm routing estimates.
 func (m *Multi) Save(base string) error {
-	if err := writeManifest(base, m.names, m.ds.Len(), m.shardsHint()); err != nil {
+	if err := writeManifest(base, m.names, m.ds, m.shardsHint()); err != nil {
 		return err
 	}
 	return m.SaveModel(base)

@@ -36,6 +36,10 @@ type CacheStats struct {
 	Misses      int64 `json:"misses"`
 	Evictions   int64 `json:"evictions"`
 	Expirations int64 `json:"expirations"`
+	// Invalidations counts entries dropped because their dataset epoch no
+	// longer matched: a mutation (add/remove) happened after the result
+	// was stored, so replaying it could have served a stale answer.
+	Invalidations int64 `json:"invalidations"`
 	// Dedups counts queries that neither hit nor computed: they arrived
 	// while an identical (isomorphic) query was in flight and shared its
 	// result (single-flight).
@@ -59,7 +63,7 @@ type cache struct {
 	items map[string]*list.Element
 	bytes int64
 
-	hits, misses, evictions, expirations int64
+	hits, misses, evictions, expirations, invalidations int64
 }
 
 // centry is one cache slot.
@@ -68,6 +72,10 @@ type centry struct {
 	res   *core.QueryResult
 	size  int64
 	added time.Time
+	// epoch is the engine's dataset epoch when the result was computed;
+	// a lookup at any other epoch invalidates the entry instead of
+	// replaying a result the mutated dataset may contradict.
+	epoch uint64
 }
 
 func newCache(cfg CacheConfig) *cache {
@@ -95,10 +103,13 @@ func entrySize(key string, res *core.QueryResult) int64 {
 	return overhead + int64(len(key)) + 4*int64(len(res.Candidates)+len(res.Answers))
 }
 
-// get returns the live entry for key, expiring it if its TTL has passed.
-// Misses are not counted here but by countMiss at the point a query
-// actually computes, so single-flight joiners show up as Dedups only.
-func (c *cache) get(key string) (*core.QueryResult, bool) {
+// get returns the live entry for key at the given dataset epoch, expiring
+// it if its TTL has passed and invalidating it if it was stored at a
+// different epoch (the dataset mutated since; the stored answer may be
+// stale). Misses are not counted here but by countMiss at the point a
+// query actually computes, so single-flight joiners show up as Dedups
+// only.
+func (c *cache) get(key string, epoch uint64) (*core.QueryResult, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
@@ -106,6 +117,11 @@ func (c *cache) get(key string) (*core.QueryResult, bool) {
 		return nil, false
 	}
 	e := el.Value.(*centry)
+	if e.epoch != epoch {
+		c.remove(el)
+		c.invalidations++
+		return nil, false
+	}
 	if c.ttl > 0 && c.now().Sub(e.added) >= c.ttl {
 		c.remove(el)
 		c.expirations++
@@ -124,19 +140,20 @@ func (c *cache) countMiss() {
 	c.mu.Unlock()
 }
 
-// put stores (or refreshes) key's result and evicts from the LRU tail until
-// both bounds hold again.
-func (c *cache) put(key string, res *core.QueryResult) {
+// put stores (or refreshes) key's result stamped with the dataset epoch it
+// was computed at, and evicts from the LRU tail until both bounds hold
+// again.
+func (c *cache) put(key string, res *core.QueryResult, epoch uint64) {
 	size := entrySize(key, res)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		e := el.Value.(*centry)
 		c.bytes += size - e.size
-		e.res, e.size, e.added = res, size, c.now()
+		e.res, e.size, e.added, e.epoch = res, size, c.now(), epoch
 		c.ll.MoveToFront(el)
 	} else {
-		c.items[key] = c.ll.PushFront(&centry{key: key, res: res, size: size, added: c.now()})
+		c.items[key] = c.ll.PushFront(&centry{key: key, res: res, size: size, added: c.now(), epoch: epoch})
 		c.bytes += size
 	}
 	for c.ll.Len() > 0 && (c.ll.Len() > c.maxEntries || c.bytes > c.maxBytes) {
@@ -158,11 +175,12 @@ func (c *cache) stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Hits:        c.hits,
-		Misses:      c.misses,
-		Evictions:   c.evictions,
-		Expirations: c.expirations,
-		Entries:     c.ll.Len(),
-		Bytes:       c.bytes,
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Expirations:   c.expirations,
+		Invalidations: c.invalidations,
+		Entries:       c.ll.Len(),
+		Bytes:         c.bytes,
 	}
 }

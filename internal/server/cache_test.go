@@ -17,19 +17,19 @@ func resultOf(ids ...graph.ID) *core.QueryResult {
 // with gets refreshing recency.
 func TestCacheEvictionOrder(t *testing.T) {
 	c := newCache(CacheConfig{MaxEntries: 2})
-	c.put("a", resultOf(1))
-	c.put("b", resultOf(2))
-	if _, ok := c.get("a"); !ok { // refresh a: b is now LRU
+	c.put("a", resultOf(1), 0)
+	c.put("b", resultOf(2), 0)
+	if _, ok := c.get("a", 0); !ok { // refresh a: b is now LRU
 		t.Fatal("a should be cached")
 	}
-	c.put("c", resultOf(3)) // evicts b
-	if _, ok := c.get("b"); ok {
+	c.put("c", resultOf(3), 0) // evicts b
+	if _, ok := c.get("b", 0); ok {
 		t.Error("b should have been evicted as LRU")
 	}
-	if _, ok := c.get("a"); !ok {
+	if _, ok := c.get("a", 0); !ok {
 		t.Error("a should have survived (recently used)")
 	}
-	if _, ok := c.get("c"); !ok {
+	if _, ok := c.get("c", 0); !ok {
 		t.Error("c should be cached")
 	}
 	st := c.stats()
@@ -48,28 +48,28 @@ func TestCacheTTLExpiry(t *testing.T) {
 	now := time.Unix(1000, 0)
 	c.now = func() time.Time { return now }
 
-	c.put("a", resultOf(1))
+	c.put("a", resultOf(1), 0)
 	now = now.Add(30 * time.Second)
-	if _, ok := c.get("a"); !ok {
+	if _, ok := c.get("a", 0); !ok {
 		t.Fatal("a should still be live at TTL/2")
 	}
 	now = now.Add(31 * time.Second)
-	if _, ok := c.get("a"); ok {
+	if _, ok := c.get("a", 0); ok {
 		t.Fatal("a should have expired past TTL")
 	}
 	st := c.stats()
 	if st.Expirations != 1 || st.Entries != 0 {
 		t.Errorf("expirations=%d entries=%d, want 1, 0", st.Expirations, st.Entries)
 	}
-	c.put("a", resultOf(2))
-	if _, ok := c.get("a"); !ok {
+	c.put("a", resultOf(2), 0)
+	if _, ok := c.get("a", 0); !ok {
 		t.Error("re-inserted a should be live again")
 	}
 	// A put refreshes the clock: the entry's lifetime restarts.
 	now = now.Add(45 * time.Second)
-	c.put("a", resultOf(3))
+	c.put("a", resultOf(3), 0)
 	now = now.Add(45 * time.Second)
-	if _, ok := c.get("a"); !ok {
+	if _, ok := c.get("a", 0); !ok {
 		t.Error("refreshed a should live TTL past its last put")
 	}
 }
@@ -82,12 +82,12 @@ func TestCacheByteBound(t *testing.T) {
 		big[i] = graph.ID(i)
 	}
 	c := newCache(CacheConfig{MaxEntries: 100, MaxBytes: 6000})
-	c.put("a", &core.QueryResult{Candidates: big, Answers: big}) // ~8KB > budget
+	c.put("a", &core.QueryResult{Candidates: big, Answers: big}, 0) // ~8KB > budget
 	if st := c.stats(); st.Entries != 0 || st.Evictions != 1 {
 		t.Errorf("oversized entry: entries=%d evictions=%d, want 0, 1", st.Entries, st.Evictions)
 	}
-	c.put("b", resultOf(1))
-	c.put("c", resultOf(2))
+	c.put("b", resultOf(1), 0)
+	c.put("c", resultOf(2), 0)
 	if st := c.stats(); st.Entries != 2 {
 		t.Errorf("small entries should fit: entries=%d, want 2", st.Entries)
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"iter"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -79,25 +80,34 @@ func (c *CachedEngine) Query(ctx context.Context, q *graph.Graph) (*core.QueryRe
 		return c.inner.Query(ctx, q)
 	}
 	for {
-		if res, hit := c.cache.get(key); hit {
+		// The epoch is read before the lookup and before the compute: a
+		// mutation that lands in between stamps this entry with an
+		// already-old epoch, so the worst case is an unnecessary
+		// invalidation later — never a stale replay.
+		epoch := c.epoch()
+		if res, hit := c.cache.get(key, epoch); hit {
 			return cachedResult(res, time.Since(t0)), nil
 		}
+		// Flights are keyed by (epoch, key): a query racing a mutation
+		// must not join a computation started against the previous
+		// dataset version.
+		fkey := strconv.FormatUint(epoch, 36) + "/" + key
 		c.mu.Lock()
-		f, inflight := c.flights[key]
+		f, inflight := c.flights[fkey]
 		if !inflight {
 			f = &flight{done: make(chan struct{})}
-			c.flights[key] = f
+			c.flights[fkey] = f
 			c.mu.Unlock()
 			c.cache.countMiss()
 			res, err := c.inner.Query(ctx, q)
 			// Store before retiring the flight: a query arriving between
 			// the two would otherwise see neither and recompute in full.
 			if err == nil {
-				c.cache.put(key, res)
+				c.cache.put(key, res, epoch)
 			}
 			f.res, f.err = res, err
 			c.mu.Lock()
-			delete(c.flights, key)
+			delete(c.flights, fkey)
 			c.mu.Unlock()
 			close(f.done)
 			return res, err
@@ -156,3 +166,39 @@ func (c *CachedEngine) QueryBatch(ctx context.Context, queries []*graph.Graph, o
 func (c *CachedEngine) Stream(ctx context.Context, q *graph.Graph) iter.Seq2[graph.ID, error] {
 	return c.inner.Stream(ctx, q)
 }
+
+// epoch reads the wrapped engine's dataset epoch — the version stamp every
+// cache entry carries. A non-mutable engine is permanently at epoch 0.
+func (c *CachedEngine) epoch() uint64 {
+	if m, ok := c.inner.(interface{ Epoch() uint64 }); ok {
+		return m.Epoch()
+	}
+	return 0
+}
+
+// Epoch implements engine.Mutable (delegated): the wrapped engine's
+// dataset epoch, 0 for engines that do not mutate.
+func (c *CachedEngine) Epoch() uint64 { return c.epoch() }
+
+// AddGraph implements engine.Mutable by delegating to the wrapped engine.
+// Entries cached at earlier epochs invalidate lazily: the epoch stamp
+// mismatches on their next lookup, so no flush pass is needed.
+func (c *CachedEngine) AddGraph(ctx context.Context, g *graph.Graph) (graph.ID, error) {
+	m, ok := c.inner.(engine.Mutable)
+	if !ok {
+		return 0, engine.ErrNotMutable
+	}
+	return m.AddGraph(ctx, g)
+}
+
+// RemoveGraph implements engine.Mutable by delegating to the wrapped
+// engine, with the same lazy epoch-based invalidation as AddGraph.
+func (c *CachedEngine) RemoveGraph(ctx context.Context, id graph.ID) error {
+	m, ok := c.inner.(engine.Mutable)
+	if !ok {
+		return engine.ErrNotMutable
+	}
+	return m.RemoveGraph(ctx, id)
+}
+
+var _ engine.Mutable = (*CachedEngine)(nil)

@@ -69,6 +69,40 @@ func toGraph(gj GraphJSON, dict *graph.Dictionary) (q *graph.Graph, unknown bool
 	return g, false, nil
 }
 
+// toGraphIntern converts a wire graph for insertion: unlike toGraph, a
+// label the dictionary has never seen is interned rather than reported —
+// an added graph is allowed to grow the label universe. The caller must
+// hold the server's dataset write lock.
+func toGraphIntern(gj GraphJSON, dict *graph.Dictionary) (*graph.Graph, error) {
+	if len(gj.Vertices) == 0 {
+		return nil, fmt.Errorf("graph has no vertices")
+	}
+	for _, e := range gj.Edges {
+		if e[0] < 0 || int(e[0]) >= len(gj.Vertices) || e[1] < 0 || int(e[1]) >= len(gj.Vertices) {
+			return nil, fmt.Errorf("edge (%d,%d) out of range [0,%d)", e[0], e[1], len(gj.Vertices))
+		}
+	}
+	g := graph.NewWithCapacity(0, len(gj.Vertices))
+	for _, name := range gj.Vertices {
+		g.AddVertex(dict.Intern(name))
+	}
+	for _, e := range gj.Edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// MutationResponse is the body of a successful POST /graphs or
+// DELETE /graphs/{id}: the affected graph id, the dataset epoch after the
+// mutation, and the live graph count.
+type MutationResponse struct {
+	ID     graph.ID `json:"id"`
+	Epoch  uint64   `json:"epoch"`
+	Graphs int      `json:"graphs"`
+}
+
 // QueryResponse is the non-streaming /query (and per-item /batch) result.
 type QueryResponse struct {
 	Candidates []graph.ID `json:"candidates"`
@@ -164,20 +198,26 @@ type RequestStats struct {
 	Query  int64 `json:"query"`
 	Batch  int64 `json:"batch"`
 	Stream int64 `json:"stream"`
+	// Mutate counts POST /graphs and DELETE /graphs/{id} requests.
+	Mutate int64 `json:"mutate"`
 	Errors int64 `json:"errors"`
 }
 
 // StatsResponse is the /stats body.
 type StatsResponse struct {
-	UptimeSeconds float64        `json:"uptime_seconds"`
-	Dataset       string         `json:"dataset"`
-	Graphs        int            `json:"graphs"`
-	Method        string         `json:"method"`
-	Shards        int            `json:"shards,omitempty"`
-	Draining      bool           `json:"draining"`
-	Cache         CacheStats     `json:"cache"`
-	Admission     AdmissionStats `json:"admission"`
-	Requests      RequestStats   `json:"requests"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Dataset       string  `json:"dataset"`
+	// Graphs counts live graphs; Removed the tombstoned ones whose slots
+	// remain. Epoch is the dataset version, bumped by every mutation.
+	Graphs    int            `json:"graphs"`
+	Removed   int            `json:"removed,omitempty"`
+	Epoch     uint64         `json:"epoch"`
+	Method    string         `json:"method"`
+	Shards    int            `json:"shards,omitempty"`
+	Draining  bool           `json:"draining"`
+	Cache     CacheStats     `json:"cache"`
+	Admission AdmissionStats `json:"admission"`
+	Requests  RequestStats   `json:"requests"`
 	// Routing is present when the served engine is the adaptive router:
 	// per-method win rates and the learned cost model's cells.
 	Routing *router.Snapshot `json:"routing,omitempty"`

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -57,13 +59,33 @@ type Server struct {
 	// /stats can expose win rates and the learned cost model.
 	routing *router.Multi
 
+	// dsMu guards the label dictionary every request resolves against:
+	// request decoding reads it (RLock) while POST /graphs interns new
+	// labels into it (Lock). It is held only around dictionary access —
+	// never across engine work, whose own locks serialize index
+	// maintenance against queries — so a slow rebuild-fallback mutation
+	// cannot stall request decoding or /stats.
+	dsMu sync.RWMutex
+
+	// mutateMu serializes the mutation handlers (engine call + mirror
+	// update): the engine serializes mutations internally anyway, so this
+	// adds no real contention, but it makes the epoch-delta bookkeeping
+	// below atomic with respect to other mutations. Queries never take it.
+	mutateMu sync.Mutex
+	// liveGraphs/removedGraphs mirror the dataset's counts for /stats and
+	// mutation responses, maintained by the mutation handlers (under
+	// mutateMu) so reads never touch the dataset structures a mutation is
+	// moving.
+	liveGraphs    atomic.Int64
+	removedGraphs atomic.Int64
+
 	admitted atomic.Int64 // in the system: waiting for a slot or executing
 	inflight atomic.Int64 // executing
 	rejected atomic.Int64
 	timedOut atomic.Int64
 	draining atomic.Bool
 
-	reqQuery, reqBatch, reqStream, reqErrors atomic.Int64
+	reqQuery, reqBatch, reqStream, reqMutate, reqErrors atomic.Int64
 }
 
 // New wraps an opened engine — *engine.Engine, *engine.Sharded, or any
@@ -87,12 +109,16 @@ func New(q engine.Querier, cfg Config) *Server {
 		slots:   make(chan struct{}, cfg.Workers),
 		started: time.Now(),
 	}
+	s.liveGraphs.Store(int64(q.Dataset().NumAlive()))
+	s.removedGraphs.Store(int64(q.Dataset().NumRemoved()))
 	if m, ok := q.(*router.Multi); ok {
 		s.routing = m
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("POST /batch", s.handleBatch)
+	mux.HandleFunc("POST /graphs", s.handleAddGraph)
+	mux.HandleFunc("DELETE /graphs/{id}", s.handleRemoveGraph)
 	mux.HandleFunc("GET /methods", s.handleMethods)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -243,7 +269,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
+	s.dsMu.RLock()
 	q, unknown, err := toGraph(gj, &s.eng.Dataset().Dict)
+	s.dsMu.RUnlock()
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
@@ -278,7 +306,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 // streamQuery writes NDJSON answer lines as verification confirms them,
 // flushing per line so clients observe answers before the query finishes.
+// The whole response is bounded by a write deadline: the engine's Stream
+// iterator holds the engine's read lock for the duration of the
+// iteration, and a client that stops reading would otherwise park the
+// handler in a TCP write — outside any context check — holding that lock
+// while a pending mutation (a queued writer) blocks every other query.
 func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, q *graph.Graph) {
+	if s.cfg.RequestTimeout > 0 {
+		rc := http.NewResponseController(w)
+		_ = rc.SetWriteDeadline(time.Now().Add(s.cfg.RequestTimeout))
+		// Clear it when the stream ends: the deadline belongs to the
+		// connection, not the request, and would otherwise poison the next
+		// request on a keep-alive connection (http.Server only re-arms
+		// write deadlines itself when Server.WriteTimeout is set).
+		defer rc.SetWriteDeadline(time.Time{})
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	fl, _ := w.(http.Flusher)
@@ -330,6 +372,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	items := make([]BatchItem, len(req.Queries))
 	var valid []*graph.Graph
 	var validIdx []int
+	s.dsMu.RLock()
 	for i, gj := range req.Queries {
 		q, unknown, err := toGraph(gj, &s.eng.Dataset().Dict)
 		switch {
@@ -342,6 +385,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			validIdx = append(validIdx, i)
 		}
 	}
+	s.dsMu.RUnlock()
 	ctx, release, ok := s.admit(w, r)
 	if !ok {
 		return
@@ -371,6 +415,108 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, BatchResponse{Results: items})
 }
 
+// mutationStatusCode maps a mutation error to an HTTP status: engines
+// without the Mutable capability are 501, a remove of an unknown or
+// already-removed graph 404, context ends 504, anything else 500.
+func mutationStatusCode(err error) int {
+	switch {
+	case errors.Is(err, engine.ErrNotMutable):
+		return http.StatusNotImplemented
+	case errors.Is(err, engine.ErrNoSuchGraph):
+		return http.StatusNotFound
+	default:
+		return queryStatusCode(err)
+	}
+}
+
+// handleAddGraph serves POST /graphs: the body graph joins the live
+// dataset under a fresh id and every index is maintained before the
+// response returns, so a subsequent query observes it. New vertex labels
+// are interned — an added graph may grow the label universe. Mutations
+// pass through admission control like queries: index maintenance is real
+// engine work.
+func (s *Server) handleAddGraph(w http.ResponseWriter, r *http.Request) {
+	s.reqMutate.Add(1)
+	var gj GraphJSON
+	if err := decodeJSON(r, w, &gj); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	// Interning holds the dictionary write lock; the engine call runs
+	// outside it (the engine's own lock serializes index maintenance
+	// against queries), so a slow rebuild never blocks request decoding.
+	s.dsMu.Lock()
+	g, err := toGraphIntern(gj, &s.eng.Dataset().Dict)
+	s.dsMu.Unlock()
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mutateMu.Lock()
+	before := s.eng.Epoch()
+	id, err := s.eng.AddGraph(ctx, g)
+	if err != nil {
+		// A failed add may still have committed dataset operations: the
+		// engine rolls a half-applied add back by tombstoning the fresh id
+		// (epoch +2: one add, one remove). Keep the mirrors truthful —
+		// mutateMu makes the epoch delta attributable to this request.
+		if s.eng.Epoch() == before+2 {
+			s.removedGraphs.Add(1)
+		}
+		s.mutateMu.Unlock()
+		s.fail(w, mutationStatusCode(err), err)
+		return
+	}
+	live := int(s.liveGraphs.Add(1))
+	epoch := s.eng.Epoch()
+	s.mutateMu.Unlock()
+	writeJSON(w, MutationResponse{ID: id, Epoch: epoch, Graphs: live})
+}
+
+// handleRemoveGraph serves DELETE /graphs/{id}: the graph is tombstoned —
+// it can never again appear in any candidate or answer set — and
+// incremental indexes drop its postings. The id is never reused.
+func (s *Server) handleRemoveGraph(w http.ResponseWriter, r *http.Request) {
+	s.reqMutate.Add(1)
+	idStr := r.PathValue("id")
+	id64, err := strconv.ParseInt(idStr, 10, 32)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad graph id %q", idStr))
+		return
+	}
+	ctx, release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	s.mutateMu.Lock()
+	before := s.eng.Epoch()
+	if err := s.eng.RemoveGraph(ctx, graph.ID(id64)); err != nil {
+		// The tombstone may have committed even when a later maintenance
+		// step (re-persist, rebuild) failed — under mutateMu the epoch
+		// moved iff this request's remove did. The error still surfaces
+		// (persistence needs operator attention), but the mirrors track
+		// the dataset, not the response code.
+		if s.eng.Epoch() != before {
+			s.removedGraphs.Add(1)
+			s.liveGraphs.Add(-1)
+		}
+		s.mutateMu.Unlock()
+		s.fail(w, mutationStatusCode(err), err)
+		return
+	}
+	s.removedGraphs.Add(1)
+	live := int(s.liveGraphs.Add(-1))
+	epoch := s.eng.Epoch()
+	s.mutateMu.Unlock()
+	writeJSON(w, MutationResponse{ID: graph.ID(id64), Epoch: epoch, Graphs: live})
+}
+
 // handleMethods serves GET /methods: the live registry listing.
 func (s *Server) handleMethods(w http.ResponseWriter, _ *http.Request) {
 	var out []MethodJSON
@@ -394,11 +540,14 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		snap := s.routing.Stats()
 		routing = &snap
 	}
+	graphs, removed, epoch := int(s.liveGraphs.Load()), int(s.removedGraphs.Load()), s.eng.Epoch()
 	writeJSON(w, StatsResponse{
 		Routing:       routing,
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Dataset:       ds.Name,
-		Graphs:        ds.Len(),
+		Graphs:        graphs,
+		Removed:       removed,
+		Epoch:         epoch,
 		Method:        s.cfg.Spec,
 		Shards:        s.cfg.Shards,
 		Draining:      s.draining.Load(),
@@ -415,6 +564,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Query:  s.reqQuery.Load(),
 			Batch:  s.reqBatch.Load(),
 			Stream: s.reqStream.Load(),
+			Mutate: s.reqMutate.Load(),
 			Errors: s.reqErrors.Load(),
 		},
 	})

@@ -325,6 +325,9 @@ func (ix *Index) deltaStructures(q *graph.Graph) map[canon.Key]*graph.Graph {
 func (ix *Index) fullPosting(proto *graph.Graph) graph.IDSet {
 	var out graph.IDSet
 	for _, g := range ix.ds.Graphs {
+		if !ix.ds.Alive(g.ID()) {
+			continue // tombstoned graphs never join a Δ posting
+		}
 		if subiso.Exists(proto, g) {
 			out = append(out, g.ID())
 		}

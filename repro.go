@@ -92,6 +92,15 @@ type (
 	// Querier is the query surface Engine, ShardedEngine, and CachedEngine
 	// share: Query, QueryBatch, and Stream over one dataset.
 	Querier = engine.Querier
+	// Mutable is the online-mutation capability every engine shape
+	// implements: AddGraph/RemoveGraph with online index maintenance
+	// (incremental for methods implementing IncrementalIndexer, rebuild
+	// otherwise) and a monotonically increasing dataset Epoch.
+	Mutable = engine.Mutable
+	// IncrementalIndexer is the per-method incremental maintenance
+	// contract: folding one graph into — or dropping one graph from — a
+	// built index without a full rebuild.
+	IncrementalIndexer = core.IncrementalIndexer
 	// Option configures Open.
 	Option = engine.Option
 	// MethodInfo describes one registered method: naming, typed parameters,
@@ -218,6 +227,39 @@ func OpenRouted(ctx context.Context, ds *Dataset, cfg RouterConfig) (*RoutedEngi
 // Engine.
 func OpenAny(ctx context.Context, ds *Dataset, shards int, opts ...Option) (Querier, error) {
 	return engine.OpenAny(ctx, ds, shards, opts...)
+}
+
+// AddGraph adds g to a live engine's dataset under a fresh ID, maintaining
+// the index online (flat, sharded, routed, and cached engines all support
+// it). It fails with an error for engine shapes without the Mutable
+// capability.
+func AddGraph(ctx context.Context, q Querier, g *Graph) (ID, error) {
+	m, ok := q.(Mutable)
+	if !ok {
+		return 0, engine.ErrNotMutable
+	}
+	return m.AddGraph(ctx, g)
+}
+
+// RemoveGraph tombstones graph id in a live engine: the id is never
+// reused, and the graph can never again appear in any candidate or answer
+// set.
+func RemoveGraph(ctx context.Context, q Querier, id ID) error {
+	m, ok := q.(Mutable)
+	if !ok {
+		return engine.ErrNotMutable
+	}
+	return m.RemoveGraph(ctx, id)
+}
+
+// EpochOf returns the engine's dataset epoch — bumped by every mutation —
+// and whether the engine exposes one.
+func EpochOf(q Querier) (uint64, bool) {
+	m, ok := q.(Mutable)
+	if !ok {
+		return 0, false
+	}
+	return m.Epoch(), true
 }
 
 // New constructs an unbuilt index from a method spec string: a registered
