@@ -138,7 +138,16 @@ func localOnlyFlags() []string {
 // them against the dataset dictionary) and the server's answers, timings,
 // and cache hits are aggregated client-side.
 func runRemote(baseURL, queryPath, addPath string, removals []graph.ID, timeout time.Duration, verbose bool) error {
-	client := &http.Client{Timeout: timeout}
+	// Transient server pushback — 429 from admission control, 503 while
+	// draining or a cluster shard is momentarily ownerless, a refused
+	// connection during a restart — retries with capped backoff and jitter
+	// instead of failing the workload.
+	client := &server.RetryClient{Client: &http.Client{Timeout: timeout}}
+	if verbose {
+		client.OnRetry = func(attempt int, cause error, wait time.Duration) {
+			fmt.Printf("retrying after %v (attempt %d failed: %v)\n", wait.Round(time.Millisecond), attempt, cause)
+		}
+	}
 	if len(removals) > 0 || addPath != "" {
 		if err := mutateRemote(client, baseURL, addPath, removals, verbose); err != nil {
 			return err
@@ -159,14 +168,19 @@ func runRemote(baseURL, queryPath, addPath string, removals []graph.ID, timeout 
 	}
 	var serverTime, rttTime time.Duration
 	var fpSum float64
-	hits := 0
+	hits, partials := 0, 0
 	for i, q := range qds.Graphs {
 		body, err := json.Marshal(server.GraphToJSON(q, &qds.Dict))
 		if err != nil {
 			return err
 		}
+		req, err := http.NewRequest(http.MethodPost, baseURL+"/query", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
 		t0 := time.Now()
-		resp, err := client.Post(baseURL+"/query", "application/json", bytes.NewReader(body))
+		resp, err := client.Do(req)
 		if err != nil {
 			return fmt.Errorf("query %d: %w", i, err)
 		}
@@ -194,6 +208,10 @@ func runRemote(baseURL, queryPath, addPath string, removals []graph.ID, timeout 
 		if len(qr.Candidates) > 0 {
 			fpSum += float64(len(qr.Candidates)-len(qr.Answers)) / float64(len(qr.Candidates))
 		}
+		if qr.Partial {
+			partials++
+			fmt.Printf("warning: query %d answered partially (shards %v unreachable)\n", i, qr.FailedShards)
+		}
 		if verbose {
 			cached := ""
 			if qr.Cached {
@@ -213,12 +231,15 @@ func runRemote(baseURL, queryPath, addPath string, removals []graph.ID, timeout 
 	fmt.Printf("%d queries via %s: avg server time %v, avg rtt %v, %d cache hits, false positive ratio %.4f\n",
 		n, baseURL, (serverTime / time.Duration(n)).Round(time.Microsecond),
 		(rttTime / time.Duration(n)).Round(time.Microsecond), hits, fpSum/float64(n))
+	if partials > 0 {
+		fmt.Printf("warning: %d of %d answers were partial — a degraded cluster served them\n", partials, n)
+	}
 	return nil
 }
 
 // mutateRemote drives the server's mutation endpoints: DELETE per removal,
 // then POST per graph of the add file.
-func mutateRemote(client *http.Client, baseURL, addPath string, removals []graph.ID, verbose bool) error {
+func mutateRemote(client *server.RetryClient, baseURL, addPath string, removals []graph.ID, verbose bool) error {
 	do := func(req *http.Request) (server.MutationResponse, error) {
 		var mr server.MutationResponse
 		resp, err := client.Do(req)

@@ -9,6 +9,7 @@
 //	sqbench -exp fig2 -methods "grapes:workers=12 ggsx:maxPathLen=3"
 //	sqbench -exp fig2 -shards 4
 //	sqbench -exp fig2 -scale bench -json results.json
+//	sqbench -exp fig2 -scale bench -compare BENCH_6.json
 //	sqbench -list
 //	sqbench -describe > docs/METHODS.md
 //
@@ -30,7 +31,10 @@
 //
 // With -json, every experiment and ablation the invocation ran is also
 // written as one machine-readable JSON document (per-variant build/query
-// timings), the format CI trajectory tooling ingests.
+// timings), the format CI trajectory tooling ingests. With -compare, the
+// run is checked against a committed baseline document (the repo pins one
+// per PR as BENCH_<n>.json) and exits 1 when a cell regressed more than
+// 30%, lost coverage, or drifted its deterministic candidate counts.
 package main
 
 import (
@@ -53,6 +57,7 @@ func main() {
 	out := flag.String("o", "", "write the report to this file (default stdout)")
 	csvPath := flag.String("csv", "", "also write tidy CSV rows to this file")
 	jsonPath := flag.String("json", "", "also write machine-readable results (per-variant build/query timings) to this file")
+	comparePath := flag.String("compare", "", "compare this run against a committed -json baseline (e.g. BENCH_6.json) and exit 1 on regression")
 	quiet := flag.Bool("q", false, "suppress progress logging")
 	shards := flag.Int("shards", 0, "run figure experiments through N-way sharded engines (0/1 = unsharded)")
 	list := flag.Bool("list", false, "list registered methods and their parameters")
@@ -70,7 +75,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*exp, *scaleName, *methodsFlag, *out, *csvPath, *jsonPath, *quiet, *shards); err != nil {
+	if err := run(*exp, *scaleName, *methodsFlag, *out, *csvPath, *jsonPath, *comparePath, *quiet, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "sqbench:", err)
 		os.Exit(1)
 	}
@@ -94,7 +99,7 @@ func describeTo(path string) error {
 	return f.Close()
 }
 
-func run(expName, scaleName, methodsFlag, outPath, csvPath, jsonPath string, quiet bool, shards int) error {
+func run(expName, scaleName, methodsFlag, outPath, csvPath, jsonPath, comparePath string, quiet bool, shards int) error {
 	scale, err := bench.ScaleByName(scaleName)
 	if err != nil {
 		return err
@@ -142,6 +147,18 @@ func run(expName, scaleName, methodsFlag, outPath, csvPath, jsonPath string, qui
 		defer f.Close()
 		jsonF = f
 		jr = &bench.JSONReport{}
+	}
+	var baseline *bench.JSONReport
+	if comparePath != "" {
+		// Load up front too: a missing baseline must not cost a sweep.
+		b, err := bench.LoadJSONReport(comparePath)
+		if err != nil {
+			return fmt.Errorf("compare baseline: %w", err)
+		}
+		baseline = b
+		if jr == nil {
+			jr = &bench.JSONReport{}
+		}
 	}
 
 	if want("table1") {
@@ -262,13 +279,22 @@ func run(expName, scaleName, methodsFlag, outPath, csvPath, jsonPath string, qui
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", expName)
 	}
-	if jr != nil {
+	if jsonF != nil {
 		if err := bench.WriteJSONReport(jsonF, jr); err != nil {
 			return fmt.Errorf("json report: %w", err)
 		}
 		if err := jsonF.Close(); err != nil {
 			return fmt.Errorf("json report: %w", err)
 		}
+	}
+	if baseline != nil {
+		if regressions := bench.CompareReports(baseline, jr, bench.CompareOptions{}); len(regressions) > 0 {
+			for _, r := range regressions {
+				fmt.Fprintln(os.Stderr, "regression:", r)
+			}
+			return fmt.Errorf("%d regression(s) vs %s", len(regressions), comparePath)
+		}
+		fmt.Fprintf(os.Stderr, "no regressions vs %s\n", comparePath)
 	}
 	return nil
 }

@@ -9,12 +9,19 @@
 //	sqserve -data molecules.gfd -method ggsx -shards 4 -ix mol.idx
 //	sqserve -data molecules.gfd -method router:methods=grapes+ggsx+gcode -ix mol.idx
 //	sqserve -data molecules.gfd -cache-entries 0            # cache disabled
+//	sqserve -cluster cluster.json -addr :7474               # coordinator over sqnode members
 //
 // With -method router:..., several method indexes are co-built and every
 // query is routed to the predicted-cheapest method; responses carry the
 // serving method, /stats exposes win rates and the learned cost model, and
 // a clean drain persists the routing state under -ix so the next start
 // routes warm.
+//
+// With -cluster, sqserve builds no index at all: it becomes the cluster
+// coordinator over the shard nodes in the manifest (see sqnode), fanning
+// queries across shard owners, hedging slow legs to replicas, routing
+// mutations with epoch propagation, and re-replicating shards off dead
+// nodes — behind the same public endpoints, so gquery -remote is unchanged.
 //
 // Endpoints:
 //
@@ -24,14 +31,20 @@
 //	DELETE /graphs/{id}  tombstone a graph; its id is never reused
 //	GET    /methods      the live method registry
 //	GET    /stats        cache, admission, request, and epoch counters
-//	GET    /healthz      200 serving, 503 draining
+//	GET    /healthz      liveness: 200 while the process runs
+//	GET    /readyz       readiness: 503 during index build and graceful drain
+//	GET    /cluster      (coordinator only) topology, per-node health, fan-out counters
 //
 // The dataset is live: mutations maintain every index online
 // (incrementally for methods that support it), bump the dataset epoch,
 // and invalidate cached results from earlier epochs lazily — a stale
 // answer is never replayed.
 //
-// SIGINT/SIGTERM drains gracefully: health flips to 503, new query work is
+// The listener is up before the index build finishes: /healthz answers 200
+// from the first moment while /readyz answers 503 until the engine is
+// ready, so orchestrators can distinguish "starting" from "dead".
+//
+// SIGINT/SIGTERM drains gracefully: /readyz flips to 503, new query work is
 // rejected, and in-flight requests finish (bounded by -drain-timeout).
 package main
 
@@ -45,9 +58,11 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	_ "repro/internal/engine/std"
 	"repro/internal/graph"
@@ -57,12 +72,17 @@ import (
 
 func main() {
 	var (
-		dataPath  = flag.String("data", "", "GFD dataset file (required)")
+		dataPath  = flag.String("data", "", "GFD dataset file (required unless -cluster)")
 		methodStr = flag.String("method", "grapes", "method spec: name[:key=value,...]; see -list")
 		indexPath = flag.String("ix", "", "persist/restore the built index at this path")
 		shards    = flag.Int("shards", 0, "hash-partition the dataset into N shards (0/1 = unsharded)")
 		verifyW   = flag.Int("workers", 0, "per-query verification parallelism (0 = GOMAXPROCS)")
 		addr      = flag.String("addr", ":7474", "listen address")
+
+		clusterManifest = flag.String("cluster", "", "cluster manifest JSON: serve as the coordinator over sqnode members instead of building a local index")
+		nodeTimeout     = flag.Duration("node-timeout", 10*time.Second, "coordinator: per fan-out leg budget")
+		hedgeDelay      = flag.Duration("hedge-delay", 2*time.Second, "coordinator: duplicate a slow leg to a replica after this long (<0 disables)")
+		probeInterval   = flag.Duration("probe-interval", 2*time.Second, "coordinator: node health-check period")
 
 		cacheEntries = flag.Int("cache-entries", server.DefaultMaxEntries, "result cache capacity in entries (0 disables the cache)")
 		cacheBytes   = flag.Int64("cache-bytes", server.DefaultMaxBytes, "result cache capacity in bytes")
@@ -82,12 +102,91 @@ func main() {
 		engine.FprintMethods(os.Stdout)
 		return
 	}
-	if err := run(*dataPath, *methodStr, *indexPath, *shards, *verifyW, *addr,
-		*cacheEntries, *cacheBytes, *cacheTTL, *concurrency, *queue,
-		*reqTimeout, *buildTimeout, *drainTimeout); err != nil {
+	var err error
+	if *clusterManifest != "" {
+		err = runCoordinator(*clusterManifest, *addr, *nodeTimeout, *hedgeDelay, *probeInterval, *reqTimeout, *drainTimeout)
+	} else {
+		err = run(*dataPath, *methodStr, *indexPath, *shards, *verifyW, *addr,
+			*cacheEntries, *cacheBytes, *cacheTTL, *concurrency, *queue,
+			*reqTimeout, *buildTimeout, *drainTimeout)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "sqserve:", err)
 		os.Exit(1)
 	}
+}
+
+// bootstrapHandler serves the pre-ready window: alive, not ready.
+func bootstrapHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"error":"starting up"}`)
+	})
+	return mux
+}
+
+// listenEarly starts the listener on a swappable handler so liveness is up
+// (and readiness honestly 503) while the engine builds. The returned store
+// swaps in the real handler when ready.
+func listenEarly(addr string) (*http.Server, func(http.Handler), chan error) {
+	var h atomic.Value
+	h.Store(bootstrapHandler())
+	srv := &http.Server{Addr: addr, Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h.Load().(http.Handler).ServeHTTP(w, r)
+	})}
+	serveErr := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			serveErr <- err
+		}
+	}()
+	return srv, func(next http.Handler) { h.Store(next) }, serveErr
+}
+
+func runCoordinator(manifestPath, addr string, nodeTimeout, hedgeDelay, probeInterval, reqTimeout, drainTimeout time.Duration) error {
+	man, err := cluster.LoadManifest(manifestPath)
+	if err != nil {
+		return err
+	}
+	httpSrv, swap, serveErr := listenEarly(addr)
+	coord, err := cluster.NewCoordinator(context.Background(), man, cluster.CoordConfig{
+		NodeTimeout:   nodeTimeout,
+		HedgeDelay:    hedgeDelay,
+		ProbeInterval: probeInterval,
+	})
+	if err != nil {
+		httpSrv.Close()
+		return err
+	}
+	cs := cluster.NewCoordServer(coord, cluster.CoordServerConfig{RequestTimeout: reqTimeout})
+	swap(cs.Handler())
+	log.Printf("coordinator ready: %s, method %s on %s", man, coord.Spec(), addr)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		coord.Close()
+		return err
+	case <-sigs:
+	}
+	log.Printf("draining: readiness down, waiting up to %v for in-flight requests", drainTimeout)
+	cs.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	err = httpSrv.Shutdown(ctx)
+	coord.Close()
+	if err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	log.Printf("drained cleanly")
+	return nil
 }
 
 func run(dataPath, methodStr, indexPath string, shards, verifyW int, addr string,
@@ -96,13 +195,18 @@ func run(dataPath, methodStr, indexPath string, shards, verifyW int, addr string
 	if dataPath == "" {
 		return fmt.Errorf("-data is required")
 	}
+	httpSrv, swap, serveErr := listenEarly(addr)
+	fail := func(err error) error {
+		httpSrv.Close()
+		return err
+	}
 	ds, err := graph.LoadDatasetFile(dataPath)
 	if err != nil {
-		return fmt.Errorf("loading dataset: %w", err)
+		return fail(fmt.Errorf("loading dataset: %w", err))
 	}
 	d, p, err := engine.ParseSpec(methodStr)
 	if err != nil {
-		return err
+		return fail(err)
 	}
 	spec := p.Spec()
 
@@ -118,7 +222,7 @@ func run(dataPath, methodStr, indexPath string, shards, verifyW int, addr string
 	t0 := time.Now()
 	q, err := engine.OpenAny(buildCtx, ds, shards, opts...)
 	if err != nil {
-		return err
+		return fail(err)
 	}
 	switch e := q.(type) {
 	case *engine.Sharded:
@@ -156,7 +260,7 @@ func run(dataPath, methodStr, indexPath string, shards, verifyW int, addr string
 		MaxQueue:       queue,
 		RequestTimeout: reqTimeout,
 	})
-	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+	swap(srv.Handler())
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
@@ -171,11 +275,13 @@ func run(dataPath, methodStr, indexPath string, shards, verifyW int, addr string
 	}()
 
 	log.Printf("serving %s (%s) on %s", ds.Name, spec, addr)
-	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+	select {
+	case err := <-serveErr:
 		return err
-	}
-	if err := <-done; err != nil {
-		return fmt.Errorf("shutdown: %w", err)
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
 	}
 	// A routed engine's learned cost model is state worth keeping: persist
 	// it on a clean drain so the next start routes warm.

@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// CompareOptions tunes the perf-trajectory gate.
+type CompareOptions struct {
+	// Threshold is the tolerated relative slowdown: 0.30 fails cells more
+	// than 30% slower than the baseline.
+	Threshold float64
+	// QueryFloorSeconds is an absolute slack under which query-time deltas
+	// are noise, not regressions: a cell must be both Threshold-fraction
+	// and floor slower to fail. Micro-cells in the bench scale run in
+	// microseconds, where scheduler jitter dwarfs any real signal.
+	QueryFloorSeconds float64
+	// BuildFloorSeconds is the same slack for index construction, which
+	// jitters far more: a sub-second bench-scale build can swing 2x on a
+	// loaded runner, so builds only gate once they cost real time.
+	BuildFloorSeconds float64
+}
+
+func (o CompareOptions) withDefaults() CompareOptions {
+	if o.Threshold <= 0 {
+		o.Threshold = 0.30
+	}
+	if o.QueryFloorSeconds <= 0 {
+		o.QueryFloorSeconds = 0.005
+	}
+	if o.BuildFloorSeconds <= 0 {
+		o.BuildFloorSeconds = 1.0
+	}
+	return o
+}
+
+// cellKey addresses one cell across reports: experiment, point, method.
+func cellKey(exp, point, method string) string {
+	return exp + " / " + point + " / " + method
+}
+
+func indexCells(r *JSONReport) map[string]JSONCell {
+	out := map[string]JSONCell{}
+	for _, group := range [][]JSONExperiment{r.Experiments, r.Ablations} {
+		for _, e := range group {
+			for _, p := range e.Points {
+				for _, c := range p.Methods {
+					out[cellKey(e.Name, p.Label, c.Method)] = c
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CompareReports checks a fresh sqbench run against a committed baseline
+// and returns one line per regression (empty = pass). It fails on:
+//
+//   - cells present in the baseline but missing from the fresh run, or
+//     newly DNF — coverage must never silently shrink;
+//   - query or build time more than Threshold slower (beyond
+//     FloorSeconds of absolute slack);
+//   - candidate-set drift — filtering is deterministic for a fixed seed,
+//     so any change in avg_candidates or fp_ratio means pruning behavior
+//     changed and the baseline must be consciously regenerated.
+//
+// Cells that got faster, or that are new in the fresh run, never fail: the
+// trajectory only gates against losing ground.
+func CompareReports(baseline, current *JSONReport, opts CompareOptions) []string {
+	opts = opts.withDefaults()
+	base := indexCells(baseline)
+	cur := indexCells(current)
+
+	var bad []string
+	for key, b := range base {
+		c, ok := cur[key]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: cell missing from fresh run", key))
+			continue
+		}
+		if c.DNF && !b.DNF {
+			bad = append(bad, fmt.Sprintf("%s: newly DNF (%s)", key, c.Reason))
+			continue
+		}
+		if b.DNF {
+			continue // baseline had nothing to regress from
+		}
+		if slower(b.AvgQuerySeconds, c.AvgQuerySeconds, opts.Threshold, opts.QueryFloorSeconds) {
+			bad = append(bad, fmt.Sprintf("%s: avg query %.3fms -> %.3fms (+%.0f%%)",
+				key, b.AvgQuerySeconds*1e3, c.AvgQuerySeconds*1e3,
+				100*(c.AvgQuerySeconds/b.AvgQuerySeconds-1)))
+		}
+		if slower(b.BuildSeconds, c.BuildSeconds, opts.Threshold, opts.BuildFloorSeconds) {
+			bad = append(bad, fmt.Sprintf("%s: build %.3fs -> %.3fs (+%.0f%%)",
+				key, b.BuildSeconds, c.BuildSeconds,
+				100*(c.BuildSeconds/b.BuildSeconds-1)))
+		}
+		if drifted(b.AvgCandidates, c.AvgCandidates) {
+			bad = append(bad, fmt.Sprintf("%s: avg candidates drifted %.4f -> %.4f (pruning changed; regenerate the baseline deliberately)",
+				key, b.AvgCandidates, c.AvgCandidates))
+		}
+		if drifted(b.FPRatio, c.FPRatio) {
+			bad = append(bad, fmt.Sprintf("%s: fp ratio drifted %.4f -> %.4f (pruning changed; regenerate the baseline deliberately)",
+				key, b.FPRatio, c.FPRatio))
+		}
+	}
+	return bad
+}
+
+func slower(base, cur, threshold, floor float64) bool {
+	if base <= 0 {
+		return false
+	}
+	return cur > base*(1+threshold) && cur-base > floor
+}
+
+// drifted reports a deterministic metric that changed beyond float noise.
+func drifted(base, cur float64) bool {
+	diff := math.Abs(cur - base)
+	scale := math.Max(math.Abs(base), math.Abs(cur))
+	return diff > 1e-6*math.Max(scale, 1)
+}
+
+// LoadJSONReport reads a committed sqbench -json document.
+func LoadJSONReport(path string) (*JSONReport, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r JSONReport
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}

@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func reportWith(cells ...JSONCell) *JSONReport {
+	pts := make([]JSONPoint, len(cells))
+	for i, c := range cells {
+		pts[i] = JSONPoint{Label: "p" + c.Method, Methods: []JSONCell{c}}
+	}
+	return &JSONReport{Experiments: []JSONExperiment{{Name: "fig2", Points: pts}}}
+}
+
+func TestCompareReportsPassesOnParityAndImprovement(t *testing.T) {
+	base := reportWith(
+		JSONCell{Method: "grapes", AvgQuerySeconds: 0.100, BuildSeconds: 1.0, AvgCandidates: 12, FPRatio: 1.5},
+		JSONCell{Method: "ggsx", AvgQuerySeconds: 0.200, BuildSeconds: 2.0, AvgCandidates: 8, FPRatio: 1.2},
+	)
+	cur := reportWith(
+		JSONCell{Method: "grapes", AvgQuerySeconds: 0.050, BuildSeconds: 0.9, AvgCandidates: 12, FPRatio: 1.5},
+		JSONCell{Method: "ggsx", AvgQuerySeconds: 0.210, BuildSeconds: 2.1, AvgCandidates: 8, FPRatio: 1.2},
+		JSONCell{Method: "gcode", AvgQuerySeconds: 9.9, BuildSeconds: 9.9}, // new cells never fail
+	)
+	if bad := CompareReports(base, cur, CompareOptions{}); len(bad) != 0 {
+		t.Fatalf("unexpected regressions: %v", bad)
+	}
+}
+
+func TestCompareReportsFlagsSlowdown(t *testing.T) {
+	base := reportWith(JSONCell{Method: "grapes", AvgQuerySeconds: 0.100, BuildSeconds: 1.0, AvgCandidates: 12, FPRatio: 1.5})
+	cur := reportWith(JSONCell{Method: "grapes", AvgQuerySeconds: 0.140, BuildSeconds: 1.0, AvgCandidates: 12, FPRatio: 1.5})
+	bad := CompareReports(base, cur, CompareOptions{})
+	if len(bad) != 1 || !strings.Contains(bad[0], "avg query") {
+		t.Fatalf("40%% query slowdown not flagged: %v", bad)
+	}
+
+	// Under the floor, the same ratio is jitter, not a regression.
+	base = reportWith(JSONCell{Method: "grapes", AvgQuerySeconds: 0.0001, BuildSeconds: 1.0})
+	cur = reportWith(JSONCell{Method: "grapes", AvgQuerySeconds: 0.0002, BuildSeconds: 1.0})
+	if bad := CompareReports(base, cur, CompareOptions{}); len(bad) != 0 {
+		t.Fatalf("sub-floor jitter flagged: %v", bad)
+	}
+}
+
+func TestCompareReportsFlagsLostCoverageAndDrift(t *testing.T) {
+	base := reportWith(
+		JSONCell{Method: "grapes", AvgQuerySeconds: 0.1, AvgCandidates: 12, FPRatio: 1.5},
+		JSONCell{Method: "ggsx", AvgQuerySeconds: 0.1},
+	)
+	cur := reportWith(
+		JSONCell{Method: "grapes", AvgQuerySeconds: 0.1, AvgCandidates: 14, FPRatio: 1.5},
+	)
+	bad := CompareReports(base, cur, CompareOptions{})
+	joined := strings.Join(bad, "\n")
+	if !strings.Contains(joined, "missing") {
+		t.Errorf("dropped cell not flagged: %v", bad)
+	}
+	if !strings.Contains(joined, "candidates drifted") {
+		t.Errorf("candidate drift not flagged: %v", bad)
+	}
+
+	cur = reportWith(
+		JSONCell{Method: "grapes", DNF: true, Reason: "timeout"},
+		JSONCell{Method: "ggsx", AvgQuerySeconds: 0.1},
+	)
+	bad = CompareReports(base, cur, CompareOptions{})
+	if len(bad) != 1 || !strings.Contains(bad[0], "newly DNF") {
+		t.Errorf("new DNF not flagged: %v", bad)
+	}
+}

@@ -1,0 +1,201 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/server"
+)
+
+// NodeError is a non-2xx node response, preserving the status so the
+// coordinator's failover logic can tell routing staleness (404: the node no
+// longer serves the shard, or the graph id is unknown) from node trouble.
+type NodeError struct {
+	Status int
+	Msg    string
+}
+
+func (e *NodeError) Error() string {
+	return fmt.Sprintf("node responded %d: %s", e.Status, e.Msg)
+}
+
+// NodeClient speaks the node protocol to one shard node.
+type NodeClient struct {
+	// Addr is the node's base URL.
+	Addr string
+	// HTTP performs the requests; it should have no overall timeout — each
+	// call's context carries the budget.
+	HTTP *http.Client
+}
+
+func (c *NodeClient) url(path string) string {
+	return strings.TrimSuffix(c.Addr, "/") + path
+}
+
+// do runs a request and decodes a JSON body into out, converting non-2xx
+// responses into *NodeError.
+func (c *NodeClient) do(req *http.Request, out any) error {
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var er server.ErrorResponse
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+		if json.Unmarshal(body, &er) != nil || er.Error == "" {
+			er.Error = strings.TrimSpace(string(body))
+		}
+		return &NodeError{Status: resp.StatusCode, Msg: er.Error}
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (c *NodeClient) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(path), nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+func (c *NodeClient) postJSON(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url(path), bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+// Ready probes GET /readyz.
+func (c *NodeClient) Ready(ctx context.Context) error {
+	return c.getJSON(ctx, "/readyz", nil)
+}
+
+// Info fetches GET /node/info.
+func (c *NodeClient) Info(ctx context.Context) (InfoResponse, error) {
+	var info InfoResponse
+	err := c.getJSON(ctx, "/node/info", &info)
+	return info, err
+}
+
+func shardsParam(shards []int) string {
+	parts := make([]string, len(shards))
+	for i, k := range shards {
+		parts[i] = strconv.Itoa(k)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Query runs a non-streaming fan-out leg over the given shards.
+func (c *NodeClient) Query(ctx context.Context, shards []int, gj server.GraphJSON) (ShardQueryResponse, error) {
+	var resp ShardQueryResponse
+	err := c.postJSON(ctx, "/node/query?shards="+shardsParam(shards), gj, &resp)
+	return resp, err
+}
+
+// Stream opens a streaming leg over the given shards, yielding global
+// answer ids ascending, starting strictly after `after` (-1 = from the
+// start). The yield loop ends on the done line; a mid-stream error or
+// truncated body surfaces as the terminal error.
+func (c *NodeClient) Stream(ctx context.Context, shards []int, gj server.GraphJSON, after graph.ID, yield func(graph.ID) bool) error {
+	body, err := json.Marshal(gj)
+	if err != nil {
+		return err
+	}
+	url := fmt.Sprintf("%s&stream=1&after=%d", c.url("/node/query?shards="+shardsParam(shards)), after)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var er server.ErrorResponse
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+		if json.Unmarshal(b, &er) != nil || er.Error == "" {
+			er.Error = strings.TrimSpace(string(b))
+		}
+		return &NodeError{Status: resp.StatusCode, Msg: er.Error}
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		var line server.StreamLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return fmt.Errorf("decoding stream line: %w", err)
+		}
+		switch {
+		case line.Error != "":
+			return fmt.Errorf("node stream: %s", line.Error)
+		case line.Done:
+			return nil
+		case line.ID != nil:
+			if !yield(*line.ID) {
+				return nil
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("reading stream: %w", err)
+	}
+	return fmt.Errorf("stream ended without done marker — node died mid-stream")
+}
+
+// Add routes an add to the node.
+func (c *NodeClient) Add(ctx context.Context, req AddRequest) (MutateAck, error) {
+	var ack MutateAck
+	err := c.postJSON(ctx, "/node/graphs", req, &ack)
+	return ack, err
+}
+
+// Remove routes a remove to the node.
+func (c *NodeClient) Remove(ctx context.Context, id graph.ID, epoch uint64) (MutateAck, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
+		fmt.Sprintf("%s/node/graphs/%d?epoch=%d", strings.TrimSuffix(c.Addr, "/"), id, epoch), nil)
+	if err != nil {
+		return MutateAck{}, err
+	}
+	var ack MutateAck
+	err = c.do(req, &ack)
+	return ack, err
+}
+
+// Load asks the node to install a shard (from a peer dump, or a local
+// rebuild when From is empty).
+func (c *NodeClient) Load(ctx context.Context, req LoadRequest) (MutateAck, error) {
+	var ack MutateAck
+	err := c.postJSON(ctx, "/node/load", req, &ack)
+	return ack, err
+}
+
+// DropShard asks the node to forget a shard.
+func (c *NodeClient) DropShard(ctx context.Context, k int) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
+		fmt.Sprintf("%s/node/shards/%d", strings.TrimSuffix(c.Addr, "/"), k), nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, nil)
+}

@@ -1,0 +1,248 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/server"
+)
+
+// CoordServerConfig configures the coordinator's public HTTP face.
+type CoordServerConfig struct {
+	// RequestTimeout bounds each public request (default 30s; negative =
+	// unlimited).
+	RequestTimeout time.Duration
+}
+
+// CoordServer serves the coordinator over the same public protocol as the
+// single-process sqserve — POST /query (streaming included), /batch,
+// /graphs, DELETE /graphs/{id}, /stats — so gquery -remote talks to a
+// cluster without knowing it is one. /cluster adds the topology view.
+type CoordServer struct {
+	coord    *Coordinator
+	cfg      CoordServerConfig
+	mux      *http.ServeMux
+	draining atomic.Bool
+}
+
+// NewCoordServer wraps a coordinator.
+func NewCoordServer(c *Coordinator, cfg CoordServerConfig) *CoordServer {
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	s := &CoordServer{coord: c, cfg: cfg}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /cluster", s.handleStats)
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /batch", s.handleBatch)
+	mux.HandleFunc("POST /graphs", s.handleAdd)
+	mux.HandleFunc("DELETE /graphs/{id}", s.handleRemove)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the coordinator's public HTTP handler.
+func (s *CoordServer) Handler() http.Handler { return s.mux }
+
+// Drain flips readiness off for graceful shutdown.
+func (s *CoordServer) Drain() { s.draining.Store(true) }
+
+func (s *CoordServer) fail(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(server.ErrorResponse{Error: err.Error()})
+}
+
+func (s *CoordServer) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *CoordServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, map[string]string{"status": "ok"})
+}
+
+func (s *CoordServer) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		s.fail(w, http.StatusServiceUnavailable, errors.New("draining"))
+		return
+	}
+	s.writeJSON(w, map[string]string{"status": "ready"})
+}
+
+func (s *CoordServer) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, s.coord.Stats())
+}
+
+func (s *CoordServer) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.RequestTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	}
+	return r.Context(), func() {}
+}
+
+func coordStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrNoOwner):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, engine.ErrNoSuchGraph):
+		return http.StatusNotFound
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *CoordServer) toResponse(res *QueryResult, wall time.Duration) server.QueryResponse {
+	return server.QueryResponse{
+		Candidates:   res.Candidates,
+		Answers:      res.Answers,
+		Method:       s.coord.Spec(),
+		FilterUs:     res.FilterUs,
+		VerifyUs:     res.VerifyUs,
+		TotalUs:      wall.Microseconds(),
+		Partial:      res.Partial,
+		FailedShards: res.FailedShards,
+	}
+}
+
+func (s *CoordServer) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var gj server.GraphJSON
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 32<<20)).Decode(&gj); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	if r.URL.Query().Get("stream") != "" {
+		s.streamQuery(ctx, w, gj)
+		return
+	}
+	t0 := time.Now()
+	res, err := s.coord.Query(ctx, gj)
+	if err != nil {
+		s.fail(w, coordStatus(err), err)
+		return
+	}
+	s.writeJSON(w, s.toResponse(res, time.Since(t0)))
+}
+
+// streamQuery relays the cluster merge as NDJSON. The done line carries the
+// partial flags: a consumer that saw every id line still must check it — a
+// shard lost mid-stream silently truncates that shard's tail otherwise.
+func (s *CoordServer) streamQuery(ctx context.Context, w http.ResponseWriter, gj server.GraphJSON) {
+	if s.cfg.RequestTimeout > 0 {
+		rc := http.NewResponseController(w)
+		_ = rc.SetWriteDeadline(time.Now().Add(s.cfg.RequestTimeout))
+		defer rc.SetWriteDeadline(time.Time{})
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	broken := false
+	st, err := s.coord.Stream(ctx, gj, func(id graph.ID) bool {
+		line := server.StreamLine{ID: &id}
+		if enc.Encode(line) != nil {
+			broken = true
+			return false
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+		return true
+	})
+	if broken {
+		return
+	}
+	if err != nil {
+		enc.Encode(server.StreamLine{Error: err.Error()})
+		if fl != nil {
+			fl.Flush()
+		}
+		return
+	}
+	enc.Encode(server.StreamLine{Done: true, Matches: st.Matches, Partial: st.Partial, FailedShards: st.FailedShards})
+	if fl != nil {
+		fl.Flush()
+	}
+}
+
+func (s *CoordServer) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req server.BatchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.fail(w, http.StatusBadRequest, errors.New("batch has no queries"))
+		return
+	}
+	s.coord.reqBatch.Add(1)
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	items := make([]server.BatchItem, len(req.Queries))
+	workers := req.Workers
+	if workers <= 0 || workers > len(req.Queries) {
+		workers = min(4, len(req.Queries))
+	}
+	engine.ForEachBounded(ctx, len(req.Queries), workers, func(qctx context.Context, i int) error {
+		t0 := time.Now()
+		res, err := s.coord.Query(qctx, req.Queries[i])
+		if err != nil {
+			items[i] = server.BatchItem{Error: err.Error()}
+			return nil
+		}
+		items[i] = server.BatchItem{QueryResponse: s.toResponse(res, time.Since(t0))}
+		return nil
+	})
+	s.writeJSON(w, server.BatchResponse{Results: items})
+}
+
+func (s *CoordServer) handleAdd(w http.ResponseWriter, r *http.Request) {
+	var gj server.GraphJSON
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 32<<20)).Decode(&gj); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if len(gj.Vertices) == 0 {
+		s.fail(w, http.StatusBadRequest, errors.New("graph has no vertices"))
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	resp, err := s.coord.Add(ctx, gj)
+	if err != nil {
+		s.fail(w, coordStatus(err), err)
+		return
+	}
+	s.writeJSON(w, resp)
+}
+
+func (s *CoordServer) handleRemove(w http.ResponseWriter, r *http.Request) {
+	id64, err := strconv.ParseInt(r.PathValue("id"), 10, 32)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad graph id %q", r.PathValue("id")))
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	resp, err := s.coord.Remove(ctx, graph.ID(id64))
+	if err != nil {
+		s.fail(w, coordStatus(err), err)
+		return
+	}
+	s.writeJSON(w, resp)
+}

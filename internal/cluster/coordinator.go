@@ -1,0 +1,1077 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/server"
+)
+
+// CoordConfig tunes the coordinator's fan-out behaviour.
+type CoordConfig struct {
+	// NodeTimeout bounds each fan-out leg (default 10s).
+	NodeTimeout time.Duration
+	// HedgeDelay is how long a leg may run before a duplicate is fired at
+	// the shard's next replica, first result winning (default 2s; negative
+	// disables hedging; hedges only fire when a replica exists).
+	HedgeDelay time.Duration
+	// ProbeInterval is the membership health-check period (default 2s;
+	// negative disables the background prober — tests drive ProbeOnce).
+	ProbeInterval time.Duration
+	// Client performs node requests; it should carry no overall timeout.
+	Client *http.Client
+	// Logf receives membership and re-replication events (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// nodeState is the coordinator's view of one member.
+type nodeState struct {
+	info   NodeInfo
+	client *NodeClient
+	// up is flipped by probes and by transport failures mid-request.
+	up bool
+	// stale maps shard -> the epoch the node last reported for it, for
+	// shards the node serves at an older epoch than the coordinator
+	// requires (it missed mutations while down). Stale shards are excluded
+	// from fan-out until re-replication refreshes them.
+	stale map[int]uint64
+}
+
+// Coordinator owns the cluster: the manifest placement, the cluster epoch
+// and id allocator, membership health, and the fan-out/merge machinery that
+// makes N nodes answer exactly like one in-process sharded engine.
+type Coordinator struct {
+	cfg CoordConfig
+	man *Manifest
+
+	// mu guards nodes' up/stale state, shardEpoch, extras, clusterEpoch,
+	// nextID, and graphs.
+	mu    sync.RWMutex
+	nodes []*nodeState
+	// shardEpoch is the epoch of the last committed mutation per shard.
+	shardEpoch []uint64
+	// extras lists re-replication owners per shard, beyond the manifest's.
+	extras       [][]int
+	clusterEpoch uint64
+	nextID       graph.ID
+	graphs       int
+	spec         string
+
+	// mutateMu serializes mutations: the coordinator is the single writer,
+	// so epochs and ids are totally ordered across the cluster.
+	mutateMu sync.Mutex
+
+	start     time.Time
+	stopProbe chan struct{}
+	probeWG   sync.WaitGroup
+
+	reqQuery, reqStream, reqBatch, reqMutate, reqErrors atomic.Int64
+	partials, failovers, hedgesFired, hedgesWon         atomic.Int64
+	rereplicated, staleRejected, rollbacks              atomic.Int64
+}
+
+// ErrNoOwner means a shard had no reachable fresh owner.
+var ErrNoOwner = errors.New("cluster: shard has no reachable owner")
+
+// NewCoordinator connects to the manifest's nodes, seeds the id allocator
+// and per-shard epochs from what they report, and starts the health prober.
+// Unreachable nodes are tolerated: they join when the prober sees them.
+func NewCoordinator(ctx context.Context, man *Manifest, cfg CoordConfig) (*Coordinator, error) {
+	if err := man.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.NodeTimeout == 0 {
+		cfg.NodeTimeout = 10 * time.Second
+	}
+	if cfg.HedgeDelay == 0 {
+		cfg.HedgeDelay = 2 * time.Second
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = 2 * time.Second
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	c := &Coordinator{
+		cfg:        cfg,
+		man:        man,
+		nodes:      make([]*nodeState, len(man.Nodes)),
+		shardEpoch: make([]uint64, man.Shards),
+		extras:     make([][]int, man.Shards),
+		nextID:     0,
+		start:      time.Now(),
+		stopProbe:  make(chan struct{}),
+	}
+	for i, ni := range man.Nodes {
+		c.nodes[i] = &nodeState{
+			info:   ni,
+			client: &NodeClient{Addr: ni.Addr, HTTP: cfg.Client},
+			stale:  make(map[int]uint64),
+		}
+	}
+	// Seed from whoever answers: the id allocator must clear every id any
+	// node has ever homed, and per-shard epochs start at the maximum any
+	// owner reports (a restarted cluster resumes its epoch history).
+	for i, ns := range c.nodes {
+		ictx, cancel := context.WithTimeout(ctx, cfg.NodeTimeout)
+		info, err := ns.client.Info(ictx)
+		cancel()
+		if err != nil {
+			cfg.Logf("cluster: node %s (%s) unreachable at startup: %v", ns.info.Name, ns.info.Addr, err)
+			continue
+		}
+		ns.up = true
+		if c.spec == "" {
+			c.spec = info.Spec
+		} else if info.Spec != c.spec {
+			return nil, fmt.Errorf("cluster: node %s runs %q, cluster runs %q", ns.info.Name, info.Spec, c.spec)
+		}
+		if info.ShardCount != man.Shards {
+			return nil, fmt.Errorf("cluster: node %s partitions into %d shards, manifest says %d", ns.info.Name, info.ShardCount, man.Shards)
+		}
+		if info.MaxGlobalID >= int64(c.nextID) {
+			c.nextID = graph.ID(info.MaxGlobalID + 1)
+		}
+		for _, si := range info.Shards {
+			if si.Epoch > c.shardEpoch[si.Shard] {
+				c.shardEpoch[si.Shard] = si.Epoch
+			}
+		}
+		_ = i
+	}
+	for _, e := range c.shardEpoch {
+		if e > c.clusterEpoch {
+			c.clusterEpoch = e
+		}
+	}
+	c.recountGraphs(ctx)
+	if cfg.ProbeInterval > 0 {
+		c.probeWG.Add(1)
+		go c.probeLoop()
+	}
+	return c, nil
+}
+
+// Close stops the health prober.
+func (c *Coordinator) Close() {
+	close(c.stopProbe)
+	c.probeWG.Wait()
+}
+
+// Manifest returns the cluster topology.
+func (c *Coordinator) Manifest() *Manifest { return c.man }
+
+// Spec returns the canonical method spec the nodes run.
+func (c *Coordinator) Spec() string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.spec
+}
+
+// recountGraphs refreshes the advisory live-graph total from one fresh
+// owner per shard.
+func (c *Coordinator) recountGraphs(ctx context.Context) {
+	counts := make(map[int]int, c.man.Shards)
+	for _, ns := range c.nodes {
+		if !ns.up {
+			continue
+		}
+		ictx, cancel := context.WithTimeout(ctx, c.cfg.NodeTimeout)
+		info, err := ns.client.Info(ictx)
+		cancel()
+		if err != nil {
+			continue
+		}
+		for _, si := range info.Shards {
+			if si.Epoch == c.shardEpoch[si.Shard] {
+				counts[si.Shard] = si.Graphs
+			}
+		}
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	c.graphs = total
+}
+
+// owners returns shard s's owner node indexes, manifest placement first,
+// then re-replication extras. Callers hold c.mu.
+func (c *Coordinator) owners(s int) []int {
+	base := c.man.Owners(s)
+	if len(c.extras[s]) == 0 {
+		return base
+	}
+	return append(append([]int{}, base...), c.extras[s]...)
+}
+
+// eligible returns the owner indexes fit to serve shard s right now: up and
+// not stale. Callers hold c.mu.
+func (c *Coordinator) eligible(s int) []int {
+	var out []int
+	for _, o := range c.owners(s) {
+		ns := c.nodes[o]
+		if !ns.up {
+			continue
+		}
+		if _, isStale := ns.stale[s]; isStale {
+			continue
+		}
+		out = append(out, o)
+	}
+	return out
+}
+
+// markDown flips a node down after a transport failure and marks every
+// shard it owns as needing an epoch check at rejoin.
+func (c *Coordinator) markDown(i int, cause error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ns := c.nodes[i]
+	if !ns.up {
+		return
+	}
+	ns.up = false
+	c.cfg.Logf("cluster: node %s down: %v", ns.info.Name, cause)
+}
+
+// markStale records that node i serves shard s at reportedEpoch, older than
+// required.
+func (c *Coordinator) markStale(i, s int, reportedEpoch uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nodes[i].stale[s] = reportedEpoch
+}
+
+// isTransport reports an error that indicts the node's process (connection
+// refused/reset, timeout at transport level) rather than this one request.
+func isTransport(err error) bool {
+	var ne *NodeError
+	return !errors.As(err, &ne) && !errors.Is(err, context.Canceled)
+}
+
+// ---------------------------------------------------------------------------
+// Query fan-out
+
+// shardOutcome is one attempt's result for one shard.
+type shardOutcome struct {
+	shard int
+	node  int
+	hedge bool
+	res   *ShardResult
+	err   error
+}
+
+// QueryResult is a merged cluster answer.
+type QueryResult struct {
+	Candidates   graph.IDSet
+	Answers      graph.IDSet
+	FilterUs     int64
+	VerifyUs     int64
+	Partial      bool
+	FailedShards []int
+}
+
+// Query fans gj across the shard owners and merges the per-shard results.
+// Shards whose every owner is unreachable are reported in FailedShards with
+// Partial set — a degraded answer is flagged, never silent.
+func (c *Coordinator) Query(ctx context.Context, gj server.GraphJSON) (*QueryResult, error) {
+	c.reqQuery.Add(1)
+	resolved, failed, err := c.fanQuery(ctx, gj)
+	if err != nil {
+		c.reqErrors.Add(1)
+		return nil, err
+	}
+	out := &QueryResult{Candidates: graph.IDSet{}, Answers: graph.IDSet{}}
+	for _, r := range resolved {
+		out.Candidates = append(out.Candidates, r.Candidates...)
+		out.Answers = append(out.Answers, r.Answers...)
+		out.FilterUs += r.FilterUs
+		out.VerifyUs += r.VerifyUs
+	}
+	sort.Slice(out.Candidates, func(i, j int) bool { return out.Candidates[i] < out.Candidates[j] })
+	sort.Slice(out.Answers, func(i, j int) bool { return out.Answers[i] < out.Answers[j] })
+	if len(failed) > 0 {
+		sort.Ints(failed)
+		out.Partial = true
+		out.FailedShards = failed
+		c.partials.Add(1)
+	}
+	return out, nil
+}
+
+// fanQuery runs the per-shard fan-out state machine: wave 0 groups shards
+// by their first eligible owner; a failed leg fails each of its shards over
+// to the next untried owner; after HedgeDelay, still-unresolved shards get
+// a duplicate attempt on their next replica, first result winning. Stale
+// results (epoch older than the shard requires) are rejected and failed
+// over. Returns resolved per-shard results and the shards that exhausted
+// every owner.
+func (c *Coordinator) fanQuery(ctx context.Context, gj server.GraphJSON) (map[int]*ShardResult, []int, error) {
+	c.mu.RLock()
+	nShards := c.man.Shards
+	required := append([]uint64{}, c.shardEpoch...)
+	ownerSeq := make([][]int, nShards)
+	for s := 0; s < nShards; s++ {
+		ownerSeq[s] = c.eligible(s)
+	}
+	c.mu.RUnlock()
+
+	resolved := make(map[int]*ShardResult, nShards)
+	failedSet := make(map[int]bool)
+	tried := make([]map[int]bool, nShards)
+	inflight := make([]int, nShards)
+	for s := range tried {
+		tried[s] = make(map[int]bool)
+	}
+	// Each (shard, owner) pair is attempted at most once, so this buffer
+	// bounds every send: attempt goroutines never block, and the final
+	// wait below cannot deadlock.
+	maxOutcomes := 0
+	for s := 0; s < nShards; s++ {
+		maxOutcomes += len(ownerSeq[s])
+	}
+	outcomes := make(chan shardOutcome, maxOutcomes)
+
+	attemptCtx, cancelAttempts := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+	defer func() {
+		cancelAttempts()
+		wg.Wait()
+	}()
+
+	launch := func(nodeIdx int, shards []int, hedge bool) {
+		for _, s := range shards {
+			tried[s][nodeIdx] = true
+			inflight[s]++
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lctx, cancel := context.WithTimeout(attemptCtx, c.cfg.NodeTimeout)
+			defer cancel()
+			resp, err := c.nodes[nodeIdx].client.Query(lctx, shards, gj)
+			if err != nil {
+				if isTransport(err) && attemptCtx.Err() == nil {
+					c.markDown(nodeIdx, err)
+				}
+				for _, s := range shards {
+					outcomes <- shardOutcome{shard: s, node: nodeIdx, hedge: hedge, err: err}
+				}
+				return
+			}
+			byShard := make(map[int]*ShardResult, len(resp.Results))
+			for i := range resp.Results {
+				byShard[resp.Results[i].Shard] = &resp.Results[i]
+			}
+			for _, s := range shards {
+				if r, ok := byShard[s]; ok {
+					outcomes <- shardOutcome{shard: s, node: nodeIdx, hedge: hedge, res: r}
+				} else {
+					outcomes <- shardOutcome{shard: s, node: nodeIdx, hedge: hedge,
+						err: fmt.Errorf("node %s omitted shard %d", c.nodes[nodeIdx].info.Name, s)}
+				}
+			}
+		}()
+	}
+
+	nextUntried := func(s int) int {
+		for _, o := range ownerSeq[s] {
+			if !tried[s][o] {
+				return o
+			}
+		}
+		return -1
+	}
+
+	// Wave 0: group shards by their first eligible owner so each node gets
+	// one request covering all its shards.
+	wave0 := make(map[int][]int)
+	for s := 0; s < nShards; s++ {
+		if len(ownerSeq[s]) == 0 {
+			failedSet[s] = true
+			continue
+		}
+		o := ownerSeq[s][0]
+		wave0[o] = append(wave0[o], s)
+	}
+	for o, shards := range wave0 {
+		launch(o, shards, false)
+	}
+
+	var hedgeCh <-chan time.Time
+	if c.cfg.HedgeDelay > 0 {
+		t := time.NewTimer(c.cfg.HedgeDelay)
+		defer t.Stop()
+		hedgeCh = t.C
+	}
+
+	for len(resolved)+len(failedSet) < nShards {
+		select {
+		case o := <-outcomes:
+			inflight[o.shard]--
+			if resolved[o.shard] != nil || failedSet[o.shard] {
+				continue
+			}
+			if o.err == nil {
+				if o.res.Epoch < required[o.shard] {
+					c.staleRejected.Add(1)
+					c.markStale(o.node, o.shard, o.res.Epoch)
+					o.err = fmt.Errorf("node %s serves shard %d at epoch %d, need %d",
+						c.nodes[o.node].info.Name, o.shard, o.res.Epoch, required[o.shard])
+				} else {
+					resolved[o.shard] = o.res
+					if o.hedge {
+						c.hedgesWon.Add(1)
+					}
+					continue
+				}
+			}
+			if next := nextUntried(o.shard); next >= 0 {
+				c.failovers.Add(1)
+				launch(next, []int{o.shard}, false)
+			} else if inflight[o.shard] == 0 {
+				failedSet[o.shard] = true
+			}
+		case <-hedgeCh:
+			hedgeCh = nil
+			hedges := make(map[int][]int)
+			for s := 0; s < nShards; s++ {
+				if resolved[s] != nil || failedSet[s] {
+					continue
+				}
+				if next := nextUntried(s); next >= 0 {
+					hedges[next] = append(hedges[next], s)
+				}
+			}
+			for o, shards := range hedges {
+				c.hedgesFired.Add(1)
+				launch(o, shards, true)
+			}
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		}
+	}
+	var failed []int
+	for s := range failedSet {
+		failed = append(failed, s)
+	}
+	return resolved, failed, nil
+}
+
+// ---------------------------------------------------------------------------
+// Streaming fan-out
+
+// streamMsg is one message from a stream leg: an answer id, or a terminal
+// (done or err).
+type streamMsg struct {
+	id       graph.ID
+	terminal bool
+	err      error
+}
+
+// streamLeg is one live node stream covering a set of shards.
+type streamLeg struct {
+	node   int
+	shards []int
+	ch     chan streamMsg
+	cancel context.CancelFunc
+	head   graph.ID
+}
+
+// StreamStats is the terminal state of a cluster stream.
+type StreamStats struct {
+	Matches      int
+	Partial      bool
+	FailedShards []int
+}
+
+// Stream fans gj out as one stream leg per first-owner node and k-way
+// merges the legs into a single ascending global-id sequence, calling emit
+// per answer. A leg that dies mid-stream is replaced per shard on the next
+// owner, resumed strictly after the shard's last emitted id — the
+// replacement re-yields exactly the unemitted suffix, so nothing is lost,
+// duplicated, or reordered. Shards whose owners are exhausted end up in
+// FailedShards with Partial set. emit returning false stops the stream.
+func (c *Coordinator) Stream(ctx context.Context, gj server.GraphJSON, emit func(graph.ID) bool) (StreamStats, error) {
+	c.reqStream.Add(1)
+	st := StreamStats{}
+
+	c.mu.RLock()
+	nShards := c.man.Shards
+	ownerSeq := make([][]int, nShards)
+	for s := 0; s < nShards; s++ {
+		ownerSeq[s] = c.eligible(s)
+	}
+	c.mu.RUnlock()
+
+	tried := make([]map[int]bool, nShards)
+	lastEmitted := make([]graph.ID, nShards)
+	for s := range tried {
+		tried[s] = make(map[int]bool)
+		lastEmitted[s] = -1
+	}
+	failedSet := make(map[int]bool)
+
+	legCtx, cancelLegs := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+	defer func() {
+		cancelLegs()
+		wg.Wait()
+	}()
+
+	launch := func(nodeIdx int, shards []int, after graph.ID) *streamLeg {
+		for _, s := range shards {
+			tried[s][nodeIdx] = true
+		}
+		lctx, cancel := context.WithCancel(legCtx)
+		leg := &streamLeg{node: nodeIdx, shards: shards, ch: make(chan streamMsg, 64), cancel: cancel}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := c.nodes[nodeIdx].client.Stream(lctx, shards, gj, after, func(id graph.ID) bool {
+				select {
+				case leg.ch <- streamMsg{id: id}:
+					return true
+				case <-lctx.Done():
+					return false
+				}
+			})
+			if err != nil && isTransport(err) && legCtx.Err() == nil {
+				c.markDown(nodeIdx, err)
+			}
+			select {
+			case leg.ch <- streamMsg{terminal: true, err: err}:
+			case <-lctx.Done():
+			}
+		}()
+		return leg
+	}
+
+	// failover replaces a dead leg: each of its shards restarts on its next
+	// untried owner, resumed after that shard's last emitted id.
+	var legs []*streamLeg
+	failover := func(leg *streamLeg) {
+		for _, s := range leg.shards {
+			next := -1
+			for _, o := range ownerSeq[s] {
+				if !tried[s][o] {
+					next = o
+					break
+				}
+			}
+			if next < 0 {
+				failedSet[s] = true
+				continue
+			}
+			c.failovers.Add(1)
+			legs = append(legs, launch(next, []int{s}, lastEmitted[s]))
+		}
+	}
+
+	// advance pulls leg's next head, skipping ids at or below the merge
+	// frontier (a replacement leg may replay a prefix). Returns false when
+	// the leg terminated; a terminal error triggers failover.
+	frontier := graph.ID(-1)
+	advance := func(leg *streamLeg) (bool, error) {
+		for {
+			select {
+			case m := <-leg.ch:
+				if m.terminal {
+					leg.cancel()
+					if m.err != nil {
+						failover(leg)
+					}
+					return false, nil
+				}
+				if m.id <= frontier {
+					continue
+				}
+				leg.head = m.id
+				return true, nil
+			case <-ctx.Done():
+				return false, ctx.Err()
+			}
+		}
+	}
+
+	wave0 := make(map[int][]int)
+	for s := 0; s < nShards; s++ {
+		if len(ownerSeq[s]) == 0 {
+			failedSet[s] = true
+			continue
+		}
+		wave0[ownerSeq[s][0]] = append(wave0[ownerSeq[s][0]], s)
+	}
+	for o, shards := range wave0 {
+		legs = append(legs, launch(o, shards, -1))
+	}
+
+	// Prime heads; legs that die here are failed over by advance itself
+	// (failover appends to legs, which this loop re-checks via the index).
+	heads := legs[:0:0]
+	for i := 0; i < len(legs); i++ {
+		ok, err := advance(legs[i])
+		if err != nil {
+			return st, err
+		}
+		if ok {
+			heads = append(heads, legs[i])
+		}
+	}
+
+	for len(heads) > 0 {
+		// Emit the minimum head; shards are disjoint so ids never tie.
+		min := 0
+		for i := 1; i < len(heads); i++ {
+			if heads[i].head < heads[min].head {
+				min = i
+			}
+		}
+		leg := heads[min]
+		id := leg.head
+		if !emit(id) {
+			return st, nil
+		}
+		st.Matches++
+		frontier = id
+		lastEmitted[engine.ShardOf(id, nShards)] = id
+		before := len(legs)
+		ok, err := advance(leg)
+		if err != nil {
+			return st, err
+		}
+		if !ok {
+			heads = append(heads[:min], heads[min+1:]...)
+		}
+		// Prime any replacement legs failover just launched.
+		for i := before; i < len(legs); i++ {
+			ok, err := advance(legs[i])
+			if err != nil {
+				return st, err
+			}
+			if ok {
+				heads = append(heads, legs[i])
+			}
+		}
+	}
+	if len(failedSet) > 0 {
+		st.Partial = true
+		for s := range failedSet {
+			st.FailedShards = append(st.FailedShards, s)
+		}
+		sort.Ints(st.FailedShards)
+		c.partials.Add(1)
+	}
+	return st, nil
+}
+
+// ---------------------------------------------------------------------------
+// Mutations
+
+// Add routes a new graph to every owner of its shard. The coordinator
+// assigns the id and epoch under the mutation lock, so mutations are
+// totally ordered cluster-wide; the mutation commits when at least one
+// owner applies it, and owners that missed it are marked stale for
+// re-replication.
+func (c *Coordinator) Add(ctx context.Context, gj server.GraphJSON) (server.MutationResponse, error) {
+	c.reqMutate.Add(1)
+	c.mutateMu.Lock()
+	defer c.mutateMu.Unlock()
+
+	c.mu.RLock()
+	id := c.nextID
+	epoch := c.clusterEpoch + 1
+	s := engine.ShardOf(id, c.man.Shards)
+	targets := c.eligible(s)
+	prevEpoch := c.shardEpoch[s]
+	c.mu.RUnlock()
+
+	acked, failed := c.routeMutation(ctx, targets, func(nc *NodeClient) error {
+		_, err := nc.Add(ctx, AddRequest{ID: id, Epoch: epoch, Graph: gj})
+		return err
+	})
+	if acked == 0 {
+		c.reqErrors.Add(1)
+		return server.MutationResponse{}, fmt.Errorf("%w: shard %d (graph %d not added)", ErrNoOwner, s, id)
+	}
+	c.mu.Lock()
+	c.nextID = id + 1
+	c.clusterEpoch = epoch
+	c.shardEpoch[s] = epoch
+	c.graphs++
+	for _, o := range failed {
+		c.nodes[o].stale[s] = prevEpoch
+	}
+	graphs := c.graphs
+	c.mu.Unlock()
+	return server.MutationResponse{ID: id, Epoch: epoch, Graphs: graphs}, nil
+}
+
+// Remove tombstones a graph on every owner of its shard. All-fresh-owners
+// agreeing the id is unknown surfaces as engine.ErrNoSuchGraph.
+func (c *Coordinator) Remove(ctx context.Context, id graph.ID) (server.MutationResponse, error) {
+	c.reqMutate.Add(1)
+	c.mutateMu.Lock()
+	defer c.mutateMu.Unlock()
+
+	c.mu.RLock()
+	epoch := c.clusterEpoch + 1
+	s := engine.ShardOf(id, c.man.Shards)
+	targets := c.eligible(s)
+	prevEpoch := c.shardEpoch[s]
+	c.mu.RUnlock()
+
+	unknown := 0
+	acked, failed := c.routeMutation(ctx, targets, func(nc *NodeClient) error {
+		_, err := nc.Remove(ctx, id, epoch)
+		var ne *NodeError
+		if errors.As(err, &ne) && ne.Status == http.StatusNotFound {
+			unknown++
+		}
+		return err
+	})
+	if acked == 0 {
+		c.reqErrors.Add(1)
+		if unknown > 0 && unknown == len(targets) {
+			return server.MutationResponse{}, fmt.Errorf("%w: graph %d", engine.ErrNoSuchGraph, id)
+		}
+		return server.MutationResponse{}, fmt.Errorf("%w: shard %d (graph %d not removed)", ErrNoOwner, s, id)
+	}
+	c.mu.Lock()
+	c.clusterEpoch = epoch
+	c.shardEpoch[s] = epoch
+	if c.graphs > 0 {
+		c.graphs--
+	}
+	for _, o := range failed {
+		c.nodes[o].stale[s] = prevEpoch
+	}
+	graphs := c.graphs
+	c.mu.Unlock()
+	return server.MutationResponse{ID: id, Epoch: epoch, Graphs: graphs}, nil
+}
+
+// routeMutation applies op to each target owner sequentially (the mutation
+// lock serializes writers anyway), returning the ack count and the node
+// indexes that failed with a non-404 error. A 404 (unknown graph) is
+// neither an ack nor a staleness signal.
+func (c *Coordinator) routeMutation(ctx context.Context, targets []int, op func(*NodeClient) error) (int, []int) {
+	acked := 0
+	var failed []int
+	for _, o := range targets {
+		octx, cancel := context.WithTimeout(ctx, c.cfg.NodeTimeout)
+		err := op(c.nodes[o].client)
+		cancel()
+		_ = octx
+		if err == nil {
+			acked++
+			continue
+		}
+		var ne *NodeError
+		if errors.As(err, &ne) && ne.Status == http.StatusNotFound {
+			continue
+		}
+		if isTransport(err) {
+			c.markDown(o, err)
+		}
+		failed = append(failed, o)
+	}
+	return acked, failed
+}
+
+// ---------------------------------------------------------------------------
+// Membership and re-replication
+
+func (c *Coordinator) probeLoop() {
+	defer c.probeWG.Done()
+	t := time.NewTicker(c.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			ctx, cancel := context.WithTimeout(context.Background(), c.cfg.NodeTimeout)
+			c.ProbeOnce(ctx)
+			cancel()
+		case <-c.stopProbe:
+			return
+		}
+	}
+}
+
+// ProbeOnce health-checks every node, reconciles membership transitions,
+// and repairs stale or under-replicated shards. The background prober calls
+// it periodically; tests call it directly.
+func (c *Coordinator) ProbeOnce(ctx context.Context) {
+	type probe struct {
+		i    int
+		up   bool
+		info InfoResponse
+	}
+	results := make([]probe, len(c.nodes))
+	var wg sync.WaitGroup
+	for i, ns := range c.nodes {
+		wg.Add(1)
+		go func(i int, ns *nodeState) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, c.cfg.NodeTimeout)
+			defer cancel()
+			if err := ns.client.Ready(pctx); err != nil {
+				results[i] = probe{i: i}
+				return
+			}
+			info, err := ns.client.Info(pctx)
+			if err != nil {
+				results[i] = probe{i: i}
+				return
+			}
+			results[i] = probe{i: i, up: true, info: info}
+		}(i, ns)
+	}
+	wg.Wait()
+
+	c.mu.Lock()
+	for _, p := range results {
+		ns := c.nodes[p.i]
+		wasUp := ns.up
+		ns.up = p.up
+		if !p.up {
+			if wasUp {
+				c.cfg.Logf("cluster: node %s down (probe failed)", ns.info.Name)
+			}
+			continue
+		}
+		if !wasUp {
+			c.cfg.Logf("cluster: node %s up", ns.info.Name)
+		}
+		// Reconcile the node's reported shards against required epochs: a
+		// shard at an older epoch is stale; a required shard the node no
+		// longer serves is stale at epoch 0 (it must be re-loaded); a fresh
+		// one clears any stale mark.
+		reported := make(map[int]uint64, len(p.info.Shards))
+		for _, si := range p.info.Shards {
+			reported[si.Shard] = si.Epoch
+		}
+		owned := make(map[int]bool)
+		for s := 0; s < c.man.Shards; s++ {
+			for _, o := range c.owners(s) {
+				if o == p.i {
+					owned[s] = true
+				}
+			}
+		}
+		for s := range owned {
+			e, has := reported[s]
+			switch {
+			case has && e >= c.shardEpoch[s]:
+				delete(ns.stale, s)
+			case has:
+				ns.stale[s] = e
+			default:
+				ns.stale[s] = 0
+				// Track absence distinctly from epoch 0: an unserved shard
+				// cannot satisfy even epoch-0 reads, so keep it stale until
+				// loaded. (Epoch 0 with no mutations is repaired by a local
+				// rebuild below.)
+				if c.shardEpoch[s] == 0 {
+					ns.stale[s] = ^uint64(0) // sentinel: must load, even at epoch 0
+				}
+			}
+		}
+	}
+	c.mu.Unlock()
+
+	c.repair(ctx)
+}
+
+// repair restores the replication invariant: every shard fresh on every up
+// owner, Replication owners when membership allows. Stale owners reload
+// from a fresh owner's dump (or rebuild locally when the shard was never
+// mutated); a shard with no fresh owner left but a reachable stale one is
+// adopted at the stale epoch — data past it is lost, which only happens
+// when replication couldn't cover the failure, and is counted and logged
+// rather than silent.
+func (c *Coordinator) repair(ctx context.Context) {
+	type job struct {
+		node  int
+		req   LoadRequest
+		extra bool
+	}
+	var jobs []job
+
+	c.mu.Lock()
+	for s := 0; s < c.man.Shards; s++ {
+		owners := c.owners(s)
+		var fresh []int
+		for _, o := range owners {
+			ns := c.nodes[o]
+			if !ns.up {
+				continue
+			}
+			if _, isStale := ns.stale[s]; !isStale {
+				fresh = append(fresh, o)
+			}
+		}
+		if len(fresh) == 0 {
+			// No fresh owner: adopt the best reachable stale epoch so the
+			// shard serves again (bounded data loss, counted), or wait for
+			// one to come back.
+			best, bestEpoch := -1, uint64(0)
+			for _, o := range owners {
+				ns := c.nodes[o]
+				if !ns.up {
+					continue
+				}
+				if e, isStale := ns.stale[s]; isStale && e != ^uint64(0) && (best == -1 || e > bestEpoch) {
+					best, bestEpoch = o, e
+				}
+			}
+			if best >= 0 && bestEpoch < c.shardEpoch[s] {
+				c.cfg.Logf("cluster: shard %d has no owner at epoch %d; adopting node %s at epoch %d (mutations past it lost)",
+					s, c.shardEpoch[s], c.nodes[best].info.Name, bestEpoch)
+				c.shardEpoch[s] = bestEpoch
+				delete(c.nodes[best].stale, s)
+				c.rollbacks.Add(1)
+				fresh = []int{best}
+			} else if best < 0 && c.shardEpoch[s] == 0 {
+				// Never mutated: any up owner can rebuild it locally.
+				for _, o := range owners {
+					if c.nodes[o].up {
+						jobs = append(jobs, job{node: o, req: LoadRequest{Shard: s, Epoch: 0}})
+						break
+					}
+				}
+				continue
+			} else {
+				continue
+			}
+		}
+		src := c.nodes[fresh[0]].info.Addr
+		// Refresh stale up owners from a fresh one.
+		for _, o := range owners {
+			ns := c.nodes[o]
+			if !ns.up {
+				continue
+			}
+			if _, isStale := ns.stale[s]; isStale {
+				req := LoadRequest{Shard: s, Epoch: c.shardEpoch[s], From: src}
+				if c.shardEpoch[s] == 0 {
+					req.From = "" // never mutated: local rebuild is cheaper
+				}
+				jobs = append(jobs, job{node: o, req: req})
+			}
+		}
+		// Under-replicated with spare up nodes: place an extra replica on
+		// the next non-owner in the ring.
+		if len(fresh) < c.man.Replication {
+			isOwner := make(map[int]bool, len(owners))
+			for _, o := range owners {
+				isOwner[o] = true
+			}
+			for r := 0; r < len(c.nodes); r++ {
+				cand := (s + r) % len(c.nodes)
+				if isOwner[cand] || !c.nodes[cand].up {
+					continue
+				}
+				req := LoadRequest{Shard: s, Epoch: c.shardEpoch[s], From: src}
+				if c.shardEpoch[s] == 0 {
+					req.From = ""
+				}
+				jobs = append(jobs, job{node: cand, req: req, extra: true})
+				break
+			}
+		}
+	}
+	c.mu.Unlock()
+
+	for _, j := range jobs {
+		jctx, cancel := context.WithTimeout(ctx, c.cfg.NodeTimeout)
+		ack, err := c.nodes[j.node].client.Load(jctx, j.req)
+		cancel()
+		if err != nil {
+			c.cfg.Logf("cluster: loading shard %d onto %s: %v", j.req.Shard, c.nodes[j.node].info.Name, err)
+			continue
+		}
+		c.rereplicated.Add(1)
+		c.mu.Lock()
+		delete(c.nodes[j.node].stale, j.req.Shard)
+		if ack.Epoch < c.shardEpoch[j.req.Shard] {
+			// The source moved on mid-copy; the prober will retry.
+			c.nodes[j.node].stale[j.req.Shard] = ack.Epoch
+		} else if j.extra {
+			present := false
+			for _, e := range c.extras[j.req.Shard] {
+				if e == j.node {
+					present = true
+				}
+			}
+			if !present {
+				c.extras[j.req.Shard] = append(c.extras[j.req.Shard], j.node)
+			}
+		}
+		c.mu.Unlock()
+		c.cfg.Logf("cluster: shard %d loaded onto %s at epoch %d", j.req.Shard, c.nodes[j.node].info.Name, ack.Epoch)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+
+// Stats snapshots the cluster state for /stats and /cluster.
+func (c *Coordinator) Stats() ClusterStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	st := ClusterStats{
+		UptimeSeconds: time.Since(c.start).Seconds(),
+		Spec:          c.spec,
+		Shards:        c.man.Shards,
+		Replication:   c.man.Replication,
+		Epoch:         c.clusterEpoch,
+		Graphs:        c.graphs,
+		Requests: ClusterRequests{
+			Query:  c.reqQuery.Load(),
+			Stream: c.reqStream.Load(),
+			Batch:  c.reqBatch.Load(),
+			Mutate: c.reqMutate.Load(),
+			Errors: c.reqErrors.Load(),
+		},
+		Fanout: FanoutStats{
+			Partials:      c.partials.Load(),
+			Failovers:     c.failovers.Load(),
+			HedgesFired:   c.hedgesFired.Load(),
+			HedgesWon:     c.hedgesWon.Load(),
+			Rereplicated:  c.rereplicated.Load(),
+			StaleRejected: c.staleRejected.Load(),
+			Rollbacks:     c.rollbacks.Load(),
+		},
+	}
+	for i, ns := range c.nodes {
+		row := NodeStatus{Name: ns.info.Name, Addr: ns.info.Addr, Up: ns.up}
+		for s := 0; s < c.man.Shards; s++ {
+			for _, o := range c.owners(s) {
+				if o == i {
+					row.Shards = append(row.Shards, s)
+					break
+				}
+			}
+		}
+		for s := range ns.stale {
+			row.Stale = append(row.Stale, s)
+		}
+		sort.Ints(row.Stale)
+		st.Nodes = append(st.Nodes, row)
+	}
+	return st
+}

@@ -1,0 +1,140 @@
+// Package cluster is the multi-node tier over the sharded engine: a
+// coordinator that owns the shard manifest and consistent-hash placement
+// fans queries out to shard nodes, each of which serves a subset of the
+// logical shards over the HTTP/NDJSON protocol the single-process service
+// already speaks.
+//
+// The placement reuses engine.ShardOf, so a graph lives in the same logical
+// shard whether the dataset is partitioned inside one process
+// (engine.Sharded) or across machines — a cluster answers every query
+// exactly as the single-process sharded engine does. Each logical shard is
+// assigned to a primary node plus optional read replicas; the coordinator
+// health-checks membership, fails queries over to replicas, hedges slow
+// fan-out legs, routes mutations to every owner with cluster-epoch
+// propagation, and re-replicates under-replicated shards from surviving
+// owners through the node-side shard dump/load path.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// NodeInfo is one node entry of the cluster manifest.
+type NodeInfo struct {
+	// Name identifies the node; sqnode -name must match it.
+	Name string `json:"name"`
+	// Addr is the node's base URL, e.g. "http://10.0.0.3:7501".
+	Addr string `json:"addr"`
+}
+
+// Manifest is the cluster topology the coordinator owns: the logical shard
+// count (fixed for the cluster's lifetime — it is the modulus of
+// engine.ShardOf), the replication factor, and the member nodes. Placement
+// is a pure function of the manifest, so every process that reads the same
+// manifest derives the same shard -> node assignment without coordination.
+type Manifest struct {
+	// Shards is the number of logical shards graphs hash into.
+	Shards int `json:"shards"`
+	// Replication is the number of owners per shard (1 = no replicas).
+	Replication int `json:"replication"`
+	// Nodes are the member shard nodes.
+	Nodes []NodeInfo `json:"nodes"`
+}
+
+// Validate checks the manifest's invariants.
+func (m *Manifest) Validate() error {
+	if m.Shards < 1 {
+		return fmt.Errorf("cluster: manifest shards %d < 1", m.Shards)
+	}
+	if len(m.Nodes) == 0 {
+		return fmt.Errorf("cluster: manifest has no nodes")
+	}
+	if m.Replication < 1 || m.Replication > len(m.Nodes) {
+		return fmt.Errorf("cluster: replication %d outside [1, %d nodes]", m.Replication, len(m.Nodes))
+	}
+	seen := make(map[string]bool, len(m.Nodes))
+	for i, n := range m.Nodes {
+		if n.Name == "" {
+			return fmt.Errorf("cluster: node %d has no name", i)
+		}
+		if n.Addr == "" {
+			return fmt.Errorf("cluster: node %q has no addr", n.Name)
+		}
+		if seen[n.Name] {
+			return fmt.Errorf("cluster: duplicate node name %q", n.Name)
+		}
+		seen[n.Name] = true
+	}
+	return nil
+}
+
+// Owners returns the node indexes that own shard s, primary first: the
+// round-robin window nodes[(s+r) mod N] for r in [0, Replication). With
+// Replication == len(Nodes), every node owns every shard.
+func (m *Manifest) Owners(s int) []int {
+	owners := make([]int, m.Replication)
+	for r := 0; r < m.Replication; r++ {
+		owners[r] = (s + r) % len(m.Nodes)
+	}
+	return owners
+}
+
+// ShardsOf returns the logical shards node index i owns under the manifest
+// placement, ascending.
+func (m *Manifest) ShardsOf(i int) []int {
+	var shards []int
+	for s := 0; s < m.Shards; s++ {
+		for _, o := range m.Owners(s) {
+			if o == i {
+				shards = append(shards, s)
+				break
+			}
+		}
+	}
+	return shards
+}
+
+// NodeIndex returns the index of the node named name, or -1.
+func (m *Manifest) NodeIndex(name string) int {
+	for i, n := range m.Nodes {
+		if n.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// LoadManifest reads and validates a manifest JSON file.
+func LoadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: reading manifest: %w", err)
+	}
+	return ParseManifest(data)
+}
+
+// ParseManifest parses and validates manifest JSON.
+func ParseManifest(data []byte) (*Manifest, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var m Manifest
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("cluster: parsing manifest: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// String summarizes the topology for logs.
+func (m *Manifest) String() string {
+	names := make([]string, len(m.Nodes))
+	for i, n := range m.Nodes {
+		names[i] = n.Name
+	}
+	return fmt.Sprintf("cluster{%d shards x%d replicas over %s}", m.Shards, m.Replication, strings.Join(names, " "))
+}

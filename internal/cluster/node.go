@@ -1,0 +1,495 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/server"
+)
+
+// ErrNotOwned is returned when a request addresses a shard the node does
+// not currently serve; the coordinator treats it as a failed leg and fails
+// over to another owner.
+var ErrNotOwned = errors.New("cluster: shard not served by this node")
+
+// NodeConfig configures a shard node.
+type NodeConfig struct {
+	// Name is the node's identity; it must match a manifest entry.
+	Name string
+	// Spec is the concrete method spec every shard index is built with.
+	// Composite specs (the router) are rejected — routing composes above
+	// the cluster, not inside a node.
+	Spec string
+	// ShardCount is the cluster's logical shard count (the ShardOf
+	// modulus); it must agree across all nodes and the coordinator.
+	ShardCount int
+	// Shards are the logical shards this node initially serves.
+	Shards []int
+	// IndexPath is the persistence base ("" = none): shard k persists at
+	// "<IndexPath>.node-shard-<k>" with the engine's epoch+tag header, so a
+	// restart restores unmutated shards instead of rebuilding.
+	IndexPath string
+	// VerifyWorkers is the node's total verification budget, divided
+	// across its shards (0 = GOMAXPROCS).
+	VerifyWorkers int
+}
+
+// nodeShard is one logical shard a node serves: the engine over its
+// re-homed sub-dataset plus the local<->global id mappings. global is
+// ascending — the initial partition re-homes in parent order and the
+// coordinator assigns fresh ids monotonically and serializes mutations — so
+// a shard's local-order stream maps to an ascending global-id stream.
+type nodeShard struct {
+	eng    *engine.Engine
+	global []graph.ID
+	g2l    map[graph.ID]graph.ID
+	// epoch is the cluster epoch of the last mutation applied to the
+	// shard; 0 since build. Guarded by Node.mu.
+	epoch uint64
+	// maxID is the largest global id ever homed to the shard, dead or
+	// alive; -1 when none. Fresh-id allocation state for the coordinator.
+	maxID int64
+}
+
+func (sh *nodeShard) toGlobal(local graph.IDSet) graph.IDSet {
+	out := make(graph.IDSet, len(local))
+	for i, id := range local {
+		out[i] = sh.global[id]
+	}
+	return out
+}
+
+// Node is one cluster member: a set of logical shards, each an independent
+// engine over the shard's re-homed sub-dataset (built by the same
+// engine.PartitionShard the in-process sharded engine partitions with), a
+// shared label dictionary, and the mutation/dump/load surface the
+// coordinator drives. All methods are safe for concurrent use: queries take
+// the read side, mutations and shard installs the write side.
+type Node struct {
+	mu     sync.RWMutex
+	cfg    NodeConfig
+	spec   string // canonical
+	src    *graph.Dataset
+	shards map[int]*nodeShard
+}
+
+// NewNode builds (or restores) the node's initial shards from its local
+// copy of the dataset.
+func NewNode(ctx context.Context, src *graph.Dataset, cfg NodeConfig) (*Node, error) {
+	if src == nil {
+		return nil, errors.New("cluster: nil dataset")
+	}
+	if cfg.ShardCount < 1 {
+		return nil, fmt.Errorf("cluster: shard count %d < 1", cfg.ShardCount)
+	}
+	if cfg.Spec == "" {
+		cfg.Spec = "grapes"
+	}
+	if cfg.VerifyWorkers <= 0 {
+		cfg.VerifyWorkers = runtime.GOMAXPROCS(0)
+	}
+	d, p, err := engine.ParseSpec(cfg.Spec)
+	if err != nil {
+		return nil, err
+	}
+	if d.OpenQuerier != nil {
+		return nil, fmt.Errorf("cluster: node requires a concrete indexing method, not composite %q", d.Name)
+	}
+	n := &Node{cfg: cfg, spec: p.Spec(), src: src, shards: make(map[int]*nodeShard, len(cfg.Shards))}
+	seen := make(map[int]bool, len(cfg.Shards))
+	for _, k := range cfg.Shards {
+		if k < 0 || k >= cfg.ShardCount {
+			return nil, fmt.Errorf("cluster: shard %d outside [0, %d)", k, cfg.ShardCount)
+		}
+		if seen[k] {
+			return nil, fmt.Errorf("cluster: duplicate shard %d", k)
+		}
+		seen[k] = true
+		sh, err := n.buildLocal(ctx, k)
+		if err != nil {
+			return nil, err
+		}
+		n.shards[k] = sh
+	}
+	return n, nil
+}
+
+// shardIndexPath is shard k's persistence path under the node's base.
+func (n *Node) shardIndexPath(k int) string {
+	return fmt.Sprintf("%s.node-shard-%d", n.cfg.IndexPath, k)
+}
+
+// perShardWorkers divides the node's verification budget across the shards
+// it serves, mirroring the in-process sharded engine.
+func (n *Node) perShardWorkers() int {
+	shards := len(n.cfg.Shards)
+	if shards == 0 {
+		shards = 1
+	}
+	w := n.cfg.VerifyWorkers / shards
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// buildLocal partitions shard k out of the node's local dataset copy and
+// builds (or, with persistence, restores) its engine.
+func (n *Node) buildLocal(ctx context.Context, k int) (*nodeShard, error) {
+	sub, global := engine.PartitionShard(n.src, n.cfg.ShardCount, k)
+	return n.openShard(ctx, k, sub, global)
+}
+
+// openShard opens the engine over an assembled sub-dataset.
+func (n *Node) openShard(ctx context.Context, k int, sub *graph.Dataset, global []graph.ID) (*nodeShard, error) {
+	opts := []engine.Option{
+		engine.WithSpec(n.cfg.Spec),
+		engine.WithVerifyWorkers(n.perShardWorkers()),
+	}
+	if n.cfg.IndexPath != "" {
+		opts = append(opts, engine.WithIndexPath(n.shardIndexPath(k)))
+	}
+	eng, err := engine.Open(ctx, sub, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: opening shard %d: %w", k, err)
+	}
+	sh := &nodeShard{eng: eng, global: global, g2l: make(map[graph.ID]graph.ID, len(global)), maxID: -1}
+	for local, gid := range global {
+		sh.g2l[gid] = graph.ID(local)
+		if int64(gid) > sh.maxID {
+			sh.maxID = int64(gid)
+		}
+	}
+	return sh, nil
+}
+
+// Name returns the node's identity.
+func (n *Node) Name() string { return n.cfg.Name }
+
+// Spec returns the canonical method spec the node indexes with.
+func (n *Node) Spec() string { return n.spec }
+
+// ResolveQuery resolves a wire graph into a query against the node's label
+// space. unknown reports a label no graph on this node carries — the
+// query's answer over this node's shards is then empty with no engine work.
+func (n *Node) ResolveQuery(gj server.GraphJSON) (q *graph.Graph, unknown bool, err error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return server.ToGraph(gj, &n.src.Dict)
+}
+
+// InternGraph converts a wire graph for insertion, interning labels the
+// node has never seen — a routed add may grow the label universe.
+func (n *Node) InternGraph(gj server.GraphJSON) (*graph.Graph, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return server.InternGraph(gj, &n.src.Dict)
+}
+
+// Shards returns the logical shards the node currently serves, ascending.
+func (n *Node) Shards() []int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]int, 0, len(n.shards))
+	for k := range n.shards {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Info reports the node's identity and per-shard serving state.
+func (n *Node) Info() InfoResponse {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	info := InfoResponse{
+		Name:        n.cfg.Name,
+		Spec:        n.spec,
+		ShardCount:  n.cfg.ShardCount,
+		MaxGlobalID: -1,
+	}
+	keys := make([]int, 0, len(n.shards))
+	for k := range n.shards {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		sh := n.shards[k]
+		info.Shards = append(info.Shards, ShardInfo{
+			Shard:      k,
+			Graphs:     sh.eng.Dataset().NumAlive(),
+			Epoch:      sh.epoch,
+			IndexBytes: sh.eng.Method().SizeBytes(),
+		})
+		if sh.maxID > info.MaxGlobalID {
+			info.MaxGlobalID = sh.maxID
+		}
+	}
+	return info
+}
+
+// Query fans one query across the requested shards (concurrently, bounded
+// by GOMAXPROCS) and returns per-shard results in global ids. A requested
+// shard the node does not serve fails the whole call with ErrNotOwned —
+// the coordinator's routing table was stale and it must fail over.
+func (n *Node) Query(ctx context.Context, shards []int, q *graph.Graph) ([]ShardResult, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	for _, k := range shards {
+		if _, ok := n.shards[k]; !ok {
+			return nil, fmt.Errorf("%w: shard %d on node %s", ErrNotOwned, k, n.cfg.Name)
+		}
+	}
+	results := make([]ShardResult, len(shards))
+	err := engine.ForEachBounded(ctx, len(shards), runtime.GOMAXPROCS(0), func(ctx context.Context, i int) error {
+		sh := n.shards[shards[i]]
+		r, err := sh.eng.Query(ctx, q)
+		if err != nil {
+			return err
+		}
+		results[i] = ShardResult{
+			Shard:      shards[i],
+			Epoch:      sh.epoch,
+			Candidates: sh.toGlobal(r.Candidates),
+			Answers:    sh.toGlobal(r.Answers),
+			FilterUs:   r.FilterTime.Microseconds(),
+			VerifyUs:   r.VerifyTime.Microseconds(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// Stream yields matching global graph ids across the requested shards in
+// ascending order, verifying lazily — the node-local half of the cluster's
+// streamed k-way merge. Ids <= after are skipped before verification, so a
+// coordinator resuming a failed-over stream pays no duplicate verify work.
+// A filtering failure or context cancellation is yielded once as a non-nil
+// error, then the sequence ends.
+func (n *Node) Stream(ctx context.Context, shards []int, q *graph.Graph, after graph.ID) iter.Seq2[graph.ID, error] {
+	return func(yield func(graph.ID, error) bool) {
+		// Held for the whole iteration, like Engine.Stream: a mutation
+		// cannot move a shard under a partially consumed stream.
+		n.mu.RLock()
+		defer n.mu.RUnlock()
+		for _, k := range shards {
+			if _, ok := n.shards[k]; !ok {
+				yield(0, fmt.Errorf("%w: shard %d on node %s", ErrNotOwned, k, n.cfg.Name))
+				return
+			}
+		}
+		type cursor struct {
+			sh    *nodeShard
+			plan  core.QueryPlan
+			cands graph.IDSet // shard-local, sorted
+			pos   int
+		}
+		cursors := make([]cursor, 0, len(shards))
+		for _, k := range shards {
+			sh := n.shards[k]
+			plan, err := core.NewPlan(ctx, sh.eng.Method(), sh.eng.Dataset(), q)
+			if err != nil {
+				yield(0, err)
+				return
+			}
+			cands := sh.eng.Dataset().FilterLive(plan.Candidates())
+			// Skip the resume prefix before any verification: global ids
+			// ascend with local ids, so the cutoff is a prefix.
+			pos := 0
+			for pos < len(cands) && sh.global[cands[pos]] <= after {
+				pos++
+			}
+			if pos < len(cands) {
+				cursors = append(cursors, cursor{sh: sh, plan: plan, cands: cands, pos: pos})
+			}
+		}
+		for {
+			best := -1
+			var bestID graph.ID
+			for ci := range cursors {
+				c := &cursors[ci]
+				if c.pos >= len(c.cands) {
+					continue
+				}
+				gid := c.sh.global[c.cands[c.pos]]
+				if best < 0 || gid < bestID {
+					best, bestID = ci, gid
+				}
+			}
+			if best < 0 {
+				return
+			}
+			if err := ctx.Err(); err != nil {
+				yield(0, err)
+				return
+			}
+			c := &cursors[best]
+			local := c.cands[c.pos]
+			c.pos++
+			if c.plan.Verify(local) && !yield(bestID, nil) {
+				return
+			}
+		}
+	}
+}
+
+// Add applies a coordinator-routed add: the graph joins shard
+// ShardOf(id, ShardCount) under the coordinator-assigned global id and the
+// shard index is maintained online. Re-delivery of an already-applied id
+// acks success without re-indexing, so coordinator retries are safe.
+func (n *Node) Add(ctx context.Context, id graph.ID, epoch uint64, g *graph.Graph) (MutateAck, error) {
+	k := engine.ShardOf(id, n.cfg.ShardCount)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	sh, ok := n.shards[k]
+	if !ok {
+		return MutateAck{}, fmt.Errorf("%w: shard %d on node %s", ErrNotOwned, k, n.cfg.Name)
+	}
+	if _, applied := sh.g2l[id]; !applied {
+		local, err := sh.eng.AddGraph(ctx, g)
+		if err != nil {
+			return MutateAck{}, err
+		}
+		if int(local) != len(sh.global) {
+			// AddGraph assigns dense local ids, so this cannot drift; guard
+			// the mapping invariant the stream merge depends on anyway.
+			return MutateAck{}, fmt.Errorf("cluster: shard %d local id %d != mapping length %d", k, local, len(sh.global))
+		}
+		sh.global = append(sh.global, id)
+		sh.g2l[id] = local
+		if int64(id) > sh.maxID {
+			sh.maxID = int64(id)
+		}
+	}
+	if epoch > sh.epoch {
+		sh.epoch = epoch
+	}
+	return MutateAck{Node: n.cfg.Name, Shard: k, Epoch: sh.epoch, Graphs: sh.eng.Dataset().NumAlive()}, nil
+}
+
+// Remove applies a coordinator-routed removal: the graph is tombstoned in
+// its shard and the shard index drops its postings. Removing an id the
+// node has already tombstoned acks success (idempotent retry); removing an
+// id never homed here returns engine.ErrNoSuchGraph.
+func (n *Node) Remove(ctx context.Context, id graph.ID, epoch uint64) (MutateAck, error) {
+	k := engine.ShardOf(id, n.cfg.ShardCount)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	sh, ok := n.shards[k]
+	if !ok {
+		return MutateAck{}, fmt.Errorf("%w: shard %d on node %s", ErrNotOwned, k, n.cfg.Name)
+	}
+	local, known := sh.g2l[id]
+	if !known {
+		return MutateAck{}, fmt.Errorf("cluster: removing graph %d: %w", id, engine.ErrNoSuchGraph)
+	}
+	if sh.eng.Dataset().Alive(local) {
+		if err := sh.eng.RemoveGraph(ctx, local); err != nil {
+			return MutateAck{}, err
+		}
+	}
+	if epoch > sh.epoch {
+		sh.epoch = epoch
+	}
+	return MutateAck{Node: n.cfg.Name, Shard: k, Epoch: sh.epoch, Graphs: sh.eng.Dataset().NumAlive()}, nil
+}
+
+// DumpGraph is one live graph of a shard dump, in ascending global-id order.
+type DumpGraph struct {
+	ID    graph.ID
+	Graph *graph.Graph
+}
+
+// Dump snapshots shard k for re-replication: its live graphs in ascending
+// global-id order, the shard's epoch, and the largest id ever homed to it.
+// The returned graphs are shared references — they are immutable once in a
+// dataset.
+func (n *Node) Dump(k int) ([]DumpGraph, uint64, int64, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	sh, ok := n.shards[k]
+	if !ok {
+		return nil, 0, 0, fmt.Errorf("%w: shard %d on node %s", ErrNotOwned, k, n.cfg.Name)
+	}
+	sub := sh.eng.Dataset()
+	out := make([]DumpGraph, 0, sub.NumAlive())
+	for local, gid := range sh.global {
+		if g := sub.Graph(graph.ID(local)); g != nil {
+			out = append(out, DumpGraph{ID: gid, Graph: g})
+		}
+	}
+	return out, sh.epoch, sh.maxID, nil
+}
+
+// Install builds shard k from dumped graphs (ascending global ids) and
+// installs it at the given epoch, replacing any prior instance — the
+// re-replication path. The build runs outside the node's lock; the swap is
+// atomic under it.
+func (n *Node) Install(ctx context.Context, k int, epoch uint64, maxID int64, graphs []DumpGraph) error {
+	if k < 0 || k >= n.cfg.ShardCount {
+		return fmt.Errorf("cluster: shard %d outside [0, %d)", k, n.cfg.ShardCount)
+	}
+	sub := graph.NewDataset(fmt.Sprintf("%s/shard-%d", n.src.Name, k))
+	sub.Dict = n.src.Dict
+	global := make([]graph.ID, 0, len(graphs))
+	var prev graph.ID = -1
+	for _, dg := range graphs {
+		if dg.ID <= prev {
+			return fmt.Errorf("cluster: shard %d dump not ascending (%d after %d)", k, dg.ID, prev)
+		}
+		if engine.ShardOf(dg.ID, n.cfg.ShardCount) != k {
+			return fmt.Errorf("cluster: graph %d does not hash to shard %d", dg.ID, k)
+		}
+		prev = dg.ID
+		global = append(global, dg.ID)
+		sub.Add(dg.Graph.ShallowWithID(0))
+	}
+	sh, err := n.openShard(ctx, k, sub, global)
+	if err != nil {
+		return err
+	}
+	sh.epoch = epoch
+	if maxID > sh.maxID {
+		sh.maxID = maxID
+	}
+	n.mu.Lock()
+	n.shards[k] = sh
+	n.mu.Unlock()
+	return nil
+}
+
+// LoadLocal builds shard k from the node's local dataset copy and serves
+// it — valid only for shards at epoch 0 (no mutations to miss). The
+// coordinator uses it to re-replicate a never-mutated shard without
+// streaming a dump.
+func (n *Node) LoadLocal(ctx context.Context, k int) error {
+	if k < 0 || k >= n.cfg.ShardCount {
+		return fmt.Errorf("cluster: shard %d outside [0, %d)", k, n.cfg.ShardCount)
+	}
+	sh, err := n.buildLocal(ctx, k)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.shards[k] = sh
+	n.mu.Unlock()
+	return nil
+}
+
+// Drop stops serving shard k, releasing its index.
+func (n *Node) Drop(k int) {
+	n.mu.Lock()
+	delete(n.shards, k)
+	n.mu.Unlock()
+}

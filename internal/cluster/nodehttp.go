@@ -1,0 +1,414 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/server"
+)
+
+// NodeServerConfig configures the HTTP layer over a Node.
+type NodeServerConfig struct {
+	// RequestTimeout bounds each request's engine work (default 30s;
+	// negative = unlimited).
+	RequestTimeout time.Duration
+	// Client performs outbound dump fetches for /node/load (default: a
+	// plain client with no overall timeout — the request context bounds it).
+	Client *http.Client
+}
+
+// NodeServer is the HTTP face of a shard node: the node protocol
+// (/node/query, /node/info, mutations, dump/load) plus the
+// liveness/readiness pair cluster membership probes.
+type NodeServer struct {
+	node     *Node
+	cfg      NodeServerConfig
+	mux      *http.ServeMux
+	draining atomic.Bool
+}
+
+// NewNodeServer wraps a built node.
+func NewNodeServer(n *Node, cfg NodeServerConfig) *NodeServer {
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	s := &NodeServer{node: n, cfg: cfg}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /node/info", s.handleInfo)
+	mux.HandleFunc("POST /node/query", s.handleQuery)
+	mux.HandleFunc("POST /node/graphs", s.handleAdd)
+	mux.HandleFunc("DELETE /node/graphs/{id}", s.handleRemove)
+	mux.HandleFunc("GET /node/dump", s.handleDump)
+	mux.HandleFunc("POST /node/load", s.handleLoad)
+	mux.HandleFunc("DELETE /node/shards/{shard}", s.handleDropShard)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the node's HTTP handler.
+func (s *NodeServer) Handler() http.Handler { return s.mux }
+
+// Node returns the wrapped node, for in-process use and tests.
+func (s *NodeServer) Node() *Node { return s.node }
+
+// Drain flips readiness off so the coordinator routes away, while requests
+// in flight complete.
+func (s *NodeServer) Drain() { s.draining.Store(true) }
+
+func (s *NodeServer) fail(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(server.ErrorResponse{Error: err.Error()})
+}
+
+func (s *NodeServer) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// statusFor maps node errors onto the statuses the coordinator's failover
+// logic distinguishes: a shard this node does not serve is 404 (stale
+// routing — fail over), engine.ErrNoSuchGraph 404, context ends 504.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrNotOwned), errors.Is(err, engine.ErrNoSuchGraph):
+		return http.StatusNotFound
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// handleHealthz is pure liveness: the process is up.
+func (s *NodeServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: 200 only when the node serves traffic. The
+// node is constructed before the server, so readiness here means "not
+// draining" — sqnode answers 503 from a bootstrap handler while shards are
+// still building.
+func (s *NodeServer) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		s.fail(w, http.StatusServiceUnavailable, errors.New("draining"))
+		return
+	}
+	s.writeJSON(w, map[string]string{"status": "ready"})
+}
+
+func (s *NodeServer) handleInfo(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, s.node.Info())
+}
+
+// parseShards parses the ?shards=1,2,5 selector.
+func parseShards(v string) ([]int, error) {
+	if v == "" {
+		return nil, errors.New("missing shards parameter")
+	}
+	parts := strings.Split(v, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		k, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad shard %q", p)
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+// handleQuery serves POST /node/query?shards=...: body is one GraphJSON;
+// ?stream=1 switches to NDJSON global answer ids merged ascending across
+// the requested shards, with ?after=N resuming past a failed-over stream's
+// frontier.
+func (s *NodeServer) handleQuery(w http.ResponseWriter, r *http.Request) {
+	shards, err := parseShards(r.URL.Query().Get("shards"))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	var gj server.GraphJSON
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 32<<20)).Decode(&gj); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+	q, unknown, err := s.node.ResolveQuery(gj)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if r.URL.Query().Get("stream") != "" {
+		var after graph.ID = -1
+		if a := r.URL.Query().Get("after"); a != "" {
+			v, err := strconv.ParseInt(a, 10, 32)
+			if err != nil {
+				s.fail(w, http.StatusBadRequest, fmt.Errorf("bad after %q", a))
+				return
+			}
+			after = graph.ID(v)
+		}
+		s.streamQuery(ctx, w, shards, q, unknown, after)
+		return
+	}
+	if unknown {
+		// No graph on this node carries the label: every requested shard
+		// answers empty at its current epoch.
+		resp := ShardQueryResponse{Node: s.node.Name()}
+		info := s.node.Info()
+		epochs := make(map[int]uint64, len(info.Shards))
+		owned := make(map[int]bool, len(info.Shards))
+		for _, si := range info.Shards {
+			epochs[si.Shard] = si.Epoch
+			owned[si.Shard] = true
+		}
+		for _, k := range shards {
+			if !owned[k] {
+				s.fail(w, http.StatusNotFound, fmt.Errorf("%w: shard %d on node %s", ErrNotOwned, k, s.node.Name()))
+				return
+			}
+			resp.Results = append(resp.Results, ShardResult{
+				Shard: k, Epoch: epochs[k],
+				Candidates: graph.IDSet{}, Answers: graph.IDSet{},
+			})
+		}
+		s.writeJSON(w, resp)
+		return
+	}
+	results, err := s.node.Query(ctx, shards, q)
+	if err != nil {
+		s.fail(w, statusFor(err), err)
+		return
+	}
+	for i := range results {
+		if results[i].Candidates == nil {
+			results[i].Candidates = graph.IDSet{}
+		}
+		if results[i].Answers == nil {
+			results[i].Answers = graph.IDSet{}
+		}
+	}
+	s.writeJSON(w, ShardQueryResponse{Node: s.node.Name(), Results: results})
+}
+
+// streamQuery writes NDJSON answer lines, flushing per line. The response
+// is bounded by a write deadline for the same reason the single-process
+// server's is: the stream holds the node's read lock, and a client that
+// stops reading must not park the handler in a TCP write while a mutation
+// waits.
+func (s *NodeServer) streamQuery(ctx context.Context, w http.ResponseWriter, shards []int, q *graph.Graph, unknown bool, after graph.ID) {
+	if s.cfg.RequestTimeout > 0 {
+		rc := http.NewResponseController(w)
+		_ = rc.SetWriteDeadline(time.Now().Add(s.cfg.RequestTimeout))
+		defer rc.SetWriteDeadline(time.Time{})
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	n := 0
+	if !unknown {
+		for id, err := range s.node.Stream(ctx, shards, q, after) {
+			if err != nil {
+				enc.Encode(server.StreamLine{Error: err.Error()})
+				if fl != nil {
+					fl.Flush()
+				}
+				return
+			}
+			id := id
+			if enc.Encode(server.StreamLine{ID: &id}) != nil {
+				return
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+			n++
+		}
+	}
+	enc.Encode(server.StreamLine{Done: true, Matches: n})
+	if fl != nil {
+		fl.Flush()
+	}
+}
+
+// handleAdd serves POST /node/graphs: a coordinator-routed add.
+func (s *NodeServer) handleAdd(w http.ResponseWriter, r *http.Request) {
+	var req AddRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 32<<20)).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	g, err := s.node.InternGraph(req.Graph)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	ack, err := s.node.Add(r.Context(), req.ID, req.Epoch, g)
+	if err != nil {
+		s.fail(w, statusFor(err), err)
+		return
+	}
+	s.writeJSON(w, ack)
+}
+
+// handleRemove serves DELETE /node/graphs/{id}?epoch=E.
+func (s *NodeServer) handleRemove(w http.ResponseWriter, r *http.Request) {
+	id64, err := strconv.ParseInt(r.PathValue("id"), 10, 32)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad graph id %q", r.PathValue("id")))
+		return
+	}
+	epoch, err := strconv.ParseUint(r.URL.Query().Get("epoch"), 10, 64)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad epoch %q", r.URL.Query().Get("epoch")))
+		return
+	}
+	ack, err := s.node.Remove(r.Context(), graph.ID(id64), epoch)
+	if err != nil {
+		s.fail(w, statusFor(err), err)
+		return
+	}
+	s.writeJSON(w, ack)
+}
+
+// handleDump serves GET /node/dump?shard=k: the shard's live graphs as
+// NDJSON DumpLines in ascending global-id order, terminated by a Done line
+// carrying the shard epoch and max homed id.
+func (s *NodeServer) handleDump(w http.ResponseWriter, r *http.Request) {
+	k, err := strconv.Atoi(r.URL.Query().Get("shard"))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad shard %q", r.URL.Query().Get("shard")))
+		return
+	}
+	graphs, epoch, maxID, err := s.node.Dump(k)
+	if err != nil {
+		s.fail(w, statusFor(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	dict := &s.node.src.Dict
+	s.node.mu.RLock()
+	defer s.node.mu.RUnlock()
+	for _, dg := range graphs {
+		gj := server.GraphToJSON(dg.Graph, dict)
+		if enc.Encode(DumpLine{ID: dg.ID, Graph: &gj}) != nil {
+			return
+		}
+	}
+	enc.Encode(DumpLine{Done: true, Epoch: epoch, MaxID: maxID})
+}
+
+// handleLoad serves POST /node/load: install a shard, either rebuilt from
+// the node's local dataset copy (From empty, epoch-0 shards only) or
+// streamed from the owner at From.
+func (s *NodeServer) handleLoad(w http.ResponseWriter, r *http.Request) {
+	var req LoadRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if req.From == "" {
+		if req.Epoch != 0 {
+			s.fail(w, http.StatusBadRequest,
+				fmt.Errorf("shard %d is at epoch %d; a local rebuild would miss its mutations", req.Shard, req.Epoch))
+			return
+		}
+		if err := s.node.LoadLocal(r.Context(), req.Shard); err != nil {
+			s.fail(w, statusFor(err), err)
+			return
+		}
+	} else if err := s.loadFrom(r, req); err != nil {
+		s.fail(w, statusFor(err), err)
+		return
+	}
+	info := s.node.Info()
+	for _, si := range info.Shards {
+		if si.Shard == req.Shard {
+			s.writeJSON(w, MutateAck{Node: s.node.Name(), Shard: si.Shard, Epoch: si.Epoch, Graphs: si.Graphs})
+			return
+		}
+	}
+	s.fail(w, http.StatusInternalServerError, fmt.Errorf("shard %d missing after load", req.Shard))
+}
+
+// loadFrom fetches a shard dump from a peer and installs it.
+func (s *NodeServer) loadFrom(r *http.Request, req LoadRequest) error {
+	url := fmt.Sprintf("%s/node/dump?shard=%d", strings.TrimSuffix(req.From, "/"), req.Shard)
+	httpReq, err := http.NewRequestWithContext(r.Context(), http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := s.cfg.Client.Do(httpReq)
+	if err != nil {
+		return fmt.Errorf("fetching dump from %s: %w", req.From, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("dump from %s: %s", req.From, resp.Status)
+	}
+	var graphs []DumpGraph
+	var epoch uint64
+	maxID := int64(-1)
+	done := false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 32<<20)
+	for sc.Scan() {
+		var line DumpLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return fmt.Errorf("decoding dump line: %w", err)
+		}
+		if line.Done {
+			epoch, maxID, done = line.Epoch, line.MaxID, true
+			break
+		}
+		if line.Graph == nil {
+			return errors.New("dump line missing graph")
+		}
+		g, err := s.node.InternGraph(*line.Graph)
+		if err != nil {
+			return err
+		}
+		graphs = append(graphs, DumpGraph{ID: line.ID, Graph: g})
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("reading dump: %w", err)
+	}
+	if !done {
+		return errors.New("dump ended without done marker — source died mid-dump")
+	}
+	return s.node.Install(r.Context(), req.Shard, epoch, maxID, graphs)
+}
+
+// handleDropShard serves DELETE /node/shards/{shard}.
+func (s *NodeServer) handleDropShard(w http.ResponseWriter, r *http.Request) {
+	k, err := strconv.Atoi(r.PathValue("shard"))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad shard %q", r.PathValue("shard")))
+		return
+	}
+	s.node.Drop(k)
+	s.writeJSON(w, map[string]string{"status": "dropped"})
+}

@@ -246,19 +246,36 @@ func OpenSharded(ctx context.Context, ds *graph.Dataset, shards int, opts ...Opt
 func partition(ds *graph.Dataset, n int) []*shard {
 	shards := make([]*shard, n)
 	for i := range shards {
-		sub := graph.NewDataset(fmt.Sprintf("%s/shard-%d", ds.Name, i))
-		sub.Dict = ds.Dict
-		shards[i] = &shard{sub: sub}
-	}
-	for _, g := range ds.Graphs {
-		sh := shards[ShardOf(g.ID(), n)]
-		sh.global = append(sh.global, g.ID())
-		local := sh.sub.Add(g.ShallowWithID(0)) // Add assigns the shard-local id
-		if !ds.Alive(g.ID()) {
-			sh.sub.Remove(local)
-		}
+		sub, global := PartitionShard(ds, n, i)
+		shards[i] = &shard{sub: sub, global: global}
 	}
 	return shards
+}
+
+// PartitionShard extracts shard i of an n-way hash partition of ds: a
+// sub-dataset of shallow re-homed graphs (sharing the parent's label
+// dictionary) plus the shard-local -> parent id mapping, ascending. A graph
+// the parent has tombstoned is re-homed and immediately tombstoned in the
+// sub-dataset, so the mapping stays positional and a removed graph can
+// never resurface from a partition built after its removal. The in-process
+// Sharded engine and the multi-node cluster tier partition through this one
+// function, so a cluster node owning shard i indexes exactly the graphs the
+// single-process engine's shard i does.
+func PartitionShard(ds *graph.Dataset, n, i int) (*graph.Dataset, []graph.ID) {
+	sub := graph.NewDataset(fmt.Sprintf("%s/shard-%d", ds.Name, i))
+	sub.Dict = ds.Dict
+	var global []graph.ID
+	for _, g := range ds.Graphs {
+		if ShardOf(g.ID(), n) != i {
+			continue
+		}
+		global = append(global, g.ID())
+		local := sub.Add(g.ShallowWithID(0)) // Add assigns the shard-local id
+		if !ds.Alive(g.ID()) {
+			sub.Remove(local)
+		}
+	}
+	return sub, global
 }
 
 // manifest renders the sharded-index manifest: a short text file binding

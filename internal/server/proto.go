@@ -39,12 +39,12 @@ func GraphToJSON(g *graph.Graph, dict *graph.Dictionary) GraphJSON {
 	return gj
 }
 
-// toGraph converts a wire graph into a query against dict's label space.
+// ToGraph converts a wire graph into a query against dict's label space.
 // unknown reports a vertex label absent from the dictionary: no dataset
 // graph can then contain the query, so the caller short-circuits to an
 // empty result instead of interning a new id (the dictionary is shared
 // across concurrent requests and must not be mutated).
-func toGraph(gj GraphJSON, dict *graph.Dictionary) (q *graph.Graph, unknown bool, err error) {
+func ToGraph(gj GraphJSON, dict *graph.Dictionary) (q *graph.Graph, unknown bool, err error) {
 	if len(gj.Vertices) == 0 {
 		return nil, false, fmt.Errorf("query has no vertices")
 	}
@@ -69,11 +69,11 @@ func toGraph(gj GraphJSON, dict *graph.Dictionary) (q *graph.Graph, unknown bool
 	return g, false, nil
 }
 
-// toGraphIntern converts a wire graph for insertion: unlike toGraph, a
+// InternGraph converts a wire graph for insertion: unlike ToGraph, a
 // label the dictionary has never seen is interned rather than reported —
 // an added graph is allowed to grow the label universe. The caller must
 // hold the server's dataset write lock.
-func toGraphIntern(gj GraphJSON, dict *graph.Dictionary) (*graph.Graph, error) {
+func InternGraph(gj GraphJSON, dict *graph.Dictionary) (*graph.Graph, error) {
 	if len(gj.Vertices) == 0 {
 		return nil, fmt.Errorf("graph has no vertices")
 	}
@@ -116,6 +116,12 @@ type QueryResponse struct {
 	FilterUs int64  `json:"filter_us"`
 	VerifyUs int64  `json:"verify_us"`
 	TotalUs  int64  `json:"total_us"`
+	// Partial marks a degraded cluster answer: one or more logical shards
+	// (listed in FailedShards) had no reachable owner, so their graphs are
+	// absent from Candidates and Answers. A single-process server never
+	// sets it — an answer is complete or the request fails.
+	Partial      bool  `json:"partial,omitempty"`
+	FailedShards []int `json:"failed_shards,omitempty"`
 }
 
 func queryResponse(res *core.QueryResult) QueryResponse {
@@ -160,11 +166,16 @@ type BatchResponse struct {
 
 // StreamLine is one NDJSON line of a streaming /query response: an answer
 // id, a terminal error, or the terminal done marker with the match count.
+// On a cluster coordinator the done line may be marked Partial with the
+// shards that lost every owner mid-stream; their answers beyond the merge
+// frontier are missing.
 type StreamLine struct {
-	ID      *graph.ID `json:"id,omitempty"`
-	Error   string    `json:"error,omitempty"`
-	Done    bool      `json:"done,omitempty"`
-	Matches int       `json:"matches,omitempty"`
+	ID           *graph.ID `json:"id,omitempty"`
+	Error        string    `json:"error,omitempty"`
+	Done         bool      `json:"done,omitempty"`
+	Matches      int       `json:"matches,omitempty"`
+	Partial      bool      `json:"partial,omitempty"`
+	FailedShards []int     `json:"failed_shards,omitempty"`
 }
 
 // MethodJSON is one registry entry in the /methods listing.

@@ -1,0 +1,131 @@
+package server
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"net/http"
+	"time"
+)
+
+// RetryPolicy shapes RetryClient's backoff: attempt n waits
+// BaseDelay<<n, capped at MaxDelay, with the upper half jittered so a
+// burst of failing clients does not reconverge on the server in lockstep.
+type RetryPolicy struct {
+	// MaxAttempts is the total tries, first included (default 4).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (default 100ms).
+	BaseDelay time.Duration
+	// MaxDelay caps a single wait (default 2s).
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	return p
+}
+
+// delay returns the jittered wait before retry attempt (0-based retry
+// count): full backoff in [d/2, d] rather than exactly d.
+func (p RetryPolicy) delay(attempt int) time.Duration {
+	d := p.BaseDelay << attempt
+	if d > p.MaxDelay || d <= 0 {
+		d = p.MaxDelay
+	}
+	half := int64(d) / 2
+	return time.Duration(half + rand.Int63n(half+1))
+}
+
+// RetryClient retries the transient failures a serving fleet emits by
+// design: 429 (admission queue full) and 503 (draining, or a cluster shard
+// momentarily ownerless) mean "try again shortly", and a refused connection
+// means the process is restarting. Responses the server actually executed
+// are never retried, so non-idempotent mutations stay safe: a transport
+// error after the request may have reached the server only retries when the
+// failure was at dial time (the connection never opened).
+type RetryClient struct {
+	// Client performs the attempts (default http.DefaultClient).
+	Client *http.Client
+	Policy RetryPolicy
+	// OnRetry, when set, observes each retry: the attempt number just
+	// failed (1-based), the cause, and the coming wait.
+	OnRetry func(attempt int, cause error, wait time.Duration)
+}
+
+// retryableStatus reports a response the server rejected without executing.
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// isDialError reports a failure to open the connection at all — the one
+// transport error where the server provably never saw the request.
+func isDialError(err error) bool {
+	var oe *net.OpError
+	return errors.As(err, &oe) && oe.Op == "dial"
+}
+
+// Do performs req, retrying per the policy. The request body must be
+// replayable (req.GetBody set, which http.NewRequest arranges for
+// bytes.Reader and friends) for a request with a body to retry.
+func (rc *RetryClient) Do(req *http.Request) (*http.Response, error) {
+	client := rc.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	policy := rc.Policy.withDefaults()
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 && req.Body != nil {
+			body, err := req.GetBody()
+			if err != nil {
+				return nil, err
+			}
+			req.Body = body
+		}
+		resp, err := client.Do(req)
+		last := attempt+1 >= policy.MaxAttempts
+		replayable := req.Body == nil || req.GetBody != nil
+		var cause error
+		if err == nil {
+			if !retryableStatus(resp.StatusCode) || last || !replayable {
+				// Exhausted retries hand the caller the server's final
+				// word (the 429/503 response), not a synthetic error.
+				return resp, nil
+			}
+			cause = errors.New(resp.Status)
+			resp.Body.Close()
+		} else {
+			// GET is idempotent, so any transport failure retries; other
+			// methods only when the connection never opened.
+			if last || !replayable || !(isDialError(err) || req.Method == http.MethodGet) {
+				return nil, err
+			}
+			cause = err
+		}
+		wait := policy.delay(attempt)
+		if rc.OnRetry != nil {
+			rc.OnRetry(attempt+1, cause, wait)
+		}
+		select {
+		case <-time.After(wait):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+}
+
+// Get issues a retried GET.
+func (rc *RetryClient) Get(url string) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return rc.Do(req)
+}

@@ -1,0 +1,147 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fastPolicy keeps test backoff in the microseconds.
+var fastPolicy = RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond}
+
+func TestRetryClientRetriesAdmissionRejections(t *testing.T) {
+	for _, code := range []int{http.StatusTooManyRequests, http.StatusServiceUnavailable} {
+		var calls atomic.Int64
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if calls.Add(1) <= 2 {
+				w.WriteHeader(code)
+				return
+			}
+			w.Write([]byte("ok"))
+		}))
+		defer ts.Close()
+
+		retries := 0
+		rc := &RetryClient{Policy: fastPolicy, OnRetry: func(int, error, time.Duration) { retries++ }}
+		resp, err := rc.Get(ts.URL)
+		if err != nil {
+			t.Fatalf("status %d: %v", code, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || string(body) != "ok" {
+			t.Errorf("status %d: final response %d %q, want 200 ok", code, resp.StatusCode, body)
+		}
+		if calls.Load() != 3 || retries != 2 {
+			t.Errorf("status %d: %d calls with %d retries, want 3 and 2", code, calls.Load(), retries)
+		}
+	}
+}
+
+func TestRetryClientExhaustionReturnsFinalResponse(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	retries := 0
+	rc := &RetryClient{Policy: fastPolicy, OnRetry: func(int, error, time.Duration) { retries++ }}
+	resp, err := rc.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("exhausted retries should return the response, got error %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("final status %d, want 503", resp.StatusCode)
+	}
+	if retries != fastPolicy.MaxAttempts-1 {
+		t.Errorf("%d retries, want %d", retries, fastPolicy.MaxAttempts-1)
+	}
+}
+
+func TestRetryClientRetriesRefusedConnection(t *testing.T) {
+	// A listener grabbed and closed gives an address that refuses dials.
+	ts := httptest.NewServer(http.NewServeMux())
+	addr := ts.URL
+	ts.Close()
+
+	retries := 0
+	rc := &RetryClient{Policy: fastPolicy, OnRetry: func(int, error, time.Duration) { retries++ }}
+	if _, err := rc.Get(addr); err == nil {
+		t.Fatalf("dial to closed port succeeded")
+	}
+	if retries != fastPolicy.MaxAttempts-1 {
+		t.Errorf("refused dial retried %d times, want %d", retries, fastPolicy.MaxAttempts-1)
+	}
+
+	// Non-GET requests retry dial failures too: the connection never
+	// opened, so the server provably did not execute anything.
+	retries = 0
+	req, _ := http.NewRequest(http.MethodDelete, addr+"/graphs/1", nil)
+	if _, err := rc.Do(req); err == nil {
+		t.Fatalf("dial to closed port succeeded")
+	}
+	if retries != fastPolicy.MaxAttempts-1 {
+		t.Errorf("refused DELETE retried %d times, want %d", retries, fastPolicy.MaxAttempts-1)
+	}
+}
+
+func TestRetryClientDoesNotRetryExecutedFailures(t *testing.T) {
+	// A 500 means the server ran the request and failed; replaying a
+	// mutation could double-apply it.
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	rc := &RetryClient{Policy: fastPolicy}
+	req, _ := http.NewRequest(http.MethodPost, ts.URL, bytes.NewReader([]byte(`{"g":1}`)))
+	resp, err := rc.Do(req)
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("status %d, want 500", resp.StatusCode)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("500 POST attempted %d times, want exactly 1", calls.Load())
+	}
+}
+
+func TestRetryClientReplaysBody(t *testing.T) {
+	// Each 503 retry must re-send the full body, not a drained reader.
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		if string(body) != `{"vertices":["a"]}` {
+			t.Errorf("attempt %d saw body %q", calls.Load()+1, body)
+		}
+		if calls.Add(1) == 1 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	rc := &RetryClient{Policy: fastPolicy}
+	req, _ := http.NewRequest(http.MethodPost, ts.URL, bytes.NewReader([]byte(`{"vertices":["a"]}`)))
+	resp, err := rc.Do(req)
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status %d, want 200 after one retry", resp.StatusCode)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("%d attempts, want 2", calls.Load())
+	}
+}

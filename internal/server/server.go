@@ -122,6 +122,7 @@ func New(q engine.Querier, cfg Config) *Server {
 	mux.HandleFunc("GET /methods", s.handleMethods)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux = mux
 	return s
 }
@@ -133,7 +134,7 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // tests.
 func (s *Server) Engine() *CachedEngine { return s.eng }
 
-// Drain puts the server into drain mode: /healthz flips to 503 so load
+// Drain puts the server into drain mode: /readyz flips to 503 so load
 // balancers stop routing here and new query work is rejected, while
 // requests already admitted run to completion. Call it before
 // http.Server.Shutdown, which then waits for the in-flight handlers.
@@ -270,7 +271,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.dsMu.RLock()
-	q, unknown, err := toGraph(gj, &s.eng.Dataset().Dict)
+	q, unknown, err := ToGraph(gj, &s.eng.Dataset().Dict)
 	s.dsMu.RUnlock()
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
@@ -374,7 +375,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var validIdx []int
 	s.dsMu.RLock()
 	for i, gj := range req.Queries {
-		q, unknown, err := toGraph(gj, &s.eng.Dataset().Dict)
+		q, unknown, err := ToGraph(gj, &s.eng.Dataset().Dict)
 		switch {
 		case err != nil:
 			items[i] = BatchItem{Error: err.Error()}
@@ -451,7 +452,7 @@ func (s *Server) handleAddGraph(w http.ResponseWriter, r *http.Request) {
 	// outside it (the engine's own lock serializes index maintenance
 	// against queries), so a slow rebuild never blocks request decoding.
 	s.dsMu.Lock()
-	g, err := toGraphIntern(gj, &s.eng.Dataset().Dict)
+	g, err := InternGraph(gj, &s.eng.Dataset().Dict)
 	s.dsMu.Unlock()
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
@@ -570,13 +571,23 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// handleHealthz serves GET /healthz: 200 while serving, 503 once draining.
+// handleHealthz serves GET /healthz: pure liveness. It answers 200 as long
+// as the process runs — draining included, so an orchestrator does not kill
+// a process that is still finishing in-flight work. Routability is /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// handleReadyz serves GET /readyz: readiness to take traffic. 503 while
+// draining (and, via the bootstrap handler the commands install before the
+// index build finishes, during startup); load balancers route on this, not
+// on liveness.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if s.draining.Load() {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusServiceUnavailable)
 		json.NewEncoder(w).Encode(map[string]string{"status": "draining"})
 		return
 	}
-	writeJSON(w, map[string]string{"status": "ok"})
+	writeJSON(w, map[string]string{"status": "ready"})
 }

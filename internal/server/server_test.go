@@ -344,24 +344,32 @@ func TestServeAdmissionControl(t *testing.T) {
 	}
 }
 
-// TestServeMethodsHealthzDrain: /methods lists the registry; /healthz
-// flips to 503 on Drain and query work is refused while in-flight
-// requests still complete (exercised implicitly by Shutdown elsewhere).
+// TestServeMethodsHealthzDrain: /methods lists the registry; /healthz is
+// pure liveness (200 even while draining), /readyz flips to 503 on Drain,
+// and query work is refused while in-flight requests still complete
+// (exercised implicitly by Shutdown elsewhere).
 func TestServeMethodsHealthzDrain(t *testing.T) {
 	ds, srv, ts := newTestService(t, Config{})
 	methods := decodeBody[[]MethodJSON](t, mustGet(t, ts.URL+"/methods"))
 	if len(methods) != len(engine.Descriptors()) {
 		t.Errorf("/methods lists %d methods, registry has %d", len(methods), len(engine.Descriptors()))
 	}
-	if resp := mustGet(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusOK {
-		t.Errorf("healthz: %s", resp.Status)
-	} else {
-		resp.Body.Close()
+	for _, ep := range []string{"/healthz", "/readyz"} {
+		if resp := mustGet(t, ts.URL+ep); resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: %s", ep, resp.Status)
+		} else {
+			resp.Body.Close()
+		}
 	}
 
 	srv.Drain()
-	if resp := mustGet(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusServiceUnavailable {
-		t.Errorf("draining healthz: %s, want 503", resp.Status)
+	if resp := mustGet(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusOK {
+		t.Errorf("draining healthz: %s, want 200 (liveness is not readiness)", resp.Status)
+	} else {
+		resp.Body.Close()
+	}
+	if resp := mustGet(t, ts.URL+"/readyz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining readyz: %s, want 503", resp.Status)
 	} else {
 		resp.Body.Close()
 	}

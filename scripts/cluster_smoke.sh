@@ -1,0 +1,124 @@
+#!/usr/bin/env bash
+# End-to-end cluster smoke: a coordinator and three shard nodes on a
+# generated micro-dataset. Runs a mixed workload (queries + a removal),
+# kills a node and asserts the service answers with partial-result
+# flagging (never silently), then restarts the node and asserts full
+# answers come back.
+#
+# Usage: scripts/cluster_smoke.sh [workdir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+WORK="${1:-$(mktemp -d)}"
+mkdir -p "$WORK"
+COORD=127.0.0.1:7600
+N0=127.0.0.1:7601
+N1=127.0.0.1:7602
+N2=127.0.0.1:7603
+
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+wait_ready() { # url timeout_s
+  local url=$1 deadline=$(( $(date +%s) + $2 ))
+  until python3 -c "import urllib.request,sys
+try: sys.exit(0 if urllib.request.urlopen('$url', timeout=1).status==200 else 1)
+except Exception: sys.exit(1)"; do
+    if [ "$(date +%s)" -ge "$deadline" ]; then
+      echo "timeout waiting for $url" >&2
+      return 1
+    fi
+    sleep 0.3
+  done
+}
+
+echo "== build"
+go build -o "$WORK/graphgen" ./cmd/graphgen
+go build -o "$WORK/gquery" ./cmd/gquery
+go build -o "$WORK/sqnode" ./cmd/sqnode
+go build -o "$WORK/sqserve" ./cmd/sqserve
+
+echo "== generate micro-dataset"
+"$WORK/graphgen" -graphs 40 -nodes 20 -density 0.1 -labels 5 -seed 7 \
+  -o "$WORK/data.gfd" -queries 6 -qsize 4 -qo "$WORK/queries.gfd"
+
+cat > "$WORK/manifest.json" <<EOF
+{
+  "shards": 4,
+  "replication": 1,
+  "nodes": [
+    {"name": "n0", "addr": "http://$N0"},
+    {"name": "n1", "addr": "http://$N1"},
+    {"name": "n2", "addr": "http://$N2"}
+  ]
+}
+EOF
+
+start_node() { # name addr — leaves the pid in LAST_PID
+  "$WORK/sqnode" -data "$WORK/data.gfd" -manifest "$WORK/manifest.json" \
+    -name "$1" -method grapes -addr "${2#127.0.0.1}" >>"$WORK/$1.log" 2>&1 &
+  LAST_PID=$!
+  PIDS+=("$LAST_PID")
+}
+
+echo "== start nodes"
+start_node n0 "$N0"
+start_node n1 "$N1"
+N1_PID=$LAST_PID
+start_node n2 "$N2"
+wait_ready "http://$N0/readyz" 60
+wait_ready "http://$N1/readyz" 60
+wait_ready "http://$N2/readyz" 60
+
+echo "== start coordinator"
+"$WORK/sqserve" -cluster "$WORK/manifest.json" -addr "${COORD#127.0.0.1}" \
+  -probe-interval 300ms >"$WORK/coord.log" 2>&1 &
+PIDS+=($!)
+wait_ready "http://$COORD/readyz" 60
+
+echo "== mixed workload on the healthy cluster (queries + a removal)"
+OUT=$("$WORK/gquery" -remote "http://$COORD" -queries "$WORK/queries.gfd" -remove 3)
+echo "$OUT"
+if echo "$OUT" | grep -q "partial"; then
+  echo "FAIL: healthy cluster answered partially" >&2
+  exit 1
+fi
+
+echo "== kill n1 and require flagged partial answers"
+kill -9 "$N1_PID"
+OUT=$("$WORK/gquery" -remote "http://$COORD" -queries "$WORK/queries.gfd")
+echo "$OUT"
+if ! echo "$OUT" | grep -q "partial"; then
+  echo "FAIL: node dead but no partial flag surfaced — a silent truncation" >&2
+  exit 1
+fi
+
+echo "== restart n1 and require full answers again"
+start_node n1 "$N1"
+N1_PID=$LAST_PID
+wait_ready "http://$N1/readyz" 60
+# Let the coordinator's membership probe see the node return.
+deadline=$(( $(date +%s) + 30 ))
+until python3 -c "import json,urllib.request,sys
+st = json.load(urllib.request.urlopen('http://$COORD/cluster', timeout=2))
+sys.exit(0 if all(n['up'] and not n.get('stale') for n in st['nodes']) else 1)"; do
+  if [ "$(date +%s)" -ge "$deadline" ]; then
+    echo "FAIL: coordinator never saw n1 recover" >&2
+    exit 1
+  fi
+  sleep 0.5
+done
+OUT=$("$WORK/gquery" -remote "http://$COORD" -queries "$WORK/queries.gfd")
+echo "$OUT"
+if echo "$OUT" | grep -q "partial"; then
+  echo "FAIL: cluster still partial after the node recovered" >&2
+  exit 1
+fi
+
+echo "== cluster smoke PASS"
