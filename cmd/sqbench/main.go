@@ -10,6 +10,7 @@
 //	sqbench -exp fig2 -shards 4
 //	sqbench -exp fig2 -scale bench -json results.json
 //	sqbench -exp fig2 -scale bench -compare BENCH_6.json
+//	sqbench -compare BENCH_6.json BENCH_7.json
 //	sqbench -list
 //	sqbench -describe > docs/METHODS.md
 //
@@ -75,10 +76,45 @@ func main() {
 		}
 		return
 	}
+	if *comparePath != "" && flag.NArg() == 1 {
+		// Two-document mode: `sqbench -compare BENCH_6.json BENCH_7.json`
+		// gates a committed report directly against a baseline, without
+		// running a sweep.
+		if err := compareFiles(*comparePath, flag.Arg(0)); err != nil {
+			fmt.Fprintln(os.Stderr, "sqbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*exp, *scaleName, *methodsFlag, *out, *csvPath, *jsonPath, *comparePath, *quiet, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "sqbench:", err)
 		os.Exit(1)
 	}
+}
+
+// compareFiles runs the regression gate between two committed -json
+// documents and prints first-answer improvements on streaming cells; a
+// regression exits non-zero exactly like the fresh-run compare.
+func compareFiles(basePath, curPath string) error {
+	base, err := bench.LoadJSONReport(basePath)
+	if err != nil {
+		return fmt.Errorf("compare baseline: %w", err)
+	}
+	cur, err := bench.LoadJSONReport(curPath)
+	if err != nil {
+		return fmt.Errorf("compare current: %w", err)
+	}
+	for _, s := range bench.FirstAnswerImprovements(base, cur) {
+		fmt.Fprintln(os.Stderr, "improved:", s)
+	}
+	if regressions := bench.CompareReports(base, cur, bench.CompareOptions{}); len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "regression:", r)
+		}
+		return fmt.Errorf("%d regression(s): %s vs %s", len(regressions), curPath, basePath)
+	}
+	fmt.Fprintf(os.Stderr, "no regressions: %s vs %s\n", curPath, basePath)
+	return nil
 }
 
 // describeTo writes the registry-generated method reference to path (or
@@ -293,6 +329,9 @@ func run(expName, scaleName, methodsFlag, outPath, csvPath, jsonPath, comparePat
 				fmt.Fprintln(os.Stderr, "regression:", r)
 			}
 			return fmt.Errorf("%d regression(s) vs %s", len(regressions), comparePath)
+		}
+		for _, s := range bench.FirstAnswerImprovements(baseline, jr) {
+			fmt.Fprintln(os.Stderr, "improved:", s)
 		}
 		fmt.Fprintf(os.Stderr, "no regressions vs %s\n", comparePath)
 	}

@@ -25,7 +25,9 @@
 //
 // Endpoints:
 //
-//	POST   /query        one GraphJSON query; ?stream=1 streams NDJSON answers
+//	POST   /query        one GraphJSON query; ?stream=1 streams NDJSON answers,
+//	                     ?limit=N stops after the first N answers (the lazy
+//	                     pipeline never verifies the unreturned tail)
 //	POST   /batch        {"queries": [GraphJSON, ...], "workers": N}
 //	POST   /graphs       add a graph to the live dataset (online index maintenance)
 //	DELETE /graphs/{id}  tombstone a graph; its id is never reused

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sort"
 )
 
 // CompareOptions tunes the perf-trajectory gate.
@@ -92,6 +93,16 @@ func CompareReports(baseline, current *JSONReport, opts CompareOptions) []string
 				key, b.AvgQuerySeconds*1e3, c.AvgQuerySeconds*1e3,
 				100*(c.AvgQuerySeconds/b.AvgQuerySeconds-1)))
 		}
+		// First-answer latency gates only against baselines that recorded
+		// it (older baselines predate the lazy pipeline), under the same
+		// noise floor as whole-query time: micro-cell first answers land
+		// in microseconds, where jitter is not signal.
+		if b.FirstAnswerNs > 0 && slower(float64(b.FirstAnswerNs)/1e9, float64(c.FirstAnswerNs)/1e9,
+			opts.Threshold, opts.QueryFloorSeconds) {
+			bad = append(bad, fmt.Sprintf("%s: first answer %.3fms -> %.3fms (+%.0f%%)",
+				key, float64(b.FirstAnswerNs)/1e6, float64(c.FirstAnswerNs)/1e6,
+				100*(float64(c.FirstAnswerNs)/float64(b.FirstAnswerNs)-1)))
+		}
 		if slower(b.BuildSeconds, c.BuildSeconds, opts.Threshold, opts.BuildFloorSeconds) {
 			bad = append(bad, fmt.Sprintf("%s: build %.3fs -> %.3fs (+%.0f%%)",
 				key, b.BuildSeconds, c.BuildSeconds,
@@ -107,6 +118,38 @@ func CompareReports(baseline, current *JSONReport, opts CompareOptions) []string
 		}
 	}
 	return bad
+}
+
+// FirstAnswerImprovements reports streaming cells whose time-to-first-
+// answer beats the baseline — against the baseline's own first_answer_ns
+// when it recorded one, and otherwise against its whole-query time, the
+// pre-pipeline bound (first answers then required draining the full
+// candidate scan). Lines are sorted for stable output.
+func FirstAnswerImprovements(baseline, current *JSONReport) []string {
+	base := indexCells(baseline)
+	cur := indexCells(current)
+	var out []string
+	for key, c := range cur {
+		if c.FirstAnswerNs <= 0 {
+			continue
+		}
+		b, ok := base[key]
+		if !ok || b.DNF {
+			continue
+		}
+		ref, refName := float64(b.FirstAnswerNs), "baseline first answer"
+		if ref <= 0 {
+			ref, refName = b.AvgQuerySeconds*1e9, "baseline full-query bound"
+		}
+		if ref <= 0 || float64(c.FirstAnswerNs) >= ref {
+			continue
+		}
+		out = append(out, fmt.Sprintf("%s: first answer %.3fms vs %.3fms %s (-%.0f%%)",
+			key, float64(c.FirstAnswerNs)/1e6, ref/1e6, refName,
+			100*(1-float64(c.FirstAnswerNs)/ref)))
+	}
+	sort.Strings(out)
+	return out
 }
 
 func slower(base, cur, threshold, floor float64) bool {

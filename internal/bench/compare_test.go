@@ -44,6 +44,30 @@ func TestCompareReportsFlagsSlowdown(t *testing.T) {
 	}
 }
 
+func TestCompareReportsGatesFirstAnswerLatency(t *testing.T) {
+	// A real first-answer regression beyond the noise floor fails.
+	base := reportWith(JSONCell{Method: "grapes", AvgQuerySeconds: 0.1, BuildSeconds: 1.0, FirstAnswerNs: 100e6})
+	cur := reportWith(JSONCell{Method: "grapes", AvgQuerySeconds: 0.1, BuildSeconds: 1.0, FirstAnswerNs: 150e6})
+	bad := CompareReports(base, cur, CompareOptions{})
+	if len(bad) != 1 || !strings.Contains(bad[0], "first answer") {
+		t.Fatalf("50%% first-answer slowdown not flagged: %v", bad)
+	}
+
+	// Under the floor, the same ratio is scheduler jitter.
+	base = reportWith(JSONCell{Method: "grapes", AvgQuerySeconds: 0.1, BuildSeconds: 1.0, FirstAnswerNs: 1e5})
+	cur = reportWith(JSONCell{Method: "grapes", AvgQuerySeconds: 0.1, BuildSeconds: 1.0, FirstAnswerNs: 2e5})
+	if bad := CompareReports(base, cur, CompareOptions{}); len(bad) != 0 {
+		t.Fatalf("sub-floor first-answer jitter flagged: %v", bad)
+	}
+
+	// Baselines predating the metric never gate on it.
+	base = reportWith(JSONCell{Method: "grapes", AvgQuerySeconds: 0.1, BuildSeconds: 1.0})
+	cur = reportWith(JSONCell{Method: "grapes", AvgQuerySeconds: 0.1, BuildSeconds: 1.0, FirstAnswerNs: 9e9})
+	if bad := CompareReports(base, cur, CompareOptions{}); len(bad) != 0 {
+		t.Fatalf("metric-less baseline gated on first answer: %v", bad)
+	}
+}
+
 func TestCompareReportsFlagsLostCoverageAndDrift(t *testing.T) {
 	base := reportWith(
 		JSONCell{Method: "grapes", AvgQuerySeconds: 0.1, AvgCandidates: 12, FPRatio: 1.5},

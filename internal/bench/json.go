@@ -28,6 +28,13 @@ type JSONCell struct {
 	Queries              int                `json:"queries"`
 	TimeBySizeSeconds    map[string]float64 `json:"time_by_size_seconds,omitempty"`
 	FPBySize             map[string]float64 `json:"fp_by_size,omitempty"`
+	// FirstAnswerNs is the mean wall time to the first streamed answer in
+	// nanoseconds (the lazy pipeline's time-to-first-result);
+	// VerifiedCandidates is the mean verifier invocations per one-shot
+	// query. Both are omitted in baselines predating the lazy pipeline,
+	// and the compare gate only applies them when the baseline has them.
+	FirstAnswerNs      int64   `json:"first_answer_ns,omitempty"`
+	VerifiedCandidates float64 `json:"verified_candidates,omitempty"`
 }
 
 // JSONPoint is one x-axis point with all its method cells.
@@ -86,6 +93,8 @@ func cellJSON(mr MethodResult) JSONCell {
 		AvgCandidates:        mr.AvgCandidates,
 		AvgAnswers:           mr.AvgAnswers,
 		Queries:              mr.QueriesRun,
+		FirstAnswerNs:        mr.AvgFirstAnswer.Nanoseconds(),
+		VerifiedCandidates:   mr.AvgVerified,
 	}
 	if len(mr.TimeBySize) > 0 {
 		c.TimeBySizeSeconds = make(map[string]float64, len(mr.TimeBySize))

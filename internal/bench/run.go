@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"iter"
 	"sort"
 	"time"
 
@@ -91,6 +92,13 @@ type MethodResult struct {
 	QueriesRun    int
 	AvgCandidates float64
 	AvgAnswers    float64
+
+	// Lazy-pipeline metrics: AvgFirstAnswer is the mean wall time from
+	// query start to the first streamed answer (time-to-first-result of
+	// the producer → liveness → verifier pipeline); AvgVerified is the
+	// mean number of verifier invocations per one-shot query.
+	AvgFirstAnswer time.Duration
+	AvgVerified    float64
 }
 
 // PointResult aggregates all methods at one x-axis point.
@@ -228,6 +236,9 @@ func runMethodSharded(ctx context.Context, id MethodID, spec string, shards int,
 	queryCtx, cancel := withOptionalTimeout(ctx, exp.QueryTimeout)
 	defer cancel()
 	measureQueries(queryCtx, &mr, s.Query, queries)
+	if !mr.DNF {
+		measureFirstAnswer(queryCtx, &mr, s.Stream, queries)
+	}
 	return mr
 }
 
@@ -256,6 +267,11 @@ func runMethodInstance(ctx context.Context, id MethodID, m core.Method, spec str
 	queryCtx, cancel := withOptionalTimeout(ctx, exp.QueryTimeout)
 	defer cancel()
 	measureQueries(queryCtx, &mr, proc.QueryCtx, queries)
+	if !mr.DNF {
+		measureFirstAnswer(queryCtx, &mr, func(ctx context.Context, q *graph.Graph) iter.Seq2[graph.ID, error] {
+			return core.StreamAnswersOpts(ctx, m, ds, q, core.StreamOptions{})
+		}, queries)
+	}
 	return mr
 }
 
@@ -271,7 +287,7 @@ func measureQueries(ctx context.Context, mr *MethodResult,
 	}
 	buckets := map[int]*bucket{}
 	var total time.Duration
-	var fpTotal, candTotal, ansTotal float64
+	var fpTotal, candTotal, ansTotal, verTotal float64
 	for _, sq := range queries {
 		res, err := query(ctx, sq.q)
 		if err != nil {
@@ -290,6 +306,7 @@ func measureQueries(ctx context.Context, mr *MethodResult,
 		fpTotal += res.FalsePositiveRatio()
 		candTotal += float64(len(res.Candidates))
 		ansTotal += float64(len(res.Answers))
+		verTotal += float64(res.Verified)
 		mr.QueriesRun++
 	}
 	if mr.QueriesRun > 0 {
@@ -297,10 +314,37 @@ func measureQueries(ctx context.Context, mr *MethodResult,
 		mr.FPRatio = fpTotal / float64(mr.QueriesRun)
 		mr.AvgCandidates = candTotal / float64(mr.QueriesRun)
 		mr.AvgAnswers = ansTotal / float64(mr.QueriesRun)
+		mr.AvgVerified = verTotal / float64(mr.QueriesRun)
 		for size, b := range buckets {
 			mr.TimeBySize[size] = b.time / time.Duration(b.n)
 			mr.FPBySize[size] = b.fpSum / float64(b.n)
 		}
+	}
+}
+
+// measureFirstAnswer drives each workload query through the lazy stream
+// and records the mean wall time to the first proven answer — the
+// pipeline's time-to-first-result, measured at the same serial-verify
+// settings as the one-shot timings. Queries with no answers are skipped;
+// abandoning each stream after one answer is the limit=1 service path.
+func measureFirstAnswer(ctx context.Context, mr *MethodResult,
+	stream func(context.Context, *graph.Graph) iter.Seq2[graph.ID, error], queries []sizedQuery) {
+	var total time.Duration
+	n := 0
+	for _, sq := range queries {
+		t0 := time.Now()
+		for _, err := range stream(ctx, sq.q) {
+			if err != nil {
+				mr.DNF, mr.Reason = true, "streaming: "+err.Error()
+				return
+			}
+			total += time.Since(t0)
+			n++
+			break
+		}
+	}
+	if n > 0 {
+		mr.AvgFirstAnswer = total / time.Duration(n)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -111,24 +112,40 @@ func (c *NodeClient) Query(ctx context.Context, shards []int, gj server.GraphJSO
 	return resp, err
 }
 
+// ErrLegStale is wrapped into a streaming leg's terminal error when the
+// node aborted the stream because a mutation landed under it (the node's
+// epoch-checked chunked locking). The leg is retryable on the same node,
+// resumed after the coordinator's merge frontier — unlike a transport
+// failure, the node is healthy.
+var ErrLegStale = errors.New("cluster: node stream aborted by concurrent mutation")
+
+// StreamTail is the terminal accounting of a streaming leg: the pipeline
+// counters the node reported on its done line. Zero when the leg ended
+// early (error, cancellation, or yield stop) — the counters are
+// observability, not an invariant.
+type StreamTail struct {
+	Produced int64
+	Verified int64
+}
+
 // Stream opens a streaming leg over the given shards, yielding global
 // answer ids ascending, starting strictly after `after` (-1 = from the
 // start). The yield loop ends on the done line; a mid-stream error or
 // truncated body surfaces as the terminal error.
-func (c *NodeClient) Stream(ctx context.Context, shards []int, gj server.GraphJSON, after graph.ID, yield func(graph.ID) bool) error {
+func (c *NodeClient) Stream(ctx context.Context, shards []int, gj server.GraphJSON, after graph.ID, yield func(graph.ID) bool) (StreamTail, error) {
 	body, err := json.Marshal(gj)
 	if err != nil {
-		return err
+		return StreamTail{}, err
 	}
 	url := fmt.Sprintf("%s&stream=1&after=%d", c.url("/node/query?shards="+shardsParam(shards)), after)
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
-		return err
+		return StreamTail{}, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
-		return err
+		return StreamTail{}, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
@@ -137,30 +154,32 @@ func (c *NodeClient) Stream(ctx context.Context, shards []int, gj server.GraphJS
 		if json.Unmarshal(b, &er) != nil || er.Error == "" {
 			er.Error = strings.TrimSpace(string(b))
 		}
-		return &NodeError{Status: resp.StatusCode, Msg: er.Error}
+		return StreamTail{}, &NodeError{Status: resp.StatusCode, Msg: er.Error}
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 	for sc.Scan() {
 		var line server.StreamLine
 		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
-			return fmt.Errorf("decoding stream line: %w", err)
+			return StreamTail{}, fmt.Errorf("decoding stream line: %w", err)
 		}
 		switch {
+		case line.Stale:
+			return StreamTail{}, fmt.Errorf("%w: %s", ErrLegStale, line.Error)
 		case line.Error != "":
-			return fmt.Errorf("node stream: %s", line.Error)
+			return StreamTail{}, fmt.Errorf("node stream: %s", line.Error)
 		case line.Done:
-			return nil
+			return StreamTail{Produced: line.Produced, Verified: line.Verified}, nil
 		case line.ID != nil:
 			if !yield(*line.ID) {
-				return nil
+				return StreamTail{}, nil
 			}
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return fmt.Errorf("reading stream: %w", err)
+		return StreamTail{}, fmt.Errorf("reading stream: %w", err)
 	}
-	return fmt.Errorf("stream ended without done marker — node died mid-stream")
+	return StreamTail{}, fmt.Errorf("stream ended without done marker — node died mid-stream")
 }
 
 // Add routes an add to the node.

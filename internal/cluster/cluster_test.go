@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
-	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -16,6 +15,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/server"
+	"repro/internal/testutil/leak"
 	"repro/internal/workload"
 )
 
@@ -104,6 +104,13 @@ type testCluster struct {
 
 func startCluster(t testing.TB, spec string, nNodes, shards, replication int, cfg cluster.CoordConfig) *testCluster {
 	t.Helper()
+	return startClusterWith(t, func() *graph.Dataset { return testDataset(t) }, spec, nNodes, shards, replication, cfg)
+}
+
+// startClusterWith is startCluster over an arbitrary per-node dataset
+// factory (each node loads its own copy, as each sqnode process would).
+func startClusterWith(t testing.TB, mkDS func() *graph.Dataset, spec string, nNodes, shards, replication int, cfg cluster.CoordConfig) *testCluster {
+	t.Helper()
 	ctx := context.Background()
 	tc := &testCluster{}
 
@@ -115,7 +122,7 @@ func startCluster(t testing.TB, spec string, nNodes, shards, replication int, cf
 	}
 	man := &cluster.Manifest{Shards: shards, Replication: replication}
 	for i := 0; i < nNodes; i++ {
-		node, err := cluster.NewNode(ctx, testDataset(t), cluster.NodeConfig{
+		node, err := cluster.NewNode(ctx, mkDS(), cluster.NodeConfig{
 			Name:       fmt.Sprintf("n%d", i),
 			Spec:       spec,
 			ShardCount: shards,
@@ -430,6 +437,7 @@ func bestStreamQuery(t *testing.T, ctx context.Context, ref *engine.Sharded, que
 // nothing — the replacement legs resume each shard past its last emitted id
 // and the merged sequence stays exactly the full answer set, in order.
 func TestClusterStreamFailover(t *testing.T) {
+	t.Cleanup(leak.Check(t)) // registered before startCluster: runs after tc.close
 	ds := testDataset(t)
 	queries := testQueries(t, ds)
 	ctx := context.Background()
@@ -475,6 +483,7 @@ func TestClusterStreamFailover(t *testing.T) {
 // dying mid-stream ends the stream with the partial flag and the lost
 // shards reported — the emitted prefix stays correct, the truncation loud.
 func TestClusterStreamPartialOnUnreplicatedLoss(t *testing.T) {
+	t.Cleanup(leak.Check(t)) // registered before startCluster: runs after tc.close
 	ds := testDataset(t)
 	queries := testQueries(t, ds)
 	ctx := context.Background()
@@ -533,7 +542,7 @@ func TestClusterStreamPartialOnUnreplicatedLoss(t *testing.T) {
 // the losing leg is canceled — no goroutine outlives the teardown (the
 // suite runs under -race, which would also flag an unsynchronized loser).
 func TestHedgedQueryCancelsLoser(t *testing.T) {
-	before := runtime.NumGoroutine()
+	t.Cleanup(leak.Check(t)) // registered before startCluster: runs after tc.close
 	ds := testDataset(t)
 	queries := testQueries(t, ds)
 	ctx := context.Background()
@@ -573,18 +582,8 @@ func TestHedgedQueryCancelsLoser(t *testing.T) {
 	if fo.HedgesFired == 0 || fo.HedgesWon == 0 {
 		t.Errorf("hedges fired=%d won=%d, want both > 0", fo.HedgesFired, fo.HedgesWon)
 	}
-	tc.close()
-
-	// The losers were canceled when their shards resolved; nothing may
-	// linger once the cluster is torn down.
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if runtime.NumGoroutine() <= before+3 {
-			return
-		}
-		time.Sleep(25 * time.Millisecond)
-	}
-	t.Errorf("goroutines leaked: %d before, %d after teardown", before, runtime.NumGoroutine())
+	// The losers were canceled when their shards resolved; the leak check
+	// registered above verifies nothing lingers after teardown.
 }
 
 // TestClusterRereplication: when a node dies, the prober re-replicates its

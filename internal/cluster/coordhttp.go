@@ -124,13 +124,49 @@ func (s *CoordServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
+	limit := 0
+	if ls := r.URL.Query().Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n < 1 {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("bad limit %q: want a positive integer", ls))
+			return
+		}
+		limit = n
+	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	if r.URL.Query().Get("stream") != "" {
-		s.streamQuery(ctx, w, gj)
+		s.streamQuery(ctx, w, gj, limit)
 		return
 	}
 	t0 := time.Now()
+	if limit > 0 {
+		// The limited one-shot runs through the streaming merge and stops
+		// after limit answers: node legs are cancelled, so the cluster does
+		// only (roughly — legs read ahead) the work it returns, exactly
+		// like the single-process server's limited path.
+		answers := make(graph.IDSet, 0, limit)
+		st, err := s.coord.Stream(ctx, gj, func(id graph.ID) bool {
+			answers = append(answers, id)
+			return len(answers) < limit
+		})
+		if err != nil {
+			s.fail(w, coordStatus(err), err)
+			return
+		}
+		s.writeJSON(w, server.QueryResponse{
+			Candidates:   graph.IDSet{},
+			Answers:      answers,
+			Method:       s.coord.Spec(),
+			TotalUs:      time.Since(t0).Microseconds(),
+			Partial:      st.Partial,
+			FailedShards: st.FailedShards,
+			Limit:        limit,
+			Produced:     int(st.Produced),
+			Verified:     int(st.Verified),
+		})
+		return
+	}
 	res, err := s.coord.Query(ctx, gj)
 	if err != nil {
 		s.fail(w, coordStatus(err), err)
@@ -139,10 +175,12 @@ func (s *CoordServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, s.toResponse(res, time.Since(t0)))
 }
 
-// streamQuery relays the cluster merge as NDJSON. The done line carries the
-// partial flags: a consumer that saw every id line still must check it — a
-// shard lost mid-stream silently truncates that shard's tail otherwise.
-func (s *CoordServer) streamQuery(ctx context.Context, w http.ResponseWriter, gj server.GraphJSON) {
+// streamQuery relays the cluster merge as NDJSON, stopping after limit
+// answers when limit > 0 (the unconsumed node legs are cancelled). The
+// done line carries the partial flags: a consumer that saw every id line
+// still must check it — a shard lost mid-stream silently truncates that
+// shard's tail otherwise.
+func (s *CoordServer) streamQuery(ctx context.Context, w http.ResponseWriter, gj server.GraphJSON, limit int) {
 	if s.cfg.RequestTimeout > 0 {
 		rc := http.NewResponseController(w)
 		_ = rc.SetWriteDeadline(time.Now().Add(s.cfg.RequestTimeout))
@@ -153,6 +191,7 @@ func (s *CoordServer) streamQuery(ctx context.Context, w http.ResponseWriter, gj
 	fl, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	broken := false
+	n := 0
 	st, err := s.coord.Stream(ctx, gj, func(id graph.ID) bool {
 		line := server.StreamLine{ID: &id}
 		if enc.Encode(line) != nil {
@@ -162,7 +201,8 @@ func (s *CoordServer) streamQuery(ctx context.Context, w http.ResponseWriter, gj
 		if fl != nil {
 			fl.Flush()
 		}
-		return true
+		n++
+		return limit <= 0 || n < limit
 	})
 	if broken {
 		return
@@ -174,7 +214,10 @@ func (s *CoordServer) streamQuery(ctx context.Context, w http.ResponseWriter, gj
 		}
 		return
 	}
-	enc.Encode(server.StreamLine{Done: true, Matches: st.Matches, Partial: st.Partial, FailedShards: st.FailedShards})
+	enc.Encode(server.StreamLine{
+		Done: true, Matches: st.Matches, Partial: st.Partial, FailedShards: st.FailedShards,
+		Produced: st.Produced, Verified: st.Verified,
+	})
 	if fl != nil {
 		fl.Flush()
 	}

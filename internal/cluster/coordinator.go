@@ -77,6 +77,7 @@ type Coordinator struct {
 	reqQuery, reqStream, reqBatch, reqMutate, reqErrors atomic.Int64
 	partials, failovers, hedgesFired, hedgesWon         atomic.Int64
 	rereplicated, staleRejected, rollbacks              atomic.Int64
+	staleRetries                                        atomic.Int64
 }
 
 // ErrNoOwner means a shard had no reachable fresh owner.
@@ -259,7 +260,7 @@ func (c *Coordinator) markStale(i, s int, reportedEpoch uint64) {
 // refused/reset, timeout at transport level) rather than this one request.
 func isTransport(err error) bool {
 	var ne *NodeError
-	return !errors.As(err, &ne) && !errors.Is(err, context.Canceled)
+	return !errors.As(err, &ne) && !errors.Is(err, context.Canceled) && !errors.Is(err, ErrLegStale)
 }
 
 // ---------------------------------------------------------------------------
@@ -475,11 +476,12 @@ func (c *Coordinator) fanQuery(ctx context.Context, gj server.GraphJSON) (map[in
 // Streaming fan-out
 
 // streamMsg is one message from a stream leg: an answer id, or a terminal
-// (done or err).
+// (done or err) with the leg's pipeline accounting.
 type streamMsg struct {
 	id       graph.ID
 	terminal bool
 	err      error
+	tail     StreamTail
 }
 
 // streamLeg is one live node stream covering a set of shards.
@@ -491,11 +493,17 @@ type streamLeg struct {
 	head   graph.ID
 }
 
-// StreamStats is the terminal state of a cluster stream.
+// StreamStats is the terminal state of a cluster stream. Produced and
+// Verified aggregate the node-side pipeline counters from the legs that
+// ran to completion (a leg cancelled mid-stream never reports its tail),
+// so they are best-effort observability: exact when the stream is
+// consumed fully, a lower bound when it stops early.
 type StreamStats struct {
 	Matches      int
 	Partial      bool
 	FailedShards []int
+	Produced     int64
+	Verified     int64
 }
 
 // Stream fans gj out as one stream leg per first-owner node and k-way
@@ -541,7 +549,7 @@ func (c *Coordinator) Stream(ctx context.Context, gj server.GraphJSON, emit func
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			err := c.nodes[nodeIdx].client.Stream(lctx, shards, gj, after, func(id graph.ID) bool {
+			tail, err := c.nodes[nodeIdx].client.Stream(lctx, shards, gj, after, func(id graph.ID) bool {
 				select {
 				case leg.ch <- streamMsg{id: id}:
 					return true
@@ -553,18 +561,32 @@ func (c *Coordinator) Stream(ctx context.Context, gj server.GraphJSON, emit func
 				c.markDown(nodeIdx, err)
 			}
 			select {
-			case leg.ch <- streamMsg{terminal: true, err: err}:
+			case leg.ch <- streamMsg{terminal: true, err: err, tail: tail}:
 			case <-lctx.Done():
 			}
 		}()
 		return leg
 	}
 
-	// failover replaces a dead leg: each of its shards restarts on its next
-	// untried owner, resumed after that shard's last emitted id.
+	// failover replaces a dead leg. A leg the node aborted because a
+	// mutation landed under its chunked-locking stream (ErrLegStale) is
+	// retried on the SAME node — the node is healthy and the resume
+	// frontier skips everything already emitted — bounded per shard so a
+	// mutation storm degrades to normal failover instead of livelock.
+	// Any other death restarts each shard on its next untried owner,
+	// resumed after that shard's last emitted id.
+	const maxStaleRetries = 8
+	staleRetries := make([]int, nShards)
 	var legs []*streamLeg
-	failover := func(leg *streamLeg) {
+	failover := func(leg *streamLeg, cause error) {
+		stale := errors.Is(cause, ErrLegStale)
 		for _, s := range leg.shards {
+			if stale && staleRetries[s] < maxStaleRetries {
+				staleRetries[s]++
+				c.staleRetries.Add(1)
+				legs = append(legs, launch(leg.node, []int{s}, lastEmitted[s]))
+				continue
+			}
 			next := -1
 			for _, o := range ownerSeq[s] {
 				if !tried[s][o] {
@@ -591,8 +613,10 @@ func (c *Coordinator) Stream(ctx context.Context, gj server.GraphJSON, emit func
 			case m := <-leg.ch:
 				if m.terminal {
 					leg.cancel()
+					st.Produced += m.tail.Produced
+					st.Verified += m.tail.Verified
 					if m.err != nil {
-						failover(leg)
+						failover(leg, m.err)
 					}
 					return false, nil
 				}
@@ -1054,6 +1078,7 @@ func (c *Coordinator) Stats() ClusterStats {
 			HedgesWon:     c.hedgesWon.Load(),
 			Rereplicated:  c.rereplicated.Load(),
 			StaleRejected: c.staleRejected.Load(),
+			StaleRetries:  c.staleRetries.Load(),
 			Rollbacks:     c.rollbacks.Load(),
 		},
 	}

@@ -271,74 +271,157 @@ func (n *Node) Query(ctx context.Context, shards []int, q *graph.Graph) ([]Shard
 	return results, nil
 }
 
+// nodeStreamQuantum caps the merge steps (verifications) per lock hold in
+// a node stream; the quantum starts at 1 and doubles per chunk, mirroring
+// the engine's chunked-locking streams.
+const nodeStreamQuantum = 64
+
 // Stream yields matching global graph ids across the requested shards in
 // ascending order, verifying lazily — the node-local half of the cluster's
 // streamed k-way merge. Ids <= after are skipped before verification, so a
 // coordinator resuming a failed-over stream pays no duplicate verify work.
 // A filtering failure or context cancellation is yielded once as a non-nil
 // error, then the sequence ends.
+//
+// The node's read lock is NOT held across yields: the merge runs a growing
+// quantum of verifications per lock hold and releases the lock before
+// every yield, so a slow downstream consumer never stalls mutations or
+// shard installs. A mutation (or shard replacement) landing mid-stream
+// aborts it with an engine.ErrStreamStale-wrapped error; the coordinator
+// retries the leg, resumed after its frontier.
 func (n *Node) Stream(ctx context.Context, shards []int, q *graph.Graph, after graph.ID) iter.Seq2[graph.ID, error] {
+	return n.StreamStats(ctx, shards, q, after, nil)
+}
+
+// StreamStats is Stream with pipeline counters accumulated into stats
+// (nil = no accounting): candidates produced and live across the shard
+// cursors, plus verifier invocations.
+func (n *Node) StreamStats(ctx context.Context, shards []int, q *graph.Graph, after graph.ID, stats *core.PipelineStats) iter.Seq2[graph.ID, error] {
 	return func(yield func(graph.ID, error) bool) {
-		// Held for the whole iteration, like Engine.Stream: a mutation
-		// cannot move a shard under a partially consumed stream.
+		if stats == nil {
+			stats = &core.PipelineStats{}
+		}
 		n.mu.RLock()
-		defer n.mu.RUnlock()
+		locked := true
+		unlock := func() {
+			if locked {
+				n.mu.RUnlock()
+				locked = false
+			}
+		}
+		defer unlock()
+
+		// leg is one shard's lazy candidate stream: the plan, the cursor
+		// pulling its live candidates, and the head in local and global ids.
+		// The shard pointer and its dataset epoch pin the index generation
+		// the plan was built against — either moving aborts the stream.
+		type leg struct {
+			key    int
+			sh     *nodeShard
+			epoch  uint64
+			plan   core.QueryPlan
+			cur    *core.Cursor
+			local  graph.ID
+			global graph.ID
+			done   bool
+		}
+		advance := func(l *leg) {
+			id, ok := l.cur.Next()
+			if !ok {
+				l.done = true
+				return
+			}
+			l.local, l.global = id, l.sh.global[id]
+		}
+		legs := make([]*leg, 0, len(shards))
+		defer func() {
+			for _, l := range legs {
+				l.cur.Stop()
+			}
+		}()
 		for _, k := range shards {
-			if _, ok := n.shards[k]; !ok {
+			sh, ok := n.shards[k]
+			if !ok {
+				unlock()
 				yield(0, fmt.Errorf("%w: shard %d on node %s", ErrNotOwned, k, n.cfg.Name))
 				return
 			}
-		}
-		type cursor struct {
-			sh    *nodeShard
-			plan  core.QueryPlan
-			cands graph.IDSet // shard-local, sorted
-			pos   int
-		}
-		cursors := make([]cursor, 0, len(shards))
-		for _, k := range shards {
-			sh := n.shards[k]
 			plan, err := core.NewPlan(ctx, sh.eng.Method(), sh.eng.Dataset(), q)
 			if err != nil {
+				unlock()
 				yield(0, err)
 				return
 			}
-			cands := sh.eng.Dataset().FilterLive(plan.Candidates())
-			// Skip the resume prefix before any verification: global ids
-			// ascend with local ids, so the cutoff is a prefix.
-			pos := 0
-			for pos < len(cands) && sh.global[cands[pos]] <= after {
-				pos++
+			// Resume strictly after the frontier before any verification:
+			// global ids ascend with local ids, so the cutoff is the first
+			// local id whose global id exceeds it.
+			skip := graph.ID(sort.Search(len(sh.global), func(i int) bool { return sh.global[i] > after }))
+			l := &leg{
+				key: k, sh: sh, epoch: sh.eng.Dataset().Epoch(), plan: plan,
+				cur: core.NewCursor(sh.eng.Dataset(), plan, core.StreamOptions{Stats: stats, SkipTo: skip}),
 			}
-			if pos < len(cands) {
-				cursors = append(cursors, cursor{sh: sh, plan: plan, cands: cands, pos: pos})
-			}
+			advance(l)
+			legs = append(legs, l)
 		}
+
+		quantum := 1
+		out := make(graph.IDSet, 0, nodeStreamQuantum)
 		for {
-			best := -1
-			var bestID graph.ID
-			for ci := range cursors {
-				c := &cursors[ci]
-				if c.pos >= len(c.cands) {
-					continue
+			// Under the lock: up to quantum merge steps (verifications, not
+			// matches — the hold must stay bounded even when nothing
+			// matches), verifying the globally smallest head each time.
+			out = out[:0]
+			done := false
+			var verr error
+			for step := 0; step < quantum; step++ {
+				var best *leg
+				for _, l := range legs {
+					if l.done {
+						continue
+					}
+					if best == nil || l.global < best.global {
+						best = l
+					}
 				}
-				gid := c.sh.global[c.cands[c.pos]]
-				if best < 0 || gid < bestID {
-					best, bestID = ci, gid
+				if best == nil {
+					done = true
+					break
+				}
+				if verr = ctx.Err(); verr != nil {
+					break
+				}
+				stats.Verified.Add(1)
+				matched := best.plan.Verify(best.local)
+				id := best.global
+				advance(best)
+				if matched {
+					out = append(out, id)
 				}
 			}
-			if best < 0 {
+			unlock()
+			for _, id := range out {
+				if !yield(id, nil) {
+					return
+				}
+			}
+			if verr != nil {
+				yield(0, verr)
 				return
 			}
-			if err := ctx.Err(); err != nil {
-				yield(0, err)
+			if done {
 				return
 			}
-			c := &cursors[best]
-			local := c.cands[c.pos]
-			c.pos++
-			if c.plan.Verify(local) && !yield(bestID, nil) {
-				return
+			if quantum < nodeStreamQuantum {
+				quantum *= 2
+			}
+			n.mu.RLock()
+			locked = true
+			for _, l := range legs {
+				if cur, ok := n.shards[l.key]; !ok || cur != l.sh || cur.eng.Dataset().Epoch() != l.epoch {
+					unlock()
+					yield(0, fmt.Errorf("cluster: %w (shard %d)", engine.ErrStreamStale, l.key))
+					return
+				}
 			}
 		}
 	}

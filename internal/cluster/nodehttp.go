@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/server"
@@ -212,11 +213,14 @@ func (s *NodeServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, ShardQueryResponse{Node: s.node.Name(), Results: results})
 }
 
-// streamQuery writes NDJSON answer lines, flushing per line. The response
-// is bounded by a write deadline for the same reason the single-process
-// server's is: the stream holds the node's read lock, and a client that
-// stops reading must not park the handler in a TCP write while a mutation
-// waits.
+// streamQuery writes NDJSON answer lines, flushing per line. The node
+// streams under epoch-checked chunked locking (no lock held across
+// writes), so a client that stops reading no longer blocks mutations; the
+// write deadline still bounds how long such a client pins the connection.
+// An abort caused by a concurrent mutation is marked Stale on the error
+// line, so the coordinator retries the leg on this node instead of
+// failing it over. The done line carries the pipeline's produced/verified
+// counters for coordinator-side aggregation.
 func (s *NodeServer) streamQuery(ctx context.Context, w http.ResponseWriter, shards []int, q *graph.Graph, unknown bool, after graph.ID) {
 	if s.cfg.RequestTimeout > 0 {
 		rc := http.NewResponseController(w)
@@ -227,11 +231,15 @@ func (s *NodeServer) streamQuery(ctx context.Context, w http.ResponseWriter, sha
 	w.WriteHeader(http.StatusOK)
 	fl, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
+	var stats core.PipelineStats
 	n := 0
 	if !unknown {
-		for id, err := range s.node.Stream(ctx, shards, q, after) {
+		for id, err := range s.node.StreamStats(ctx, shards, q, after, &stats) {
 			if err != nil {
-				enc.Encode(server.StreamLine{Error: err.Error()})
+				enc.Encode(server.StreamLine{
+					Error: err.Error(),
+					Stale: errors.Is(err, engine.ErrStreamStale),
+				})
 				if fl != nil {
 					fl.Flush()
 				}
@@ -247,7 +255,10 @@ func (s *NodeServer) streamQuery(ctx context.Context, w http.ResponseWriter, sha
 			n++
 		}
 	}
-	enc.Encode(server.StreamLine{Done: true, Matches: n})
+	enc.Encode(server.StreamLine{
+		Done: true, Matches: n,
+		Produced: stats.Produced.Load(), Verified: stats.Verified.Load(),
+	})
 	if fl != nil {
 		fl.Flush()
 	}

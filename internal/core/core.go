@@ -91,14 +91,39 @@ type QueryPlan interface {
 }
 
 // genericPlan adapts a method without its own Planner into a QueryPlan: a
-// fixed candidate set plus a stateless per-candidate verification function.
+// candidate set — materialized, or produced lazily in chunks when the
+// method implements CandidateChunker — plus a stateless per-candidate
+// verification function.
 type genericPlan struct {
 	cands  graph.IDSet
+	chunks iter.Seq[graph.IDSet]
 	verify func(id graph.ID) bool
 }
 
-func (p *genericPlan) Candidates() graph.IDSet { return p.cands }
+func (p *genericPlan) Candidates() graph.IDSet {
+	if p.cands == nil && p.chunks != nil {
+		// Materialize once for one-shot consumers; streamed consumers pull
+		// Chunks() and never pay this.
+		p.cands = graph.IDSet{}
+		for chunk := range p.chunks {
+			p.cands = append(p.cands, chunk...)
+		}
+	}
+	return p.cands
+}
+
 func (p *genericPlan) Verify(id graph.ID) bool { return p.verify(id) }
+
+func (p *genericPlan) Chunks() iter.Seq[graph.IDSet] {
+	if p.chunks != nil {
+		return p.chunks
+	}
+	return func(yield func(graph.IDSet) bool) {
+		if len(p.cands) > 0 {
+			yield(p.cands)
+		}
+	}
+}
 
 // NewPlan adapts any method into a QueryPlan for one query, regardless of
 // which optional interfaces it implements: a Planner supplies its own plan
@@ -109,24 +134,35 @@ func NewPlan(ctx context.Context, m Method, ds *graph.Dataset, q *graph.Graph) (
 	if planner, ok := m.(Planner); ok {
 		return planner.PlanQuery(q)
 	}
-	cands, err := m.Candidates(q)
-	if err != nil {
-		return nil, err
+	var cands graph.IDSet
+	var chunks iter.Seq[graph.IDSet]
+	if chunker, ok := m.(CandidateChunker); ok {
+		var err error
+		if chunks, err = chunker.CandidateChunks(q); err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		if cands, err = m.Candidates(q); err != nil {
+			return nil, err
+		}
 	}
 	if verifier, ok := m.(Verifier); ok {
-		return &genericPlan{cands: cands, verify: func(id graph.ID) bool {
+		return &genericPlan{cands: cands, chunks: chunks, verify: func(id graph.ID) bool {
 			return verifier.VerifyCandidate(q, id)
 		}}, nil
 	}
 	for _, id := range cands {
 		// Tombstoned candidates are legal (a stale posting the liveness
 		// filter drops before verification); an ID past the dataset's
-		// slots means the index was built over a different dataset.
+		// slots means the index was built over a different dataset. Chunked
+		// producers are validated lazily instead: the liveness filter drops
+		// out-of-range IDs and Verify treats them as non-matches.
 		if int(id) < 0 || int(id) >= ds.Len() {
 			return nil, fmt.Errorf("core: candidate %d not in dataset", id)
 		}
 	}
-	return &genericPlan{cands: cands, verify: func(id graph.ID) bool {
+	return &genericPlan{cands: cands, chunks: chunks, verify: func(id graph.ID) bool {
 		g := ds.Graph(id)
 		if g == nil {
 			return false
@@ -183,6 +219,14 @@ type QueryResult struct {
 	// canonical-key computation plus lookup latency and VerifyTime is
 	// zero, so TotalTime() remains the query's real served latency.
 	Cached bool
+	// Produced counts candidate IDs the producer stage emitted (before the
+	// liveness filter — len(Candidates) is the count after it); Verified
+	// counts verifier invocations. For a one-shot query Verified equals
+	// len(Candidates); a limited or early-terminated stream verifies fewer,
+	// which is what the early-termination tests assert through these
+	// counters.
+	Produced int
+	Verified int
 }
 
 // FalsePositiveRatio returns (|C| - |A|) / |C| for this query, the
@@ -231,8 +275,23 @@ func (p *Processor) QueryCtx(ctx context.Context, q *graph.Graph) (*QueryResult,
 		return nil, fmt.Errorf("core: filtering with %s: %w", p.Method.Name(), err)
 	}
 	// Tombstoned graphs never surface: stale postings left behind by a
-	// remove-without-rebuild are dropped here, before verification.
-	res.Candidates = p.DS.FilterLive(plan.Candidates())
+	// remove-without-rebuild are dropped here, before verification. The
+	// one-shot path drains the same producer → liveness-filter composition
+	// the streamed path pulls lazily, so the two can never disagree on
+	// what reaches the verifier.
+	var stats PipelineStats
+	cur := NewCursor(p.DS, plan, StreamOptions{Stats: &stats})
+	var cands graph.IDSet
+	for {
+		id, ok := cur.Next()
+		if !ok {
+			break
+		}
+		cands = append(cands, id)
+	}
+	res.Candidates = cands
+	res.Produced = int(stats.Produced.Load())
+	res.Verified = len(cands)
 	res.FilterTime = time.Since(t0)
 
 	t1 := time.Now()
@@ -314,26 +373,13 @@ feed:
 
 // StreamAnswers processes one query against a built method and yields
 // matching graph IDs as verification confirms them, in candidate (ascending
-// ID) order, without materializing the answer set. A filtering failure or
-// context cancellation is yielded once as a non-nil error, then the
-// sequence ends.
+// ID) order, without materializing the answer or candidate sets: candidates
+// are pulled through the lazy producer → liveness filter → verifier
+// composition (see pipeline.go), so the first answer is yielded after one
+// verification. A filtering failure or context cancellation is yielded once
+// as a non-nil error, then the sequence ends.
 func StreamAnswers(ctx context.Context, m Method, ds *graph.Dataset, q *graph.Graph) iter.Seq2[graph.ID, error] {
-	return func(yield func(graph.ID, error) bool) {
-		plan, err := NewPlan(ctx, m, ds, q)
-		if err != nil {
-			yield(0, fmt.Errorf("core: filtering with %s: %w", m.Name(), err))
-			return
-		}
-		for _, id := range ds.FilterLive(plan.Candidates()) {
-			if err := ctx.Err(); err != nil {
-				yield(0, err)
-				return
-			}
-			if plan.Verify(id) && !yield(id, nil) {
-				return
-			}
-		}
-	}
+	return StreamAnswersOpts(ctx, m, ds, q, StreamOptions{})
 }
 
 // BruteForceAnswers returns the exact answer set by running VF2 against

@@ -1,0 +1,191 @@
+package core_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ctindex"
+	"repro/internal/gcode"
+	"repro/internal/gen"
+	"repro/internal/ggsx"
+	"repro/internal/gindex"
+	"repro/internal/grapes"
+	"repro/internal/graph"
+	"repro/internal/scan"
+	"repro/internal/testutil/leak"
+	"repro/internal/treedelta"
+	"repro/internal/workload"
+)
+
+// fuzzMethodCount is the number of selectable methods: the six paper
+// methods plus the no-index scan baseline.
+const fuzzMethodCount = 7
+
+// fuzzNewMethod instantiates the method at idx with feature sizes scaled
+// down for micro datasets, so each fuzz iteration builds in microseconds
+// while still exercising every filter's real candidate logic.
+func fuzzNewMethod(idx int) core.Method {
+	switch idx {
+	case 0:
+		return scan.New()
+	case 1:
+		return grapes.New(grapes.Options{MaxPathLen: 3})
+	case 2:
+		return ggsx.New(ggsx.Options{MaxPathLen: 3})
+	case 3:
+		return ctindex.New(ctindex.Options{MaxTreeSize: 4, MaxCycleSize: 4})
+	case 4:
+		return gindex.New(gindex.Options{MaxFeatureSize: 4})
+	case 5:
+		return treedelta.New(treedelta.Options{MaxFeatureSize: 4})
+	default:
+		return gcode.New(gcode.Options{})
+	}
+}
+
+// fuzzFixture is one fully-built (dataset, queries, method) combination,
+// cached across fuzz iterations: the fuzzer replays the same few fixtures
+// under thousands of (query, workers, cancel-point) permutations, and
+// rebuilding an index per permutation would dominate the run.
+type fuzzFixture struct {
+	ds      *graph.Dataset
+	queries []*graph.Graph
+	truth   []graph.IDSet
+	procs   [fuzzMethodCount]*core.Processor
+	methods [fuzzMethodCount]core.Method
+}
+
+var (
+	fuzzMu       sync.Mutex
+	fuzzFixtures = map[int64]*fuzzFixture{}
+)
+
+// fuzzSetup returns the cached fixture for dsSeed, building it on first
+// use: a tiny synthetic dataset, a mixed walk/path/tree workload over it,
+// brute-force truth per query, and all seven methods indexed.
+func fuzzSetup(t *testing.T, dsSeed int64) *fuzzFixture {
+	t.Helper()
+	fuzzMu.Lock()
+	defer fuzzMu.Unlock()
+	if fx, ok := fuzzFixtures[dsSeed]; ok {
+		return fx
+	}
+	ctx := context.Background()
+	fx := &fuzzFixture{}
+	fx.ds = gen.Synthetic(gen.SynthConfig{
+		NumGraphs: 15, MeanNodes: 9, MeanDensity: 0.25, NumLabels: 3, Seed: 900 + dsSeed,
+	})
+	qs, err := workload.GenerateMixed(fx.ds, workload.MixedConfig{
+		NumQueries: 6, Sizes: []int{2, 4}, Seed: 1700 + dsSeed,
+	})
+	if err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	fx.queries = qs
+	fx.truth = make([]graph.IDSet, len(qs))
+	for i, q := range qs {
+		ans, err := core.BruteForceAnswers(ctx, fx.ds, q)
+		if err != nil {
+			t.Fatalf("brute force: %v", err)
+		}
+		fx.truth[i] = ans
+	}
+	for i := 0; i < fuzzMethodCount; i++ {
+		m := fuzzNewMethod(i)
+		if err := m.Build(ctx, fx.ds); err != nil {
+			t.Fatalf("%s build: %v", m.Name(), err)
+		}
+		fx.methods[i] = m
+		fx.procs[i] = core.NewProcessor(m, fx.ds)
+	}
+	fuzzFixtures[dsSeed] = fx
+	return fx
+}
+
+// FuzzStreamParity is the differential harness for the lazy pipeline: for
+// a fuzz-chosen (dataset, method, query, verifier parallelism) it checks
+// that the streamed answer sequence is exactly the one-shot result, which
+// is exactly the brute-force truth — and that abandoning the stream after
+// a fuzz-chosen prefix yields exactly that prefix of the truth (in order,
+// no duplicate, no wrong id) while the pipeline's verifier goroutines shut
+// down cleanly.
+func FuzzStreamParity(f *testing.F) {
+	// Seed corpus: every method, serial and parallel verification, with
+	// cancel points at the start, middle, and past the end of the answers.
+	for m := uint8(0); m < fuzzMethodCount; m++ {
+		f.Add(uint8(0), m, uint8(0), uint8(0), uint8(1))
+		f.Add(uint8(1), m, uint8(2), uint8(3), uint8(2))
+		f.Add(uint8(2), m, uint8(4), uint8(1), uint8(255))
+	}
+	f.Fuzz(func(t *testing.T, dsSeed, mIdx, qIdx, workers, cancelAfter uint8) {
+		defer leak.Check(t)()
+		fx := fuzzSetup(t, int64(dsSeed%3))
+		mi := int(mIdx) % fuzzMethodCount
+		m, proc := fx.methods[mi], fx.procs[mi]
+		qi := int(qIdx) % len(fx.queries)
+		q, truth := fx.queries[qi], fx.truth[qi]
+		ctx := context.Background()
+
+		// One-shot ≡ brute force.
+		res, err := proc.QueryCtx(ctx, q)
+		if err != nil {
+			t.Fatalf("%s one-shot: %v", m.Name(), err)
+		}
+		if !res.Answers.Equal(truth) {
+			t.Fatalf("%s one-shot answers %v, want %v", m.Name(), res.Answers, truth)
+		}
+
+		// Streamed ≡ one-shot, serial and with fuzz-chosen parallelism.
+		nWorkers := 1 + int(workers)%4
+		for _, w := range []int{1, nWorkers} {
+			var stats core.PipelineStats
+			got := graph.IDSet{}
+			for id, err := range core.StreamAnswersOpts(ctx, m, fx.ds, q, core.StreamOptions{
+				VerifyWorkers: w, Stats: &stats,
+			}) {
+				if err != nil {
+					t.Fatalf("%s stream (workers=%d): %v", m.Name(), w, err)
+				}
+				got = append(got, id)
+			}
+			if !got.Equal(truth) {
+				t.Fatalf("%s stream (workers=%d) %v, want %v", m.Name(), w, got, truth)
+			}
+			if v := int(stats.Verified.Load()); v < len(truth) {
+				t.Fatalf("%s stream verified %d < %d answers", m.Name(), v, len(truth))
+			}
+			if p, v := stats.Produced.Load(), stats.Verified.Load(); p < v {
+				t.Fatalf("%s stream produced %d < verified %d", m.Name(), p, v)
+			}
+		}
+
+		// Abandoning the stream after k answers must yield exactly
+		// truth[:k] — a lazy pipeline that reorders, duplicates, or
+		// invents an id under early exit fails here.
+		if k := int(cancelAfter) % (len(truth) + 1); k > 0 {
+			prefix := graph.IDSet{}
+			for id, err := range core.StreamAnswersOpts(ctx, m, fx.ds, q, core.StreamOptions{
+				VerifyWorkers: nWorkers,
+			}) {
+				if err != nil {
+					t.Fatalf("%s prefix stream: %v", m.Name(), err)
+				}
+				prefix = append(prefix, id)
+				if len(prefix) >= k {
+					break
+				}
+			}
+			if len(prefix) != k {
+				t.Fatalf("%s prefix stream yielded %d answers, want %d", m.Name(), len(prefix), k)
+			}
+			for i, id := range prefix {
+				if id != truth[i] {
+					t.Fatalf("%s prefix[%d] = %d, want %d (full prefix %v, truth %v)",
+						m.Name(), i, id, truth[i], prefix, truth)
+				}
+			}
+		}
+	})
+}

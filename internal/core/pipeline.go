@@ -1,0 +1,293 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// This file is the lazy side of the filter-and-verify pipeline: the query
+// path decomposed into composable iterator stages —
+//
+//	candidate producer → liveness filter → verifier → consumer
+//
+// The producer emits candidate IDs in ascending order, in chunks, without
+// materializing the full candidate set (methods that implement
+// CandidateChunker stream their posting-list intersections; the rest fall
+// back to one chunk holding Candidates()). The liveness filter drops
+// tombstoned slots as IDs flow past. The verifier — serial or a bounded
+// worker pool — proves candidates and emits answers in candidate order as
+// each proof lands, so the first answer costs one verification, not a full
+// candidate scan, and a limit-N consumer does only the work it keeps.
+
+// CandidateChunker is implemented by methods that can emit their candidate
+// set lazily, as a sequence of sorted, non-overlapping, strictly ascending
+// chunks whose concatenation equals Candidates(q). Query-level work (feature
+// extraction, posting lookups) runs eagerly in CandidateChunks; the per-graph
+// scan or intersection is deferred into the sequence. The returned sequence
+// must be re-iterable and must do no index reads after its yield returns
+// false, so an early-terminated stream can be torn down without
+// synchronization.
+type CandidateChunker interface {
+	CandidateChunks(q *graph.Graph) (iter.Seq[graph.IDSet], error)
+}
+
+// ChunkedPlan is implemented by query plans that expose their candidate set
+// as a lazy chunk sequence under the same contract as CandidateChunker.
+type ChunkedPlan interface {
+	QueryPlan
+	Chunks() iter.Seq[graph.IDSet]
+}
+
+// PlanChunks adapts any plan into the producer stage's chunk sequence: a
+// ChunkedPlan streams its chunks, everything else degrades to a single
+// materialized chunk.
+func PlanChunks(plan QueryPlan) iter.Seq[graph.IDSet] {
+	if cp, ok := plan.(ChunkedPlan); ok {
+		return cp.Chunks()
+	}
+	return func(yield func(graph.IDSet) bool) {
+		if c := plan.Candidates(); len(c) > 0 {
+			yield(c)
+		}
+	}
+}
+
+// PipelineStats counts one query's flow through the pipeline stages. Fields
+// are atomics because the verifier stage may run in a worker pool; a stats
+// struct may also be shared across the per-shard legs of a merged stream.
+type PipelineStats struct {
+	// Produced counts candidate IDs emitted by the producer stage (after
+	// any resume-skip, before the liveness filter).
+	Produced atomic.Int64
+	// Live counts candidates that survived the tombstone/liveness filter.
+	Live atomic.Int64
+	// Verified counts verifier invocations — the pipeline's unit of real
+	// work, and what early termination is measured by.
+	Verified atomic.Int64
+}
+
+// StreamOptions tunes a streamed query.
+type StreamOptions struct {
+	// VerifyWorkers bounds the verifier stage's parallelism; <= 1 verifies
+	// serially. The stage emits in candidate order either way, with
+	// read-ahead bounded at ~2×workers, so a limit-1 stream never proves
+	// more than a small window past its answer.
+	VerifyWorkers int
+	// SkipTo makes the producer emit only IDs >= SkipTo — the resume
+	// primitive behind the cluster's per-shard frontiers. Zero emits all.
+	SkipTo graph.ID
+	// Stats, when non-nil, receives the pipeline counters for this query.
+	Stats *PipelineStats
+}
+
+// Cursor is a pull-side view of the producer and liveness-filter stages:
+// Next returns live candidate IDs one at a time, in ascending order,
+// pulling chunks from the plan only as they are consumed. Callers that
+// interleave locking with consumption (the engines' chunked-locking
+// streams) drive a Cursor directly; Stop releases the underlying chunk
+// sequence and is idempotent. A Cursor is not safe for concurrent use.
+type Cursor struct {
+	ds      *graph.Dataset
+	stats   *PipelineStats
+	skipTo  graph.ID
+	next    func() (graph.IDSet, bool)
+	stop    func()
+	chunk   graph.IDSet
+	pos     int
+	stopped bool
+}
+
+// NewCursor composes the producer and liveness stages over a plan. The
+// caller must Stop the cursor when done (Next reaching the end stops it
+// implicitly).
+func NewCursor(ds *graph.Dataset, plan QueryPlan, opts StreamOptions) *Cursor {
+	stats := opts.Stats
+	if stats == nil {
+		stats = &PipelineStats{}
+	}
+	next, stop := iter.Pull(PlanChunks(plan))
+	return &Cursor{ds: ds, stats: stats, skipTo: opts.SkipTo, next: next, stop: stop}
+}
+
+// Next returns the next live candidate ID, or false when the producer is
+// exhausted.
+func (c *Cursor) Next() (graph.ID, bool) {
+	if c.stopped {
+		return 0, false
+	}
+	for {
+		for c.pos < len(c.chunk) {
+			id := c.chunk[c.pos]
+			c.pos++
+			if id < c.skipTo {
+				continue
+			}
+			c.stats.Produced.Add(1)
+			if !c.ds.Alive(id) {
+				continue
+			}
+			c.stats.Live.Add(1)
+			return id, true
+		}
+		chunk, ok := c.next()
+		if !ok {
+			c.Stop()
+			return 0, false
+		}
+		// A whole chunk below the resume frontier is skipped without
+		// touching its IDs (chunks are ascending).
+		if n := len(chunk); n > 0 && chunk[n-1] < c.skipTo {
+			continue
+		}
+		c.chunk, c.pos = chunk, 0
+	}
+}
+
+// Stop releases the chunk sequence. Safe to call more than once.
+func (c *Cursor) Stop() {
+	if c.stopped {
+		return
+	}
+	c.stopped = true
+	c.chunk = nil
+	c.stop()
+}
+
+// StreamPlan runs the verifier stage over a plan's lazy candidate stream and
+// yields answers in candidate (ascending ID) order as they are proven. A
+// context cancellation is yielded once as a non-nil error, then the sequence
+// ends. The caller owns any locking; every stage — chunk pulls, liveness
+// checks, verification — runs within the iteration.
+func StreamPlan(ctx context.Context, ds *graph.Dataset, plan QueryPlan, opts StreamOptions) iter.Seq2[graph.ID, error] {
+	stats := opts.Stats
+	if stats == nil {
+		stats = &PipelineStats{}
+	}
+	opts.Stats = stats
+	if opts.VerifyWorkers > 1 {
+		return streamParallel(ctx, ds, plan, opts)
+	}
+	return func(yield func(graph.ID, error) bool) {
+		cur := NewCursor(ds, plan, opts)
+		defer cur.Stop()
+		for {
+			id, ok := cur.Next()
+			if !ok {
+				return
+			}
+			if err := ctx.Err(); err != nil {
+				yield(0, err)
+				return
+			}
+			stats.Verified.Add(1)
+			if plan.Verify(id) && !yield(id, nil) {
+				return
+			}
+		}
+	}
+}
+
+// verifyJob carries one candidate through the parallel verifier: the
+// emitter receives jobs in feed order and blocks on each job's res channel,
+// so answers surface in candidate order no matter which worker finishes
+// first.
+type verifyJob struct {
+	id  graph.ID
+	res chan bool
+}
+
+// streamParallel is the verifier stage as a bounded worker pool with ordered
+// emission. A feeder goroutine pulls the cursor and enqueues each candidate
+// into an order channel (buffered to the worker count — this is the
+// read-ahead bound) and then the jobs channel; workers verify and post to
+// the per-job result channel; the emitter walks the order channel. Teardown
+// closes stop, which unblocks the feeder wherever it is parked, and waits
+// for every goroutine before returning — no leaks on early break or
+// cancellation.
+func streamParallel(ctx context.Context, ds *graph.Dataset, plan QueryPlan, opts StreamOptions) iter.Seq2[graph.ID, error] {
+	return func(yield func(graph.ID, error) bool) {
+		workers := opts.VerifyWorkers
+		stats := opts.Stats
+		stop := make(chan struct{})
+		jobs := make(chan verifyJob)
+		order := make(chan verifyJob, workers)
+		var wg sync.WaitGroup
+
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range jobs {
+					stats.Verified.Add(1)
+					j.res <- plan.Verify(j.id)
+				}
+			}()
+		}
+
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer close(jobs)
+			defer close(order)
+			cur := NewCursor(ds, plan, opts)
+			defer cur.Stop()
+			for {
+				id, ok := cur.Next()
+				if !ok {
+					return
+				}
+				j := verifyJob{id: id, res: make(chan bool, 1)}
+				select {
+				case order <- j:
+				case <-stop:
+					return
+				}
+				select {
+				case jobs <- j:
+				case <-stop:
+					return
+				}
+			}
+		}()
+
+		defer wg.Wait()
+		defer close(stop)
+		for j := range order {
+			select {
+			case matched := <-j.res:
+				if matched && !yield(j.id, nil) {
+					return
+				}
+			case <-ctx.Done():
+				yield(0, ctx.Err())
+				return
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			yield(0, err)
+		}
+	}
+}
+
+// StreamAnswersOpts is StreamAnswers with explicit pipeline options: it
+// plans the query, then streams answers through the lazy producer →
+// liveness filter → verifier composition.
+func StreamAnswersOpts(ctx context.Context, m Method, ds *graph.Dataset, q *graph.Graph, opts StreamOptions) iter.Seq2[graph.ID, error] {
+	return func(yield func(graph.ID, error) bool) {
+		plan, err := NewPlan(ctx, m, ds, q)
+		if err != nil {
+			yield(0, fmt.Errorf("core: filtering with %s: %w", m.Name(), err))
+			return
+		}
+		for id, err := range StreamPlan(ctx, ds, plan, opts) {
+			if !yield(id, err) {
+				return
+			}
+		}
+	}
+}

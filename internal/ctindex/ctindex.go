@@ -14,6 +14,7 @@ package ctindex
 import (
 	"context"
 	"hash/fnv"
+	"iter"
 
 	"repro/internal/bitset"
 	"repro/internal/canon"
@@ -150,6 +151,42 @@ func (ix *Index) Candidates(q *graph.Graph) (graph.IDSet, error) {
 		}
 	}
 	return out, nil
+}
+
+// scanChunk is the number of fingerprint slots the lazy producer tests per
+// emitted chunk: the subset tests stay cache-friendly while a limit-1
+// stream touches a sliver of the table.
+const scanChunk = 2048
+
+var _ core.CandidateChunker = (*Index)(nil)
+
+// CandidateChunks implements core.CandidateChunker: the query fingerprint
+// is computed eagerly, then the per-graph subset tests run lazily, a window
+// of fingerprint slots per chunk, so an early-terminated stream never scans
+// the whole table.
+func (ix *Index) CandidateChunks(q *graph.Graph) (iter.Seq[graph.IDSet], error) {
+	if !ix.built {
+		return nil, core.ErrNotBuilt
+	}
+	qfp := ix.fingerprint(q)
+	fps := ix.fps
+	return func(yield func(graph.IDSet) bool) {
+		for lo := 0; lo < len(fps); lo += scanChunk {
+			hi := min(lo+scanChunk, len(fps))
+			var chunk graph.IDSet
+			for i := lo; i < hi; i++ {
+				if fps[i] == nil {
+					continue // tombstoned slot
+				}
+				if qfp.IsSubsetOf(fps[i]) {
+					chunk = append(chunk, graph.ID(i))
+				}
+			}
+			if len(chunk) > 0 && !yield(chunk) {
+				return
+			}
+		}
+	}, nil
 }
 
 // VerifyCandidate implements core.Verifier using the tuned matcher.

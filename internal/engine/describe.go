@@ -53,6 +53,14 @@ func WriteMethodsMarkdown(w io.Writer) error {
 	bw.printf("engine). Removals are tombstone-based either way, so they are cheap\n")
 	bw.printf("for every method.\n\n")
 
+	bw.printf("Every method serves the same lazy query pipeline: candidates are\n")
+	bw.printf("produced in chunks, filtered for liveness, and verified on demand, so\n")
+	bw.printf("`Stream` yields answers in ascending graph-id order as they are proven\n")
+	bw.printf("and the server's `limit=N` query parameter stops the pipeline after N\n")
+	bw.printf("answers without verifying the unreturned tail. The per-method\n")
+	bw.printf("differences below are filtering power and index cost — never answer\n")
+	bw.printf("order or early-termination semantics.\n\n")
+
 	bw.printf("| Method | Spec name | Parameters | Updates | Summary |\n")
 	bw.printf("|---|---|---|---|---|\n")
 	for _, d := range Descriptors() {

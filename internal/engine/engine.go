@@ -246,25 +246,18 @@ func (e *Engine) QueryBatch(ctx context.Context, queries []*graph.Graph, opts co
 
 // Stream processes one query and yields matching graph IDs as verification
 // confirms them, in candidate (ascending ID) order, without materializing
-// the answer set. A filtering failure or context cancellation is yielded
-// once as a non-nil error, then the sequence ends.
+// the answer or candidate sets: candidates are pulled lazily through the
+// chunked producer, so the first answer is yielded after one verification.
+// A filtering failure or context cancellation is yielded once as a non-nil
+// error, then the sequence ends.
+//
+// The engine's read lock is NOT held across yields: the stream verifies a
+// growing quantum of candidates per lock hold and releases the lock before
+// every yield, so a slow streaming consumer never stalls mutations. A
+// mutation landing mid-stream aborts it with an ErrStreamStale-wrapped
+// error on the next lock re-acquisition.
 func (e *Engine) Stream(ctx context.Context, q *graph.Graph) iter.Seq2[graph.ID, error] {
-	return func(yield func(graph.ID, error) bool) {
-		// The read lock is held for the whole iteration: a mutation cannot
-		// swap or modify the index under a partially consumed stream. The
-		// flip side is that a consumer must not park indefinitely inside
-		// the loop body — it would hold the lock and stall pending
-		// mutations (and, behind the queued writer, new queries); the
-		// serving layer bounds its streamed writes with a deadline for
-		// exactly this reason.
-		e.mu.RLock()
-		defer e.mu.RUnlock()
-		for id, err := range core.StreamAnswers(ctx, e.method, e.ds, q) {
-			if !yield(id, err) {
-				return
-			}
-		}
-	}
+	return e.StreamOpts(ctx, q, core.StreamOptions{VerifyWorkers: e.verifyWorkers})
 }
 
 // Save persists the engine's built index to path, atomically and stamped

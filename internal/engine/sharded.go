@@ -536,6 +536,8 @@ func (s *Sharded) mergeSets(results []*core.QueryResult) *core.QueryResult {
 	for _, r := range results {
 		merged.Candidates = merged.Candidates.Union(r.Candidates)
 		merged.Answers = merged.Answers.Union(r.Answers)
+		merged.Produced += r.Produced
+		merged.Verified += r.Verified
 	}
 	return merged
 }
@@ -584,76 +586,13 @@ func (s *Sharded) QueryBatch(ctx context.Context, queries []*graph.Graph, opts c
 // streams are then merged by a k-way walk that verifies lazily in global
 // order. A filtering failure or context cancellation is yielded once as a
 // non-nil error, then the sequence ends.
+// Stream does NOT hold the engine's read lock across yields: like
+// Engine.Stream it verifies a growing quantum per lock hold, releases the
+// lock before every yield, and aborts with an ErrStreamStale-wrapped error
+// when a mutation lands mid-stream. The per-shard candidate sets are never
+// materialized — each shard contributes a lazy cursor to the merge.
 func (s *Sharded) Stream(ctx context.Context, q *graph.Graph) iter.Seq2[graph.ID, error] {
-	return func(yield func(graph.ID, error) bool) {
-		// Held for the whole iteration, like Engine.Stream: a mutation
-		// cannot touch shard indexes under a partially consumed stream.
-		s.mu.RLock()
-		defer s.mu.RUnlock()
-		plans := make([]core.QueryPlan, len(s.shards))
-		// The plans outlive the fan-out pool, so they must capture the
-		// caller's ctx (cancellation still reaches the verifiers through
-		// it), not the pool's internally cancelled one.
-		err := ForEachBounded(ctx, len(s.shards), runtime.GOMAXPROCS(0), func(_ context.Context, i int) error {
-			sh := s.shards[i]
-			if sh.empty() {
-				return nil
-			}
-			p, err := core.NewPlan(ctx, sh.method, sh.sub, q)
-			if err != nil {
-				return err
-			}
-			plans[i] = p
-			return nil
-		})
-		if err != nil {
-			yield(0, err)
-			return
-		}
-		type cursor struct {
-			shard int
-			cands graph.IDSet // shard-local, sorted
-			pos   int
-		}
-		cursors := make([]cursor, 0, len(s.shards))
-		for i, p := range plans {
-			if p == nil {
-				continue
-			}
-			// Tombstoned shard-local graphs are filtered here, as the
-			// pipeline does for non-streamed queries.
-			if cands := s.shards[i].sub.FilterLive(p.Candidates()); len(cands) > 0 {
-				cursors = append(cursors, cursor{shard: i, cands: cands})
-			}
-		}
-		for {
-			best := -1
-			var bestID graph.ID
-			for ci := range cursors {
-				c := &cursors[ci]
-				if c.pos >= len(c.cands) {
-					continue
-				}
-				gid := s.shards[c.shard].global[c.cands[c.pos]]
-				if best < 0 || gid < bestID {
-					best, bestID = ci, gid
-				}
-			}
-			if best < 0 {
-				return
-			}
-			if err := ctx.Err(); err != nil {
-				yield(0, err)
-				return
-			}
-			c := &cursors[best]
-			local := c.cands[c.pos]
-			c.pos++
-			if plans[c.shard].Verify(local) && !yield(bestID, nil) {
-				return
-			}
-		}
-	}
+	return s.StreamOpts(ctx, q, core.StreamOptions{})
 }
 
 // Save persists every shard's index under base — ShardIndexPath(base, i) per

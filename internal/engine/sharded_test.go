@@ -11,6 +11,7 @@ import (
 	"repro/internal/engine"
 	_ "repro/internal/engine/std"
 	"repro/internal/graph"
+	"repro/internal/testutil/leak"
 )
 
 // TestShardOfDeterministicAndCovering: the hash partition is a pure function
@@ -177,6 +178,7 @@ func TestShardedQueryBatchMatchesQuery(t *testing.T) {
 // the fan-out query, and — mid-stream — the merged answer stream, exactly
 // like the unsharded engine.
 func TestShardedCancellation(t *testing.T) {
+	defer leak.Check(t)()
 	ds := tinyDataset(t)
 	queries := tinyQueries(t, ds)
 

@@ -1,0 +1,299 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"runtime"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// ErrStreamStale is wrapped into the terminal error of a stream whose
+// dataset was mutated mid-iteration. Streams use epoch-checked chunked
+// locking: the engine's read lock is released before every yield and
+// re-acquired after, so a slow streaming consumer never blocks mutations —
+// the price is that a mutation landing inside that window invalidates the
+// plan's view of the index, and the stream aborts with this error instead
+// of silently mixing two index generations. The consumer restarts the
+// stream (resuming via core.StreamOptions.SkipTo if it kept a frontier).
+var ErrStreamStale = errors.New("dataset mutated during stream; restart the stream")
+
+// StatsStreamer is the optional Querier extension for streamed queries with
+// pipeline observability: limit-honoring consumers (the server's limit=N)
+// read how many candidates were produced and verified from the stats.
+// Engine, Sharded, router.Multi, and server.CachedEngine implement it.
+type StatsStreamer interface {
+	StreamStats(ctx context.Context, q *graph.Graph, stats *core.PipelineStats) iter.Seq2[graph.ID, error]
+}
+
+// streamQuantum is the maximum candidates verified per lock hold in a
+// chunked-locking stream. The quantum starts at 1 — the first answer is
+// yielded after a single verification — and doubles per chunk up to this
+// cap, amortizing lock traffic on long streams while keeping the writer
+// wait bounded.
+const streamQuantum = 64
+
+func growQuantum(q int) int {
+	if q < streamQuantum {
+		q *= 2
+	}
+	return q
+}
+
+// StreamOpts is Stream with explicit pipeline options. The engine's read
+// lock is held while candidates are pulled and verified, released around
+// every yield (and re-acquired after), and the stream aborts with an
+// ErrStreamStale-wrapped error if the dataset epoch moved while it was
+// unlocked.
+func (e *Engine) StreamOpts(ctx context.Context, q *graph.Graph, opts core.StreamOptions) iter.Seq2[graph.ID, error] {
+	return func(yield func(graph.ID, error) bool) {
+		stats := opts.Stats
+		if stats == nil {
+			stats = &core.PipelineStats{}
+			opts.Stats = stats
+		}
+		workers := opts.VerifyWorkers
+		if workers < 1 {
+			workers = 1
+		}
+
+		e.mu.RLock()
+		locked := true
+		unlock := func() {
+			if locked {
+				e.mu.RUnlock()
+				locked = false
+			}
+		}
+		defer unlock()
+
+		epoch := e.ds.Epoch()
+		plan, err := core.NewPlan(ctx, e.method, e.ds, q)
+		if err != nil {
+			unlock()
+			yield(0, fmt.Errorf("core: filtering with %s: %w", e.method.Name(), err))
+			return
+		}
+		cur := core.NewCursor(e.ds, plan, opts)
+		defer cur.Stop()
+
+		quantum := 1
+		batch := make(graph.IDSet, 0, streamQuantum)
+		for {
+			// Under the lock: pull up to quantum live candidates and verify
+			// them (bounded-parallel, answers reassembled in order).
+			batch = batch[:0]
+			done := false
+			for len(batch) < quantum {
+				id, ok := cur.Next()
+				if !ok {
+					done = true
+					break
+				}
+				batch = append(batch, id)
+			}
+			matched, verr := core.VerifyCandidates(ctx, plan, batch, workers)
+			stats.Verified.Add(int64(len(batch)))
+			unlock()
+			if verr != nil {
+				yield(0, verr)
+				return
+			}
+			for _, id := range matched {
+				if !yield(id, nil) {
+					return
+				}
+			}
+			if done {
+				return
+			}
+			if err := ctx.Err(); err != nil {
+				yield(0, err)
+				return
+			}
+			quantum = growQuantum(quantum)
+			e.mu.RLock()
+			locked = true
+			if now := e.ds.Epoch(); now != epoch {
+				unlock()
+				yield(0, fmt.Errorf("engine: %w (epoch %d -> %d)", ErrStreamStale, epoch, now))
+				return
+			}
+		}
+	}
+}
+
+// StreamStats implements StatsStreamer.
+func (e *Engine) StreamStats(ctx context.Context, q *graph.Graph, stats *core.PipelineStats) iter.Seq2[graph.ID, error] {
+	return e.StreamOpts(ctx, q, core.StreamOptions{Stats: stats, VerifyWorkers: e.verifyWorkers})
+}
+
+// shardLeg is one shard's lazy candidate stream inside a merged Sharded or
+// cluster stream: the plan, the cursor pulling its live candidates, and the
+// current head in shard-local and global (parent-dataset) IDs.
+type shardLeg struct {
+	shard  int
+	plan   core.QueryPlan
+	cur    *core.Cursor
+	local  graph.ID
+	global graph.ID
+	done   bool
+}
+
+// advance pulls the leg's next live candidate; global mapping is supplied
+// by the caller. Must be called under the owning engine's read lock.
+func (l *shardLeg) advance(toGlobal func(graph.ID) graph.ID) {
+	id, ok := l.cur.Next()
+	if !ok {
+		l.done = true
+		return
+	}
+	l.local, l.global = id, toGlobal(id)
+}
+
+// localSkip translates a global resume frontier into a shard-local SkipTo:
+// the smallest local ID whose global ID is >= skipTo. global is ascending
+// (partitioning preserves parent order).
+func localSkip(global []graph.ID, skipTo graph.ID) graph.ID {
+	if skipTo <= 0 {
+		return 0
+	}
+	return graph.ID(sort.Search(len(global), func(i int) bool { return global[i] >= skipTo }))
+}
+
+// StreamOpts is Stream with explicit pipeline options — the sharded
+// counterpart of Engine.StreamOpts, with the same epoch-checked chunked
+// locking: shard plans are built under the read lock (fan-out), then the
+// k-way merge pulls each shard's lazy candidate cursor and verifies in
+// global ID order, releasing the lock around every yield and aborting with
+// an ErrStreamStale-wrapped error if the parent dataset epoch moved.
+func (s *Sharded) StreamOpts(ctx context.Context, q *graph.Graph, opts core.StreamOptions) iter.Seq2[graph.ID, error] {
+	return func(yield func(graph.ID, error) bool) {
+		stats := opts.Stats
+		if stats == nil {
+			stats = &core.PipelineStats{}
+		}
+
+		s.mu.RLock()
+		locked := true
+		unlock := func() {
+			if locked {
+				s.mu.RUnlock()
+				locked = false
+			}
+		}
+		defer unlock()
+
+		epoch := s.ds.Epoch()
+		plans := make([]core.QueryPlan, len(s.shards))
+		// The plans outlive the fan-out pool, so they must capture the
+		// caller's ctx (cancellation still reaches the verifiers through
+		// it), not the pool's internally cancelled one.
+		err := ForEachBounded(ctx, len(s.shards), runtime.GOMAXPROCS(0), func(_ context.Context, i int) error {
+			sh := s.shards[i]
+			if sh.empty() {
+				return nil
+			}
+			p, err := core.NewPlan(ctx, sh.method, sh.sub, q)
+			if err != nil {
+				return err
+			}
+			plans[i] = p
+			return nil
+		})
+		if err != nil {
+			unlock()
+			yield(0, err)
+			return
+		}
+		legs := make([]*shardLeg, 0, len(s.shards))
+		defer func() {
+			for _, l := range legs {
+				l.cur.Stop()
+			}
+		}()
+		for i, p := range plans {
+			if p == nil {
+				continue
+			}
+			sh := s.shards[i]
+			leg := &shardLeg{
+				shard: i,
+				plan:  p,
+				cur: core.NewCursor(sh.sub, p, core.StreamOptions{
+					Stats:  stats,
+					SkipTo: localSkip(sh.global, opts.SkipTo),
+				}),
+			}
+			leg.advance(func(id graph.ID) graph.ID { return sh.global[id] })
+			legs = append(legs, leg)
+		}
+
+		quantum := 1
+		out := make(graph.IDSet, 0, streamQuantum)
+		for {
+			// Under the lock: up to quantum k-way merge steps (verifications,
+			// not matches — the hold must stay bounded even when nothing
+			// matches), verifying the globally smallest head each time.
+			out = out[:0]
+			done := false
+			var verr error
+			for step := 0; step < quantum; step++ {
+				var best *shardLeg
+				for _, l := range legs {
+					if l.done {
+						continue
+					}
+					if best == nil || l.global < best.global {
+						best = l
+					}
+				}
+				if best == nil {
+					done = true
+					break
+				}
+				if verr = ctx.Err(); verr != nil {
+					break
+				}
+				stats.Verified.Add(1)
+				matched := best.plan.Verify(best.local)
+				id := best.global
+				sh := s.shards[best.shard]
+				best.advance(func(id graph.ID) graph.ID { return sh.global[id] })
+				if matched {
+					out = append(out, id)
+				}
+			}
+			unlock()
+			for _, id := range out {
+				if !yield(id, nil) {
+					return
+				}
+			}
+			if verr != nil {
+				yield(0, verr)
+				return
+			}
+			if done {
+				return
+			}
+			quantum = growQuantum(quantum)
+			s.mu.RLock()
+			locked = true
+			if now := s.ds.Epoch(); now != epoch {
+				unlock()
+				yield(0, fmt.Errorf("engine: %w (epoch %d -> %d)", ErrStreamStale, epoch, now))
+				return
+			}
+		}
+	}
+}
+
+// StreamStats implements StatsStreamer.
+func (s *Sharded) StreamStats(ctx context.Context, q *graph.Graph, stats *core.PipelineStats) iter.Seq2[graph.ID, error] {
+	return s.StreamOpts(ctx, q, core.StreamOptions{Stats: stats})
+}

@@ -1,0 +1,160 @@
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"iter"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/testutil/leak"
+)
+
+// pullFirstAnswer starts a pull-based consumer over the stream and returns
+// after the first answer: the stream goroutine is then parked in its yield
+// with the engine's read lock released (chunked locking), which is exactly
+// the stalled-consumer state these tests exercise.
+func pullFirstAnswer(t *testing.T, seq iter.Seq2[graph.ID, error]) (next func() (graph.ID, error, bool), stop func()) {
+	t.Helper()
+	next, stop = iter.Pull2(seq)
+	id, err, ok := next()
+	if !ok {
+		t.Fatal("stream ended before its first answer")
+	}
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	_ = id
+	return next, stop
+}
+
+// TestMutationCompletesWhileStreamStalled is the regression test for the
+// chunked-locking rewrite: under the previous whole-iteration read lock, a
+// stream stalled mid-consumption blocked AddGraph forever. Now the lock is
+// released around every yield, the mutation completes promptly, and the
+// stalled stream — whose plan is now a generation behind — aborts with
+// ErrStreamStale when resumed.
+func TestMutationCompletesWhileStreamStalled(t *testing.T) {
+	defer leak.Check(t)()
+	ctx := context.Background()
+	ds := tinyDataset(t)
+	eng, err := engine.Open(ctx, ds, engine.WithSpec("noindex"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := tinyQueries(t, ds)
+	var q *graph.Graph
+	for _, cand := range queries {
+		res, err := eng.Query(ctx, cand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// At least two answers: after the first is pulled there is provably
+		// more stream left, so the resumed stream must hit the epoch check.
+		if len(res.Answers) >= 2 {
+			q = cand
+			break
+		}
+	}
+	if q == nil {
+		t.Fatal("no workload query with >= 2 answers; pick a different seed")
+	}
+
+	next, stop := pullFirstAnswer(t, eng.Stream(ctx, q))
+	defer stop()
+
+	// The stream is stalled between chunks; the mutation must not block.
+	pool := gen.Synthetic(gen.SynthConfig{
+		NumGraphs: 1, MeanNodes: 8, MeanDensity: 0.3, NumLabels: 4, Seed: 77,
+	})
+	done := make(chan error, 1)
+	go func() {
+		_, err := eng.AddGraph(ctx, pool.Graphs[0].ShallowWithID(0))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("AddGraph: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("mutation blocked behind a stalled stream")
+	}
+
+	// Resuming the stale stream must surface ErrStreamStale, not silently
+	// mix two index generations.
+	for {
+		_, err, ok := next()
+		if !ok {
+			t.Fatal("stale stream ended without an error")
+		}
+		if err != nil {
+			if !errors.Is(err, engine.ErrStreamStale) {
+				t.Fatalf("stream err = %v, want ErrStreamStale", err)
+			}
+			break
+		}
+	}
+}
+
+// TestShardedMutationCompletesWhileStreamStalled is the sharded analogue.
+func TestShardedMutationCompletesWhileStreamStalled(t *testing.T) {
+	defer leak.Check(t)()
+	ctx := context.Background()
+	ds := tinyDataset(t)
+	s, err := engine.OpenSharded(ctx, ds, 3, engine.WithSpec("noindex"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := tinyQueries(t, ds)
+	var q *graph.Graph
+	for _, cand := range queries {
+		res, err := s.Query(ctx, cand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Answers) >= 2 {
+			q = cand
+			break
+		}
+	}
+	if q == nil {
+		t.Fatal("no workload query with >= 2 answers; pick a different seed")
+	}
+
+	next, stop := pullFirstAnswer(t, s.Stream(ctx, q))
+	defer stop()
+
+	pool := gen.Synthetic(gen.SynthConfig{
+		NumGraphs: 1, MeanNodes: 8, MeanDensity: 0.3, NumLabels: 4, Seed: 78,
+	})
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.AddGraph(ctx, pool.Graphs[0].ShallowWithID(0))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("AddGraph: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("mutation blocked behind a stalled sharded stream")
+	}
+
+	for {
+		_, err, ok := next()
+		if !ok {
+			t.Fatal("stale sharded stream ended without an error")
+		}
+		if err != nil {
+			if !errors.Is(err, engine.ErrStreamStale) {
+				t.Fatalf("stream err = %v, want ErrStreamStale", err)
+			}
+			break
+		}
+	}
+}

@@ -15,6 +15,7 @@ package gcode
 
 import (
 	"context"
+	"iter"
 	"math"
 	"sort"
 
@@ -250,6 +251,49 @@ func (ix *Index) Candidates(q *graph.Graph) (graph.IDSet, error) {
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
 	return out, nil
+}
+
+// scanChunk is the number of graph codes the lazy producer tests per
+// emitted chunk.
+const scanChunk = 512
+
+var _ core.CandidateChunker = (*Index)(nil)
+
+// CandidateChunks implements core.CandidateChunker: the query is encoded
+// eagerly and an ID-ordered view of the code table is built (the table is
+// sorted by (labelBits, id), not id — a cheap position sort next to the
+// dominance tests), then the two-phase filter runs lazily over windows of
+// that view so candidates stream out in ascending ID order.
+func (ix *Index) CandidateChunks(q *graph.Graph) (iter.Seq[graph.IDSet], error) {
+	if !ix.built {
+		return nil, core.ErrNotBuilt
+	}
+	qc := ix.encode(q)
+	byID := make([]int32, len(ix.codes))
+	for i := range byID {
+		byID[i] = int32(i)
+	}
+	codes := ix.codes
+	sort.Slice(byID, func(a, b int) bool { return codes[byID[a]].id < codes[byID[b]].id })
+	return func(yield func(graph.IDSet) bool) {
+		for lo := 0; lo < len(byID); lo += scanChunk {
+			hi := min(lo+scanChunk, len(byID))
+			var chunk graph.IDSet
+			for _, pos := range byID[lo:hi] {
+				gc := &codes[pos]
+				if !gc.dominatesQ(&qc) {
+					continue
+				}
+				if !signatureMatch(qc.sigs, gc.sigs) {
+					continue
+				}
+				chunk = append(chunk, gc.id)
+			}
+			if len(chunk) > 0 && !yield(chunk) {
+				return
+			}
+		}
+	}, nil
 }
 
 // signatureMatch reports whether every query vertex signature can be

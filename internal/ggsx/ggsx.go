@@ -12,6 +12,7 @@ package ggsx
 
 import (
 	"context"
+	"iter"
 	"sort"
 
 	"repro/internal/core"
@@ -168,6 +169,112 @@ func (ix *Index) Candidates(q *graph.Graph) (graph.IDSet, error) {
 		return graph.IDSet{}, nil
 	}
 	return cands, nil
+}
+
+// pathConstraint is one query trie node's dominance requirement against its
+// matching index node, gathered eagerly so the per-graph evaluation can run
+// lazily in candidate-major order.
+type pathConstraint struct {
+	n    *node
+	need int32
+}
+
+// gatherConstraints collects every query trie node's (index node, count)
+// constraint, returning false as soon as a query path is missing from the
+// index (no graph can contain the query).
+func gatherConstraints(qt *queryTrie, ixn *node, cons *[]pathConstraint) bool {
+	for l, qc := range qt.children {
+		ic, ok := ixn.children[l]
+		if !ok {
+			return false
+		}
+		*cons = append(*cons, pathConstraint{n: ic, need: qc.count})
+		if !gatherConstraints(qc, ic, cons) {
+			return false
+		}
+	}
+	return true
+}
+
+// chunkSize is the lazy producer's emission granularity.
+const chunkSize = 256
+
+var _ core.CandidateChunker = (*Index)(nil)
+
+// CandidateChunks implements core.CandidateChunker: the query trie is built
+// and its constraints gathered eagerly, then candidates stream out in
+// ascending ID order by walking the rarest constraint's posting list and
+// checking the others through monotonic merge cursors — the same
+// intersection Candidates computes, evaluated candidate-major so an
+// early-terminated stream touches a prefix of the postings instead of all
+// of them.
+func (ix *Index) CandidateChunks(q *graph.Graph) (iter.Seq[graph.IDSet], error) {
+	if !ix.built {
+		return nil, core.ErrNotBuilt
+	}
+	qt := buildQueryTrie(q, ix.opts.MaxPathLen)
+	var cons []pathConstraint
+	if !gatherConstraints(qt, ix.root, &cons) {
+		return func(yield func(graph.IDSet) bool) {}, nil
+	}
+	if len(cons) == 0 {
+		// A query with no enumerable paths constrains nothing: every graph
+		// slot is a candidate, emitted in ranges.
+		n := ix.nGr
+		return func(yield func(graph.IDSet) bool) {
+			for lo := 0; lo < n; lo += chunkSize {
+				hi := min(lo+chunkSize, n)
+				chunk := make(graph.IDSet, 0, hi-lo)
+				for id := lo; id < hi; id++ {
+					chunk = append(chunk, graph.ID(id))
+				}
+				if !yield(chunk) {
+					return
+				}
+			}
+		}, nil
+	}
+	drv := 0
+	for k := range cons {
+		if len(cons[k].n.ids) < len(cons[drv].n.ids) {
+			drv = k
+		}
+	}
+	driver := cons[drv]
+	others := append(append([]pathConstraint(nil), cons[:drv]...), cons[drv+1:]...)
+	return func(yield func(graph.IDSet) bool) {
+		js := make([]int, len(others))
+		var chunk graph.IDSet
+		for i, id := range driver.n.ids {
+			if driver.n.counts[i] >= driver.need {
+				ok := true
+				for k := range others {
+					c := &others[k]
+					j := js[k]
+					for j < len(c.n.ids) && c.n.ids[j] < id {
+						j++
+					}
+					js[k] = j
+					if j >= len(c.n.ids) || c.n.ids[j] != id || c.n.counts[j] < c.need {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					chunk = append(chunk, id)
+				}
+			}
+			if len(chunk) >= chunkSize {
+				if !yield(chunk) {
+					return
+				}
+				chunk = nil
+			}
+		}
+		if len(chunk) > 0 {
+			yield(chunk)
+		}
+	}, nil
 }
 
 // matchTries intersects, into cands, the dominating-graph set of every query

@@ -16,6 +16,7 @@ package gindex
 
 import (
 	"context"
+	"iter"
 	"sort"
 
 	"repro/internal/canon"
@@ -148,11 +149,96 @@ func edgeSetKey(ids []int) string {
 	return string(buf)
 }
 
-// Candidates implements core.Method.
+// Candidates implements core.Method: the intersection of the maximal
+// indexed fragments' postings.
 func (ix *Index) Candidates(q *graph.Graph) (graph.IDSet, error) {
 	if !ix.built {
 		return nil, core.ErrNotBuilt
 	}
+	cands := graph.UniverseIDSet(ix.nGraphs)
+	for _, post := range ix.maximalPostings(q) {
+		cands = cands.Intersect(post)
+		if len(cands) == 0 {
+			break
+		}
+	}
+	return cands, nil
+}
+
+// chunkSize is the lazy producer's emission granularity.
+const chunkSize = 512
+
+var _ core.CandidateChunker = (*Index)(nil)
+
+// CandidateChunks implements core.CandidateChunker. Fragment mining is
+// inherently eager — which fragments are maximal is only known once
+// expansion finishes — so the mining runs up front, but the posting
+// intersection itself streams candidate-major over the smallest maximal
+// posting, emitting ascending ID chunks.
+func (ix *Index) CandidateChunks(q *graph.Graph) (iter.Seq[graph.IDSet], error) {
+	if !ix.built {
+		return nil, core.ErrNotBuilt
+	}
+	posts := ix.maximalPostings(q)
+	if len(posts) == 0 {
+		n := ix.nGraphs
+		return func(yield func(graph.IDSet) bool) {
+			for lo := 0; lo < n; lo += chunkSize {
+				hi := min(lo+chunkSize, n)
+				chunk := make(graph.IDSet, 0, hi-lo)
+				for id := lo; id < hi; id++ {
+					chunk = append(chunk, graph.ID(id))
+				}
+				if !yield(chunk) {
+					return
+				}
+			}
+		}, nil
+	}
+	drv := 0
+	for k := range posts {
+		if len(posts[k]) < len(posts[drv]) {
+			drv = k
+		}
+	}
+	driver := posts[drv]
+	others := append(append([]graph.IDSet(nil), posts[:drv]...), posts[drv+1:]...)
+	return func(yield func(graph.IDSet) bool) {
+		js := make([]int, len(others))
+		var chunk graph.IDSet
+		for _, id := range driver {
+			ok := true
+			for k, p := range others {
+				j := js[k]
+				for j < len(p) && p[j] < id {
+					j++
+				}
+				js[k] = j
+				if j >= len(p) || p[j] != id {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				chunk = append(chunk, id)
+			}
+			if len(chunk) >= chunkSize {
+				if !yield(chunk) {
+					return
+				}
+				chunk = nil
+			}
+		}
+		if len(chunk) > 0 {
+			yield(chunk)
+		}
+	}, nil
+}
+
+// maximalPostings mines the query's indexed fragments and returns the
+// postings of the maximal ones along each expansion path, in deterministic
+// order, without intersecting them.
+func (ix *Index) maximalPostings(q *graph.Graph) []graph.IDSet {
 	es := features.NewEdgeSet(q)
 
 	// Level 1: single edges.
@@ -168,7 +254,7 @@ func (ix *Index) Candidates(q *graph.Graph) (graph.IDSet, error) {
 		// from the index only means "infrequent or non-discriminative".
 	}
 
-	cands := graph.UniverseIDSet(ix.nGraphs)
+	var posts []graph.IDSet
 	visited := map[string]bool{}
 	budget := ix.opts.FragmentBudget
 
@@ -207,11 +293,8 @@ func (ix *Index) Candidates(q *graph.Graph) (graph.IDSet, error) {
 				next[ek] = &fragment{edgeIDs: ext, key: key, posting: post}
 			}
 			if !hasIndexedExt || budget <= 0 {
-				// fr is maximal along its expansion paths: intersect.
-				cands = cands.Intersect(fr.posting)
-				if len(cands) == 0 {
-					return cands, nil
-				}
+				// fr is maximal along its expansion paths.
+				posts = append(posts, fr.posting)
 			}
 		}
 		frontier = next
@@ -223,12 +306,9 @@ func (ix *Index) Candidates(q *graph.Graph) (graph.IDSet, error) {
 	}
 	sort.Strings(keys)
 	for _, fk := range keys {
-		cands = cands.Intersect(frontier[fk].posting)
-		if len(cands) == 0 {
-			break
-		}
+		posts = append(posts, frontier[fk].posting)
 	}
-	return cands, nil
+	return posts
 }
 
 // extensions returns the edge sets obtained by adding one adjacent edge to

@@ -14,6 +14,7 @@ package grapes
 
 import (
 	"context"
+	"iter"
 	"runtime"
 	"sort"
 	"sync"
@@ -258,84 +259,30 @@ func (ix *Index) Candidates(q *graph.Graph) (graph.IDSet, error) {
 	return plan.Candidates(), nil
 }
 
-// PlanQuery implements core.Planner: it filters with count dominance and
-// retains, per candidate, the components touched by matched path locations.
+// PlanQuery implements core.Planner: query features are extracted and their
+// postings resolved eagerly; the count-dominance intersection itself runs
+// lazily, candidate-major, when the plan's candidates are pulled (the plan
+// implements core.ChunkedPlan), retaining per emitted candidate the
+// components touched by matched path locations.
 func (ix *Index) PlanQuery(q *graph.Graph) (core.QueryPlan, error) {
 	if !ix.built {
 		return nil, core.ErrNotBuilt
 	}
+	plan := &queryPlan{ix: ix, q: q, states: make(map[graph.ID][]bool)}
 	qf := ix.extractQueryFeatures(q)
-	plan := &queryPlan{ix: ix, q: q}
 	if len(qf) == 0 {
+		plan.empty = true // no path features: Grapes filters everything out
 		return plan, nil
 	}
-	// Intersect postings with count dominance; collect viable components:
-	// a component of a candidate graph is viable if it contains at least
-	// one start location of every query feature.
-	type candState struct {
-		// viable[c] is true while component c contains starts of all
-		// features processed so far.
-		viable []bool
-	}
-	var cands graph.IDSet
-	states := make(map[graph.ID]*candState)
-
-	first := ix.features[qf[0].key]
-	if first == nil {
-		return plan, nil // some feature absent everywhere: no candidates
-	}
-	for i, id := range first.ids {
-		if first.locs[i].count < qf[0].count {
-			continue
-		}
-		st := &candState{viable: make([]bool, ix.compCount[id])}
-		markComponents(st.viable, ix.comps[id], first.locs[i].starts)
-		if anyTrue(st.viable) {
-			cands = append(cands, id)
-			states[id] = st
-		}
-	}
-	for _, f := range qf[1:] {
-		if len(cands) == 0 {
-			break
-		}
+	plan.qf = qf
+	plan.postings = make([]*posting, len(qf))
+	for k, f := range qf {
 		p := ix.features[f.key]
 		if p == nil {
-			cands = nil
-			break
+			plan.empty = true // some feature absent everywhere: no candidates
+			return plan, nil
 		}
-		kept := cands[:0]
-		touched := make([]bool, 0, 16)
-		j := 0
-		for _, id := range cands {
-			for j < len(p.ids) && p.ids[j] < id {
-				j++
-			}
-			if j >= len(p.ids) || p.ids[j] != id || p.locs[j].count < f.count {
-				delete(states, id)
-				continue
-			}
-			st := states[id]
-			touched = touched[:0]
-			touched = append(touched, make([]bool, ix.compCount[id])...)
-			markComponents(touched, ix.comps[id], p.locs[j].starts)
-			still := false
-			for c := range st.viable {
-				st.viable[c] = st.viable[c] && touched[c]
-				still = still || st.viable[c]
-			}
-			if still {
-				kept = append(kept, id)
-			} else {
-				delete(states, id)
-			}
-		}
-		cands = kept
-	}
-	plan.cands = cands
-	plan.states = make(map[graph.ID][]bool, len(states))
-	for id, st := range states {
-		plan.states[id] = st.viable
+		plan.postings[k] = p
 	}
 	return plan, nil
 }
@@ -355,16 +302,111 @@ func anyTrue(bs []bool) bool {
 	return false
 }
 
-// queryPlan holds one query's candidates and viable components.
+// chunkSize is the lazy producer's emission granularity.
+const chunkSize = 256
+
+// queryPlan holds one query's resolved feature postings and, as candidates
+// are produced, their viable components. It implements core.ChunkedPlan:
+// the dominance intersection is evaluated candidate-major over the rarest
+// feature's posting list, so an early-terminated stream walks a prefix of
+// one posting instead of intersecting all of them up front.
 type queryPlan struct {
-	ix     *Index
-	q      *graph.Graph
-	cands  graph.IDSet
+	ix       *Index
+	q        *graph.Graph
+	qf       []queryFeature
+	postings []*posting // parallel to qf; qf[0] is the rarest (the driver)
+	empty    bool
+	// mu guards states: the producer inserts while verifier workers read.
+	mu     sync.Mutex
 	states map[graph.ID][]bool
+	// cands caches the materialized candidate set for one-shot consumers.
+	cands        graph.IDSet
+	materialized bool
 }
 
-// Candidates implements core.QueryPlan.
-func (p *queryPlan) Candidates() graph.IDSet { return p.cands }
+var _ core.ChunkedPlan = (*queryPlan)(nil)
+
+// Candidates implements core.QueryPlan, materializing the chunk sequence
+// once for one-shot consumers.
+func (p *queryPlan) Candidates() graph.IDSet {
+	if !p.materialized {
+		var cands graph.IDSet
+		for chunk := range p.Chunks() {
+			cands = append(cands, chunk...)
+		}
+		p.cands = cands
+		p.materialized = true
+	}
+	return p.cands
+}
+
+// Chunks implements core.ChunkedPlan: candidates stream out in ascending ID
+// order by walking the rarest feature's posting and checking the remaining
+// features through monotonic merge cursors, AND-ing viable components
+// feature by feature exactly as the eager intersection did. Each emitted
+// candidate's surviving components are recorded for Verify.
+func (p *queryPlan) Chunks() iter.Seq[graph.IDSet] {
+	return func(yield func(graph.IDSet) bool) {
+		if p.empty {
+			return
+		}
+		first := p.postings[0]
+		js := make([]int, len(p.qf))
+		var chunk graph.IDSet
+		for i, id := range first.ids {
+			if first.locs[i].count < p.qf[0].count {
+				continue
+			}
+			viable := make([]bool, p.ix.compCount[id])
+			markComponents(viable, p.ix.comps[id], first.locs[i].starts)
+			if !anyTrue(viable) {
+				continue
+			}
+			ok := true
+			var touched []bool
+			for k := 1; k < len(p.qf); k++ {
+				pp := p.postings[k]
+				j := js[k]
+				for j < len(pp.ids) && pp.ids[j] < id {
+					j++
+				}
+				js[k] = j
+				if j >= len(pp.ids) || pp.ids[j] != id || pp.locs[j].count < p.qf[k].count {
+					ok = false
+					break
+				}
+				touched = touched[:0]
+				touched = append(touched, make([]bool, p.ix.compCount[id])...)
+				markComponents(touched, p.ix.comps[id], pp.locs[j].starts)
+				still := false
+				for c := range viable {
+					viable[c] = viable[c] && touched[c]
+					still = still || viable[c]
+				}
+				if !still {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			p.mu.Lock()
+			p.states[id] = viable
+			p.mu.Unlock()
+			chunk = append(chunk, id)
+			if len(chunk) >= chunkSize {
+				if !yield(chunk) {
+					return
+				}
+				chunk = nil
+			}
+		}
+		if len(chunk) > 0 {
+			yield(chunk)
+		}
+	}
+}
 
 // Verify implements core.QueryPlan: the query is tested against each viable
 // connected component of the candidate, in parallel when there are several,
@@ -374,7 +416,9 @@ func (p *queryPlan) Verify(id graph.ID) bool {
 	if g == nil {
 		return false
 	}
+	p.mu.Lock()
 	viable := p.states[id]
+	p.mu.Unlock()
 	comp := p.ix.comps[id]
 	var targets []int
 	for c, ok := range viable {

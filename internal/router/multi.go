@@ -461,21 +461,38 @@ func (m *Multi) QueryBatch(ctx context.Context, queries []*graph.Graph, opts cor
 // yields the chosen engine's answer stream. Streamed queries update the
 // routing counters but not the cost model: a client may abandon the stream
 // mid-way, so its wall time is not a comparable latency observation.
+//
+// The router's mutation lock is held only for the routing decision, not
+// across the yielded stream: the sub-engines stream under their own
+// epoch-checked chunked locking, so a slow consumer never stalls mutations
+// and a mutation landing mid-stream surfaces as the sub-engine's
+// engine.ErrStreamStale-wrapped abort.
 func (m *Multi) Stream(ctx context.Context, q *graph.Graph) iter.Seq2[graph.ID, error] {
+	return m.StreamStats(ctx, q, nil)
+}
+
+// StreamStats implements engine.StatsStreamer: Stream with pipeline
+// counters accumulated into stats (nil = no accounting). Sub-engines that
+// do not expose stats stream without accounting.
+func (m *Multi) StreamStats(ctx context.Context, q *graph.Graph, stats *core.PipelineStats) iter.Seq2[graph.ID, error] {
 	return func(yield func(graph.ID, error) bool) {
-		// Held for the whole iteration, like the engines' Stream: a
-		// mutation cannot move the sub-indexes under a consumed stream.
 		m.mutMu.RLock()
-		defer m.mutMu.RUnlock()
 		f := m.ext.Extract(q)
 		picks, _ := m.choose(f)
 		i := picks[0]
+		m.mutMu.RUnlock()
 		m.statsMu.Lock()
 		m.streams++
 		m.routed[i]++
 		m.won[i]++
 		m.statsMu.Unlock()
-		for id, err := range m.subs[i].Stream(ctx, q) {
+		var seq iter.Seq2[graph.ID, error]
+		if ss, ok := m.subs[i].(engine.StatsStreamer); ok && stats != nil {
+			seq = ss.StreamStats(ctx, q, stats)
+		} else {
+			seq = m.subs[i].Stream(ctx, q)
+		}
+		for id, err := range seq {
 			if !yield(id, err) {
 				return
 			}

@@ -9,6 +9,7 @@ package scan
 
 import (
 	"context"
+	"iter"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -47,3 +48,31 @@ func (ix *Index) Candidates(q *graph.Graph) (graph.IDSet, error) {
 
 // SizeBytes implements core.Method: the baseline stores nothing.
 func (ix *Index) SizeBytes() int64 { return 0 }
+
+// chunkSize is the lazy producer's emission granularity: large enough to
+// amortize per-chunk overhead, small enough that an early-terminated stream
+// scans a sliver of the universe.
+const chunkSize = 1024
+
+var _ core.CandidateChunker = (*Index)(nil)
+
+// CandidateChunks implements core.CandidateChunker: the candidate universe
+// emitted as fixed-size ID ranges, materializing nothing up front.
+func (ix *Index) CandidateChunks(q *graph.Graph) (iter.Seq[graph.IDSet], error) {
+	if !ix.built {
+		return nil, core.ErrNotBuilt
+	}
+	n := ix.n
+	return func(yield func(graph.IDSet) bool) {
+		for lo := 0; lo < n; lo += chunkSize {
+			hi := min(lo+chunkSize, n)
+			chunk := make(graph.IDSet, 0, hi-lo)
+			for id := lo; id < hi; id++ {
+				chunk = append(chunk, graph.ID(id))
+			}
+			if !yield(chunk) {
+				return
+			}
+		}
+	}, nil
+}

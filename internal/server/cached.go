@@ -167,6 +167,76 @@ func (c *CachedEngine) Stream(ctx context.Context, q *graph.Graph) iter.Seq2[gra
 	return c.inner.Stream(ctx, q)
 }
 
+// StreamStats implements engine.StatsStreamer by delegation: streams pass
+// through uncached, with pipeline counters accumulated into stats when the
+// wrapped engine exposes them (and silently without accounting when not).
+func (c *CachedEngine) StreamStats(ctx context.Context, q *graph.Graph, stats *core.PipelineStats) iter.Seq2[graph.ID, error] {
+	if ss, ok := c.inner.(engine.StatsStreamer); ok {
+		return ss.StreamStats(ctx, q, stats)
+	}
+	return c.inner.Stream(ctx, q)
+}
+
+// methodName mirrors the attribution an unlimited QueryResult carries in
+// its Method field: a flat engine's method display name, a sharded or
+// routed engine's own name.
+func methodName(q engine.Querier) string {
+	switch e := q.(type) {
+	case interface{ Method() core.Method }:
+		return e.Method().Name()
+	case interface{ Name() string }:
+		return e.Name()
+	}
+	return ""
+}
+
+// QueryLimited serves one query capped at limit answers (limit <= 0 means
+// uncapped and defers to Query). A cache hit returns a truncated copy of
+// the stored full result — the cap never costs a recompute. A miss runs
+// the lazy streaming pipeline and stops after limit answers, so it does
+// only the work it returns (Produced/Verified report exactly how much);
+// the partial result is NEVER stored, so a limited query cannot poison
+// the cache for a later unlimited one — that one misses, computes the
+// full set, and stores it. Limited results carry no Candidates set: the
+// limited path exists to avoid materializing it.
+func (c *CachedEngine) QueryLimited(ctx context.Context, q *graph.Graph, limit int) (*core.QueryResult, error) {
+	if limit <= 0 {
+		return c.Query(ctx, q)
+	}
+	if c.cache != nil {
+		if key, ok := QueryKey(q); ok {
+			t0 := time.Now()
+			if res, hit := c.cache.get(key, c.epoch()); hit {
+				out := cachedResult(res, time.Since(t0))
+				out.Candidates = nil
+				if len(out.Answers) > limit {
+					out.Answers = out.Answers[:limit:limit]
+				}
+				return out, nil
+			}
+		}
+	}
+	t0 := time.Now()
+	var stats core.PipelineStats
+	answers := make(graph.IDSet, 0, limit)
+	for id, err := range c.StreamStats(ctx, q, &stats) {
+		if err != nil {
+			return nil, err
+		}
+		answers = append(answers, id)
+		if len(answers) >= limit {
+			break
+		}
+	}
+	return &core.QueryResult{
+		Answers:    answers,
+		VerifyTime: time.Since(t0),
+		Method:     methodName(c.inner),
+		Produced:   int(stats.Produced.Load()),
+		Verified:   int(stats.Verified.Load()),
+	}, nil
+}
+
 // epoch reads the wrapped engine's dataset epoch — the version stamp every
 // cache entry carries. A non-mutable engine is permanently at epoch 0.
 func (c *CachedEngine) epoch() uint64 {

@@ -122,6 +122,15 @@ type QueryResponse struct {
 	// sets it — an answer is complete or the request fails.
 	Partial      bool  `json:"partial,omitempty"`
 	FailedShards []int `json:"failed_shards,omitempty"`
+	// Limit echoes the request's limit=N cap when one was applied: Answers
+	// then holds at most Limit ids, Candidates is omitted (the limited
+	// path never materializes the candidate set), and Produced/Verified
+	// expose how much pipeline work the early-terminated query actually
+	// did — the observable form of "limit=1 does one verification's worth
+	// of work, not the full query's".
+	Limit    int `json:"limit,omitempty"`
+	Produced int `json:"produced,omitempty"`
+	Verified int `json:"verified,omitempty"`
 }
 
 func queryResponse(res *core.QueryResult) QueryResponse {
@@ -133,6 +142,8 @@ func queryResponse(res *core.QueryResult) QueryResponse {
 		FilterUs:   res.FilterTime.Microseconds(),
 		VerifyUs:   res.VerifyTime.Microseconds(),
 		TotalUs:    res.TotalTime().Microseconds(),
+		Produced:   res.Produced,
+		Verified:   res.Verified,
 	}
 	// Encode empty sets as [] rather than null.
 	if r.Candidates == nil {
@@ -165,10 +176,12 @@ type BatchResponse struct {
 }
 
 // StreamLine is one NDJSON line of a streaming /query response: an answer
-// id, a terminal error, or the terminal done marker with the match count.
-// On a cluster coordinator the done line may be marked Partial with the
-// shards that lost every owner mid-stream; their answers beyond the merge
-// frontier are missing.
+// id, a terminal error, or the terminal done marker with the match count
+// and the pipeline's produced/verified candidate counters (how much work
+// the stream did — a limit=N stream that stopped early reports the small
+// numbers that prove it). On a cluster coordinator the done line may be
+// marked Partial with the shards that lost every owner mid-stream; their
+// answers beyond the merge frontier are missing.
 type StreamLine struct {
 	ID           *graph.ID `json:"id,omitempty"`
 	Error        string    `json:"error,omitempty"`
@@ -176,6 +189,12 @@ type StreamLine struct {
 	Matches      int       `json:"matches,omitempty"`
 	Partial      bool      `json:"partial,omitempty"`
 	FailedShards []int     `json:"failed_shards,omitempty"`
+	Produced     int64     `json:"produced,omitempty"`
+	Verified     int64     `json:"verified,omitempty"`
+	// Stale marks an error line caused by a mutation landing under the
+	// stream (the epoch-checked chunked locking abort): the stream is
+	// retryable on the same server, resumed after the last received id.
+	Stale bool `json:"stale,omitempty"`
 }
 
 // MethodJSON is one registry entry in the /methods listing.

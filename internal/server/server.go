@@ -255,15 +255,26 @@ func queryStatusCode(err error) int {
 }
 
 // handleQuery serves POST /query: body is one GraphJSON; `?stream=1`
-// switches the response to NDJSON answer ids backed by the engine's Stream
-// iterator (uncached), cancelled mid-stream when the client disconnects or
-// the request budget ends.
+// switches the response to NDJSON answer ids backed by the engine's lazy
+// Stream iterator (uncached), cancelled mid-stream when the client
+// disconnects or the request budget ends. `?limit=N` caps the answer
+// count in both modes, honored end to end: the streaming pipeline stops
+// after N answers and the unexecuted tail of the query is never computed.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	stream := r.URL.Query().Get("stream") != ""
 	if stream {
 		s.reqStream.Add(1)
 	} else {
 		s.reqQuery.Add(1)
+	}
+	limit := 0
+	if ls := r.URL.Query().Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n < 1 {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("bad limit %q: want a positive integer", ls))
+			return
+		}
+		limit = n
 	}
 	var gj GraphJSON
 	if err := decodeJSON(r, w, &gj); err != nil {
@@ -294,25 +305,34 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 	if stream {
-		s.streamQuery(ctx, w, q)
+		s.streamQuery(ctx, w, q, limit)
 		return
 	}
-	res, err := s.eng.Query(ctx, q)
+	var res *core.QueryResult
+	if limit > 0 {
+		res, err = s.eng.QueryLimited(ctx, q, limit)
+	} else {
+		res, err = s.eng.Query(ctx, q)
+	}
 	if err != nil {
 		s.fail(w, queryStatusCode(err), err)
 		return
 	}
-	writeJSON(w, queryResponse(res))
+	resp := queryResponse(res)
+	resp.Limit = limit
+	writeJSON(w, resp)
 }
 
 // streamQuery writes NDJSON answer lines as verification confirms them,
-// flushing per line so clients observe answers before the query finishes.
-// The whole response is bounded by a write deadline: the engine's Stream
-// iterator holds the engine's read lock for the duration of the
-// iteration, and a client that stops reading would otherwise park the
-// handler in a TCP write — outside any context check — holding that lock
-// while a pending mutation (a queued writer) blocks every other query.
-func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, q *graph.Graph) {
+// flushing per line so clients observe answers before the query finishes —
+// the first line lands after a single verification, not after the full
+// candidate scan. With limit > 0 the stream stops after that many answers
+// and the pipeline's tail is never executed; the done line reports the
+// produced/verified counters that prove it. The engine streams under
+// epoch-checked chunked locking (no lock held across writes), so a client
+// that stops reading can no longer block mutations; the write deadline
+// still bounds how long such a client pins a worker slot and connection.
+func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, q *graph.Graph, limit int) {
 	if s.cfg.RequestTimeout > 0 {
 		rc := http.NewResponseController(w)
 		_ = rc.SetWriteDeadline(time.Now().Add(s.cfg.RequestTimeout))
@@ -326,8 +346,9 @@ func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, q *grap
 	w.WriteHeader(http.StatusOK)
 	fl, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
+	var stats core.PipelineStats
 	n := 0
-	for id, err := range s.eng.Stream(ctx, q) {
+	for id, err := range s.eng.StreamStats(ctx, q, &stats) {
 		if err != nil {
 			s.reqErrors.Add(1)
 			enc.Encode(StreamLine{Error: err.Error()})
@@ -344,8 +365,14 @@ func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, q *grap
 			fl.Flush()
 		}
 		n++
+		if limit > 0 && n >= limit {
+			break // stops the lazy pipeline; the tail is never verified
+		}
 	}
-	enc.Encode(StreamLine{Done: true, Matches: n})
+	enc.Encode(StreamLine{
+		Done: true, Matches: n,
+		Produced: stats.Produced.Load(), Verified: stats.Verified.Load(),
+	})
 	if fl != nil {
 		fl.Flush()
 	}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/engine"
 	_ "repro/internal/engine/std"
 	"repro/internal/graph"
+	"repro/internal/testutil/leak"
 	"repro/internal/workload"
 )
 
@@ -188,6 +189,7 @@ func (s *slowStreamer) Stream(ctx context.Context, q *graph.Graph) iter.Seq2[gra
 // TestServeStreamMidStreamCancellation: closing the client connection
 // cancels the in-flight stream on the server.
 func TestServeStreamMidStreamCancellation(t *testing.T) {
+	defer leak.Check(t)()
 	ds := testDataset(t)
 	fake := &slowStreamer{ds: ds, canceled: make(chan struct{})}
 	srv := New(fake, Config{Spec: "fake"})

@@ -1,0 +1,70 @@
+// Package leak provides a goroutine-leak check for tests that cancel or
+// abandon streams: pipeline stages run on internal goroutines (parallel
+// verifiers, fan-out legs, hedged requests), and a consumer that stops
+// early must leave none of them behind. Usage:
+//
+//	defer leak.Check(t)()
+//
+// at the top of the test (or subtest) body. The returned func compares the
+// goroutine count against the snapshot taken at the call, retrying with
+// backoff to let exiting goroutines unwind, and fails the test with a full
+// stack dump of the survivors when the count stays elevated.
+package leak
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// TB is the subset of testing.TB the checker needs.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// maxWait bounds how long Check waits for goroutines to unwind before
+// declaring a leak. Goroutines blocked forever (the leak) never exit, so
+// the common failure converges immediately; the wait only covers healthy
+// goroutines still tearing down.
+const maxWait = 2 * time.Second
+
+// Check snapshots the goroutine count and returns a func that asserts the
+// count is back at (or below) the snapshot. Defer the result immediately:
+//
+//	defer leak.Check(t)()
+func Check(t TB) func() {
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(maxWait)
+		var after int
+		for {
+			after = runtime.NumGoroutine()
+			if after <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Errorf("goroutine leak: %d before, %d after\n%s", before, after, stacks())
+	}
+}
+
+// stacks dumps all goroutine stacks, trimming the runtime-internal ones so
+// the report leads with the leaked worker.
+func stacks() string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	var out strings.Builder
+	for _, g := range strings.Split(string(buf[:n]), "\n\n") {
+		if strings.Contains(g, "runtime.gopark") && strings.Contains(g, "GC") {
+			continue
+		}
+		fmt.Fprintf(&out, "%s\n\n", g)
+	}
+	return out.String()
+}
