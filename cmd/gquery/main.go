@@ -29,6 +29,11 @@
 //
 //	gquery -remote http://localhost:7474 -queries q.gfd -v
 //
+// With -trace, each query's span tree is printed after its result line:
+// locally the engine's own stage spans (route, candidate-chunk,
+// tombstone-filter, verify); against -remote the server's echoed tree,
+// which on a cluster coordinator includes every node's grafted subtree.
+//
 // With -add and/or -remove, gquery mutates the dataset before querying:
 // -remove tombstones graphs by id, -add appends every graph of a GFD file
 // (removals apply first). Locally the engine maintains its index online —
@@ -56,6 +61,7 @@ import (
 	"repro/internal/engine"
 	_ "repro/internal/engine/std"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/router"
 	"repro/internal/server"
 	"repro/internal/workload"
@@ -73,6 +79,7 @@ func main() {
 		addPath   = flag.String("add", "", "add every graph of this GFD file to the dataset before querying (online index maintenance)")
 		removeIDs = flag.String("remove", "", "comma-separated graph ids to tombstone before querying (applied before -add)")
 		timeout   = flag.Duration("timeout", 8*time.Hour, "per-stage time budget")
+		trace     = flag.Bool("trace", false, "print each query's span tree (remote: the server-echoed tree, cluster node subtrees included)")
 		verbose   = flag.Bool("v", false, "per-query output")
 		list      = flag.Bool("list", false, "list registered methods and their parameters")
 	)
@@ -92,10 +99,10 @@ func main() {
 				err = fmt.Errorf("-remote is a client mode and cannot take %s: the method, shards, and index are chosen by the sqserve instance",
 					strings.Join(conflict, ", "))
 			} else {
-				err = runRemote(*remote, *queryPath, *addPath, removals, *timeout, *verbose)
+				err = runRemote(*remote, *queryPath, *addPath, removals, *timeout, *verbose, *trace)
 			}
 		} else {
-			err = run(*dataPath, *queryPath, *methodStr, *indexPath, *addPath, removals, *workers, *shards, *timeout, *verbose)
+			err = run(*dataPath, *queryPath, *methodStr, *indexPath, *addPath, removals, *workers, *shards, *timeout, *verbose, *trace)
 		}
 	}
 	if err != nil {
@@ -137,7 +144,7 @@ func localOnlyFlags() []string {
 // each query is serialized with its own label strings (the server resolves
 // them against the dataset dictionary) and the server's answers, timings,
 // and cache hits are aggregated client-side.
-func runRemote(baseURL, queryPath, addPath string, removals []graph.ID, timeout time.Duration, verbose bool) error {
+func runRemote(baseURL, queryPath, addPath string, removals []graph.ID, timeout time.Duration, verbose, trace bool) error {
 	// Transient server pushback — 429 from admission control, 503 while
 	// draining or a cluster shard is momentarily ownerless, a refused
 	// connection during a restart — retries with capped backoff and jitter
@@ -179,6 +186,11 @@ func runRemote(baseURL, queryPath, addPath string, removals []graph.ID, timeout 
 			return err
 		}
 		req.Header.Set("Content-Type", "application/json")
+		if trace {
+			// Asking the server to trace: the response echoes the span tree
+			// under this id (on a coordinator, node subtrees grafted in).
+			req.Header.Set(obs.TraceHeader, obs.NewTrace().ID())
+		}
 		t0 := time.Now()
 		resp, err := client.Do(req)
 		if err != nil {
@@ -225,6 +237,13 @@ func runRemote(baseURL, queryPath, addPath string, removals []graph.ID, timeout 
 				i, q.NumEdges(), len(qr.Candidates), len(qr.Answers),
 				(time.Duration(qr.TotalUs) * time.Microsecond).Round(time.Microsecond),
 				rtt.Round(time.Microsecond), via, cached)
+		}
+		if trace {
+			if qr.Trace != nil {
+				qr.Trace.Fprint(os.Stdout)
+			} else {
+				fmt.Printf("query %3d: server echoed no trace\n", i)
+			}
 		}
 	}
 	n := len(qds.Graphs)
@@ -334,7 +353,7 @@ func mutateLocal(ctx context.Context, q engine.Querier, ds *graph.Dataset, addPa
 	return nil
 }
 
-func run(dataPath, queryPath, methodStr, indexPath, addPath string, removals []graph.ID, workers, shards int, timeout time.Duration, verbose bool) error {
+func run(dataPath, queryPath, methodStr, indexPath, addPath string, removals []graph.ID, workers, shards int, timeout time.Duration, verbose, trace bool) error {
 	mutating := addPath != "" || len(removals) > 0
 	if dataPath == "" || (queryPath == "" && !mutating) {
 		return fmt.Errorf("-data and -queries are required")
@@ -411,10 +430,19 @@ func run(dataPath, queryPath, methodStr, indexPath, addPath string, removals []g
 	var cands, answers []graph.IDSet
 	var totalTime time.Duration
 	for i, qg := range qds.Graphs {
-		res, err := q.Query(ctx, qg)
+		qctx := ctx
+		var tr *obs.Trace
+		var root *obs.Span
+		if trace {
+			tr = obs.NewTrace()
+			root = tr.StartSpan(nil, "query")
+			qctx = obs.ContextWithSpan(ctx, root)
+		}
+		res, err := q.Query(qctx, qg)
 		if err != nil {
 			return fmt.Errorf("query %d: %w", i, err)
 		}
+		root.End()
 		cands = append(cands, res.Candidates)
 		answers = append(answers, res.Answers)
 		totalTime += res.TotalTime()
@@ -424,6 +452,9 @@ func run(dataPath, queryPath, methodStr, indexPath, addPath string, removals []g
 				res.TotalTime().Round(time.Microsecond),
 				res.FilterTime.Round(time.Microsecond), res.VerifyTime.Round(time.Microsecond),
 				res.Method)
+		}
+		if trace {
+			tr.Tree().Fprint(os.Stdout)
 		}
 	}
 	n := len(qds.Graphs)

@@ -49,6 +49,8 @@ func main() {
 		reqTimeout   = flag.Duration("req-timeout", 30*time.Second, "per-request execution budget")
 		buildTimeout = flag.Duration("build-timeout", 8*time.Hour, "shard index construction budget")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for in-flight requests")
+		slowQuery    = flag.Duration("slow-query", 0, "log shard queries slower than this as structured JSON with their span tree (0 disables)")
+		enablePprof  = flag.Bool("pprof", false, "serve runtime profiles under /debug/pprof")
 		list         = flag.Bool("list", false, "list registered methods and their parameters")
 	)
 	flag.Parse()
@@ -58,14 +60,14 @@ func main() {
 		return
 	}
 	if err := run(*dataPath, *manifestPath, *name, *methodStr, *indexPath, *verifyW, *addr,
-		*reqTimeout, *buildTimeout, *drainTimeout); err != nil {
+		*reqTimeout, *buildTimeout, *drainTimeout, *slowQuery, *enablePprof); err != nil {
 		fmt.Fprintln(os.Stderr, "sqnode:", err)
 		os.Exit(1)
 	}
 }
 
 func run(dataPath, manifestPath, name, methodStr, indexPath string, verifyW int, addr string,
-	reqTimeout, buildTimeout, drainTimeout time.Duration) error {
+	reqTimeout, buildTimeout, drainTimeout, slowQuery time.Duration, enablePprof bool) error {
 	if dataPath == "" || manifestPath == "" || name == "" {
 		return fmt.Errorf("-data, -manifest, and -name are required")
 	}
@@ -113,7 +115,11 @@ func run(dataPath, manifestPath, name, methodStr, indexPath string, verifyW int,
 		httpSrv.Close()
 		return err
 	}
-	ns := cluster.NewNodeServer(node, cluster.NodeServerConfig{RequestTimeout: reqTimeout})
+	ns := cluster.NewNodeServer(node, cluster.NodeServerConfig{
+		RequestTimeout: reqTimeout,
+		SlowQuery:      slowQuery,
+		EnablePprof:    enablePprof,
+	})
 	handler.Store(ns.Handler())
 	log.Printf("node %s ready: %s over %d graphs, shards %v of %d in %v",
 		name, node.Spec(), ds.Len(), shards, man.Shards, time.Since(t0).Round(time.Millisecond))

@@ -36,6 +36,12 @@
 //	GET    /healthz      liveness: 200 while the process runs
 //	GET    /readyz       readiness: 503 during index build and graceful drain
 //	GET    /cluster      (coordinator only) topology, per-node health, fan-out counters
+//	GET    /metrics      Prometheus text exposition of the same counters /stats reports
+//	GET    /debug/pprof  runtime profiles (only with -pprof)
+//
+// With -slow-query D, any query slower than D is logged as one structured
+// JSON line carrying the query's span tree, plan, and pipeline counters —
+// enough to diagnose it after the fact without re-running it.
 //
 // The dataset is live: mutations maintain every index online
 // (incrementally for methods that support it), bump the dataset epoch,
@@ -96,6 +102,9 @@ func main() {
 		buildTimeout = flag.Duration("build-timeout", 8*time.Hour, "index construction budget")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for in-flight requests")
 
+		slowQuery   = flag.Duration("slow-query", 0, "log queries slower than this as structured JSON with their span tree (0 disables)")
+		enablePprof = flag.Bool("pprof", false, "serve runtime profiles under /debug/pprof")
+
 		list = flag.Bool("list", false, "list registered methods and their parameters")
 	)
 	flag.Parse()
@@ -106,11 +115,11 @@ func main() {
 	}
 	var err error
 	if *clusterManifest != "" {
-		err = runCoordinator(*clusterManifest, *addr, *nodeTimeout, *hedgeDelay, *probeInterval, *reqTimeout, *drainTimeout)
+		err = runCoordinator(*clusterManifest, *addr, *nodeTimeout, *hedgeDelay, *probeInterval, *reqTimeout, *drainTimeout, *slowQuery, *enablePprof)
 	} else {
 		err = run(*dataPath, *methodStr, *indexPath, *shards, *verifyW, *addr,
 			*cacheEntries, *cacheBytes, *cacheTTL, *concurrency, *queue,
-			*reqTimeout, *buildTimeout, *drainTimeout)
+			*reqTimeout, *buildTimeout, *drainTimeout, *slowQuery, *enablePprof)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sqserve:", err)
@@ -151,7 +160,7 @@ func listenEarly(addr string) (*http.Server, func(http.Handler), chan error) {
 	return srv, func(next http.Handler) { h.Store(next) }, serveErr
 }
 
-func runCoordinator(manifestPath, addr string, nodeTimeout, hedgeDelay, probeInterval, reqTimeout, drainTimeout time.Duration) error {
+func runCoordinator(manifestPath, addr string, nodeTimeout, hedgeDelay, probeInterval, reqTimeout, drainTimeout, slowQuery time.Duration, enablePprof bool) error {
 	man, err := cluster.LoadManifest(manifestPath)
 	if err != nil {
 		return err
@@ -166,7 +175,11 @@ func runCoordinator(manifestPath, addr string, nodeTimeout, hedgeDelay, probeInt
 		httpSrv.Close()
 		return err
 	}
-	cs := cluster.NewCoordServer(coord, cluster.CoordServerConfig{RequestTimeout: reqTimeout})
+	cs := cluster.NewCoordServer(coord, cluster.CoordServerConfig{
+		RequestTimeout: reqTimeout,
+		SlowQuery:      slowQuery,
+		EnablePprof:    enablePprof,
+	})
 	swap(cs.Handler())
 	log.Printf("coordinator ready: %s, method %s on %s", man, coord.Spec(), addr)
 
@@ -193,7 +206,8 @@ func runCoordinator(manifestPath, addr string, nodeTimeout, hedgeDelay, probeInt
 
 func run(dataPath, methodStr, indexPath string, shards, verifyW int, addr string,
 	cacheEntries int, cacheBytes int64, cacheTTL time.Duration,
-	concurrency, queue int, reqTimeout, buildTimeout, drainTimeout time.Duration) error {
+	concurrency, queue int, reqTimeout, buildTimeout, drainTimeout, slowQuery time.Duration,
+	enablePprof bool) error {
 	if dataPath == "" {
 		return fmt.Errorf("-data is required")
 	}
@@ -261,6 +275,8 @@ func run(dataPath, methodStr, indexPath string, shards, verifyW int, addr string
 		Workers:        concurrency,
 		MaxQueue:       queue,
 		RequestTimeout: reqTimeout,
+		SlowQuery:      slowQuery,
+		EnablePprof:    enablePprof,
 	})
 	swap(srv.Handler())
 

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -41,9 +42,19 @@ func (c *NodeClient) url(path string) string {
 	return strings.TrimSuffix(c.Addr, "/") + path
 }
 
+// injectTrace propagates the caller's trace id to the node: when the
+// request context carries an active span, the node runs its own trace under
+// the same id and echoes the subtree for the coordinator to graft.
+func injectTrace(req *http.Request) {
+	if id := obs.SpanFromContext(req.Context()).Trace().ID(); id != "" {
+		req.Header.Set(obs.TraceHeader, id)
+	}
+}
+
 // do runs a request and decodes a JSON body into out, converting non-2xx
 // responses into *NodeError.
 func (c *NodeClient) do(req *http.Request, out any) error {
+	injectTrace(req)
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return err
@@ -143,6 +154,7 @@ func (c *NodeClient) Stream(ctx context.Context, shards []int, gj server.GraphJS
 		return StreamTail{}, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	injectTrace(req)
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return StreamTail{}, err

@@ -10,8 +10,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"io"
+
 	"repro/internal/engine"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -20,6 +23,12 @@ type CoordServerConfig struct {
 	// RequestTimeout bounds each public request (default 30s; negative =
 	// unlimited).
 	RequestTimeout time.Duration
+	// SlowQuery > 0 logs any /query slower than it as one structured JSON
+	// line (span tree included) on SlowQueryWriter (default stderr).
+	SlowQuery       time.Duration
+	SlowQueryWriter io.Writer
+	// EnablePprof mounts net/http/pprof under GET /debug/pprof/.
+	EnablePprof bool
 }
 
 // CoordServer serves the coordinator over the same public protocol as the
@@ -31,6 +40,9 @@ type CoordServer struct {
 	cfg      CoordServerConfig
 	mux      *http.ServeMux
 	draining atomic.Bool
+
+	queryDur *obs.Family
+	slow     *obs.SlowQueryLog
 }
 
 // NewCoordServer wraps a coordinator.
@@ -39,6 +51,11 @@ func NewCoordServer(c *Coordinator, cfg CoordServerConfig) *CoordServer {
 		cfg.RequestTimeout = 30 * time.Second
 	}
 	s := &CoordServer{coord: c, cfg: cfg}
+	// The histogram lives on the coordinator's registry, next to the
+	// fan-out counters, so one /metrics scrape covers both.
+	s.queryDur = c.Registry().Histogram("sq_query_duration_seconds",
+		"Query latency by method.", obs.DefBuckets, "method")
+	s.slow = obs.NewSlowQueryLog(cfg.SlowQuery, cfg.SlowQueryWriter)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -48,6 +65,10 @@ func NewCoordServer(c *Coordinator, cfg CoordServerConfig) *CoordServer {
 	mux.HandleFunc("POST /batch", s.handleBatch)
 	mux.HandleFunc("POST /graphs", s.handleAdd)
 	mux.HandleFunc("DELETE /graphs/{id}", s.handleRemove)
+	mux.Handle("GET /metrics", c.Registry().Handler())
+	if cfg.EnablePprof {
+		server.RegisterPprof(mux)
+	}
 	s.mux = mux
 	return s
 }
@@ -113,6 +134,8 @@ func (s *CoordServer) toResponse(res *QueryResult, wall time.Duration) server.Qu
 		FilterUs:     res.FilterUs,
 		VerifyUs:     res.VerifyUs,
 		TotalUs:      wall.Microseconds(),
+		Produced:     res.Produced,
+		Verified:     res.Verified,
 		Partial:      res.Partial,
 		FailedShards: res.FailedShards,
 	}
@@ -135,8 +158,23 @@ func (s *CoordServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
+	// A client-supplied trace id makes this request the root of a
+	// cross-process tree: leg spans carry the id to the nodes, whose echoed
+	// subtrees graft back under them. The slow log creates one on its own
+	// when no header asked.
+	var tr *obs.Trace
+	echo := false
+	if id := obs.TraceIDFromHeader(r.Header.Get(obs.TraceHeader)); id != "" {
+		tr = obs.NewTraceWithID(id)
+		echo = true
+	} else if s.slow.Enabled() {
+		tr = obs.NewTrace()
+	}
+	root := tr.StartSpan(nil, "cluster-query")
+	ctx = obs.ContextWithSpan(ctx, root)
 	if r.URL.Query().Get("stream") != "" {
 		s.streamQuery(ctx, w, gj, limit)
+		root.End()
 		return
 	}
 	t0 := time.Now()
@@ -151,28 +189,63 @@ func (s *CoordServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return len(answers) < limit
 		})
 		if err != nil {
+			root.Cancel()
 			s.fail(w, coordStatus(err), err)
 			return
 		}
-		s.writeJSON(w, server.QueryResponse{
+		wall := time.Since(t0)
+		s.queryDur.Histogram(s.coord.Spec()).Observe(wall.Seconds())
+		root.Attr("limit", limit)
+		root.Attr("answers", len(answers))
+		root.End()
+		resp := server.QueryResponse{
 			Candidates:   graph.IDSet{},
 			Answers:      answers,
 			Method:       s.coord.Spec(),
-			TotalUs:      time.Since(t0).Microseconds(),
+			TotalUs:      wall.Microseconds(),
 			Partial:      st.Partial,
 			FailedShards: st.FailedShards,
 			Limit:        limit,
 			Produced:     int(st.Produced),
 			Verified:     int(st.Verified),
+		}
+		if echo {
+			resp.Trace = tr.Tree()
+		}
+		s.slow.Record(wall, obs.SlowQueryRecord{
+			Kind: "cluster-query", Trace: tr.ID(), Method: s.coord.Spec(),
+			Produced: int(st.Produced), Verified: int(st.Verified),
+			Answers: len(answers), Partial: st.Partial,
+			Extra: map[string]any{"limit": limit}, Spans: tr.Tree(),
 		})
+		s.writeJSON(w, resp)
 		return
 	}
 	res, err := s.coord.Query(ctx, gj)
 	if err != nil {
+		root.Cancel()
 		s.fail(w, coordStatus(err), err)
 		return
 	}
-	s.writeJSON(w, s.toResponse(res, time.Since(t0)))
+	wall := time.Since(t0)
+	s.queryDur.Histogram(s.coord.Spec()).Observe(wall.Seconds())
+	root.Attr("answers", len(res.Answers))
+	if res.Partial {
+		root.Attr("partial", true)
+	}
+	root.End()
+	resp := s.toResponse(res, wall)
+	if echo {
+		resp.Trace = tr.Tree()
+	}
+	s.slow.Record(wall, obs.SlowQueryRecord{
+		Kind: "cluster-query", Trace: tr.ID(), Method: s.coord.Spec(),
+		Candidates: len(res.Candidates), Produced: res.Produced,
+		Verified: res.Verified, Answers: len(res.Answers),
+		FilterUs: res.FilterUs, VerifyUs: res.VerifyUs, Partial: res.Partial,
+		Spans: tr.Tree(),
+	})
+	s.writeJSON(w, resp)
 }
 
 // streamQuery relays the cluster merge as NDJSON, stopping after limit

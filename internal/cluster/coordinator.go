@@ -8,11 +8,11 @@ import (
 	"net/http"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/engine"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -31,6 +31,10 @@ type CoordConfig struct {
 	Client *http.Client
 	// Logf receives membership and re-replication events (default log.Printf).
 	Logf func(format string, args ...any)
+	// Registry hosts the coordinator's metrics families (request counts,
+	// fan-out mechanics); the coordinator's HTTP face serves it at
+	// GET /metrics. Nil creates a private registry.
+	Registry *obs.Registry
 }
 
 // nodeState is the coordinator's view of one member.
@@ -74,10 +78,11 @@ type Coordinator struct {
 	stopProbe chan struct{}
 	probeWG   sync.WaitGroup
 
-	reqQuery, reqStream, reqBatch, reqMutate, reqErrors atomic.Int64
-	partials, failovers, hedgesFired, hedgesWon         atomic.Int64
-	rereplicated, staleRejected, rollbacks              atomic.Int64
-	staleRetries                                        atomic.Int64
+	// Counters live on cfg.Registry so /stats and /metrics read the same
+	// cells; the fields are the cells, fetched once at construction.
+	reqQuery, reqStream, reqBatch, reqMutate, reqErrors  *obs.Counter
+	partials, failovers, hedgesFired, hedgesWon          *obs.Counter
+	rereplicated, staleRejected, rollbacks, staleRetries *obs.Counter
 }
 
 // ErrNoOwner means a shard had no reachable fresh owner.
@@ -105,6 +110,9 @@ func NewCoordinator(ctx context.Context, man *Manifest, cfg CoordConfig) (*Coord
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
 	c := &Coordinator{
 		cfg:        cfg,
 		man:        man,
@@ -115,6 +123,28 @@ func NewCoordinator(ctx context.Context, man *Manifest, cfg CoordConfig) (*Coord
 		start:      time.Now(),
 		stopProbe:  make(chan struct{}),
 	}
+	req := cfg.Registry.Counter("sq_cluster_requests_total", "Coordinator requests by kind.", "kind")
+	c.reqQuery = req.Counter("query")
+	c.reqStream = req.Counter("stream")
+	c.reqBatch = req.Counter("batch")
+	c.reqMutate = req.Counter("mutate")
+	c.reqErrors = req.Counter("errors")
+	c.partials = cfg.Registry.Counter("sq_cluster_partials_total",
+		"Queries answered with one or more shards missing.").Counter()
+	c.failovers = cfg.Registry.Counter("sq_cluster_failovers_total",
+		"Fan-out legs retried on another owner.").Counter()
+	c.hedgesFired = cfg.Registry.Counter("sq_cluster_hedges_fired_total",
+		"Duplicate legs fired after the hedge delay.").Counter()
+	c.hedgesWon = cfg.Registry.Counter("sq_cluster_hedges_won_total",
+		"Shards resolved by a hedged leg.").Counter()
+	c.rereplicated = cfg.Registry.Counter("sq_cluster_rereplicated_total",
+		"Shard loads performed to restore replication.").Counter()
+	c.staleRejected = cfg.Registry.Counter("sq_cluster_stale_rejected_total",
+		"Shard results rejected for reporting an old epoch.").Counter()
+	c.rollbacks = cfg.Registry.Counter("sq_cluster_rollbacks_total",
+		"Shards adopted at an older epoch because no fresh owner survived.").Counter()
+	c.staleRetries = cfg.Registry.Counter("sq_cluster_stale_retries_total",
+		"Streaming legs retried on the same node after a mutation aborted them.").Counter()
 	for i, ni := range man.Nodes {
 		c.nodes[i] = &nodeState{
 			info:   ni,
@@ -173,6 +203,9 @@ func (c *Coordinator) Close() {
 
 // Manifest returns the cluster topology.
 func (c *Coordinator) Manifest() *Manifest { return c.man }
+
+// Registry returns the coordinator's metrics registry.
+func (c *Coordinator) Registry() *obs.Registry { return c.cfg.Registry }
 
 // Spec returns the canonical method spec the nodes run.
 func (c *Coordinator) Spec() string {
@@ -277,10 +310,14 @@ type shardOutcome struct {
 
 // QueryResult is a merged cluster answer.
 type QueryResult struct {
-	Candidates   graph.IDSet
-	Answers      graph.IDSet
-	FilterUs     int64
-	VerifyUs     int64
+	Candidates graph.IDSet
+	Answers    graph.IDSet
+	FilterUs   int64
+	VerifyUs   int64
+	// Produced/Verified sum the per-shard pipeline counters, so a merged
+	// cluster answer reports its pipeline work like a single-process one.
+	Produced     int
+	Verified     int
 	Partial      bool
 	FailedShards []int
 }
@@ -295,12 +332,15 @@ func (c *Coordinator) Query(ctx context.Context, gj server.GraphJSON) (*QueryRes
 		c.reqErrors.Add(1)
 		return nil, err
 	}
+	_, msp := obs.StartSpan(ctx, "merge")
 	out := &QueryResult{Candidates: graph.IDSet{}, Answers: graph.IDSet{}}
 	for _, r := range resolved {
 		out.Candidates = append(out.Candidates, r.Candidates...)
 		out.Answers = append(out.Answers, r.Answers...)
 		out.FilterUs += r.FilterUs
 		out.VerifyUs += r.VerifyUs
+		out.Produced += r.Produced
+		out.Verified += r.Verified
 	}
 	sort.Slice(out.Candidates, func(i, j int) bool { return out.Candidates[i] < out.Candidates[j] })
 	sort.Slice(out.Answers, func(i, j int) bool { return out.Answers[i] < out.Answers[j] })
@@ -310,6 +350,8 @@ func (c *Coordinator) Query(ctx context.Context, gj server.GraphJSON) (*QueryRes
 		out.FailedShards = failed
 		c.partials.Add(1)
 	}
+	msp.Attr("shards", len(resolved))
+	msp.End()
 	return out, nil
 }
 
@@ -361,10 +403,25 @@ func (c *Coordinator) fanQuery(ctx context.Context, gj server.GraphJSON) (map[in
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			lctx, cancel := context.WithTimeout(attemptCtx, c.cfg.NodeTimeout)
+			// The leg span lives under the request's root span (attemptCtx
+			// inherits ctx's values); the node's echoed subtree grafts under
+			// it, and a leg cancelled because the fan-out already finished —
+			// a hedged loser — is marked cancelled, not failed.
+			sctx, lsp := obs.StartSpan(attemptCtx, "node:"+c.nodes[nodeIdx].info.Name)
+			lsp.Attr("shards", shards)
+			if hedge {
+				lsp.Attr("hedge", true)
+			}
+			lctx, cancel := context.WithTimeout(sctx, c.cfg.NodeTimeout)
 			defer cancel()
 			resp, err := c.nodes[nodeIdx].client.Query(lctx, shards, gj)
 			if err != nil {
+				if attemptCtx.Err() != nil {
+					lsp.Cancel()
+				} else {
+					lsp.Attr("error", err.Error())
+					lsp.End()
+				}
 				if isTransport(err) && attemptCtx.Err() == nil {
 					c.markDown(nodeIdx, err)
 				}
@@ -373,6 +430,8 @@ func (c *Coordinator) fanQuery(ctx context.Context, gj server.GraphJSON) (map[in
 				}
 				return
 			}
+			lsp.Graft(resp.Trace)
+			lsp.End()
 			byShard := make(map[int]*ShardResult, len(resp.Results))
 			for i := range resp.Results {
 				byShard[resp.Results[i].Shard] = &resp.Results[i]
@@ -1065,21 +1124,21 @@ func (c *Coordinator) Stats() ClusterStats {
 		Epoch:         c.clusterEpoch,
 		Graphs:        c.graphs,
 		Requests: ClusterRequests{
-			Query:  c.reqQuery.Load(),
-			Stream: c.reqStream.Load(),
-			Batch:  c.reqBatch.Load(),
-			Mutate: c.reqMutate.Load(),
-			Errors: c.reqErrors.Load(),
+			Query:  c.reqQuery.Value(),
+			Stream: c.reqStream.Value(),
+			Batch:  c.reqBatch.Value(),
+			Mutate: c.reqMutate.Value(),
+			Errors: c.reqErrors.Value(),
 		},
 		Fanout: FanoutStats{
-			Partials:      c.partials.Load(),
-			Failovers:     c.failovers.Load(),
-			HedgesFired:   c.hedgesFired.Load(),
-			HedgesWon:     c.hedgesWon.Load(),
-			Rereplicated:  c.rereplicated.Load(),
-			StaleRejected: c.staleRejected.Load(),
-			StaleRetries:  c.staleRetries.Load(),
-			Rollbacks:     c.rollbacks.Load(),
+			Partials:      c.partials.Value(),
+			Failovers:     c.failovers.Value(),
+			HedgesFired:   c.hedgesFired.Value(),
+			HedgesWon:     c.hedgesWon.Value(),
+			Rereplicated:  c.rereplicated.Value(),
+			StaleRejected: c.staleRejected.Value(),
+			StaleRetries:  c.staleRetries.Value(),
+			Rollbacks:     c.rollbacks.Value(),
 		},
 	}
 	for i, ns := range c.nodes {

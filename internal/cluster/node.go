@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -251,10 +252,14 @@ func (n *Node) Query(ctx context.Context, shards []int, q *graph.Graph) ([]Shard
 	results := make([]ShardResult, len(shards))
 	err := engine.ForEachBounded(ctx, len(shards), runtime.GOMAXPROCS(0), func(ctx context.Context, i int) error {
 		sh := n.shards[shards[i]]
-		r, err := sh.eng.Query(ctx, q)
+		sctx, ssp := obs.StartSpan(ctx, fmt.Sprintf("shard-%d", shards[i]))
+		r, err := sh.eng.Query(sctx, q)
 		if err != nil {
+			ssp.Cancel()
 			return err
 		}
+		ssp.Attr("answers", len(r.Answers))
+		ssp.End()
 		results[i] = ShardResult{
 			Shard:      shards[i],
 			Epoch:      sh.epoch,
@@ -262,6 +267,8 @@ func (n *Node) Query(ctx context.Context, shards []int, q *graph.Graph) ([]Shard
 			Answers:    sh.toGlobal(r.Answers),
 			FilterUs:   r.FilterTime.Microseconds(),
 			VerifyUs:   r.VerifyTime.Microseconds(),
+			Produced:   r.Produced,
+			Verified:   r.Verified,
 		}
 		return nil
 	})

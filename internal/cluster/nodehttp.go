@@ -12,9 +12,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"io"
+
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -26,6 +29,15 @@ type NodeServerConfig struct {
 	// Client performs outbound dump fetches for /node/load (default: a
 	// plain client with no overall timeout — the request context bounds it).
 	Client *http.Client
+	// Registry hosts the node's metrics, served at GET /metrics. Nil
+	// creates a private registry.
+	Registry *obs.Registry
+	// SlowQuery > 0 logs any /node/query slower than it as one structured
+	// JSON line (span tree included) on SlowQueryWriter (default stderr).
+	SlowQuery       time.Duration
+	SlowQueryWriter io.Writer
+	// EnablePprof mounts net/http/pprof under GET /debug/pprof/.
+	EnablePprof bool
 }
 
 // NodeServer is the HTTP face of a shard node: the node protocol
@@ -36,6 +48,10 @@ type NodeServer struct {
 	cfg      NodeServerConfig
 	mux      *http.ServeMux
 	draining atomic.Bool
+
+	reqQuery, reqMutate, reqErrors *obs.Counter
+	queryDur                       *obs.Family
+	slow                           *obs.SlowQueryLog
 }
 
 // NewNodeServer wraps a built node.
@@ -46,7 +62,17 @@ func NewNodeServer(n *Node, cfg NodeServerConfig) *NodeServer {
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{}
 	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
 	s := &NodeServer{node: n, cfg: cfg}
+	req := cfg.Registry.Counter("sq_node_requests_total", "Node protocol requests by kind.", "kind")
+	s.reqQuery = req.Counter("query")
+	s.reqMutate = req.Counter("mutate")
+	s.reqErrors = req.Counter("errors")
+	s.queryDur = cfg.Registry.Histogram("sq_query_duration_seconds",
+		"Query latency by method.", obs.DefBuckets, "method")
+	s.slow = obs.NewSlowQueryLog(cfg.SlowQuery, cfg.SlowQueryWriter)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -57,9 +83,16 @@ func NewNodeServer(n *Node, cfg NodeServerConfig) *NodeServer {
 	mux.HandleFunc("GET /node/dump", s.handleDump)
 	mux.HandleFunc("POST /node/load", s.handleLoad)
 	mux.HandleFunc("DELETE /node/shards/{shard}", s.handleDropShard)
+	mux.Handle("GET /metrics", cfg.Registry.Handler())
+	if cfg.EnablePprof {
+		server.RegisterPprof(mux)
+	}
 	s.mux = mux
 	return s
 }
+
+// Registry returns the node server's metrics registry.
+func (s *NodeServer) Registry() *obs.Registry { return s.cfg.Registry }
 
 // Handler returns the node's HTTP handler.
 func (s *NodeServer) Handler() http.Handler { return s.mux }
@@ -139,13 +172,17 @@ func parseShards(v string) ([]int, error) {
 // the requested shards, with ?after=N resuming past a failed-over stream's
 // frontier.
 func (s *NodeServer) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.reqQuery.Inc()
+	t0 := time.Now()
 	shards, err := parseShards(r.URL.Query().Get("shards"))
 	if err != nil {
+		s.reqErrors.Inc()
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
 	var gj server.GraphJSON
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 32<<20)).Decode(&gj); err != nil {
+		s.reqErrors.Inc()
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
@@ -155,8 +192,26 @@ func (s *NodeServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
 		defer cancel()
 	}
+	// A trace id on the request links this node's spans into the
+	// coordinator's tree: the node runs its own trace under the same id and
+	// echoes the subtree in the response. Without a header, a trace is still
+	// run when the slow log needs one.
+	var tr *obs.Trace
+	echo := false
+	if id := obs.TraceIDFromHeader(r.Header.Get(obs.TraceHeader)); id != "" {
+		tr = obs.NewTraceWithID(id)
+		echo = true
+	} else if s.slow.Enabled() {
+		tr = obs.NewTrace()
+	}
+	root := tr.StartSpan(nil, "node-query")
+	root.Attr("node", s.node.Name())
+	root.Attr("shards", shards)
+	ctx = obs.ContextWithSpan(ctx, root)
 	q, unknown, err := s.node.ResolveQuery(gj)
 	if err != nil {
+		s.reqErrors.Inc()
+		root.Cancel()
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
@@ -186,6 +241,8 @@ func (s *NodeServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		for _, k := range shards {
 			if !owned[k] {
+				s.reqErrors.Inc()
+				root.Cancel()
 				s.fail(w, http.StatusNotFound, fmt.Errorf("%w: shard %d on node %s", ErrNotOwned, k, s.node.Name()))
 				return
 			}
@@ -194,14 +251,26 @@ func (s *NodeServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 				Candidates: graph.IDSet{}, Answers: graph.IDSet{},
 			})
 		}
+		root.Attr("unknown_label", true)
+		root.End()
+		if echo {
+			resp.Trace = tr.Tree()
+			if resp.Trace != nil {
+				resp.Trace.Node = s.node.Name()
+			}
+		}
 		s.writeJSON(w, resp)
 		return
 	}
 	results, err := s.node.Query(ctx, shards, q)
 	if err != nil {
+		s.reqErrors.Inc()
+		root.Cancel()
 		s.fail(w, statusFor(err), err)
 		return
 	}
+	var candidates, produced, verified, answers int
+	var filterUs, verifyUs int64
 	for i := range results {
 		if results[i].Candidates == nil {
 			results[i].Candidates = graph.IDSet{}
@@ -209,8 +278,31 @@ func (s *NodeServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if results[i].Answers == nil {
 			results[i].Answers = graph.IDSet{}
 		}
+		candidates += len(results[i].Candidates)
+		answers += len(results[i].Answers)
+		produced += results[i].Produced
+		verified += results[i].Verified
+		filterUs += results[i].FilterUs
+		verifyUs += results[i].VerifyUs
 	}
-	s.writeJSON(w, ShardQueryResponse{Node: s.node.Name(), Results: results})
+	wall := time.Since(t0)
+	s.queryDur.Histogram(s.node.Spec()).Observe(wall.Seconds())
+	root.Attr("answers", answers)
+	root.End()
+	resp := ShardQueryResponse{Node: s.node.Name(), Results: results}
+	if echo {
+		resp.Trace = tr.Tree()
+		if resp.Trace != nil {
+			resp.Trace.Node = s.node.Name()
+		}
+	}
+	s.slow.Record(wall, obs.SlowQueryRecord{
+		Kind: "node-query", Trace: tr.ID(), Method: s.node.Spec(),
+		Candidates: candidates, Produced: produced, Verified: verified,
+		Answers: answers, FilterUs: filterUs, VerifyUs: verifyUs,
+		Extra: map[string]any{"shards": shards}, Spans: tr.Tree(),
+	})
+	s.writeJSON(w, resp)
 }
 
 // streamQuery writes NDJSON answer lines, flushing per line. The node
@@ -266,6 +358,7 @@ func (s *NodeServer) streamQuery(ctx context.Context, w http.ResponseWriter, sha
 
 // handleAdd serves POST /node/graphs: a coordinator-routed add.
 func (s *NodeServer) handleAdd(w http.ResponseWriter, r *http.Request) {
+	s.reqMutate.Inc()
 	var req AddRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 32<<20)).Decode(&req); err != nil {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
@@ -286,6 +379,7 @@ func (s *NodeServer) handleAdd(w http.ResponseWriter, r *http.Request) {
 
 // handleRemove serves DELETE /node/graphs/{id}?epoch=E.
 func (s *NodeServer) handleRemove(w http.ResponseWriter, r *http.Request) {
+	s.reqMutate.Inc()
 	id64, err := strconv.ParseInt(r.PathValue("id"), 10, 32)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad graph id %q", r.PathValue("id")))

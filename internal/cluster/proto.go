@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -42,6 +43,10 @@ type ShardInfo struct {
 type ShardQueryResponse struct {
 	Node    string        `json:"node"`
 	Results []ShardResult `json:"results"`
+	// Trace is the node-side span tree, echoed when the request carried an
+	// X-SQ-Trace header; the coordinator grafts it under its leg span so
+	// one tree covers both processes.
+	Trace *obs.SpanTree `json:"trace,omitempty"`
 }
 
 // ShardResult is one shard's answer to a fan-out query. Epoch lets the
@@ -55,6 +60,11 @@ type ShardResult struct {
 	Answers    graph.IDSet `json:"answers"`
 	FilterUs   int64       `json:"filter_us"`
 	VerifyUs   int64       `json:"verify_us"`
+	// Produced/Verified are the shard pipeline's candidate counters, summed
+	// by the coordinator so a merged cluster response reports its pipeline
+	// work like a single-process one.
+	Produced int `json:"produced,omitempty"`
+	Verified int `json:"verified,omitempty"`
 }
 
 // AddRequest is POST /node/graphs: an add routed by the coordinator, which

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/subiso"
 )
 
@@ -266,19 +267,26 @@ func (p *Processor) Query(q *graph.Graph) (*QueryResult, error) {
 	return p.QueryCtx(context.Background(), q)
 }
 
-// QueryCtx is Query with cancellation applied to both stages.
+// QueryCtx is Query with cancellation applied to both stages. When the
+// context carries an active obs span, each pipeline stage records a child
+// span with its duration and candidate/verified counts — the per-query
+// trace the slow-query log and gquery -trace render.
 func (p *Processor) QueryCtx(ctx context.Context, q *graph.Graph) (*QueryResult, error) {
 	res := &QueryResult{Method: p.Method.Name()}
 	t0 := time.Now()
-	plan, err := NewPlan(ctx, p.Method, p.DS, q)
+	cctx, csp := obs.StartSpan(ctx, "candidate-chunk")
+	plan, err := NewPlan(cctx, p.Method, p.DS, q)
 	if err != nil {
+		csp.End()
 		return nil, fmt.Errorf("core: filtering with %s: %w", p.Method.Name(), err)
 	}
+	csp.End()
 	// Tombstoned graphs never surface: stale postings left behind by a
 	// remove-without-rebuild are dropped here, before verification. The
 	// one-shot path drains the same producer → liveness-filter composition
 	// the streamed path pulls lazily, so the two can never disagree on
 	// what reaches the verifier.
+	_, fsp := obs.StartSpan(ctx, "tombstone-filter")
 	var stats PipelineStats
 	cur := NewCursor(p.DS, plan, StreamOptions{Stats: &stats})
 	var cands graph.IDSet
@@ -293,14 +301,22 @@ func (p *Processor) QueryCtx(ctx context.Context, q *graph.Graph) (*QueryResult,
 	res.Produced = int(stats.Produced.Load())
 	res.Verified = len(cands)
 	res.FilterTime = time.Since(t0)
+	fsp.Attr("produced", res.Produced)
+	fsp.Attr("live", len(cands))
+	fsp.End()
 
 	t1 := time.Now()
-	answers, err := VerifyCandidates(ctx, plan, res.Candidates, p.VerifyWorkers)
+	vctx, vsp := obs.StartSpan(ctx, "verify")
+	answers, err := VerifyCandidates(vctx, plan, res.Candidates, p.VerifyWorkers)
 	if err != nil {
+		vsp.Cancel()
 		return nil, err
 	}
 	res.Answers = answers
 	res.VerifyTime = time.Since(t1)
+	vsp.Attr("verified", res.Verified)
+	vsp.Attr("answers", len(answers))
+	vsp.End()
 	return res, nil
 }
 

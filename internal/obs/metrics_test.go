@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the le semantics: a value equal to a
+// bound lands in that bound's bucket, a value just above in the next, and
+// values beyond the last bound in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.0, 1.0001, 2.0, 3.9, 4.0, 4.0001, 100} {
+		h.Observe(v)
+	}
+	want := []int64{2, 2, 2, 2} // (-inf,1], (1,2], (2,4], (4,+inf)
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d: count %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 8 {
+		t.Errorf("count %d, want 8", h.Count())
+	}
+	wantSum := 0.5 + 1 + 1.0001 + 2 + 3.9 + 4 + 4.0001 + 100
+	if math.Abs(h.Sum()-wantSum) > 1e-9 {
+		t.Errorf("sum %g, want %g", h.Sum(), wantSum)
+	}
+}
+
+// TestHistogramQuantile checks interpolation inside a bucket and the +Inf
+// clamp.
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5) // all mass in (1,2]
+	}
+	if q := h.Quantile(0.5); q < 1 || q > 2 {
+		t.Errorf("p50 %g outside the (1,2] bucket", q)
+	}
+	// p99 of a distribution living beyond the last bound clamps to it.
+	h2 := NewHistogram([]float64{1, 2, 4})
+	for i := 0; i < 10; i++ {
+		h2.Observe(50)
+	}
+	if q := h2.Quantile(0.99); q != 4 {
+		t.Errorf("p99 in +Inf bucket = %g, want clamp to 4", q)
+	}
+	if q := NewHistogram(nil).Quantile(0.5); q != 0 {
+		t.Errorf("empty histogram quantile %g, want 0", q)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines and
+// checks no observation is lost (run under -race in CI).
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogramEWMA(DefBuckets, 0.2, 3)
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i%100) / 1000)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Errorf("count %d, want %d", h.Count(), workers*per)
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+	}
+	if cum != workers*per {
+		t.Errorf("bucket counts sum to %d, want %d", cum, workers*per)
+	}
+	if n, mean := h.EWMA(); n != workers*per || mean <= 0 || mean >= 0.1 {
+		t.Errorf("ewma n=%d mean=%g, want n=%d and mean in (0, 0.1)", n, mean, workers*per)
+	}
+}
+
+// TestHistogramEWMAWarmup pins the cost-model semantics the router relies
+// on: plain running mean for the first warm observations, then decay.
+func TestHistogramEWMAWarmup(t *testing.T) {
+	h := NewHistogramEWMA(nil, 0.5, 2)
+	h.Observe(1)
+	h.Observe(3)
+	if _, mean := h.EWMA(); mean != 2 {
+		t.Fatalf("warmup mean %g, want running mean 2", mean)
+	}
+	h.Observe(4) // 2 + 0.5*(4-2) = 3
+	if _, mean := h.EWMA(); mean != 3 {
+		t.Fatalf("post-warmup mean %g, want 3", mean)
+	}
+	h.SeedEWMA(10, 0.25)
+	if n, mean := h.EWMA(); n != 10 || mean != 0.25 {
+		t.Fatalf("seeded ewma (%d, %g), want (10, 0.25)", n, mean)
+	}
+}
+
+// TestRegistryFamilies checks idempotent registration and cell reuse.
+func TestRegistryFamilies(t *testing.T) {
+	r := NewRegistry()
+	f1 := r.Counter("sq_test_total", "help", "method")
+	f2 := r.Counter("sq_test_total", "other help", "method")
+	if f1 != f2 {
+		t.Fatal("re-registration returned a different family")
+	}
+	c := f1.Counter("grapes")
+	c.Add(3)
+	if got := f2.Counter("grapes").Value(); got != 3 {
+		t.Errorf("cell not shared: %d, want 3", got)
+	}
+	if f1.Counter("gcode") == c {
+		t.Error("distinct label values share a cell")
+	}
+}
+
+// TestWritePrometheus checks the exposition shape: TYPE lines, labeled
+// samples, cumulative histogram buckets with +Inf, sum and count.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sq_requests_total", "requests", "endpoint").Counter("query").Add(7)
+	r.Gauge("sq_inflight", "inflight").Gauge().Set(2)
+	h := r.Histogram("sq_latency_seconds", "latency", []float64{0.1, 1}, "method")
+	h.Histogram("grapes").Observe(0.05)
+	h.Histogram("grapes").Observe(0.5)
+	h.Histogram("grapes").Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE sq_requests_total counter",
+		`sq_requests_total{endpoint="query"} 7`,
+		"# TYPE sq_inflight gauge",
+		"sq_inflight 2",
+		"# TYPE sq_latency_seconds histogram",
+		`sq_latency_seconds_bucket{method="grapes",le="0.1"} 1`,
+		`sq_latency_seconds_bucket{method="grapes",le="1"} 2`,
+		`sq_latency_seconds_bucket{method="grapes",le="+Inf"} 3`,
+		`sq_latency_seconds_sum{method="grapes"} 5.55`,
+		`sq_latency_seconds_count{method="grapes"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// labelString renders {k="v",...}; extra appends one more pair (used for
+// le on histogram buckets). Returns "" when there is nothing to render.
+func labelString(names, values []string, extraK, extraV string) string {
+	if len(names) == 0 && extraK == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", n, escapeLabel(values[i]))
+	}
+	if extraK != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraK, extraV)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatFloat renders a float the way Prometheus expects (shortest exact).
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WritePrometheus writes every family in the registry in the Prometheus
+// text exposition format (version 0.0.4), families sorted by name, cells
+// by label values, so the output is stable and diffable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var err error
+	pf := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	for _, f := range r.families() {
+		if f.help != "" {
+			pf("# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		}
+		pf("# TYPE %s %s\n", f.name, f.kind)
+		f.Cells(func(values []string, cell any) {
+			switch c := cell.(type) {
+			case *Counter:
+				pf("%s%s %d\n", f.name, labelString(f.labels, values, "", ""), c.Value())
+			case *Gauge:
+				pf("%s%s %d\n", f.name, labelString(f.labels, values, "", ""), c.Value())
+			case *Histogram:
+				cum, total, sum := c.snapshot()
+				for i, bound := range c.bounds {
+					pf("%s_bucket%s %d\n", f.name,
+						labelString(f.labels, values, "le", formatFloat(bound)), cum[i])
+				}
+				pf("%s_bucket%s %d\n", f.name, labelString(f.labels, values, "le", "+Inf"), total)
+				pf("%s_sum%s %s\n", f.name, labelString(f.labels, values, "", ""), formatFloat(sum))
+				pf("%s_count%s %d\n", f.name, labelString(f.labels, values, "", ""), total)
+			}
+		})
+	}
+	return err
+}
+
+// Handler serves the registry at GET /metrics in the text exposition
+// format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// SlowQueryRecord is one slow-query log line: what the query was, how much
+// pipeline work it did, and where the time went (the span tree). Emitted as
+// a single JSON object so the log stays grep- and jq-able.
+type SlowQueryRecord struct {
+	// Kind tags the serving path: "query", "stream", "cluster-query",
+	// "node-query". Marshals under the key "slow_query" so a log line is
+	// self-identifying.
+	Kind       string         `json:"slow_query"`
+	Trace      string         `json:"trace,omitempty"`
+	Method     string         `json:"method,omitempty"`
+	WallUs     int64          `json:"wall_us"`
+	Candidates int            `json:"candidates,omitempty"`
+	Produced   int            `json:"produced,omitempty"`
+	Verified   int            `json:"verified,omitempty"`
+	Answers    int            `json:"answers,omitempty"`
+	FilterUs   int64          `json:"filter_us,omitempty"`
+	VerifyUs   int64          `json:"verify_us,omitempty"`
+	Partial    bool           `json:"partial,omitempty"`
+	Extra      map[string]any `json:"extra,omitempty"`
+	Spans      *SpanTree      `json:"spans,omitempty"`
+}
+
+// SlowQueryLog emits one JSON line per query slower than a threshold.
+// Writes are serialized so concurrent handlers never interleave lines. A
+// nil log (threshold unset) is a valid, disabled log — every method
+// no-ops, mirroring the nil-span convention.
+type SlowQueryLog struct {
+	threshold time.Duration
+	mu        sync.Mutex
+	w         io.Writer
+}
+
+// NewSlowQueryLog builds a log emitting to w (nil = stderr) for queries at
+// or over threshold. A non-positive threshold returns nil: disabled.
+func NewSlowQueryLog(threshold time.Duration, w io.Writer) *SlowQueryLog {
+	if threshold <= 0 {
+		return nil
+	}
+	if w == nil {
+		w = os.Stderr
+	}
+	return &SlowQueryLog{threshold: threshold, w: w}
+}
+
+// Enabled reports whether the log records anything at all — instrumented
+// paths use it to decide whether a query needs a trace.
+func (l *SlowQueryLog) Enabled() bool { return l != nil }
+
+// Record emits rec if wall is at or over the threshold. Safe on nil.
+func (l *SlowQueryLog) Record(wall time.Duration, rec SlowQueryRecord) {
+	if l == nil || wall < l.threshold {
+		return
+	}
+	rec.WallUs = wall.Microseconds()
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	l.mu.Lock()
+	l.w.Write(b)
+	l.mu.Unlock()
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestTraceTree builds a small trace and checks the exported tree nests
+// children under parents with attrs and cancellation preserved.
+func TestTraceTree(t *testing.T) {
+	tr := NewTrace()
+	root := tr.StartSpan(nil, "query")
+	ctx := ContextWithSpan(context.Background(), root)
+
+	fctx, filter := StartSpan(ctx, "filter")
+	filter.Attr("produced", 42)
+	if SpanFromContext(fctx) != filter {
+		t.Fatal("context does not carry the child span")
+	}
+	filter.End()
+
+	_, verify := StartSpan(ctx, "verify")
+	verify.Cancel()
+	root.End()
+
+	tree := tr.Tree()
+	if tree.TraceID != tr.ID() || tree.Name != "query" {
+		t.Fatalf("root = %q trace %q, want query/%s", tree.Name, tree.TraceID, tr.ID())
+	}
+	if len(tree.Children) != 2 {
+		t.Fatalf("root has %d children, want 2", len(tree.Children))
+	}
+	if tree.Children[0].Name != "filter" || tree.Children[0].Attrs["produced"] != 42 {
+		t.Errorf("filter child wrong: %+v", tree.Children[0])
+	}
+	if !tree.Children[1].Cancelled {
+		t.Errorf("verify span not marked cancelled")
+	}
+	if _, err := json.Marshal(tree); err != nil {
+		t.Fatalf("tree not JSON-marshalable: %v", err)
+	}
+}
+
+// TestNilSpanSafety: every instrumentation call must be a no-op without a
+// trace — the untraced hot path.
+func TestNilSpanSafety(t *testing.T) {
+	ctx := context.Background()
+	ctx2, s := StartSpan(ctx, "anything")
+	if s != nil || ctx2 != ctx {
+		t.Fatal("StartSpan without a trace must return (ctx, nil)")
+	}
+	s.End()
+	s.Cancel()
+	s.Attr("k", "v")
+	s.Graft(&SpanTree{})
+	if s.Trace().ID() != "" {
+		t.Fatal("nil trace ID must be empty")
+	}
+	var tr *Trace
+	if tr.Tree() != nil {
+		t.Fatal("nil trace Tree must be nil")
+	}
+}
+
+// TestGraft links a remote subtree under a local span, as the coordinator
+// does with node-echoed spans.
+func TestGraft(t *testing.T) {
+	tr := NewTrace()
+	root := tr.StartSpan(nil, "cluster-query")
+	leg := tr.StartSpan(root, "node:n1")
+	leg.Graft(&SpanTree{TraceID: tr.ID(), Node: "n1", Name: "node-query", DurUs: 10})
+	leg.End()
+	root.End()
+
+	tree := tr.Tree()
+	legT := tree.Children[0]
+	if len(legT.Children) != 1 || legT.Children[0].Node != "n1" {
+		t.Fatalf("grafted subtree missing: %+v", legT)
+	}
+}
+
+// TestTraceIDFromHeader accepts hex tokens and rejects garbage.
+func TestTraceIDFromHeader(t *testing.T) {
+	id := NewTrace().ID()
+	if got := TraceIDFromHeader(id); got != id {
+		t.Errorf("own ID rejected: %q", got)
+	}
+	for _, bad := range []string{"", "xyz!", "abc def", string(make([]byte, 80))} {
+		if TraceIDFromHeader(bad) != "" {
+			t.Errorf("accepted invalid header %q", bad)
+		}
+	}
+}
+
+// TestUnendedSpanExports: exporting a live trace reports the duration so
+// far instead of zero.
+func TestUnendedSpanExports(t *testing.T) {
+	tr := NewTrace()
+	tr.StartSpan(nil, "open")
+	time.Sleep(2 * time.Millisecond)
+	if d := tr.Tree().DurUs; d <= 0 {
+		t.Errorf("unended span exported dur %dus, want > 0", d)
+	}
+}

@@ -3,6 +3,8 @@ package router
 import (
 	"sort"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // ewmaAlpha is the weight of the newest observation once a cell is past its
@@ -15,33 +17,51 @@ const ewmaAlpha = 0.2
 // heuristic ranking instead of trusting one or two samples.
 const coldThreshold = 3
 
-// cell accumulates one (bucket, method) pair's latency observations: a
-// plain running mean during warmup, an exponential moving average after.
-type cell struct {
-	n    int64
-	mean float64 // seconds
-}
-
-func (c *cell) observe(seconds float64) {
-	c.n++
-	if c.n <= coldThreshold {
-		c.mean += (seconds - c.mean) / float64(c.n)
-		return
-	}
-	c.mean += ewmaAlpha * (seconds - c.mean)
-}
+// LatencyFamily is the metrics family name backing the cost model: one
+// EWMA histogram per (bucket, method) cell. The learned policy reads its
+// estimates out of these histograms, so /metrics exposes exactly the
+// numbers routing decisions run on.
+const LatencyFamily = "sq_router_latency_seconds"
 
 // model is the per-feature-bucket online cost model: for every bucket it
-// tracks each method's observed end-to-end query latency. It is the shared
-// mutable state of the learned and race policies and is safe for concurrent
-// use.
+// tracks each method's observed end-to-end query latency in an EWMA-
+// carrying histogram (obs.Histogram), one cell per (bucket, method). It is
+// the shared mutable state of the learned and race policies and is safe
+// for concurrent use.
 type model struct {
+	fam *obs.Family
+
 	mu    sync.Mutex
-	cells map[Bucket]map[string]*cell // bucket -> canonical method name
+	cells map[Bucket]map[string]*obs.Histogram // bucket -> canonical method name
 }
 
-func newModel() *model {
-	return &model{cells: make(map[Bucket]map[string]*cell)}
+// newModel builds the cost model on reg's latency family (nil reg = a
+// private registry, for callers that do not export metrics).
+func newModel(reg *obs.Registry) *model {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	fam := reg.HistogramEWMA(LatencyFamily,
+		"Routed query latency per (feature bucket, method); each cell's EWMA is the learned policy's cost estimate.",
+		nil, ewmaAlpha, coldThreshold, "bucket", "method")
+	return &model{fam: fam, cells: make(map[Bucket]map[string]*obs.Histogram)}
+}
+
+// cell returns the histogram for (b, method), creating it on first use.
+func (m *model) cell(b Bucket, method string) *obs.Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byMethod := m.cells[b]
+	if byMethod == nil {
+		byMethod = make(map[string]*obs.Histogram)
+		m.cells[b] = byMethod
+	}
+	h := byMethod[method]
+	if h == nil {
+		h = m.fam.Histogram(b.String(), method)
+		byMethod[method] = h
+	}
+	return h
 }
 
 // observe records one served query's latency for (b, method).
@@ -49,30 +69,20 @@ func (m *model) observe(b Bucket, method string, seconds float64) {
 	if seconds < 0 {
 		return
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	byMethod := m.cells[b]
-	if byMethod == nil {
-		byMethod = make(map[string]*cell)
-		m.cells[b] = byMethod
-	}
-	c := byMethod[method]
-	if c == nil {
-		c = &cell{}
-		byMethod[method] = c
-	}
-	c.observe(seconds)
+	m.cell(b, method).Observe(seconds)
 }
 
 // estimate returns the current latency estimate for (b, method) and how
 // many observations back it. n == 0 means never observed.
 func (m *model) estimate(b Bucket, method string) (seconds float64, n int64) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	if c := m.cells[b][method]; c != nil {
-		return c.mean, c.n
+	h := m.cells[b][method]
+	m.mu.Unlock()
+	if h == nil {
+		return 0, 0
 	}
-	return 0, 0
+	n, mean := h.EWMA()
+	return mean, n
 }
 
 // CellSnapshot is one (bucket, method) cost-model cell in observable form,
@@ -91,11 +101,12 @@ func (m *model) snapshot() []CellSnapshot {
 	defer m.mu.Unlock()
 	var out []CellSnapshot
 	for b, byMethod := range m.cells {
-		for name, c := range byMethod {
-			if c.n == 0 {
+		for name, h := range byMethod {
+			n, mean := h.EWMA()
+			if n == 0 {
 				continue
 			}
-			out = append(out, CellSnapshot{Bucket: b, Method: name, N: c.n, MeanSeconds: c.mean})
+			out = append(out, CellSnapshot{Bucket: b, Method: name, N: n, MeanSeconds: mean})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -117,18 +128,13 @@ func (m *model) snapshot() []CellSnapshot {
 // restore seeds the model from persisted cells, keeping only methods in
 // known (the router's current method set) — a persisted model from an older
 // configuration must not inject estimates for methods that no longer exist.
+// Only the EWMA state is seeded: bucket counts restart at zero, so restored
+// histograms report post-restart traffic while estimates stay warm.
 func (m *model) restore(cells []CellSnapshot, known map[string]bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	for _, cs := range cells {
 		if cs.N <= 0 || !known[cs.Method] {
 			continue
 		}
-		byMethod := m.cells[cs.Bucket]
-		if byMethod == nil {
-			byMethod = make(map[string]*cell)
-			m.cells[cs.Bucket] = byMethod
-		}
-		byMethod[cs.Method] = &cell{n: cs.N, mean: cs.MeanSeconds}
+		m.cell(cs.Bucket, cs.Method).SeedEWMA(cs.N, cs.MeanSeconds)
 	}
 }

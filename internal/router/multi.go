@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // Options configures the routing layer of a Multi: which policy picks the
@@ -28,6 +29,11 @@ type Options struct {
 	// Seed seeds the exploration RNG, making routing reproducible for a
 	// fixed traffic order.
 	Seed int64
+	// Registry hosts the cost model's latency histograms (the
+	// sq_router_latency_seconds family). Pass the serving process's
+	// registry so /metrics exposes the cells routing runs on; nil keeps
+	// the model on a private registry.
+	Registry *obs.Registry
 }
 
 func (o *Options) fill() {
@@ -126,7 +132,7 @@ func New(ds *graph.Dataset, subs []Sub, opts Options) (*Multi, error) {
 		ds:     ds,
 		ext:    NewExtractor(ds),
 		pol:    pol,
-		mdl:    newModel(),
+		mdl:    newModel(opts.Registry),
 		rng:    rand.New(rand.NewSource(opts.Seed)),
 		routed: make([]int64, len(subs)),
 		won:    make([]int64, len(subs)),
@@ -325,6 +331,13 @@ func (m *Multi) Methods() []string { return append([]string(nil), m.names...) }
 // Policy returns the routing policy name.
 func (m *Multi) Policy() string { return m.pol.name() }
 
+// Instrument exposes the learned cost model's latency family on reg: the
+// serving layer's /metrics then serves the very cells routing runs on —
+// one histogram-with-EWMA per (feature bucket, method) — rather than a
+// copy. A router built with Options.Registry already shares; this is for
+// routers built before the serving registry existed.
+func (m *Multi) Instrument(reg *obs.Registry) { reg.Adopt(m.mdl.fam) }
+
 // BuildStats reports aggregate index construction across the sub-engines
 // (Open only; New composes engines it did not build, reporting zeros).
 func (m *Multi) BuildStats() core.BuildStats { return m.build }
@@ -358,8 +371,18 @@ func (m *Multi) choose(f Features) ([]int, bool) {
 func (m *Multi) Query(ctx context.Context, q *graph.Graph) (*core.QueryResult, error) {
 	m.mutMu.RLock()
 	defer m.mutMu.RUnlock()
+	_, rsp := obs.StartSpan(ctx, "route")
 	f := m.ext.Extract(q)
 	picks, explored := m.choose(f)
+	rsp.Attr("bucket", f.Bucket().String())
+	rsp.Attr("method", m.names[picks[0]])
+	if explored {
+		rsp.Attr("explored", true)
+	}
+	if len(picks) >= 2 {
+		rsp.Attr("raced", m.names[picks[1]])
+	}
+	rsp.End()
 	if len(picks) >= 2 {
 		return m.race(ctx, q, f, picks[0], picks[1], explored)
 	}

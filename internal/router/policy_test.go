@@ -158,7 +158,7 @@ func TestStaticRankPrefersRegime(t *testing.T) {
 }
 
 func TestModelWarmupThenEWMA(t *testing.T) {
-	m := newModel()
+	m := newModel(nil)
 	b := Bucket{Size: 1, Shape: ShapePath, Rarity: 1}
 	// Warmup: plain running mean over the first coldThreshold observations.
 	m.observe(b, "grapes", 1.0)
@@ -188,7 +188,7 @@ func TestModelWarmupThenEWMA(t *testing.T) {
 }
 
 func TestModelSnapshotRestore(t *testing.T) {
-	m := newModel()
+	m := newModel(nil)
 	b := Bucket{Size: 0, Shape: ShapeTree, Rarity: 2}
 	m.observe(b, "grapes", 1.5)
 	m.observe(b, "gone", 9)
@@ -196,7 +196,7 @@ func TestModelSnapshotRestore(t *testing.T) {
 	if len(snap) != 2 {
 		t.Fatalf("snapshot has %d cells, want 2", len(snap))
 	}
-	restored := newModel()
+	restored := newModel(nil)
 	restored.restore(snap, map[string]bool{"grapes": true})
 	if mean, n := restored.estimate(b, "grapes"); n != 1 || mean != 1.5 {
 		t.Errorf("restored grapes = (%g, %d), want (1.5, 1)", mean, n)
@@ -210,7 +210,7 @@ func TestLearnedRankColdThenGreedy(t *testing.T) {
 	names := []string{"grapes", "ggsx", "gcode"}
 	f := Features{Edges: 4, MinLabelFreq: 0.9, Shape: ShapePath}
 	b := f.Bucket()
-	mdl := newModel()
+	mdl := newModel(nil)
 	rng := rand.New(rand.NewSource(1))
 
 	// All cold: exploration is forced and follows the static preference
@@ -238,7 +238,7 @@ func TestLearnedRankColdThenGreedy(t *testing.T) {
 	}
 
 	// Partially cold: the cold method ranks first regardless of estimates.
-	mdl2 := newModel()
+	mdl2 := newModel(nil)
 	for k := 0; k < coldThreshold; k++ {
 		mdl2.observe(b, "grapes", 0.001)
 		mdl2.observe(b, "ggsx", 0.002)
@@ -252,7 +252,7 @@ func TestLearnedRankColdThenGreedy(t *testing.T) {
 func TestPolicyPicks(t *testing.T) {
 	names := []string{"grapes", "ggsx", "gcode"}
 	f := Features{Edges: 4, MinLabelFreq: 0.9, Shape: ShapePath}
-	mdl := newModel()
+	mdl := newModel(nil)
 	rng := rand.New(rand.NewSource(2))
 
 	for _, kind := range Policies() {

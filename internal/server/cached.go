@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // CachedEngine wraps any engine.Querier — flat or sharded — with an
@@ -29,6 +30,11 @@ type CachedEngine struct {
 	mu      sync.Mutex
 	flights map[string]*flight
 	dedups  atomic.Int64
+
+	// Registry-backed mirrors of the cache counters, so /metrics exposes
+	// hit rates without reaching into the cache's internal state. They
+	// start as private cells and are rebound by instrument().
+	obsHits, obsMisses, obsDedups *obs.Counter
 }
 
 // flight is one in-progress computation shared by all queries with its key.
@@ -44,11 +50,23 @@ var _ engine.Querier = (*CachedEngine)(nil)
 // cfg.Disabled every call passes straight through (single-flight included),
 // so a CachedEngine can stand in unconditionally.
 func NewCached(inner engine.Querier, cfg CacheConfig) *CachedEngine {
-	c := &CachedEngine{inner: inner, flights: make(map[string]*flight)}
+	c := &CachedEngine{
+		inner: inner, flights: make(map[string]*flight),
+		obsHits: new(obs.Counter), obsMisses: new(obs.Counter), obsDedups: new(obs.Counter),
+	}
 	if !cfg.Disabled {
 		c.cache = newCache(cfg)
 	}
 	return c
+}
+
+// instrument rebinds the cache counters onto reg, so the serving layer's
+// /metrics and /stats report from one set of cells.
+func (c *CachedEngine) instrument(reg *obs.Registry) {
+	c.obsHits = reg.Counter("sq_cache_hits_total", "Result cache hits.").Counter()
+	c.obsMisses = reg.Counter("sq_cache_misses_total", "Result cache misses.").Counter()
+	c.obsDedups = reg.Counter("sq_cache_dedups_total",
+		"Queries that joined an in-flight identical computation.").Counter()
 }
 
 // Dataset returns the dataset the wrapped engine serves queries over.
@@ -86,6 +104,7 @@ func (c *CachedEngine) Query(ctx context.Context, q *graph.Graph) (*core.QueryRe
 		// invalidation later — never a stale replay.
 		epoch := c.epoch()
 		if res, hit := c.cache.get(key, epoch); hit {
+			c.obsHits.Inc()
 			return cachedResult(res, time.Since(t0)), nil
 		}
 		// Flights are keyed by (epoch, key): a query racing a mutation
@@ -99,6 +118,7 @@ func (c *CachedEngine) Query(ctx context.Context, q *graph.Graph) (*core.QueryRe
 			c.flights[fkey] = f
 			c.mu.Unlock()
 			c.cache.countMiss()
+			c.obsMisses.Inc()
 			res, err := c.inner.Query(ctx, q)
 			// Store before retiring the flight: a query arriving between
 			// the two would otherwise see neither and recompute in full.
@@ -114,6 +134,7 @@ func (c *CachedEngine) Query(ctx context.Context, q *graph.Graph) (*core.QueryRe
 		}
 		c.mu.Unlock()
 		c.dedups.Add(1)
+		c.obsDedups.Inc()
 		select {
 		case <-f.done:
 			if f.err == nil {
@@ -207,6 +228,7 @@ func (c *CachedEngine) QueryLimited(ctx context.Context, q *graph.Graph, limit i
 		if key, ok := QueryKey(q); ok {
 			t0 := time.Now()
 			if res, hit := c.cache.get(key, c.epoch()); hit {
+				c.obsHits.Inc()
 				out := cachedResult(res, time.Since(t0))
 				out.Candidates = nil
 				if len(out.Answers) > limit {

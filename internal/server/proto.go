@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/router"
 )
 
@@ -131,6 +132,10 @@ type QueryResponse struct {
 	Limit    int `json:"limit,omitempty"`
 	Produced int `json:"produced,omitempty"`
 	Verified int `json:"verified,omitempty"`
+	// Trace is the server-side span tree, echoed when the request carried
+	// an X-SQ-Trace header. On a cluster coordinator it includes the
+	// grafted node-side subtrees.
+	Trace *obs.SpanTree `json:"trace,omitempty"`
 }
 
 func queryResponse(res *core.QueryResult) QueryResponse {

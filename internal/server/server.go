@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"sync"
@@ -15,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/router"
 )
 
@@ -43,6 +46,19 @@ type Config struct {
 	// MaxBatch caps the queries accepted in one /batch request
 	// (default 1024).
 	MaxBatch int
+	// Registry hosts the server's metrics families, served at
+	// GET /metrics. Pass a shared registry (the router's, a test's) to
+	// pool series; nil creates a private one. /stats reads the same cells,
+	// so the two views can never disagree.
+	Registry *obs.Registry
+	// SlowQuery emits one JSON line (span tree, pipeline counters) to
+	// SlowQueryWriter for every query at or over this duration; 0
+	// disables the log.
+	SlowQuery time.Duration
+	// SlowQueryWriter receives slow-query lines (default stderr).
+	SlowQueryWriter io.Writer
+	// EnablePprof registers the /debug/pprof/* handlers on the server mux.
+	EnablePprof bool
 }
 
 // Server is the HTTP/JSON front end over a cached engine: /query (one-shot
@@ -72,20 +88,27 @@ type Server struct {
 	// adds no real contention, but it makes the epoch-delta bookkeeping
 	// below atomic with respect to other mutations. Queries never take it.
 	mutateMu sync.Mutex
-	// liveGraphs/removedGraphs mirror the dataset's counts for /stats and
-	// mutation responses, maintained by the mutation handlers (under
-	// mutateMu) so reads never touch the dataset structures a mutation is
-	// moving.
-	liveGraphs    atomic.Int64
-	removedGraphs atomic.Int64
+	// Counters and gauges live on the registry (reg) so /stats and
+	// /metrics read the same cells; the named fields below are the cells,
+	// fetched once at construction.
 
-	admitted atomic.Int64 // in the system: waiting for a slot or executing
-	inflight atomic.Int64 // executing
-	rejected atomic.Int64
-	timedOut atomic.Int64
-	draining atomic.Bool
+	// gLive/gRemoved mirror the dataset's counts for /stats and mutation
+	// responses, maintained by the mutation handlers (under mutateMu) so
+	// reads never touch the dataset structures a mutation is moving.
+	gLive    *obs.Gauge
+	gRemoved *obs.Gauge
 
-	reqQuery, reqBatch, reqStream, reqMutate, reqErrors atomic.Int64
+	gAdmitted *obs.Gauge // in the system: waiting for a slot or executing
+	gInflight *obs.Gauge // executing
+	cRejected *obs.Counter
+	cTimedOut *obs.Counter
+	draining  atomic.Bool
+
+	cQuery, cBatch, cStream, cMutate, cErrors *obs.Counter
+	queryDur                                  *obs.Family // sq_query_duration_seconds{method}
+
+	reg  *obs.Registry
+	slow *obs.SlowQueryLog
 }
 
 // New wraps an opened engine — *engine.Engine, *engine.Sharded, or any
@@ -103,16 +126,44 @@ func New(q engine.Querier, cfg Config) *Server {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 1024
 	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	s := &Server{
 		eng:     NewCached(q, cfg.Cache),
 		cfg:     cfg,
 		slots:   make(chan struct{}, cfg.Workers),
 		started: time.Now(),
+		reg:     reg,
+		slow:    obs.NewSlowQueryLog(cfg.SlowQuery, cfg.SlowQueryWriter),
 	}
-	s.liveGraphs.Store(int64(q.Dataset().NumAlive()))
-	s.removedGraphs.Store(int64(q.Dataset().NumRemoved()))
+	req := reg.Counter("sq_requests_total",
+		"Requests by kind; errors counts failed requests across kinds.", "kind")
+	s.cQuery = req.Counter("query")
+	s.cBatch = req.Counter("batch")
+	s.cStream = req.Counter("stream")
+	s.cMutate = req.Counter("mutate")
+	s.cErrors = req.Counter("errors")
+	adm := reg.Gauge("sq_admission",
+		"Admission control state: admitted = waiting + executing, inflight = executing.", "state")
+	s.gAdmitted = adm.Gauge("admitted")
+	s.gInflight = adm.Gauge("inflight")
+	s.cRejected = reg.Counter("sq_admission_rejected_total",
+		"Requests rejected because the admission queue was full.").Counter()
+	s.cTimedOut = reg.Counter("sq_admission_timeouts_total",
+		"Requests whose admission wait outlived their budget.").Counter()
+	graphs := reg.Gauge("sq_graphs", "Dataset graph counts by state.", "state")
+	s.gLive = graphs.Gauge("live")
+	s.gRemoved = graphs.Gauge("removed")
+	s.queryDur = reg.Histogram("sq_query_duration_seconds",
+		"End-to-end query latency by served method.", nil, "method")
+	s.eng.instrument(reg)
+	s.gLive.Set(int64(q.Dataset().NumAlive()))
+	s.gRemoved.Set(int64(q.Dataset().NumRemoved()))
 	if m, ok := q.(*router.Multi); ok {
 		s.routing = m
+		m.Instrument(reg)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
@@ -121,11 +172,29 @@ func New(q engine.Querier, cfg Config) *Server {
 	mux.HandleFunc("DELETE /graphs/{id}", s.handleRemoveGraph)
 	mux.HandleFunc("GET /methods", s.handleMethods)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.Handle("GET /metrics", reg.Handler())
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	if cfg.EnablePprof {
+		RegisterPprof(mux)
+	}
 	s.mux = mux
 	return s
 }
+
+// RegisterPprof registers the net/http/pprof handlers on mux — shared by
+// every serving face (flat server, coordinator, node) behind their
+// respective -pprof flags.
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}
+
+// Registry returns the server's metrics registry (the one /metrics serves).
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // Handler returns the server's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -153,25 +222,25 @@ func (s *Server) acquire(ctx context.Context) error {
 	if s.draining.Load() {
 		return errDraining
 	}
-	if s.admitted.Add(1) > int64(s.cfg.Workers+s.cfg.MaxQueue) {
-		s.admitted.Add(-1)
-		s.rejected.Add(1)
+	if s.gAdmitted.AddGet(1) > int64(s.cfg.Workers+s.cfg.MaxQueue) {
+		s.gAdmitted.Add(-1)
+		s.cRejected.Inc()
 		return errQueueFull
 	}
 	select {
 	case s.slots <- struct{}{}:
-		s.inflight.Add(1)
+		s.gInflight.Add(1)
 		return nil
 	case <-ctx.Done():
-		s.admitted.Add(-1)
-		s.timedOut.Add(1)
+		s.gAdmitted.Add(-1)
+		s.cTimedOut.Inc()
 		return ctx.Err()
 	}
 }
 
 func (s *Server) release() {
-	s.inflight.Add(-1)
-	s.admitted.Add(-1)
+	s.gInflight.Add(-1)
+	s.gAdmitted.Add(-1)
 	<-s.slots
 }
 
@@ -226,7 +295,7 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) (ctx context.Cont
 
 // fail writes a JSON error body and counts it.
 func (s *Server) fail(w http.ResponseWriter, code int, err error) {
-	s.reqErrors.Add(1)
+	s.cErrors.Inc()
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error()})
@@ -261,11 +330,12 @@ func queryStatusCode(err error) int {
 // count in both modes, honored end to end: the streaming pipeline stops
 // after N answers and the unexecuted tail of the query is never computed.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
 	stream := r.URL.Query().Get("stream") != ""
 	if stream {
-		s.reqStream.Add(1)
+		s.cStream.Inc()
 	} else {
-		s.reqQuery.Add(1)
+		s.cQuery.Inc()
 	}
 	limit := 0
 	if ls := r.URL.Query().Get("limit"); ls != "" {
@@ -276,6 +346,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
+	// A trace exists when the client asked for one (the header) or the
+	// slow-query log might need it; otherwise every span call below is a
+	// nil no-op.
+	var tr *obs.Trace
+	echo := false
+	if id := obs.TraceIDFromHeader(r.Header.Get(obs.TraceHeader)); id != "" {
+		tr = obs.NewTraceWithID(id)
+		echo = true
+	} else if s.slow.Enabled() {
+		tr = obs.NewTrace()
+	}
+	root := tr.StartSpan(nil, "query")
+	if root != nil {
+		r = r.WithContext(obs.ContextWithSpan(r.Context(), root))
+	}
+	psp := tr.StartSpan(root, "parse")
 	var gj GraphJSON
 	if err := decodeJSON(r, w, &gj); err != nil {
 		s.fail(w, http.StatusBadRequest, err)
@@ -284,6 +370,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.dsMu.RLock()
 	q, unknown, err := ToGraph(gj, &s.eng.Dataset().Dict)
 	s.dsMu.RUnlock()
+	psp.End()
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
@@ -305,7 +392,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 	if stream {
-		s.streamQuery(ctx, w, q, limit)
+		s.streamQuery(ctx, w, q, limit, tr, root, t0)
 		return
 	}
 	var res *core.QueryResult
@@ -315,12 +402,34 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		res, err = s.eng.Query(ctx, q)
 	}
 	if err != nil {
+		root.Cancel()
 		s.fail(w, queryStatusCode(err), err)
 		return
 	}
+	wall := time.Since(t0)
+	method := res.Method
+	if method == "" {
+		method = s.cfg.Spec
+	}
+	s.queryDur.Histogram(method).Observe(wall.Seconds())
+	root.Attr("method", method)
+	if res.Cached {
+		root.Attr("cached", true)
+	}
+	root.End()
 	resp := queryResponse(res)
 	resp.Limit = limit
+	if echo {
+		resp.Trace = tr.Tree()
+	}
 	writeJSON(w, resp)
+	s.slow.Record(wall, obs.SlowQueryRecord{
+		Kind: "query", Trace: tr.ID(), Method: method,
+		Candidates: len(res.Candidates), Produced: res.Produced, Verified: res.Verified,
+		Answers:  len(res.Answers),
+		FilterUs: res.FilterTime.Microseconds(), VerifyUs: res.VerifyTime.Microseconds(),
+		Spans: tr.Tree(),
+	})
 }
 
 // streamQuery writes NDJSON answer lines as verification confirms them,
@@ -332,7 +441,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // epoch-checked chunked locking (no lock held across writes), so a client
 // that stops reading can no longer block mutations; the write deadline
 // still bounds how long such a client pins a worker slot and connection.
-func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, q *graph.Graph, limit int) {
+func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, q *graph.Graph, limit int,
+	tr *obs.Trace, root *obs.Span, t0 time.Time) {
 	if s.cfg.RequestTimeout > 0 {
 		rc := http.NewResponseController(w)
 		_ = rc.SetWriteDeadline(time.Now().Add(s.cfg.RequestTimeout))
@@ -350,7 +460,8 @@ func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, q *grap
 	n := 0
 	for id, err := range s.eng.StreamStats(ctx, q, &stats) {
 		if err != nil {
-			s.reqErrors.Add(1)
+			s.cErrors.Inc()
+			root.Cancel()
 			enc.Encode(StreamLine{Error: err.Error()})
 			if fl != nil {
 				fl.Flush()
@@ -376,13 +487,22 @@ func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, q *grap
 	if fl != nil {
 		fl.Flush()
 	}
+	wall := time.Since(t0)
+	s.queryDur.Histogram(s.cfg.Spec).Observe(wall.Seconds())
+	root.Attr("matches", n)
+	root.End()
+	s.slow.Record(wall, obs.SlowQueryRecord{
+		Kind: "stream", Trace: tr.ID(), Method: s.cfg.Spec,
+		Produced: int(stats.Produced.Load()), Verified: int(stats.Verified.Load()),
+		Answers: n, Spans: tr.Tree(),
+	})
 }
 
 // handleBatch serves POST /batch: each query runs through the cache on the
 // shared batch pool; malformed items fail individually without sinking the
 // batch.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	s.reqBatch.Add(1)
+	s.cBatch.Inc()
 	var req BatchRequest
 	if err := decodeJSON(r, w, &req); err != nil {
 		s.fail(w, http.StatusBadRequest, err)
@@ -464,7 +584,7 @@ func mutationStatusCode(err error) int {
 // pass through admission control like queries: index maintenance is real
 // engine work.
 func (s *Server) handleAddGraph(w http.ResponseWriter, r *http.Request) {
-	s.reqMutate.Add(1)
+	s.cMutate.Inc()
 	var gj GraphJSON
 	if err := decodeJSON(r, w, &gj); err != nil {
 		s.fail(w, http.StatusBadRequest, err)
@@ -494,13 +614,14 @@ func (s *Server) handleAddGraph(w http.ResponseWriter, r *http.Request) {
 		// (epoch +2: one add, one remove). Keep the mirrors truthful —
 		// mutateMu makes the epoch delta attributable to this request.
 		if s.eng.Epoch() == before+2 {
-			s.removedGraphs.Add(1)
+			s.gRemoved.Add(1)
 		}
 		s.mutateMu.Unlock()
 		s.fail(w, mutationStatusCode(err), err)
 		return
 	}
-	live := int(s.liveGraphs.Add(1))
+	s.gLive.Add(1)
+	live := int(s.gLive.Value())
 	epoch := s.eng.Epoch()
 	s.mutateMu.Unlock()
 	writeJSON(w, MutationResponse{ID: id, Epoch: epoch, Graphs: live})
@@ -510,7 +631,7 @@ func (s *Server) handleAddGraph(w http.ResponseWriter, r *http.Request) {
 // it can never again appear in any candidate or answer set — and
 // incremental indexes drop its postings. The id is never reused.
 func (s *Server) handleRemoveGraph(w http.ResponseWriter, r *http.Request) {
-	s.reqMutate.Add(1)
+	s.cMutate.Inc()
 	idStr := r.PathValue("id")
 	id64, err := strconv.ParseInt(idStr, 10, 32)
 	if err != nil {
@@ -531,15 +652,16 @@ func (s *Server) handleRemoveGraph(w http.ResponseWriter, r *http.Request) {
 		// (persistence needs operator attention), but the mirrors track
 		// the dataset, not the response code.
 		if s.eng.Epoch() != before {
-			s.removedGraphs.Add(1)
-			s.liveGraphs.Add(-1)
+			s.gRemoved.Add(1)
+			s.gLive.Add(-1)
 		}
 		s.mutateMu.Unlock()
 		s.fail(w, mutationStatusCode(err), err)
 		return
 	}
-	s.removedGraphs.Add(1)
-	live := int(s.liveGraphs.Add(-1))
+	s.gRemoved.Add(1)
+	s.gLive.Add(-1)
+	live := int(s.gLive.Value())
 	epoch := s.eng.Epoch()
 	s.mutateMu.Unlock()
 	writeJSON(w, MutationResponse{ID: graph.ID(id64), Epoch: epoch, Graphs: live})
@@ -568,7 +690,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		snap := s.routing.Stats()
 		routing = &snap
 	}
-	graphs, removed, epoch := int(s.liveGraphs.Load()), int(s.removedGraphs.Load()), s.eng.Epoch()
+	graphs, removed, epoch := int(s.gLive.Value()), int(s.gRemoved.Value()), s.eng.Epoch()
 	writeJSON(w, StatsResponse{
 		Routing:       routing,
 		UptimeSeconds: time.Since(s.started).Seconds(),
@@ -583,17 +705,17 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Admission: AdmissionStats{
 			Workers:    s.cfg.Workers,
 			QueueLimit: s.cfg.MaxQueue,
-			InFlight:   s.inflight.Load(),
-			Waiting:    max(s.admitted.Load()-s.inflight.Load(), 0),
-			Rejected:   s.rejected.Load(),
-			TimedOut:   s.timedOut.Load(),
+			InFlight:   s.gInflight.Value(),
+			Waiting:    max(s.gAdmitted.Value()-s.gInflight.Value(), 0),
+			Rejected:   s.cRejected.Value(),
+			TimedOut:   s.cTimedOut.Value(),
 		},
 		Requests: RequestStats{
-			Query:  s.reqQuery.Load(),
-			Batch:  s.reqBatch.Load(),
-			Stream: s.reqStream.Load(),
-			Mutate: s.reqMutate.Load(),
-			Errors: s.reqErrors.Load(),
+			Query:  s.cQuery.Value(),
+			Batch:  s.cBatch.Value(),
+			Stream: s.cStream.Value(),
+			Mutate: s.cMutate.Value(),
+			Errors: s.cErrors.Value(),
 		},
 	})
 }

@@ -316,7 +316,7 @@ func TestServeAdmissionControl(t *testing.T) {
 	// Wait until the system holds both (1 executing + 1 queued), then
 	// overflow the queue.
 	deadline := time.Now().Add(5 * time.Second)
-	for srv.admitted.Load() < 2 {
+	for srv.gAdmitted.Value() < 2 {
 		if time.Now().After(deadline) {
 			t.Fatal("second request never queued")
 		}

@@ -3,7 +3,10 @@
 # generated micro-dataset. Runs a mixed workload (queries + a removal),
 # kills a node and asserts the service answers with partial-result
 # flagging (never silently), then restarts the node and asserts full
-# answers come back.
+# answers come back. Along the way it scrapes /metrics on the coordinator
+# and nodes (per-method latency histogram, fan-out counters, node request
+# counters), round-trips a trace through the whole cluster, and checks the
+# flat server's cache-hit counter.
 #
 # Usage: scripts/cluster_smoke.sh [workdir]
 set -euo pipefail
@@ -82,6 +85,16 @@ echo "== start coordinator"
 PIDS+=($!)
 wait_ready "http://$COORD/readyz" 60
 
+# assert_metric url pattern: the series must be present (and, with a
+# trailing " N" in the pattern, at that value).
+assert_metric() { # url grep-pattern label
+  if ! curl -fsS "$1/metrics" | grep -Eq "$2"; then
+    echo "FAIL: $3 — no series matching '$2' at $1/metrics" >&2
+    curl -fsS "$1/metrics" | head -40 >&2 || true
+    exit 1
+  fi
+}
+
 echo "== mixed workload on the healthy cluster (queries + a removal)"
 OUT=$("$WORK/gquery" -remote "http://$COORD" -queries "$WORK/queries.gfd" -remove 3)
 echo "$OUT"
@@ -89,6 +102,38 @@ if echo "$OUT" | grep -q "partial"; then
   echo "FAIL: healthy cluster answered partially" >&2
   exit 1
 fi
+
+echo "== scrape /metrics on coordinator and nodes"
+assert_metric "http://$COORD" 'sq_query_duration_seconds_count\{method="[Gg]rapes[^"]*"\} [1-9]' "coordinator per-method query histogram"
+assert_metric "http://$COORD" 'sq_cluster_requests_total\{kind="query"\} [1-9]' "coordinator query counter"
+assert_metric "http://$COORD" 'sq_cluster_failovers_total' "coordinator failover counter exposed"
+for n in "$N0" "$N1" "$N2"; do
+  assert_metric "http://$n" 'sq_node_requests_total\{kind="query"\} [1-9]' "node query counter on $n"
+  assert_metric "http://$n" 'sq_query_duration_seconds_count\{method="[Gg]rapes[^"]*"\} [1-9]' "node per-method query histogram on $n"
+done
+
+echo "== round-trip a trace through the cluster"
+TRACE_OUT=$("$WORK/gquery" -remote "http://$COORD" -queries "$WORK/queries.gfd" -trace)
+if ! echo "$TRACE_OUT" | grep -q "cluster-query"; then
+  echo "FAIL: gquery -trace shows no coordinator root span" >&2
+  echo "$TRACE_OUT" >&2
+  exit 1
+fi
+if ! echo "$TRACE_OUT" | grep -q "node-query"; then
+  echo "FAIL: gquery -trace shows no grafted node subtree — the trace id did not cross the node hop" >&2
+  echo "$TRACE_OUT" >&2
+  exit 1
+fi
+
+echo "== flat server cache-hit counter (the coordinator has no cache)"
+FLAT=127.0.0.1:7610
+"$WORK/sqserve" -data "$WORK/data.gfd" -method grapes -addr "${FLAT#127.0.0.1}"   >"$WORK/flat.log" 2>&1 &
+PIDS+=($!)
+wait_ready "http://$FLAT/readyz" 60
+"$WORK/gquery" -remote "http://$FLAT" -queries "$WORK/queries.gfd" >/dev/null
+"$WORK/gquery" -remote "http://$FLAT" -queries "$WORK/queries.gfd" >/dev/null
+assert_metric "http://$FLAT" 'sq_cache_hits_total [1-9]' "flat server cache hits after repeated workload"
+assert_metric "http://$FLAT" 'sq_query_duration_seconds_count\{method="[Gg]rapes[^"]*"\} [1-9]' "flat server per-method query histogram"
 
 echo "== kill n1 and require flagged partial answers"
 kill -9 "$N1_PID"
@@ -98,6 +143,7 @@ if ! echo "$OUT" | grep -q "partial"; then
   echo "FAIL: node dead but no partial flag surfaced — a silent truncation" >&2
   exit 1
 fi
+assert_metric "http://$COORD" 'sq_cluster_partials_total [1-9]' "coordinator partials counter after node loss"
 
 echo "== restart n1 and require full answers again"
 start_node n1 "$N1"
