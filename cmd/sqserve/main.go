@@ -37,6 +37,10 @@
 //	GET    /readyz       readiness: 503 during index build and graceful drain
 //	GET    /cluster      (coordinator only) topology, per-node health, fan-out counters
 //	GET    /metrics      Prometheus text exposition of the same counters /stats reports
+//	GET    /metrics/cluster  (coordinator only) federated exposition: every node's
+//	                     /metrics relabeled with node="<addr>" plus summed _agg families
+//	GET    /health/score derived ok/degraded/critical verdict with per-check reasons
+//	                     (error rate, p99 vs -slo, queue depth, cluster membership)
 //	GET    /debug/pprof  runtime profiles (only with -pprof)
 //
 // With -slow-query D, any query slower than D is logged as one structured
@@ -103,6 +107,7 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for in-flight requests")
 
 		slowQuery   = flag.Duration("slow-query", 0, "log queries slower than this as structured JSON with their span tree (0 disables)")
+		slo         = flag.Duration("slo", 0, "p99 latency target /health/score compares against (0 disables the latency check)")
 		enablePprof = flag.Bool("pprof", false, "serve runtime profiles under /debug/pprof")
 
 		list = flag.Bool("list", false, "list registered methods and their parameters")
@@ -115,11 +120,11 @@ func main() {
 	}
 	var err error
 	if *clusterManifest != "" {
-		err = runCoordinator(*clusterManifest, *addr, *nodeTimeout, *hedgeDelay, *probeInterval, *reqTimeout, *drainTimeout, *slowQuery, *enablePprof)
+		err = runCoordinator(*clusterManifest, *addr, *nodeTimeout, *hedgeDelay, *probeInterval, *reqTimeout, *drainTimeout, *slowQuery, *slo, *enablePprof)
 	} else {
 		err = run(*dataPath, *methodStr, *indexPath, *shards, *verifyW, *addr,
 			*cacheEntries, *cacheBytes, *cacheTTL, *concurrency, *queue,
-			*reqTimeout, *buildTimeout, *drainTimeout, *slowQuery, *enablePprof)
+			*reqTimeout, *buildTimeout, *drainTimeout, *slowQuery, *slo, *enablePprof)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sqserve:", err)
@@ -160,7 +165,7 @@ func listenEarly(addr string) (*http.Server, func(http.Handler), chan error) {
 	return srv, func(next http.Handler) { h.Store(next) }, serveErr
 }
 
-func runCoordinator(manifestPath, addr string, nodeTimeout, hedgeDelay, probeInterval, reqTimeout, drainTimeout, slowQuery time.Duration, enablePprof bool) error {
+func runCoordinator(manifestPath, addr string, nodeTimeout, hedgeDelay, probeInterval, reqTimeout, drainTimeout, slowQuery, slo time.Duration, enablePprof bool) error {
 	man, err := cluster.LoadManifest(manifestPath)
 	if err != nil {
 		return err
@@ -178,6 +183,7 @@ func runCoordinator(manifestPath, addr string, nodeTimeout, hedgeDelay, probeInt
 	cs := cluster.NewCoordServer(coord, cluster.CoordServerConfig{
 		RequestTimeout: reqTimeout,
 		SlowQuery:      slowQuery,
+		SLO:            slo,
 		EnablePprof:    enablePprof,
 	})
 	swap(cs.Handler())
@@ -206,7 +212,7 @@ func runCoordinator(manifestPath, addr string, nodeTimeout, hedgeDelay, probeInt
 
 func run(dataPath, methodStr, indexPath string, shards, verifyW int, addr string,
 	cacheEntries int, cacheBytes int64, cacheTTL time.Duration,
-	concurrency, queue int, reqTimeout, buildTimeout, drainTimeout, slowQuery time.Duration,
+	concurrency, queue int, reqTimeout, buildTimeout, drainTimeout, slowQuery, slo time.Duration,
 	enablePprof bool) error {
 	if dataPath == "" {
 		return fmt.Errorf("-data is required")
@@ -276,6 +282,7 @@ func run(dataPath, methodStr, indexPath string, shards, verifyW int, addr string
 		MaxQueue:       queue,
 		RequestTimeout: reqTimeout,
 		SlowQuery:      slowQuery,
+		SLO:            slo,
 		EnablePprof:    enablePprof,
 	})
 	swap(srv.Handler())

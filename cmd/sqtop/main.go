@@ -1,0 +1,535 @@
+// Command sqtop is a terminal dashboard over a running sqserve (flat
+// server or cluster coordinator): one glance shows health, traffic, tail
+// latency per method, cache efficiency, and — against a coordinator —
+// every node's state from a single federated scrape.
+//
+// Usage:
+//
+//	sqtop -target http://127.0.0.1:7474              # live, redrawn every -interval
+//	sqtop -target http://127.0.0.1:7600 -once        # one plain-text snapshot
+//	sqtop -target http://127.0.0.1:7600 -once -json  # machine-readable snapshot
+//
+// sqtop first tries GET /metrics/cluster (the coordinator's federation
+// endpoint) and falls back to GET /metrics, so the same invocation works
+// against either face. GET /health/score feeds the header's verdict and
+// reasons when the target serves it.
+//
+// QPS, error rate, and the per-method p50/p95/p99 are computed from deltas
+// between consecutive scrapes — the tail the operator sees is the tail of
+// the last interval, not of the process's lifetime. The first frame (and
+// -once) falls back to lifetime values with QPS 0. Everything renders with
+// the standard library and ANSI escapes only.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	var (
+		target   = flag.String("target", "http://127.0.0.1:7474", "base URL of an sqserve (flat server or coordinator)")
+		interval = flag.Duration("interval", 2*time.Second, "refresh period in live mode")
+		once     = flag.Bool("once", false, "print one snapshot and exit (no ANSI)")
+		asJSON   = flag.Bool("json", false, "emit the snapshot as JSON (implies -once)")
+		timeout  = flag.Duration("timeout", 5*time.Second, "per-request budget")
+	)
+	flag.Parse()
+	if err := run(*target, *interval, *once || *asJSON, *asJSON, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "sqtop:", err)
+		os.Exit(1)
+	}
+}
+
+func run(target string, interval time.Duration, once, asJSON bool, timeout time.Duration) error {
+	sc := &scraper{target: strings.TrimSuffix(target, "/"), client: &http.Client{Timeout: timeout}}
+	cur, err := sc.scrape()
+	if err != nil {
+		return err
+	}
+	snap := build(sc, cur, nil, 0)
+	if once {
+		if asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(snap)
+		}
+		fmt.Print(render(snap, false))
+		return nil
+	}
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	fmt.Print(render(snap, true))
+	prev, prevAt := cur, snap.At
+	for range time.Tick(interval) {
+		cur, err := sc.scrape()
+		if err != nil {
+			fmt.Printf("\x1b[H\x1b[2Jsqtop — %s\n\n  scrape failed: %v (retrying every %v)\n", sc.target, err, interval)
+			continue
+		}
+		snap := build(sc, cur, prev, snap.At.Sub(prevAt).Seconds())
+		prev, prevAt = cur, snap.At
+		fmt.Print(render(snap, true))
+	}
+	return nil
+}
+
+// scraper fetches and parses the target's exposition, discovering once
+// whether the federation endpoint exists.
+type scraper struct {
+	target string
+	client *http.Client
+	source string // "/metrics/cluster" or "/metrics", chosen on first scrape
+}
+
+func (s *scraper) scrape() (*obs.PromSnapshot, error) {
+	if s.source == "" {
+		if _, err := s.fetch("/metrics/cluster"); err == nil {
+			s.source = "/metrics/cluster"
+		} else {
+			s.source = "/metrics"
+		}
+	}
+	body, err := s.fetch(s.source)
+	if err != nil {
+		return nil, err
+	}
+	return obs.ParsePromText(strings.NewReader(string(body)))
+}
+
+func (s *scraper) fetch(path string) ([]byte, error) {
+	resp, err := s.client.Get(s.target + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("GET %s: %s", path, resp.Status)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+}
+
+// health fetches /health/score; a target without it just loses the header
+// verdict.
+func (s *scraper) health() *healthReport {
+	resp, err := s.client.Get(s.target + "/health/score")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	var h healthReport
+	if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&h) != nil {
+		return nil
+	}
+	return &h
+}
+
+type healthReport struct {
+	Status string        `json:"status"`
+	Checks []healthCheck `json:"checks"`
+}
+
+type healthCheck struct {
+	Name   string  `json:"name"`
+	Status string  `json:"status"`
+	Reason string  `json:"reason"`
+	Value  float64 `json:"value"`
+}
+
+// snapshot is one rendered (or JSON-emitted) frame.
+type snapshot struct {
+	Target         string        `json:"target"`
+	Source         string        `json:"source"`
+	Cluster        bool          `json:"cluster"`
+	At             time.Time     `json:"at"`
+	Health         *healthReport `json:"health,omitempty"`
+	QPS            float64       `json:"qps"`
+	ErrorRate      float64       `json:"error_rate"`
+	CacheHitRatio  float64       `json:"cache_hit_ratio"`
+	Methods        []methodRow   `json:"methods,omitempty"`
+	Nodes          []nodeRow     `json:"nodes,omitempty"`
+	Fanout         []counterRow  `json:"fanout,omitempty"`
+	FederateFailed int64         `json:"federate_failed_nodes"`
+	SlowlogDropped int64         `json:"slowlog_dropped"`
+	Goroutines     int64         `json:"goroutines,omitempty"`
+	HeapBytes      int64         `json:"heap_bytes,omitempty"`
+}
+
+type methodRow struct {
+	Method string  `json:"method"`
+	Count  int64   `json:"count"`
+	Share  float64 `json:"share"`
+	QPS    float64 `json:"qps"`
+	P50ms  float64 `json:"p50_ms"`
+	P95ms  float64 `json:"p95_ms"`
+	P99ms  float64 `json:"p99_ms"`
+}
+
+type nodeRow struct {
+	Node        string  `json:"node"`
+	Name        string  `json:"name"`
+	Up          bool    `json:"up"`
+	Scraped     bool    `json:"scraped"`
+	Shards      int64   `json:"shards"`
+	StaleShards int64   `json:"stale_shards"`
+	Requests    int64   `json:"requests"`
+	QPS         float64 `json:"qps"`
+	Goroutines  int64   `json:"goroutines,omitempty"`
+	HeapBytes   int64   `json:"heap_bytes,omitempty"`
+}
+
+type counterRow struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// ---- snapshot extraction helpers ----
+
+func labelVal(labels []obs.PromLabel, name string) string {
+	for _, l := range labels {
+		if l.Name == name {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// famSum sums every sample of a family passing the filter (nil = all).
+func famSum(snap *obs.PromSnapshot, name string, filter func([]obs.PromLabel) bool) (float64, bool) {
+	f := snap.Family(name)
+	if f == nil {
+		return 0, false
+	}
+	var sum float64
+	for _, s := range f.Samples {
+		if filter == nil || filter(s.Labels) {
+			sum += s.Value
+		}
+	}
+	return sum, true
+}
+
+func notErrors(labels []obs.PromLabel) bool { return labelVal(labels, "kind") != "errors" }
+func onlyErrors(labels []obs.PromLabel) bool {
+	return labelVal(labels, "kind") == "errors"
+}
+
+// requests reads total and error request counts from whichever request
+// family the target exposes.
+func requests(snap *obs.PromSnapshot) (total, errs float64) {
+	for _, fam := range []string{"sq_cluster_requests_total", "sq_requests_total"} {
+		if t, ok := famSum(snap, fam, notErrors); ok {
+			e, _ := famSum(snap, fam, onlyErrors)
+			return t, e
+		}
+	}
+	return 0, 0
+}
+
+// delta is cur-prev clamped at 0 (counters only move forward; a restart
+// reads as a fresh start, not negative traffic).
+func delta(cur, prev float64) float64 {
+	if d := cur - prev; d > 0 {
+		return d
+	}
+	return 0
+}
+
+// cacheRatio prefers the cluster-wide _agg families over per-instance ones.
+func cacheCells(snap *obs.PromSnapshot) (hits, misses float64) {
+	for _, suffix := range []string{"_agg", ""} {
+		if h, ok := famSum(snap, "sq_cache_hits_total"+suffix, nil); ok {
+			m, _ := famSum(snap, "sq_cache_misses_total"+suffix, nil)
+			return h, m
+		}
+	}
+	return 0, 0
+}
+
+// build computes one frame from the current scrape, using prev/elapsed for
+// windowed rates and quantiles when available (lifetime otherwise).
+func build(sc *scraper, cur, prev *obs.PromSnapshot, elapsed float64) *snapshot {
+	cluster := sc.source == "/metrics/cluster"
+	snap := &snapshot{
+		Target:  sc.target,
+		Source:  sc.source,
+		Cluster: cluster,
+		At:      time.Now(),
+		Health:  sc.health(),
+	}
+
+	total, errs := requests(cur)
+	if prev != nil && elapsed > 0 {
+		pt, pe := requests(prev)
+		dt, de := delta(total, pt), delta(errs, pe)
+		snap.QPS = dt / elapsed
+		if dt > 0 {
+			snap.ErrorRate = de / dt
+		}
+	} else if total > 0 {
+		snap.ErrorRate = errs / total
+	}
+
+	hits, misses := cacheCells(cur)
+	if prev != nil {
+		ph, pm := cacheCells(prev)
+		dh, dm := delta(hits, ph), delta(misses, pm)
+		if dh+dm > 0 {
+			snap.CacheHitRatio = dh / (dh + dm)
+		} else if hits+misses > 0 {
+			snap.CacheHitRatio = hits / (hits + misses)
+		}
+	} else if hits+misses > 0 {
+		snap.CacheHitRatio = hits / (hits + misses)
+	}
+
+	snap.Methods = methodRows(cur, prev, elapsed, cluster)
+	if cluster {
+		snap.Nodes = nodeRows(cur, prev, elapsed)
+		for _, c := range []struct{ fam, short string }{
+			{"sq_cluster_partials_total", "partials"},
+			{"sq_cluster_failovers_total", "failovers"},
+			{"sq_cluster_hedges_fired_total", "hedges-fired"},
+			{"sq_cluster_hedges_won_total", "hedges-won"},
+			{"sq_cluster_rereplicated_total", "rereplicated"},
+			{"sq_cluster_stale_rejected_total", "stale-rejected"},
+			{"sq_cluster_rollbacks_total", "rollbacks"},
+		} {
+			if v, ok := famSum(cur, c.fam, nil); ok {
+				snap.Fanout = append(snap.Fanout, counterRow{Name: c.short, Value: int64(v)})
+			}
+		}
+		if v, ok := famSum(cur, "sq_federate_failed_nodes", nil); ok {
+			snap.FederateFailed = int64(v)
+		}
+	} else {
+		if v, ok := famSum(cur, "go_goroutines", nil); ok {
+			snap.Goroutines = int64(v)
+		}
+		if v, ok := famSum(cur, "go_heap_bytes", nil); ok {
+			snap.HeapBytes = int64(v)
+		}
+	}
+	if v, ok := famSum(cur, "sq_slowlog_dropped_total", nil); ok {
+		snap.SlowlogDropped = int64(v)
+	}
+	return snap
+}
+
+// methodRows builds the per-method latency and routing-win table from
+// sq_query_duration_seconds cells. On a routed flat server the method
+// label is the method that won each query, so count share doubles as the
+// routing win rate. Against a federated scrape only the coordinator's own
+// cells are read — client-visible latency, not per-leg node latency.
+func methodRows(cur, prev *obs.PromSnapshot, elapsed float64, cluster bool) []methodRow {
+	f := cur.Family("sq_query_duration_seconds")
+	if f == nil {
+		return nil
+	}
+	keep := func(h *obs.PromHistogram) bool {
+		return !cluster || labelVal(h.Labels, "node") == "coordinator"
+	}
+	var prevCells map[string]*obs.PromHistogram
+	if prev != nil {
+		prevCells = make(map[string]*obs.PromHistogram)
+		if pf := prev.Family("sq_query_duration_seconds"); pf != nil {
+			for _, h := range pf.Hists {
+				prevCells[histKey(h)] = h
+			}
+		}
+	}
+	var rows []methodRow
+	var totalCount int64
+	for _, h := range f.Hists {
+		if !keep(h) {
+			continue
+		}
+		row := methodRow{Method: labelVal(h.Labels, "method"), Count: h.Count}
+		totalCount += h.Count
+		bounds, cum, count := h.Bounds, h.Cum, h.Count
+		if ph := prevCells[histKey(h)]; ph != nil && len(ph.Cum) == len(h.Cum) {
+			dc := make([]int64, len(h.Cum))
+			for i := range dc {
+				dc[i] = h.Cum[i] - ph.Cum[i]
+			}
+			if dcount := h.Count - ph.Count; dcount > 0 {
+				cum, count = dc, dcount
+				if elapsed > 0 {
+					row.QPS = float64(dcount) / elapsed
+				}
+			}
+		}
+		row.P50ms = obs.QuantileFromCells(bounds, cum, count, 0.50) * 1e3
+		row.P95ms = obs.QuantileFromCells(bounds, cum, count, 0.95) * 1e3
+		row.P99ms = obs.QuantileFromCells(bounds, cum, count, 0.99) * 1e3
+		rows = append(rows, row)
+	}
+	for i := range rows {
+		if totalCount > 0 {
+			rows[i].Share = float64(rows[i].Count) / float64(totalCount)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Count > rows[j].Count })
+	return rows
+}
+
+func histKey(h *obs.PromHistogram) string {
+	parts := make([]string, len(h.Labels))
+	for i, l := range h.Labels {
+		parts[i] = l.Name + "=" + l.Value
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// nodeRows joins the coordinator's membership gauges with each node's own
+// federated series (requests, runtime pressure) by the node label.
+func nodeRows(cur, prev *obs.PromSnapshot, elapsed float64) []nodeRow {
+	up := cur.Family("sq_cluster_node_up")
+	if up == nil {
+		return nil
+	}
+	byNode := func(snap *obs.PromSnapshot, fam, node string, filter func([]obs.PromLabel) bool) float64 {
+		v, _ := famSum(snap, fam, func(labels []obs.PromLabel) bool {
+			return labelVal(labels, "node") == node && (filter == nil || filter(labels))
+		})
+		return v
+	}
+	var rows []nodeRow
+	for _, s := range up.Samples {
+		addr := labelVal(s.Labels, "node")
+		row := nodeRow{
+			Node:        addr,
+			Name:        labelVal(s.Labels, "name"),
+			Up:          s.Value > 0,
+			Scraped:     byNode(cur, "sq_federate_node_up", addr, nil) > 0,
+			Shards:      int64(byNode(cur, "sq_cluster_node_shards", addr, nil)),
+			StaleShards: int64(byNode(cur, "sq_cluster_node_stale_shards", addr, nil)),
+			Requests:    int64(byNode(cur, "sq_node_requests_total", addr, notErrors)),
+			Goroutines:  int64(byNode(cur, "go_goroutines", addr, nil)),
+			HeapBytes:   int64(byNode(cur, "go_heap_bytes", addr, nil)),
+		}
+		if prev != nil && elapsed > 0 {
+			row.QPS = delta(float64(row.Requests), byNode(prev, "sq_node_requests_total", addr, notErrors)) / elapsed
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	return rows
+}
+
+// ---- rendering ----
+
+const (
+	ansiReset  = "\x1b[0m"
+	ansiBold   = "\x1b[1m"
+	ansiDim    = "\x1b[2m"
+	ansiGreen  = "\x1b[32m"
+	ansiYellow = "\x1b[33m"
+	ansiRed    = "\x1b[31m"
+)
+
+func statusColor(status string) string {
+	switch status {
+	case "ok":
+		return ansiGreen
+	case "degraded":
+		return ansiYellow
+	case "critical":
+		return ansiRed
+	}
+	return ansiDim
+}
+
+func humanBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
+}
+
+func render(s *snapshot, ansi bool) string {
+	color := func(c, text string) string {
+		if !ansi {
+			return text
+		}
+		return c + text + ansiReset
+	}
+	var b strings.Builder
+	if ansi {
+		b.WriteString("\x1b[H\x1b[2J")
+	}
+	health := "health n/a"
+	if s.Health != nil {
+		health = "health " + color(statusColor(s.Health.Status)+ansiBold, strings.ToUpper(s.Health.Status))
+	}
+	fmt.Fprintf(&b, "%s — %s (%s)  %s\n", color(ansiBold, "sqtop"), s.Target, s.Source, s.At.Format("15:04:05"))
+	fmt.Fprintf(&b, "%s   qps %.1f   errors %.1f%%   cache hit %.0f%%", health, s.QPS, s.ErrorRate*100, s.CacheHitRatio*100)
+	if s.Cluster {
+		fmt.Fprintf(&b, "   scrape failures %d", s.FederateFailed)
+	} else if s.Goroutines > 0 {
+		fmt.Fprintf(&b, "   goroutines %d   heap %s", s.Goroutines, humanBytes(s.HeapBytes))
+	}
+	if s.SlowlogDropped > 0 {
+		fmt.Fprintf(&b, "   slowlog dropped %d", s.SlowlogDropped)
+	}
+	b.WriteString("\n")
+	if s.Health != nil {
+		for _, c := range s.Health.Checks {
+			if c.Status != "ok" {
+				fmt.Fprintf(&b, "  %s %s: %s\n", color(statusColor(c.Status), strings.ToUpper(c.Status)), c.Name, c.Reason)
+			}
+		}
+	}
+	if len(s.Methods) > 0 {
+		fmt.Fprintf(&b, "\n%s\n", color(ansiBold, fmt.Sprintf("%-16s %10s %6s %8s %9s %9s %9s", "METHOD", "COUNT", "WIN%", "QPS", "P50", "P95", "P99")))
+		for _, m := range s.Methods {
+			fmt.Fprintf(&b, "%-16s %10d %5.1f%% %8.1f %7.2fms %7.2fms %7.2fms\n",
+				m.Method, m.Count, m.Share*100, m.QPS, m.P50ms, m.P95ms, m.P99ms)
+		}
+	}
+	if len(s.Nodes) > 0 {
+		fmt.Fprintf(&b, "\n%s\n", color(ansiBold, fmt.Sprintf("%-28s %-6s %-6s %6s %6s %10s %8s %7s %8s", "NODE", "NAME", "STATE", "SHARDS", "STALE", "REQS", "QPS", "GOROUT", "HEAP")))
+		for _, n := range s.Nodes {
+			state := color(ansiGreen, "up")
+			switch {
+			case !n.Up:
+				state = color(ansiRed, "down")
+			case n.StaleShards > 0:
+				state = color(ansiYellow, "stale")
+			case !n.Scraped:
+				state = color(ansiYellow, "noscr")
+			}
+			fmt.Fprintf(&b, "%-28s %-6s %-6s %6d %6d %10d %8.1f %7d %8s\n",
+				n.Node, n.Name, state, n.Shards, n.StaleShards, n.Requests, n.QPS, n.Goroutines, humanBytes(n.HeapBytes))
+		}
+	}
+	if len(s.Fanout) > 0 {
+		b.WriteString("\nfan-out:")
+		for _, c := range s.Fanout {
+			fmt.Fprintf(&b, "  %s %d", c.Name, c.Value)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

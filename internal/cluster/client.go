@@ -108,6 +108,25 @@ func (c *NodeClient) Info(ctx context.Context) (InfoResponse, error) {
 	return info, err
 }
 
+// Metrics fetches the node's raw GET /metrics exposition (capped at 8 MiB)
+// for the coordinator's federation endpoint.
+func (c *NodeClient) Metrics(ctx context.Context) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/metrics"), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return nil, &NodeError{Status: resp.StatusCode, Msg: strings.TrimSpace(string(body))}
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+}
+
 func shardsParam(shards []int) string {
 	parts := make([]string, len(shards))
 	for i, k := range shards {

@@ -40,9 +40,10 @@ func testQueries(t testing.TB, ds *graph.Dataset) []*graph.Graph {
 
 // nodeHooks injects faults into one node's HTTP face.
 type nodeHooks struct {
-	queryDelayMs atomic.Int64 // sleep before serving /node/query (ctx-aware)
-	writeDelayMs atomic.Int64 // sleep before each response write on /node/query
-	failMutate   atomic.Bool  // 500 every POST /node/graphs
+	queryDelayMs   atomic.Int64 // sleep before serving /node/query (ctx-aware)
+	writeDelayMs   atomic.Int64 // sleep before each response write on /node/query
+	failMutate     atomic.Bool  // 500 every POST /node/graphs
+	metricsDelayMs atomic.Int64 // sleep before serving /metrics (ctx-aware)
 }
 
 // slowWriter delays each Write so a streamed response trickles out,
@@ -74,6 +75,13 @@ func (sw *slowWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
 
 func (h *nodeHooks) wrap(inner http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if d := h.metricsDelayMs.Load(); d > 0 && r.URL.Path == "/metrics" {
+			select {
+			case <-time.After(time.Duration(d) * time.Millisecond):
+			case <-r.Context().Done():
+				return
+			}
+		}
 		if d := h.queryDelayMs.Load(); d > 0 && r.URL.Path == "/node/query" {
 			select {
 			case <-time.After(time.Duration(d) * time.Millisecond):

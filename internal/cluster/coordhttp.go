@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -29,6 +30,12 @@ type CoordServerConfig struct {
 	SlowQueryWriter io.Writer
 	// EnablePprof mounts net/http/pprof under GET /debug/pprof/.
 	EnablePprof bool
+	// ScrapeTimeout bounds each per-node leg of a GET /metrics/cluster
+	// federation scrape (default 3s).
+	ScrapeTimeout time.Duration
+	// SLO is the p99 latency target GET /health/score compares against;
+	// non-positive disables the latency check.
+	SLO time.Duration
 }
 
 // CoordServer serves the coordinator over the same public protocol as the
@@ -43,6 +50,11 @@ type CoordServer struct {
 
 	queryDur *obs.Family
 	slow     *obs.SlowQueryLog
+
+	// Sliding windows behind GET /health/score: each request samples the
+	// lifetime counters and reads rates over whatever the window holds.
+	reqWin, errWin *obs.RateWindow
+	latWin         *obs.HistWindow
 }
 
 // NewCoordServer wraps a coordinator.
@@ -50,22 +62,33 @@ func NewCoordServer(c *Coordinator, cfg CoordServerConfig) *CoordServer {
 	if cfg.RequestTimeout == 0 {
 		cfg.RequestTimeout = 30 * time.Second
 	}
-	s := &CoordServer{coord: c, cfg: cfg}
+	s := &CoordServer{
+		coord:  c,
+		cfg:    cfg,
+		reqWin: obs.NewRateWindow(time.Minute),
+		errWin: obs.NewRateWindow(time.Minute),
+		latWin: obs.NewHistWindow(time.Minute),
+	}
 	// The histogram lives on the coordinator's registry, next to the
 	// fan-out counters, so one /metrics scrape covers both.
 	s.queryDur = c.Registry().Histogram("sq_query_duration_seconds",
 		"Query latency by method.", obs.DefBuckets, "method")
 	s.slow = obs.NewSlowQueryLog(cfg.SlowQuery, cfg.SlowQueryWriter)
+	s.slow.SetDropped(c.Registry().Counter("sq_slowlog_dropped_total",
+		"Slow-query log lines dropped by the byte budget.").Counter())
+	obs.RegisterRuntimeMetrics(c.Registry())
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /cluster", s.handleStats)
+	mux.HandleFunc("GET /health/score", s.handleHealthScore)
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("POST /batch", s.handleBatch)
 	mux.HandleFunc("POST /graphs", s.handleAdd)
 	mux.HandleFunc("DELETE /graphs/{id}", s.handleRemove)
 	mux.Handle("GET /metrics", c.Registry().Handler())
+	mux.HandleFunc("GET /metrics/cluster", s.handleFederate)
 	if cfg.EnablePprof {
 		server.RegisterPprof(mux)
 	}
@@ -104,6 +127,74 @@ func (s *CoordServer) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *CoordServer) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, s.coord.Stats())
+}
+
+func (s *CoordServer) handleFederate(w http.ResponseWriter, r *http.Request) {
+	snap, _ := s.coord.Federate(r.Context(), s.cfg.ScrapeTimeout)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	snap.Write(w)
+}
+
+func (s *CoordServer) handleHealthScore(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, s.healthReport(time.Now()))
+}
+
+// healthReport scores the coordinator: windowed error rate, windowed p99
+// against the configured SLO, and cluster membership — down nodes (named
+// in the reason), stale shards, and ownerless shards. The lifetime ratios
+// stand in until the windows hold two samples.
+func (s *CoordServer) healthReport(now time.Time) *obs.HealthReport {
+	req := float64(s.coord.reqQuery.Value() + s.coord.reqStream.Value() +
+		s.coord.reqBatch.Value() + s.coord.reqMutate.Value())
+	errs := float64(s.coord.reqErrors.Value())
+	s.reqWin.Observe(now, req)
+	s.errWin.Observe(now, errs)
+	errRate := 0.0
+	if d := s.reqWin.Delta(); d > 0 {
+		errRate = s.errWin.Delta() / d
+	} else if req > 0 {
+		errRate = errs / req
+	}
+	rep := obs.NewHealthReport()
+	rep.Add(obs.CheckErrorRate(errRate))
+
+	bounds, cum, total := obs.MergedHistogram(s.queryDur)
+	s.latWin.Observe(now, cum, total)
+	p99, ok := s.latWin.Quantile(bounds, 0.99)
+	if !ok {
+		p99 = obs.QuantileFromCells(bounds, cum, total, 0.99)
+	}
+	rep.Add(obs.CheckLatency(p99, s.cfg.SLO.Seconds()))
+
+	h := s.coord.Health()
+	member := obs.HealthCheck{Name: "membership", Status: obs.HealthOK,
+		Value:  float64(len(h.Down)),
+		Reason: fmt.Sprintf("all %d nodes up", h.Nodes)}
+	if len(h.Down) > 0 {
+		member.Status = obs.HealthDegraded
+		member.Reason = fmt.Sprintf("%d of %d nodes down: %s",
+			len(h.Down), h.Nodes, strings.Join(h.Down, ", "))
+	}
+	rep.Add(member)
+
+	stale := obs.HealthCheck{Name: "stale_shards", Status: obs.HealthOK,
+		Value: float64(len(h.StaleShards)), Reason: "no stale shards"}
+	if len(h.StaleShards) > 0 {
+		stale.Status = obs.HealthDegraded
+		stale.Reason = fmt.Sprintf("%d shards serving old epochs: %v",
+			len(h.StaleShards), h.StaleShards)
+	}
+	rep.Add(stale)
+
+	owner := obs.HealthCheck{Name: "ownerless_shards", Status: obs.HealthOK,
+		Value: float64(len(h.Ownerless)), Reason: "every shard has a reachable owner"}
+	if len(h.Ownerless) > 0 {
+		owner.Status = obs.HealthCritical
+		owner.Reason = fmt.Sprintf("%d shards with no reachable fresh owner: %v",
+			len(h.Ownerless), h.Ownerless)
+	}
+	rep.Add(owner)
+	return rep
 }
 
 func (s *CoordServer) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {

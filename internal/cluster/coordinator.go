@@ -83,6 +83,11 @@ type Coordinator struct {
 	reqQuery, reqStream, reqBatch, reqMutate, reqErrors  *obs.Counter
 	partials, failovers, hedgesFired, hedgesWon          *obs.Counter
 	rereplicated, staleRejected, rollbacks, staleRetries *obs.Counter
+
+	// Per-node membership gauges, refreshed at scrape time by a collect
+	// hook (see refreshNodeGauges), plus the federation failure gauge.
+	nodeUp, nodeStale, nodeShards *obs.Family
+	fedFailed                     *obs.Gauge
 }
 
 // ErrNoOwner means a shard had no reachable fresh owner.
@@ -145,6 +150,15 @@ func NewCoordinator(ctx context.Context, man *Manifest, cfg CoordConfig) (*Coord
 		"Shards adopted at an older epoch because no fresh owner survived.").Counter()
 	c.staleRetries = cfg.Registry.Counter("sq_cluster_stale_retries_total",
 		"Streaming legs retried on the same node after a mutation aborted them.").Counter()
+	c.nodeUp = cfg.Registry.Gauge("sq_cluster_node_up",
+		"Whether the coordinator considers the node up (1) per its probes.", "node", "name")
+	c.nodeStale = cfg.Registry.Gauge("sq_cluster_node_stale_shards",
+		"Shards the node serves at an old epoch, excluded from fan-out.", "node", "name")
+	c.nodeShards = cfg.Registry.Gauge("sq_cluster_node_shards",
+		"Shards the node owns (manifest placement plus re-replication).", "node", "name")
+	c.fedFailed = cfg.Registry.Gauge("sq_federate_failed_nodes",
+		"Nodes whose /metrics scrape failed in the last federation request.").Gauge()
+	cfg.Registry.OnCollect(c.refreshNodeGauges)
 	for i, ni := range man.Nodes {
 		c.nodes[i] = &nodeState{
 			info:   ni,

@@ -73,6 +73,9 @@ func NewNodeServer(n *Node, cfg NodeServerConfig) *NodeServer {
 	s.queryDur = cfg.Registry.Histogram("sq_query_duration_seconds",
 		"Query latency by method.", obs.DefBuckets, "method")
 	s.slow = obs.NewSlowQueryLog(cfg.SlowQuery, cfg.SlowQueryWriter)
+	s.slow.SetDropped(cfg.Registry.Counter("sq_slowlog_dropped_total",
+		"Slow-query log lines dropped by the byte budget.").Counter())
+	obs.RegisterRuntimeMetrics(cfg.Registry)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)

@@ -1,0 +1,300 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Health scoring: a derived ok/degraded/critical verdict with
+// human-readable reasons, computed from the same counters and histograms
+// /metrics exposes. The windows here turn lifetime-monotonic series into
+// "over the last minute" rates without the servers having to run a
+// background sampler — each /health/score request records one sample and
+// reads the delta across whatever the window still holds.
+
+// HealthStatus is a coarse health verdict.
+type HealthStatus string
+
+// Health verdicts, ordered ok < degraded < critical.
+const (
+	HealthOK       HealthStatus = "ok"
+	HealthDegraded HealthStatus = "degraded"
+	HealthCritical HealthStatus = "critical"
+)
+
+func (s HealthStatus) rank() int {
+	switch s {
+	case HealthCritical:
+		return 2
+	case HealthDegraded:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Worse reports whether s is a worse verdict than o.
+func (s HealthStatus) Worse(o HealthStatus) bool { return s.rank() > o.rank() }
+
+// HealthCheck is one scored dimension with the reason for its verdict.
+type HealthCheck struct {
+	Name   string       `json:"name"`
+	Status HealthStatus `json:"status"`
+	Reason string       `json:"reason"`
+	Value  float64      `json:"value"`
+}
+
+// HealthReport is the /health/score response body: the worst verdict
+// across all checks, plus every check with its reason.
+type HealthReport struct {
+	Status HealthStatus  `json:"status"`
+	Checks []HealthCheck `json:"checks"`
+}
+
+// NewHealthReport returns an ok report with no checks.
+func NewHealthReport() *HealthReport { return &HealthReport{Status: HealthOK} }
+
+// Add appends a check and escalates the overall status if it is worse.
+func (r *HealthReport) Add(c HealthCheck) {
+	if c.Status == "" {
+		c.Status = HealthOK
+	}
+	r.Checks = append(r.Checks, c)
+	if c.Status.Worse(r.Status) {
+		r.Status = c.Status
+	}
+}
+
+// Default health thresholds. Error rate and queue pressure are ratios in
+// [0, 1]; latency compares p99 against a configured SLO.
+const (
+	ErrRateDegraded = 0.05
+	ErrRateCritical = 0.50
+	QueueDegraded   = 0.50
+	QueueCritical   = 0.90
+)
+
+// CheckErrorRate scores an error ratio (errors/requests over a window).
+func CheckErrorRate(rate float64) HealthCheck {
+	c := HealthCheck{Name: "error_rate", Status: HealthOK, Value: rate,
+		Reason: fmt.Sprintf("error rate %.2f%%", rate*100)}
+	switch {
+	case rate >= ErrRateCritical:
+		c.Status = HealthCritical
+		c.Reason = fmt.Sprintf("error rate %.1f%% >= %.0f%%", rate*100, ErrRateCritical*100)
+	case rate >= ErrRateDegraded:
+		c.Status = HealthDegraded
+		c.Reason = fmt.Sprintf("error rate %.1f%% >= %.0f%%", rate*100, ErrRateDegraded*100)
+	}
+	return c
+}
+
+// CheckLatency scores a p99 against an SLO threshold in seconds. A
+// non-positive slo disables the check (always ok).
+func CheckLatency(p99, slo float64) HealthCheck {
+	c := HealthCheck{Name: "latency_p99", Status: HealthOK, Value: p99}
+	if slo <= 0 {
+		c.Reason = "no -slo configured"
+		return c
+	}
+	c.Reason = fmt.Sprintf("p99 %.1fms within slo %.1fms", p99*1e3, slo*1e3)
+	switch {
+	case p99 > 2*slo:
+		c.Status = HealthCritical
+		c.Reason = fmt.Sprintf("p99 %.1fms > 2x slo %.1fms", p99*1e3, slo*1e3)
+	case p99 > slo:
+		c.Status = HealthDegraded
+		c.Reason = fmt.Sprintf("p99 %.1fms > slo %.1fms", p99*1e3, slo*1e3)
+	}
+	return c
+}
+
+// CheckQueue scores admission-queue pressure: requests waiting versus
+// queue capacity. A non-positive capacity disables the check.
+func CheckQueue(waiting, capacity int64) HealthCheck {
+	c := HealthCheck{Name: "queue", Status: HealthOK}
+	if capacity <= 0 {
+		c.Reason = "no admission queue"
+		return c
+	}
+	ratio := float64(waiting) / float64(capacity)
+	c.Value = ratio
+	c.Reason = fmt.Sprintf("%d of %d queue slots used", waiting, capacity)
+	switch {
+	case ratio >= QueueCritical:
+		c.Status = HealthCritical
+		c.Reason = fmt.Sprintf("queue %d/%d >= %.0f%% full", waiting, capacity, QueueCritical*100)
+	case ratio >= QueueDegraded:
+		c.Status = HealthDegraded
+		c.Reason = fmt.Sprintf("queue %d/%d >= %.0f%% full", waiting, capacity, QueueDegraded*100)
+	}
+	return c
+}
+
+// MergedHistogram folds every cell of a histogram family into one
+// exposition-shaped snapshot (bounds, cumulative counts, total) — the
+// method-agnostic latency view the health scorer compares against an SLO.
+// Returns (nil, nil, 0) for a nil or non-histogram family.
+func MergedHistogram(f *Family) (bounds []float64, cum []int64, total int64) {
+	if f == nil || f.kind != KindHistogram {
+		return nil, nil, 0
+	}
+	f.Cells(func(_ []string, cell any) {
+		h, ok := cell.(*Histogram)
+		if !ok {
+			return
+		}
+		b, c, t, _ := h.Snapshot()
+		if bounds == nil {
+			bounds = b
+			cum = make([]int64, len(c))
+		}
+		if len(c) != len(cum) {
+			return
+		}
+		for i := range c {
+			cum[i] += c[i]
+		}
+		total += t
+	})
+	return bounds, cum, total
+}
+
+// RateWindow tracks a monotonically increasing value (a counter) over a
+// sliding window. Observe records the current total; Delta and Rate read
+// the increase across the window. One sample older than the window is kept
+// as the baseline so a fresh scrape always has something to diff against.
+type RateWindow struct {
+	mu      sync.Mutex
+	window  time.Duration
+	samples []rateSample
+}
+
+type rateSample struct {
+	t time.Time
+	v float64
+}
+
+// NewRateWindow returns a window of the given width (1m when
+// non-positive).
+func NewRateWindow(window time.Duration) *RateWindow {
+	if window <= 0 {
+		window = time.Minute
+	}
+	return &RateWindow{window: window}
+}
+
+// Observe records the counter's current total at time now.
+func (w *RateWindow) Observe(now time.Time, v float64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.samples = append(w.samples, rateSample{now, v})
+	w.prune(now)
+}
+
+// prune drops samples older than the window, keeping the newest such
+// sample as the baseline. Callers hold w.mu.
+func (w *RateWindow) prune(now time.Time) {
+	cut := now.Add(-w.window)
+	i := 0
+	for i < len(w.samples)-1 && !w.samples[i+1].t.After(cut) {
+		i++
+	}
+	w.samples = w.samples[i:]
+}
+
+// Delta returns the increase across the window (0 with fewer than two
+// samples; clamped at 0 if the counter reset).
+func (w *RateWindow) Delta() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.samples) < 2 {
+		return 0
+	}
+	d := w.samples[len(w.samples)-1].v - w.samples[0].v
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Rate returns the increase per second across the window (0 with fewer
+// than two samples or no elapsed time).
+func (w *RateWindow) Rate() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.samples) < 2 {
+		return 0
+	}
+	first, last := w.samples[0], w.samples[len(w.samples)-1]
+	el := last.t.Sub(first.t).Seconds()
+	d := last.v - first.v
+	if el <= 0 || d < 0 {
+		return 0
+	}
+	return d / el
+}
+
+// HistWindow tracks histogram snapshots over a sliding window so quantiles
+// can be computed over recent observations only (lifetime quantiles stop
+// moving once a server has seen millions of queries).
+type HistWindow struct {
+	mu      sync.Mutex
+	window  time.Duration
+	samples []histSample
+}
+
+type histSample struct {
+	t     time.Time
+	cum   []int64
+	total int64
+}
+
+// NewHistWindow returns a window of the given width (1m when
+// non-positive).
+func NewHistWindow(window time.Duration) *HistWindow {
+	if window <= 0 {
+		window = time.Minute
+	}
+	return &HistWindow{window: window}
+}
+
+// Observe records a histogram snapshot (cumulative le counts plus total,
+// as returned by Histogram.Snapshot) at time now.
+func (w *HistWindow) Observe(now time.Time, cum []int64, total int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.samples = append(w.samples, histSample{now, append([]int64(nil), cum...), total})
+	cut := now.Add(-w.window)
+	i := 0
+	for i < len(w.samples)-1 && !w.samples[i+1].t.After(cut) {
+		i++
+	}
+	w.samples = w.samples[i:]
+}
+
+// Quantile estimates the q-quantile of the observations that arrived
+// within the window. ok is false when the window holds fewer than two
+// samples or no new observations — callers then fall back to the lifetime
+// quantile.
+func (w *HistWindow) Quantile(bounds []float64, q float64) (v float64, ok bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.samples) < 2 {
+		return 0, false
+	}
+	first, last := w.samples[0], w.samples[len(w.samples)-1]
+	if len(first.cum) != len(last.cum) {
+		return 0, false
+	}
+	total := last.total - first.total
+	if total <= 0 {
+		return 0, false
+	}
+	cum := make([]int64, len(last.cum))
+	for i := range cum {
+		cum[i] = last.cum[i] - first.cum[i]
+	}
+	return QuantileFromCells(bounds, cum, total, q), true
+}

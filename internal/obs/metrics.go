@@ -32,6 +32,17 @@ func (c *Counter) Value() int64 { return c.v.Load() }
 // Gauge is a settable int64 (inflight requests, live graphs, queue depth).
 type Gauge struct{ v atomic.Int64 }
 
+// FloatGauge is a settable float64 gauge (ratios, seconds). It exposes as a
+// plain Prometheus gauge; the separate type keeps the int64 Gauge hot path
+// free of float bit tricks.
+type FloatGauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
 // Set replaces the value.
 func (g *Gauge) Set(n int64) { g.v.Store(n) }
 
@@ -145,37 +156,46 @@ func (h *Histogram) SeedEWMA(n int64, mean float64) {
 	h.ewma.Unlock()
 }
 
-// Quantile estimates the q-quantile (0 <= q <= 1) by linear interpolation
-// within the bucket containing the rank. Values in the +Inf bucket clamp to
-// the largest finite bound. Returns 0 with no observations.
+// Quantile estimates the q-quantile by linear interpolation within the
+// bucket containing the rank. q is clamped into [0, 1] (a NaN q reads as
+// 0); values in the +Inf bucket clamp to the largest finite bound; an empty
+// histogram returns 0. The result is always finite — dashboards divide by
+// and render these numbers directly.
 func (h *Histogram) Quantile(q float64) float64 {
-	counts := make([]int64, len(h.counts))
-	var total int64
-	for i := range h.counts {
-		counts[i] = h.counts[i].Load()
-		total += counts[i]
-	}
-	if total == 0 {
+	cum, total, _ := h.snapshot()
+	return QuantileFromCells(h.bounds, cum, total, q)
+}
+
+// QuantileFromCells estimates a quantile from the Prometheus exposition
+// shape of a histogram: ascending finite bucket bounds, cumulative le
+// counts (one per bound), and the total count including the +Inf bucket.
+// It never returns NaN or an infinity: q is clamped into [0, 1] (NaN reads
+// as 0), an empty histogram returns 0, and mass in the +Inf bucket clamps
+// to the largest finite bound.
+func QuantileFromCells(bounds []float64, cum []int64, total int64, q float64) float64 {
+	if len(bounds) == 0 || len(cum) != len(bounds) || total <= 0 {
 		return 0
 	}
+	if !(q >= 0) { // catches q < 0 and NaN
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
 	rank := q * float64(total)
-	var cum float64
-	for i, c := range counts {
-		next := cum + float64(c)
-		if next >= rank && c > 0 {
+	var prev int64
+	for i, c := range cum {
+		n := c - prev
+		if float64(c) >= rank && n > 0 {
 			lo := 0.0
 			if i > 0 {
-				lo = h.bounds[i-1]
+				lo = bounds[i-1]
 			}
-			if i >= len(h.bounds) { // +Inf bucket: clamp
-				return h.bounds[len(h.bounds)-1]
-			}
-			hi := h.bounds[i]
-			return lo + (hi-lo)*(rank-cum)/float64(c)
+			return lo + (bounds[i]-lo)*(rank-float64(prev))/float64(n)
 		}
-		cum = next
+		prev = c
 	}
-	return h.bounds[len(h.bounds)-1]
+	// Rank falls in the +Inf bucket (or all mass does): clamp.
+	return bounds[len(bounds)-1]
 }
 
 // snapshot returns cumulative le counts (one per finite bound, ascending),
@@ -188,6 +208,14 @@ func (h *Histogram) snapshot() (cum []int64, total int64, sum float64) {
 		cum[i] = run
 	}
 	return cum, run + h.counts[len(h.bounds)].Load(), h.Sum()
+}
+
+// Snapshot returns the histogram's bucket bounds, cumulative le counts,
+// total count (including the +Inf bucket), and sum — the exposition shape,
+// for callers computing windowed quantiles from successive snapshots.
+func (h *Histogram) Snapshot() (bounds []float64, cum []int64, total int64, sum float64) {
+	cum, total, sum = h.snapshot()
+	return h.bounds, cum, total, sum
 }
 
 // Kind discriminates family types in the registry.
@@ -225,8 +253,10 @@ type Family struct {
 	alpha  float64
 	warm   int
 
+	flt bool // KindGauge family with *FloatGauge cells
+
 	mu    sync.RWMutex
-	cells map[string]any      // label-key -> *Counter | *Gauge | *Histogram
+	cells map[string]any      // label-key -> *Counter | *Gauge | *FloatGauge | *Histogram
 	vals  map[string][]string // label-key -> label values (for exposition)
 }
 
@@ -274,7 +304,11 @@ func (f *Family) cell(values []string) any {
 	case KindCounter:
 		nc = &Counter{}
 	case KindGauge:
-		nc = &Gauge{}
+		if f.flt {
+			nc = &FloatGauge{}
+		} else {
+			nc = &Gauge{}
+		}
 	default:
 		if f.alpha > 0 {
 			nc = NewHistogramEWMA(f.bounds, f.alpha, f.warm)
@@ -296,6 +330,12 @@ func (f *Family) Counter(labelValues ...string) *Counter {
 // Gauge returns the gauge cell for the given label values.
 func (f *Family) Gauge(labelValues ...string) *Gauge {
 	return f.cell(labelValues).(*Gauge)
+}
+
+// FloatGauge returns the float gauge cell for the given label values (the
+// family must have been registered with Registry.FloatGauge).
+func (f *Family) FloatGauge(labelValues ...string) *FloatGauge {
+	return f.cell(labelValues).(*FloatGauge)
 }
 
 // Histogram returns the histogram cell for the given label values.
@@ -321,8 +361,27 @@ func (f *Family) Cells(fn func(labelValues []string, cell any)) {
 // Registry holds metric families by name. The zero value is not usable;
 // call NewRegistry.
 type Registry struct {
-	mu   sync.RWMutex
-	fams map[string]*Family
+	mu    sync.RWMutex
+	fams  map[string]*Family
+	hooks []func()
+}
+
+// OnCollect registers fn to run at the start of every exposition
+// (WritePrometheus / the /metrics handler). Hooks refresh gauges whose
+// source of truth lives elsewhere — runtime stats, cluster membership —
+// so they are only sampled when someone is looking. Hooks run outside the
+// registry lock and must be safe for concurrent scrapes.
+func (r *Registry) OnCollect(fn func()) {
+	r.mu.Lock()
+	r.hooks = append(r.hooks, fn)
+	r.mu.Unlock()
+}
+
+// collectHooks returns a snapshot of the registered hooks.
+func (r *Registry) collectHooks() []func() {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.hooks[:len(r.hooks):len(r.hooks)]
 }
 
 // NewRegistry returns an empty registry.
@@ -354,6 +413,16 @@ func (r *Registry) Counter(name, help string, labels ...string) *Family {
 // Gauge registers (or fetches) a gauge family.
 func (r *Registry) Gauge(name, help string, labels ...string) *Family {
 	return r.register(name, help, KindGauge, labels, nil, 0, 0)
+}
+
+// FloatGauge registers (or fetches) a gauge family whose cells hold
+// float64 values (exposed as an ordinary Prometheus gauge).
+func (r *Registry) FloatGauge(name, help string, labels ...string) *Family {
+	f := r.register(name, help, KindGauge, labels, nil, 0, 0)
+	f.mu.Lock()
+	f.flt = true
+	f.mu.Unlock()
+	return f
 }
 
 // Histogram registers (or fetches) a histogram family over bounds

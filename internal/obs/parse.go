@@ -1,0 +1,522 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the inverse of prom.go: a parser for the Prometheus text
+// exposition format (version 0.0.4) plus the relabel/merge algebra the
+// coordinator's /metrics/cluster federation endpoint is built from. The
+// parser only needs to understand what WritePrometheus (and any
+// conventional exporter) emits: # HELP / # TYPE comments, samples with
+// optional {label="value"} sets, histograms exposed as _bucket/_sum/_count
+// series.
+
+// PromLabel is one name="value" pair on a parsed sample.
+type PromLabel struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// PromSample is one parsed counter or gauge row: its labels (in exposition
+// order) and value.
+type PromSample struct {
+	Labels []PromLabel `json:"labels,omitempty"`
+	Value  float64     `json:"value"`
+}
+
+// PromHistogram is one parsed histogram cell, reassembled from its
+// _bucket/_sum/_count rows: labels exclude le; Cum holds cumulative counts
+// per finite bound; Count is the total including the +Inf bucket.
+type PromHistogram struct {
+	Labels []PromLabel `json:"labels,omitempty"`
+	Bounds []float64   `json:"bounds"`
+	Cum    []int64     `json:"cum"`
+	Count  int64       `json:"count"`
+	Sum    float64     `json:"sum"`
+}
+
+// Quantile estimates the q-quantile of the parsed histogram; same
+// semantics as Histogram.Quantile (clamped q, never NaN/Inf, 0 on empty).
+func (h *PromHistogram) Quantile(q float64) float64 {
+	return QuantileFromCells(h.Bounds, h.Cum, h.Count, q)
+}
+
+// PromFamily is one parsed metric family: every sample (counter/gauge) or
+// histogram cell that appeared under its name.
+type PromFamily struct {
+	Name    string           `json:"name"`
+	Help    string           `json:"help,omitempty"`
+	Kind    Kind             `json:"kind"`
+	Samples []PromSample     `json:"samples,omitempty"`
+	Hists   []*PromHistogram `json:"hists,omitempty"`
+}
+
+// PromSnapshot is a parsed (or synthesized) set of metric families — the
+// unit the federation endpoint relabels, concatenates, and sums.
+type PromSnapshot struct {
+	fams  []*PromFamily
+	index map[string]*PromFamily
+}
+
+// NewPromSnapshot returns an empty snapshot.
+func NewPromSnapshot() *PromSnapshot {
+	return &PromSnapshot{index: make(map[string]*PromFamily)}
+}
+
+// Family returns the parsed family by name, or nil.
+func (s *PromSnapshot) Family(name string) *PromFamily { return s.index[name] }
+
+// Families returns every family sorted by name.
+func (s *PromSnapshot) Families() []*PromFamily {
+	out := append([]*PromFamily(nil), s.fams...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func (s *PromSnapshot) family(name, help string, kind Kind) *PromFamily {
+	if f, ok := s.index[name]; ok {
+		return f
+	}
+	f := &PromFamily{Name: name, Help: help, Kind: kind}
+	s.fams = append(s.fams, f)
+	s.index[name] = f
+	return f
+}
+
+// ParsePromText parses a Prometheus text-format exposition. Unknown comment
+// lines are skipped; untyped samples parse as gauges; timestamps are
+// accepted and dropped. Histogram families are reassembled from their
+// _bucket/_sum/_count rows grouped by label set (excluding le), with
+// _count authoritative for the total.
+func ParsePromText(r io.Reader) (*PromSnapshot, error) {
+	s := NewPromSnapshot()
+	// hist cell lookup: family name -> labelKey(non-le labels) -> cell
+	cells := make(map[string]map[string]*PromHistogram)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			rest := strings.TrimSpace(line[1:])
+			switch {
+			case strings.HasPrefix(rest, "HELP "):
+				name, help, _ := strings.Cut(strings.TrimSpace(rest[5:]), " ")
+				if name != "" {
+					s.family(name, "", KindGauge).Help = help
+				}
+			case strings.HasPrefix(rest, "TYPE "):
+				name, kindStr, _ := strings.Cut(strings.TrimSpace(rest[5:]), " ")
+				if name == "" {
+					continue
+				}
+				f := s.family(name, "", KindGauge)
+				switch strings.TrimSpace(kindStr) {
+				case "counter":
+					f.Kind = KindCounter
+				case "histogram":
+					f.Kind = KindHistogram
+				default: // gauge, untyped, summary — read as gauge
+					f.Kind = KindGauge
+				}
+			}
+			continue
+		}
+		name, labels, value, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: parse line %d: %w", lineNo, err)
+		}
+		// A histogram's rows carry suffixed names; map them back to the
+		// declared family.
+		if base, part, ok := histPart(s, name); ok {
+			hl, le := splitLE(labels)
+			cellsOf := cells[base.Name]
+			if cellsOf == nil {
+				cellsOf = make(map[string]*PromHistogram)
+				cells[base.Name] = cellsOf
+			}
+			key := promLabelKey(hl)
+			h := cellsOf[key]
+			if h == nil {
+				h = &PromHistogram{Labels: hl}
+				cellsOf[key] = h
+				base.Hists = append(base.Hists, h)
+			}
+			switch part {
+			case "bucket":
+				if le == "+Inf" {
+					continue // _count is authoritative for the total
+				}
+				bound, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					return nil, fmt.Errorf("obs: parse line %d: bad le %q", lineNo, le)
+				}
+				h.Bounds = append(h.Bounds, bound)
+				h.Cum = append(h.Cum, int64(value))
+			case "sum":
+				h.Sum = value
+			case "count":
+				h.Count = int64(value)
+			}
+			continue
+		}
+		f := s.family(name, "", KindGauge)
+		f.Samples = append(f.Samples, PromSample{Labels: labels, Value: value})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: parse: %w", err)
+	}
+	return s, nil
+}
+
+// histPart reports whether name is a _bucket/_sum/_count row of a family
+// already declared `# TYPE ... histogram`.
+func histPart(s *PromSnapshot, name string) (*PromFamily, string, bool) {
+	for _, suf := range [...]string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suf)
+		if !ok {
+			continue
+		}
+		if f := s.index[base]; f != nil && f.Kind == KindHistogram {
+			return f, suf[1:], true
+		}
+	}
+	return nil, "", false
+}
+
+// splitLE strips the le pair off a bucket row's labels.
+func splitLE(labels []PromLabel) (rest []PromLabel, le string) {
+	for _, l := range labels {
+		if l.Name == "le" {
+			le = l.Value
+			continue
+		}
+		rest = append(rest, l)
+	}
+	return rest, le
+}
+
+// parseSampleLine parses `name{l="v",...} value [timestamp]`.
+func parseSampleLine(line string) (name string, labels []PromLabel, value float64, err error) {
+	i := strings.IndexAny(line, "{ \t")
+	if i < 0 {
+		return "", nil, 0, fmt.Errorf("no value in %q", line)
+	}
+	name = line[:i]
+	rest := line[i:]
+	if rest[0] == '{' {
+		labels, rest, err = parseLabels(rest[1:])
+		if err != nil {
+			return "", nil, 0, err
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", nil, 0, fmt.Errorf("no value in %q", line)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q", fields[0])
+	}
+	return name, labels, value, nil
+}
+
+// parseLabels parses `l="v",...}` (the opening brace already consumed) and
+// returns the labels plus the unparsed remainder of the line.
+func parseLabels(in string) ([]PromLabel, string, error) {
+	var labels []PromLabel
+	for {
+		in = strings.TrimLeft(in, ", \t")
+		if in == "" {
+			return nil, "", fmt.Errorf("unterminated label set")
+		}
+		if in[0] == '}' {
+			return labels, in[1:], nil
+		}
+		eq := strings.IndexByte(in, '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("label without '='")
+		}
+		name := strings.TrimSpace(in[:eq])
+		in = strings.TrimLeft(in[eq+1:], " \t")
+		if in == "" || in[0] != '"' {
+			return nil, "", fmt.Errorf("unquoted label value for %q", name)
+		}
+		value, rest, err := parseQuoted(in[1:])
+		if err != nil {
+			return nil, "", err
+		}
+		labels = append(labels, PromLabel{Name: name, Value: value})
+		in = rest
+	}
+}
+
+// parseQuoted consumes a label value up to its closing quote, resolving
+// the \\, \", and \n escapes the format defines.
+func parseQuoted(in string) (value, rest string, err error) {
+	var b strings.Builder
+	for i := 0; i < len(in); i++ {
+		switch in[i] {
+		case '"':
+			return b.String(), in[i+1:], nil
+		case '\\':
+			i++
+			if i >= len(in) {
+				return "", "", fmt.Errorf("dangling escape in label value")
+			}
+			switch in[i] {
+			case 'n':
+				b.WriteByte('\n')
+			default: // \\ and \" resolve to the escaped byte
+				b.WriteByte(in[i])
+			}
+		default:
+			b.WriteByte(in[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label value")
+}
+
+// promLabelKey keys a label set for matching across snapshots; pairs are
+// sorted by name so label order never affects identity.
+func promLabelKey(labels []PromLabel) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]PromLabel(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	for _, l := range ls {
+		b.WriteString(l.Name)
+		b.WriteByte('\x1f')
+		b.WriteString(l.Value)
+		b.WriteByte('\x1e')
+	}
+	return b.String()
+}
+
+func copyLabels(ls []PromLabel) []PromLabel { return append([]PromLabel(nil), ls...) }
+
+// Relabel appends name="value" to every sample and histogram cell in the
+// snapshot — how federation stamps each node's series with node="addr".
+// Rows already carrying the label keep their value (the coordinator's own
+// per-node gauges are labeled node="<addr>" and must stay that way).
+func (s *PromSnapshot) Relabel(name, value string) *PromSnapshot {
+	l := PromLabel{Name: name, Value: value}
+	for _, f := range s.fams {
+		for i := range f.Samples {
+			if !hasLabel(f.Samples[i].Labels, name) {
+				f.Samples[i].Labels = append(f.Samples[i].Labels, l)
+			}
+		}
+		for _, h := range f.Hists {
+			if !hasLabel(h.Labels, name) {
+				h.Labels = append(h.Labels, l)
+			}
+		}
+	}
+	return s
+}
+
+func hasLabel(labels []PromLabel, name string) bool {
+	for _, l := range labels {
+		if l.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// WithSuffix renames every family to name+suffix (federation's _agg
+// families) and returns the snapshot.
+func (s *PromSnapshot) WithSuffix(suffix string) *PromSnapshot {
+	index := make(map[string]*PromFamily, len(s.fams))
+	for _, f := range s.fams {
+		f.Name += suffix
+		index[f.Name] = f
+	}
+	s.index = index
+	return s
+}
+
+// Extend appends src's rows to s without any summing — the concatenation
+// step of federation, where instances are kept distinct by a node label.
+// src is absorbed and must not be used afterwards.
+func (s *PromSnapshot) Extend(src *PromSnapshot) {
+	for _, sf := range src.fams {
+		f, ok := s.index[sf.Name]
+		if !ok {
+			s.fams = append(s.fams, sf)
+			s.index[sf.Name] = sf
+			continue
+		}
+		if f.Kind != sf.Kind {
+			continue // schema clash across nodes; keep first
+		}
+		if f.Help == "" {
+			f.Help = sf.Help
+		}
+		f.Samples = append(f.Samples, sf.Samples...)
+		f.Hists = append(f.Hists, sf.Hists...)
+	}
+}
+
+// Merge folds src into s by summing: counters and gauges add per label
+// set; histograms with identical bounds merge bucket-wise (differing
+// bounds are skipped — summing them would fabricate a distribution). src
+// is not modified; s deep-copies whatever it absorbs.
+func (s *PromSnapshot) Merge(src *PromSnapshot) {
+	for _, sf := range src.fams {
+		f, ok := s.index[sf.Name]
+		if !ok {
+			f = s.family(sf.Name, sf.Help, sf.Kind)
+		} else if f.Kind != sf.Kind {
+			continue
+		}
+		if f.Help == "" {
+			f.Help = sf.Help
+		}
+		switch sf.Kind {
+		case KindHistogram:
+			byKey := make(map[string]*PromHistogram, len(f.Hists))
+			for _, h := range f.Hists {
+				byKey[promLabelKey(h.Labels)] = h
+			}
+			for _, sh := range sf.Hists {
+				h, ok := byKey[promLabelKey(sh.Labels)]
+				if !ok {
+					cp := &PromHistogram{
+						Labels: copyLabels(sh.Labels),
+						Bounds: append([]float64(nil), sh.Bounds...),
+						Cum:    append([]int64(nil), sh.Cum...),
+						Count:  sh.Count,
+						Sum:    sh.Sum,
+					}
+					f.Hists = append(f.Hists, cp)
+					byKey[promLabelKey(cp.Labels)] = cp
+					continue
+				}
+				if !sameBounds(h.Bounds, sh.Bounds) {
+					continue
+				}
+				for i := range h.Cum {
+					h.Cum[i] += sh.Cum[i]
+				}
+				h.Count += sh.Count
+				h.Sum += sh.Sum
+			}
+		default:
+			byKey := make(map[string]int, len(f.Samples))
+			for i, smp := range f.Samples {
+				byKey[promLabelKey(smp.Labels)] = i
+			}
+			for _, smp := range sf.Samples {
+				if i, ok := byKey[promLabelKey(smp.Labels)]; ok {
+					f.Samples[i].Value += smp.Value
+					continue
+				}
+				byKey[promLabelKey(smp.Labels)] = len(f.Samples)
+				f.Samples = append(f.Samples, PromSample{Labels: copyLabels(smp.Labels), Value: smp.Value})
+			}
+		}
+	}
+}
+
+func sameBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AddSample appends one synthetic sample (registering the family on first
+// use) — how federation emits rows like sq_federate_node_up{node="..."}.
+func (s *PromSnapshot) AddSample(name, help string, kind Kind, labels []PromLabel, value float64) {
+	f := s.family(name, help, kind)
+	f.Kind = kind
+	if f.Help == "" {
+		f.Help = help
+	}
+	f.Samples = append(f.Samples, PromSample{Labels: labels, Value: value})
+}
+
+// Write emits the snapshot in the text exposition format: families sorted
+// by name, rows sorted by label values, so output is stable regardless of
+// scrape completion order. Parsing a registry's exposition and writing it
+// back reproduces the input byte for byte.
+func (s *PromSnapshot) Write(w io.Writer) error {
+	var err error
+	pf := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	for _, f := range s.Families() {
+		if f.Help != "" {
+			pf("# HELP %s %s\n", f.Name, strings.ReplaceAll(f.Help, "\n", " "))
+		}
+		pf("# TYPE %s %s\n", f.Name, f.Kind)
+		if f.Kind == KindHistogram {
+			hists := append([]*PromHistogram(nil), f.Hists...)
+			sort.Slice(hists, func(i, j int) bool {
+				return promLabelKey(hists[i].Labels) < promLabelKey(hists[j].Labels)
+			})
+			for _, h := range hists {
+				names, values := splitPairs(h.Labels)
+				for i, bound := range h.Bounds {
+					pf("%s_bucket%s %d\n", f.Name, labelString(names, values, "le", formatFloat(bound)), h.Cum[i])
+				}
+				pf("%s_bucket%s %d\n", f.Name, labelString(names, values, "le", "+Inf"), h.Count)
+				pf("%s_sum%s %s\n", f.Name, labelString(names, values, "", ""), formatFloat(h.Sum))
+				pf("%s_count%s %d\n", f.Name, labelString(names, values, "", ""), h.Count)
+			}
+			continue
+		}
+		samples := append([]PromSample(nil), f.Samples...)
+		sort.Slice(samples, func(i, j int) bool {
+			return promLabelKey(samples[i].Labels) < promLabelKey(samples[j].Labels)
+		})
+		for _, smp := range samples {
+			names, values := splitPairs(smp.Labels)
+			pf("%s%s %s\n", f.Name, labelString(names, values, "", ""), formatValue(f.Kind, smp.Value))
+		}
+	}
+	return err
+}
+
+func splitPairs(labels []PromLabel) (names, values []string) {
+	if len(labels) == 0 {
+		return nil, nil
+	}
+	names = make([]string, len(labels))
+	values = make([]string, len(labels))
+	for i, l := range labels {
+		names[i], values[i] = l.Name, l.Value
+	}
+	return names, values
+}
+
+// formatValue keeps counter/gauge rows integral when they are — the shape
+// WritePrometheus produces for int-backed cells — and falls back to the
+// float form otherwise.
+func formatValue(kind Kind, v float64) string {
+	if v == float64(int64(v)) && kind != KindHistogram {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return formatFloat(v)
+}

@@ -1,0 +1,407 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildTestRegistry wires one family of every kind with labeled cells and
+// some observations, the way the serving layers do.
+func buildTestRegistry() *Registry {
+	r := NewRegistry()
+	req := r.Counter("sq_requests_total", "Requests by kind.", "kind")
+	req.Counter("query").Add(7)
+	req.Counter("batch").Add(3)
+	r.Gauge("sq_graphs", "Graphs by state.", "state").Gauge("live").Set(25)
+	r.FloatGauge("sq_cache_ratio", "Cache hit ratio.").FloatGauge().Set(0.75)
+	dur := r.Histogram("sq_query_duration_seconds", "Query latency.", []float64{0.01, 0.1, 1}, "method")
+	for i := 0; i < 10; i++ {
+		dur.Histogram("grapes").Observe(0.05)
+	}
+	dur.Histogram("ggsx").Observe(0.5)
+	dur.Histogram("ggsx").Observe(5) // +Inf bucket
+	return r
+}
+
+// TestPromRoundTrip: exposing a registry, parsing the text, and writing
+// the snapshot back reproduces the exposition byte for byte.
+func TestPromRoundTrip(t *testing.T) {
+	r := buildTestRegistry()
+	var orig strings.Builder
+	if err := r.WritePrometheus(&orig); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ParsePromText(strings.NewReader(orig.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back strings.Builder
+	if err := snap.Write(&back); err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != orig.String() {
+		t.Errorf("round trip drifted:\n--- exposed ---\n%s\n--- reparsed ---\n%s", orig.String(), back.String())
+	}
+
+	// Spot-check the parsed cells.
+	f := snap.Family("sq_requests_total")
+	if f == nil || f.Kind != KindCounter || len(f.Samples) != 2 {
+		t.Fatalf("sq_requests_total parsed as %+v", f)
+	}
+	h := snap.Family("sq_query_duration_seconds")
+	if h == nil || h.Kind != KindHistogram || len(h.Hists) != 2 {
+		t.Fatalf("sq_query_duration_seconds parsed as %+v", h)
+	}
+	for _, cell := range h.Hists {
+		if cell.Labels[0].Value == "ggsx" {
+			if cell.Count != 2 || cell.Sum != 5.5 {
+				t.Errorf("ggsx cell count=%d sum=%g, want 2, 5.5", cell.Count, cell.Sum)
+			}
+			if got := cell.Quantile(0.99); got != 1 { // +Inf mass clamps to last bound
+				t.Errorf("ggsx p99 %g, want clamp to 1", got)
+			}
+		}
+	}
+}
+
+// TestParseLabelEscaping: values with backslashes, quotes, and newlines
+// survive expose -> parse, and a hand-written escaped line parses right.
+func TestParseLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	hairy := "pa\\th \"q\"\nnext"
+	r.Counter("sq_test_total", "", "name").Counter(hairy).Add(1)
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ParsePromText(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := snap.Family("sq_test_total")
+	if f == nil || len(f.Samples) != 1 {
+		t.Fatalf("parsed %+v", f)
+	}
+	if got := f.Samples[0].Labels[0].Value; got != hairy {
+		t.Errorf("escaped label round-tripped to %q, want %q", got, hairy)
+	}
+
+	line := `x{a="b\\c",d="e\"f",g="h\ni"} 4.5`
+	name, labels, value, err := parseSampleLine(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "x" || value != 4.5 || len(labels) != 3 {
+		t.Fatalf("parsed name=%q value=%g labels=%v", name, value, labels)
+	}
+	want := []PromLabel{{"a", `b\c`}, {"d", `e"f`}, {"g", "h\ni"}}
+	for i, l := range labels {
+		if l != want[i] {
+			t.Errorf("label %d = %+v, want %+v", i, l, want[i])
+		}
+	}
+
+	for _, bad := range []string{`x{a="b} 1`, `x{a=b} 1`, `x{a="b"`, "x", `x{a="b\`} {
+		if _, _, _, err := parseSampleLine(bad); err == nil {
+			t.Errorf("parseSampleLine(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+// TestPromMerge: counters and gauges sum per label set, same-bound
+// histograms merge bucket-wise, mismatched bounds are skipped, and
+// relabeled snapshots stay distinct under Extend.
+func TestPromMerge(t *testing.T) {
+	expose := func(r *Registry) *PromSnapshot {
+		var buf strings.Builder
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		snap, err := ParsePromText(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snap
+	}
+
+	a, b := buildTestRegistry(), buildTestRegistry()
+	b.Family("sq_requests_total").Counter("query").Add(5) // 12 total on b
+
+	agg := NewPromSnapshot()
+	agg.Merge(expose(a))
+	agg.Merge(expose(b))
+
+	f := agg.Family("sq_requests_total")
+	var query, batch float64
+	for _, s := range f.Samples {
+		switch s.Labels[0].Value {
+		case "query":
+			query = s.Value
+		case "batch":
+			batch = s.Value
+		}
+	}
+	if query != 19 || batch != 6 {
+		t.Errorf("merged counters query=%g batch=%g, want 19, 6", query, batch)
+	}
+	if g := agg.Family("sq_graphs").Samples[0].Value; g != 50 {
+		t.Errorf("merged gauge %g, want 50", g)
+	}
+	for _, h := range agg.Family("sq_query_duration_seconds").Hists {
+		if h.Labels[0].Value == "grapes" && h.Count != 20 {
+			t.Errorf("merged grapes count %d, want 20", h.Count)
+		}
+		if h.Labels[0].Value == "ggsx" && (h.Count != 4 || h.Sum != 11) {
+			t.Errorf("merged ggsx count=%d sum=%g, want 4, 11", h.Count, h.Sum)
+		}
+	}
+
+	// Mismatched bounds: the second snapshot's cell is skipped, not summed.
+	c := NewRegistry()
+	c.Histogram("sq_query_duration_seconds", "", []float64{1, 2}, "method").Histogram("grapes").Observe(1.5)
+	before := agg.Family("sq_query_duration_seconds").Hists[0].Count
+	agg.Merge(expose(c))
+	var grapes *PromHistogram
+	for _, h := range agg.Family("sq_query_duration_seconds").Hists {
+		if h.Labels[0].Value == "grapes" {
+			grapes = h
+		}
+	}
+	if grapes.Count != 20 {
+		t.Errorf("mismatched-bounds merge changed count to %d, want 20 (skip)", grapes.Count)
+	}
+	_ = before
+
+	// Extend keeps relabeled instances distinct instead of summing.
+	ext := NewPromSnapshot()
+	ext.Extend(expose(a).Relabel("node", "n0"))
+	ext.Extend(expose(b).Relabel("node", "n1"))
+	rf := ext.Family("sq_requests_total")
+	if len(rf.Samples) != 4 {
+		t.Fatalf("extended family has %d samples, want 4", len(rf.Samples))
+	}
+	for _, s := range rf.Samples {
+		last := s.Labels[len(s.Labels)-1]
+		if last.Name != "node" || (last.Value != "n0" && last.Value != "n1") {
+			t.Errorf("extended sample missing node label: %+v", s.Labels)
+		}
+	}
+}
+
+// TestQuantileFromCellsEdges pins the failure modes sqtop renders through:
+// empty input, q outside [0,1] (and NaN), single-bucket histograms, and
+// all-+Inf mass must all yield finite numbers.
+func TestQuantileFromCellsEdges(t *testing.T) {
+	if v := QuantileFromCells(nil, nil, 0, 0.5); v != 0 {
+		t.Errorf("empty bounds -> %g, want 0", v)
+	}
+	if v := QuantileFromCells([]float64{1, 2}, []int64{0, 0}, 0, 0.5); v != 0 {
+		t.Errorf("zero total -> %g, want 0", v)
+	}
+	bounds, cum := []float64{1, 2, 4}, []int64{2, 6, 8}
+	for _, q := range []float64{-1, 0, 0.5, 1, 2, math.NaN()} {
+		v := QuantileFromCells(bounds, cum, 8, q)
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 || v > 4 {
+			t.Errorf("q=%g -> %g, want finite within [0,4]", q, v)
+		}
+	}
+	if lo, hi := QuantileFromCells(bounds, cum, 8, -1), QuantileFromCells(bounds, cum, 8, 0); lo != hi {
+		t.Errorf("q<0 (%g) != q=0 (%g)", lo, hi)
+	}
+	if lo, hi := QuantileFromCells(bounds, cum, 8, 2), QuantileFromCells(bounds, cum, 8, 1); lo != hi {
+		t.Errorf("q>1 (%g) != q=1 (%g)", lo, hi)
+	}
+
+	// Single bucket: everything interpolates inside (0, 1].
+	h := NewHistogram([]float64{1})
+	h.Observe(0.5)
+	for _, q := range []float64{0, 0.5, 1} {
+		if v := h.Quantile(q); math.IsNaN(v) || v < 0 || v > 1 {
+			t.Errorf("single-bucket q=%g -> %g", q, v)
+		}
+	}
+	// Single bucket, all mass beyond the bound: clamp to the bound.
+	h2 := NewHistogram([]float64{1})
+	h2.Observe(9)
+	if v := h2.Quantile(0.5); v != 1 {
+		t.Errorf("single-bucket +Inf mass -> %g, want 1", v)
+	}
+	// q clamping on the Histogram method too.
+	if v := h2.Quantile(math.NaN()); math.IsNaN(v) {
+		t.Error("Histogram.Quantile(NaN) returned NaN")
+	}
+}
+
+// TestSlowLogByteBudget: lines over the per-interval byte budget are
+// dropped and counted; the budget refills when the interval rolls over.
+func TestSlowLogByteBudget(t *testing.T) {
+	var out strings.Builder
+	l := NewSlowQueryLog(time.Millisecond, &out)
+	now := time.Unix(1000, 0)
+	l.now = func() time.Time { return now }
+	var dropped Counter
+	l.SetDropped(&dropped)
+
+	rec := SlowQueryRecord{Kind: "query", Method: "grapes"}
+	l.Record(time.Second, rec)
+	line := out.Len()
+	l.SetLimit(int64(2*line), time.Minute)
+
+	for i := 0; i < 5; i++ {
+		l.Record(time.Second, rec)
+	}
+	if got := strings.Count(out.String(), "\n"); got != 2 {
+		t.Errorf("wrote %d lines under a 2-line budget, want 2", got)
+	}
+	if dropped.Value() != 4 {
+		t.Errorf("dropped %d, want 4", dropped.Value())
+	}
+
+	now = now.Add(2 * time.Minute) // budget refills
+	l.Record(time.Second, rec)
+	if got := strings.Count(out.String(), "\n"); got != 3 {
+		t.Errorf("after interval rollover wrote %d lines, want 3", got)
+	}
+	if dropped.Value() != 4 {
+		t.Errorf("rollover write counted as dropped (%d)", dropped.Value())
+	}
+}
+
+// TestRateAndHistWindows covers the sliding-window helpers the health
+// scorer reads.
+func TestRateAndHistWindows(t *testing.T) {
+	w := NewRateWindow(time.Minute)
+	t0 := time.Unix(2000, 0)
+	if w.Rate() != 0 || w.Delta() != 0 {
+		t.Error("fresh window should read 0")
+	}
+	w.Observe(t0, 100)
+	w.Observe(t0.Add(10*time.Second), 160)
+	if d := w.Delta(); d != 60 {
+		t.Errorf("delta %g, want 60", d)
+	}
+	if r := w.Rate(); math.Abs(r-6) > 1e-9 {
+		t.Errorf("rate %g, want 6/s", r)
+	}
+	// Samples beyond the window age out down to one baseline.
+	w.Observe(t0.Add(2*time.Minute), 200)
+	w.Observe(t0.Add(2*time.Minute+time.Second), 210)
+	if d := w.Delta(); d != 50 {
+		t.Errorf("post-prune delta %g, want 50 (from the 160 baseline)", d)
+	}
+	// Counter reset clamps to zero.
+	w.Observe(t0.Add(2*time.Minute+2*time.Second), 5)
+	if d := w.Delta(); d != 0 {
+		t.Errorf("reset delta %g, want 0", d)
+	}
+
+	h := NewHistWindow(time.Minute)
+	bounds := []float64{1, 2, 4}
+	if _, ok := h.Quantile(bounds, 0.5); ok {
+		t.Error("quantile from a fresh window should not be ok")
+	}
+	h.Observe(t0, []int64{10, 20, 30}, 30)
+	if _, ok := h.Quantile(bounds, 0.5); ok {
+		t.Error("quantile from one sample should not be ok")
+	}
+	h.Observe(t0.Add(10*time.Second), []int64{10, 120, 130}, 130)
+	v, ok := h.Quantile(bounds, 0.5)
+	if !ok {
+		t.Fatal("quantile not ok with two samples")
+	}
+	if v <= 1 || v > 2 {
+		t.Errorf("windowed p50 %g, want inside (1,2] where the new mass landed", v)
+	}
+	// No new observations between samples: not ok.
+	h2 := NewHistWindow(time.Minute)
+	h2.Observe(t0, []int64{5}, 5)
+	h2.Observe(t0.Add(time.Second), []int64{5}, 5)
+	if _, ok := h2.Quantile([]float64{1}, 0.5); ok {
+		t.Error("quantile with zero delta should not be ok")
+	}
+}
+
+// TestHealthReport covers verdict escalation and the check builders'
+// thresholds.
+func TestHealthReport(t *testing.T) {
+	r := NewHealthReport()
+	if r.Status != HealthOK {
+		t.Fatalf("fresh report %q", r.Status)
+	}
+	r.Add(CheckErrorRate(0.01))
+	if r.Status != HealthOK {
+		t.Errorf("1%% errors -> %q, want ok", r.Status)
+	}
+	r.Add(CheckErrorRate(0.1))
+	if r.Status != HealthDegraded {
+		t.Errorf("10%% errors -> %q, want degraded", r.Status)
+	}
+	r.Add(CheckErrorRate(0.6))
+	if r.Status != HealthCritical {
+		t.Errorf("60%% errors -> %q, want critical", r.Status)
+	}
+	r.Add(CheckErrorRate(0)) // a later ok check never improves the verdict
+	if r.Status != HealthCritical {
+		t.Errorf("verdict improved to %q", r.Status)
+	}
+
+	if c := CheckLatency(5, 0); c.Status != HealthOK {
+		t.Errorf("no slo -> %q, want ok", c.Status)
+	}
+	if c := CheckLatency(0.05, 0.1); c.Status != HealthOK {
+		t.Errorf("p99 under slo -> %q", c.Status)
+	}
+	if c := CheckLatency(0.15, 0.1); c.Status != HealthDegraded {
+		t.Errorf("p99 over slo -> %q, want degraded", c.Status)
+	}
+	if c := CheckLatency(0.25, 0.1); c.Status != HealthCritical {
+		t.Errorf("p99 over 2x slo -> %q, want critical", c.Status)
+	}
+
+	if c := CheckQueue(100, 0); c.Status != HealthOK {
+		t.Errorf("no queue -> %q", c.Status)
+	}
+	if c := CheckQueue(10, 100); c.Status != HealthOK {
+		t.Errorf("10%% queue -> %q", c.Status)
+	}
+	if c := CheckQueue(60, 100); c.Status != HealthDegraded {
+		t.Errorf("60%% queue -> %q, want degraded", c.Status)
+	}
+	if c := CheckQueue(95, 100); c.Status != HealthCritical {
+		t.Errorf("95%% queue -> %q, want critical", c.Status)
+	}
+	for _, c := range []HealthCheck{CheckErrorRate(0.1), CheckLatency(0.2, 0.1), CheckQueue(60, 100)} {
+		if c.Reason == "" {
+			t.Errorf("check %s has no reason string", c.Name)
+		}
+	}
+}
+
+// TestRuntimeMetrics: the go_* families appear on scrape with sane,
+// finite values, and registration is idempotent.
+func TestRuntimeMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	RegisterRuntimeMetrics(r) // idempotent
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, fam := range []string{"go_goroutines", "go_heap_bytes", "go_memory_total_bytes", "go_gc_cycles_total", "go_gc_pause_p99_seconds"} {
+		if !strings.Contains(out, "# TYPE "+fam+" ") {
+			t.Errorf("scrape missing %s:\n%s", fam, out)
+		}
+	}
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Errorf("runtime metrics rendered non-finite values:\n%s", out)
+	}
+	if g := r.Family("go_goroutines").Gauge().Value(); g < 1 {
+		t.Errorf("go_goroutines %d, want >= 1", g)
+	}
+	if h := r.Family("go_heap_bytes").Gauge().Value(); h <= 0 {
+		t.Errorf("go_heap_bytes %d, want > 0", h)
+	}
+}

@@ -41,13 +41,21 @@ func labelString(names, values []string, extraK, extraV string) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", n, escapeLabel(values[i]))
+		// Quote by hand: %q would re-escape the backslashes escapeLabel
+		// just produced (and apply Go escapes the format does not define).
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
 	}
 	if extraK != "" {
 		if len(names) > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", extraK, extraV)
+		b.WriteString(extraK)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraV))
+		b.WriteByte('"')
 	}
 	b.WriteByte('}')
 	return b.String()
@@ -60,6 +68,9 @@ func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) 
 // text exposition format (version 0.0.4), families sorted by name, cells
 // by label values, so the output is stable and diffable.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, hook := range r.collectHooks() {
+		hook()
+	}
 	var err error
 	pf := func(format string, args ...any) {
 		if err == nil {
@@ -77,6 +88,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				pf("%s%s %d\n", f.name, labelString(f.labels, values, "", ""), c.Value())
 			case *Gauge:
 				pf("%s%s %d\n", f.name, labelString(f.labels, values, "", ""), c.Value())
+			case *FloatGauge:
+				pf("%s%s %s\n", f.name, labelString(f.labels, values, "", ""), formatFloat(c.Value()))
 			case *Histogram:
 				cum, total, sum := c.snapshot()
 				for i, bound := range c.bounds {

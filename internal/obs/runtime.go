@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+)
+
+// Go runtime instrumentation: a handful of go_* families sourced from
+// runtime/metrics, refreshed lazily through the registry's collect hook so
+// a process that nobody scrapes pays nothing.
+
+const (
+	rmGoroutines = "/sched/goroutines:goroutines"
+	rmHeapBytes  = "/memory/classes/heap/objects:bytes"
+	rmTotalBytes = "/memory/classes/total:bytes"
+	rmGCCycles   = "/gc/cycles/total:gc-cycles"
+	rmGCPauses   = "/gc/pauses:seconds"
+)
+
+// RegisterRuntimeMetrics installs go_* runtime families (goroutine count,
+// heap and total memory, GC cycle counter, GC pause p99) on the registry,
+// refreshed at scrape time via OnCollect. Idempotent per registry.
+func RegisterRuntimeMetrics(r *Registry) {
+	if r.Family("go_goroutines") != nil {
+		return
+	}
+	goroutines := r.Gauge("go_goroutines", "Number of live goroutines.").Gauge()
+	heap := r.Gauge("go_heap_bytes", "Bytes of live heap objects.").Gauge()
+	total := r.Gauge("go_memory_total_bytes", "Total bytes of memory mapped by the Go runtime.").Gauge()
+	gcCycles := r.Counter("go_gc_cycles_total", "Completed GC cycles.").Counter()
+	gcPause := r.FloatGauge("go_gc_pause_p99_seconds", "p99 of GC stop-the-world pause durations.").FloatGauge()
+
+	samples := []metrics.Sample{
+		{Name: rmGoroutines},
+		{Name: rmHeapBytes},
+		{Name: rmTotalBytes},
+		{Name: rmGCCycles},
+		{Name: rmGCPauses},
+	}
+	var mu sync.Mutex
+	var prevCycles uint64
+	r.OnCollect(func() {
+		mu.Lock()
+		defer mu.Unlock()
+		metrics.Read(samples)
+		for _, s := range samples {
+			switch s.Name {
+			case rmGoroutines:
+				if s.Value.Kind() == metrics.KindUint64 {
+					goroutines.Set(int64(s.Value.Uint64()))
+				}
+			case rmHeapBytes:
+				if s.Value.Kind() == metrics.KindUint64 {
+					heap.Set(int64(s.Value.Uint64()))
+				}
+			case rmTotalBytes:
+				if s.Value.Kind() == metrics.KindUint64 {
+					total.Set(int64(s.Value.Uint64()))
+				}
+			case rmGCCycles:
+				if s.Value.Kind() == metrics.KindUint64 {
+					cur := s.Value.Uint64()
+					if cur > prevCycles {
+						gcCycles.Add(int64(cur - prevCycles))
+					}
+					prevCycles = cur
+				}
+			case rmGCPauses:
+				if s.Value.Kind() == metrics.KindFloat64Histogram {
+					gcPause.Set(runtimeHistQuantile(s.Value.Float64Histogram(), 0.99))
+				}
+			}
+		}
+	})
+}
+
+// runtimeHistQuantile estimates a quantile of a runtime/metrics
+// Float64Histogram (len(Buckets) == len(Counts)+1, possibly with infinite
+// edge buckets). Always finite: infinite edges clamp to the nearest finite
+// boundary; an empty histogram returns 0.
+func runtimeHistQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil || len(h.Counts) == 0 || len(h.Buckets) != len(h.Counts)+1 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if !(q >= 0) {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range h.Counts {
+		cum += float64(c)
+		if cum >= rank && c > 0 {
+			return finiteEdge(h.Buckets, i+1)
+		}
+	}
+	return finiteEdge(h.Buckets, len(h.Buckets)-1)
+}
+
+// finiteEdge returns the bucket boundary at i, walking inward past any
+// infinite edges.
+func finiteEdge(buckets []float64, i int) float64 {
+	for i >= 0 && i < len(buckets) {
+		if !math.IsInf(buckets[i], 0) {
+			return buckets[i]
+		}
+		if math.IsInf(buckets[i], 1) {
+			i--
+		} else {
+			i++
+		}
+	}
+	return 0
+}

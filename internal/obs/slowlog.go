@@ -30,18 +30,36 @@ type SlowQueryRecord struct {
 	Spans      *SpanTree      `json:"spans,omitempty"`
 }
 
+// Slow-log byte budget defaults: at most 1 MiB of log lines per minute. A
+// span tree for a pathological query can run to kilobytes, and every query
+// being slow is exactly when the log would otherwise grow without bound.
+const (
+	DefSlowLogBytes    = 1 << 20
+	DefSlowLogInterval = time.Minute
+)
+
 // SlowQueryLog emits one JSON line per query slower than a threshold.
-// Writes are serialized so concurrent handlers never interleave lines. A
-// nil log (threshold unset) is a valid, disabled log — every method
-// no-ops, mirroring the nil-span convention.
+// Writes are serialized so concurrent handlers never interleave lines, and
+// rate-limited to a byte budget per interval — lines over budget are
+// dropped (counted via SetDropped, never blocking the query). A nil log
+// (threshold unset) is a valid, disabled log — every method no-ops,
+// mirroring the nil-span convention.
 type SlowQueryLog struct {
 	threshold time.Duration
 	mu        sync.Mutex
 	w         io.Writer
+
+	maxBytes int64
+	interval time.Duration
+	winStart time.Time
+	winBytes int64
+	dropped  *Counter
+	now      func() time.Time // test hook
 }
 
 // NewSlowQueryLog builds a log emitting to w (nil = stderr) for queries at
-// or over threshold. A non-positive threshold returns nil: disabled.
+// or over threshold, with the default byte budget. A non-positive
+// threshold returns nil: disabled.
 func NewSlowQueryLog(threshold time.Duration, w io.Writer) *SlowQueryLog {
 	if threshold <= 0 {
 		return nil
@@ -49,7 +67,37 @@ func NewSlowQueryLog(threshold time.Duration, w io.Writer) *SlowQueryLog {
 	if w == nil {
 		w = os.Stderr
 	}
-	return &SlowQueryLog{threshold: threshold, w: w}
+	return &SlowQueryLog{
+		threshold: threshold, w: w,
+		maxBytes: DefSlowLogBytes, interval: DefSlowLogInterval,
+		now: time.Now,
+	}
+}
+
+// SetLimit overrides the byte budget: at most maxBytes of log lines per
+// interval (maxBytes <= 0 disables the cap). Safe on nil.
+func (l *SlowQueryLog) SetLimit(maxBytes int64, interval time.Duration) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.maxBytes = maxBytes
+	if interval > 0 {
+		l.interval = interval
+	}
+	l.mu.Unlock()
+}
+
+// SetDropped attaches a counter incremented once per line dropped by the
+// byte budget (sq_slowlog_dropped_total on the serving registries). Safe
+// on nil.
+func (l *SlowQueryLog) SetDropped(c *Counter) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.dropped = c
+	l.mu.Unlock()
 }
 
 // Enabled reports whether the log records anything at all — instrumented
@@ -68,6 +116,20 @@ func (l *SlowQueryLog) Record(wall time.Duration, rec SlowQueryRecord) {
 	}
 	b = append(b, '\n')
 	l.mu.Lock()
+	if l.maxBytes > 0 {
+		now := l.now()
+		if l.winStart.IsZero() || now.Sub(l.winStart) >= l.interval {
+			l.winStart, l.winBytes = now, 0
+		}
+		if l.winBytes+int64(len(b)) > l.maxBytes {
+			if l.dropped != nil {
+				l.dropped.Inc()
+			}
+			l.mu.Unlock()
+			return
+		}
+		l.winBytes += int64(len(b))
+	}
 	l.w.Write(b)
 	l.mu.Unlock()
 }

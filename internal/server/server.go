@@ -59,6 +59,9 @@ type Config struct {
 	SlowQueryWriter io.Writer
 	// EnablePprof registers the /debug/pprof/* handlers on the server mux.
 	EnablePprof bool
+	// SLO is the p99 latency target GET /health/score compares against;
+	// non-positive disables the latency check.
+	SLO time.Duration
 }
 
 // Server is the HTTP/JSON front end over a cached engine: /query (one-shot
@@ -106,6 +109,10 @@ type Server struct {
 
 	cQuery, cBatch, cStream, cMutate, cErrors *obs.Counter
 	queryDur                                  *obs.Family // sq_query_duration_seconds{method}
+
+	// Sliding windows behind GET /health/score (see health.go).
+	reqWin, errWin *obs.RateWindow
+	latWin         *obs.HistWindow
 
 	reg  *obs.Registry
 	slow *obs.SlowQueryLog
@@ -175,9 +182,16 @@ func New(q engine.Querier, cfg Config) *Server {
 	mux.Handle("GET /metrics", reg.Handler())
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /health/score", s.handleHealthScore)
 	if cfg.EnablePprof {
 		RegisterPprof(mux)
 	}
+	s.slow.SetDropped(reg.Counter("sq_slowlog_dropped_total",
+		"Slow-query log lines dropped by the byte budget.").Counter())
+	obs.RegisterRuntimeMetrics(reg)
+	s.reqWin = obs.NewRateWindow(time.Minute)
+	s.errWin = obs.NewRateWindow(time.Minute)
+	s.latWin = obs.NewHistWindow(time.Minute)
 	s.mux = mux
 	return s
 }

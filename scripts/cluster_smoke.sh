@@ -46,6 +46,7 @@ go build -o "$WORK/graphgen" ./cmd/graphgen
 go build -o "$WORK/gquery" ./cmd/gquery
 go build -o "$WORK/sqnode" ./cmd/sqnode
 go build -o "$WORK/sqserve" ./cmd/sqserve
+go build -o "$WORK/sqtop" ./cmd/sqtop
 
 echo "== generate micro-dataset"
 "$WORK/graphgen" -graphs 40 -nodes 20 -density 0.1 -labels 5 -seed 7 \
@@ -81,7 +82,7 @@ wait_ready "http://$N2/readyz" 60
 
 echo "== start coordinator"
 "$WORK/sqserve" -cluster "$WORK/manifest.json" -addr "${COORD#127.0.0.1}" \
-  -probe-interval 300ms >"$WORK/coord.log" 2>&1 &
+  -probe-interval 300ms -slo 5s >"$WORK/coord.log" 2>&1 &
 PIDS+=($!)
 wait_ready "http://$COORD/readyz" 60
 
@@ -111,6 +112,60 @@ for n in "$N0" "$N1" "$N2"; do
   assert_metric "http://$n" 'sq_node_requests_total\{kind="query"\} [1-9]' "node query counter on $n"
   assert_metric "http://$n" 'sq_query_duration_seconds_count\{method="[Gg]rapes[^"]*"\} [1-9]' "node per-method query histogram on $n"
 done
+
+echo "== federated scrape: per-node labels and _agg sums on /metrics/cluster"
+curl -fsS "http://$COORD/metrics/cluster" >"$WORK/federated.txt"
+for n in "$N0" "$N1" "$N2"; do
+  if ! grep -Eq "sq_node_requests_total\{kind=\"query\",node=\"http://$n\"\} [1-9]" "$WORK/federated.txt"; then
+    echo "FAIL: federated scrape has no sq_node_requests_total row labeled node=http://$n" >&2
+    grep sq_node_requests_total "$WORK/federated.txt" >&2 || true
+    exit 1
+  fi
+done
+if ! grep -q 'sq_cluster_requests_total{kind="query",node="coordinator"}' "$WORK/federated.txt"; then
+  echo "FAIL: federated scrape has no coordinator-labeled families" >&2
+  exit 1
+fi
+python3 - "$WORK/federated.txt" <<'PY'
+import re, sys
+per, agg = 0, None
+for line in open(sys.argv[1]):
+    if re.match(r'sq_node_requests_total\{kind="query",node="[^"]+"\} ', line):
+        per += int(line.rsplit(" ", 1)[1])
+    elif line.startswith('sq_node_requests_total_agg{kind="query"} '):
+        agg = int(line.rsplit(" ", 1)[1])
+assert agg is not None, "no sq_node_requests_total_agg family in the federated scrape"
+assert per > 0 and agg == per, f"_agg {agg} != per-node sum {per}"
+print(f"OK: sq_node_requests_total_agg {agg} == sum of per-node rows")
+PY
+
+echo "== sqtop -once -json against the live coordinator"
+"$WORK/sqtop" -target "http://$COORD" -once -json >"$WORK/sqtop.json"
+python3 - "$WORK/sqtop.json" <<'PY'
+import json, math, sys
+snap = json.load(open(sys.argv[1]))  # json.load rejects NaN only if we check
+def walk(x):
+    if isinstance(x, float):
+        assert math.isfinite(x), f"non-finite value in sqtop output: {x}"
+    elif isinstance(x, dict):
+        for v in x.values(): walk(v)
+    elif isinstance(x, list):
+        for v in x: walk(v)
+walk(snap)
+assert snap["cluster"], "sqtop did not detect the federation endpoint"
+assert len(snap["nodes"]) == 3, f"sqtop sees {len(snap['nodes'])} nodes, want 3"
+for m in snap["methods"]:
+    for q in ("p50_ms", "p95_ms", "p99_ms"):
+        assert math.isfinite(m[q]), f"{q} not finite for {m['method']}"
+print("OK: sqtop -once -json is valid JSON, all quantiles finite,",
+      len(snap["nodes"]), "nodes visible")
+PY
+
+echo "== /health/score is ok on the healthy cluster"
+python3 -c "import json,urllib.request,sys
+rep = json.load(urllib.request.urlopen('http://$COORD/health/score', timeout=5))
+assert rep['status'] == 'ok', f'healthy cluster scored {rep}'
+print('OK: health', rep['status'])"
 
 echo "== round-trip a trace through the cluster"
 TRACE_OUT=$("$WORK/gquery" -remote "http://$COORD" -queries "$WORK/queries.gfd" -trace)
@@ -145,6 +200,35 @@ if ! echo "$OUT" | grep -q "partial"; then
 fi
 assert_metric "http://$COORD" 'sq_cluster_partials_total [1-9]' "coordinator partials counter after node loss"
 
+echo "== /health/score degrades and names the dead node; the federated scrape survives"
+deadline=$(( $(date +%s) + 15 ))
+until python3 -c "import json,urllib.request,sys
+rep = json.load(urllib.request.urlopen('http://$COORD/health/score', timeout=5))
+member = next((c for c in rep['checks'] if c['name'] == 'membership'), None)
+ok = rep['status'] != 'ok' and member and member['status'] != 'ok' and 'n1' in member['reason']
+sys.exit(0 if ok else 1)"; do
+  if [ "$(date +%s)" -ge "$deadline" ]; then
+    echo "FAIL: health never left ok (naming n1) after the node kill" >&2
+    curl -fsS "http://$COORD/health/score" >&2 || true
+    exit 1
+  fi
+  sleep 0.3
+done
+python3 -c "import json,urllib.request
+rep = json.load(urllib.request.urlopen('http://$COORD/health/score', timeout=5))
+member = next(c for c in rep['checks'] if c['name'] == 'membership')
+print('OK: health', rep['status'], '--', member['reason'])"
+curl -fsS "http://$COORD/metrics/cluster" >"$WORK/federated-degraded.txt"
+if ! grep -Eq "sq_federate_node_up\{node=\"http://$N1\",name=\"n1\"\} 0" "$WORK/federated-degraded.txt"; then
+  echo "FAIL: dead node n1 has no sq_federate_node_up 0 row in the federated scrape" >&2
+  grep sq_federate_node_up "$WORK/federated-degraded.txt" >&2 || true
+  exit 1
+fi
+if ! grep -Eq "sq_federate_failed_nodes\{node=\"coordinator\"\} [1-9]" "$WORK/federated-degraded.txt"; then
+  echo "FAIL: sq_federate_failed_nodes did not count the dead node" >&2
+  exit 1
+fi
+
 echo "== restart n1 and require full answers again"
 start_node n1 "$N1"
 N1_PID=$LAST_PID
@@ -166,5 +250,9 @@ if echo "$OUT" | grep -q "partial"; then
   echo "FAIL: cluster still partial after the node recovered" >&2
   exit 1
 fi
+python3 -c "import json,urllib.request
+rep = json.load(urllib.request.urlopen('http://$COORD/health/score', timeout=5))
+assert rep['status'] == 'ok', f'health still {rep[\"status\"]} after recovery: {rep}'
+print('OK: health back to', rep['status'])"
 
 echo "== cluster smoke PASS"
