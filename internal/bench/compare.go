@@ -103,6 +103,16 @@ func CompareReports(baseline, current *JSONReport, opts CompareOptions) []string
 				key, float64(b.FirstAnswerNs)/1e6, float64(c.FirstAnswerNs)/1e6,
 				100*(float64(c.FirstAnswerNs)/float64(b.FirstAnswerNs)-1)))
 		}
+		// Cold-open latency gates only against baselines that recorded it
+		// (older baselines predate the disk-native tier). Opens are
+		// O(header) and land in microseconds, so they share the query
+		// noise floor.
+		if b.OpenNs > 0 && slower(float64(b.OpenNs)/1e9, float64(c.OpenNs)/1e9,
+			opts.Threshold, opts.QueryFloorSeconds) {
+			bad = append(bad, fmt.Sprintf("%s: cold open %.3fms -> %.3fms (+%.0f%%)",
+				key, float64(b.OpenNs)/1e6, float64(c.OpenNs)/1e6,
+				100*(float64(c.OpenNs)/float64(b.OpenNs)-1)))
+		}
 		if slower(b.BuildSeconds, c.BuildSeconds, opts.Threshold, opts.BuildFloorSeconds) {
 			bad = append(bad, fmt.Sprintf("%s: build %.3fs -> %.3fs (+%.0f%%)",
 				key, b.BuildSeconds, c.BuildSeconds,

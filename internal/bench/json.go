@@ -35,6 +35,14 @@ type JSONCell struct {
 	// and the compare gate only applies them when the baseline has them.
 	FirstAnswerNs      int64   `json:"first_answer_ns,omitempty"`
 	VerifiedCandidates float64 `json:"verified_candidates,omitempty"`
+	// OpenNs is the cold-start wall time to open the cell's persisted v2
+	// index with storage=mmap (header and directories only, no payload
+	// decode); ResidentBytes is the index's resident heap footprint right
+	// after that open, against index_bytes as the fully-decoded bound.
+	// Both are omitted for methods without a v2 section format and in
+	// baselines predating the disk-native tier.
+	OpenNs        int64 `json:"open_ns,omitempty"`
+	ResidentBytes int64 `json:"resident_bytes,omitempty"`
 }
 
 // JSONPoint is one x-axis point with all its method cells.
@@ -95,6 +103,8 @@ func cellJSON(mr MethodResult) JSONCell {
 		Queries:              mr.QueriesRun,
 		FirstAnswerNs:        mr.AvgFirstAnswer.Nanoseconds(),
 		VerifiedCandidates:   mr.AvgVerified,
+		OpenNs:               mr.ColdOpen.Nanoseconds(),
+		ResidentBytes:        mr.ColdResident,
 	}
 	if len(mr.TimeBySize) > 0 {
 		c.TimeBySizeSeconds = make(map[string]float64, len(mr.TimeBySize))

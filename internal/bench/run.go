@@ -5,10 +5,14 @@ import (
 	"fmt"
 	"io"
 	"iter"
+	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/diskfmt"
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/workload"
@@ -99,6 +103,15 @@ type MethodResult struct {
 	// mean number of verifier invocations per one-shot query.
 	AvgFirstAnswer time.Duration
 	AvgVerified    float64
+
+	// Disk-native tier metrics, for methods with a v2 section format:
+	// ColdOpen is the wall time to open the persisted index with
+	// storage=mmap (header and directory sections only, no payload
+	// decode), and ColdResident the index's resident heap bytes
+	// immediately after that open — against IndexSize, the fully decoded
+	// footprint. Zero for methods without a v2 format and in sharded runs.
+	ColdOpen     time.Duration
+	ColdResident int64
 }
 
 // PointResult aggregates all methods at one x-axis point.
@@ -272,7 +285,70 @@ func runMethodInstance(ctx context.Context, id MethodID, m core.Method, spec str
 			return core.StreamAnswersOpts(ctx, m, ds, q, core.StreamOptions{})
 		}, queries)
 	}
+	if !mr.DNF {
+		measureColdOpen(&mr, m, spec, ds)
+	}
 	return mr
+}
+
+// specWithStorage appends a storage override to an engine spec.
+func specWithStorage(spec, mode string) string {
+	if strings.Contains(spec, ":") {
+		return spec + ",storage=" + mode
+	}
+	return spec + ":storage=" + mode
+}
+
+// measureColdOpen times a storage=mmap open of the cell's persisted v2
+// index — the disk-native tier's cold-start path: write the built index to
+// a scratch file, then load it into a fresh instance and record the wall
+// time and the resident heap bytes right after (postings stay on disk
+// until queries fault them in). Methods without a v2 section format leave
+// both cells zero. Failures just skip the cells — this measures the tier,
+// it does not gate the run.
+func measureColdOpen(mr *MethodResult, m core.Method, spec string, ds *graph.Dataset) {
+	sp, ok := m.(core.SectionPersistable)
+	if !ok {
+		return
+	}
+	dir, err := os.MkdirTemp("", "sqbench-idx-*")
+	if err != nil {
+		return
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "idx")
+	w := diskfmt.NewWriter(ds.Epoch(), ds.VersionTag(), m.Name())
+	if err := sp.SaveIndexV2(w); err != nil {
+		return
+	}
+	if err := engine.AtomicWriteFile(path, func(out io.Writer) error {
+		_, err := w.WriteTo(out)
+		return err
+	}); err != nil {
+		return
+	}
+	fresh, err := engine.New(specWithStorage(spec, core.StorageMmap))
+	if err != nil {
+		return
+	}
+	fsp, ok := fresh.(core.SectionPersistable)
+	if !ok {
+		return
+	}
+	t0 := time.Now()
+	r, err := diskfmt.Open(path, true)
+	if err != nil {
+		return
+	}
+	if err := fsp.LoadIndexV2(r, ds); err != nil {
+		r.Close()
+		return
+	}
+	mr.ColdOpen = time.Since(t0)
+	mr.ColdResident = fresh.SizeBytes()
+	// The instance is done measuring and never queried, so unmap now
+	// rather than on process exit.
+	r.Close()
 }
 
 // measureQueries drives a workload through one query function — an

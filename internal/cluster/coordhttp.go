@@ -77,6 +77,7 @@ func NewCoordServer(c *Coordinator, cfg CoordServerConfig) *CoordServer {
 	s.slow.SetDropped(c.Registry().Counter("sq_slowlog_dropped_total",
 		"Slow-query log lines dropped by the byte budget.").Counter())
 	obs.RegisterRuntimeMetrics(c.Registry())
+	obs.RegisterIndexMetrics(c.Registry())
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)

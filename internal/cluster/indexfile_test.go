@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/workload"
+)
+
+// TestLoadFromShipsIndexFile: re-replication via /node/load fetches the
+// owner's persisted v2 shard index alongside the dump, so the receiving
+// node's engine restores it byte-for-byte instead of rebuilding.
+func TestLoadFromShipsIndexFile(t *testing.T) {
+	ctx := context.Background()
+	src := gen.Synthetic(gen.SynthConfig{
+		NumGraphs: 30, MeanNodes: 12, MeanDensity: 0.2, NumLabels: 4, Seed: 21,
+	})
+	queries, err := workload.Generate(src, workload.Config{NumQueries: 3, QueryEdges: 4, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	a, err := NewNode(ctx, src, NodeConfig{
+		Name: "a", ShardCount: 2, Shards: []int{0, 1},
+		IndexPath: filepath.Join(dir, "a.idx"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsA := httptest.NewServer(NewNodeServer(a, NodeServerConfig{}).Handler())
+	defer tsA.Close()
+
+	b, err := NewNode(ctx, src, NodeConfig{
+		Name: "b", ShardCount: 2, Shards: []int{0},
+		IndexPath: filepath.Join(dir, "b.idx"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsB := httptest.NewServer(NewNodeServer(b, NodeServerConfig{}).Handler())
+	defer tsB.Close()
+
+	// The indexfile endpoint serves shard 1's v2 container from a.
+	resp, err := http.Get(tsA.URL + "/node/indexfile?shard=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /node/indexfile = %d, want 200", resp.StatusCode)
+	}
+	// A shard the node does not serve is 404.
+	resp, err = http.Get(tsB.URL + "/node/indexfile?shard=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /node/indexfile for unserved shard = %d, want 404", resp.StatusCode)
+	}
+
+	// Re-replicate shard 1 onto b from a.
+	body, _ := json.Marshal(LoadRequest{Shard: 1, From: tsA.URL})
+	resp, err = http.Post(tsB.URL+"/node/load", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /node/load = %d, want 200", resp.StatusCode)
+	}
+
+	b.mu.RLock()
+	sh := b.shards[1]
+	b.mu.RUnlock()
+	if sh == nil {
+		t.Fatalf("shard 1 missing on b after load")
+	}
+	if !sh.eng.Restored() {
+		t.Fatalf("installed shard rebuilt its index; the shipped v2 file was not restored")
+	}
+
+	// The restored replica answers exactly like the owner.
+	for i, q := range queries {
+		ra, err := a.Query(ctx, []int{1}, q)
+		if err != nil {
+			t.Fatalf("a query %d: %v", i, err)
+		}
+		rb, err := b.Query(ctx, []int{1}, q)
+		if err != nil {
+			t.Fatalf("b query %d: %v", i, err)
+		}
+		if !rb[0].Answers.Equal(ra[0].Answers) {
+			t.Errorf("query %d: replica answers %v != owner answers %v", i, rb[0].Answers, ra[0].Answers)
+		}
+	}
+}

@@ -175,6 +175,22 @@ func (n *Node) openShard(ctx context.Context, k int, sub *graph.Dataset, global 
 // Name returns the node's identity.
 func (n *Node) Name() string { return n.cfg.Name }
 
+// Ready reports whether every shard the node serves is ready: a shard
+// restored with storage=mmap is not ready while its index is still
+// materializing first-touch sections in the background. /readyz reports
+// 503 until this turns true, so the coordinator keeps routing to warmed
+// replicas.
+func (n *Node) Ready() bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	for _, sh := range n.shards {
+		if !sh.eng.Ready() {
+			return false
+		}
+	}
+	return true
+}
+
 // Spec returns the canonical method spec the node indexes with.
 func (n *Node) Spec() string { return n.spec }
 

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -15,6 +16,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/diskfmt"
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/obs"
@@ -76,6 +78,7 @@ func NewNodeServer(n *Node, cfg NodeServerConfig) *NodeServer {
 	s.slow.SetDropped(cfg.Registry.Counter("sq_slowlog_dropped_total",
 		"Slow-query log lines dropped by the byte budget.").Counter())
 	obs.RegisterRuntimeMetrics(cfg.Registry)
+	obs.RegisterIndexMetrics(cfg.Registry)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -84,6 +87,7 @@ func NewNodeServer(n *Node, cfg NodeServerConfig) *NodeServer {
 	mux.HandleFunc("POST /node/graphs", s.handleAdd)
 	mux.HandleFunc("DELETE /node/graphs/{id}", s.handleRemove)
 	mux.HandleFunc("GET /node/dump", s.handleDump)
+	mux.HandleFunc("GET /node/indexfile", s.handleIndexFile)
 	mux.HandleFunc("POST /node/load", s.handleLoad)
 	mux.HandleFunc("DELETE /node/shards/{shard}", s.handleDropShard)
 	mux.Handle("GET /metrics", cfg.Registry.Handler())
@@ -139,11 +143,17 @@ func (s *NodeServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 // handleReadyz is readiness: 200 only when the node serves traffic. The
 // node is constructed before the server, so readiness here means "not
-// draining" — sqnode answers 503 from a bootstrap handler while shards are
-// still building.
+// draining and not warming" — sqnode answers 503 from a bootstrap handler
+// while shards are still building, and a node whose shards restored with
+// storage=mmap answers 503 here until their first-touch sections have
+// materialized.
 func (s *NodeServer) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if s.draining.Load() {
 		s.fail(w, http.StatusServiceUnavailable, errors.New("draining"))
+		return
+	}
+	if !s.node.Ready() {
+		s.fail(w, http.StatusServiceUnavailable, errors.New("warming"))
 		return
 	}
 	s.writeJSON(w, map[string]string{"status": "ready"})
@@ -429,6 +439,78 @@ func (s *NodeServer) handleDump(w http.ResponseWriter, r *http.Request) {
 	enc.Encode(DumpLine{Done: true, Epoch: epoch, MaxID: maxID})
 }
 
+// handleIndexFile serves GET /node/indexfile?shard=k: the shard's persisted
+// v2 index file, byte for byte. A peer installing the shard fetches it
+// alongside the dump so its engine restores the index in O(header) time
+// instead of rebuilding; the file's epoch+tag stamp makes the transfer
+// self-validating — a receiver whose reassembled sub-dataset mismatches
+// falls back to a rebuild. 404 when the node does not persist, does not
+// serve the shard, or the file is absent or not in the v2 container format
+// (legacy v1 gob files are node-local and never shipped).
+func (s *NodeServer) handleIndexFile(w http.ResponseWriter, r *http.Request) {
+	k, err := strconv.Atoi(r.URL.Query().Get("shard"))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad shard %q", r.URL.Query().Get("shard")))
+		return
+	}
+	s.node.mu.RLock()
+	_, owned := s.node.shards[k]
+	s.node.mu.RUnlock()
+	if !owned {
+		s.fail(w, http.StatusNotFound, fmt.Errorf("%w: shard %d on node %s", ErrNotOwned, k, s.node.Name()))
+		return
+	}
+	if s.node.cfg.IndexPath == "" {
+		s.fail(w, http.StatusNotFound, fmt.Errorf("node %s does not persist indexes", s.node.Name()))
+		return
+	}
+	f, err := os.Open(s.node.shardIndexPath(k))
+	if err != nil {
+		s.fail(w, http.StatusNotFound, fmt.Errorf("no index file for shard %d", k))
+		return
+	}
+	defer f.Close()
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil || !diskfmt.IsMagic(magic[:]) {
+		s.fail(w, http.StatusNotFound, fmt.Errorf("shard %d index file is not a v2 container", k))
+		return
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	io.Copy(w, f)
+}
+
+// fetchIndexFile best-effort copies the dump owner's persisted shard index
+// file to this node's own shard index path, so the engine open inside the
+// following Install restores it instead of rebuilding. Reports whether the
+// full file landed; the atomic rename means any failure leaves no partial
+// file behind and the install just rebuilds as before.
+func (s *NodeServer) fetchIndexFile(ctx context.Context, from string, k int) bool {
+	if s.node.cfg.IndexPath == "" {
+		return false
+	}
+	url := fmt.Sprintf("%s/node/indexfile?shard=%d", strings.TrimSuffix(from, "/"), k)
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := s.cfg.Client.Do(httpReq)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	return engine.AtomicWriteFile(s.node.shardIndexPath(k), func(w io.Writer) error {
+		_, err := io.Copy(w, resp.Body)
+		return err
+	}) == nil
+}
+
 // handleLoad serves POST /node/load: install a shard, either rebuilt from
 // the node's local dataset copy (From empty, epoch-0 shards only) or
 // streamed from the owner at From.
@@ -507,6 +589,13 @@ func (s *NodeServer) loadFrom(r *http.Request, req LoadRequest) error {
 	if !done {
 		return errors.New("dump ended without done marker — source died mid-dump")
 	}
+	// Ship the owner's v2 index file alongside the dump: the install's
+	// engine open restores it byte-for-byte when its epoch+tag stamp
+	// matches the reassembled sub-dataset (always for unmutated and
+	// add-only shard histories; removals leave tombstones the reassembly
+	// does not reproduce, so those validate stale and rebuild — which is
+	// exactly what would have happened without the fetch).
+	s.fetchIndexFile(r.Context(), req.From, req.Shard)
 	return s.node.Install(r.Context(), req.Shard, epoch, maxID, graphs)
 }
 

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"repro/internal/diskfmt"
+	"repro/internal/graph"
+)
+
+// Storage modes for SectionPersistable methods. Heap decodes the whole
+// index into memory at load, exactly like the legacy gob path; Mmap keeps
+// the v2 container mapped and materializes postings, trie nodes, and codes
+// lazily on first touch.
+const (
+	StorageHeap = "heap"
+	StorageMmap = "mmap"
+)
+
+// SectionPersistable is implemented by methods whose index round-trips
+// through the repro-index v2 container (package diskfmt): SaveIndexV2
+// lays the index out as checksummed sections, LoadIndexV2 restores from a
+// parsed container. The engine prefers this over the legacy gob stream
+// (Persistable) when both are implemented, and rewrites legacy v1 files
+// as v2 on the next rebuild.
+//
+// LoadIndexV2 must honor the method's configured storage mode: under
+// StorageHeap it decodes eagerly and must not retain the reader; under
+// StorageMmap it may alias the reader's mapped sections for the life of
+// the index, copying anything it materializes into the heap.
+type SectionPersistable interface {
+	Persistable
+	SaveIndexV2(w *diskfmt.Writer) error
+	LoadIndexV2(r *diskfmt.Reader, ds *graph.Dataset) error
+}
+
+// StorageSelector reports a method's configured storage mode (StorageHeap
+// or StorageMmap). Methods without it are heap-only.
+type StorageSelector interface {
+	StorageMode() string
+}
+
+// Warmable is implemented by indexes that can pre-fault their hot
+// sections after a lazy open. The engine calls WarmIndex on a background
+// goroutine and keeps /readyz at 503 until it returns, so load balancers
+// don't route to a cold mmap-backed node. WarmIndex must be safe to run
+// concurrently with queries and must be a no-op for heap-resident
+// indexes.
+type Warmable interface {
+	WarmIndex()
+}

@@ -1,0 +1,15 @@
+//go:build !unix
+
+package diskfmt
+
+import "os"
+
+// mapFile falls back to reading the whole file on platforms without a
+// wired-up mmap: storage=mmap still works, it just loses the lazy paging.
+func mapFile(path string) ([]byte, func() error, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

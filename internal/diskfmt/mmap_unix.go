@@ -1,0 +1,32 @@
+//go:build unix
+
+package diskfmt
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile memory-maps path read-only. The returned close function
+// releases the mapping. Zero-length files map to an empty (unmapped)
+// slice so callers still get a well-formed "too short" parse error.
+func mapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -28,6 +28,28 @@ func maintenanceOf(d *Descriptor) string {
 	return "rebuild"
 }
 
+// storageOf classifies a descriptor's on-disk index representation:
+// methods implementing core.SectionPersistable persist the mmap-able
+// repro-index v2 container and honor `storage=heap|mmap`; plain
+// core.Persistable methods persist the legacy v1 gob stream (always
+// decoded eagerly); composites delegate persistence to their sub-indexes.
+func storageOf(d *Descriptor) string {
+	if d.OpenQuerier != nil {
+		return "per sub-index"
+	}
+	m, err := d.Factory(d.Params())
+	if err != nil {
+		return "none"
+	}
+	if _, ok := m.(core.SectionPersistable); ok {
+		return "v2 (heap/mmap)"
+	}
+	if _, ok := m.(core.Persistable); ok {
+		return "v1 gob (heap)"
+	}
+	return "none"
+}
+
 // WriteMethodsMarkdown renders the per-method reference (docs/METHODS.md)
 // from the live registry: every registered method's names, aliases, typed
 // parameters with defaults, and reference notes, in registration order. It
@@ -61,10 +83,19 @@ func WriteMethodsMarkdown(w io.Writer) error {
 	bw.printf("differences below are filtering power and index cost — never answer\n")
 	bw.printf("order or early-termination semantics.\n\n")
 
-	bw.printf("| Method | Spec name | Parameters | Updates | Summary |\n")
-	bw.printf("|---|---|---|---|---|\n")
+	bw.printf("The **Storage** column shows each method's on-disk index\n")
+	bw.printf("representation. *v2 (heap/mmap)* methods persist the mmap-able\n")
+	bw.printf("repro-index v2 section container and accept a `storage=heap|mmap`\n")
+	bw.printf("runtime parameter: `heap` decodes the file eagerly at open, `mmap`\n")
+	bw.printf("maps it and faults sections in on first touch, so a cold open is\n")
+	bw.printf("O(header) regardless of index size. *v1 gob (heap)* methods persist\n")
+	bw.printf("the legacy header-line gob stream, always decoded eagerly. See\n")
+	bw.printf("ARCHITECTURE.md's Storage section for the format and tradeoffs.\n\n")
+
+	bw.printf("| Method | Spec name | Parameters | Updates | Storage | Summary |\n")
+	bw.printf("|---|---|---|---|---|---|\n")
 	for _, d := range Descriptors() {
-		bw.printf("| %s | `%s` | %d | %s | %s |\n", d.Display, d.Name, len(d.Fields), maintenanceOf(d), d.Help)
+		bw.printf("| %s | `%s` | %d | %s | %s | %s |\n", d.Display, d.Name, len(d.Fields), maintenanceOf(d), storageOf(d), d.Help)
 	}
 	bw.printf("\n")
 
@@ -82,6 +113,7 @@ func WriteMethodsMarkdown(w io.Writer) error {
 		}
 		bw.printf("**Accepted names:** %s (case- and separator-insensitive).\n\n", strings.Join(quoted, ", "))
 		bw.printf("**Mutation maintenance:** %s.\n\n", maintenanceOf(d))
+		bw.printf("**Storage:** %s.\n\n", storageOf(d))
 		if len(d.Fields) == 0 {
 			bw.printf("No parameters.\n\n")
 		} else {

@@ -13,9 +13,13 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/diskfmt"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // Option configures Open.
@@ -72,6 +76,19 @@ type Engine struct {
 	fresh         func() (core.Method, error)
 	indexPath     string
 	verifyWorkers int
+	// ready is false only while a lazily-opened (storage=mmap) index is
+	// still warming its directory sections in the background; /readyz
+	// reports 503 until it flips.
+	ready atomic.Bool
+}
+
+// storageModeOf resolves how a method wants its persisted index held;
+// methods that predate the v2 disk format are always heap.
+func storageModeOf(m core.Method) string {
+	if ss, ok := m.(core.StorageSelector); ok {
+		return ss.StorageMode()
+	}
+	return core.StorageHeap
 }
 
 // indexFileMagic heads every engine-written index file; the header line
@@ -115,6 +132,7 @@ func Open(ctx context.Context, ds *graph.Dataset, opts ...Option) (*Engine, erro
 		if !ok {
 			return nil, fmt.Errorf("engine: %s does not support index persistence", m.Name())
 		}
+		openStart := time.Now()
 		f, ferr := os.Open(cfg.indexPath)
 		if ferr != nil && !errors.Is(ferr, fs.ErrNotExist) {
 			// A present-but-unreadable index is an error, not a silent
@@ -122,35 +140,81 @@ func Open(ctx context.Context, ds *graph.Dataset, opts ...Option) (*Engine, erro
 			return nil, fmt.Errorf("engine: opening index at %s: %w", cfg.indexPath, ferr)
 		}
 		if ferr == nil {
-			br := bufio.NewReader(f)
-			header, herr := br.ReadString('\n')
-			if herr == nil && strings.TrimSuffix(header, "\n") == indexFileHeader(ds) {
-				lerr := persist.LoadIndex(br, ds)
+			var magic [8]byte
+			n, _ := io.ReadFull(f, magic[:])
+			legacy := true
+			if n == len(magic) && diskfmt.IsMagic(magic[:]) {
+				// A v2 container: reopen through diskfmt (mapped when the
+				// method asks for storage=mmap) so the load is O(header).
+				legacy = false
+				f.Close()
+				lerr := restoreV2(cfg.indexPath, m, ds)
 				e.restored = lerr == nil
-				if lerr != nil {
-					// A failed load may have left the instance partially
-					// mutated (some implementations overwrite their options
-					// before validating); rebuild from a pristine instance so
-					// the corrupt file's parameters never leak into the build.
+				if lerr != nil && !errors.Is(lerr, errStaleIndex) {
+					// The load touched the instance before failing; rebuild
+					// from a pristine one so the corrupt file's parameters
+					// never leak into the build.
 					if cfg.method != nil {
-						f.Close()
 						return nil, fmt.Errorf("engine: loading %s index from %s: %w",
 							m.Name(), cfg.indexPath, lerr)
 					}
 					fresh, nerr := New(cfg.spec)
 					if nerr != nil {
-						f.Close()
 						return nil, nerr
 					}
 					m = fresh
 					e.method = m
 				}
 			}
-			// A missing or mismatched header — a legacy file, or an index
-			// persisted at another dataset epoch — never reaches LoadIndex:
-			// the instance is untouched and the engine rebuilds over the
-			// current dataset, overwriting the stale file.
-			f.Close()
+			if legacy {
+				if _, serr := f.Seek(0, io.SeekStart); serr != nil {
+					f.Close()
+					return nil, fmt.Errorf("engine: opening index at %s: %w", cfg.indexPath, serr)
+				}
+				br := bufio.NewReader(f)
+				header, herr := br.ReadString('\n')
+				if herr == nil && strings.TrimSuffix(header, "\n") == indexFileHeader(ds) {
+					lerr := persist.LoadIndex(br, ds)
+					e.restored = lerr == nil
+					if lerr != nil {
+						// A failed load may have left the instance partially
+						// mutated (some implementations overwrite their options
+						// before validating); rebuild from a pristine instance so
+						// the corrupt file's parameters never leak into the build.
+						if cfg.method != nil {
+							f.Close()
+							return nil, fmt.Errorf("engine: loading %s index from %s: %w",
+								m.Name(), cfg.indexPath, lerr)
+						}
+						fresh, nerr := New(cfg.spec)
+						if nerr != nil {
+							f.Close()
+							return nil, nerr
+						}
+						m = fresh
+						e.method = m
+					}
+				}
+				// A missing or mismatched header — a legacy file, or an index
+				// persisted at another dataset epoch — never reaches LoadIndex:
+				// the instance is untouched and the engine rebuilds over the
+				// current dataset, overwriting the stale file.
+				f.Close()
+				if e.restored {
+					if _, ok := m.(core.SectionPersistable); ok {
+						// Upgrade the legacy gob file in place so the next
+						// open is O(header) instead of a full decode.
+						if err := saveEngineIndex(cfg.indexPath, m, ds); err != nil {
+							return nil, err
+						}
+					}
+				}
+			}
+		}
+		if e.restored {
+			storage := storageModeOf(m)
+			obs.IndexOpenObserve(m.Name(), storage, time.Since(openStart).Seconds())
+			obs.IndexResidentSet(m.Name(), storage, m.SizeBytes())
 		}
 	}
 	if !e.restored {
@@ -165,14 +229,74 @@ func Open(ctx context.Context, ds *graph.Dataset, opts ...Option) (*Engine, erro
 			}
 		}
 	}
+	e.ready.Store(true)
+	if e.restored && storageModeOf(m) == core.StorageMmap {
+		if warm, ok := m.(core.Warmable); ok {
+			// Pre-fault the directory sections off the open path: queries
+			// are answerable immediately, /readyz flips once the warm lands.
+			e.ready.Store(false)
+			go func() {
+				warm.WarmIndex()
+				e.ready.Store(true)
+			}()
+		}
+	}
 	e.proc = &core.Processor{Method: m, DS: ds, VerifyWorkers: cfg.verifyWorkers}
 	return e, nil
 }
 
-// saveEngineIndex persists a built method's index at path in the engine's
-// file format: an epoch+tag-stamped header line, then the method's own
-// persist stream, written atomically.
+// errStaleIndex marks v2 restore failures that never touched the method
+// instance (wrong epoch, unsupported format): the engine rebuilds over the
+// live instance instead of constructing a fresh one.
+var errStaleIndex = errors.New("engine: stale index file")
+
+// restoreV2 opens a v2 container at path and loads it into m, mapped when
+// the method selects storage=mmap. On success in mmap mode the method owns
+// the reader; in heap mode (everything decoded) the reader is closed here.
+func restoreV2(path string, m core.Method, ds *graph.Dataset) error {
+	sp, ok := m.(core.SectionPersistable)
+	if !ok {
+		return errStaleIndex // a v2 file for a method that cannot read it
+	}
+	r, err := diskfmt.Open(path, storageModeOf(m) == core.StorageMmap)
+	if err != nil {
+		if errors.Is(err, diskfmt.ErrNotDiskFmt) || diskfmt.IsCorrupt(err) {
+			return errStaleIndex // truncated or bit-flipped: rebuild
+		}
+		return err
+	}
+	if r.Epoch() != ds.Epoch() || r.Tag() != ds.VersionTag() {
+		// Persisted against another mutation history; the instance is
+		// untouched, so the caller rebuilds in place and overwrites.
+		r.Close()
+		return errStaleIndex
+	}
+	if err := sp.LoadIndexV2(r, ds); err != nil {
+		r.Close()
+		return err
+	}
+	if storageModeOf(m) != core.StorageMmap {
+		return r.Close()
+	}
+	return nil
+}
+
+// saveEngineIndex persists a built method's index at path, written
+// atomically. Methods that implement core.SectionPersistable get the v2
+// container (epoch+tag in the binary header, mmap-able on restore);
+// everything else gets the legacy v1 format: an epoch+tag-stamped header
+// line, then the method's own gob stream.
 func saveEngineIndex(path string, m core.Method, ds *graph.Dataset) error {
+	if sp, ok := m.(core.SectionPersistable); ok {
+		w := diskfmt.NewWriter(ds.Epoch(), ds.VersionTag(), m.Name())
+		if err := sp.SaveIndexV2(w); err != nil {
+			return fmt.Errorf("engine: saving %s index: %w", m.Name(), err)
+		}
+		return AtomicWriteFile(path, func(out io.Writer) error {
+			_, err := w.WriteTo(out)
+			return err
+		})
+	}
 	p, ok := m.(core.Persistable)
 	if !ok {
 		return fmt.Errorf("engine: %s does not support index persistence", m.Name())
@@ -215,6 +339,13 @@ func (e *Engine) Restored() bool {
 	defer e.mu.RUnlock()
 	return e.restored
 }
+
+// Ready reports whether the engine is fully open for serving: false only
+// while a lazily-opened (storage=mmap) index is still pre-faulting its
+// directory sections in the background. Queries are correct either way;
+// readiness gates load balancers off a node whose first queries would pay
+// the materialization cost.
+func (e *Engine) Ready() bool { return e.ready.Load() }
 
 // Processor exposes the engine's underlying pipeline for callers that need
 // per-stage control. The snapshot is not updated by later mutations.

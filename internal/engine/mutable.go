@@ -309,6 +309,11 @@ func (s *Sharded) ApplyRemove(ctx context.Context, id graph.ID) error {
 func (s *Sharded) applyAddLocked(ctx context.Context, g *graph.Graph) error {
 	si := ShardOf(g.ID(), len(s.shards))
 	sh := s.shards[si]
+	// A still-deferred shard loads now: incremental maintenance needs the
+	// restored index, not an unbuilt instance (which would force a rebuild).
+	if err := s.ensureShard(ctx, si); err != nil {
+		return err
+	}
 	wasEmpty := sh.empty()
 	sh.global = append(sh.global, g.ID()) // parent ids stay ascending, so toGlobal stays monotonic
 	local := sh.sub.Add(g.ShallowWithID(0))
@@ -328,6 +333,9 @@ func (s *Sharded) applyAddLocked(ctx context.Context, g *graph.Graph) error {
 func (s *Sharded) applyRemoveLocked(ctx context.Context, id graph.ID) error {
 	si := ShardOf(id, len(s.shards))
 	sh := s.shards[si]
+	if err := s.ensureShard(ctx, si); err != nil {
+		return err
+	}
 	local, ok := sh.localOf(id)
 	if !ok {
 		return fmt.Errorf("engine: graph %d not re-homed in shard %d", id, si)

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/core"
 )
 
 // Kind is the type of one method parameter.
@@ -42,6 +44,11 @@ type Field struct {
 	Kind    Kind
 	Default any // int, float64, bool, or string, matching Kind
 	Help    string
+	// Runtime marks a parameter that changes how an index is held in
+	// memory, not what gets built or persisted (e.g. storage=mmap|heap).
+	// canonicalSpec omits runtime fields, so an index written under one
+	// runtime setting restores under any other.
+	Runtime bool
 }
 
 func (f Field) validate() error {
@@ -191,12 +198,14 @@ func (p Params) Spec() string {
 // canonicalSpec renders the parameter set like Spec but also omits
 // overrides whose value equals the field's default, so two functionally
 // identical configurations render identically ("grapes:workers=6" and
-// "grapes" when 6 is the default). The sharded index manifest uses it, so
-// that respelling a default never invalidates a restorable index.
+// "grapes" when 6 is the default), and omits Runtime fields, so an index
+// persisted under storage=heap restores under storage=mmap and vice
+// versa. The sharded index manifest uses it, so that respelling a default
+// never invalidates a restorable index.
 func (p Params) canonicalSpec() string {
 	var kv []string
 	for _, f := range p.desc.Fields {
-		if !p.set[f.Name] || p.vals[f.Name] == f.Default {
+		if !p.set[f.Name] || p.vals[f.Name] == f.Default || f.Runtime {
 			continue
 		}
 		kv = append(kv, fmt.Sprintf("%s=%v", f.Name, p.vals[f.Name]))
@@ -205,6 +214,22 @@ func (p Params) canonicalSpec() string {
 		return p.desc.Name
 	}
 	return p.desc.Name + ":" + strings.Join(kv, ",")
+}
+
+// CheckStorageField validates the conventional "storage" runtime
+// parameter shared by the disk-native methods: it must be "heap" or
+// "mmap". Methods with extra cross-field constraints compose it from
+// their own Check.
+func CheckStorageField(p Params) error {
+	if !p.Has("storage") {
+		return nil
+	}
+	switch v := p.String("storage"); v {
+	case core.StorageHeap, core.StorageMmap:
+		return nil
+	default:
+		return fmt.Errorf("engine: storage=%q: must be %q or %q", v, core.StorageHeap, core.StorageMmap)
+	}
 }
 
 // normalize canonicalizes a method name for registry lookup: lower-cased

@@ -12,9 +12,11 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/diskfmt"
 	"repro/internal/graph"
 )
 
@@ -45,14 +47,16 @@ func ShardIndexPath(base string, i int) string {
 // shardManifestMagic heads the manifest file of a persisted sharded index;
 // bump the version when the layout changes. v2 added the dataset epoch, so
 // shard files persisted before a mutation can never restore silently
-// against the mutated dataset.
-const shardManifestMagic = "repro-shards v2"
+// against the mutated dataset; v3 records the on-disk format of every
+// shard file (v1 gob stream or v2 mmap-able container).
+const shardManifestMagic = "repro-shards v3"
 
-// shardFileMagic heads every shard index file; the header line also carries
-// the canonical spec the shard was built with, so a shard file overwritten
-// under a different spec fails its load and rebuilds even when a stale
-// manifest (from a save that crashed before its final manifest write) still
-// endorses it.
+// shardFileMagic heads every legacy (v1) shard index file; the header line
+// also carries the canonical spec the shard was built with, so a shard file
+// overwritten under a different spec fails its load and rebuilds even when
+// a stale manifest (from a save that crashed before its final manifest
+// write) still endorses it. v2 shard files are diskfmt containers carrying
+// the spec in their binary header instead.
 const shardFileMagic = "repro-shard v1"
 
 // shard is one horizontal partition of a sharded engine: a sub-dataset of
@@ -64,6 +68,11 @@ type shard struct {
 	method   core.Method
 	restored bool
 	build    core.BuildStats
+	// Lazy first-touch loading (storage=mmap restores only): loaded flips
+	// once the shard's index is restored or rebuilt; until then every
+	// access goes through Sharded.ensureShard, serialized on loadMu.
+	loaded atomic.Bool
+	loadMu sync.Mutex
 }
 
 func (sh *shard) empty() bool { return sh.sub.Len() == 0 }
@@ -170,8 +179,16 @@ func OpenSharded(ctx context.Context, ds *graph.Dataset, shards int, opts ...Opt
 				if sh.empty() {
 					continue // nothing to load, nothing to build
 				}
+				if storageModeOf(sh.method) == core.StorageMmap {
+					// Lazy first-touch load: the manifest endorses the file,
+					// so defer even the O(header) open until a query, a
+					// mutation, or the background warmer touches the shard.
+					sh.restored = true
+					continue
+				}
 				if s.loadShardIndex(cfg.indexPath, i) {
 					sh.restored = true
+					sh.loaded.Store(true)
 					continue
 				}
 				// A failed load may have half-mutated the instance; rebuild
@@ -194,6 +211,7 @@ func OpenSharded(ctx context.Context, ds *graph.Dataset, shards int, opts ...Opt
 			return fmt.Errorf("engine: building %s shard %d/%d: %w", sh.method.Name(), i, len(s.shards), err)
 		}
 		sh.build = st
+		sh.loaded.Store(true)
 		return nil
 	})
 	buildWall := time.Since(t0)
@@ -202,7 +220,9 @@ func OpenSharded(ctx context.Context, ds *graph.Dataset, shards int, opts ...Opt
 	}
 	built, nonEmpty := false, 0
 	for _, sh := range s.shards {
-		if !sh.empty() {
+		if sh.empty() {
+			sh.loaded.Store(true) // nothing to load: always serviceable
+		} else {
 			nonEmpty++
 			if sh.restored {
 				s.restored++
@@ -234,7 +254,78 @@ func OpenSharded(ctx context.Context, ds *graph.Dataset, shards int, opts ...Opt
 			}
 		}
 	}
+	for _, sh := range s.shards {
+		if !sh.loaded.Load() {
+			// Materialize deferred shards off the open path; Ready() (and
+			// /readyz) reports false until the warmer has touched them all.
+			go s.warmShards()
+			break
+		}
+	}
 	return s, nil
+}
+
+// warmShards loads every still-deferred shard in the background so a node
+// becomes Ready without waiting for queries to touch each shard.
+func (s *Sharded) warmShards() {
+	for i := range s.shards {
+		_ = s.ensureShard(context.Background(), i)
+	}
+}
+
+// ensureShard makes shard i's index serviceable, loading it on first touch
+// when OpenSharded deferred it (storage=mmap restores). A load failure —
+// the file vanished or rotted since the manifest endorsed it — falls back
+// to rebuilding that one shard in place.
+func (s *Sharded) ensureShard(ctx context.Context, i int) error {
+	sh := s.shards[i]
+	if sh.loaded.Load() {
+		return nil
+	}
+	sh.loadMu.Lock()
+	defer sh.loadMu.Unlock()
+	if sh.loaded.Load() {
+		return nil
+	}
+	if s.loadShardIndex(s.indexPath, i) {
+		if warm, ok := sh.method.(core.Warmable); ok {
+			warm.WarmIndex()
+		}
+		sh.loaded.Store(true)
+		return nil
+	}
+	fresh, err := s.desc.New(s.params)
+	if err != nil {
+		return err
+	}
+	st, err := core.BuildTimed(ctx, fresh, sh.sub)
+	if err != nil {
+		return fmt.Errorf("engine: rebuilding %s shard %d/%d on first touch: %w",
+			fresh.Name(), i, len(s.shards), err)
+	}
+	sh.method = fresh
+	sh.build = st
+	sh.restored = false
+	if s.indexPath != "" {
+		if err := s.saveShardIndex(s.indexPath, i); err != nil {
+			return err
+		}
+	}
+	sh.loaded.Store(true)
+	return nil
+}
+
+// Ready reports whether every shard's index is serviceable without further
+// materialization — false only while lazily-deferred shards are still
+// loading (first touch or background warm). Queries are correct either
+// way: an unloaded shard loads inline when a query reaches it.
+func (s *Sharded) Ready() bool {
+	for _, sh := range s.shards {
+		if !sh.loaded.Load() {
+			return false
+		}
+	}
+	return true
 }
 
 // partition assigns every graph of ds to its ShardOf shard, re-homing it
@@ -280,10 +371,33 @@ func PartitionShard(ds *graph.Dataset, n, i int) (*graph.Dataset, []graph.ID) {
 
 // manifest renders the sharded-index manifest: a short text file binding
 // the shard files to the shard count, dataset size, epoch and structural
-// version tag, and canonical method spec they were written for.
+// version tag, canonical method spec, and per-shard on-disk format they
+// were written for. The format entry is v2 (diskfmt container) for methods
+// implementing core.SectionPersistable, v1 (gob stream) otherwise, and "-"
+// for empty shards that have no file; it is a pure function of the method,
+// so manifests compare by string equality, and a manifest written before
+// a method gained v2 support mismatches — invalidating the stale v1 shard
+// files wholesale instead of sniffing each.
 func (s *Sharded) manifest() string {
-	return fmt.Sprintf("%s\nshards %d\ngraphs %d\nepoch %d\ntag %x\nspec %s\n",
-		shardManifestMagic, len(s.shards), s.ds.Len(), s.ds.Epoch(), s.ds.VersionTag(), s.spec)
+	formats := make([]string, len(s.shards))
+	for i, sh := range s.shards {
+		switch {
+		case sh.empty():
+			formats[i] = "-"
+		case isSectionPersistable(sh.method):
+			formats[i] = "v2"
+		default:
+			formats[i] = "v1"
+		}
+	}
+	return fmt.Sprintf("%s\nshards %d\ngraphs %d\nepoch %d\ntag %x\nspec %s\nformats %s\n",
+		shardManifestMagic, len(s.shards), s.ds.Len(), s.ds.Epoch(), s.ds.VersionTag(), s.spec,
+		strings.Join(formats, ","))
+}
+
+func isSectionPersistable(m core.Method) bool {
+	_, ok := m.(core.SectionPersistable)
+	return ok
 }
 
 // manifestMatches reports whether the manifest at base matches this engine's
@@ -312,11 +426,26 @@ func (s *Sharded) writeManifest(base string) error {
 	})
 }
 
-// saveShardIndex atomically writes shard i's index file under base: a
-// header line binding it to the engine's canonical spec, then the method's
-// own persist stream.
+// saveShardIndex atomically writes shard i's index file under base.
+// Section-persistable methods get a v2 container stamped with the
+// sub-dataset's epoch/tag and the engine's canonical spec — partitioning
+// is deterministic, so another process partitioning the same parent
+// dataset computes the same stamps and can restore (or ship) the file
+// byte-for-byte. Legacy methods get the v1 form: a header line binding
+// the file to the spec, then the method's own gob stream.
 func (s *Sharded) saveShardIndex(base string, i int) error {
-	m := s.shards[i].method
+	sh := s.shards[i]
+	m := sh.method
+	if sp, ok := m.(core.SectionPersistable); ok {
+		w := diskfmt.NewWriter(sh.sub.Epoch(), sh.sub.VersionTag(), s.spec)
+		if err := sp.SaveIndexV2(w); err != nil {
+			return fmt.Errorf("engine: saving %s shard %d: %w", m.Name(), i, err)
+		}
+		return AtomicWriteFile(ShardIndexPath(base, i), func(out io.Writer) error {
+			_, err := w.WriteTo(out)
+			return err
+		})
+	}
 	persist, ok := m.(core.Persistable)
 	if !ok {
 		return fmt.Errorf("engine: %s does not support index persistence", m.Name())
@@ -337,15 +466,47 @@ func (s *Sharded) saveShardIndex(base string, i int) error {
 // content — just means this one shard rebuilds.
 func (s *Sharded) loadShardIndex(base string, i int) bool {
 	sh := s.shards[i]
+	path := ShardIndexPath(base, i)
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	var magic [8]byte
+	n, _ := io.ReadFull(f, magic[:])
+	if n == len(magic) && diskfmt.IsMagic(magic[:]) {
+		f.Close()
+		sp, ok := sh.method.(core.SectionPersistable)
+		if !ok {
+			return false
+		}
+		r, err := diskfmt.Open(path, storageModeOf(sh.method) == core.StorageMmap)
+		if err != nil {
+			return false
+		}
+		// The binary header carries what the v1 header line + manifest did:
+		// the spec the shard was built with and the sub-dataset version it
+		// was persisted at.
+		if r.Spec() != s.spec || r.Epoch() != sh.sub.Epoch() || r.Tag() != sh.sub.VersionTag() {
+			r.Close()
+			return false
+		}
+		if sp.LoadIndexV2(r, sh.sub) != nil {
+			r.Close()
+			return false
+		}
+		if storageModeOf(sh.method) != core.StorageMmap {
+			r.Close()
+		}
+		return true
+	}
+	defer f.Close()
 	persist, ok := sh.method.(core.Persistable)
 	if !ok {
 		return false
 	}
-	f, err := os.Open(ShardIndexPath(base, i))
-	if err != nil {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return false
 	}
-	defer f.Close()
 	br := bufio.NewReader(f)
 	header, err := br.ReadString('\n')
 	if err != nil || strings.TrimSuffix(header, "\n") != shardFileMagic+" "+s.spec {
@@ -502,6 +663,9 @@ func (s *Sharded) Query(ctx context.Context, q *graph.Graph) (*core.QueryResult,
 			results[i] = &core.QueryResult{}
 			return nil
 		}
+		if err := s.ensureShard(ctx, i); err != nil {
+			return err
+		}
 		proc := core.Processor{Method: sh.method, DS: sh.sub, VerifyWorkers: workers}
 		r, err := proc.QueryCtx(ctx, q)
 		if err != nil {
@@ -549,9 +713,12 @@ func (s *Sharded) querySerial(ctx context.Context, q *graph.Graph) (*core.QueryR
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	results := make([]*core.QueryResult, 0, len(s.shards))
-	for _, sh := range s.shards {
+	for i, sh := range s.shards {
 		if sh.empty() {
 			continue
+		}
+		if err := s.ensureShard(ctx, i); err != nil {
+			return nil, err
 		}
 		proc := core.Processor{Method: sh.method, DS: sh.sub, VerifyWorkers: 1}
 		r, err := proc.QueryCtx(ctx, q)
@@ -604,6 +771,10 @@ func (s *Sharded) Save(base string) error {
 	for i, sh := range s.shards {
 		if sh.empty() {
 			continue
+		}
+		// A still-deferred shard must materialize before it can serialize.
+		if err := s.ensureShard(context.Background(), i); err != nil {
+			return err
 		}
 		if err := s.saveShardIndex(base, i); err != nil {
 			return err

@@ -1,0 +1,319 @@
+package engine_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	_ "repro/internal/engine/std"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+// storageSpecs are the methods with a v2 section format behind the storage
+// parameter: every one must answer identically whether its restored index
+// is decoded eagerly (heap) or resolved lazily off the mapping (mmap).
+var storageSpecs = []string{
+	"grapes:maxPathLen=3",
+	"ggsx:maxPathLen=3",
+	"gcode:pathLen=1",
+}
+
+func queryParity(t *testing.T, stage string, queries []*graph.Graph, want, got *engine.Engine) {
+	t.Helper()
+	ctx := context.Background()
+	for i, q := range queries {
+		rw, err := want.Query(ctx, q)
+		if err != nil {
+			t.Fatalf("%s: heap query %d: %v", stage, i, err)
+		}
+		rg, err := got.Query(ctx, q)
+		if err != nil {
+			t.Fatalf("%s: mmap query %d: %v", stage, i, err)
+		}
+		if !rg.Answers.Equal(rw.Answers) {
+			t.Errorf("%s: query %d answers diverge: heap %v, mmap %v", stage, i, rw.Answers, rg.Answers)
+		}
+		if !rg.Candidates.Equal(rw.Candidates) {
+			t.Errorf("%s: query %d candidates diverge: heap %v, mmap %v", stage, i, rw.Candidates, rg.Candidates)
+		}
+	}
+}
+
+// TestMmapHeapParityEveryMethod: for every converted method, a restored
+// storage=mmap engine answers exactly like a restored storage=heap engine —
+// including after mutations force the mapped index to materialize and
+// re-persist.
+func TestMmapHeapParityEveryMethod(t *testing.T) {
+	ctx := context.Background()
+	for _, spec := range storageSpecs {
+		t.Run(spec, func(t *testing.T) {
+			ds := tinyDataset(t)
+			queries := tinyQueries(t, ds)
+			path := filepath.Join(t.TempDir(), "idx")
+
+			if _, err := engine.Open(ctx, ds, engine.WithSpec(spec), engine.WithIndexPath(path)); err != nil {
+				t.Fatalf("build open: %v", err)
+			}
+			heap, err := engine.Open(ctx, ds, engine.WithSpec(spec+",storage=heap"), engine.WithIndexPath(path))
+			if err != nil {
+				t.Fatalf("heap open: %v", err)
+			}
+			if !heap.Restored() {
+				t.Fatalf("heap open rebuilt instead of restoring")
+			}
+			mm, err := engine.Open(ctx, ds, engine.WithSpec(spec+",storage=mmap"), engine.WithIndexPath(path))
+			if err != nil {
+				t.Fatalf("mmap open: %v", err)
+			}
+			if !mm.Restored() {
+				t.Fatalf("mmap open rebuilt instead of restoring")
+			}
+			queryParity(t, "restored", queries, heap, mm)
+
+			// Mutations splice heap structures, so they force a mapped index
+			// to materialize and then re-persist at the new epoch+tag. (The
+			// heap engine above shares the dataset and goes stale — a fresh
+			// engine restores the re-persisted file for comparison.)
+			if _, err := mm.AddGraph(ctx, ds.Graphs[1].ShallowWithID(0)); err != nil {
+				t.Fatalf("AddGraph: %v", err)
+			}
+			if err := mm.RemoveGraph(ctx, 0); err != nil {
+				t.Fatalf("RemoveGraph: %v", err)
+			}
+			heap2, err := engine.Open(ctx, ds, engine.WithSpec(spec+",storage=heap"), engine.WithIndexPath(path))
+			if err != nil {
+				t.Fatalf("heap open after mutation: %v", err)
+			}
+			if !heap2.Restored() {
+				t.Fatalf("mutation did not re-persist a restorable v2 index")
+			}
+			queryParity(t, "mutated", queries, heap2, mm)
+			mm2, err := engine.Open(ctx, ds, engine.WithSpec(spec+",storage=mmap"), engine.WithIndexPath(path))
+			if err != nil {
+				t.Fatalf("mmap open after mutation: %v", err)
+			}
+			if !mm2.Restored() {
+				t.Fatalf("mmap open after mutation rebuilt instead of restoring")
+			}
+			queryParity(t, "mutated-reopen", queries, heap2, mm2)
+		})
+	}
+}
+
+// TestMmapHeapParitySharded: a sharded engine restored with storage=mmap —
+// every shard deferred to first touch — answers exactly like its heap twin.
+func TestMmapHeapParitySharded(t *testing.T) {
+	ctx := context.Background()
+	for _, spec := range storageSpecs {
+		t.Run(spec, func(t *testing.T) {
+			ds := tinyDataset(t)
+			queries := tinyQueries(t, ds)
+			base := filepath.Join(t.TempDir(), "idx")
+
+			if _, err := engine.OpenSharded(ctx, ds, 3, engine.WithSpec(spec), engine.WithIndexPath(base)); err != nil {
+				t.Fatalf("build open: %v", err)
+			}
+			heap, err := engine.OpenSharded(ctx, ds, 3, engine.WithSpec(spec+",storage=heap"), engine.WithIndexPath(base))
+			if err != nil {
+				t.Fatalf("heap open: %v", err)
+			}
+			if !heap.Restored() {
+				t.Fatalf("heap open rebuilt instead of restoring")
+			}
+			mm, err := engine.OpenSharded(ctx, ds, 3, engine.WithSpec(spec+",storage=mmap"), engine.WithIndexPath(base))
+			if err != nil {
+				t.Fatalf("mmap open: %v", err)
+			}
+			if !mm.Restored() {
+				t.Fatalf("mmap open rebuilt instead of restoring")
+			}
+			for i, q := range queries {
+				rw, err := heap.Query(ctx, q)
+				if err != nil {
+					t.Fatalf("heap query %d: %v", i, err)
+				}
+				rg, err := mm.Query(ctx, q)
+				if err != nil {
+					t.Fatalf("mmap query %d: %v", i, err)
+				}
+				if !rg.Answers.Equal(rw.Answers) {
+					t.Errorf("query %d answers diverge: heap %v, mmap %v", i, rw.Answers, rg.Answers)
+				}
+			}
+			waitReady(t, mm.Ready)
+		})
+	}
+}
+
+func waitReady(t *testing.T, ready func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !ready() {
+		if time.Now().After(deadline) {
+			t.Fatalf("engine never became ready")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestEngineReadiness: a heap open is ready immediately; an mmap open may
+// warm in the background but must converge to ready.
+func TestEngineReadiness(t *testing.T) {
+	ctx := context.Background()
+	ds := tinyDataset(t)
+	path := filepath.Join(t.TempDir(), "idx")
+	if _, err := engine.Open(ctx, ds, engine.WithSpec("grapes"), engine.WithIndexPath(path)); err != nil {
+		t.Fatal(err)
+	}
+	heap, err := engine.Open(ctx, ds, engine.WithSpec("grapes:storage=heap"), engine.WithIndexPath(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !heap.Ready() {
+		t.Fatalf("heap engine not ready after open")
+	}
+	mm, err := engine.Open(ctx, ds, engine.WithSpec("grapes:storage=mmap"), engine.WithIndexPath(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitReady(t, mm.Ready)
+}
+
+// TestMmapOpenIsLazyColdStart is the cold-start smoke: an mmap open must
+// not decode the index — resident bytes are zero until the first query
+// faults postings in, and stay below the fully-decoded heap footprint.
+func TestMmapOpenIsLazyColdStart(t *testing.T) {
+	ctx := context.Background()
+	ds := gen.Synthetic(gen.SynthConfig{
+		NumGraphs: 120, MeanNodes: 18, MeanDensity: 0.18, NumLabels: 5, Seed: 7,
+	})
+	queries, err := workload.Generate(ds, workload.Config{NumQueries: 3, QueryEdges: 4, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "idx")
+	if _, err := engine.Open(ctx, ds, engine.WithSpec("grapes"), engine.WithIndexPath(path)); err != nil {
+		t.Fatal(err)
+	}
+	heap, err := engine.Open(ctx, ds, engine.WithSpec("grapes:storage=heap"), engine.WithIndexPath(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	heapSize := heap.Method().SizeBytes()
+	if heapSize <= 0 {
+		t.Fatalf("heap SizeBytes = %d, want > 0", heapSize)
+	}
+	mm, err := engine.Open(ctx, ds, engine.WithSpec("grapes:storage=mmap"), engine.WithIndexPath(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mm.Restored() {
+		t.Fatalf("mmap open rebuilt instead of restoring")
+	}
+	if got := mm.Method().SizeBytes(); got != 0 {
+		t.Fatalf("mmap open materialized %d resident bytes before any query", got)
+	}
+	for i, q := range queries {
+		rw, err := heap.Query(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rg, err := mm.Query(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rg.Answers.Equal(rw.Answers) {
+			t.Errorf("query %d answers diverge between heap and mmap", i)
+		}
+	}
+	grown := mm.Method().SizeBytes()
+	if grown <= 0 {
+		t.Fatalf("resident bytes did not grow after queries")
+	}
+	if grown >= heapSize {
+		t.Fatalf("lazy resident %d >= full heap footprint %d; nothing stayed on disk", grown, heapSize)
+	}
+}
+
+// TestCorruptV2FileRebuilds: a truncated or bit-flipped v2 index file must
+// trigger a clean rebuild — never a decode panic or silently wrong answers.
+func TestCorruptV2FileRebuilds(t *testing.T) {
+	ctx := context.Background()
+	ds := tinyDataset(t)
+	queries := tinyQueries(t, ds)
+	path := filepath.Join(t.TempDir(), "idx")
+	built, err := engine.Open(ctx, ds, engine.WithSpec("grapes"), engine.WithIndexPath(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]graph.IDSet, len(queries))
+	for i, q := range queries {
+		r, err := built.Query(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r.Answers
+	}
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name    string
+		corrupt func([]byte) []byte
+		modes   []string
+	}{
+		// Both modes catch a truncated tail at open: the section table
+		// points past the end of the file.
+		{"truncated-tail", func(b []byte) []byte { return b[:len(b)*3/5] }, []string{"heap", "mmap"}},
+		// A payload bit-flip fails heap's eager CRC pass. (mmap defers bulk
+		// payloads past the CRC by design, so it is not asserted here.)
+		{"bit-flip", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)/2] ^= 0x40
+			return c
+		}, []string{"heap"}},
+		{"garbage-header", func([]byte) []byte { return []byte("not an index at all") }, []string{"heap", "mmap"}},
+	}
+	for _, tc := range cases {
+		for _, mode := range tc.modes {
+			t.Run(tc.name+"/"+mode, func(t *testing.T) {
+				if err := os.WriteFile(path, tc.corrupt(pristine), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				spec := fmt.Sprintf("grapes:storage=%s", mode)
+				eng, err := engine.Open(ctx, ds, engine.WithSpec(spec), engine.WithIndexPath(path))
+				if err != nil {
+					t.Fatalf("open over corrupt file: %v", err)
+				}
+				if eng.Restored() {
+					t.Fatalf("engine trusted a corrupt index file")
+				}
+				for i, q := range queries {
+					r, err := eng.Query(ctx, q)
+					if err != nil {
+						t.Fatalf("query %d after rebuild: %v", i, err)
+					}
+					if !r.Answers.Equal(want[i]) {
+						t.Errorf("query %d answers wrong after rebuild", i)
+					}
+				}
+				// The rebuild overwrote the corrupt file with a good one.
+				again, err := engine.Open(ctx, ds, engine.WithSpec(spec), engine.WithIndexPath(path))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !again.Restored() {
+					t.Fatalf("rebuild did not overwrite the corrupt index")
+				}
+			})
+		}
+	}
+}

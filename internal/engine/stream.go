@@ -198,6 +198,9 @@ func (s *Sharded) StreamOpts(ctx context.Context, q *graph.Graph, opts core.Stre
 			if sh.empty() {
 				return nil
 			}
+			if err := s.ensureShard(ctx, i); err != nil {
+				return err
+			}
 			p, err := core.NewPlan(ctx, sh.method, sh.sub, q)
 			if err != nil {
 				return err

@@ -15,6 +15,7 @@ package gcode
 
 import (
 	"context"
+	"encoding/binary"
 	"iter"
 	"math"
 	"sort"
@@ -40,6 +41,11 @@ type Options struct {
 	PathLen int
 	// NumEigenvalues is the number of top eigenvalues kept (paper: 2).
 	NumEigenvalues int
+	// Storage selects how a persisted index is held when restored:
+	// core.StorageHeap (default) decodes eagerly, core.StorageMmap keeps
+	// the v2 container mapped, scans summaries in place, and materializes
+	// vertex signatures lazily.
+	Storage string
 }
 
 func (o *Options) fill() {
@@ -91,8 +97,21 @@ type graphCode struct {
 	sigs      []vertexSignature
 }
 
+// codeSummary is the phase-1 slice of a graph code: everything dominance
+// filtering needs, without the vertex signatures. Heap codes view their
+// graphCode fields directly; lazy codes decode it in place from the
+// mapped summary table.
+type codeSummary struct {
+	id        graph.ID
+	nVertices int32
+	nEdges    int32
+	labelBits uint32
+	nbrBits   uint32
+	maxEig    []float64
+}
+
 // dominatesQ is the phase-1 test.
-func (d *graphCode) dominatesQ(q *graphCode) bool {
+func (d *codeSummary) dominatesQ(q *graphCode) bool {
 	if d.nVertices < q.nVertices || d.nEdges < q.nEdges {
 		return false
 	}
@@ -111,7 +130,72 @@ func (d *graphCode) dominatesQ(q *graphCode) bool {
 type Index struct {
 	opts  Options
 	codes []graphCode // sorted by (labelBits, id): the "balanced search tree"
+	// lazy, when non-nil, backs the code table with a mapped v2 container
+	// (storage=mmap): codes is nil and the table resolves through view.
+	lazy  *lazyCodes
 	built bool
+}
+
+// codeView is a single-query read view over the code table, uniform
+// across heap and lazy storage. Not safe for concurrent use (the lazy
+// form reuses an eigenvalue scratch buffer); each query takes its own.
+type codeView struct {
+	codes []graphCode // heap form
+	lz    *lazyCodes  // lazy form
+	eig   []float64   // lazy summary decode scratch
+}
+
+// view captures the current storage form. For a lazy index this fetches
+// the mapped sections once (under the store lock), so the per-code
+// accessors below need no further synchronization to read them.
+func (ix *Index) view() (codeView, error) {
+	if lz := ix.lazy; lz != nil {
+		lz.mu.Lock()
+		err := lz.fetchSections()
+		lz.mu.Unlock()
+		if err != nil {
+			return codeView{}, err
+		}
+		return codeView{lz: lz, eig: make([]float64, lz.numEig)}, nil
+	}
+	return codeView{codes: ix.codes}, nil
+}
+
+func (v *codeView) n() int {
+	if v.lz != nil {
+		return v.lz.nCodes
+	}
+	return len(v.codes)
+}
+
+// id returns code i's graph id without decoding the rest of the summary.
+func (v *codeView) id(i int) graph.ID {
+	if v.lz != nil {
+		return graph.ID(binary.LittleEndian.Uint32(v.lz.summaries[i*v.lz.summaryStride():]))
+	}
+	return v.codes[i].id
+}
+
+// summary returns code i's phase-1 fields. The lazy form decodes into the
+// view's scratch buffer, valid until the next summary call.
+func (v *codeView) summary(i int) codeSummary {
+	if v.lz != nil {
+		return v.lz.summaryAt(i, v.eig)
+	}
+	gc := &v.codes[i]
+	return codeSummary{
+		id: gc.id, nVertices: gc.nVertices, nEdges: gc.nEdges,
+		labelBits: gc.labelBits, nbrBits: gc.nbrBits, maxEig: gc.maxEig,
+	}
+}
+
+// sigs returns code i's vertex signatures, materializing them on first
+// touch in the lazy form.
+func (v *codeView) sigs(i int) ([]vertexSignature, error) {
+	if v.lz != nil {
+		return v.lz.sigsAt(i)
+	}
+	return v.codes[i].sigs, nil
 }
 
 // New returns an unbuilt gCode index.
@@ -238,16 +322,24 @@ func (ix *Index) Candidates(q *graph.Graph) (graph.IDSet, error) {
 		return nil, core.ErrNotBuilt
 	}
 	qc := ix.encode(q)
+	v, err := ix.view()
+	if err != nil {
+		return nil, err
+	}
 	var out graph.IDSet
-	for i := range ix.codes {
-		gc := &ix.codes[i]
-		if !gc.dominatesQ(&qc) {
+	for i, n := 0, v.n(); i < n; i++ {
+		s := v.summary(i)
+		if !s.dominatesQ(&qc) {
 			continue
 		}
-		if !signatureMatch(qc.sigs, gc.sigs) {
+		sigs, err := v.sigs(i)
+		if err != nil {
+			return nil, err
+		}
+		if !signatureMatch(qc.sigs, sigs) {
 			continue
 		}
-		out = append(out, gc.id)
+		out = append(out, s.id)
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
 	return out, nil
@@ -269,25 +361,33 @@ func (ix *Index) CandidateChunks(q *graph.Graph) (iter.Seq[graph.IDSet], error) 
 		return nil, core.ErrNotBuilt
 	}
 	qc := ix.encode(q)
-	byID := make([]int32, len(ix.codes))
+	v, err := ix.view()
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]graph.ID, v.n())
+	byID := make([]int32, len(ids))
 	for i := range byID {
+		ids[i] = v.id(i)
 		byID[i] = int32(i)
 	}
-	codes := ix.codes
-	sort.Slice(byID, func(a, b int) bool { return codes[byID[a]].id < codes[byID[b]].id })
+	sort.Slice(byID, func(a, b int) bool { return ids[byID[a]] < ids[byID[b]] })
 	return func(yield func(graph.IDSet) bool) {
 		for lo := 0; lo < len(byID); lo += scanChunk {
 			hi := min(lo+scanChunk, len(byID))
 			var chunk graph.IDSet
 			for _, pos := range byID[lo:hi] {
-				gc := &codes[pos]
-				if !gc.dominatesQ(&qc) {
+				s := v.summary(int(pos))
+				if !s.dominatesQ(&qc) {
 					continue
 				}
-				if !signatureMatch(qc.sigs, gc.sigs) {
+				// A signature decode failure mid-stream conservatively keeps
+				// the candidate: the filter may produce false positives
+				// (verification prunes them), never false negatives.
+				if sigs, err := v.sigs(int(pos)); err == nil && !signatureMatch(qc.sigs, sigs) {
 					continue
 				}
-				chunk = append(chunk, gc.id)
+				chunk = append(chunk, s.id)
 			}
 			if len(chunk) > 0 && !yield(chunk) {
 				return
@@ -344,8 +444,12 @@ func signatureMatch(qs, gs []vertexSignature) bool {
 	return true
 }
 
-// SizeBytes implements core.Method.
+// SizeBytes implements core.Method. A lazily-opened index reports only
+// the materialized signature blocks.
 func (ix *Index) SizeBytes() int64 {
+	if ix.lazy != nil {
+		return ix.lazy.residentBytes()
+	}
 	var sz int64
 	for i := range ix.codes {
 		gc := &ix.codes[i]

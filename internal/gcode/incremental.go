@@ -23,6 +23,11 @@ func (ix *Index) AddGraphToIndex(g *graph.Graph) error {
 	if !ix.built {
 		return core.ErrNotBuilt
 	}
+	// Mutation splices the sorted code table in place; a mapped table
+	// materializes into heap form first so the splice has somewhere to live.
+	if err := ix.materializeAll(); err != nil {
+		return err
+	}
 	gc := ix.encode(g)
 	i := sort.Search(len(ix.codes), func(i int) bool { return !codeLess(&ix.codes[i], &gc) })
 	ix.codes = append(ix.codes, graphCode{})
@@ -38,6 +43,9 @@ func (ix *Index) AddGraphToIndex(g *graph.Graph) error {
 func (ix *Index) RemoveGraphFromIndex(id graph.ID) error {
 	if !ix.built {
 		return core.ErrNotBuilt
+	}
+	if err := ix.materializeAll(); err != nil {
+		return err
 	}
 	for i := range ix.codes {
 		if ix.codes[i].id == id {

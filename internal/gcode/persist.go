@@ -40,6 +40,9 @@ func (ix *Index) SaveIndex(w io.Writer) error {
 	if !ix.built {
 		return fmt.Errorf("gcode: save before Build")
 	}
+	if err := ix.materializeAll(); err != nil {
+		return err
+	}
 	dto := indexDTO{PathLen: ix.opts.PathLen, NumEigenvalues: ix.opts.NumEigenvalues}
 	for i := range ix.codes {
 		gc := &ix.codes[i]
@@ -73,8 +76,9 @@ func (ix *Index) LoadIndex(r io.Reader, ds *graph.Dataset) error {
 	if len(dto.Codes) != ds.NumAlive() {
 		return fmt.Errorf("gcode: load: index covers %d graphs, dataset has %d live", len(dto.Codes), ds.NumAlive())
 	}
-	ix.opts = Options{PathLen: dto.PathLen, NumEigenvalues: dto.NumEigenvalues}
+	ix.opts = Options{PathLen: dto.PathLen, NumEigenvalues: dto.NumEigenvalues, Storage: ix.opts.Storage}
 	ix.opts.fill()
+	ix.lazy = nil
 	ix.codes = make([]graphCode, len(dto.Codes))
 	for i, cd := range dto.Codes {
 		gc := graphCode{

@@ -18,12 +18,16 @@ func init() {
 		Fields: []engine.Field{
 			{Name: "pathLen", Kind: engine.Int, Default: DefaultPathLen, Help: "level of the per-vertex path tree"},
 			{Name: "numEigenvalues", Kind: engine.Int, Default: DefaultNumEigenvalues, Help: "top eigenvalues kept per signature"},
+			{Name: "storage", Kind: engine.String, Default: core.StorageHeap, Runtime: true,
+				Help: "how a restored index is held: heap (eager decode) or mmap (lazy, paged)"},
 		},
 		Factory: func(p engine.Params) (core.Method, error) {
 			return New(Options{
 				PathLen:        p.Int("pathLen"),
 				NumEigenvalues: p.Int("numEigenvalues"),
+				Storage:        p.String("storage"),
 			}), nil
 		},
+		Check: engine.CheckStorageField,
 	})
 }

@@ -27,6 +27,10 @@ const DefaultMaxPathLen = 4
 type Options struct {
 	// MaxPathLen is the maximum path feature size in edges (paper: 4).
 	MaxPathLen int
+	// Storage selects how a persisted index is held when restored:
+	// core.StorageHeap (default) decodes eagerly, core.StorageMmap keeps
+	// the v2 container mapped and materializes trie nodes lazily.
+	Storage string
 }
 
 func (o *Options) fill() {
@@ -77,8 +81,11 @@ func (n *node) finalize() {
 
 // Index is a built GraphGrepSX index. Create with New, then Build.
 type Index struct {
-	opts  Options
-	root  *node
+	opts Options
+	root *node
+	// lazy, when non-nil, backs the trie with a mapped v2 container
+	// (storage=mmap): root is nil and nodes resolve through rootRef/child.
+	lazy  *lazyTrie
 	nGr   int
 	built bool
 }
@@ -163,37 +170,51 @@ func (ix *Index) Candidates(q *graph.Graph) (graph.IDSet, error) {
 		return nil, core.ErrNotBuilt
 	}
 	qt := buildQueryTrie(q, ix.opts.MaxPathLen)
+	root, err := ix.rootRef()
+	if err != nil {
+		return nil, err
+	}
 	cands := graph.UniverseIDSet(ix.nGr)
-	ok := matchTries(qt, ix.root, &cands)
+	ok, err := matchTries(qt, root, &cands)
+	if err != nil {
+		return nil, err
+	}
 	if !ok {
 		return graph.IDSet{}, nil
 	}
 	return cands, nil
 }
 
-// pathConstraint is one query trie node's dominance requirement against its
-// matching index node, gathered eagerly so the per-graph evaluation can run
-// lazily in candidate-major order.
+// pathConstraint is one query trie node's dominance requirement against
+// its matching index node's postings, gathered eagerly so the per-graph
+// evaluation can run lazily in candidate-major order.
 type pathConstraint struct {
-	n    *node
-	need int32
+	ids    graph.IDSet
+	counts []int32
+	need   int32
 }
 
-// gatherConstraints collects every query trie node's (index node, count)
+// gatherConstraints collects every query trie node's (postings, count)
 // constraint, returning false as soon as a query path is missing from the
-// index (no graph can contain the query).
-func gatherConstraints(qt *queryTrie, ixn *node, cons *[]pathConstraint) bool {
+// index (no graph can contain the query). In lazy mode this materializes
+// exactly the index nodes the query trie reaches.
+func gatherConstraints(qt *queryTrie, ixn trieRef, cons *[]pathConstraint) (bool, error) {
 	for l, qc := range qt.children {
-		ic, ok := ixn.children[l]
-		if !ok {
-			return false
+		ic, ok, err := ixn.child(l)
+		if err != nil {
+			return false, err
 		}
-		*cons = append(*cons, pathConstraint{n: ic, need: qc.count})
-		if !gatherConstraints(qc, ic, cons) {
-			return false
+		if !ok {
+			return false, nil
+		}
+		ids, counts := ic.postings()
+		*cons = append(*cons, pathConstraint{ids: ids, counts: counts, need: qc.count})
+		ok, err = gatherConstraints(qc, ic, cons)
+		if err != nil || !ok {
+			return false, err
 		}
 	}
-	return true
+	return true, nil
 }
 
 // chunkSize is the lazy producer's emission granularity.
@@ -213,8 +234,16 @@ func (ix *Index) CandidateChunks(q *graph.Graph) (iter.Seq[graph.IDSet], error) 
 		return nil, core.ErrNotBuilt
 	}
 	qt := buildQueryTrie(q, ix.opts.MaxPathLen)
+	root, err := ix.rootRef()
+	if err != nil {
+		return nil, err
+	}
 	var cons []pathConstraint
-	if !gatherConstraints(qt, ix.root, &cons) {
+	ok, err := gatherConstraints(qt, root, &cons)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
 		return func(yield func(graph.IDSet) bool) {}, nil
 	}
 	if len(cons) == 0 {
@@ -236,7 +265,7 @@ func (ix *Index) CandidateChunks(q *graph.Graph) (iter.Seq[graph.IDSet], error) 
 	}
 	drv := 0
 	for k := range cons {
-		if len(cons[k].n.ids) < len(cons[drv].n.ids) {
+		if len(cons[k].ids) < len(cons[drv].ids) {
 			drv = k
 		}
 	}
@@ -245,17 +274,17 @@ func (ix *Index) CandidateChunks(q *graph.Graph) (iter.Seq[graph.IDSet], error) 
 	return func(yield func(graph.IDSet) bool) {
 		js := make([]int, len(others))
 		var chunk graph.IDSet
-		for i, id := range driver.n.ids {
-			if driver.n.counts[i] >= driver.need {
+		for i, id := range driver.ids {
+			if driver.counts[i] >= driver.need {
 				ok := true
 				for k := range others {
 					c := &others[k]
 					j := js[k]
-					for j < len(c.n.ids) && c.n.ids[j] < id {
+					for j < len(c.ids) && c.ids[j] < id {
 						j++
 					}
 					js[k] = j
-					if j >= len(c.n.ids) || c.n.ids[j] != id || c.n.counts[j] < c.need {
+					if j >= len(c.ids) || c.ids[j] != id || c.counts[j] < c.need {
 						ok = false
 						break
 					}
@@ -280,40 +309,50 @@ func (ix *Index) CandidateChunks(q *graph.Graph) (iter.Seq[graph.IDSet], error) 
 // matchTries intersects, into cands, the dominating-graph set of every query
 // trie node. It returns false as soon as a query path is missing from the
 // index (no graph can contain the query).
-func matchTries(qt *queryTrie, ixn *node, cands *graph.IDSet) bool {
+func matchTries(qt *queryTrie, ixn trieRef, cands *graph.IDSet) (bool, error) {
 	for l, qc := range qt.children {
-		ic, ok := ixn.children[l]
+		ic, ok, err := ixn.child(l)
+		if err != nil {
+			return false, err
+		}
 		if !ok {
-			return false
+			return false, nil
 		}
-		*cands = intersectDominating(*cands, ic, qc.count)
+		ids, counts := ic.postings()
+		*cands = intersectDominating(*cands, ids, counts, qc.count)
 		if len(*cands) == 0 {
-			return false
+			return false, nil
 		}
-		if !matchTries(qc, ic, cands) {
-			return false
+		ok, err = matchTries(qc, ic, cands)
+		if err != nil || !ok {
+			return false, err
 		}
 	}
-	return true
+	return true, nil
 }
 
-// intersectDominating keeps the ids in cands whose count in n is >= need.
-func intersectDominating(cands graph.IDSet, n *node, need int32) graph.IDSet {
+// intersectDominating keeps the ids in cands whose count in the posting is
+// >= need.
+func intersectDominating(cands graph.IDSet, ids graph.IDSet, counts []int32, need int32) graph.IDSet {
 	out := cands[:0]
 	j := 0
 	for _, id := range cands {
-		for j < len(n.ids) && n.ids[j] < id {
+		for j < len(ids) && ids[j] < id {
 			j++
 		}
-		if j < len(n.ids) && n.ids[j] == id && n.counts[j] >= need {
+		if j < len(ids) && ids[j] == id && counts[j] >= need {
 			out = append(out, id)
 		}
 	}
 	return out
 }
 
-// SizeBytes implements core.Method.
+// SizeBytes implements core.Method. A lazily-opened index reports only
+// the materialized nodes.
 func (ix *Index) SizeBytes() int64 {
+	if ix.lazy != nil {
+		return ix.lazy.residentBytes()
+	}
 	var walk func(n *node) int64
 	walk = func(n *node) int64 {
 		sz := int64(len(n.ids))*4 + int64(len(n.counts))*4 + 64
@@ -330,6 +369,9 @@ func (ix *Index) SizeBytes() int64 {
 
 // NumNodes returns the number of trie nodes (excluding the root).
 func (ix *Index) NumNodes() int {
+	if ix.lazy != nil {
+		return ix.lazy.nodeCount
+	}
 	var walk func(n *node) int
 	walk = func(n *node) int {
 		total := 0

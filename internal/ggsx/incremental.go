@@ -18,6 +18,11 @@ func (ix *Index) AddGraphToIndex(g *graph.Graph) error {
 	if !ix.built {
 		return core.ErrNotBuilt
 	}
+	// Mutation splices postings in place; a mapped trie materializes into
+	// heap form first so the splice has somewhere to live.
+	if err := ix.materializeAll(); err != nil {
+		return err
+	}
 	id := g.ID()
 	stack := make([]*node, 1, ix.opts.MaxPathLen+2)
 	stack[0] = ix.root
@@ -43,6 +48,9 @@ func (ix *Index) AddGraphToIndex(g *graph.Graph) error {
 func (ix *Index) RemoveGraphFromIndex(id graph.ID) error {
 	if !ix.built {
 		return core.ErrNotBuilt
+	}
+	if err := ix.materializeAll(); err != nil {
+		return err
 	}
 	pruneID(ix.root, id)
 	return nil

@@ -69,6 +69,9 @@ func (ix *Index) SaveIndex(w io.Writer) error {
 	if !ix.built {
 		return fmt.Errorf("ggsx: save before Build")
 	}
+	if err := ix.materializeAll(); err != nil {
+		return err
+	}
 	dto := indexDTO{
 		MaxPathLen: ix.opts.MaxPathLen,
 		NumGraphs:  ix.nGr,
@@ -90,9 +93,10 @@ func (ix *Index) LoadIndex(r io.Reader, ds *graph.Dataset) error {
 	if err != nil {
 		return err
 	}
-	ix.opts = Options{MaxPathLen: dto.MaxPathLen}
+	ix.opts = Options{MaxPathLen: dto.MaxPathLen, Storage: ix.opts.Storage}
 	ix.opts.fill()
 	ix.root = root
+	ix.lazy = nil
 	ix.nGr = dto.NumGraphs
 	ix.built = true
 	return nil

@@ -18,9 +18,12 @@ func init() {
 			"plain VF2 over whole graphs.",
 		Fields: []engine.Field{
 			{Name: "maxPathLen", Kind: engine.Int, Default: DefaultMaxPathLen, Help: "maximum path feature size in edges"},
+			{Name: "storage", Kind: engine.String, Default: core.StorageHeap, Runtime: true,
+				Help: "how a restored index is held: heap (eager decode) or mmap (lazy, paged)"},
 		},
 		Factory: func(p engine.Params) (core.Method, error) {
-			return New(Options{MaxPathLen: p.Int("maxPathLen")}), nil
+			return New(Options{MaxPathLen: p.Int("maxPathLen"), Storage: p.String("storage")}), nil
 		},
+		Check: engine.CheckStorageField,
 	})
 }

@@ -38,6 +38,10 @@ type Options struct {
 	MaxPathLen int
 	// Workers is the build/verify parallelism (paper: 6 threads).
 	Workers int
+	// Storage selects how a persisted index is held when restored:
+	// core.StorageHeap (default) decodes eagerly, core.StorageMmap keeps
+	// the v2 container mapped and materializes postings lazily.
+	Storage string
 }
 
 func (o *Options) fill() {
@@ -74,7 +78,43 @@ type Index struct {
 	// vertex -> component id array, with compCount[g] components.
 	comps     [][]int32
 	compCount []int
-	built     bool
+	// lazy, when non-nil, backs the index with a mapped v2 container
+	// (storage=mmap): features/comps/compCount above are nil and every
+	// access goes through the indirection helpers below.
+	lazy  *lazyStore
+	built bool
+}
+
+// postingCard returns a feature's posting cardinality (0 when absent)
+// without materializing the posting in lazy mode.
+func (ix *Index) postingCard(key canon.Key) int {
+	if ix.lazy != nil {
+		return ix.lazy.card(key)
+	}
+	if p := ix.features[key]; p != nil {
+		return len(p.ids)
+	}
+	return 0
+}
+
+// getPosting resolves a feature's posting, materializing it on first
+// touch in lazy mode. A nil posting with nil error means "absent".
+func (ix *Index) getPosting(key canon.Key) (*posting, error) {
+	if ix.lazy != nil {
+		return ix.lazy.posting(key)
+	}
+	return ix.features[key], nil
+}
+
+// compsOf returns graph id's vertex→component table and component count.
+func (ix *Index) compsOf(id graph.ID) ([]int32, int) {
+	if ix.lazy != nil {
+		return ix.lazy.compsOf(id)
+	}
+	if int(id) < 0 || int(id) >= len(ix.comps) {
+		return nil, 0
+	}
+	return ix.comps[id], ix.compCount[id]
 }
 
 // New returns an unbuilt Grapes index.
@@ -232,15 +272,10 @@ func (ix *Index) extractQueryFeatures(q *graph.Graph) []queryFeature {
 		out = append(out, queryFeature{key: k, count: c})
 	}
 	// Deterministic order, rarest feature first for cheap intersections.
+	// Cardinalities come from the posting directory, so in lazy mode this
+	// never materializes a posting.
 	sort.Slice(out, func(a, b int) bool {
-		pa, pb := ix.features[out[a].key], ix.features[out[b].key]
-		la, lb := 0, 0
-		if pa != nil {
-			la = len(pa.ids)
-		}
-		if pb != nil {
-			lb = len(pb.ids)
-		}
+		la, lb := ix.postingCard(out[a].key), ix.postingCard(out[b].key)
 		if la != lb {
 			return la < lb
 		}
@@ -277,7 +312,10 @@ func (ix *Index) PlanQuery(q *graph.Graph) (core.QueryPlan, error) {
 	plan.qf = qf
 	plan.postings = make([]*posting, len(qf))
 	for k, f := range qf {
-		p := ix.features[f.key]
+		p, err := ix.getPosting(f.key)
+		if err != nil {
+			return nil, err
+		}
 		if p == nil {
 			plan.empty = true // some feature absent everywhere: no candidates
 			return plan, nil
@@ -357,8 +395,9 @@ func (p *queryPlan) Chunks() iter.Seq[graph.IDSet] {
 			if first.locs[i].count < p.qf[0].count {
 				continue
 			}
-			viable := make([]bool, p.ix.compCount[id])
-			markComponents(viable, p.ix.comps[id], first.locs[i].starts)
+			comp, compCount := p.ix.compsOf(id)
+			viable := make([]bool, compCount)
+			markComponents(viable, comp, first.locs[i].starts)
 			if !anyTrue(viable) {
 				continue
 			}
@@ -376,8 +415,8 @@ func (p *queryPlan) Chunks() iter.Seq[graph.IDSet] {
 					break
 				}
 				touched = touched[:0]
-				touched = append(touched, make([]bool, p.ix.compCount[id])...)
-				markComponents(touched, p.ix.comps[id], pp.locs[j].starts)
+				touched = append(touched, make([]bool, compCount)...)
+				markComponents(touched, comp, pp.locs[j].starts)
 				still := false
 				for c := range viable {
 					viable[c] = viable[c] && touched[c]
@@ -419,7 +458,7 @@ func (p *queryPlan) Verify(id graph.ID) bool {
 	p.mu.Lock()
 	viable := p.states[id]
 	p.mu.Unlock()
-	comp := p.ix.comps[id]
+	comp, _ := p.ix.compsOf(id)
 	var targets []int
 	for c, ok := range viable {
 		if ok {
@@ -469,8 +508,13 @@ func (p *queryPlan) verifyComponent(g *graph.Graph, comp []int32, c int) bool {
 	return subiso.ExistsRestricted(p.q, g, allowed)
 }
 
-// SizeBytes implements core.Method.
+// SizeBytes implements core.Method. A lazily-opened index reports only
+// what has been materialized into the heap, which is the point of
+// storage=mmap: the mapped file is the OS page cache's problem.
 func (ix *Index) SizeBytes() int64 {
+	if ix.lazy != nil {
+		return ix.lazy.residentBytes()
+	}
 	var sz int64
 	for key, p := range ix.features {
 		sz += int64(len(key)) + 48
@@ -486,4 +530,9 @@ func (ix *Index) SizeBytes() int64 {
 }
 
 // NumFeatures returns the number of distinct indexed path features.
-func (ix *Index) NumFeatures() int { return len(ix.features) }
+func (ix *Index) NumFeatures() int {
+	if ix.lazy != nil {
+		return ix.lazy.numFeatures()
+	}
+	return len(ix.features)
+}

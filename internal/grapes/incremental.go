@@ -20,6 +20,12 @@ func (ix *Index) AddGraphToIndex(g *graph.Graph) error {
 	if !ix.built {
 		return core.ErrNotBuilt
 	}
+	// A lazily-opened index materializes fully before its first mutation:
+	// the splice below mutates heap postings, which mapped sections cannot
+	// back. The engine re-persists after mutations, writing plain v2.
+	if err := ix.materializeAll(); err != nil {
+		return err
+	}
 	id := g.ID()
 	for int(id) >= len(ix.comps) {
 		ix.comps = append(ix.comps, nil)
@@ -47,6 +53,9 @@ func (ix *Index) AddGraphToIndex(g *graph.Graph) error {
 func (ix *Index) RemoveGraphFromIndex(id graph.ID) error {
 	if !ix.built {
 		return core.ErrNotBuilt
+	}
+	if err := ix.materializeAll(); err != nil {
+		return err
 	}
 	for key, p := range ix.features {
 		i := sort.Search(len(p.ids), func(i int) bool { return p.ids[i] >= id })

@@ -32,6 +32,9 @@ func (ix *Index) SaveIndex(w io.Writer) error {
 	if !ix.built {
 		return fmt.Errorf("grapes: save before Build")
 	}
+	if err := ix.materializeAll(); err != nil {
+		return err
+	}
 	dto := indexDTO{
 		MaxPathLen: ix.opts.MaxPathLen,
 		Workers:    ix.opts.Workers,
@@ -73,8 +76,9 @@ func (ix *Index) LoadIndex(r io.Reader, ds *graph.Dataset) error {
 				i, ds.Graphs[i].NumVertices(), len(comp))
 		}
 	}
-	ix.opts = Options{MaxPathLen: dto.MaxPathLen, Workers: dto.Workers}
+	ix.opts = Options{MaxPathLen: dto.MaxPathLen, Workers: dto.Workers, Storage: ix.opts.Storage}
 	ix.opts.fill()
+	ix.lazy = nil
 	ix.features = make(map[canon.Key]*posting, len(dto.Postings))
 	for _, pd := range dto.Postings {
 		if len(pd.IDs) != len(pd.Counts) || len(pd.IDs) != len(pd.Starts) {

@@ -19,12 +19,16 @@ func init() {
 		Fields: []engine.Field{
 			{Name: "maxPathLen", Kind: engine.Int, Default: DefaultMaxPathLen, Help: "maximum path feature size in edges"},
 			{Name: "workers", Kind: engine.Int, Default: DefaultWorkers, Help: "build/verify parallelism"},
+			{Name: "storage", Kind: engine.String, Default: core.StorageHeap, Runtime: true,
+				Help: "how a restored index is held: heap (eager decode) or mmap (lazy, paged)"},
 		},
 		Factory: func(p engine.Params) (core.Method, error) {
 			return New(Options{
 				MaxPathLen: p.Int("maxPathLen"),
 				Workers:    p.Int("workers"),
+				Storage:    p.String("storage"),
 			}), nil
 		},
+		Check: engine.CheckStorageField,
 	})
 }

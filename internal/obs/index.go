@@ -1,0 +1,72 @@
+package obs
+
+import "sync"
+
+// Index storage instrumentation: process-wide families tracking how index
+// files are opened and how much of them is actually resident. The engine
+// layer records opens; the method layers record lazy materializations.
+// They live on a hidden package-level registry because index opens happen
+// below any server — RegisterIndexMetrics adopts the live families into a
+// scrape registry (sqserve, sqnode, sqcoord all call it), so every
+// exposition sees the same cells.
+
+var indexMetrics struct {
+	once     sync.Once
+	reg      *Registry
+	open     *Family // sq_index_open_seconds{method,storage}
+	resident *Family // sq_index_resident_bytes{method,storage}
+	lazy     *Family // sq_index_lazy_loads_total{method}
+}
+
+func indexFams() (open, resident, lazy *Family) {
+	m := &indexMetrics
+	m.once.Do(func() {
+		m.reg = NewRegistry()
+		m.open = m.reg.Histogram("sq_index_open_seconds",
+			"Time to open (restore) a persisted index, by method and storage mode.",
+			[]float64{0.0001, 0.001, 0.01, 0.1, 0.5, 1, 5, 30, 120, 600},
+			"method", "storage")
+		m.resident = m.reg.Gauge("sq_index_resident_bytes",
+			"Estimated heap-resident bytes of opened indexes, by method and storage mode.",
+			"method", "storage")
+		m.lazy = m.reg.Counter("sq_index_lazy_loads_total",
+			"Lazy materializations of index sections (postings, trie nodes, codes) under storage=mmap.",
+			"method")
+	})
+	return m.open, m.resident, m.lazy
+}
+
+// RegisterIndexMetrics adopts the index storage families into r.
+// Idempotent per registry.
+func RegisterIndexMetrics(r *Registry) {
+	open, resident, lazy := indexFams()
+	r.Adopt(open)
+	r.Adopt(resident)
+	r.Adopt(lazy)
+}
+
+// IndexOpenObserve records one index open (restore from disk) taking sec
+// seconds under the given storage mode.
+func IndexOpenObserve(method, storage string, sec float64) {
+	open, _, _ := indexFams()
+	open.Histogram(method, storage).Observe(sec)
+}
+
+// IndexResidentSet sets the resident-bytes estimate for one opened index.
+func IndexResidentSet(method, storage string, bytes int64) {
+	_, resident, _ := indexFams()
+	resident.Gauge(method, storage).Set(bytes)
+}
+
+// IndexResidentAdd adjusts the resident-bytes estimate by delta — methods
+// call it as lazy materializations pull sections into the heap.
+func IndexResidentAdd(method, storage string, delta int64) {
+	_, resident, _ := indexFams()
+	resident.Gauge(method, storage).Add(delta)
+}
+
+// IndexLazyLoadInc counts one lazy materialization under storage=mmap.
+func IndexLazyLoadInc(method string) {
+	_, _, lazy := indexFams()
+	lazy.Counter(method).Inc()
+}

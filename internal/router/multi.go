@@ -324,6 +324,19 @@ func methodsHint() string {
 // Dataset returns the dataset queries are routed over.
 func (m *Multi) Dataset() *graph.Dataset { return m.ds }
 
+// Ready reports whether every routed sub-engine is ready to serve: false
+// while any sub-engine's lazily-opened (storage=mmap) index is still
+// materializing its first-touch sections. The serving layer's /readyz
+// forwards to it through the cache wrapper.
+func (m *Multi) Ready() bool {
+	for _, s := range m.subs {
+		if r, ok := s.(interface{ Ready() bool }); ok && !r.Ready() {
+			return false
+		}
+	}
+	return true
+}
+
 // Methods returns the canonical registry names of the routed methods, in
 // configuration order.
 func (m *Multi) Methods() []string { return append([]string(nil), m.names...) }

@@ -72,6 +72,17 @@ func (c *CachedEngine) instrument(reg *obs.Registry) {
 // Dataset returns the dataset the wrapped engine serves queries over.
 func (c *CachedEngine) Dataset() *graph.Dataset { return c.inner.Dataset() }
 
+// Ready forwards the wrapped engine's readiness: false while a
+// lazily-opened (storage=mmap) index is still materializing its
+// first-touch sections. Engines without a readiness notion are always
+// ready.
+func (c *CachedEngine) Ready() bool {
+	if r, ok := c.inner.(interface{ Ready() bool }); ok {
+		return r.Ready()
+	}
+	return true
+}
+
 // CacheStats snapshots cache and deduplication counters.
 func (c *CachedEngine) CacheStats() CacheStats {
 	var s CacheStats

@@ -189,6 +189,7 @@ func New(q engine.Querier, cfg Config) *Server {
 	s.slow.SetDropped(reg.Counter("sq_slowlog_dropped_total",
 		"Slow-query log lines dropped by the byte budget.").Counter())
 	obs.RegisterRuntimeMetrics(reg)
+	obs.RegisterIndexMetrics(reg)
 	s.reqWin = obs.NewRateWindow(time.Minute)
 	s.errWin = obs.NewRateWindow(time.Minute)
 	s.latWin = obs.NewHistWindow(time.Minute)
@@ -743,13 +744,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 // handleReadyz serves GET /readyz: readiness to take traffic. 503 while
 // draining (and, via the bootstrap handler the commands install before the
-// index build finishes, during startup); load balancers route on this, not
-// on liveness.
+// index build finishes, during startup), and 503 while a lazily-opened
+// (storage=mmap) index is still materializing its first-touch sections;
+// load balancers route on this, not on liveness.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if s.draining.Load() {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusServiceUnavailable)
 		json.NewEncoder(w).Encode(map[string]string{"status": "draining"})
+		return
+	}
+	if !s.eng.Ready() {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]string{"status": "warming"})
 		return
 	}
 	writeJSON(w, map[string]string{"status": "ready"})

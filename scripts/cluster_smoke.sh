@@ -89,9 +89,14 @@ wait_ready "http://$COORD/readyz" 60
 # assert_metric url pattern: the series must be present (and, with a
 # trailing " N" in the pattern, at that value).
 assert_metric() { # url grep-pattern label
-  if ! curl -fsS "$1/metrics" | grep -Eq "$2"; then
+  # Fetch before grepping: `curl | grep -q` under pipefail fails spuriously
+  # once the body outgrows the pipe buffer (grep exits at the first match,
+  # curl dies on EPIPE).
+  local body
+  body=$(curl -fsS "$1/metrics")
+  if ! grep -Eq "$2" <<<"$body"; then
     echo "FAIL: $3 — no series matching '$2' at $1/metrics" >&2
-    curl -fsS "$1/metrics" | head -40 >&2 || true
+    head -40 <<<"$body" >&2 || true
     exit 1
   fi
 }
